@@ -1,0 +1,240 @@
+//! The §2.1 JavaScript-style baseline: the login panel implemented with
+//! global state registers and callbacks, as the paper writes it before
+//! introducing HipHop.
+//!
+//! This is the comparison point for the design discussion (§2.3): hidden
+//! control dependencies through `Rname`, `Rpasswd`, `RconnState`,
+//! `RenableLogin`, `Rintv`, `Rconn`, and components that must call into
+//! each other (`authenticate` calls `logout`). The integration tests
+//! check it behaves observably like the HipHop version on the same
+//! scenarios — and its code shape shows *why* §3's quarantine change
+//! would force a rewrite.
+
+use hiphop_eventloop::{EventLoop, TimerId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Connection status, the baseline's `RconnState`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Never connected.
+    Disconn,
+    /// Authentication request in flight.
+    Connecting,
+    /// Session active.
+    Connected,
+    /// Session ended.
+    Disconnected,
+    /// Authentication failed.
+    Error,
+}
+
+struct Registers {
+    rname: String,
+    rpasswd: String,
+    renable_login: bool,
+    rconn_state: ConnState,
+    rtime: u64,
+    rintv: Option<TimerId>,
+    rconn: u64,
+}
+
+/// The callback-style login application (paper §2.1).
+pub struct JsLogin {
+    regs: Rc<RefCell<Registers>>,
+    el: Rc<RefCell<EventLoop>>,
+    auth_latency_ms: u64,
+    accept: Rc<dyn Fn(&str, &str) -> bool>,
+    max_session_time: u64,
+}
+
+impl JsLogin {
+    /// Builds the baseline against an event loop and service parameters.
+    pub fn new(
+        el: Rc<RefCell<EventLoop>>,
+        auth_latency_ms: u64,
+        accept: Rc<dyn Fn(&str, &str) -> bool>,
+        max_session_time: u64,
+    ) -> JsLogin {
+        JsLogin {
+            regs: Rc::new(RefCell::new(Registers {
+                rname: String::new(),
+                rpasswd: String::new(),
+                renable_login: false,
+                rconn_state: ConnState::Disconn,
+                rtime: 0,
+                rintv: None,
+                rconn: 0,
+            })),
+            el,
+            auth_latency_ms,
+            accept,
+            max_session_time,
+        }
+    }
+
+    fn enable_login_button(r: &Registers) -> bool {
+        r.rname.chars().count() >= 2 && r.rpasswd.chars().count() >= 2
+    }
+
+    /// `nameKeypress` (paper line 4).
+    pub fn name_keypress(&self, value: &str) {
+        let mut r = self.regs.borrow_mut();
+        r.rname = value.to_owned();
+        r.renable_login = Self::enable_login_button(&r);
+    }
+
+    /// `passwdKeypress` (paper line 8).
+    pub fn passwd_keypress(&self, value: &str) {
+        let mut r = self.regs.borrow_mut();
+        r.rpasswd = value.to_owned();
+        r.renable_login = Self::enable_login_button(&r);
+    }
+
+    /// `authenticate` (paper line 12): note how it must *explicitly* call
+    /// `logout`, count requests in `Rconn` to discard stale replies, and
+    /// update the status register.
+    pub fn authenticate(&self) {
+        let conn = {
+            let mut r = self.regs.borrow_mut();
+            r.rconn += 1;
+            r.rconn
+        };
+        self.logout_internal(false);
+        self.regs.borrow_mut().rconn_state = ConnState::Connecting;
+        let (name, passwd) = {
+            let r = self.regs.borrow();
+            (r.rname.clone(), r.rpasswd.clone())
+        };
+        let regs = self.regs.clone();
+        let accept = self.accept.clone();
+        let max = self.max_session_time;
+        self.el.borrow_mut().set_timeout(self.auth_latency_ms, move |el_inner| {
+            let ok = accept(&name, &passwd);
+            let stale = regs.borrow().rconn != conn;
+            if stale {
+                return; // paper line 17: `conn === Rconn` check
+            }
+            if ok {
+                // startSession (paper line 19).
+                {
+                    let mut r = regs.borrow_mut();
+                    r.rconn_state = ConnState::Connected;
+                    r.rtime = 0;
+                }
+                let regs2 = regs.clone();
+                let id = el_inner.set_interval(1000, move |el_cb| {
+                    let timed_out = {
+                        let mut r = regs2.borrow_mut();
+                        r.rtime += 1;
+                        r.rtime > max
+                    };
+                    if timed_out {
+                        // logout() from inside the timer callback; use the
+                        // event loop handed to the callback (the shared
+                        // RefCell is borrowed while timers run).
+                        let mut r = regs2.borrow_mut();
+                        r.rconn_state = ConnState::Disconnected;
+                        if let Some(id) = r.rintv.take() {
+                            el_cb.clear(id);
+                        }
+                    }
+                });
+                regs.borrow_mut().rintv = Some(id);
+            } else {
+                regs.borrow_mut().rconn_state = ConnState::Error;
+            }
+        });
+    }
+
+    fn logout_internal(&self, set_state: bool) {
+        let mut r = self.regs.borrow_mut();
+        if set_state {
+            r.rconn_state = ConnState::Disconnected;
+        }
+        if let Some(id) = r.rintv.take() {
+            self.el.borrow_mut().clear(id);
+        }
+    }
+
+    /// `logout` (paper line 27).
+    pub fn logout(&self) {
+        self.logout_internal(true);
+    }
+
+    /// Current connection status.
+    pub fn conn_state(&self) -> ConnState {
+        self.regs.borrow().rconn_state
+    }
+    /// Whether the login button is enabled.
+    pub fn enable_login(&self) -> bool {
+        self.regs.borrow().renable_login
+    }
+    /// Session clock in seconds.
+    pub fn time(&self) -> u64 {
+        self.regs.borrow().rtime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (JsLogin, Rc<RefCell<EventLoop>>) {
+        let el = Rc::new(RefCell::new(EventLoop::new()));
+        let app = JsLogin::new(
+            el.clone(),
+            150,
+            Rc::new(|n, p| n == "joe" && p == "secret"),
+            10,
+        );
+        (app, el)
+    }
+
+    #[test]
+    fn mirrors_hiphop_v1_happy_path() {
+        let (app, el) = setup();
+        app.name_keypress("joe");
+        assert!(!app.enable_login());
+        app.passwd_keypress("secret");
+        assert!(app.enable_login());
+        app.authenticate();
+        assert_eq!(app.conn_state(), ConnState::Connecting);
+        el.borrow_mut().advance_by(200);
+        assert_eq!(app.conn_state(), ConnState::Connected);
+        el.borrow_mut().advance_by(3000);
+        assert_eq!(app.time(), 3);
+        app.logout();
+        assert_eq!(app.conn_state(), ConnState::Disconnected);
+        el.borrow_mut().advance_by(5000);
+        assert_eq!(app.time(), 3, "clock stopped after logout");
+    }
+
+    #[test]
+    fn stale_reply_requires_manual_counter() {
+        let (app, el) = setup();
+        app.name_keypress("joe");
+        app.passwd_keypress("secret");
+        app.authenticate();
+        el.borrow_mut().advance_by(50);
+        app.passwd_keypress("wrong!");
+        app.authenticate();
+        el.borrow_mut().advance_by(400);
+        assert_eq!(
+            app.conn_state(),
+            ConnState::Error,
+            "Rconn discards the stale success"
+        );
+    }
+
+    #[test]
+    fn session_times_out() {
+        let (app, el) = setup();
+        app.name_keypress("joe");
+        app.passwd_keypress("secret");
+        app.authenticate();
+        el.borrow_mut().advance_by(200);
+        el.borrow_mut().advance_by(12_000);
+        assert_eq!(app.conn_state(), ConnState::Disconnected);
+    }
+}

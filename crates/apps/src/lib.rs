@@ -1,0 +1,12 @@
+//! The paper's applications, reproduced end-to-end: the login panel (§2),
+//! its quarantine evolution (§3), the plain-callback baseline (§2.1), and
+//! the Lisinopril medical pillbox (§4.1).
+
+#![warn(missing_docs)]
+#![allow(clippy::type_complexity)] // Rc<dyn Fn> service/accept signatures are the API
+
+pub mod baseline;
+pub mod login;
+pub mod login_v2;
+pub mod pillbox;
+pub mod pillbox_gui;

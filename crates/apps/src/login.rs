@@ -1,0 +1,329 @@
+//! The paper's running example (§2): the login panel, V1.
+//!
+//! Modules `Main`, `Identity`, `Authenticate`, `Session` exactly as in
+//! §2.2.2–§2.2.5, with the standard-library `Timer` and a simulated
+//! authentication service standing in for the OAuth round trip.
+
+use hiphop_core::prelude::*;
+use hiphop_eventloop::stdlib::{service_async, timer_module};
+use hiphop_eventloop::EventLoop;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Authentication-service simulation parameters (substitute for the
+/// paper's remote `authenticateSvc`).
+#[derive(Clone)]
+pub struct AuthConfig {
+    /// Round-trip latency in virtual milliseconds.
+    pub latency_ms: u64,
+    /// Decides whether a (name, password) pair is accepted.
+    pub accept: Rc<dyn Fn(&str, &str) -> bool>,
+}
+
+impl AuthConfig {
+    /// Accepts exactly one credential pair after `latency_ms`.
+    pub fn single_user(latency_ms: u64, name: &str, passwd: &str) -> AuthConfig {
+        let (n, p) = (name.to_owned(), passwd.to_owned());
+        AuthConfig {
+            latency_ms,
+            accept: Rc::new(move |a, b| a == n && b == p),
+        }
+    }
+}
+
+impl std::fmt::Debug for AuthConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuthConfig")
+            .field("latency_ms", &self.latency_ms)
+            .finish()
+    }
+}
+
+/// Maximum session duration in seconds (the paper's `MAX_SESSION_TIME`).
+pub const MAX_SESSION_TIME: f64 = 10.0;
+
+/// Combine function for `connState`: keep the most *severe* state when
+/// two emissions coincide. The paper's §3 `MainV2` emits
+/// `connState("quarantine")` in the very instant the weakaborted `Main`
+/// emits `connState("error")`; a combine function is required for such
+/// double emissions (paper §2.2.1), and severity priority is the
+/// deterministic, associative-commutative choice.
+pub fn conn_state_combine() -> Combine {
+    fn rank(v: &Value) -> u8 {
+        match v.as_str() {
+            Some("quarantine") => 5,
+            Some("error") => 4,
+            Some("connecting") => 3,
+            Some("connected") => 2,
+            Some("disconnected") => 1,
+            _ => 0,
+        }
+    }
+    Combine::Host(Rc::new(|a, b| {
+        if rank(a) >= rank(b) {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    }))
+}
+
+/// §2.2.3 — `Identity`: detects when login becomes possible.
+pub fn identity_module() -> Module {
+    Module::new("Identity")
+        .input(SignalDecl::new("name", Direction::In))
+        .input(SignalDecl::new("passwd", Direction::In))
+        .output(SignalDecl::new("enableLogin", Direction::Out).with_init(false))
+        .body(Stmt::loop_each(
+            Delay::cond(Expr::now("name").or(Expr::now("passwd"))),
+            Stmt::emit_val(
+                "enableLogin",
+                Expr::nowval("name")
+                    .field("length")
+                    .ge(Expr::num(2.0))
+                    .and(Expr::nowval("passwd").field("length").ge(Expr::num(2.0))),
+            ),
+        ))
+}
+
+/// §2.2.4 — `Authenticate`: asks the service, emits `connected` with the
+/// result.
+pub fn authenticate_module(el: Rc<RefCell<EventLoop>>, auth: &AuthConfig) -> Module {
+    let accept = auth.accept.clone();
+    Module::new("Authenticate")
+        .input(SignalDecl::new("name", Direction::In))
+        .input(SignalDecl::new("passwd", Direction::In))
+        .output(SignalDecl::new("connState", Direction::Out))
+        .inout(SignalDecl::new("connected", Direction::InOut))
+        .body(Stmt::seq([
+            Stmt::emit_val("connState", Expr::str("connecting")),
+            service_async(
+                el,
+                auth.latency_ms,
+                "connected",
+                // Capture the credentials at request time, as the paper's
+                // `authenticateSvc(name.nowval, passwd.nowval)` does.
+                |env| {
+                    Value::Arr(vec![env.nowval("name"), env.nowval("passwd")])
+                },
+                move |payload| {
+                    let (n, p) = match payload {
+                        Value::Arr(items) if items.len() == 2 => (
+                            items[0].to_display_string(),
+                            items[1].to_display_string(),
+                        ),
+                        _ => (String::new(), String::new()),
+                    };
+                    Value::Bool(accept(&n, &p))
+                },
+            ),
+        ]))
+}
+
+/// §2.2.5 — `Session`: runs a session until logout or timeout.
+pub fn session_module() -> Module {
+    Module::new("Session")
+        .inout(SignalDecl::new("connState", Direction::InOut))
+        .inout(SignalDecl::new("time", Direction::InOut).with_init(0i64))
+        .inout(SignalDecl::new("logout", Direction::InOut))
+        .body(Stmt::seq([
+            Stmt::emit_val("connState", Expr::str("connected")),
+            Stmt::abort(
+                Delay::cond(
+                    Expr::now("logout").or(Expr::nowval("time").gt(Expr::num(MAX_SESSION_TIME))),
+                ),
+                Stmt::run("Timer"),
+            ),
+            Stmt::emit_val("connState", Expr::str("disconnected")),
+        ]))
+}
+
+/// §2.2.2 — `Main`: the toplevel orchestration.
+pub fn main_module() -> Module {
+    Module::new("Main")
+        .input(SignalDecl::new("name", Direction::In).with_init(""))
+        .input(SignalDecl::new("passwd", Direction::In).with_init(""))
+        .input(SignalDecl::new("login", Direction::In))
+        .input(SignalDecl::new("logout", Direction::In))
+        .output(
+            SignalDecl::new("enableLogin", Direction::Out)
+                .with_init(false)
+                .with_combine(Combine::And),
+        )
+        .output(
+            SignalDecl::new("connState", Direction::Out)
+                .with_init("disconn")
+                .with_combine(conn_state_combine()),
+        )
+        .inout(SignalDecl::new("time", Direction::InOut).with_init(0i64))
+        .inout(SignalDecl::new("connected", Direction::InOut))
+        .body(Stmt::par([
+            Stmt::run("Identity"),
+            Stmt::every(
+                Delay::cond(Expr::now("login")),
+                Stmt::seq([
+                    Stmt::run("Authenticate"),
+                    Stmt::if_else(
+                        Expr::nowval("connected"),
+                        Stmt::run("Session"),
+                        Stmt::emit_val("connState", Expr::str("error")),
+                    ),
+                ]),
+            ),
+        ]))
+}
+
+/// Builds the complete V1 registry (Main + submodules + Timer) against an
+/// event loop and service configuration.
+pub fn build_v1(
+    el: Rc<RefCell<EventLoop>>,
+    auth: &AuthConfig,
+) -> (Module, ModuleRegistry) {
+    let mut reg = ModuleRegistry::new();
+    reg.register(identity_module());
+    reg.register(authenticate_module(el.clone(), auth));
+    reg.register(session_module());
+    reg.register(timer_module(el, "time", 1000));
+    (main_module(), reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiphop_eventloop::Driver;
+    use hiphop_runtime::machine_for;
+
+    fn driver() -> Driver {
+        let el = Rc::new(RefCell::new(EventLoop::new()));
+        let auth = AuthConfig::single_user(150, "joe", "secret");
+        let (main, reg) = build_v1(el.clone(), &auth);
+        let machine = machine_for(&main, &reg).expect("login V1 compiles");
+        Driver {
+            machine: Rc::new(RefCell::new(machine)),
+            el,
+        }
+    }
+
+    #[test]
+    fn enable_login_follows_inputs() {
+        let d = driver();
+        d.react(&[]).unwrap();
+        let r = d.react(&[("name", Value::from("jo"))]).unwrap();
+        assert_eq!(r[0].value("enableLogin"), Value::Bool(false));
+        let r = d.react(&[("passwd", Value::from("secret"))]).unwrap();
+        assert_eq!(r[0].value("enableLogin"), Value::Bool(true));
+        let r = d.react(&[("passwd", Value::from("s"))]).unwrap();
+        assert_eq!(r[0].value("enableLogin"), Value::Bool(false));
+    }
+
+    #[test]
+    fn successful_login_starts_session_and_clock() {
+        let d = driver();
+        d.react(&[]).unwrap();
+        d.react(&[("name", Value::from("joe"))]).unwrap();
+        d.react(&[("passwd", Value::from("secret"))]).unwrap();
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("connecting")
+        );
+        d.advance_by(200).unwrap(); // service replies
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("connected")
+        );
+        d.advance_by(3000).unwrap();
+        assert_eq!(d.machine.borrow().nowval("time"), Value::Num(3.0));
+    }
+
+    #[test]
+    fn wrong_password_reports_error() {
+        let d = driver();
+        d.react(&[]).unwrap();
+        d.react(&[("name", Value::from("joe"))]).unwrap();
+        d.react(&[("passwd", Value::from("nope!"))]).unwrap();
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        d.advance_by(200).unwrap();
+        assert_eq!(d.machine.borrow().nowval("connState"), Value::from("error"));
+    }
+
+    #[test]
+    fn logout_ends_session() {
+        let d = driver();
+        d.react(&[]).unwrap();
+        d.react(&[("name", Value::from("joe"))]).unwrap();
+        d.react(&[("passwd", Value::from("secret"))]).unwrap();
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        d.advance_by(200).unwrap();
+        d.advance_by(2000).unwrap();
+        d.react(&[("logout", Value::Bool(true))]).unwrap();
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("disconnected")
+        );
+        // The session clock stopped (its Timer was cleaned up).
+        assert_eq!(d.el.borrow().pending(), 0);
+    }
+
+    #[test]
+    fn session_times_out() {
+        let d = driver();
+        d.react(&[]).unwrap();
+        d.react(&[("name", Value::from("joe"))]).unwrap();
+        d.react(&[("passwd", Value::from("secret"))]).unwrap();
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        d.advance_by(200).unwrap();
+        d.advance_by((MAX_SESSION_TIME as u64 + 2) * 1000).unwrap();
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("disconnected")
+        );
+    }
+
+    #[test]
+    fn relogin_during_session_restarts_authentication() {
+        // §2: "During an active session, clicking login causes immediate
+        // logout and restart of the login phase."
+        let d = driver();
+        d.react(&[]).unwrap();
+        d.react(&[("name", Value::from("joe"))]).unwrap();
+        d.react(&[("passwd", Value::from("secret"))]).unwrap();
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        d.advance_by(200).unwrap();
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("connected")
+        );
+        // Re-login: Authenticate restarts, session timer must be freed.
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("connecting")
+        );
+        d.advance_by(200).unwrap();
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("connected")
+        );
+    }
+
+    #[test]
+    fn relogin_before_reply_discards_first_request() {
+        let d = driver();
+        d.react(&[]).unwrap();
+        d.react(&[("name", Value::from("joe"))]).unwrap();
+        d.react(&[("passwd", Value::from("secret"))]).unwrap();
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        d.advance_by(50).unwrap();
+        // Change password to a wrong one and re-login before the first
+        // (correct) reply lands: the stale success must be dropped.
+        d.react(&[("passwd", Value::from("wrong!"))]).unwrap();
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        d.advance_by(400).unwrap();
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("error"),
+            "only the second (failing) authentication counts"
+        );
+    }
+}

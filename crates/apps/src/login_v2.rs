@@ -1,0 +1,238 @@
+//! Login panel 2.0 (§3): quarantine after repeated failed logins.
+//!
+//! The point of the paper's §3: V2 *reuses the unmodified V1 `Main`*,
+//! adding only the `Freeze` module and a `MainV2` wrapper — where the
+//! JavaScript version required touching almost every component.
+//!
+//! `MainV2` must use `weakabort`: a strong `abort` would create the
+//! causality deadlock the paper describes ("Main would emit connected
+//! (false) that would provoke emit(freeze), which itself would prevent
+//! Main to execute"). [`main_v2_with`] exposes both variants so the E5
+//! experiment can demonstrate the deadlock detection.
+
+use crate::login::{build_v1, AuthConfig};
+use hiphop_core::prelude::*;
+use hiphop_eventloop::stdlib::timer_module;
+use hiphop_eventloop::EventLoop;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// §3 — `Freeze`: emits `freeze` after `attempts` unsuccessful
+/// connections, `restart` when the quarantine timer exceeds `max`.
+pub fn freeze_module() -> Module {
+    Module::new("Freeze")
+        .var(VarDecl::new("max"))
+        .var(VarDecl::new("attempts"))
+        .inout(SignalDecl::new("sig", Direction::InOut))
+        .inout(SignalDecl::new("tmo", Direction::InOut).with_init(0i64))
+        .inout(SignalDecl::new("freeze", Direction::InOut))
+        .inout(SignalDecl::new("restart", Direction::InOut))
+        .body(Stmt::loop_each(
+            Delay::cond(Expr::now("sig").and(Expr::nowval("sig"))),
+            Stmt::seq([
+                Stmt::await_(Delay::count(Expr::var("attempts"), Expr::now("sig"))),
+                Stmt::emit("freeze"),
+                // The quarantine clock is its own Timer instance bound to
+                // `tmo`. Host hooks (the Timer's setInterval callback)
+                // capture their signal name lexically, so the timer is
+                // *constructed* on `tmo` rather than renamed by `run`
+                // (see DESIGN.md §7 on host-closure renaming).
+                Stmt::abort(
+                    Delay::cond(Expr::nowval("tmo").gt(Expr::var("max"))),
+                    Stmt::run("QuarantineTimer"),
+                ),
+                Stmt::emit("restart"),
+            ]),
+        ))
+}
+
+/// §3 — `MainV2`: V1 `Main` under quarantine control. `strong_abort`
+/// replaces the `weakabort` with `abort`, reproducing the causality
+/// deadlock the paper warns about.
+pub fn main_v2_with(strong_abort: bool) -> Module {
+    let abort_main = Stmt::Abort {
+        delay: Delay::cond(Expr::now("freeze")),
+        weak: !strong_abort,
+        body: Box::new(Stmt::run("Main")),
+        loc: Loc::synthetic(),
+    };
+    Module::new("MainV2")
+        .inout(SignalDecl::new("tmo", Direction::InOut).with_init(0i64))
+        .implements(&crate::login::main_module())
+        .body(Stmt::local(
+            vec![
+                SignalDecl::new("freeze", Direction::Local),
+                SignalDecl::new("restart", Direction::Local),
+            ],
+            Stmt::par([
+                Stmt::loop_(Stmt::seq([
+                    abort_main,
+                    Stmt::emit_val("connState", Expr::str("quarantine")),
+                    Stmt::emit_val("enableLogin", Expr::bool(false)),
+                    Stmt::await_(Delay::cond(Expr::now("restart"))),
+                    Stmt::emit_val("connState", Expr::str("disconnected")),
+                ])),
+                Stmt::run_with(
+                    "Freeze",
+                    vec![
+                        RunBind::Var {
+                            name: "max".into(),
+                            value: Expr::num(5.0),
+                        },
+                        RunBind::Var {
+                            name: "attempts".into(),
+                            value: Expr::num(3.0),
+                        },
+                        RunBind::Signal {
+                            inner: "sig".into(),
+                            outer: "connected".into(),
+                        },
+                    ],
+                ),
+            ]),
+        ))
+}
+
+/// Builds the complete V2 registry: V1 modules (unchanged!) + `Freeze`.
+pub fn build_v2(
+    el: Rc<RefCell<EventLoop>>,
+    auth: &AuthConfig,
+    strong_abort: bool,
+) -> (Module, ModuleRegistry) {
+    let (main_v1, mut reg) = build_v1(el.clone(), auth);
+    reg.register(main_v1); // MainV2 runs Main by name
+    reg.register(freeze_module());
+    // Freeze's quarantine clock: a Timer instance ticking `tmo`.
+    let mut qt = timer_module(el, "tmo", 1000);
+    qt.name = "QuarantineTimer".into();
+    reg.register(qt);
+    (main_v2_with(strong_abort), reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiphop_eventloop::Driver;
+    use hiphop_runtime::{machine_for, RuntimeError};
+
+    fn driver(strong: bool) -> Result<Driver, hiphop_compiler::CompileError> {
+        let el = Rc::new(RefCell::new(EventLoop::new()));
+        let auth = AuthConfig::single_user(100, "joe", "secret");
+        let (main, reg) = build_v2(el.clone(), &auth, strong);
+        let machine = machine_for(&main, &reg)?;
+        Ok(Driver {
+            machine: Rc::new(RefCell::new(machine)),
+            el,
+        })
+    }
+
+    fn fail_login(d: &Driver) {
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        d.advance_by(150).unwrap();
+    }
+
+    #[test]
+    fn three_failures_trigger_quarantine() {
+        let d = driver(false).expect("compiles");
+        d.react(&[]).unwrap();
+        d.react(&[("name", Value::from("joe"))]).unwrap();
+        d.react(&[("passwd", Value::from("wrong!"))]).unwrap();
+        fail_login(&d);
+        assert_eq!(d.machine.borrow().nowval("connState"), Value::from("error"));
+        fail_login(&d);
+        fail_login(&d);
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("quarantine"),
+            "third failure freezes the panel"
+        );
+        assert_eq!(
+            d.machine.borrow().nowval("enableLogin"),
+            Value::Bool(false)
+        );
+        // During quarantine, login clicks do nothing.
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        d.advance_by(200).unwrap();
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("quarantine")
+        );
+    }
+
+    #[test]
+    fn quarantine_ends_after_timeout_and_login_works_again() {
+        let d = driver(false).expect("compiles");
+        d.react(&[]).unwrap();
+        d.react(&[("name", Value::from("joe"))]).unwrap();
+        d.react(&[("passwd", Value::from("wrong!"))]).unwrap();
+        for _ in 0..3 {
+            fail_login(&d);
+        }
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("quarantine")
+        );
+        // Quarantine lasts until tmo > 5 seconds.
+        d.advance_by(7000).unwrap();
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("disconnected"),
+            "quarantine over"
+        );
+        // Login works again (with the right password now).
+        d.react(&[("passwd", Value::from("secret"))]).unwrap();
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        d.advance_by(150).unwrap();
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("connected")
+        );
+    }
+
+    #[test]
+    fn successful_login_resets_the_failure_count() {
+        let d = driver(false).expect("compiles");
+        d.react(&[]).unwrap();
+        d.react(&[("name", Value::from("joe"))]).unwrap();
+        d.react(&[("passwd", Value::from("wrong!"))]).unwrap();
+        fail_login(&d);
+        fail_login(&d);
+        // A success resets Freeze's counter...
+        d.react(&[("passwd", Value::from("secret"))]).unwrap();
+        fail_login(&d);
+        assert_eq!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("connected")
+        );
+        // ...so two more failures are again not enough to freeze.
+        d.react(&[("passwd", Value::from("wrong!"))]).unwrap();
+        fail_login(&d);
+        fail_login(&d);
+        assert_ne!(
+            d.machine.borrow().nowval("connState"),
+            Value::from("quarantine")
+        );
+    }
+
+    #[test]
+    fn strong_abort_variant_deadlocks_at_freeze_instant() {
+        // The paper §3: "Using abort would provoke a causality problem
+        // leading to microscheduling deadlocks … detected and an error
+        // message generated."
+        let d = driver(true).expect("the strong variant still compiles");
+        d.react(&[]).unwrap();
+        d.react(&[("name", Value::from("joe"))]).unwrap();
+        d.react(&[("passwd", Value::from("wrong!"))]).unwrap();
+        // The deadlock is *constructive*: at any instant where `connected`
+        // could be emitted, its status needs the async's RES, which needs
+        // `freeze`, which needs Freeze's counter test, which reads
+        // `connected` — stuck at the very first reply, not only at the
+        // freezing one.
+        d.react(&[("login", Value::Bool(true))]).unwrap();
+        let err = d.advance_by(150).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Causality { .. }),
+            "expected causality error, got {err}"
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! The Lisinopril medical-prescription pillbox (paper §4.1).
+//!
+//! The reactive program is written in the *textual* HipHop syntax and
+//! parsed at startup — exercising the paper's Phase 1 front-end in a real
+//! application. The temporal rules come from the doctor Q&A of §4.1.1:
+//!
+//! - one tablet daily, preferred window 8PM–11PM;
+//! - hard wall of 8 h between doses (`TryTooCloseError`);
+//! - more than 34 h without a dose is a serious error
+//!   (`NoDoseSinceTooLongError`, sustained);
+//! - warn when approaching the limit (Try button alerts at 30 h);
+//! - two-press protocol: `Try` (checks timing, delivers) then `Conf`
+//!   (asserts swallowed), with the Confirm button alerting when late;
+//! - all events are logged.
+//!
+//! Time unit: one reaction per minute (`Mn` tick), with `TimeOfDay` in
+//! minutes of day (0–1439). The delays in the source are derived from the
+//! prescription: phase boundaries are measured from the end of the 8 h
+//! wall, so `TryDelay = 30 h − 8 h = 1320 min` and the no-dose error fires
+//! `34 h − 8 h = 1560 min` into a cycle.
+
+use hiphop_core::module::{Module, ModuleRegistry};
+use hiphop_core::value::Value;
+use hiphop_lang::{parse_program, HostRegistry};
+use hiphop_runtime::{Machine, Reaction, RuntimeError};
+
+/// Minutes in the 8-hour wall between doses.
+pub const MIN_DOSE_INTERVAL: u64 = 8 * 60;
+/// Minutes until the no-dose error, measured from the end of the wall.
+pub const NO_DOSE_ERROR_AFTER: u64 = 34 * 60 - MIN_DOSE_INTERVAL;
+/// Minutes until the Try button alerts, measured from the end of the wall.
+pub const TRY_ALERT_AFTER: u64 = 30 * 60 - MIN_DOSE_INTERVAL;
+/// Minutes the Confirm button waits before alerting.
+pub const CONF_ALERT_AFTER: u64 = 10;
+/// Dose window start, minutes of day (8PM).
+pub const WINDOW_START: u64 = 20 * 60;
+/// Dose window end, minutes of day (11PM).
+pub const WINDOW_END: u64 = 23 * 60;
+
+/// The pillbox program, in concrete HipHop syntax (paper §4.1.2).
+pub const PILLBOX_SRC: &str = r#"
+hiphop module Button(var d, in Tick, in B, out Active, out Alert) {
+   emit Active(true); emit Alert(false);
+   abort (B.now) {
+      await count(d, Tick.now);
+      do { emit Alert(true); } every (Tick.now)
+   }
+   emit Alert(false); emit Active(false);
+}
+
+hiphop module Lisinopril(in Mn, in TimeOfDay = 0, in Try, in Conf,
+                         out TryActive = false, out TryAlert = false,
+                         out ConfActive = false, out ConfAlert = false,
+                         out DeliverDose, out RecordDose = -1,
+                         out TryNotInWindowWarning,
+                         out NoDoseSinceTooLongError, out TryTooCloseError,
+                         out InDoseWindow = false) {
+   fork {
+      // Clock component: maintain the 8PM-11PM window flag.
+      do {
+         emit InDoseWindow(TimeOfDay.nowval >= 1200 && TimeOfDay.nowval < 1380);
+      } every (Mn.now)
+   } par {
+      loop {
+         DoseOK: fork {
+            // Phase 1: wait for Try; alert when the last dose ages.
+            run Button(d = 1320, Tick as Mn, B as Try,
+                       Active as TryActive, Alert as TryAlert);
+            // Try received: deliver, but warn if out of the dose window.
+            emit DeliverDose();
+            hop { log("dose delivered at minute " + TimeOfDay.nowval); }
+            if (!InDoseWindow.nowval) {
+               emit TryNotInWindowWarning();
+               hop { log("warning: delivery outside the 8PM-11PM window"); }
+            }
+            // Phase 2: wait for confirmation, keep alerting if late.
+            run Button(d = 10, Tick as Mn, B as Conf,
+                       Active as ConfActive, Alert as ConfAlert);
+            // Confirmation received.
+            emit RecordDose(TimeOfDay.nowval);
+            hop { log("dose confirmed at minute " + TimeOfDay.nowval); }
+            break DoseOK;
+         } par {
+            // In phases 1-2: error if too long since the last dose.
+            await count(1560, Mn.now);
+            hop { log("ERROR: more than 34h since the last dose"); }
+            sustain NoDoseSinceTooLongError();
+         }
+         // Phase 3: enforce the 8h wall before allowing Try again.
+         abort count(480, Mn.now) {
+            every (Try.now) {
+               emit TryTooCloseError();
+               hop { log("ERROR: try too close to the previous dose"); }
+            }
+         }
+      }
+   }
+}
+"#;
+
+/// Parses the pillbox program and returns (main module, registry).
+///
+/// # Panics
+///
+/// Panics if the embedded source does not parse (a build-time invariant,
+/// covered by tests).
+pub fn modules() -> (Module, ModuleRegistry) {
+    parse_program(PILLBOX_SRC, "Lisinopril", &HostRegistry::new())
+        .expect("embedded pillbox source parses")
+}
+
+/// A driving harness: one reaction per minute, with the GUI-relevant
+/// outputs exposed as methods.
+pub struct Pillbox {
+    machine: Machine,
+    minute_of_day: u64,
+}
+
+impl Pillbox {
+    /// Compiles the program and boots the machine; the clock starts at
+    /// `start_minute_of_day` (e.g. `19 * 60` for 7PM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/runtime errors.
+    pub fn new(start_minute_of_day: u64) -> Result<Pillbox, Box<dyn std::error::Error>> {
+        let (main, reg) = modules();
+        let compiled = hiphop_compiler::compile_module(&main, &reg)?;
+        let mut machine = Machine::new(compiled.circuit);
+        machine.react()?; // boot instant
+        Ok(Pillbox {
+            machine,
+            minute_of_day: start_minute_of_day,
+        })
+    }
+
+    fn minute_inputs(&self) -> Vec<(&'static str, Value)> {
+        vec![
+            ("Mn", Value::Bool(true)),
+            ("TimeOfDay", Value::from(self.minute_of_day as i64)),
+        ]
+    }
+
+    /// Advances one minute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reaction errors.
+    pub fn tick(&mut self) -> Result<Reaction, RuntimeError> {
+        self.minute_of_day = (self.minute_of_day + 1) % 1440;
+        let inputs = self.minute_inputs();
+        self.machine.react_with(&inputs)
+    }
+
+    /// Advances `n` minutes, returning the last reaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reaction errors.
+    pub fn advance(&mut self, n: u64) -> Result<Reaction, RuntimeError> {
+        let mut last = self.tick()?;
+        for _ in 1..n {
+            last = self.tick()?;
+        }
+        Ok(last)
+    }
+
+    /// Presses the Try button (same instant as a clock tick is possible in
+    /// a GUI; here we deliver it between ticks as a button press).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reaction errors.
+    pub fn press_try(&mut self) -> Result<Reaction, RuntimeError> {
+        self.machine.react_with(&[
+            ("Try", Value::Bool(true)),
+            ("TimeOfDay", Value::from(self.minute_of_day as i64)),
+        ])
+    }
+
+    /// Presses the Confirm button.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reaction errors.
+    pub fn press_conf(&mut self) -> Result<Reaction, RuntimeError> {
+        self.machine.react_with(&[
+            ("Conf", Value::Bool(true)),
+            ("TimeOfDay", Value::from(self.minute_of_day as i64)),
+        ])
+    }
+
+    /// Current minute of day.
+    pub fn minute_of_day(&self) -> u64 {
+        self.minute_of_day
+    }
+    /// Whether the Try button is active.
+    pub fn try_active(&self) -> bool {
+        self.machine.nowval("TryActive").truthy()
+    }
+    /// Whether the Try button alerts (approaching 34 h).
+    pub fn try_alert(&self) -> bool {
+        self.machine.nowval("TryAlert").truthy()
+    }
+    /// Whether the Confirm button is active.
+    pub fn conf_active(&self) -> bool {
+        self.machine.nowval("ConfActive").truthy()
+    }
+    /// Whether the Confirm button alerts (confirmation late).
+    pub fn conf_alert(&self) -> bool {
+        self.machine.nowval("ConfAlert").truthy()
+    }
+    /// Whether we are in the 8PM–11PM window.
+    pub fn in_dose_window(&self) -> bool {
+        self.machine.nowval("InDoseWindow").truthy()
+    }
+    /// The event log.
+    pub fn log(&self) -> &[String] {
+        self.machine.log()
+    }
+    /// Access to the underlying machine (for the GUI layer).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+}
+
+impl std::fmt::Debug for Pillbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pillbox(minute {})", self.minute_of_day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_source_parses_and_compiles() {
+        let (main, reg) = modules();
+        assert_eq!(main.name, "Lisinopril");
+        let compiled = hiphop_compiler::compile_module(&main, &reg).expect("compiles");
+        assert!(compiled.circuit.stats().nets > 100);
+    }
+
+    #[test]
+    fn nominal_dose_cycle() {
+        // Start at 7PM; take the dose at 8:30PM, confirm 2 minutes later.
+        let mut p = Pillbox::new(19 * 60).expect("builds");
+        assert!(p.try_active());
+        assert!(!p.in_dose_window());
+        p.advance(90).unwrap(); // 8:30PM
+        assert!(p.in_dose_window());
+        let r = p.press_try().unwrap();
+        assert!(r.present("DeliverDose"));
+        assert!(
+            !r.present("TryNotInWindowWarning"),
+            "8:30PM is inside the window"
+        );
+        assert!(!p.try_active(), "Try goes inactive once pressed");
+        assert!(p.conf_active(), "Confirm becomes active");
+        p.advance(2).unwrap();
+        let r = p.press_conf().unwrap();
+        assert!(r.present("RecordDose"));
+        assert_eq!(r.value("RecordDose"), Value::from((20 * 60 + 32) as i64));
+        assert!(!p.conf_active());
+        assert!(p.log().iter().any(|l| l.contains("dose confirmed")));
+    }
+
+    #[test]
+    fn out_of_window_delivery_warns() {
+        let mut p = Pillbox::new(10 * 60).expect("builds"); // 10AM
+        p.advance(5).unwrap();
+        let r = p.press_try().unwrap();
+        assert!(r.present("DeliverDose"), "delivery still allowed");
+        assert!(
+            r.present("TryNotInWindowWarning"),
+            "but the warning fires (doctor: 'no big deal provided...')"
+        );
+    }
+
+    #[test]
+    fn eight_hour_wall_is_enforced() {
+        let mut p = Pillbox::new(20 * 60).expect("builds"); // 8PM
+        p.advance(10).unwrap();
+        p.press_try().unwrap();
+        p.press_conf().unwrap();
+        // Phase 3: Try presses are errors for 480 minutes.
+        p.advance(60).unwrap();
+        let r = p.press_try().unwrap();
+        assert!(r.present("TryTooCloseError"));
+        assert!(!r.present("DeliverDose"));
+        // After the wall, Try works again.
+        p.advance(480).unwrap();
+        let r = p.press_try().unwrap();
+        assert!(r.present("DeliverDose"));
+        assert!(!r.present("TryTooCloseError"));
+    }
+
+    #[test]
+    fn confirm_alerts_when_late() {
+        let mut p = Pillbox::new(20 * 60).expect("builds");
+        p.advance(10).unwrap();
+        p.press_try().unwrap();
+        assert!(!p.conf_alert());
+        p.advance(CONF_ALERT_AFTER + 1).unwrap();
+        assert!(p.conf_alert(), "confirmation is late");
+        // Confirming clears the alert.
+        p.press_conf().unwrap();
+        assert!(!p.conf_alert());
+    }
+
+    #[test]
+    fn try_button_alerts_at_thirty_hours() {
+        let mut p = Pillbox::new(0).expect("builds");
+        p.advance(TRY_ALERT_AFTER).unwrap();
+        assert!(p.try_alert(), "approaching the 34h limit");
+        assert!(p.try_active(), "still pressable");
+    }
+
+    #[test]
+    fn no_dose_error_after_thirty_four_hours() {
+        let mut p = Pillbox::new(0).expect("builds");
+        let r = p.advance(NO_DOSE_ERROR_AFTER - 1).unwrap();
+        assert!(!r.present("NoDoseSinceTooLongError"));
+        let r = p.tick().unwrap();
+        assert!(r.present("NoDoseSinceTooLongError"));
+        // Sustained until the dose is finally taken and confirmed.
+        let r = p.tick().unwrap();
+        assert!(r.present("NoDoseSinceTooLongError"));
+        p.press_try().unwrap();
+        p.press_conf().unwrap();
+        let r = p.tick().unwrap();
+        assert!(
+            !r.present("NoDoseSinceTooLongError"),
+            "break DoseOK weakly preempts the error branch"
+        );
+        assert!(p.log().iter().any(|l| l.contains("ERROR: more than 34h")));
+    }
+
+    #[test]
+    fn dose_window_flag_tracks_clock() {
+        let mut p = Pillbox::new(19 * 60 + 58).expect("builds");
+        p.advance(1).unwrap(); // 19:59
+        assert!(!p.in_dose_window());
+        p.advance(1).unwrap(); // 20:00
+        assert!(p.in_dose_window());
+        p.advance(179).unwrap(); // 22:59
+        assert!(p.in_dose_window());
+        p.advance(1).unwrap(); // 23:00
+        assert!(!p.in_dose_window());
+    }
+}

@@ -1,0 +1,171 @@
+//! The pillbox web GUI (paper §4.1.1 design points):
+//!
+//! 1. "A time display shows a minute-base clock with background green
+//!    during the 8PM-11PM period and orange outside this period; another
+//!    time display shows when the previous dose was taken; two buttons
+//!    Try and Confirm control tablet delivery and confirmation; a text
+//!    display shows errors and warnings."
+//!
+//! The page is built on the reactive DOM substrate: every display is a
+//! binding over the machine's outputs, so it updates after each reaction
+//! without imperative GUI code.
+
+use crate::pillbox::Pillbox;
+use hiphop_dom::{Document, NodeId};
+
+/// The pillbox page, bound to a [`Pillbox`] machine.
+pub struct PillboxGui {
+    /// The document.
+    pub doc: Document,
+    /// The Try button node.
+    pub try_button: NodeId,
+    /// The Confirm button node.
+    pub conf_button: NodeId,
+}
+
+impl PillboxGui {
+    /// Builds the page (the machine is read at render time).
+    pub fn new() -> PillboxGui {
+        let mut doc = Document::new();
+        let root = doc.root();
+
+        let clock = doc.element("div", &[("id", "clock")]);
+        doc.bind_attr(clock, "class", |m| {
+            if m.nowval("InDoseWindow").truthy() {
+                "green".to_owned()
+            } else {
+                "orange".to_owned()
+            }
+        });
+        doc.react_text(clock, |m| {
+            let minute = m.nowval("TimeOfDay").as_num() as u64;
+            format!("{:02}:{:02}", minute / 60 % 24, minute % 60)
+        });
+
+        let last_dose = doc.element("div", &[("id", "last-dose")]);
+        doc.react_text(last_dose, |m| {
+            let v = m.nowval("RecordDose").as_num();
+            if v < 0.0 {
+                "last dose: —".to_owned()
+            } else {
+                let minute = v as u64;
+                format!("last dose: {:02}:{:02}", minute / 60 % 24, minute % 60)
+            }
+        });
+
+        let try_button = doc.element("button", &[("id", "try")]);
+        doc.set_text(try_button, "Try");
+        doc.bind_attr(try_button, "disabled", |m| {
+            (!m.nowval("TryActive").truthy()).to_string()
+        });
+        doc.bind_attr(try_button, "class", |m| {
+            if m.nowval("TryAlert").truthy() {
+                "blinking-red".to_owned()
+            } else {
+                "normal".to_owned()
+            }
+        });
+
+        let conf_button = doc.element("button", &[("id", "confirm")]);
+        doc.set_text(conf_button, "Confirm");
+        doc.bind_attr(conf_button, "disabled", |m| {
+            (!m.nowval("ConfActive").truthy()).to_string()
+        });
+        doc.bind_attr(conf_button, "class", |m| {
+            if m.nowval("ConfAlert").truthy() {
+                "blinking-red".to_owned()
+            } else {
+                "normal".to_owned()
+            }
+        });
+
+        let messages = doc.element("div", &[("id", "messages")]);
+        doc.react_text(messages, |m| {
+            let mut msgs = Vec::new();
+            if m.present("TryNotInWindowWarning") {
+                msgs.push("warning: outside the 8PM-11PM window");
+            }
+            if m.present("TryTooCloseError") {
+                msgs.push("ERROR: less than 8h since the previous dose");
+            }
+            if m.present("NoDoseSinceTooLongError") {
+                msgs.push("ERROR: more than 34h without a dose");
+            }
+            msgs.join("; ")
+        });
+
+        for n in [clock, last_dose, try_button, conf_button, messages] {
+            doc.append(root, n);
+        }
+        PillboxGui {
+            doc,
+            try_button,
+            conf_button,
+        }
+    }
+
+    /// Renders the page against the pillbox machine.
+    pub fn render(&self, pillbox: &Pillbox) -> String {
+        self.doc.render(pillbox.machine())
+    }
+}
+
+impl Default for PillboxGui {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_background_follows_the_window() {
+        let mut p = Pillbox::new(19 * 60 + 58).expect("builds");
+        let gui = PillboxGui::new();
+        p.advance(1).unwrap(); // 19:59
+        assert!(gui.render(&p).contains("class=\"orange\""));
+        p.advance(1).unwrap(); // 20:00
+        let html = gui.render(&p);
+        assert!(html.contains("class=\"green\""), "{html}");
+        assert!(html.contains(">20:00<"), "{html}");
+    }
+
+    #[test]
+    fn buttons_reflect_protocol_state() {
+        let mut p = Pillbox::new(20 * 60).expect("builds");
+        p.advance(5).unwrap();
+        let gui = PillboxGui::new();
+        let html = gui.render(&p);
+        assert!(html.contains("id=\"try\""));
+        // Try enabled, Confirm disabled before the press.
+        assert!(html.contains("id=\"try\" class=\"normal\" disabled=\"false\""), "{html}");
+        assert!(html.contains("id=\"confirm\" class=\"normal\" disabled=\"true\""), "{html}");
+        p.press_try().unwrap();
+        let html = gui.render(&p);
+        assert!(html.contains("id=\"try\" class=\"normal\" disabled=\"true\""), "{html}");
+        assert!(html.contains("id=\"confirm\" class=\"normal\" disabled=\"false\""), "{html}");
+        // Dawdle: Confirm blinks.
+        p.advance(15).unwrap();
+        assert!(gui.render(&p).contains("blinking-red"));
+        p.press_conf().unwrap();
+        let html = gui.render(&p);
+        assert!(html.contains("last dose: 20:20"), "{html}");
+    }
+
+    #[test]
+    fn error_messages_appear_in_the_text_display() {
+        let mut p = Pillbox::new(20 * 60).expect("builds");
+        p.advance(5).unwrap();
+        p.press_try().unwrap();
+        p.press_conf().unwrap();
+        p.advance(30).unwrap();
+        let gui = PillboxGui::new();
+        // Too-early try: the reaction's error signal shows in the render
+        // done right after the press.
+        p.press_try().unwrap();
+        let html = gui.render(&p);
+        assert!(html.contains("less than 8h"), "{html}");
+    }
+}

@@ -1,0 +1,333 @@
+//! Experiment runners producing the rows of EXPERIMENTS.md (paper §5.3).
+
+use crate::gen::{schizophrenic_program, synthetic_program};
+use hiphop_compiler::{compile_module, compile_module_with, CompileOptions, CompiledProgram};
+use hiphop_core::module::{Module, ModuleRegistry};
+use hiphop_core::value::Value;
+use hiphop_eventloop::EventLoop;
+use hiphop_runtime::Machine;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// One row of the E1/E2a/E4a size sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRow {
+    /// Statement count of the source program.
+    pub stmts: usize,
+    /// Nets after compilation.
+    pub nets: usize,
+    /// Phase-1 parse time of the printed source, microseconds.
+    pub parse_us: f64,
+    /// Compile time, microseconds.
+    pub compile_us: f64,
+    /// Mean reaction time, microseconds (over a random input drive).
+    pub reaction_us: f64,
+    /// Circuit memory, bytes.
+    pub bytes: usize,
+}
+
+fn compile_timed(module: &Module) -> (CompiledProgram, f64) {
+    let reg = ModuleRegistry::new();
+    let t = Instant::now();
+    let compiled = compile_module(module, &reg).expect("synthetic program compiles");
+    (compiled, t.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Measures mean reaction latency over `reactions` random-input instants.
+pub fn measure_reactions(machine: &mut Machine, reactions: usize) -> f64 {
+    machine.react().expect("boot");
+    let t = Instant::now();
+    for i in 0..reactions {
+        let sig = format!("i{}", i % 8);
+        machine
+            .react_with(&[(&sig, Value::Bool(true))])
+            .expect("reaction");
+    }
+    t.elapsed().as_secs_f64() * 1e6 / reactions as f64
+}
+
+/// Runs the E1/E2a/E4a sweep over the synthetic family.
+pub fn size_sweep(sizes: &[usize], seed: u64) -> Vec<SizeRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let module = synthetic_program(n, seed);
+            let stmts = module.body.statement_count();
+            // Phase 1: print the module in concrete syntax and time the
+            // parse (the paper's textual front-end).
+            let iface: Vec<String> = module
+                .interface
+                .iter()
+                .map(|d| format!("{} {}", d.direction, d.name))
+                .collect();
+            let src = format!("module M({}) {{\n{}\n}}", iface.join(", "), module.body);
+            let t = Instant::now();
+            let parsed = hiphop_lang::parse_file(&src, &hiphop_lang::HostRegistry::new());
+            let parse_us = t.elapsed().as_secs_f64() * 1e6;
+            assert!(parsed.is_ok(), "printed source parses");
+            let (compiled, compile_us) = compile_timed(&module);
+            let stats = compiled.circuit.stats();
+            let mut machine = Machine::new(compiled.circuit);
+            let reaction_us = measure_reactions(&mut machine, 200);
+            SizeRow {
+                stmts,
+                nets: stats.nets,
+                parse_us,
+                compile_us,
+                reaction_us,
+                bytes: stats.bytes,
+            }
+        })
+        .collect()
+}
+
+/// One row of the E2b reincarnation sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SchizoRow {
+    /// Loop-nesting depth.
+    pub depth: usize,
+    /// Statement count.
+    pub stmts: usize,
+    /// Nets after compilation.
+    pub nets: usize,
+    /// Growth factor vs the previous depth.
+    pub growth: f64,
+}
+
+/// Runs the E2b sweep: nets vs nesting depth of schizophrenic loops.
+pub fn schizo_sweep(max_depth: usize) -> Vec<SchizoRow> {
+    let mut out: Vec<SchizoRow> = Vec::new();
+    for depth in 1..=max_depth {
+        let module = schizophrenic_program(depth);
+        let stmts = module.body.statement_count();
+        let (compiled, _) = compile_timed(&module);
+        let nets = compiled.circuit.stats().nets;
+        let growth = out
+            .last()
+            .map(|prev| nets as f64 / prev.nets as f64)
+            .unwrap_or(1.0);
+        out.push(SchizoRow {
+            depth,
+            stmts,
+            nets,
+            growth,
+        });
+    }
+    out
+}
+
+/// One row of the E3 memory table.
+#[derive(Debug, Clone)]
+pub struct MemoryRow {
+    /// Application name.
+    pub name: String,
+    /// Statement count.
+    pub stmts: usize,
+    /// Nets.
+    pub nets: usize,
+    /// Registers.
+    pub registers: usize,
+    /// Memory, bytes.
+    pub bytes: usize,
+    /// Bytes per net.
+    pub bytes_per_net: f64,
+}
+
+fn memory_row(name: &str, module: &Module, reg: &ModuleRegistry) -> MemoryRow {
+    let compiled = compile_module(module, reg).expect("application compiles");
+    let stats = compiled.circuit.stats();
+    MemoryRow {
+        name: name.to_owned(),
+        stmts: module.body.statement_count(),
+        nets: stats.nets,
+        registers: stats.registers,
+        bytes: stats.bytes,
+        bytes_per_net: stats.bytes_per_net(),
+    }
+}
+
+/// Builds the E3 memory table over the paper's applications (Lisinopril,
+/// login V1/V2, Skini scores at three sizes).
+pub fn memory_table() -> Vec<MemoryRow> {
+    let mut rows = Vec::new();
+
+    let (pill_main, pill_reg) = hiphop_apps::pillbox::modules();
+    rows.push(memory_row("Lisinopril pillbox", &pill_main, &pill_reg));
+
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let auth = hiphop_apps::login::AuthConfig::single_user(100, "joe", "secret");
+    let (v1, reg1) = hiphop_apps::login::build_v1(el.clone(), &auth);
+    rows.push(memory_row("Login V1", &v1, &reg1));
+    let (v2, reg2) = hiphop_apps::login_v2::build_v2(el, &auth, false);
+    rows.push(memory_row("Login V2 (quarantine)", &v2, &reg2));
+
+    let (excerpt, _) = hiphop_skini::paper_excerpt();
+    rows.push(memory_row(
+        "Skini score (paper excerpt)",
+        &excerpt,
+        &ModuleRegistry::new(),
+    ));
+    for (label, shape) in [
+        ("Skini score (concert)", hiphop_skini::ScoreShape::concert()),
+        (
+            "Skini score (classical)",
+            hiphop_skini::ScoreShape::classical(),
+        ),
+    ] {
+        let (module, _) = hiphop_skini::generate(shape);
+        rows.push(memory_row(label, &module, &ModuleRegistry::new()));
+    }
+    rows
+}
+
+/// E4b: runs a full audience-driven performance of a generated score and
+/// reports reaction latency against the 300 ms musical budget.
+pub fn skini_latency(
+    shape: hiphop_skini::ScoreShape,
+    beats: u64,
+    seed: u64,
+) -> (usize, hiphop_skini::LatencyStats) {
+    let (module, comp) = hiphop_skini::generate(shape);
+    let compiled = compile_module(&module, &ModuleRegistry::new()).expect("score compiles");
+    let nets = compiled.circuit.stats().nets;
+    let mut machine = Machine::new(compiled.circuit);
+    let mut audience = hiphop_skini::Audience::new(seed, 0.9);
+    let report =
+        hiphop_skini::perform(&mut machine, &comp, &mut audience, beats).expect("performs");
+    (nets, report.latency)
+}
+
+/// One row of the A1 optimizer-ablation table.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Application name.
+    pub name: String,
+    /// Nets without the optimizer.
+    pub raw_nets: usize,
+    /// Nets with the optimizer.
+    pub opt_nets: usize,
+    /// Gate-input edges without the optimizer.
+    pub raw_edges: usize,
+    /// Gate-input edges with the optimizer.
+    pub opt_edges: usize,
+}
+
+impl AblationRow {
+    /// Fraction of nets removed.
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.opt_nets as f64 / self.raw_nets as f64
+    }
+}
+
+/// A1 (ablation): effect of the net-level optimizer on the application
+/// suite — one of DESIGN.md's explicit design choices.
+pub fn optimizer_ablation() -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    let mut push = |name: &str, module: &Module, reg: &ModuleRegistry| {
+        let raw = compile_module_with(module, reg, CompileOptions { optimize: false })
+            .expect("compiles")
+            .circuit
+            .stats();
+        let opt = compile_module_with(module, reg, CompileOptions { optimize: true })
+            .expect("compiles")
+            .circuit
+            .stats();
+        rows.push(AblationRow {
+            name: name.to_owned(),
+            raw_nets: raw.nets,
+            opt_nets: opt.nets,
+            raw_edges: raw.fanin_edges,
+            opt_edges: opt.fanin_edges,
+        });
+    };
+    let (pill, pill_reg) = hiphop_apps::pillbox::modules();
+    push("Lisinopril pillbox", &pill, &pill_reg);
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let auth = hiphop_apps::login::AuthConfig::single_user(100, "joe", "secret");
+    let (v1, reg1) = hiphop_apps::login::build_v1(el, &auth);
+    push("Login V1", &v1, &reg1);
+    let (score, _) = hiphop_skini::generate(hiphop_skini::ScoreShape::concert());
+    push("Skini concert score", &score, &ModuleRegistry::new());
+    let synth = synthetic_program(500, 2020);
+    push("synthetic-500", &synth, &ModuleRegistry::new());
+    rows
+}
+
+/// E5: the §3 design claim — `weakabort` works, `abort` deadlocks with a
+/// reported causality error. Returns the strong variant's error message.
+pub fn login_v2_abort_comparison() -> (bool, String) {
+    use hiphop_apps::login::AuthConfig;
+    use hiphop_apps::login_v2::build_v2;
+    use hiphop_eventloop::Driver;
+
+    let drive = |strong: bool| -> Result<(), hiphop_runtime::RuntimeError> {
+        let el = Rc::new(RefCell::new(EventLoop::new()));
+        let auth = AuthConfig::single_user(100, "joe", "secret");
+        let (main, reg) = build_v2(el.clone(), &auth, strong);
+        let machine = hiphop_runtime::machine_for(&main, &reg).expect("compiles");
+        let d = Driver {
+            machine: Rc::new(RefCell::new(machine)),
+            el,
+        };
+        d.react(&[])?;
+        d.react(&[("name", Value::from("joe"))])?;
+        d.react(&[("passwd", Value::from("wrong!"))])?;
+        for _ in 0..3 {
+            d.react(&[("login", Value::Bool(true))])?;
+            d.advance_by(150)?;
+        }
+        Ok(())
+    };
+    let weak_ok = drive(false).is_ok();
+    let strong_err = drive(true)
+        .expect_err("strong abort must deadlock")
+        .to_string();
+    (weak_ok, strong_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::linear_fit;
+
+    #[test]
+    fn size_sweep_rows_are_monotone_in_nets() {
+        let rows = size_sweep(&[20, 80, 320], 11);
+        assert!(rows[0].nets < rows[1].nets && rows[1].nets < rows[2].nets);
+        let fit = linear_fit(
+            &rows
+                .iter()
+                .map(|r| (r.stmts as f64, r.nets as f64))
+                .collect::<Vec<_>>(),
+        );
+        assert!(fit.r2 > 0.9, "nets ~ linear in statements: {fit:?}");
+    }
+
+    #[test]
+    fn memory_table_contains_all_apps() {
+        let rows = memory_table();
+        assert!(rows.iter().any(|r| r.name.contains("Lisinopril")));
+        assert!(rows.iter().any(|r| r.name.contains("classical")));
+        for r in &rows {
+            assert!(r.nets > 0 && r.bytes > 0, "{r:?}");
+        }
+        // The classical score is the biggest program.
+        let classical = rows.iter().find(|r| r.name.contains("classical")).unwrap();
+        assert!(classical.nets > 3000, "classical score is large: {classical:?}");
+    }
+
+    #[test]
+    fn e5_comparison_matches_the_paper() {
+        let (weak_ok, strong_err) = login_v2_abort_comparison();
+        assert!(weak_ok);
+        assert!(strong_err.contains("causality"), "{strong_err}");
+    }
+
+    #[test]
+    fn skini_latency_well_under_budget() {
+        let (nets, lat) = skini_latency(hiphop_skini::ScoreShape::small(), 50, 3);
+        assert!(nets > 0);
+        assert!(lat.max_ms() < 300.0, "{} ms", lat.max_ms());
+    }
+}

@@ -1,0 +1,12 @@
+//! Workload generators and experiment runners for the paper's §5.3
+//! evaluation (experiments E1–E5 of DESIGN.md / EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod experiments;
+pub mod stats;
+
+pub use experiments::*;
+pub use gen::{schizophrenic_program, synthetic_program};
+pub use stats::{linear_fit, Fit};

@@ -1,0 +1,85 @@
+//! Least-squares fitting for the linearity claims (E1/E2a/E4a).
+
+/// A linear fit `y ≈ slope·x + intercept` with its coefficient of
+/// determination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// R² goodness of fit (1 = perfectly linear).
+    pub r2: f64,
+}
+
+/// Ordinary least squares over (x, y) pairs.
+///
+/// # Panics
+///
+/// Panics on fewer than two points.
+pub fn linear_fit(points: &[(f64, f64)]) -> Fit {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let slope = if denom.abs() < f64::EPSILON {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    };
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot.abs() < f64::EPSILON {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Fit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-9);
+        assert!((f.intercept - 1.0).abs() < 1e-9);
+        assert!(f.r2 > 0.999999);
+    }
+
+    #[test]
+    fn noisy_line_still_high_r2() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            })
+            .collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 2.0).abs() < 0.05);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn quadratic_data_has_poor_linear_r2_on_log() {
+        // Exponential data fits a line badly.
+        let pts: Vec<(f64, f64)> = (1..8).map(|i| (i as f64, 2f64.powi(i))).collect();
+        let f = linear_fit(&pts);
+        assert!(f.r2 < 0.95, "exponential should not look linear: {}", f.r2);
+    }
+}

@@ -1,0 +1,782 @@
+//! The circuit container: nets, registers, signals, counters, asyncs,
+//! plus construction helpers, validation, statistics, and static cycle
+//! analysis.
+
+use crate::net::{
+    Action, ActionId, AsyncId, AsyncInfo, CounterId, CounterInfo, Fanin, Net, NetId, NetKind,
+    RegId, Register, SignalId, SignalInfo, TestKind,
+};
+use hiphop_core::ast::Loc;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An augmented boolean circuit (paper §5.1) ready for simulation.
+///
+/// Built by `hiphop-compiler`; executed by `hiphop-runtime`. The structure
+/// is append-only during construction and sealed by [`Circuit::finalize`],
+/// which computes fanouts and dependency fanouts for the linear-time
+/// simulation (paper §5.2: "execution is linear in the number of net
+/// connections and data dependencies").
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    /// Program name.
+    pub name: String,
+    nets: Vec<Net>,
+    registers: Vec<Register>,
+    signals: Vec<SignalInfo>,
+    counters: Vec<CounterInfo>,
+    asyncs: Vec<AsyncInfo>,
+    actions: Vec<Action>,
+    by_name: HashMap<String, SignalId>,
+    /// Net that is 1 exactly at the first reaction (the "boot" wire).
+    pub boot_net: Option<NetId>,
+    /// Root completion net: 1 when the whole program terminates.
+    pub terminated_net: Option<NetId>,
+    /// Fanouts with the consuming edge's polarity, computed by
+    /// [`Circuit::finalize`].
+    fanouts: Vec<Vec<(NetId, bool)>>,
+    /// Dependency fanouts (which nets wait on me), computed by finalize.
+    dep_fanouts: Vec<Vec<NetId>>,
+    finalized: bool,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new(name: impl Into<String>) -> Circuit {
+        Circuit {
+            name: name.into(),
+            ..Circuit::default()
+        }
+    }
+
+    fn push_net(&mut self, net: Net) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(net);
+        id
+    }
+
+    /// Adds an OR gate over `fanins`.
+    pub fn or(&mut self, fanins: Vec<Fanin>, label: &'static str) -> NetId {
+        self.push_net(Net {
+            kind: NetKind::Or,
+            fanins,
+            action: None,
+            deps: Vec::new(),
+            label,
+            loc: Loc::synthetic(),
+            sig_hint: None,
+        })
+    }
+
+    /// Adds an AND gate over `fanins`.
+    pub fn and(&mut self, fanins: Vec<Fanin>, label: &'static str) -> NetId {
+        self.push_net(Net {
+            kind: NetKind::And,
+            fanins,
+            action: None,
+            deps: Vec::new(),
+            label,
+            loc: Loc::synthetic(),
+            sig_hint: None,
+        })
+    }
+
+    /// Adds a constant net.
+    pub fn constant(&mut self, v: bool, label: &'static str) -> NetId {
+        self.push_net(Net {
+            kind: NetKind::Const(v),
+            fanins: Vec::new(),
+            action: None,
+            deps: Vec::new(),
+            label,
+            loc: Loc::synthetic(),
+            sig_hint: None,
+        })
+    }
+
+    /// Adds an environment input net.
+    pub fn input(&mut self, label: &'static str) -> NetId {
+        self.push_net(Net {
+            kind: NetKind::Input,
+            fanins: Vec::new(),
+            action: None,
+            deps: Vec::new(),
+            label,
+            loc: Loc::synthetic(),
+            sig_hint: None,
+        })
+    }
+
+    /// Adds a test net controlled by `control`.
+    pub fn test(&mut self, control: NetId, kind: TestKind, label: &'static str) -> NetId {
+        self.push_net(Net {
+            kind: NetKind::Test(kind),
+            fanins: vec![Fanin::pos(control)],
+            action: None,
+            deps: Vec::new(),
+            label,
+            loc: Loc::synthetic(),
+            sig_hint: None,
+        })
+    }
+
+    /// Adds a register; returns `(reg, output_net)`. The input net is set
+    /// later with [`Circuit::set_register_input`] (bodies are translated
+    /// before their surrounding control wires exist).
+    pub fn register(&mut self, init: bool, label: &'static str) -> (RegId, NetId) {
+        let reg = RegId(self.registers.len() as u32);
+        let out = self.push_net(Net {
+            kind: NetKind::RegOut(reg),
+            fanins: Vec::new(),
+            action: None,
+            deps: Vec::new(),
+            label,
+            loc: Loc::synthetic(),
+            sig_hint: None,
+        });
+        self.registers.push(Register {
+            input: out, // placeholder, replaced by set_register_input
+            output: out,
+            init,
+            label,
+        });
+        (reg, out)
+    }
+
+    /// Connects a register's input equation.
+    pub fn set_register_input(&mut self, reg: RegId, input: NetId) {
+        self.registers[reg.index()].input = input;
+    }
+
+    /// Appends a fanin to an existing gate (used to OR contributions into
+    /// signal status nets and register inputs incrementally).
+    pub fn add_fanin(&mut self, net: NetId, fanin: Fanin) {
+        debug_assert!(matches!(
+            self.nets[net.index()].kind,
+            NetKind::Or | NetKind::And
+        ));
+        self.nets[net.index()].fanins.push(fanin);
+    }
+
+    /// Attaches an action to a net.
+    pub fn attach_action(&mut self, net: NetId, action: Action) -> ActionId {
+        let id = ActionId(self.actions.len() as u32);
+        self.actions.push(action);
+        assert!(
+            self.nets[net.index()].action.is_none(),
+            "net {net} already has an action"
+        );
+        self.nets[net.index()].action = Some(id);
+        id
+    }
+
+    /// Adds a data dependency: `net` must wait for `on` to resolve. A
+    /// self-dependency is kept: it makes the net unresolvable, which the
+    /// runtime reports as a causality error (e.g. `emit S(S.nowval)`).
+    pub fn add_dep(&mut self, net: NetId, on: NetId) {
+        if !self.nets[net.index()].deps.contains(&on) {
+            self.nets[net.index()].deps.push(on);
+        }
+    }
+
+    /// Declares a signal instance. The status net must already exist.
+    pub fn add_signal(&mut self, info: SignalInfo) -> SignalId {
+        let id = SignalId(self.signals.len() as u32);
+        self.by_name.insert(info.name.clone(), id);
+        self.signals.push(info);
+        id
+    }
+
+    /// Registers an emitter net for a signal (value-readiness tracking).
+    pub fn add_emitter(&mut self, signal: SignalId, net: NetId) {
+        self.signals[signal.index()].emitters.push(net);
+    }
+
+    /// Declares a delay counter.
+    pub fn add_counter(&mut self, label: &'static str) -> CounterId {
+        let id = CounterId(self.counters.len() as u32);
+        self.counters.push(CounterInfo { label });
+        id
+    }
+
+    /// Declares an async instance.
+    pub fn add_async(&mut self, info: AsyncInfo) -> AsyncId {
+        let id = AsyncId(self.asyncs.len() as u32);
+        self.asyncs.push(info);
+        id
+    }
+
+    /// Sets the debug metadata of a net.
+    pub fn describe(&mut self, net: NetId, loc: Loc, sig_hint: Option<SignalId>) {
+        let n = &mut self.nets[net.index()];
+        n.loc = loc;
+        n.sig_hint = sig_hint;
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+    /// All registers.
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+    /// All signals.
+    pub fn signals(&self) -> &[SignalInfo] {
+        &self.signals
+    }
+    /// All counters.
+    pub fn counters(&self) -> &[CounterInfo] {
+        &self.counters
+    }
+    /// All async instances.
+    pub fn asyncs(&self) -> &[AsyncInfo] {
+        &self.asyncs
+    }
+    /// All actions.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+    /// A net by id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+    /// A signal by id.
+    pub fn signal(&self, id: SignalId) -> &SignalInfo {
+        &self.signals[id.index()]
+    }
+    /// Looks a signal up by (linked) name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.by_name.get(name).copied()
+    }
+    /// Fanouts of a net with the consuming edge's polarity (requires
+    /// [`Circuit::finalize`]).
+    pub fn fanouts(&self, id: NetId) -> &[(NetId, bool)] {
+        &self.fanouts[id.index()]
+    }
+    /// Nets depending on `id` (requires [`Circuit::finalize`]).
+    pub fn dep_fanouts(&self, id: NetId) -> &[NetId] {
+        &self.dep_fanouts[id.index()]
+    }
+    /// Whether [`Circuit::finalize`] has run.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    // ------------------------------------------------------------------
+    // Sealing.
+
+    /// Computes fanout and dependency-fanout tables; call once after
+    /// construction.
+    pub fn finalize(&mut self) {
+        let n = self.nets.len();
+        let mut fanouts: Vec<Vec<(NetId, bool)>> = vec![Vec::new(); n];
+        let mut dep_fanouts = vec![Vec::new(); n];
+        for (i, net) in self.nets.iter().enumerate() {
+            for f in &net.fanins {
+                fanouts[f.net.index()].push((NetId(i as u32), f.negated));
+            }
+            for d in &net.deps {
+                dep_fanouts[d.index()].push(NetId(i as u32));
+            }
+        }
+        self.fanouts = fanouts;
+        self.dep_fanouts = dep_fanouts;
+        self.finalized = true;
+    }
+
+    /// Structural sanity checks; panics on an internally inconsistent
+    /// circuit (compiler bug), returns `self` for chaining in tests.
+    ///
+    /// # Panics
+    ///
+    /// On dangling net references, tests without exactly one control
+    /// fanin, inputs/constants/registers with fanins, or actions referring
+    /// to out-of-range entities.
+    pub fn validate(&self) {
+        let n = self.nets.len() as u32;
+        for (i, net) in self.nets.iter().enumerate() {
+            for f in &net.fanins {
+                assert!(f.net.0 < n, "net {i}: dangling fanin {}", f.net);
+            }
+            for d in &net.deps {
+                assert!(d.0 < n, "net {i}: dangling dep {d}");
+            }
+            match &net.kind {
+                NetKind::Input | NetKind::Const(_) | NetKind::RegOut(_) => {
+                    assert!(net.fanins.is_empty(), "net {i} ({:?}) has fanins", net.kind);
+                }
+                NetKind::Test(_) => {
+                    assert_eq!(net.fanins.len(), 1, "test net {i} needs 1 control fanin");
+                }
+                NetKind::Or | NetKind::And => {}
+            }
+            if let Some(a) = net.action {
+                assert!((a.0 as usize) < self.actions.len(), "net {i}: bad action");
+            }
+        }
+        for (i, r) in self.registers.iter().enumerate() {
+            assert!(r.input.0 < n, "register {i}: dangling input");
+            assert!(
+                matches!(self.nets[r.output.index()].kind, NetKind::RegOut(id) if id.index() == i),
+                "register {i}: output net mismatch"
+            );
+        }
+        for s in &self.signals {
+            assert!(s.status_net.0 < n);
+            assert!(s.pre_net.0 < n);
+            for e in &s.emitters {
+                assert!(e.0 < n);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rewriting (used by the optimizer; circuit must not be finalized).
+
+    /// Replaces a net's fanins and dependency list.
+    pub fn set_net_edges(&mut self, id: NetId, fanins: Vec<Fanin>, deps: Vec<NetId>) {
+        assert!(!self.finalized, "cannot rewrite a finalized circuit");
+        let n = &mut self.nets[id.index()];
+        n.fanins = fanins;
+        n.deps = deps;
+    }
+
+    /// Redirects every structural net reference (register inputs, signal
+    /// nets, emitter lists, async notify wires, boot/terminated) through
+    /// `f`.
+    pub fn remap_references(&mut self, f: &mut dyn FnMut(NetId) -> NetId) {
+        assert!(!self.finalized, "cannot rewrite a finalized circuit");
+        for r in &mut self.registers {
+            r.input = f(r.input);
+            // r.output is a RegOut net, never redirected.
+        }
+        for s in &mut self.signals {
+            s.status_net = f(s.status_net);
+            s.pre_net = f(s.pre_net);
+            if let Some(i) = &mut s.input_net {
+                *i = f(*i);
+            }
+            for e in &mut s.emitters {
+                *e = f(*e);
+            }
+        }
+        for a in &mut self.asyncs {
+            a.notify_net = f(a.notify_net);
+        }
+        if let Some(b) = &mut self.boot_net {
+            *b = f(*b);
+        }
+        if let Some(t) = &mut self.terminated_net {
+            *t = f(*t);
+        }
+    }
+
+    /// Drops nets whose `live` flag is false, compacting net and register
+    /// ids and remapping every reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live net references a dead one (the caller must mark
+    /// transitively).
+    pub fn compact_nets(&mut self, live: &[bool]) {
+        assert!(!self.finalized, "cannot rewrite a finalized circuit");
+        assert_eq!(live.len(), self.nets.len());
+        let mut net_map: Vec<Option<NetId>> = vec![None; self.nets.len()];
+        let mut next = 0u32;
+        for (i, &alive) in live.iter().enumerate() {
+            if alive {
+                net_map[i] = Some(NetId(next));
+                next += 1;
+            }
+        }
+        let remap = |id: NetId| -> NetId {
+            net_map[id.index()].unwrap_or_else(|| panic!("live net references dead net {id}"))
+        };
+
+        // Registers live iff their output net is live.
+        let mut reg_map: Vec<Option<RegId>> = vec![None; self.registers.len()];
+        let mut new_regs = Vec::new();
+        for (i, r) in self.registers.iter().enumerate() {
+            if live[r.output.index()] {
+                reg_map[i] = Some(RegId(new_regs.len() as u32));
+                new_regs.push(Register {
+                    input: remap(r.input),
+                    output: remap(r.output),
+                    init: r.init,
+                    label: r.label,
+                });
+            }
+        }
+
+        let old = std::mem::take(&mut self.nets);
+        for (i, mut net) in old.into_iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            for f in &mut net.fanins {
+                f.net = remap(f.net);
+            }
+            for d in &mut net.deps {
+                *d = remap(*d);
+            }
+            if let NetKind::RegOut(r) = &mut net.kind {
+                *r = reg_map[r.index()].expect("live RegOut has live register");
+            }
+            self.nets.push(net);
+        }
+        self.registers = new_regs;
+        for s in &mut self.signals {
+            s.status_net = remap(s.status_net);
+            s.pre_net = remap(s.pre_net);
+            if let Some(i) = &mut s.input_net {
+                *i = remap(*i);
+            }
+            for e in &mut s.emitters {
+                *e = remap(*e);
+            }
+        }
+        for a in &mut self.asyncs {
+            a.notify_net = remap(a.notify_net);
+        }
+        if let Some(b) = &mut self.boot_net {
+            *b = remap(*b);
+        }
+        if let Some(t) = &mut self.terminated_net {
+            *t = remap(*t);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Analyses.
+
+    /// Strongly connected components of the combinational graph with more
+    /// than one net (or a self-loop). These are the *potential* causality
+    /// cycles the paper says deserve a compile-time warning; at runtime
+    /// they may still evaluate constructively.
+    pub fn static_cycles(&self) -> Vec<Vec<NetId>> {
+        // Tarjan over combinational fanin edges + data dependencies
+        // (registers break cycles by construction).
+        let n = self.nets.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        let mut out = Vec::new();
+
+        // Iterative Tarjan to avoid stack overflow on big circuits.
+        #[derive(Clone)]
+        struct Frame {
+            v: usize,
+            edge: usize,
+        }
+        let succ = |v: usize| -> Vec<usize> {
+            let net = &self.nets[v];
+            let mut s: Vec<usize> =
+                net.fanins.iter().map(|f| f.net.index()).collect();
+            s.extend(net.deps.iter().map(|d| d.index()));
+            s
+        };
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut frames = vec![Frame { v: start, edge: 0 }];
+            index[start] = next;
+            low[start] = next;
+            next += 1;
+            stack.push(start);
+            on_stack[start] = true;
+            while let Some(fr) = frames.last_mut() {
+                let v = fr.v;
+                let succs = succ(v);
+                if fr.edge < succs.len() {
+                    let w = succs[fr.edge];
+                    fr.edge += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next;
+                        low[w] = next;
+                        next += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push(Frame { v: w, edge: 0 });
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack");
+                            on_stack[w] = false;
+                            comp.push(NetId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let self_loop = comp.len() == 1
+                            && succ(comp[0].index()).contains(&comp[0].index());
+                        if comp.len() > 1 || self_loop {
+                            comp.sort();
+                            out.push(comp);
+                        }
+                    }
+                    frames.pop();
+                    if let Some(parent) = frames.last() {
+                        let pv = parent.v;
+                        low[pv] = low[pv].min(low[v]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Statistics for the paper's §5.3 measurements.
+    pub fn stats(&self) -> CircuitStats {
+        let fanin_edges = self.nets.iter().map(|x| x.fanins.len()).sum();
+        let dep_edges = self.nets.iter().map(|x| x.deps.len()).sum();
+        CircuitStats {
+            nets: self.nets.len(),
+            registers: self.registers.len(),
+            signals: self.signals.len(),
+            counters: self.counters.len(),
+            asyncs: self.asyncs.len(),
+            actions: self.actions.len(),
+            fanin_edges,
+            dep_edges,
+            bytes: self.memory_bytes(),
+        }
+    }
+
+    /// Estimated memory footprint of the circuit structure in bytes
+    /// (struct sizes plus owned heap), the analogue of the paper's
+    /// "192 to 216 bytes per net" JavaScript accounting.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = size_of::<Circuit>();
+        for net in &self.nets {
+            total += size_of::<Net>();
+            total += net.fanins.capacity() * size_of::<Fanin>();
+            total += net.deps.capacity() * size_of::<NetId>();
+        }
+        total += self.registers.capacity() * size_of::<Register>();
+        total += self.actions.capacity() * size_of::<Action>();
+        for v in &self.fanouts {
+            total += v.capacity() * size_of::<(NetId, bool)>() + size_of::<Vec<(NetId, bool)>>();
+        }
+        for v in &self.dep_fanouts {
+            total += v.capacity() * size_of::<NetId>() + size_of::<Vec<NetId>>();
+        }
+        for s in &self.signals {
+            total += size_of::<SignalInfo>()
+                + s.name.capacity()
+                + s.emitters.capacity() * size_of::<NetId>();
+        }
+        total += self.counters.capacity() * size_of::<CounterInfo>();
+        total += self.asyncs.capacity() * size_of::<AsyncInfo>();
+        total
+    }
+
+    /// Graphviz dot rendering for debugging small circuits.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(s, "  rankdir=LR; node [fontsize=9];");
+        for (i, net) in self.nets.iter().enumerate() {
+            let shape = match net.kind {
+                NetKind::Or => "ellipse",
+                NetKind::And => "box",
+                NetKind::Input => "invtriangle",
+                NetKind::Const(_) => "plaintext",
+                NetKind::RegOut(_) => "doublecircle",
+                NetKind::Test(_) => "diamond",
+            };
+            let extra = match net.kind {
+                NetKind::Const(v) => format!("={}", v as u8),
+                _ => String::new(),
+            };
+            let act = if net.action.is_some() { "*" } else { "" };
+            let _ = writeln!(
+                s,
+                "  n{i} [label=\"{}{}{}#{i}\", shape={shape}];",
+                net.label, extra, act
+            );
+            for f in &net.fanins {
+                let style = if f.negated { " [arrowhead=odot]" } else { "" };
+                let _ = writeln!(s, "  n{} -> n{i}{style};", f.net.index());
+            }
+            for d in &net.deps {
+                let _ = writeln!(s, "  n{} -> n{i} [style=dashed,color=gray];", d.index());
+            }
+        }
+        for r in &self.registers {
+            let _ = writeln!(
+                s,
+                "  n{} -> n{} [style=dotted,label=\"reg\"];",
+                r.input.index(),
+                r.output.index()
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Aggregate circuit statistics (experiments E2/E3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of registers.
+    pub registers: usize,
+    /// Number of signal instances.
+    pub signals: usize,
+    /// Number of delay counters.
+    pub counters: usize,
+    /// Number of async instances.
+    pub asyncs: usize,
+    /// Number of attached actions.
+    pub actions: usize,
+    /// Total gate-input connections.
+    pub fanin_edges: usize,
+    /// Total data-dependency edges.
+    pub dep_edges: usize,
+    /// Estimated structure memory in bytes.
+    pub bytes: usize,
+}
+
+impl CircuitStats {
+    /// Average bytes per net (the paper reports 192–216 B/net for the
+    /// JavaScript object representation).
+    pub fn bytes_per_net(&self) -> f64 {
+        if self.nets == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.nets as f64
+        }
+    }
+    /// Average connections per net (the paper: "nodes are on average
+    /// connected to two other nets").
+    pub fn avg_fanin(&self) -> f64 {
+        if self.nets == 0 {
+            0.0
+        } else {
+            self.fanin_edges as f64 / self.nets as f64
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nets, {} regs, {} signals, {} edges (+{} deps), {:.1} B/net, {} KB",
+            self.nets,
+            self.registers,
+            self.signals,
+            self.fanin_edges,
+            self.dep_edges,
+            self.bytes_per_net(),
+            self.bytes / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_circuit() {
+        let mut c = Circuit::new("t");
+        let a = c.input("a");
+        let b = c.input("b");
+        let o = c.or(vec![Fanin::pos(a), Fanin::neg(b)], "o");
+        let (reg, out) = c.register(false, "r");
+        c.set_register_input(reg, o);
+        c.finalize();
+        c.validate();
+        assert_eq!(c.nets().len(), 4);
+        assert_eq!(c.fanouts(a), &[(o, false)]);
+        assert_eq!(c.fanouts(b), &[(o, true)]);
+        assert!(c.fanouts(out).is_empty());
+        assert_eq!(c.registers()[0].input, o);
+    }
+
+    #[test]
+    fn stats_counts_edges() {
+        let mut c = Circuit::new("t");
+        let a = c.input("a");
+        let b = c.or(vec![Fanin::pos(a)], "b");
+        let _ = c.and(vec![Fanin::pos(a), Fanin::pos(b)], "c");
+        c.finalize();
+        let st = c.stats();
+        assert_eq!(st.nets, 3);
+        assert_eq!(st.fanin_edges, 3);
+        assert!(st.bytes > 0);
+        assert!(st.bytes_per_net() > 0.0);
+        assert!(st.avg_fanin() > 0.9);
+    }
+
+    #[test]
+    fn static_cycle_detection_finds_x_not_x() {
+        // X = not X: a single OR net with a negated self fanin.
+        let mut c = Circuit::new("cycle");
+        let x = c.or(vec![], "x");
+        c.add_fanin(x, Fanin::neg(x));
+        c.finalize();
+        let cycles = c.static_cycles();
+        assert_eq!(cycles, vec![vec![x]]);
+    }
+
+    #[test]
+    fn static_cycle_detection_finds_mutual_pair() {
+        let mut c = Circuit::new("cycle2");
+        let a = c.or(vec![], "a");
+        let b = c.or(vec![Fanin::pos(a)], "b");
+        c.add_fanin(a, Fanin::pos(b));
+        // An acyclic bystander.
+        let _ = c.and(vec![Fanin::pos(b)], "c");
+        c.finalize();
+        let cycles = c.static_cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], vec![a, b]);
+    }
+
+    #[test]
+    fn registers_break_cycles() {
+        let mut c = Circuit::new("reg");
+        let (reg, out) = c.register(false, "r");
+        let next = c.or(vec![Fanin::neg(out)], "next");
+        c.set_register_input(reg, next);
+        c.finalize();
+        assert!(c.static_cycles().is_empty());
+    }
+
+    #[test]
+    fn dot_output_mentions_nets() {
+        let mut c = Circuit::new("d");
+        let a = c.input("inA");
+        let _ = c.or(vec![Fanin::neg(a)], "gate");
+        let dot = c.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("inA"));
+        assert!(dot.contains("arrowhead=odot"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an action")]
+    fn double_action_panics() {
+        let mut c = Circuit::new("a");
+        let n = c.or(vec![], "n");
+        let sig = SignalId(0);
+        c.attach_action(n, Action::Emit { signal: sig, value: None });
+        c.attach_action(n, Action::Emit { signal: sig, value: None });
+    }
+}

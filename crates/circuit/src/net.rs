@@ -1,0 +1,251 @@
+//! Nets — the wires of an augmented boolean circuit.
+//!
+//! "A net is a hardware name for boolean variables" (paper §5.1). Input
+//! nets have no equation; other nets have a single defining equation:
+//! combinational (`And`/`Or` over possibly negated fanins), a register
+//! output (unit delay), a constant, or a *test* (a host data expression
+//! evaluated when the control fanin is true). Nets can additionally be
+//! *augmented* with an action (a side effect run when the net stabilizes
+//! to 1) and with data dependencies to other nets, which constrain the
+//! micro-scheduling exactly as described in the paper.
+
+use hiphop_core::ast::{AsyncSpec, AtomBody, Loc};
+use hiphop_core::expr::Expr;
+use hiphop_core::signal::{Combine, Direction};
+use hiphop_core::value::Value;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The index as usize.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a net within its circuit.
+    NetId
+);
+id_type!(
+    /// Identifier of a register.
+    RegId
+);
+id_type!(
+    /// Identifier of a signal instance.
+    SignalId
+);
+id_type!(
+    /// Identifier of a delay counter (counted `await`/`abort`).
+    CounterId
+);
+id_type!(
+    /// Identifier of an `async` statement instance in the circuit.
+    AsyncId
+);
+id_type!(
+    /// Identifier of an action.
+    ActionId
+);
+
+/// One input of a combinational gate, with optional negation (this is how
+/// `not` is represented; no dedicated NOT nets are needed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fanin {
+    /// The driving net.
+    pub net: NetId,
+    /// Whether the value is inverted.
+    pub negated: bool,
+}
+
+impl Fanin {
+    /// Positive fanin.
+    pub fn pos(net: NetId) -> Fanin {
+        Fanin {
+            net,
+            negated: false,
+        }
+    }
+    /// Negated fanin.
+    pub fn neg(net: NetId) -> Fanin {
+        Fanin { net, negated: true }
+    }
+}
+
+/// The defining equation of a net.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetKind {
+    /// Disjunction of the fanins. An `Or` with no fanins is constant 0.
+    Or,
+    /// Conjunction of the fanins. An `And` with no fanins is constant 1.
+    And,
+    /// Set by the environment before each reaction (input signals, async
+    /// notification wires).
+    Input,
+    /// A constant.
+    Const(bool),
+    /// Output of a register (unit delay): holds the value computed for the
+    /// register input net at the previous reaction.
+    RegOut(RegId),
+    /// A data test: when the single control fanin is 1, the expression is
+    /// evaluated (after the net's data dependencies resolve) and its
+    /// truthiness is the net value; when the control is 0 the net is 0.
+    Test(TestKind),
+}
+
+/// What a test net evaluates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestKind {
+    /// A boolean host expression.
+    Expr(Expr),
+    /// A counted-delay check: when the control fires, evaluate `cond`; if
+    /// true, decrement the counter; the net is 1 when the counter reaches
+    /// zero (paper: `await count(attempts, sig.now)`).
+    CounterElapsed {
+        /// The counter to decrement.
+        counter: CounterId,
+        /// The occurrence condition.
+        cond: Expr,
+    },
+}
+
+/// A side effect attached to a net, run when the net stabilizes to 1 and
+/// its data dependencies have resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Emit a signal, optionally computing a value.
+    Emit {
+        /// Target signal.
+        signal: SignalId,
+        /// Emitted value (None for pure emissions).
+        value: Option<Expr>,
+    },
+    /// Execute a `hop { ... }` atom.
+    Atom(AtomBody),
+    /// (Re)initialize a delay counter.
+    CounterReset {
+        /// The counter.
+        counter: CounterId,
+        /// The new count.
+        value: Expr,
+    },
+    /// Start an async instance (runs its spawn hook).
+    AsyncSpawn(AsyncId),
+    /// Kill an async instance (runs its kill hook).
+    AsyncKill(AsyncId),
+    /// Suspend notification for an async instance.
+    AsyncSuspend(AsyncId),
+    /// Resume notification for an async instance.
+    AsyncResume(AsyncId),
+    /// Async completion: emit the completion signal with the notified
+    /// value and clear the instance.
+    AsyncDone(AsyncId),
+}
+
+/// A net with its equation, augmentation and debug metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// The defining equation.
+    pub kind: NetKind,
+    /// Gate inputs (combinational kinds) or the single control (tests).
+    pub fanins: Vec<Fanin>,
+    /// Attached side effect.
+    pub action: Option<ActionId>,
+    /// Data dependencies: nets that must *resolve* (value known and action
+    /// done) before this net's test/action may run.
+    pub deps: Vec<NetId>,
+    /// Debug label (e.g. `abort.elapsed`, `emit connState`).
+    pub label: &'static str,
+    /// Source location of the originating statement.
+    pub loc: Loc,
+    /// Signal whose scheduling this net participates in, for diagnostics.
+    pub sig_hint: Option<SignalId>,
+}
+
+/// A unit-delay register (paper §5.1 "register equation").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Register {
+    /// Net computing the next value during the reaction.
+    pub input: NetId,
+    /// The `RegOut` net exposing the current value.
+    pub output: NetId,
+    /// Value before the first reaction.
+    pub init: bool,
+    /// Debug label.
+    pub label: &'static str,
+}
+
+/// A compiled signal instance.
+#[derive(Debug, Clone)]
+pub struct SignalInfo {
+    /// The (linked, unique) signal name.
+    pub name: String,
+    /// Interface direction (`Local` for program-internal signals).
+    pub direction: Direction,
+    /// Initial value.
+    pub init: Option<Value>,
+    /// Combine function for simultaneous emissions.
+    pub combine: Option<Combine>,
+    /// The status net (1 iff the signal is present this instant).
+    pub status_net: NetId,
+    /// Register output holding the previous instant's status (`S.pre`).
+    pub pre_net: NetId,
+    /// Environment injection net for `in`/`inout` signals.
+    pub input_net: Option<NetId>,
+    /// All nets whose action may emit this signal; readers of the signal's
+    /// value depend on every one of them.
+    pub emitters: Vec<NetId>,
+}
+
+/// A compiled delay counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterInfo {
+    /// Debug label.
+    pub label: &'static str,
+}
+
+/// A compiled `async` statement instance.
+#[derive(Debug, Clone)]
+pub struct AsyncInfo {
+    /// Hooks and completion signal (resolved to [`SignalId`] in `signal`).
+    pub spec: AsyncSpec,
+    /// Completion signal if any.
+    pub signal: Option<SignalId>,
+    /// Input net pulsed by the runtime when the host activity notifies.
+    pub notify_net: NetId,
+    /// Debug label.
+    pub label: &'static str,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanin_constructors() {
+        let f = Fanin::pos(NetId(3));
+        assert!(!f.negated);
+        let g = Fanin::neg(NetId(3));
+        assert!(g.negated);
+        assert_eq!(f.net, g.net);
+    }
+
+    #[test]
+    fn id_display_and_index() {
+        assert_eq!(NetId(7).to_string(), "NetId(7)");
+        assert_eq!(RegId(2).index(), 2);
+    }
+}

@@ -1,0 +1,534 @@
+//! The `hiphopc` driver library: everything the command-line compiler
+//! does, exposed as functions so it can be tested without spawning
+//! processes.
+//!
+//! Subcommands:
+//!
+//! - `check`  — parse + link + static checks;
+//! - `stats`  — circuit statistics after compilation;
+//! - `pretty` — pretty-print the linked program;
+//! - `dot`    — Graphviz rendering of the compiled circuit;
+//! - `run`    — interactive reaction loop: each input line is one instant,
+//!   `sig` or `sig=value` tokens set inputs, outputs are printed.
+
+#![warn(missing_docs)]
+
+use hiphop_compiler::{compile_module_with, CompileOptions};
+use hiphop_core::module::link;
+use hiphop_core::value::Value;
+use hiphop_lang::{parse_file, HostRegistry};
+use hiphop_runtime::Machine;
+use std::fmt::Write as _;
+
+/// A CLI failure, rendered to stderr by `main`.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for CliError {}
+
+fn fail(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Subcommand.
+    pub command: String,
+    /// Source file path.
+    pub file: String,
+    /// Main module name (defaults to the last module in the file).
+    pub main: Option<String>,
+    /// Disable the optimizer.
+    pub no_optimize: bool,
+    /// Stimulus for `trace` (instants separated by `;`).
+    pub stimulus: Option<String>,
+}
+
+/// Parses `argv` (without the program name).
+///
+/// # Errors
+///
+/// Fails on unknown flags or missing arguments.
+pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| fail(USAGE))?
+        .clone();
+    if command == "--help" || command == "-h" || command == "help" {
+        return Err(fail(USAGE));
+    }
+    let mut file = None;
+    let mut main = None;
+    let mut no_optimize = false;
+    let mut stimulus = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--main" => {
+                main = Some(
+                    it.next()
+                        .ok_or_else(|| fail("--main needs a module name"))?
+                        .clone(),
+                )
+            }
+            "--stimulus" => {
+                stimulus = Some(
+                    it.next()
+                        .ok_or_else(|| fail("--stimulus needs a string"))?
+                        .clone(),
+                )
+            }
+            "--no-optimize" => no_optimize = true,
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_owned());
+            }
+            other => return Err(fail(format!("unknown argument `{other}`\n{USAGE}"))),
+        }
+    }
+    Ok(Options {
+        command,
+        file: file.ok_or_else(|| fail(format!("missing source file\n{USAGE}")))?,
+        main,
+        no_optimize,
+        stimulus,
+    })
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: hiphopc <check|stats|pretty|dot|run|trace|oracle> FILE [--main MODULE] [--no-optimize] [--stimulus S]
+  check   parse, link and statically check the program
+  stats   print circuit statistics after compilation
+  pretty  pretty-print the linked program
+  dot     print a Graphviz rendering of the circuit
+  run     interactive: one line per instant, `sig` or `sig=value` tokens;
+          a lone `?` prints the control state without reacting
+  trace   render the output waveform for --stimulus \"A;B;;A B\"
+  oracle  run --stimulus through the machine AND the reference
+          interpreter, reporting any disagreement";
+
+fn load(
+    source: &str,
+    main: Option<&str>,
+) -> Result<(hiphop_core::module::Module, hiphop_core::module::ModuleRegistry), CliError> {
+    let registry =
+        parse_file(source, &HostRegistry::new()).map_err(|e| fail(e.to_string()))?;
+    let main_module = match main {
+        Some(name) => registry
+            .get(name)
+            .cloned()
+            .ok_or_else(|| fail(format!("no module named `{name}`")))?,
+        None => {
+            let mut all: Vec<_> = registry.iter().collect();
+            if all.len() == 1 {
+                all.pop().expect("len checked").clone()
+            } else {
+                return Err(fail(format!(
+                    "file defines {} modules; pick one with --main ({})",
+                    all.len(),
+                    all.iter().map(|m| m.name.as_str()).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+    };
+    Ok((main_module, registry))
+}
+
+/// `check`: parse + link + static checks. Returns the report text.
+///
+/// # Errors
+///
+/// Fails on parse/link/check errors.
+pub fn cmd_check(source: &str, main: Option<&str>) -> Result<String, CliError> {
+    let (module, registry) = load(source, main)?;
+    let linked = link(&module, &registry).map_err(|e| fail(e.to_string()))?;
+    let warnings = hiphop_core::check::check(&linked).map_err(|e| fail(e.to_string()))?;
+    let mut out = format!("{}: ok ({} interface signals)\n", linked.name, linked.interface.len());
+    for w in warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    Ok(out)
+}
+
+/// `stats`: compile and report circuit statistics.
+///
+/// # Errors
+///
+/// Fails on any front-end or compilation error.
+pub fn cmd_stats(source: &str, main: Option<&str>, optimize: bool) -> Result<String, CliError> {
+    let (module, registry) = load(source, main)?;
+    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
+        .map_err(|e| fail(e.to_string()))?;
+    let stats = compiled.circuit.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "module   : {}", module.name);
+    let _ = writeln!(out, "stmts    : {}", module.body.statement_count());
+    let _ = writeln!(out, "nets     : {}", stats.nets);
+    let _ = writeln!(out, "registers: {}", stats.registers);
+    let _ = writeln!(out, "signals  : {}", stats.signals);
+    let _ = writeln!(out, "edges    : {} (+{} data deps)", stats.fanin_edges, stats.dep_edges);
+    let _ = writeln!(out, "memory   : {} bytes ({:.1} B/net)", stats.bytes, stats.bytes_per_net());
+    if compiled.cycle_warnings > 0 {
+        let _ = writeln!(
+            out,
+            "warning  : {} potential causality cycle(s) (may still be constructive)",
+            compiled.cycle_warnings
+        );
+    }
+    for w in &compiled.warnings {
+        let _ = writeln!(out, "warning  : {w}");
+    }
+    Ok(out)
+}
+
+/// `pretty`: linked program in concrete syntax.
+///
+/// # Errors
+///
+/// Fails on front-end errors.
+pub fn cmd_pretty(source: &str, main: Option<&str>) -> Result<String, CliError> {
+    let (module, registry) = load(source, main)?;
+    let linked = link(&module, &registry).map_err(|e| fail(e.to_string()))?;
+    let iface: Vec<String> = linked
+        .interface
+        .iter()
+        .map(|d| format!("{} {}", d.direction, d.name))
+        .collect();
+    Ok(format!(
+        "module {}({}) {{\n{}}}\n",
+        linked.name,
+        iface.join(", "),
+        linked.body
+    ))
+}
+
+/// `dot`: Graphviz rendering.
+///
+/// # Errors
+///
+/// Fails on front-end or compilation errors.
+pub fn cmd_dot(source: &str, main: Option<&str>, optimize: bool) -> Result<String, CliError> {
+    let (module, registry) = load(source, main)?;
+    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
+        .map_err(|e| fail(e.to_string()))?;
+    Ok(compiled.circuit.to_dot())
+}
+
+/// `trace`: drives the machine with a stimulus (instants separated by
+/// `;`, each a whitespace-separated list of `sig` / `sig=value` tokens;
+/// an empty segment is an empty instant) and renders the output-signal
+/// waveform.
+///
+/// # Errors
+///
+/// Fails on front-end, input or reaction errors.
+pub fn cmd_trace(
+    source: &str,
+    main: Option<&str>,
+    optimize: bool,
+    stimulus: &str,
+) -> Result<String, CliError> {
+    let mut machine = build_machine(source, main, optimize)?;
+    let outputs: Vec<String> = machine
+        .signals()
+        .filter(|(_, d, _, _)| d.is_output())
+        .map(|(n, _, _, _)| n)
+        .collect();
+    let refs: Vec<&str> = outputs.iter().map(String::as_str).collect();
+    let wf = hiphop_runtime::Waveform::new(&refs).attach(&mut machine);
+    for instant in stimulus.split(';') {
+        run_line(&mut machine, instant)?;
+    }
+    let rendered = wf.borrow().render();
+    Ok(rendered)
+}
+
+/// `oracle`: runs the stimulus through BOTH the circuit machine and the
+/// reference AST interpreter and compares their outputs instant by
+/// instant — the differential check, exposed for artifact evaluation.
+///
+/// # Errors
+///
+/// Front-end errors, reaction errors, or a reported disagreement.
+pub fn cmd_oracle(
+    source: &str,
+    main: Option<&str>,
+    optimize: bool,
+    stimulus: &str,
+) -> Result<String, CliError> {
+    let (module, registry) = load(source, main)?;
+    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
+        .map_err(|e| fail(e.to_string()))?;
+    let mut machine = Machine::new(compiled.circuit);
+    let mut interp =
+        hiphop_interp::Interp::new(&module, &registry).map_err(|e| fail(e.to_string()))?;
+
+    let mut out = String::new();
+    for (t, instant) in stimulus.split(';').enumerate() {
+        let mut inputs: Vec<(String, Value)> = Vec::new();
+        for tok in instant.split_whitespace() {
+            let (name, value) = match tok.split_once('=') {
+                Some((n, v)) => {
+                    let value = v
+                        .parse::<f64>()
+                        .map(Value::Num)
+                        .unwrap_or_else(|_| Value::Str(v.to_owned()));
+                    (n.to_owned(), value)
+                }
+                None => (tok.to_owned(), Value::Bool(true)),
+            };
+            inputs.push((name, value));
+        }
+        let refs: Vec<(&str, Value)> = inputs
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        let rm = machine
+            .react_with(&refs)
+            .map_err(|e| fail(format!("machine at instant {t}: {e}")))?;
+        let ri = interp
+            .react_with(&refs)
+            .map_err(|e| fail(format!("interpreter at instant {t}: {e}")))?;
+        let mut ms: Vec<String> = rm
+            .outputs
+            .iter()
+            .map(|o| format!("{}={}:{}", o.name, o.present as u8, o.value))
+            .collect();
+        ms.sort();
+        let mut is: Vec<String> = ri
+            .outputs
+            .iter()
+            .map(|(n, p, v)| format!("{n}={}:{v}", *p as u8))
+            .collect();
+        is.sort();
+        if ms != is {
+            return Err(fail(format!(
+                "DISAGREEMENT at instant {t}:\n  machine:     {}\n  interpreter: {}",
+                ms.join(" "),
+                is.join(" ")
+            )));
+        }
+        let _ = writeln!(out, "instant {t}: {}", ms.join(" "));
+    }
+    let _ = writeln!(out, "machine and reference interpreter agree on all instants");
+    Ok(out)
+}
+
+/// One step of the `run` REPL: parses an input line (`sig` or
+/// `sig=value` tokens, whitespace-separated; empty line = empty instant),
+/// reacts, and renders the present outputs.
+///
+/// # Errors
+///
+/// Fails on unknown signals or reaction errors (causality etc.).
+pub fn run_line(machine: &mut Machine, line: &str) -> Result<String, CliError> {
+    if line.trim() == "?" {
+        // State inspection instead of a reaction.
+        let mut out = String::new();
+        let _ = writeln!(out, "control points:");
+        let selected = machine.selected();
+        if selected.is_empty() {
+            let _ = writeln!(out, "  (none — terminated or not booted)");
+        }
+        for s in selected {
+            let _ = writeln!(out, "  - {s}");
+        }
+        let _ = writeln!(out, "signals:");
+        for (name, dir, present, value) in machine.signals() {
+            let _ = writeln!(
+                out,
+                "  {dir:>5} {name} = {value}{}",
+                if present { "  (present)" } else { "" }
+            );
+        }
+        return Ok(out.trim_end().to_owned());
+    }
+    for tok in line.split_whitespace() {
+        let (name, value) = match tok.split_once('=') {
+            Some((n, v)) => {
+                let value = if let Ok(num) = v.parse::<f64>() {
+                    Value::Num(num)
+                } else if v == "true" || v == "false" {
+                    Value::Bool(v == "true")
+                } else {
+                    Value::Str(v.to_owned())
+                };
+                (n, Some(value))
+            }
+            None => (tok, Some(Value::Bool(true))),
+        };
+        machine
+            .set_input(name, value)
+            .map_err(|e| fail(e.to_string()))?;
+    }
+    let r = machine.react().map_err(|e| fail(e.to_string()))?;
+    let mut shown: Vec<String> = r
+        .outputs
+        .iter()
+        .filter(|o| o.present)
+        .map(|o| {
+            if o.value == Value::Null {
+                o.name.clone() // pure signal
+            } else {
+                format!("{}={}", o.name, o.value)
+            }
+        })
+        .collect();
+    if r.terminated {
+        shown.push("<terminated>".to_owned());
+    }
+    Ok(if shown.is_empty() {
+        "(no outputs)".to_owned()
+    } else {
+        shown.join(" ")
+    })
+}
+
+/// Builds the machine for `run`.
+///
+/// # Errors
+///
+/// Fails on front-end or compilation errors.
+pub fn build_machine(
+    source: &str,
+    main: Option<&str>,
+    optimize: bool,
+) -> Result<Machine, CliError> {
+    let (module, registry) = load(source, main)?;
+    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
+        .map_err(|e| fail(e.to_string()))?;
+    Ok(Machine::new(compiled.circuit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ABRO: &str = r#"
+        module ABRO(in A, in B, in R, out O) {
+           do {
+              fork { await (A.now); } par { await (B.now); }
+              emit O();
+           } every (R.now)
+        }
+    "#;
+
+    #[test]
+    fn parse_args_variants() {
+        let o = parse_args(&[
+            "stats".into(),
+            "x.hh".into(),
+            "--main".into(),
+            "M".into(),
+            "--no-optimize".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.command, "stats");
+        assert_eq!(o.file, "x.hh");
+        assert_eq!(o.main.as_deref(), Some("M"));
+        assert!(o.no_optimize);
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["run".into(), "--bogus".into()]).is_err());
+        assert!(parse_args(&["check".into()]).is_err());
+    }
+
+    #[test]
+    fn check_and_stats() {
+        let report = cmd_check(ABRO, None).unwrap();
+        assert!(report.contains("ABRO: ok"), "{report}");
+        let stats = cmd_stats(ABRO, Some("ABRO"), true).unwrap();
+        assert!(stats.contains("nets"), "{stats}");
+        // Unoptimized circuits are bigger.
+        let raw = cmd_stats(ABRO, Some("ABRO"), false).unwrap();
+        let get = |s: &str| -> usize {
+            s.lines()
+                .find(|l| l.starts_with("nets"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap()
+        };
+        assert!(get(&raw) > get(&stats), "raw {raw} vs opt {stats}");
+    }
+
+    #[test]
+    fn pretty_reparses() {
+        let printed = cmd_pretty(ABRO, None).unwrap();
+        assert!(cmd_check(&printed, None).is_ok(), "{printed}");
+    }
+
+    #[test]
+    fn dot_contains_graph() {
+        let dot = cmd_dot(ABRO, None, true).unwrap();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("sig.status"));
+    }
+
+    #[test]
+    fn run_repl_session() {
+        let mut m = build_machine(ABRO, None, true).unwrap();
+        assert_eq!(run_line(&mut m, "").unwrap(), "(no outputs)");
+        assert_eq!(run_line(&mut m, "A").unwrap(), "(no outputs)");
+        assert!(run_line(&mut m, "B").unwrap().contains("O"));
+        assert_eq!(run_line(&mut m, "R").unwrap(), "(no outputs)");
+        assert!(run_line(&mut m, "A B").unwrap().contains("O"));
+        // Unknown signal is reported.
+        assert!(run_line(&mut m, "bogus").is_err());
+    }
+
+    #[test]
+    fn question_mark_inspects_state() {
+        let mut m = build_machine(ABRO, None, true).unwrap();
+        run_line(&mut m, "").unwrap(); // boot
+        run_line(&mut m, "A").unwrap();
+        let state = run_line(&mut m, "?").unwrap();
+        assert!(state.contains("control points:"), "{state}");
+        // One await satisfied (A), the other still pending: at least one
+        // pause/halt register is set.
+        assert!(state.contains("halt.reg") || state.contains("pause.reg"), "{state}");
+        assert!(state.contains("in A"), "{state}");
+        assert!(state.contains("out O"), "{state}");
+    }
+
+    #[test]
+    fn oracle_agrees_on_abro() {
+        let out = cmd_oracle(ABRO, None, true, ";A;B;R;A B").unwrap();
+        assert!(out.contains("agree on all instants"), "{out}");
+        assert!(out.contains("instant 2: O=1"), "{out}");
+    }
+
+    #[test]
+    fn trace_renders_waveform() {
+        let out = cmd_trace(ABRO, None, true, ";A;B;R;A B").unwrap();
+        assert!(out.contains("instant 01234"), "{out}");
+        assert!(out.contains("O"), "{out}");
+        assert!(out.contains("▁▁█▁█"), "O at instants 2 and 4: {out}");
+    }
+
+    #[test]
+    fn run_with_values() {
+        let src = r#"
+            module V(in x = 0, out y = 0) {
+               do { emit y(x.nowval * 2); } every (x.now)
+            }
+        "#;
+        let mut m = build_machine(src, None, true).unwrap();
+        run_line(&mut m, "").unwrap();
+        let out = run_line(&mut m, "x=21").unwrap();
+        assert!(out.contains("y=42"), "{out}");
+        let out = run_line(&mut m, "x=hello").unwrap();
+        assert!(out.contains("y=NaN"), "{out}");
+    }
+
+    #[test]
+    fn ambiguous_main_is_reported() {
+        let two = format!("{ABRO}\nmodule Other(in z) {{ halt; }}");
+        let err = cmd_check(&two, None).unwrap_err();
+        assert!(err.to_string().contains("--main"), "{err}");
+        assert!(cmd_check(&two, Some("Other")).is_ok());
+    }
+}

@@ -1,0 +1,69 @@
+//! `hiphopc` — the command-line HipHop compiler and runner.
+
+use hiphop_cli::{build_machine, cmd_check, cmd_dot, cmd_pretty, cmd_stats, parse_args, run_line};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hiphopc: cannot read {}: {e}", opts.file);
+            std::process::exit(1);
+        }
+    };
+    let main = opts.main.as_deref();
+    let optimize = !opts.no_optimize;
+    let result = match opts.command.as_str() {
+        "check" => cmd_check(&source, main).map(Some),
+        "stats" => cmd_stats(&source, main, optimize).map(Some),
+        "pretty" => cmd_pretty(&source, main).map(Some),
+        "dot" => cmd_dot(&source, main, optimize).map(Some),
+        "oracle" => hiphop_cli::cmd_oracle(
+            &source,
+            main,
+            optimize,
+            opts.stimulus.as_deref().unwrap_or(""),
+        )
+        .map(Some),
+        "trace" => hiphop_cli::cmd_trace(
+            &source,
+            main,
+            optimize,
+            opts.stimulus.as_deref().unwrap_or(""),
+        )
+        .map(Some),
+        "run" => build_machine(&source, main, optimize).map(|mut machine| {
+            eprintln!("one line per instant (the first line is the boot instant): `sig` or `sig=value` tokens; ctrl-d ends");
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                match run_line(&mut machine, &line) {
+                    Ok(out) => println!("{out}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+                let _ = std::io::stdout().flush();
+            }
+            None
+        }),
+        other => {
+            eprintln!("unknown command `{other}`\n{}", hiphop_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match result {
+        Ok(Some(text)) => print!("{text}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("hiphopc: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Net-level circuit optimization: constant folding, buffer aliasing and
+//! dead-net elimination.
+//!
+//! The raw translation produces many single-fanin buffers (wire plumbing)
+//! and constant-driven gates. This pass keeps the generated circuit "most
+//! often linear in source code size" (paper §5.3) with roughly two
+//! connections per net, matching the sizes the paper reports.
+//!
+//! Soundness constraints:
+//!
+//! - nets with attached actions are never aliased away (their resolution
+//!   point is observable);
+//! - test nets are never aliased (they compute, not forward);
+//! - only *positive* single-fanin buffers alias, so every structural
+//!   reference (signal status nets, register inputs, emitter lists, ...)
+//!   can be redirected without tracking polarity;
+//! - a net is dead only if no action, no signal, no register, no async
+//!   wire and no live net depends on it.
+
+use hiphop_circuit::{Circuit, Fanin, NetId, NetKind};
+use std::collections::VecDeque;
+
+/// Optimizes the circuit in place. Must run before
+/// [`Circuit::finalize`].
+pub fn optimize(c: &mut Circuit) {
+    for _ in 0..3 {
+        let aliases = compute_aliases(c);
+        let consts = fold_constants(c, &aliases);
+        apply_rewrites(c, &aliases, &consts);
+    }
+    sweep_dead(c);
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Folded {
+    Keep,
+    Const(bool),
+}
+
+/// A buffer net `n = or([pos(t)])` or `n = and([pos(t)])` without action
+/// aliases to `t`.
+#[allow(clippy::needless_range_loop)] // parallel tables indexed in lockstep
+fn compute_aliases(c: &Circuit) -> Vec<Option<NetId>> {
+    let nets = c.nets();
+    let mut alias: Vec<Option<NetId>> = vec![None; nets.len()];
+    for (i, net) in nets.iter().enumerate() {
+        if net.action.is_some() || !net.deps.is_empty() {
+            continue;
+        }
+        if matches!(net.kind, NetKind::Or | NetKind::And)
+            && net.fanins.len() == 1
+            && !net.fanins[0].negated
+        {
+            alias[i] = Some(net.fanins[0].net);
+        }
+    }
+    // Path-compress chains (cycles cannot appear: an alias points to a
+    // pre-existing construction order is not guaranteed, so guard with a
+    // visited set).
+    let resolve = |alias: &[Option<NetId>], start: usize| -> Option<NetId> {
+        let mut cur = alias[start]?;
+        let mut steps = 0;
+        while let Some(next) = alias[cur.index()] {
+            cur = next;
+            steps += 1;
+            if steps > alias.len() {
+                return None; // defensive: cycle of buffers
+            }
+        }
+        Some(cur)
+    };
+    let snapshot = alias.clone();
+    for i in 0..alias.len() {
+        alias[i] = resolve(&snapshot, i);
+    }
+    alias
+}
+
+/// Determines nets that are constant after alias resolution.
+fn fold_constants(c: &Circuit, alias: &[Option<NetId>]) -> Vec<Folded> {
+    let nets = c.nets();
+    let mut folded = vec![Folded::Keep; nets.len()];
+    // Seed with constants.
+    for (i, net) in nets.iter().enumerate() {
+        if let NetKind::Const(v) = net.kind {
+            folded[i] = Folded::Const(v);
+        }
+    }
+    // Fixpoint: gates with constant fanins fold. Bounded passes keep the
+    // analysis linear-ish; deep constant chains are rare.
+    for _ in 0..8 {
+        let mut changed = false;
+        for i in 0..nets.len() {
+            if folded[i] != Folded::Keep {
+                continue;
+            }
+            let net = &nets[i];
+            if net.action.is_some() {
+                continue; // action nets keep their resolution point
+            }
+            let (is_or, neutral) = match net.kind {
+                NetKind::Or => (true, false),
+                NetKind::And => (false, true),
+                _ => continue,
+            };
+            let mut all_const = true;
+            let mut controlled = false;
+            for f in &net.fanins {
+                let target = alias[f.net.index()].unwrap_or(f.net);
+                match folded[target.index()] {
+                    Folded::Const(v) => {
+                        let v = v ^ f.negated;
+                        if v != neutral {
+                            controlled = true;
+                            break;
+                        }
+                    }
+                    Folded::Keep => all_const = false,
+                }
+            }
+            if controlled {
+                folded[i] = Folded::Const(is_or);
+                changed = true;
+            } else if all_const {
+                folded[i] = Folded::Const(neutral);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    folded
+}
+
+/// Rewrites every reference through aliases and constants. Constant nets
+/// are redirected to the canonical const nets (ids 0 and 1 by the
+/// translator's construction) when available; otherwise kept.
+fn apply_rewrites(c: &mut Circuit, alias: &[Option<NetId>], folded: &[Folded]) {
+    // Find canonical constant nets.
+    let mut const_net = [None, None];
+    for (i, net) in c.nets().iter().enumerate() {
+        if let NetKind::Const(v) = net.kind {
+            let slot = v as usize;
+            if const_net[slot].is_none() {
+                const_net[slot] = Some(NetId(i as u32));
+            }
+        }
+    }
+    let redirect = |id: NetId| -> NetId {
+        let t = alias[id.index()].unwrap_or(id);
+        match folded[t.index()] {
+            Folded::Const(v) => const_net[v as usize].unwrap_or(t),
+            Folded::Keep => t,
+        }
+    };
+
+    let n = c.nets().len();
+    for i in 0..n {
+        let id = NetId(i as u32);
+        // Rewrite fanins, dropping neutral constant fanins.
+        let net = c.net(id).clone();
+        let (neutral, controlling) = match net.kind {
+            NetKind::Or => (false, true),
+            NetKind::And => (true, false),
+            NetKind::Test(_) => {
+                // Single control fanin: just redirect.
+                let mut fanins = net.fanins.clone();
+                for f in &mut fanins {
+                    f.net = redirect(f.net);
+                }
+                let mut deps = net.deps.clone();
+                for d in &mut deps {
+                    *d = redirect(*d);
+                }
+                replace_net_edges(c, id, fanins, deps);
+                continue;
+            }
+            _ => {
+                continue;
+            }
+        };
+        let mut fanins: Vec<Fanin> = Vec::with_capacity(net.fanins.len());
+        let mut forced = None;
+        for f in &net.fanins {
+            let t = redirect(f.net);
+            match c.net(t).kind {
+                NetKind::Const(v) => {
+                    let v = v ^ f.negated;
+                    if v == controlling {
+                        forced = Some(controlling);
+                        break;
+                    }
+                    // neutral: drop
+                }
+                _ => fanins.push(Fanin {
+                    net: t,
+                    negated: f.negated,
+                }),
+            }
+        }
+        if net.action.is_none() {
+            if let Some(v) = forced {
+                if let Some(cn) = const_net[v as usize] {
+                    // Turn this net into a buffer of the constant.
+                    fanins = vec![Fanin::pos(cn)];
+                }
+            } else if fanins.is_empty() {
+                if let Some(cn) = const_net[neutral as usize] {
+                    fanins = vec![Fanin::pos(cn)];
+                }
+            }
+        } else if forced == Some(controlling) {
+            // Action net stuck at the controlling value: keep a constant
+            // fanin so the action still fires appropriately.
+            if let Some(cn) = const_net[controlling as usize] {
+                fanins = vec![Fanin::pos(cn)];
+            }
+        }
+        let mut deps = net.deps.clone();
+        for d in &mut deps {
+            *d = redirect(*d);
+        }
+        deps.sort();
+        deps.dedup();
+        replace_net_edges(c, id, fanins, deps);
+    }
+
+    // Structural references.
+    c.rewrite_references(&mut |id| redirect(id));
+}
+
+fn replace_net_edges(c: &mut Circuit, id: NetId, fanins: Vec<Fanin>, deps: Vec<NetId>) {
+    c.replace_edges(id, fanins, deps);
+}
+
+/// Removes nets nothing observes, compacting ids.
+fn sweep_dead(c: &mut Circuit) {
+    let n = c.nets().len();
+    let mut live = vec![false; n];
+    let mut queue: VecDeque<NetId> = VecDeque::new();
+    let mark = |id: NetId, live: &mut Vec<bool>, queue: &mut VecDeque<NetId>| {
+        if !live[id.index()] {
+            live[id.index()] = true;
+            queue.push_back(id);
+        }
+    };
+
+    // Roots: side effects, interface structure, control state.
+    for (i, net) in c.nets().iter().enumerate() {
+        let rooted = net.action.is_some()
+            || matches!(
+                net.kind,
+                NetKind::Test(hiphop_circuit::TestKind::CounterElapsed { .. })
+            );
+        if rooted {
+            mark(NetId(i as u32), &mut live, &mut queue);
+        }
+    }
+    for s in c.signals().to_vec() {
+        mark(s.status_net, &mut live, &mut queue);
+        mark(s.pre_net, &mut live, &mut queue);
+        if let Some(i) = s.input_net {
+            mark(i, &mut live, &mut queue);
+        }
+        for e in s.emitters {
+            mark(e, &mut live, &mut queue);
+        }
+    }
+    for a in c.asyncs().to_vec() {
+        mark(a.notify_net, &mut live, &mut queue);
+    }
+    if let Some(b) = c.boot_net {
+        mark(b, &mut live, &mut queue);
+    }
+    if let Some(t) = c.terminated_net {
+        mark(t, &mut live, &mut queue);
+    }
+
+    // Propagate through fanins, deps and registers.
+    while let Some(id) = queue.pop_front() {
+        let net = c.net(id).clone();
+        for f in net.fanins {
+            mark(f.net, &mut live, &mut queue);
+        }
+        for d in net.deps {
+            mark(d, &mut live, &mut queue);
+        }
+        if let NetKind::RegOut(r) = net.kind {
+            let input = c.registers()[r.index()].input;
+            mark(input, &mut live, &mut queue);
+        }
+    }
+
+    c.compact(&live);
+}
+
+/// Extension hooks the optimizer needs on [`Circuit`]; implemented here to
+/// keep the circuit crate representation-focused.
+trait CircuitRewrite {
+    fn replace_edges(&mut self, id: NetId, fanins: Vec<Fanin>, deps: Vec<NetId>);
+    fn rewrite_references(&mut self, f: &mut dyn FnMut(NetId) -> NetId);
+    fn compact(&mut self, live: &[bool]);
+}
+
+impl CircuitRewrite for Circuit {
+    fn replace_edges(&mut self, id: NetId, fanins: Vec<Fanin>, deps: Vec<NetId>) {
+        self.set_net_edges(id, fanins, deps);
+    }
+    fn rewrite_references(&mut self, f: &mut dyn FnMut(NetId) -> NetId) {
+        self.remap_references(f);
+    }
+    fn compact(&mut self, live: &[bool]) {
+        self.compact_nets(live);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiphop_circuit::{Action, SignalId};
+
+    #[test]
+    fn buffer_chains_collapse() {
+        let mut c = Circuit::new("t");
+        let _c0 = c.constant(false, "c0");
+        let _c1 = c.constant(true, "c1");
+        let a = c.input("a");
+        let b1 = c.or(vec![Fanin::pos(a)], "buf1");
+        let b2 = c.or(vec![Fanin::pos(b1)], "buf2");
+        let g = c.and(vec![Fanin::pos(b2), Fanin::neg(a)], "g");
+        // Keep g alive through an action.
+        let act = c.or(vec![Fanin::pos(g)], "act");
+        c.attach_action(act, Action::AsyncSpawn(hiphop_circuit::AsyncId(0)));
+        optimize(&mut c);
+        c.finalize();
+        // buf1/buf2 gone; g reads `a` directly.
+        let live_labels: Vec<&str> = c.nets().iter().map(|x| x.label).collect();
+        assert!(!live_labels.contains(&"buf1"), "{live_labels:?}");
+        assert!(!live_labels.contains(&"buf2"), "{live_labels:?}");
+        assert!(live_labels.contains(&"g"));
+    }
+
+    #[test]
+    fn constant_folding_or_and() {
+        let mut c = Circuit::new("t");
+        let c0 = c.constant(false, "c0");
+        let c1 = c.constant(true, "c1");
+        let a = c.input("a");
+        let or_with_true = c.or(vec![Fanin::pos(a), Fanin::pos(c1)], "or1");
+        let and_with_false = c.and(vec![Fanin::pos(a), Fanin::pos(c0)], "and0");
+        let use_ = c.and(
+            vec![Fanin::pos(or_with_true), Fanin::neg(and_with_false)],
+            "use",
+        );
+        let act = c.or(vec![Fanin::pos(use_)], "act");
+        c.attach_action(act, Action::AsyncSpawn(hiphop_circuit::AsyncId(0)));
+        optimize(&mut c);
+        c.finalize();
+        // The whole chain folds: the action net ends up reading const1
+        // directly and `use`, `or1`, `and0` are swept.
+        let labels: Vec<&str> = c.nets().iter().map(|x| x.label).collect();
+        assert!(!labels.contains(&"use"), "{labels:?}");
+        assert!(!labels.contains(&"or1"), "{labels:?}");
+        assert!(!labels.contains(&"and0"), "{labels:?}");
+        let act_net = c
+            .nets()
+            .iter()
+            .find(|n| n.label == "act")
+            .expect("action net survives");
+        assert_eq!(act_net.fanins.len(), 1);
+        assert!(
+            matches!(c.net(act_net.fanins[0].net).kind, NetKind::Const(true)),
+            "action net should read const1"
+        );
+    }
+
+    #[test]
+    fn dead_nets_are_swept() {
+        let mut c = Circuit::new("t");
+        let a = c.input("a");
+        let _dead = c.or(vec![Fanin::pos(a)], "deadgate");
+        let status = c.or(vec![Fanin::pos(a)], "sig.status");
+        let (pre_reg, pre) = c.register(false, "sig.pre");
+        c.set_register_input(pre_reg, status);
+        c.add_signal(hiphop_circuit::SignalInfo {
+            name: "s".into(),
+            direction: hiphop_core::signal::Direction::In,
+            init: None,
+            combine: None,
+            status_net: status,
+            pre_net: pre,
+            input_net: Some(a),
+            emitters: vec![],
+        });
+        optimize(&mut c);
+        c.finalize();
+        c.validate();
+        let labels: Vec<&str> = c.nets().iter().map(|x| x.label).collect();
+        assert!(!labels.contains(&"deadgate"), "{labels:?}");
+        // The signal structure survives (status aliased onto the input is
+        // acceptable; its name lookup must still resolve).
+        let sig = c.signal(SignalId(0));
+        assert!(sig.status_net.index() < c.nets().len());
+        assert!(sig.pre_net.index() < c.nets().len());
+    }
+}

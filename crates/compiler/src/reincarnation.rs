@@ -1,0 +1,94 @@
+//! Reincarnation (schizophrenia) analysis.
+//!
+//! When a loop body terminates and restarts within the same instant, its
+//! "surface" nets would have to take two different values in one reaction,
+//! which a circuit cannot do. The paper (§5.3) notes that HipHop.js fully
+//! supports reincarnation at the price of a possible quadratic circuit
+//! expansion; like Esterel v5 we cure it by *duplicating* the loop body
+//! (two copies with separate registers, each copy's K0 starting the
+//! other).
+//!
+//! Duplication is only required when the body contains constructs whose
+//! surface state is shared between incarnations:
+//!
+//! - **parallel** — the max-code synchronizer would have to emit both the
+//!   old incarnation's K0 and the new incarnation's K1 on the same nets,
+//!   deadlocking the K0 → GO → K1 → ¬K0 cycle;
+//! - **local signals** — the old and new incarnations must each see a
+//!   fresh status;
+//! - **traps** — the caught-exit kill wire would kill the new incarnation;
+//! - **async** — the instance register cannot be simultaneously killed
+//!   (old) and set (new);
+//! - **weak abort** — its fire wire feeds the body's KILL, which would
+//!   clear the new incarnation's registers (consistent with its kernel
+//!   expansion through a trap).
+//!
+//! Purely sequential bodies (sequences, `if`, `abort`, `suspend`,
+//! emissions, counted delays) are single-entry per instant and compile to
+//! a single copy with `GO ∨= K0`, as the tests in `hiphop-runtime`
+//! demonstrate.
+
+use hiphop_core::ast::Stmt;
+
+/// Whether a loop with this body needs the duplicated translation.
+pub fn needs_duplication(body: &Stmt) -> bool {
+    let mut found = false;
+    body.visit(&mut |s| {
+        if matches!(
+            s,
+            Stmt::Par(_)
+                | Stmt::Local { .. }
+                | Stmt::Trap { .. }
+                | Stmt::Async { .. }
+                | Stmt::Abort { weak: true, .. }
+        ) {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiphop_core::ast::Delay;
+    use hiphop_core::expr::Expr;
+    use hiphop_core::signal::{Direction, SignalDecl};
+
+    #[test]
+    fn sequential_bodies_do_not_duplicate() {
+        let body = Stmt::seq([
+            Stmt::emit("a"),
+            Stmt::Pause,
+            Stmt::abort(Delay::cond(Expr::now("s")), Stmt::Halt),
+        ]);
+        assert!(!needs_duplication(&body));
+    }
+
+    #[test]
+    fn par_local_trap_async_duplicate() {
+        assert!(needs_duplication(&Stmt::par([Stmt::Pause, Stmt::Pause])));
+        assert!(needs_duplication(&Stmt::local(
+            vec![SignalDecl::new("s", Direction::Local)],
+            Stmt::Pause
+        )));
+        assert!(needs_duplication(&Stmt::trap("L", Stmt::Pause)));
+        assert!(needs_duplication(&Stmt::async_(Default::default())));
+        assert!(needs_duplication(&Stmt::weak_abort(
+            hiphop_core::ast::Delay::cond(hiphop_core::expr::Expr::now("s")),
+            Stmt::Pause
+        )));
+    }
+
+    #[test]
+    fn nested_detection() {
+        let body = Stmt::seq([
+            Stmt::Pause,
+            Stmt::if_(
+                Expr::now("c"),
+                Stmt::loop_(Stmt::par([Stmt::Pause, Stmt::Pause])),
+            ),
+        ]);
+        assert!(needs_duplication(&body));
+    }
+}

@@ -1,0 +1,123 @@
+//! The parallel synchronizer.
+//!
+//! A `fork/par` returns the **maximum** completion code of its
+//! simultaneously-completing branches: pause (1) beats termination (0),
+//! trap exits (≥2) beat pause, outer exits beat inner ones. The classical
+//! circuit (Berry, *The Constructive Semantics of Pure Esterel*) computes,
+//! for each code `i`:
+//!
+//! ```text
+//! K_i(par) = [ ∧_j (dead_j ∨ L^j_i) ] ∧ [ ∨_j K^j_i ]
+//! ```
+//!
+//! where `L^j_i = K^j_0 ∨ … ∨ K^j_i` ("branch j completed with a code at
+//! most i") and `dead_j` means branch `j` does not run this instant
+//! (neither started nor resumed-while-selected).
+
+use crate::translate::{Compiled, Translator, Wires};
+use crate::CompileError;
+use hiphop_circuit::{Fanin, NetId};
+
+/// Combines translated branches with the max-code synchronizer.
+#[allow(clippy::needless_range_loop)] // index i spans per-branch tables in lockstep
+pub(crate) fn synchronize(
+    tr: &mut Translator,
+    branches: &[Compiled],
+    w: Wires,
+) -> Result<Compiled, CompileError> {
+    match branches.len() {
+        0 => {
+            return Ok(Compiled {
+                sel: tr.const0,
+                k: vec![w.go],
+            })
+        }
+        1 => return Ok(branches[0].clone()),
+        _ => {}
+    }
+
+    let max_codes = branches.iter().map(|b| b.k.len()).max().unwrap_or(1).max(2);
+
+    // active_j = GO ∨ (RES ∧ SEL_j)
+    let mut active = Vec::with_capacity(branches.len());
+    for b in branches {
+        let a = if b.sel == tr.const0 {
+            w.go
+        } else {
+            let res_sel = tr
+                .c
+                .and(vec![Fanin::pos(w.res), Fanin::pos(b.sel)], "sync.ressel");
+            tr.c
+                .or(vec![Fanin::pos(w.go), Fanin::pos(res_sel)], "sync.active")
+        };
+        active.push(a);
+    }
+
+    // Cumulative L^j_i nets.
+    let mut cumul: Vec<Vec<NetId>> = Vec::with_capacity(branches.len());
+    for b in branches {
+        let mut ls = Vec::with_capacity(max_codes);
+        let mut acc = tr.const0;
+        for i in 0..max_codes {
+            let ki = b.k.get(i).copied().unwrap_or(tr.const0);
+            acc = if ki == tr.const0 {
+                acc
+            } else if acc == tr.const0 {
+                ki
+            } else {
+                tr.c.or(vec![Fanin::pos(acc), Fanin::pos(ki)], "sync.l")
+            };
+            ls.push(acc);
+        }
+        cumul.push(ls);
+    }
+
+    let mut k = Vec::with_capacity(max_codes);
+    for i in 0..max_codes {
+        // any_j K^j_i
+        let any_fanins: Vec<Fanin> = branches
+            .iter()
+            .filter_map(|b| b.k.get(i).copied())
+            .filter(|&n| n != tr.const0)
+            .map(Fanin::pos)
+            .collect();
+        if any_fanins.is_empty() {
+            k.push(tr.const0);
+            continue;
+        }
+        let any = if any_fanins.len() == 1 {
+            any_fanins[0].net
+        } else {
+            tr.c.or(any_fanins, "sync.any")
+        };
+        // all_j (dead_j ∨ L^j_i)
+        let mut all_fanins: Vec<Fanin> = vec![Fanin::pos(any)];
+        for (j, b) in branches.iter().enumerate() {
+            let l = cumul[j][i];
+            let dead_or_l = if l == tr.const0 {
+                // Branch can never complete with code ≤ i: it must be dead.
+                Fanin::neg(active[j])
+            } else {
+                let n = tr
+                    .c
+                    .or(vec![Fanin::neg(active[j]), Fanin::pos(l)], "sync.deadl");
+                Fanin::pos(n)
+            };
+            let _ = b;
+            all_fanins.push(dead_or_l);
+        }
+        k.push(tr.c.and(all_fanins, "sync.k"));
+    }
+
+    let sels: Vec<NetId> = branches
+        .iter()
+        .map(|b| b.sel)
+        .filter(|&s| s != tr.const0)
+        .collect();
+    let sel = match sels.len() {
+        0 => tr.const0,
+        1 => sels[0],
+        _ => tr.c.or(sels.into_iter().map(Fanin::pos).collect(), "sync.sel"),
+    };
+    Ok(Compiled { sel, k })
+}

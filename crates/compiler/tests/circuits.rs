@@ -1,0 +1,207 @@
+//! Structural tests on compiled circuits: construct costs, validation,
+//! static cycle warnings, optimizer effect, and interface wiring.
+
+use hiphop_compiler::{compile_module, compile_module_with, CompileOptions};
+use hiphop_core::prelude::*;
+
+fn compile(body: Stmt, signals: &[(&str, Direction)]) -> hiphop_compiler::CompiledProgram {
+    let mut m = Module::new("t");
+    for (n, d) in signals {
+        m = m.signal(SignalDecl::new(*n, *d));
+    }
+    compile_module(&m.body(body), &ModuleRegistry::new()).expect("compiles")
+}
+
+#[test]
+fn every_construct_passes_validation() {
+    // One of each kernel construct, compiled and validated (validate()
+    // panics on inconsistency).
+    let body = Stmt::seq([
+        Stmt::emit("o"),
+        Stmt::Pause,
+        Stmt::par([
+            Stmt::await_(Delay::cond(Expr::now("i"))),
+            Stmt::suspend(Delay::cond(Expr::now("i")), Stmt::Halt),
+        ]),
+        Stmt::trap(
+            "L",
+            Stmt::seq([
+                Stmt::if_else(Expr::now("i"), Stmt::exit("L"), Stmt::Nothing),
+                Stmt::local(
+                    vec![SignalDecl::new("s", Direction::Local)],
+                    Stmt::weak_abort(
+                        Delay::count(Expr::num(2.0), Expr::now("i")),
+                        Stmt::sustain("s"),
+                    ),
+                ),
+            ]),
+        ),
+        Stmt::every(Delay::cond(Expr::now("i")), Stmt::emit("o")),
+    ]);
+    let compiled = compile(body, &[("i", Direction::In), ("o", Direction::Out)]);
+    let stats = compiled.circuit.stats();
+    assert!(stats.nets > 30);
+    assert!(stats.registers >= 4);
+    assert_eq!(stats.counters, 1);
+}
+
+#[test]
+fn presence_tests_compile_to_wires_not_test_nets() {
+    // `if (i.now && !j.now)` must produce no Test nets at all.
+    let body = Stmt::if_(
+        Expr::now("i").and(Expr::now("j").not()),
+        Stmt::emit("o"),
+    );
+    let compiled = compile(
+        body,
+        &[
+            ("i", Direction::In),
+            ("j", Direction::In),
+            ("o", Direction::Out),
+        ],
+    );
+    let tests = compiled
+        .circuit
+        .nets()
+        .iter()
+        .filter(|n| matches!(n.kind, hiphop_circuit::NetKind::Test(_)))
+        .count();
+    assert_eq!(tests, 0, "pure presence conditions are gates");
+}
+
+#[test]
+fn value_conditions_become_test_nets_with_deps() {
+    let body = Stmt::if_(Expr::nowval("i").gt(Expr::num(3.0)), Stmt::emit("o"));
+    let compiled = compile(body, &[("i", Direction::In), ("o", Direction::Out)]);
+    let test_nets: Vec<_> = compiled
+        .circuit
+        .nets()
+        .iter()
+        .filter(|n| matches!(n.kind, hiphop_circuit::NetKind::Test(_)))
+        .collect();
+    assert_eq!(test_nets.len(), 1);
+    assert!(
+        !test_nets[0].deps.is_empty(),
+        "value reads carry data dependencies"
+    );
+}
+
+#[test]
+fn static_cycle_warning_for_non_constructive_program() {
+    // if (!X.now) emit X — compiles (detection is at runtime) but the
+    // compiler flags the potential cycle, as §5 promises.
+    let body = Stmt::local(
+        vec![SignalDecl::new("X", Direction::Local)],
+        Stmt::if_(Expr::now("X").not(), Stmt::emit("X")),
+    );
+    let compiled = compile(body, &[]);
+    assert!(
+        compiled.cycle_warnings > 0,
+        "compiler warns about the possible deadlock"
+    );
+}
+
+#[test]
+fn acyclic_programs_have_no_cycle_warnings() {
+    let body = Stmt::every(Delay::cond(Expr::now("i")), Stmt::emit("o"));
+    let compiled = compile(body, &[("i", Direction::In), ("o", Direction::Out)]);
+    assert_eq!(compiled.cycle_warnings, 0);
+}
+
+#[test]
+fn optimizer_shrinks_every_app_circuit() {
+    let apps: Vec<(&str, Module, ModuleRegistry)> = vec![
+        {
+            let (m, r) = hiphop_apps::pillbox::modules();
+            ("pillbox", m, r)
+        },
+        {
+            let (m, _) = hiphop_skini::paper_excerpt();
+            ("skini", m, ModuleRegistry::new())
+        },
+    ];
+    for (name, module, reg) in apps {
+        let raw = compile_module_with(&module, &reg, CompileOptions { optimize: false })
+            .expect("raw compiles")
+            .circuit
+            .stats();
+        let opt = compile_module_with(&module, &reg, CompileOptions { optimize: true })
+            .expect("opt compiles")
+            .circuit
+            .stats();
+        assert!(
+            (opt.nets as f64) < 0.9 * raw.nets as f64,
+            "{name}: optimizer should remove >10% of raw nets ({} -> {})",
+            raw.nets,
+            opt.nets
+        );
+        assert_eq!(opt.registers, raw.registers, "{name}: registers preserved");
+        assert_eq!(opt.signals, raw.signals);
+    }
+}
+
+#[test]
+fn single_copy_loops_are_smaller_than_duplicated_ones() {
+    // Same-size bodies; the parallel forces duplication.
+    let seq_loop = Stmt::loop_(Stmt::seq([
+        Stmt::emit("o"),
+        Stmt::Pause,
+        Stmt::emit("o"),
+        Stmt::Pause,
+    ]));
+    let par_loop = Stmt::loop_(Stmt::par([
+        Stmt::seq([Stmt::emit("o"), Stmt::Pause]),
+        Stmt::seq([Stmt::emit("o"), Stmt::Pause]),
+    ]));
+    let n_seq = compile(seq_loop, &[("o", Direction::Out)]).circuit.stats().nets;
+    let n_par = compile(par_loop, &[("o", Direction::Out)]).circuit.stats().nets;
+    assert!(
+        n_par as f64 > 1.6 * n_seq as f64,
+        "duplication roughly doubles the body: seq={n_seq} par={n_par}"
+    );
+}
+
+#[test]
+fn interface_signals_have_input_nets_exactly_for_inputs() {
+    let m = Module::new("t")
+        .input(SignalDecl::new("a", Direction::In))
+        .output(SignalDecl::new("b", Direction::Out))
+        .inout(SignalDecl::new("c", Direction::InOut))
+        .body(Stmt::seq([Stmt::emit("b"), Stmt::emit("c")]));
+    let compiled = compile_module(&m, &ModuleRegistry::new()).expect("compiles");
+    let sig = |name: &str| {
+        let id = compiled.circuit.signal_by_name(name).expect("declared");
+        compiled.circuit.signal(id).clone()
+    };
+    assert!(sig("a").input_net.is_some());
+    assert!(sig("b").input_net.is_none());
+    assert!(sig("c").input_net.is_some());
+    assert_eq!(sig("b").emitters.len(), 1);
+}
+
+#[test]
+fn dot_export_of_compiled_program_is_wellformed() {
+    let compiled = compile(
+        Stmt::await_(Delay::cond(Expr::now("i"))),
+        &[("i", Direction::In)],
+    );
+    let dot = compiled.circuit.to_dot();
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.trim_end().ends_with('}'));
+    // Every net appears.
+    for i in 0..compiled.circuit.nets().len() {
+        assert!(dot.contains(&format!("n{i} ")), "net {i} missing");
+    }
+}
+
+#[test]
+fn never_emitted_output_warning_is_forwarded() {
+    let m = Module::new("t")
+        .output(SignalDecl::new("ghost", Direction::Out))
+        .body(Stmt::Halt);
+    let compiled = compile_module(&m, &ModuleRegistry::new()).expect("compiles");
+    assert!(compiled
+        .warnings
+        .iter()
+        .any(|w| matches!(w, Warning::NeverEmitted { signal } if signal == "ghost")));
+}

@@ -1,0 +1,971 @@
+//! The HipHop statement AST.
+//!
+//! This is the tree built either by the textual parser (`hiphop-lang`,
+//! the paper's Phase 1) or directly through the [builder API]
+//! (`crate::builder`) — the paper §5 notes that HipHop.js also offers an
+//! API "to directly build abstract syntax trees from within JavaScript".
+//!
+//! The surface statements map one-to-one to the constructs used in the
+//! paper's examples: `emit`, `sustain`, `fork/par`, `every`, `do/every`,
+//! `abort`/`weakabort` (± `immediate`, ± `count`), `await`, `suspend`,
+//! labelled `break` (traps), local `signal` declarations, `run`, `async`
+//! with `kill` handlers, and `hop` atoms for instantaneous host code.
+
+use crate::expr::{EvalEnv, Expr};
+use crate::signal::SignalDecl;
+use crate::value::Value;
+use std::fmt;
+use std::rc::Rc;
+
+/// A source location for diagnostics (file is interned by the parser).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Loc {
+    /// 1-based line; 0 when synthesized by the builder API.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Loc {
+    /// A synthetic location (builder-constructed nodes).
+    pub fn synthetic() -> Loc {
+        Loc::default()
+    }
+    /// A parser location.
+    pub fn new(line: u32, col: u32) -> Loc {
+        Loc { line, col }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<builder>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// A temporal delay expression, as used by `await`, `abort`, `every`, ...
+///
+/// `immediate` checks the condition already at start time (paper §3 on
+/// `abort` vs `abort immediate`); `count` waits for the n-th occurrence
+/// (`await count(attempts, sig.now)` in the `Freeze` module).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delay {
+    /// Check the condition at the starting instant too.
+    pub immediate: bool,
+    /// Counted delay: number of occurrences to wait for.
+    pub count: Option<Expr>,
+    /// The condition, an arbitrary boolean expression over signals.
+    pub cond: Expr,
+}
+
+impl Delay {
+    /// A plain (delayed, uncounted) condition.
+    pub fn cond(cond: Expr) -> Delay {
+        Delay {
+            immediate: false,
+            count: None,
+            cond,
+        }
+    }
+    /// An `immediate` delay.
+    pub fn immediate(cond: Expr) -> Delay {
+        Delay {
+            immediate: true,
+            count: None,
+            cond,
+        }
+    }
+    /// A counted delay: `count(n, cond)`.
+    pub fn count(n: Expr, cond: Expr) -> Delay {
+        Delay {
+            immediate: false,
+            count: Some(n),
+            cond,
+        }
+    }
+}
+
+impl fmt::Display for Delay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.immediate {
+            write!(f, "immediate ")?;
+        }
+        if let Some(n) = &self.count {
+            write!(f, "count({n}, {})", self.cond)
+        } else {
+            write!(f, "{}", self.cond)
+        }
+    }
+}
+
+/// Context handed to `hop { ... }` atoms: expression environment plus
+/// variable assignment.
+pub trait AtomCtx: EvalEnv {
+    /// Assigns a machine variable.
+    fn set_var(&mut self, name: &str, value: Value);
+    /// Appends a message to the machine log (used by traced applications;
+    /// the Lisinopril app of §4.1 logs all events).
+    fn log(&mut self, message: String);
+}
+
+/// The body of a `hop { ... }` instantaneous statement.
+#[derive(Clone)]
+pub enum AtomBody {
+    /// Assign `var = expr`.
+    Assign(String, Expr),
+    /// Append `expr` (display-coerced) to the machine log.
+    Log(Expr),
+    /// Arbitrary host closure with declared signal reads.
+    Host {
+        /// Diagnostic name.
+        name: String,
+        /// Signals the closure reads (for scheduling).
+        reads: Vec<(String, crate::expr::SigAccess)>,
+        /// The closure.
+        f: Rc<dyn Fn(&mut dyn AtomCtx)>,
+    },
+}
+
+impl AtomBody {
+    /// Signal reads performed by this atom.
+    pub fn signal_reads(&self) -> Vec<(String, crate::expr::SigAccess)> {
+        match self {
+            AtomBody::Assign(_, e) | AtomBody::Log(e) => e.signal_reads(),
+            AtomBody::Host { reads, .. } => reads.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for AtomBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomBody::Assign(v, e) => write!(f, "Assign({v} = {e})"),
+            AtomBody::Log(e) => write!(f, "Log({e})"),
+            AtomBody::Host { name, .. } => write!(f, "Host({name})"),
+        }
+    }
+}
+
+impl PartialEq for AtomBody {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (AtomBody::Assign(a, b), AtomBody::Assign(c, d)) => a == c && b == d,
+            (AtomBody::Log(a), AtomBody::Log(b)) => a == b,
+            (AtomBody::Host { f: a, .. }, AtomBody::Host { f: b, .. }) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// Context handed to `async` host hooks — the paper's `this` inside
+/// `async` bodies (§2.2.5: `this.notify(v)`, `this.react(...)`,
+/// `this.intv = ...`).
+///
+/// The [`crate::mailbox::AsyncHandle`] is cloneable and `'static`, so the
+/// spawn hook can move it into timers or promise continuations and call
+/// `notify` long after the reaction finished.
+pub struct AsyncCtx<'a> {
+    /// Handle for queueing notifications/reactions and per-instance state.
+    pub handle: crate::mailbox::AsyncHandle,
+    /// Read-only view of the signal environment at the instant the hook
+    /// runs.
+    pub env: &'a dyn EvalEnv,
+}
+
+/// A host hook attached to an `async` statement.
+#[derive(Clone)]
+pub struct AsyncHook {
+    /// Diagnostic name.
+    pub name: String,
+    /// The closure.
+    pub f: Rc<dyn Fn(&mut AsyncCtx<'_>)>,
+}
+
+impl AsyncHook {
+    /// Creates a named hook.
+    pub fn new(name: impl Into<String>, f: impl Fn(&mut AsyncCtx<'_>) + 'static) -> Self {
+        AsyncHook {
+            name: name.into(),
+            f: Rc::new(f),
+        }
+    }
+}
+
+impl fmt::Debug for AsyncHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AsyncHook({})", self.name)
+    }
+}
+
+impl PartialEq for AsyncHook {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.f, &other.f)
+    }
+}
+
+/// An `async` statement (paper §2.2.4–2.2.5): runs a host activity outside
+/// the synchronous world, stays selected until notified, emits an optional
+/// completion signal, and runs cleanup hooks on preemption.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AsyncSpec {
+    /// Completion signal emitted (with the notified value) when the host
+    /// activity calls `notify` — `async connected { ... }`.
+    pub done_signal: Option<String>,
+    /// Started when the statement starts (the `async` body).
+    pub on_spawn: Option<AsyncHook>,
+    /// Run when the statement is preempted (the `kill { ... }` clause).
+    pub on_kill: Option<AsyncHook>,
+    /// Run when the statement gets suspended.
+    pub on_suspend: Option<AsyncHook>,
+    /// Run when the statement resumes from suspension.
+    pub on_resume: Option<AsyncHook>,
+}
+
+/// A binding in a `run M(...)` instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunBind {
+    /// `inner as outer`: module signal `inner` bound to caller signal
+    /// `outer` (paper §3: `sig as connected`).
+    Signal {
+        /// Name in the callee interface.
+        inner: String,
+        /// Name in the caller scope.
+        outer: String,
+    },
+    /// `name = expr`: module `var` bound to a value (paper §3:
+    /// `run Freeze(max=5, attempts=3, ...)`).
+    Var {
+        /// Variable name in the callee interface.
+        name: String,
+        /// Bound value expression (must be constant-foldable at link time).
+        value: Expr,
+    },
+}
+
+/// A HipHop statement.
+///
+/// # Examples
+///
+/// The paper's `Identity` module body, built directly:
+///
+/// ```
+/// use hiphop_core::ast::{Stmt, Delay};
+/// use hiphop_core::expr::Expr;
+///
+/// let body = Stmt::loop_each(
+///     Delay::cond(Expr::now("name").or(Expr::now("passwd"))),
+///     Stmt::emit_val(
+///         "enableLogin",
+///         Expr::nowval("name").field("length").ge(Expr::num(2.0))
+///             .and(Expr::nowval("passwd").field("length").ge(Expr::num(2.0))),
+///     ),
+/// );
+/// assert!(body.statement_count() >= 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Stmt {
+    /// The empty statement; terminates instantly.
+    #[default]
+    Nothing,
+    /// Stops for this instant, resumes at the next one.
+    Pause,
+    /// Stops forever (until preempted).
+    Halt,
+    /// Emits a signal, optionally with a value.
+    Emit {
+        /// Target signal.
+        signal: String,
+        /// Optional emitted value.
+        value: Option<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Emits the signal at every instant while alive.
+    Sustain {
+        /// Target signal.
+        signal: String,
+        /// Optional emitted value.
+        value: Option<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Instantaneous host statement (`hop { ... }`).
+    Atom {
+        /// What to execute.
+        body: AtomBody,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Sequential composition.
+    Seq(Vec<Stmt>),
+    /// Synchronous parallel (`fork { } par { }`).
+    Par(Vec<Stmt>),
+    /// Infinite loop; the body must not terminate instantly.
+    Loop(Box<Stmt>),
+    /// Conditional over a signal expression.
+    If {
+        /// The condition; may read signal statuses and values.
+        cond: Expr,
+        /// Then-branch.
+        then_branch: Box<Stmt>,
+        /// Else-branch (`Nothing` if omitted).
+        else_branch: Box<Stmt>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Waits for a delay to elapse.
+    Await {
+        /// The delay.
+        delay: Delay,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Preemption: kills the body when the delay elapses. Strong
+    /// (`abort`) prevents the body from running at the abort instant,
+    /// weak (`weakabort`) lets it run one last time (paper §3).
+    Abort {
+        /// The watched delay.
+        delay: Delay,
+        /// `true` for `weakabort`.
+        weak: bool,
+        /// The guarded body.
+        body: Box<Stmt>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Freezes the body while the condition holds.
+    Suspend {
+        /// The suspension condition.
+        delay: Delay,
+        /// The controlled body.
+        body: Box<Stmt>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `every (d) { p }`: awaits `d`, then restarts `p` at every further
+    /// occurrence (strongly preemptive, paper §2.2.2).
+    Every {
+        /// The triggering delay.
+        delay: Delay,
+        /// The restarted body.
+        body: Box<Stmt>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `do { p } every (d)`: runs `p` immediately, restarts on `d`
+    /// (paper §2.2.3, the `Identity` module).
+    LoopEach {
+        /// The restarting delay.
+        delay: Delay,
+        /// The body.
+        body: Box<Stmt>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// A labelled statement that `break label` escapes from — Esterel's
+    /// trap (paper §4.1.2: `DoseOK: fork { ... break DoseOK ... }`).
+    Trap {
+        /// The label.
+        label: String,
+        /// The body.
+        body: Box<Stmt>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Escapes the enclosing trap with the given label, weakly preempting
+    /// concurrent branches.
+    Exit {
+        /// The trap label.
+        label: String,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Local signal declarations scoping over the body.
+    Local {
+        /// The declared signals (direction is `Local`).
+        decls: Vec<SignalDecl>,
+        /// The scope.
+        body: Box<Stmt>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Asynchronous host activity bridged into the synchronous world.
+    Async {
+        /// The specification (hooks + completion signal).
+        spec: AsyncSpec,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Module instantiation, inlined at link time.
+    Run {
+        /// The instantiated module's name.
+        module: String,
+        /// Explicit bindings (unlisted interface signals bind by name).
+        binds: Vec<RunBind>,
+        /// Source location.
+        loc: Loc,
+    },
+}
+
+impl Stmt {
+    /// `emit S()`.
+    pub fn emit(signal: impl Into<String>) -> Stmt {
+        Stmt::Emit {
+            signal: signal.into(),
+            value: None,
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `emit S(expr)`.
+    pub fn emit_val(signal: impl Into<String>, value: Expr) -> Stmt {
+        Stmt::Emit {
+            signal: signal.into(),
+            value: Some(value),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `sustain S()`.
+    pub fn sustain(signal: impl Into<String>) -> Stmt {
+        Stmt::Sustain {
+            signal: signal.into(),
+            value: None,
+            loc: Loc::synthetic(),
+        }
+    }
+    /// Sequential composition, flattening nested sequences.
+    pub fn seq(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
+        let mut out = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Seq(inner) => out.extend(inner),
+                Stmt::Nothing => {}
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Stmt::Nothing,
+            1 => out.pop().expect("len checked"),
+            _ => Stmt::Seq(out),
+        }
+    }
+    /// Parallel composition.
+    pub fn par(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
+        let branches: Vec<Stmt> = stmts.into_iter().collect();
+        match branches.len() {
+            0 => Stmt::Nothing,
+            1 => branches.into_iter().next().expect("len checked"),
+            _ => Stmt::Par(branches),
+        }
+    }
+    /// `loop { body }`.
+    pub fn loop_(body: Stmt) -> Stmt {
+        Stmt::Loop(Box::new(body))
+    }
+    /// `if (cond) { t } else { e }`.
+    pub fn if_else(cond: Expr, t: Stmt, e: Stmt) -> Stmt {
+        Stmt::If {
+            cond,
+            then_branch: Box::new(t),
+            else_branch: Box::new(e),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `if (cond) { t }`.
+    pub fn if_(cond: Expr, t: Stmt) -> Stmt {
+        Stmt::if_else(cond, t, Stmt::Nothing)
+    }
+    /// `await d`.
+    pub fn await_(delay: Delay) -> Stmt {
+        Stmt::Await {
+            delay,
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `abort (d) { body }`.
+    pub fn abort(delay: Delay, body: Stmt) -> Stmt {
+        Stmt::Abort {
+            delay,
+            weak: false,
+            body: Box::new(body),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `weakabort (d) { body }`.
+    pub fn weak_abort(delay: Delay, body: Stmt) -> Stmt {
+        Stmt::Abort {
+            delay,
+            weak: true,
+            body: Box::new(body),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `suspend (d) { body }`.
+    pub fn suspend(delay: Delay, body: Stmt) -> Stmt {
+        Stmt::Suspend {
+            delay,
+            body: Box::new(body),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `every (d) { body }`.
+    pub fn every(delay: Delay, body: Stmt) -> Stmt {
+        Stmt::Every {
+            delay,
+            body: Box::new(body),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `do { body } every (d)`.
+    pub fn loop_each(delay: Delay, body: Stmt) -> Stmt {
+        Stmt::LoopEach {
+            delay,
+            body: Box::new(body),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `label: { body }` trap.
+    pub fn trap(label: impl Into<String>, body: Stmt) -> Stmt {
+        Stmt::Trap {
+            label: label.into(),
+            body: Box::new(body),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `break label`.
+    pub fn exit(label: impl Into<String>) -> Stmt {
+        Stmt::Exit {
+            label: label.into(),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `signal s1, s2; body`.
+    pub fn local(decls: Vec<SignalDecl>, body: Stmt) -> Stmt {
+        Stmt::Local {
+            decls,
+            body: Box::new(body),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `async [done] { spawn } kill { ... }`.
+    pub fn async_(spec: AsyncSpec) -> Stmt {
+        Stmt::Async {
+            spec,
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `run M(...)` with implicit by-name binding.
+    pub fn run(module: impl Into<String>) -> Stmt {
+        Stmt::Run {
+            module: module.into(),
+            binds: Vec::new(),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `run M(binds...)`.
+    pub fn run_with(module: impl Into<String>, binds: Vec<RunBind>) -> Stmt {
+        Stmt::Run {
+            module: module.into(),
+            binds,
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `hop { var = expr }`.
+    pub fn assign(var: impl Into<String>, expr: Expr) -> Stmt {
+        Stmt::Atom {
+            body: AtomBody::Assign(var.into(), expr),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// `hop { log(expr) }`.
+    pub fn log(expr: Expr) -> Stmt {
+        Stmt::Atom {
+            body: AtomBody::Log(expr),
+            loc: Loc::synthetic(),
+        }
+    }
+    /// Arbitrary host atom.
+    pub fn atom(
+        name: impl Into<String>,
+        reads: Vec<(String, crate::expr::SigAccess)>,
+        f: impl Fn(&mut dyn AtomCtx) + 'static,
+    ) -> Stmt {
+        Stmt::Atom {
+            body: AtomBody::Host {
+                name: name.into(),
+                reads,
+                f: Rc::new(f),
+            },
+            loc: Loc::synthetic(),
+        }
+    }
+
+    /// Number of statement nodes (the paper's "source code size" proxy for
+    /// experiments E1/E2).
+    pub fn statement_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Calls `f` on this statement and every nested statement.
+    pub fn visit(&self, f: &mut dyn FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Seq(ss) | Stmt::Par(ss) => {
+                for s in ss {
+                    s.visit(f);
+                }
+            }
+            Stmt::Loop(b) => b.visit(f),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.visit(f);
+                else_branch.visit(f);
+            }
+            Stmt::Abort { body, .. }
+            | Stmt::Suspend { body, .. }
+            | Stmt::Every { body, .. }
+            | Stmt::LoopEach { body, .. }
+            | Stmt::Trap { body, .. }
+            | Stmt::Local { body, .. } => body.visit(f),
+            _ => {}
+        }
+    }
+
+    /// Rewrites every signal name (declarations excluded — those introduce
+    /// fresh scopes handled by the linker) through `f`.
+    pub fn rename_free_signals(&mut self, f: &mut dyn FnMut(&str) -> String) {
+        match self {
+            Stmt::Nothing | Stmt::Pause | Stmt::Halt => {}
+            Stmt::Emit { signal, value, .. } | Stmt::Sustain { signal, value, .. } => {
+                *signal = f(signal);
+                if let Some(e) = value {
+                    e.rename_signals(f);
+                }
+            }
+            Stmt::Atom { body, .. } => match body {
+                AtomBody::Assign(_, e) | AtomBody::Log(e) => e.rename_signals(f),
+                AtomBody::Host { reads, .. } => {
+                    for (s, _) in reads {
+                        *s = f(s);
+                    }
+                }
+            },
+            Stmt::Seq(ss) | Stmt::Par(ss) => {
+                for s in ss {
+                    s.rename_free_signals(f);
+                }
+            }
+            Stmt::Loop(b) => b.rename_free_signals(f),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                cond.rename_signals(f);
+                then_branch.rename_free_signals(f);
+                else_branch.rename_free_signals(f);
+            }
+            Stmt::Await { delay, .. } => {
+                delay.cond.rename_signals(f);
+                if let Some(n) = &mut delay.count {
+                    n.rename_signals(f);
+                }
+            }
+            Stmt::Abort { delay, body, .. }
+            | Stmt::Suspend { delay, body, .. }
+            | Stmt::Every { delay, body, .. }
+            | Stmt::LoopEach { delay, body, .. } => {
+                delay.cond.rename_signals(f);
+                if let Some(n) = &mut delay.count {
+                    n.rename_signals(f);
+                }
+                body.rename_free_signals(f);
+            }
+            Stmt::Trap { body, .. } => body.rename_free_signals(f),
+            Stmt::Exit { .. } => {}
+            Stmt::Local { decls, body, .. } => {
+                // Locals shadow: exclude them from the substitution.
+                let shadowed: Vec<String> = decls.iter().map(|d| d.name.clone()).collect();
+                let mut g = |s: &str| {
+                    if shadowed.iter().any(|d| d == s) {
+                        s.to_owned()
+                    } else {
+                        f(s)
+                    }
+                };
+                body.rename_free_signals(&mut g);
+            }
+            Stmt::Async { spec, .. } => {
+                if let Some(sig) = &mut spec.done_signal {
+                    *sig = f(sig);
+                }
+            }
+            Stmt::Run { binds, .. } => {
+                for b in binds {
+                    if let RunBind::Signal { outer, .. } = b {
+                        *outer = f(outer);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Substitutes host variables with constants throughout (used for
+    /// `run`'s `var` bindings).
+    pub fn substitute_vars(&mut self, f: &mut dyn FnMut(&str) -> Option<Value>) {
+        match self {
+            Stmt::Nothing | Stmt::Pause | Stmt::Halt | Stmt::Exit { .. } => {}
+            Stmt::Emit { value, .. } | Stmt::Sustain { value, .. } => {
+                if let Some(e) = value {
+                    e.substitute_vars(f);
+                }
+            }
+            Stmt::Atom { body, .. } => match body {
+                AtomBody::Assign(_, e) | AtomBody::Log(e) => e.substitute_vars(f),
+                AtomBody::Host { .. } => {}
+            },
+            Stmt::Seq(ss) | Stmt::Par(ss) => {
+                for s in ss {
+                    s.substitute_vars(f);
+                }
+            }
+            Stmt::Loop(b) => b.substitute_vars(f),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                cond.substitute_vars(f);
+                then_branch.substitute_vars(f);
+                else_branch.substitute_vars(f);
+            }
+            Stmt::Await { delay, .. } => {
+                delay.cond.substitute_vars(f);
+                if let Some(n) = &mut delay.count {
+                    n.substitute_vars(f);
+                }
+            }
+            Stmt::Abort { delay, body, .. }
+            | Stmt::Suspend { delay, body, .. }
+            | Stmt::Every { delay, body, .. }
+            | Stmt::LoopEach { delay, body, .. } => {
+                delay.cond.substitute_vars(f);
+                if let Some(n) = &mut delay.count {
+                    n.substitute_vars(f);
+                }
+                body.substitute_vars(f);
+            }
+            Stmt::Trap { body, .. } | Stmt::Local { body, .. } => body.substitute_vars(f),
+            Stmt::Async { .. } => {}
+            Stmt::Run { binds, .. } => {
+                for b in binds {
+                    if let RunBind::Var { value, .. } = b {
+                        value.substitute_vars(f);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.pretty(f, 0)
+    }
+}
+
+impl Stmt {
+    fn pretty(&self, f: &mut fmt::Formatter<'_>, ind: usize) -> fmt::Result {
+        let pad = "  ".repeat(ind);
+        match self {
+            Stmt::Nothing => writeln!(f, "{pad};"),
+            Stmt::Pause => writeln!(f, "{pad}yield;"),
+            Stmt::Halt => writeln!(f, "{pad}halt;"),
+            Stmt::Emit { signal, value, .. } => match value {
+                Some(v) => writeln!(f, "{pad}emit {signal}({v});"),
+                None => writeln!(f, "{pad}emit {signal}();"),
+            },
+            Stmt::Sustain { signal, value, .. } => match value {
+                Some(v) => writeln!(f, "{pad}sustain {signal}({v});"),
+                None => writeln!(f, "{pad}sustain {signal}();"),
+            },
+            Stmt::Atom { body, .. } => match body {
+                AtomBody::Assign(v, e) => writeln!(f, "{pad}hop {{ {v} = {e}; }}"),
+                AtomBody::Log(e) => writeln!(f, "{pad}hop {{ log({e}); }}"),
+                AtomBody::Host { name, .. } => writeln!(f, "{pad}hop {{ host \"{name}\"; }}"),
+            },
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    s.pretty(f, ind)?;
+                }
+                Ok(())
+            }
+            Stmt::Par(ss) => {
+                for (i, s) in ss.iter().enumerate() {
+                    let kw = if i == 0 { "fork" } else { "} par" };
+                    writeln!(f, "{pad}{kw} {{")?;
+                    s.pretty(f, ind + 1)?;
+                }
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::Loop(b) => {
+                writeln!(f, "{pad}loop {{")?;
+                b.pretty(f, ind + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                writeln!(f, "{pad}if ({cond}) {{")?;
+                then_branch.pretty(f, ind + 1)?;
+                if **else_branch != Stmt::Nothing {
+                    writeln!(f, "{pad}}} else {{")?;
+                    else_branch.pretty(f, ind + 1)?;
+                }
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::Await { delay, .. } => writeln!(f, "{pad}await ({delay});"),
+            Stmt::Abort {
+                delay, weak, body, ..
+            } => {
+                writeln!(
+                    f,
+                    "{pad}{} ({delay}) {{",
+                    if *weak { "weakabort" } else { "abort" }
+                )?;
+                body.pretty(f, ind + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::Suspend { delay, body, .. } => {
+                writeln!(f, "{pad}suspend ({delay}) {{")?;
+                body.pretty(f, ind + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::Every { delay, body, .. } => {
+                writeln!(f, "{pad}every ({delay}) {{")?;
+                body.pretty(f, ind + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::LoopEach { delay, body, .. } => {
+                writeln!(f, "{pad}do {{")?;
+                body.pretty(f, ind + 1)?;
+                writeln!(f, "{pad}}} every ({delay})")
+            }
+            Stmt::Trap { label, body, .. } => {
+                writeln!(f, "{pad}{label}: {{")?;
+                body.pretty(f, ind + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::Exit { label, .. } => writeln!(f, "{pad}break {label};"),
+            Stmt::Local { decls, body, .. } => {
+                let names: Vec<&str> = decls.iter().map(|d| d.name.as_str()).collect();
+                writeln!(f, "{pad}signal {};", names.join(", "))?;
+                body.pretty(f, ind)
+            }
+            Stmt::Async { spec, .. } => {
+                match &spec.done_signal {
+                    Some(s) => writeln!(f, "{pad}async {s} {{ ... }}")?,
+                    None => writeln!(f, "{pad}async {{ ... }}")?,
+                }
+                Ok(())
+            }
+            Stmt::Run { module, binds, .. } => {
+                let mut parts = Vec::new();
+                for b in binds {
+                    match b {
+                        RunBind::Signal { inner, outer } => parts.push(format!("{inner} as {outer}")),
+                        RunBind::Var { name, value } => parts.push(format!("{name}={value}")),
+                    }
+                }
+                parts.push("...".to_owned());
+                writeln!(f, "{pad}run {module}({});", parts.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_flattens_and_drops_nothing() {
+        let s = Stmt::seq([
+            Stmt::Nothing,
+            Stmt::seq([Stmt::Pause, Stmt::Pause]),
+            Stmt::emit("a"),
+        ]);
+        match &s {
+            Stmt::Seq(ss) => assert_eq!(ss.len(), 3),
+            other => panic!("expected Seq, got {other:?}"),
+        }
+        assert_eq!(Stmt::seq([]), Stmt::Nothing);
+        assert_eq!(Stmt::seq([Stmt::Pause]), Stmt::Pause);
+    }
+
+    #[test]
+    fn par_singleton_collapses() {
+        assert_eq!(Stmt::par([Stmt::Pause]), Stmt::Pause);
+        assert!(matches!(Stmt::par([Stmt::Pause, Stmt::Halt]), Stmt::Par(_)));
+    }
+
+    #[test]
+    fn statement_count_counts_nested() {
+        let s = Stmt::loop_(Stmt::seq([Stmt::emit("a"), Stmt::Pause]));
+        // loop + seq + emit + pause
+        assert_eq!(s.statement_count(), 4);
+    }
+
+    #[test]
+    fn rename_respects_local_shadowing() {
+        let mut s = Stmt::local(
+            vec![SignalDecl::new("a", crate::signal::Direction::Local)],
+            Stmt::seq([Stmt::emit("a"), Stmt::emit("b")]),
+        );
+        s.rename_free_signals(&mut |n| format!("{n}_x"));
+        let shown = s.to_string();
+        assert!(shown.contains("emit a()"), "local a must not be renamed: {shown}");
+        assert!(shown.contains("emit b_x()"), "free b must be renamed: {shown}");
+    }
+
+    #[test]
+    fn var_substitution_in_delays() {
+        let mut s = Stmt::await_(Delay::count(Expr::var("attempts"), Expr::now("sig")));
+        s.substitute_vars(&mut |v| (v == "attempts").then(|| Value::Num(3.0)));
+        assert_eq!(s.to_string().trim(), "await (count(3, sig.now));");
+    }
+
+    #[test]
+    fn pretty_printer_shapes() {
+        let s = Stmt::par([
+            Stmt::every(Delay::cond(Expr::now("login")), Stmt::run("Authenticate")),
+            Stmt::Halt,
+        ]);
+        let text = s.to_string();
+        assert!(text.contains("fork {"));
+        assert!(text.contains("} par {"));
+        assert!(text.contains("every (login.now)"));
+    }
+
+    #[test]
+    fn delay_display() {
+        assert_eq!(Delay::immediate(Expr::now("s")).to_string(), "immediate s.now");
+        assert_eq!(
+            Delay::count(Expr::num(5.0), Expr::now("s")).to_string(),
+            "count(5, s.now)"
+        );
+    }
+}

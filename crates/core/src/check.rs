@@ -1,0 +1,531 @@
+//! Static checks on linked programs.
+//!
+//! Three families of checks run before compilation:
+//!
+//! 1. **Scoping** — every signal used is declared, every `break` has its
+//!    trap, no duplicate interface signals.
+//! 2. **Instantaneous loops** — a `loop`/`every`/`do..every` body must not
+//!    be able to terminate in the instant it starts (paper §3).
+//! 3. **Shared variables** — host variables written in one parallel branch
+//!    and touched in a sibling produce a warning (paper §2.2.2 forbids
+//!    sharing because it would break determinism).
+
+use crate::ast::{AtomBody, Delay, Stmt};
+use crate::error::{CoreError, Warning};
+use crate::module::LinkedProgram;
+use std::collections::HashSet;
+
+/// Result of a successful check: only warnings.
+pub type CheckReport = Vec<Warning>;
+
+/// Statically checks a linked program.
+///
+/// # Errors
+///
+/// Returns the first [`CoreError`] found (unbound signal, unknown trap
+/// label, instantaneous loop body, immediate counted delay, duplicate
+/// interface signal).
+pub fn check(program: &LinkedProgram) -> Result<CheckReport, CoreError> {
+    let mut seen = HashSet::new();
+    for d in &program.interface {
+        if !seen.insert(d.name.clone()) {
+            return Err(CoreError::DuplicateSignal {
+                signal: d.name.clone(),
+            });
+        }
+    }
+    let mut checker = Checker {
+        warnings: Vec::new(),
+    };
+    let scope: HashSet<String> = program.interface.iter().map(|d| d.name.clone()).collect();
+    checker.stmt(&program.body, &scope, &mut Vec::new())?;
+
+    // Never-emitted outputs (informative only).
+    let mut emitted = HashSet::new();
+    collect_emissions(&program.body, &mut emitted);
+    for d in &program.interface {
+        if d.direction == crate::signal::Direction::Out && !emitted.contains(&d.name) {
+            checker.warnings.push(Warning::NeverEmitted {
+                signal: d.name.clone(),
+            });
+        }
+    }
+    Ok(checker.warnings)
+}
+
+fn collect_emissions(stmt: &Stmt, out: &mut HashSet<String>) {
+    stmt.visit(&mut |s| match s {
+        Stmt::Emit { signal, .. } | Stmt::Sustain { signal, .. } => {
+            out.insert(signal.clone());
+        }
+        Stmt::Async { spec, .. } => {
+            if let Some(sig) = &spec.done_signal {
+                out.insert(sig.clone());
+            }
+        }
+        _ => {}
+    });
+}
+
+struct Checker {
+    warnings: Vec<Warning>,
+}
+
+impl Checker {
+    fn stmt(
+        &mut self,
+        stmt: &Stmt,
+        scope: &HashSet<String>,
+        traps: &mut Vec<String>,
+    ) -> Result<(), CoreError> {
+        match stmt {
+            Stmt::Nothing | Stmt::Pause | Stmt::Halt => Ok(()),
+            Stmt::Emit { signal, value, loc } | Stmt::Sustain { signal, value, loc } => {
+                self.signal_in_scope(signal, scope, loc)?;
+                if let Some(e) = value {
+                    self.expr_reads(e, scope, loc)?;
+                }
+                Ok(())
+            }
+            Stmt::Atom { body, loc } => {
+                for (s, _) in body.signal_reads() {
+                    self.signal_in_scope(&s, scope, loc)?;
+                }
+                Ok(())
+            }
+            Stmt::Seq(ss) | Stmt::Par(ss) => {
+                for s in ss {
+                    self.stmt(s, scope, traps)?;
+                }
+                if let Stmt::Par(branches) = stmt {
+                    self.check_shared_vars(branches);
+                }
+                Ok(())
+            }
+            Stmt::Loop(b) => {
+                let flow = Flow::of(b);
+                if flow.can_terminate_instantly {
+                    return Err(CoreError::InstantaneousLoop {
+                        loc: crate::ast::Loc::synthetic(),
+                    });
+                }
+                self.stmt(b, scope, traps)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                loc,
+            } => {
+                self.expr_reads(cond, scope, loc)?;
+                self.stmt(then_branch, scope, traps)?;
+                self.stmt(else_branch, scope, traps)
+            }
+            Stmt::Await { delay, loc } => self.delay(delay, scope, loc),
+            Stmt::Abort {
+                delay, body, loc, ..
+            }
+            | Stmt::Suspend { delay, body, loc } => {
+                self.delay(delay, scope, loc)?;
+                self.stmt(body, scope, traps)
+            }
+            Stmt::Every { delay, body, loc } | Stmt::LoopEach { delay, body, loc } => {
+                self.delay(delay, scope, loc)?;
+                // The restarted body must not be instantaneous when the
+                // restart is triggered; as in Esterel's `loop each`, an
+                // instantaneous body is fine because the restart waits for
+                // the next delay occurrence — no check needed here.
+                self.stmt(body, scope, traps)
+            }
+            Stmt::Trap { label, body, .. } => {
+                traps.push(label.clone());
+                let r = self.stmt(body, scope, traps);
+                traps.pop();
+                r
+            }
+            Stmt::Exit { label, loc } => {
+                if traps.iter().any(|t| t == label) {
+                    Ok(())
+                } else {
+                    Err(CoreError::UnknownTrapLabel {
+                        label: label.clone(),
+                        loc: loc.clone(),
+                    })
+                }
+            }
+            Stmt::Local { decls, body, .. } => {
+                let mut inner = scope.clone();
+                for d in decls {
+                    inner.insert(d.name.clone());
+                }
+                self.stmt(body, &inner, traps)
+            }
+            Stmt::Async { spec, loc } => {
+                if let Some(sig) = &spec.done_signal {
+                    self.signal_in_scope(sig, scope, loc)?;
+                }
+                Ok(())
+            }
+            Stmt::Run { module, loc, .. } => {
+                // Linked programs contain no Run; treat as an internal error
+                // surfaced as unknown module.
+                Err(CoreError::UnknownModule {
+                    module: module.clone(),
+                    loc: loc.clone(),
+                })
+            }
+        }
+    }
+
+    fn signal_in_scope(
+        &self,
+        name: &str,
+        scope: &HashSet<String>,
+        loc: &crate::ast::Loc,
+    ) -> Result<(), CoreError> {
+        if scope.contains(name) {
+            Ok(())
+        } else {
+            Err(CoreError::UnboundSignal {
+                signal: name.to_owned(),
+                loc: loc.clone(),
+            })
+        }
+    }
+
+    fn expr_reads(
+        &self,
+        e: &crate::expr::Expr,
+        scope: &HashSet<String>,
+        loc: &crate::ast::Loc,
+    ) -> Result<(), CoreError> {
+        for (s, _) in e.signal_reads() {
+            self.signal_in_scope(&s, scope, loc)?;
+        }
+        Ok(())
+    }
+
+    fn delay(
+        &self,
+        d: &Delay,
+        scope: &HashSet<String>,
+        loc: &crate::ast::Loc,
+    ) -> Result<(), CoreError> {
+        if d.immediate && d.count.is_some() {
+            return Err(CoreError::ImmediateCountedDelay { loc: loc.clone() });
+        }
+        self.expr_reads(&d.cond, scope, loc)?;
+        if let Some(n) = &d.count {
+            self.expr_reads(n, scope, loc)?;
+        }
+        Ok(())
+    }
+
+    fn check_shared_vars(&mut self, branches: &[Stmt]) {
+        let mut per_branch: Vec<(HashSet<String>, HashSet<String>)> = Vec::new();
+        for b in branches {
+            let mut reads = HashSet::new();
+            let mut writes = HashSet::new();
+            collect_vars(b, &mut reads, &mut writes);
+            per_branch.push((reads, writes));
+        }
+        let mut flagged = HashSet::new();
+        for (i, (_, writes_i)) in per_branch.iter().enumerate() {
+            for (j, (reads_j, writes_j)) in per_branch.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for v in writes_i {
+                    if (reads_j.contains(v) || writes_j.contains(v)) && flagged.insert(v.clone()) {
+                        self.warnings.push(Warning::SharedVariable { var: v.clone() });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn collect_vars(stmt: &Stmt, reads: &mut HashSet<String>, writes: &mut HashSet<String>) {
+    fn expr_vars(e: &crate::expr::Expr, reads: &mut HashSet<String>) {
+        match e {
+            crate::expr::Expr::Var(v) => {
+                reads.insert(v.clone());
+            }
+            crate::expr::Expr::Unary(_, x) | crate::expr::Expr::Field(x, _) => expr_vars(x, reads),
+            crate::expr::Expr::Binary(_, a, b) | crate::expr::Expr::Index(a, b) => {
+                expr_vars(a, reads);
+                expr_vars(b, reads);
+            }
+            crate::expr::Expr::Ternary(c, a, b) => {
+                expr_vars(c, reads);
+                expr_vars(a, reads);
+                expr_vars(b, reads);
+            }
+            crate::expr::Expr::Array(es) => es.iter().for_each(|e| expr_vars(e, reads)),
+            _ => {}
+        }
+    }
+    stmt.visit(&mut |s| match s {
+        Stmt::Atom {
+            body: AtomBody::Assign(v, e),
+            ..
+        } => {
+            writes.insert(v.clone());
+            expr_vars(e, reads);
+        }
+        Stmt::Atom {
+            body: AtomBody::Log(e),
+            ..
+        }
+        | Stmt::Emit { value: Some(e), .. }
+        | Stmt::Sustain { value: Some(e), .. } => expr_vars(e, reads),
+        Stmt::If { cond, .. } => expr_vars(cond, reads),
+        Stmt::Await { delay, .. }
+        | Stmt::Abort { delay, .. }
+        | Stmt::Suspend { delay, .. }
+        | Stmt::Every { delay, .. }
+        | Stmt::LoopEach { delay, .. } => {
+            expr_vars(&delay.cond, reads);
+            if let Some(n) = &delay.count {
+                expr_vars(n, reads);
+            }
+        }
+        _ => {}
+    });
+}
+
+/// Instantaneous-termination analysis (may-analysis, conservative).
+#[derive(Debug, Clone, Default)]
+pub struct Flow {
+    /// The statement may terminate (completion code 0) in its start instant.
+    pub can_terminate_instantly: bool,
+    /// Trap labels the statement may exit in its start instant.
+    pub instant_exits: HashSet<String>,
+}
+
+impl Flow {
+    /// Computes the flow of a statement.
+    pub fn of(stmt: &Stmt) -> Flow {
+        match stmt {
+            Stmt::Nothing | Stmt::Emit { .. } | Stmt::Atom { .. } => Flow {
+                can_terminate_instantly: true,
+                instant_exits: HashSet::new(),
+            },
+            Stmt::Pause | Stmt::Halt | Stmt::Sustain { .. } | Stmt::Async { .. } => Flow::default(),
+            Stmt::Seq(ss) => {
+                let mut can = true;
+                let mut exits = HashSet::new();
+                for s in ss {
+                    if !can {
+                        break;
+                    }
+                    let f = Flow::of(s);
+                    exits.extend(f.instant_exits);
+                    can = f.can_terminate_instantly;
+                }
+                Flow {
+                    can_terminate_instantly: can,
+                    instant_exits: exits,
+                }
+            }
+            Stmt::Par(ss) => {
+                let flows: Vec<Flow> = ss.iter().map(Flow::of).collect();
+                Flow {
+                    can_terminate_instantly: flows.iter().all(|f| f.can_terminate_instantly),
+                    instant_exits: flows
+                        .into_iter()
+                        .flat_map(|f| f.instant_exits)
+                        .collect(),
+                }
+            }
+            Stmt::Loop(b) => Flow {
+                can_terminate_instantly: false,
+                instant_exits: Flow::of(b).instant_exits,
+            },
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let a = Flow::of(then_branch);
+                let b = Flow::of(else_branch);
+                Flow {
+                    can_terminate_instantly: a.can_terminate_instantly
+                        || b.can_terminate_instantly,
+                    instant_exits: a
+                        .instant_exits
+                        .union(&b.instant_exits)
+                        .cloned()
+                        .collect(),
+                }
+            }
+            Stmt::Await { delay, .. } => Flow {
+                can_terminate_instantly: delay.immediate,
+                instant_exits: HashSet::new(),
+            },
+            Stmt::Abort { delay, body, .. } => {
+                let f = Flow::of(body);
+                Flow {
+                    can_terminate_instantly: f.can_terminate_instantly || delay.immediate,
+                    instant_exits: f.instant_exits,
+                }
+            }
+            Stmt::Suspend { body, .. } => Flow::of(body),
+            Stmt::Every { .. } => Flow::default(),
+            Stmt::LoopEach { body, .. } => Flow {
+                can_terminate_instantly: false,
+                instant_exits: Flow::of(body).instant_exits,
+            },
+            Stmt::Trap { label, body, .. } => {
+                let f = Flow::of(body);
+                let mut exits = f.instant_exits.clone();
+                let caught = exits.remove(label);
+                Flow {
+                    can_terminate_instantly: f.can_terminate_instantly || caught,
+                    instant_exits: exits,
+                }
+            }
+            Stmt::Exit { label, .. } => Flow {
+                can_terminate_instantly: false,
+                instant_exits: [label.clone()].into_iter().collect(),
+            },
+            Stmt::Local { body, .. } => Flow::of(body),
+            Stmt::Run { .. } => Flow {
+                // Unknown until linked; be conservative.
+                can_terminate_instantly: true,
+                instant_exits: HashSet::new(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Delay;
+    use crate::expr::Expr;
+    use crate::module::{link, Module, ModuleRegistry};
+    use crate::signal::{Direction, SignalDecl};
+
+    fn program(body: Stmt, signals: &[(&str, Direction)]) -> LinkedProgram {
+        let mut m = Module::new("T");
+        for (n, d) in signals {
+            m = m.signal(SignalDecl::new(*n, *d));
+        }
+        link(&m.body(body), &ModuleRegistry::new()).expect("links")
+    }
+
+    #[test]
+    fn unbound_signal_rejected() {
+        let p = program(Stmt::emit("ghost"), &[]);
+        assert!(matches!(
+            check(&p).unwrap_err(),
+            CoreError::UnboundSignal { .. }
+        ));
+    }
+
+    #[test]
+    fn local_signal_brings_name_into_scope() {
+        let p = program(
+            Stmt::local(
+                vec![SignalDecl::new("s", Direction::Local)],
+                Stmt::emit("s"),
+            ),
+            &[],
+        );
+        // Locals were freshened by the linker; emit target matches.
+        assert!(check(&p).is_ok());
+    }
+
+    #[test]
+    fn unknown_trap_label_rejected() {
+        let p = program(Stmt::exit("Nope"), &[]);
+        assert!(matches!(
+            check(&p).unwrap_err(),
+            CoreError::UnknownTrapLabel { .. }
+        ));
+        let ok = program(Stmt::trap("L", Stmt::exit("L")), &[]);
+        assert!(check(&ok).is_ok());
+    }
+
+    #[test]
+    fn instantaneous_loop_rejected() {
+        let p = program(Stmt::loop_(Stmt::emit("s")), &[("s", Direction::Out)]);
+        assert!(matches!(
+            check(&p).unwrap_err(),
+            CoreError::InstantaneousLoop { .. }
+        ));
+        // A pause fixes it.
+        let ok = program(
+            Stmt::loop_(Stmt::seq([Stmt::emit("s"), Stmt::Pause])),
+            &[("s", Direction::Out)],
+        );
+        assert!(check(&ok).is_ok());
+    }
+
+    #[test]
+    fn loop_exiting_trap_instantly_is_instantaneous_via_trap() {
+        // trap L { loop { break L } } — loop body exits instantly; the trap
+        // catches it so the trap may terminate instantly, but the loop
+        // itself never "terminates", so this is legal Esterel.
+        let p = program(Stmt::trap("L", Stmt::loop_(Stmt::exit("L"))), &[]);
+        assert!(check(&p).is_ok());
+    }
+
+    #[test]
+    fn immediate_counted_delay_rejected() {
+        let d = Delay {
+            immediate: true,
+            count: Some(Expr::num(2.0)),
+            cond: Expr::now("s"),
+        };
+        let p = program(Stmt::await_(d), &[("s", Direction::In)]);
+        assert!(matches!(
+            check(&p).unwrap_err(),
+            CoreError::ImmediateCountedDelay { .. }
+        ));
+    }
+
+    #[test]
+    fn shared_variable_warning() {
+        let p = program(
+            Stmt::par([
+                Stmt::assign("x", Expr::num(1.0)),
+                Stmt::seq([
+                    Stmt::Pause,
+                    Stmt::if_(Expr::var("x").gt(Expr::num(0.0)), Stmt::emit("s")),
+                ]),
+            ]),
+            &[("s", Direction::Out)],
+        );
+        let warnings = check(&p).expect("checks");
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, Warning::SharedVariable { var } if var == "x")));
+    }
+
+    #[test]
+    fn never_emitted_output_warning() {
+        let p = program(Stmt::Halt, &[("o", Direction::Out)]);
+        let warnings = check(&p).expect("checks");
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, Warning::NeverEmitted { signal } if signal == "o")));
+    }
+
+    #[test]
+    fn flow_analysis_cases() {
+        assert!(Flow::of(&Stmt::Nothing).can_terminate_instantly);
+        assert!(!Flow::of(&Stmt::Pause).can_terminate_instantly);
+        assert!(
+            Flow::of(&Stmt::seq([Stmt::emit("a"), Stmt::emit("b")])).can_terminate_instantly
+        );
+        assert!(!Flow::of(&Stmt::seq([Stmt::Pause, Stmt::emit("b")])).can_terminate_instantly);
+        assert!(
+            !Flow::of(&Stmt::par([Stmt::Nothing, Stmt::Pause])).can_terminate_instantly,
+            "par waits for all branches"
+        );
+        let aborted_halt = Stmt::abort(Delay::immediate(Expr::now("s")), Stmt::Halt);
+        assert!(Flow::of(&aborted_halt).can_terminate_instantly);
+    }
+}

@@ -1,0 +1,191 @@
+//! Desugaring of derived statements into the kernel the compiler
+//! translates.
+//!
+//! Following Esterel practice (paper §5: "expands all nested control
+//! structures"), the derived temporal statements reduce to a small kernel:
+//!
+//! | surface | kernel expansion |
+//! |---|---|
+//! | `await d` | `abort (d) { halt }` |
+//! | `every (d) { p }` | `await d; do { p } every d'` (d' non-immediate) |
+//! | `do { p } every (d)` | `loop { abort (d) { p; halt } }` |
+//! | `sustain S(e)` | `loop { emit S(e); yield }` |
+//!
+//! `abort`, `weakabort`, `suspend`, traps, `loop`, `par`, `async` and
+//! `halt` are translated directly by the compiler (direct circuits are
+//! smaller than their kernel encodings, which matters for the paper's
+//! circuit-size measurements).
+
+use crate::ast::{Delay, Stmt};
+
+/// Kernel statements after [`desugar`]: everything except
+/// [`Stmt::Await`], [`Stmt::Every`], [`Stmt::LoopEach`], [`Stmt::Sustain`]
+/// and [`Stmt::Run`] (removed earlier, by linking).
+pub fn desugar(stmt: &Stmt) -> Stmt {
+    match stmt {
+        Stmt::Nothing | Stmt::Pause | Stmt::Halt | Stmt::Emit { .. } | Stmt::Atom { .. } => {
+            stmt.clone()
+        }
+        Stmt::Sustain { signal, value, loc } => Stmt::loop_(Stmt::seq([
+            Stmt::Emit {
+                signal: signal.clone(),
+                value: value.clone(),
+                loc: loc.clone(),
+            },
+            Stmt::Pause,
+        ])),
+        Stmt::Seq(ss) => Stmt::seq(ss.iter().map(desugar)),
+        Stmt::Par(ss) => Stmt::Par(ss.iter().map(desugar).collect()),
+        Stmt::Loop(b) => Stmt::loop_(desugar(b)),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            loc,
+        } => Stmt::If {
+            cond: cond.clone(),
+            then_branch: Box::new(desugar(then_branch)),
+            else_branch: Box::new(desugar(else_branch)),
+            loc: loc.clone(),
+        },
+        Stmt::Await { delay, loc } => Stmt::Abort {
+            delay: delay.clone(),
+            weak: false,
+            body: Box::new(Stmt::Halt),
+            loc: loc.clone(),
+        },
+        Stmt::Abort {
+            delay,
+            weak,
+            body,
+            loc,
+        } => Stmt::Abort {
+            delay: delay.clone(),
+            weak: *weak,
+            body: Box::new(desugar(body)),
+            loc: loc.clone(),
+        },
+        Stmt::Suspend { delay, body, loc } => Stmt::Suspend {
+            delay: delay.clone(),
+            body: Box::new(desugar(body)),
+            loc: loc.clone(),
+        },
+        Stmt::Every { delay, body, loc } => {
+            // `every (d) p` = `await d; loop { abort (d) { p; halt } }`.
+            // The restart delay drops `immediate` (the occurrence that
+            // starts the body must not instantly re-kill it).
+            let restart = Delay {
+                immediate: false,
+                count: delay.count.clone(),
+                cond: delay.cond.clone(),
+            };
+            Stmt::seq([
+                desugar(&Stmt::Await {
+                    delay: delay.clone(),
+                    loc: loc.clone(),
+                }),
+                desugar(&Stmt::LoopEach {
+                    delay: restart,
+                    body: body.clone(),
+                    loc: loc.clone(),
+                }),
+            ])
+        }
+        Stmt::LoopEach { delay, body, loc } => Stmt::loop_(Stmt::Abort {
+            delay: delay.clone(),
+            weak: false,
+            body: Box::new(Stmt::seq([desugar(body), Stmt::Halt])),
+            loc: loc.clone(),
+        }),
+        Stmt::Trap { label, body, loc } => Stmt::Trap {
+            label: label.clone(),
+            body: Box::new(desugar(body)),
+            loc: loc.clone(),
+        },
+        Stmt::Exit { .. } => stmt.clone(),
+        Stmt::Local { decls, body, loc } => Stmt::Local {
+            decls: decls.clone(),
+            body: Box::new(desugar(body)),
+            loc: loc.clone(),
+        },
+        Stmt::Async { .. } => stmt.clone(),
+        Stmt::Run { .. } => {
+            unreachable!("Run statements must be linked away before desugaring")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn await_becomes_abort_of_halt() {
+        let s = desugar(&Stmt::await_(Delay::cond(Expr::now("s"))));
+        match s {
+            Stmt::Abort { weak, body, .. } => {
+                assert!(!weak);
+                assert_eq!(*body, Stmt::Halt);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_expands_to_await_then_loop() {
+        let s = desugar(&Stmt::every(
+            Delay::cond(Expr::now("login")),
+            Stmt::emit("go"),
+        ));
+        let text = format!("{s}");
+        assert!(text.contains("loop {"), "{text}");
+        // Both the initial await and the restart lower to aborts on the
+        // same condition.
+        assert_eq!(text.matches("abort (login.now)").count(), 2, "{text}");
+        assert!(text.contains("halt"), "{text}");
+    }
+
+    #[test]
+    fn every_immediate_restart_is_delayed() {
+        let s = desugar(&Stmt::every(
+            Delay::immediate(Expr::now("t")),
+            Stmt::emit("go"),
+        ));
+        let text = format!("{s}");
+        // The initial await keeps `immediate`...
+        assert!(text.contains("abort (immediate t.now)"), "{text}");
+        // ...but the restart abort must not be immediate.
+        assert_eq!(text.matches("abort (immediate").count(), 1, "{text}");
+        assert_eq!(text.matches("abort (t.now)").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn sustain_expands_to_loop_emit_pause() {
+        let s = desugar(&Stmt::sustain("alarm"));
+        let text = format!("{s}");
+        assert!(text.contains("emit alarm()"), "{text}");
+        assert!(text.contains("yield"), "{text}");
+    }
+
+    #[test]
+    fn nested_derived_forms_fully_lowered() {
+        let s = Stmt::every(
+            Delay::cond(Expr::now("a")),
+            Stmt::loop_each(Delay::cond(Expr::now("b")), Stmt::sustain("x")),
+        );
+        let k = desugar(&s);
+        k.visit(&mut |s| {
+            assert!(
+                !matches!(
+                    s,
+                    Stmt::Await { .. }
+                        | Stmt::Every { .. }
+                        | Stmt::LoopEach { .. }
+                        | Stmt::Sustain { .. }
+                ),
+                "derived statement survived desugaring: {s}"
+            );
+        });
+    }
+}

@@ -1,0 +1,144 @@
+//! Error types for the core language layer (linking and static checks).
+
+use crate::ast::Loc;
+use std::fmt;
+
+/// Errors raised while linking modules or statically checking a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// `run M(...)` names a module absent from the registry.
+    UnknownModule {
+        /// The missing module name.
+        module: String,
+        /// Where the `run` appears.
+        loc: Loc,
+    },
+    /// Module instantiation recursed (`A` runs `B` runs `A`).
+    RecursiveModule {
+        /// The instantiation chain, outermost first.
+        chain: Vec<String>,
+    },
+    /// A `run` binding names a signal or variable that the callee
+    /// interface does not declare.
+    UnknownRunBinding {
+        /// The callee module.
+        module: String,
+        /// The unknown binding name.
+        binding: String,
+        /// Where the `run` appears.
+        loc: Loc,
+    },
+    /// A `var` binding in a `run` does not fold to a constant.
+    NonConstantVarBinding {
+        /// The callee module.
+        module: String,
+        /// The variable name.
+        var: String,
+        /// Where the `run` appears.
+        loc: Loc,
+    },
+    /// A signal is used but not declared in any enclosing scope.
+    UnboundSignal {
+        /// The undeclared name.
+        signal: String,
+        /// Where it is used.
+        loc: Loc,
+    },
+    /// `break L` has no enclosing trap labelled `L`.
+    UnknownTrapLabel {
+        /// The label.
+        label: String,
+        /// Where the `break` appears.
+        loc: Loc,
+    },
+    /// A `loop` body may terminate instantaneously (paper §3: "the body is
+    /// not allowed to terminate instantly when started").
+    InstantaneousLoop {
+        /// Where the loop appears.
+        loc: Loc,
+    },
+    /// A delay combines `immediate` with `count(...)`, which HipHop
+    /// rejects.
+    ImmediateCountedDelay {
+        /// Where the delay appears.
+        loc: Loc,
+    },
+    /// Two interface signals share a name.
+    DuplicateSignal {
+        /// The duplicated name.
+        signal: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownModule { module, loc } => {
+                write!(f, "unknown module `{module}` in run at {loc}")
+            }
+            CoreError::RecursiveModule { chain } => {
+                write!(f, "recursive module instantiation: {}", chain.join(" -> "))
+            }
+            CoreError::UnknownRunBinding {
+                module,
+                binding,
+                loc,
+            } => write!(
+                f,
+                "binding `{binding}` not in interface of module `{module}` (run at {loc})"
+            ),
+            CoreError::NonConstantVarBinding { module, var, loc } => write!(
+                f,
+                "var binding `{var}` of module `{module}` is not a compile-time constant (run at {loc})"
+            ),
+            CoreError::UnboundSignal { signal, loc } => {
+                write!(f, "signal `{signal}` used at {loc} is not declared in scope")
+            }
+            CoreError::UnknownTrapLabel { label, loc } => {
+                write!(f, "break `{label}` at {loc} has no enclosing trap with that label")
+            }
+            CoreError::InstantaneousLoop { loc } => {
+                write!(f, "loop body at {loc} may terminate instantaneously")
+            }
+            CoreError::ImmediateCountedDelay { loc } => {
+                write!(f, "a delay at {loc} cannot be both immediate and counted")
+            }
+            CoreError::DuplicateSignal { signal } => {
+                write!(f, "duplicate interface signal `{signal}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Non-fatal findings from the static checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Warning {
+    /// A host variable is written in one parallel branch and accessed in a
+    /// sibling branch, which the paper forbids ("provided they are not
+    /// shared", §2.2.2) because it would break determinism.
+    SharedVariable {
+        /// The variable name.
+        var: String,
+    },
+    /// An output signal is never emitted by the program.
+    NeverEmitted {
+        /// The signal name.
+        signal: String,
+    },
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::SharedVariable { var } => write!(
+                f,
+                "variable `{var}` is shared between parallel branches; scheduling order is not part of the semantics"
+            ),
+            Warning::NeverEmitted { signal } => {
+                write!(f, "output signal `{signal}` is never emitted")
+            }
+        }
+    }
+}

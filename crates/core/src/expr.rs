@@ -1,0 +1,775 @@
+//! Data expressions embedded in HipHop statements.
+//!
+//! The paper embeds plain JavaScript expressions inside reactive statements
+//! (`if`, `emit`, delay conditions, ...) with the restriction that signal
+//! accesses are explicit: `S.now`, `S.pre`, `S.nowval`, `S.preval`
+//! (paper §2.2.1). We mirror this with an [`Expr`] tree whose signal
+//! accesses are first-class nodes, which lets the compiler compute the
+//! *data dependencies* that augment the boolean circuit (paper §5.1):
+//! an expression reading `S.now`/`S.nowval` may only be evaluated once
+//! `S`'s status (and, for values, all of `S`'s emitters) are resolved.
+//!
+//! Host Rust closures can be embedded with [`Expr::host`] provided they
+//! declare which signals they read.
+
+use crate::value::Value;
+use std::fmt;
+use std::rc::Rc;
+
+/// How an expression accesses a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SigAccess {
+    /// `S.now` — presence this instant (creates a causality dependency).
+    Now,
+    /// `S.pre` — presence at the previous instant (no dependency).
+    Pre,
+    /// `S.nowval` — value this instant (depends on all emitters of `S`).
+    NowVal,
+    /// `S.preval` — value at the previous instant (no dependency).
+    PreVal,
+}
+
+impl SigAccess {
+    /// Whether this access constrains same-instant scheduling.
+    pub fn is_causal(self) -> bool {
+        matches!(self, SigAccess::Now | SigAccess::NowVal)
+    }
+}
+
+/// Unary operators of the embedded expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation `!`.
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+/// Binary operators of the embedded expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (JavaScript semantics: string concat when either side is Str).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Rem,
+    /// `==` (loose equality).
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `===` (strict equality).
+    StrictEq,
+    /// `!==`.
+    StrictNe,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&` (returns a boolean; short-circuit is unobservable as the
+    /// expression language is pure).
+    And,
+    /// `||`.
+    Or,
+}
+
+/// A host function embedded in an expression, with its declared signal
+/// reads.
+#[derive(Clone)]
+pub struct HostExpr {
+    /// Human-readable name for diagnostics.
+    pub name: String,
+    /// Signals the closure reads, with the access kind.
+    pub reads: Vec<(String, SigAccess)>,
+    /// The closure; receives an evaluation environment.
+    pub f: Rc<dyn Fn(&dyn EvalEnv) -> Value>,
+}
+
+impl fmt::Debug for HostExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HostExpr({}, reads {:?})", self.name, self.reads)
+    }
+}
+
+impl PartialEq for HostExpr {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.f, &other.f)
+    }
+}
+
+/// The environment an expression is evaluated against.
+///
+/// Implemented by the runtime machine; tests can implement it with maps.
+pub trait EvalEnv {
+    /// Status of signal `name` this instant.
+    fn now(&self, name: &str) -> bool;
+    /// Status of signal `name` at the previous instant.
+    fn pre(&self, name: &str) -> bool;
+    /// Value of signal `name` this instant.
+    fn nowval(&self, name: &str) -> Value;
+    /// Value of signal `name` at the previous instant.
+    fn preval(&self, name: &str) -> Value;
+    /// Value of host variable `name` (module `var`s).
+    fn var(&self, name: &str) -> Value;
+}
+
+/// A pure data expression.
+///
+/// # Examples
+///
+/// Building `name.nowval.length >= 2 && passwd.nowval.length >= 2` from the
+/// paper's `Identity` module:
+///
+/// ```
+/// use hiphop_core::expr::Expr;
+///
+/// let e = Expr::nowval("name").field("length").ge(Expr::num(2.0))
+///     .and(Expr::nowval("passwd").field("length").ge(Expr::num(2.0)));
+/// assert_eq!(e.signal_reads().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// A signal access (`S.now`, `S.pre`, `S.nowval`, `S.preval`).
+    Sig(String, SigAccess),
+    /// A host variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Property access `e.name` (e.g. `.length`).
+    Field(Box<Expr>, String),
+    /// Index access `e[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// A call to a built-in pure function (see [`call_builtin`] for the
+    /// table): `min`, `max`, `abs`, `floor`, `ceil`, `round`, `sqrt`,
+    /// `pow`, `upper`, `lower`, `substring`, `indexOf`, `includes`,
+    /// `concat`. Unknown names evaluate to `Null`.
+    Call(String, Vec<Expr>),
+    /// A host closure with declared signal reads.
+    Host(HostExpr),
+}
+
+/// Evaluates a built-in pure function. Unknown functions return `Null`
+/// (mirroring JavaScript's loose failure modes; the static checker has no
+/// registry of host functions to validate against).
+pub fn call_builtin(name: &str, args: &[Value]) -> Value {
+    let num = |i: usize| args.get(i).map(Value::as_num).unwrap_or(f64::NAN);
+    let text = |i: usize| {
+        args.get(i)
+            .map(Value::to_display_string)
+            .unwrap_or_default()
+    };
+    match name {
+        "min" => Value::Num(args.iter().map(Value::as_num).fold(f64::INFINITY, f64::min)),
+        "max" => Value::Num(
+            args.iter()
+                .map(Value::as_num)
+                .fold(f64::NEG_INFINITY, f64::max),
+        ),
+        "abs" => Value::Num(num(0).abs()),
+        "floor" => Value::Num(num(0).floor()),
+        "ceil" => Value::Num(num(0).ceil()),
+        "round" => Value::Num(num(0).round()),
+        "sqrt" => Value::Num(num(0).sqrt()),
+        "pow" => Value::Num(num(0).powf(num(1))),
+        "upper" => Value::Str(text(0).to_uppercase()),
+        "lower" => Value::Str(text(0).to_lowercase()),
+        "concat" => Value::Str(args.iter().map(Value::to_display_string).collect()),
+        "substring" => {
+            let s = text(0);
+            let chars: Vec<char> = s.chars().collect();
+            let from = (num(1).max(0.0) as usize).min(chars.len());
+            let to = if args.len() > 2 {
+                (num(2).max(0.0) as usize).min(chars.len())
+            } else {
+                chars.len()
+            };
+            Value::Str(chars[from..to.max(from)].iter().collect())
+        }
+        "indexOf" => {
+            let hay = text(0);
+            let needle = text(1);
+            Value::Num(
+                hay.find(&needle)
+                    .map(|b| hay[..b].chars().count() as f64)
+                    .unwrap_or(-1.0),
+            )
+        }
+        "includes" => Value::Bool(text(0).contains(&text(1))),
+        "window_push" => {
+            // window_push(arr, item, n): append and keep the last n.
+            let mut items = match args.first() {
+                Some(Value::Arr(xs)) => xs.clone(),
+                _ => Vec::new(),
+            };
+            if let Some(item) = args.get(1) {
+                items.push(item.clone());
+            }
+            let n = num(2).max(0.0) as usize;
+            if items.len() > n {
+                items.drain(..items.len() - n);
+            }
+            Value::Arr(items)
+        }
+        _ => Value::Null,
+    }
+}
+
+#[allow(clippy::should_implement_trait)] // DSL combinators mirror the paper's operators
+impl Expr {
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+    /// Numeric literal.
+    pub fn num(n: f64) -> Expr {
+        Expr::Lit(Value::Num(n))
+    }
+    /// String literal.
+    pub fn str(s: impl Into<String>) -> Expr {
+        Expr::Lit(Value::Str(s.into()))
+    }
+    /// Boolean literal.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Lit(Value::Bool(b))
+    }
+    /// `S.now`.
+    pub fn now(sig: impl Into<String>) -> Expr {
+        Expr::Sig(sig.into(), SigAccess::Now)
+    }
+    /// `S.pre`.
+    pub fn pre(sig: impl Into<String>) -> Expr {
+        Expr::Sig(sig.into(), SigAccess::Pre)
+    }
+    /// `S.nowval`.
+    pub fn nowval(sig: impl Into<String>) -> Expr {
+        Expr::Sig(sig.into(), SigAccess::NowVal)
+    }
+    /// `S.preval`.
+    pub fn preval(sig: impl Into<String>) -> Expr {
+        Expr::Sig(sig.into(), SigAccess::PreVal)
+    }
+    /// Host variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+    /// Embeds a host closure; `reads` must list every signal access the
+    /// closure performs so the compiler can schedule it (paper §5.1 "data
+    /// dependencies").
+    pub fn host(
+        name: impl Into<String>,
+        reads: Vec<(String, SigAccess)>,
+        f: impl Fn(&dyn EvalEnv) -> Value + 'static,
+    ) -> Expr {
+        Expr::Host(HostExpr {
+            name: name.into(),
+            reads,
+            f: Rc::new(f),
+        })
+    }
+
+    /// `!self`.
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(self))
+    }
+    /// `-self`.
+    pub fn neg(self) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(self))
+    }
+    fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(self), Box::new(rhs))
+    }
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+    /// `self == rhs` (loose).
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+    /// `self != rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ne, rhs)
+    }
+    /// `self === rhs`.
+    pub fn strict_eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::StrictEq, rhs)
+    }
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Le, rhs)
+    }
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ge, rhs)
+    }
+    /// `self && rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+    /// `self || rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+    /// `self.name`.
+    pub fn field(self, name: impl Into<String>) -> Expr {
+        Expr::Field(Box::new(self), name.into())
+    }
+    /// `self[i]`.
+    pub fn index(self, i: Expr) -> Expr {
+        Expr::Index(Box::new(self), Box::new(i))
+    }
+    /// `cond ? self : other` with `self` as the then-branch.
+    pub fn ternary(cond: Expr, a: Expr, b: Expr) -> Expr {
+        Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b))
+    }
+    /// A built-in function call (see [`call_builtin`]).
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.into(), args)
+    }
+
+    /// Every signal access in the expression (for dependency analysis and
+    /// scope checking). Duplicates are preserved.
+    pub fn signal_reads(&self) -> Vec<(String, SigAccess)> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<(String, SigAccess)>) {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => {}
+            Expr::Sig(s, a) => out.push((s.clone(), *a)),
+            Expr::Unary(_, e) | Expr::Field(e, _) => e.collect_reads(out),
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::Ternary(c, a, b) => {
+                c.collect_reads(out);
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::Array(es) | Expr::Call(_, es) => {
+                for e in es {
+                    e.collect_reads(out);
+                }
+            }
+            Expr::Host(h) => out.extend(h.reads.iter().cloned()),
+        }
+    }
+
+    /// Rewrites every signal name through `f` (used by module linking to
+    /// bind interface signals to caller signals).
+    pub fn rename_signals(&mut self, f: &mut dyn FnMut(&str) -> String) {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => {}
+            Expr::Sig(s, _) => *s = f(s),
+            Expr::Unary(_, e) | Expr::Field(e, _) => e.rename_signals(f),
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+                a.rename_signals(f);
+                b.rename_signals(f);
+            }
+            Expr::Ternary(c, a, b) => {
+                c.rename_signals(f);
+                a.rename_signals(f);
+                b.rename_signals(f);
+            }
+            Expr::Array(es) | Expr::Call(_, es) => {
+                for e in es {
+                    e.rename_signals(f);
+                }
+            }
+            Expr::Host(h) => {
+                for (s, _) in &mut h.reads {
+                    *s = f(s);
+                }
+            }
+        }
+    }
+
+    /// Substitutes host variables with constant values (used when `run`
+    /// binds module `var`s, e.g. `run Freeze(max=5, ...)`).
+    pub fn substitute_vars(&mut self, f: &mut dyn FnMut(&str) -> Option<Value>) {
+        match self {
+            Expr::Lit(_) | Expr::Sig(..) => {}
+            Expr::Var(name) => {
+                if let Some(v) = f(name) {
+                    *self = Expr::Lit(v);
+                }
+            }
+            Expr::Unary(_, e) | Expr::Field(e, _) => e.substitute_vars(f),
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+                a.substitute_vars(f);
+                b.substitute_vars(f);
+            }
+            Expr::Ternary(c, a, b) => {
+                c.substitute_vars(f);
+                a.substitute_vars(f);
+                b.substitute_vars(f);
+            }
+            Expr::Array(es) | Expr::Call(_, es) => {
+                for e in es {
+                    e.substitute_vars(f);
+                }
+            }
+            Expr::Host(_) => {}
+        }
+    }
+
+    /// Evaluates the expression in `env`.
+    pub fn eval(&self, env: &dyn EvalEnv) -> Value {
+        match self {
+            Expr::Lit(v) => v.clone(),
+            Expr::Sig(s, a) => match a {
+                SigAccess::Now => Value::Bool(env.now(s)),
+                SigAccess::Pre => Value::Bool(env.pre(s)),
+                SigAccess::NowVal => env.nowval(s),
+                SigAccess::PreVal => env.preval(s),
+            },
+            Expr::Var(name) => env.var(name),
+            Expr::Unary(op, e) => {
+                let v = e.eval(env);
+                match op {
+                    UnOp::Not => Value::Bool(!v.truthy()),
+                    UnOp::Neg => Value::Num(-v.as_num()),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let x = a.eval(env);
+                let y = b.eval(env);
+                match op {
+                    BinOp::Add => crate::signal::Combine::Plus.apply(&x, &y),
+                    BinOp::Sub => Value::Num(x.as_num() - y.as_num()),
+                    BinOp::Mul => Value::Num(x.as_num() * y.as_num()),
+                    BinOp::Div => Value::Num(x.as_num() / y.as_num()),
+                    BinOp::Rem => Value::Num(x.as_num() % y.as_num()),
+                    BinOp::Eq => Value::Bool(x.loose_eq(&y)),
+                    BinOp::Ne => Value::Bool(!x.loose_eq(&y)),
+                    BinOp::StrictEq => Value::Bool(x == y),
+                    BinOp::StrictNe => Value::Bool(x != y),
+                    BinOp::Lt => Self::cmp_vals(&x, &y, |o| o == std::cmp::Ordering::Less),
+                    BinOp::Le => Self::cmp_vals(&x, &y, |o| o != std::cmp::Ordering::Greater),
+                    BinOp::Gt => Self::cmp_vals(&x, &y, |o| o == std::cmp::Ordering::Greater),
+                    BinOp::Ge => Self::cmp_vals(&x, &y, |o| o != std::cmp::Ordering::Less),
+                    BinOp::And => Value::Bool(x.truthy() && y.truthy()),
+                    BinOp::Or => Value::Bool(x.truthy() || y.truthy()),
+                }
+            }
+            Expr::Ternary(c, a, b) => {
+                if c.eval(env).truthy() {
+                    a.eval(env)
+                } else {
+                    b.eval(env)
+                }
+            }
+            Expr::Field(e, name) => e.eval(env).field(name),
+            Expr::Index(e, i) => e.eval(env).index(&i.eval(env)),
+            Expr::Array(es) => Value::Arr(es.iter().map(|e| e.eval(env)).collect()),
+            Expr::Call(name, es) => {
+                let args: Vec<Value> = es.iter().map(|e| e.eval(env)).collect();
+                call_builtin(name, &args)
+            }
+            Expr::Host(h) => (h.f)(env),
+        }
+    }
+
+    fn cmp_vals(x: &Value, y: &Value, test: impl Fn(std::cmp::Ordering) -> bool) -> Value {
+        // String-string comparisons are lexicographic (JavaScript);
+        // everything else numeric. NaN comparisons are false.
+        match (x, y) {
+            (Value::Str(a), Value::Str(b)) => Value::Bool(test(a.cmp(b))),
+            _ => {
+                let (a, b) = (x.as_num(), y.as_num());
+                Value::Bool(a.partial_cmp(&b).map(&test).unwrap_or(false))
+            }
+        }
+    }
+
+    /// Constant-folds the expression if it reads no signals or variables.
+    pub fn const_value(&self) -> Option<Value> {
+        struct Empty;
+        impl EvalEnv for Empty {
+            fn now(&self, _: &str) -> bool {
+                false
+            }
+            fn pre(&self, _: &str) -> bool {
+                false
+            }
+            fn nowval(&self, _: &str) -> Value {
+                Value::Null
+            }
+            fn preval(&self, _: &str) -> Value {
+                Value::Null
+            }
+            fn var(&self, _: &str) -> Value {
+                Value::Null
+            }
+        }
+        if self.signal_reads().is_empty() && !self.reads_vars() {
+            Some(self.eval(&Empty))
+        } else {
+            None
+        }
+    }
+
+    fn reads_vars(&self) -> bool {
+        match self {
+            Expr::Var(_) => true,
+            Expr::Lit(_) | Expr::Sig(..) => false,
+            Expr::Unary(_, e) | Expr::Field(e, _) => e.reads_vars(),
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => a.reads_vars() || b.reads_vars(),
+            Expr::Ternary(c, a, b) => c.reads_vars() || a.reads_vars() || b.reads_vars(),
+            Expr::Array(es) | Expr::Call(_, es) => es.iter().any(Expr::reads_vars),
+            Expr::Host(_) => true, // conservatively assume host closures read state
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Sig(s, a) => match a {
+                SigAccess::Now => write!(f, "{s}.now"),
+                SigAccess::Pre => write!(f, "{s}.pre"),
+                SigAccess::NowVal => write!(f, "{s}.nowval"),
+                SigAccess::PreVal => write!(f, "{s}.preval"),
+            },
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Unary(UnOp::Not, e) => write!(f, "!({e})"),
+            Expr::Unary(UnOp::Neg, e) => write!(f, "-({e})"),
+            Expr::Binary(op, a, b) => {
+                let s = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::StrictEq => "===",
+                    BinOp::StrictNe => "!==",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::And => "&&",
+                    BinOp::Or => "||",
+                };
+                write!(f, "({a} {s} {b})")
+            }
+            Expr::Ternary(c, a, b) => write!(f, "({c} ? {a} : {b})"),
+            Expr::Field(e, n) => write!(f, "{e}.{n}"),
+            Expr::Index(e, i) => write!(f, "{e}[{i}]"),
+            Expr::Array(es) => {
+                write!(f, "[")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            Expr::Call(name, es) => {
+                write!(f, "{name}(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Host(h) => write!(f, "${{{}}}", h.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapEnv {
+        now: HashMap<String, bool>,
+        vals: HashMap<String, Value>,
+        vars: HashMap<String, Value>,
+    }
+    impl MapEnv {
+        fn new() -> Self {
+            MapEnv {
+                now: HashMap::new(),
+                vals: HashMap::new(),
+                vars: HashMap::new(),
+            }
+        }
+    }
+    impl EvalEnv for MapEnv {
+        fn now(&self, n: &str) -> bool {
+            *self.now.get(n).unwrap_or(&false)
+        }
+        fn pre(&self, _: &str) -> bool {
+            false
+        }
+        fn nowval(&self, n: &str) -> Value {
+            self.vals.get(n).cloned().unwrap_or(Value::Null)
+        }
+        fn preval(&self, _: &str) -> Value {
+            Value::Null
+        }
+        fn var(&self, n: &str) -> Value {
+            self.vars.get(n).cloned().unwrap_or(Value::Null)
+        }
+    }
+
+    #[test]
+    fn identity_module_condition() {
+        // name.nowval.length >= 2 && passwd.nowval.length >= 2
+        let e = Expr::nowval("name")
+            .field("length")
+            .ge(Expr::num(2.0))
+            .and(Expr::nowval("passwd").field("length").ge(Expr::num(2.0)));
+        let mut env = MapEnv::new();
+        env.vals.insert("name".into(), Value::from("jo"));
+        env.vals.insert("passwd".into(), Value::from("x"));
+        assert_eq!(e.eval(&env), Value::Bool(false));
+        env.vals.insert("passwd".into(), Value::from("xy"));
+        assert_eq!(e.eval(&env), Value::Bool(true));
+    }
+
+    #[test]
+    fn signal_reads_collected() {
+        let e = Expr::now("login").or(Expr::preval("time").gt(Expr::num(5.0)));
+        let reads = e.signal_reads();
+        assert_eq!(reads.len(), 2);
+        assert!(reads.contains(&("login".into(), SigAccess::Now)));
+        assert!(reads.contains(&("time".into(), SigAccess::PreVal)));
+        assert!(SigAccess::Now.is_causal());
+        assert!(!SigAccess::PreVal.is_causal());
+    }
+
+    #[test]
+    fn rename_and_substitute() {
+        let mut e = Expr::nowval("sig").gt(Expr::var("max"));
+        e.rename_signals(&mut |s| {
+            if s == "sig" {
+                "connected".into()
+            } else {
+                s.into()
+            }
+        });
+        e.substitute_vars(&mut |v| (v == "max").then(|| Value::Num(5.0)));
+        assert_eq!(e.to_string(), "(connected.nowval > 5)");
+    }
+
+    #[test]
+    fn const_folding() {
+        assert_eq!(
+            Expr::num(2.0).add(Expr::num(3.0)).const_value(),
+            Some(Value::Num(5.0))
+        );
+        assert_eq!(Expr::now("s").const_value(), None);
+        assert_eq!(Expr::var("x").const_value(), None);
+    }
+
+    #[test]
+    fn comparison_nan_and_strings() {
+        let env = MapEnv::new();
+        assert_eq!(
+            Expr::str("a").lt(Expr::str("b")).eval(&env),
+            Value::Bool(true)
+        );
+        // NaN comparisons are false either way.
+        let nan = Expr::num(f64::NAN);
+        assert_eq!(nan.clone().lt(Expr::num(1.0)).eval(&env), Value::Bool(false));
+        assert_eq!(nan.ge(Expr::num(1.0)).eval(&env), Value::Bool(false));
+    }
+
+    #[test]
+    fn ternary_and_host() {
+        let mut env = MapEnv::new();
+        env.now.insert("go".into(), true);
+        let e = Expr::ternary(Expr::now("go"), Expr::str("yes"), Expr::str("no"));
+        assert_eq!(e.eval(&env), Value::from("yes"));
+        let h = Expr::host("double", vec![("x".into(), SigAccess::NowVal)], |env| {
+            Value::Num(env.nowval("x").as_num() * 2.0)
+        });
+        env.vals.insert("x".into(), Value::Num(21.0));
+        assert_eq!(h.eval(&env), Value::Num(42.0));
+        assert_eq!(h.signal_reads(), vec![("x".into(), SigAccess::NowVal)]);
+    }
+
+    #[test]
+    fn builtin_calls() {
+        let env = MapEnv::new();
+        assert_eq!(
+            Expr::call("min", vec![Expr::num(3.0), Expr::num(1.0), Expr::num(2.0)]).eval(&env),
+            Value::Num(1.0)
+        );
+        assert_eq!(
+            Expr::call("upper", vec![Expr::str("joe")]).eval(&env),
+            Value::from("JOE")
+        );
+        assert_eq!(
+            Expr::call("substring", vec![Expr::str("hello"), Expr::num(1.0), Expr::num(3.0)])
+                .eval(&env),
+            Value::from("el")
+        );
+        assert_eq!(
+            Expr::call("indexOf", vec![Expr::str("hello"), Expr::str("llo")]).eval(&env),
+            Value::Num(2.0)
+        );
+        assert_eq!(
+            Expr::call("includes", vec![Expr::str("hello"), Expr::str("xyz")]).eval(&env),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::call("nonsense", vec![]).eval(&env),
+            Value::Null,
+            "unknown builtins are Null"
+        );
+        // Reads flow through call arguments.
+        let e = Expr::call("abs", vec![Expr::nowval("x")]);
+        assert_eq!(e.signal_reads().len(), 1);
+        assert_eq!(e.to_string(), "abs(x.nowval)");
+    }
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        let e = Expr::now("a").and(Expr::nowval("b").field("length").ge(Expr::num(2.0)));
+        assert_eq!(e.to_string(), "(a.now && (b.nowval.length >= 2))");
+    }
+}

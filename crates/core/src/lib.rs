@@ -1,0 +1,67 @@
+//! Core language layer of the HipHop reproduction: values, signals,
+//! expressions, the statement AST, modules and linking, static checks, and
+//! desugaring to the compiler kernel.
+//!
+//! This crate reproduces the language described in *"HipHop.js:
+//! (A)Synchronous Reactive Web Programming"* (Berry & Serrano, PLDI 2020).
+//! A program is a [`module::Module`] whose body is a [`ast::Stmt`] tree;
+//! `run` instantiations are inlined by [`module::link`], derived temporal
+//! statements are lowered by [`desugar::desugar`], and the result is handed
+//! to `hiphop-compiler` which produces an augmented boolean circuit
+//! executed by `hiphop-runtime`.
+//!
+//! # Examples
+//!
+//! Building and linking a tiny module (the classic ABRO program):
+//!
+//! ```
+//! use hiphop_core::prelude::*;
+//!
+//! let abro = Module::new("ABRO")
+//!     .input(SignalDecl::new("A", Direction::In))
+//!     .input(SignalDecl::new("B", Direction::In))
+//!     .input(SignalDecl::new("R", Direction::In))
+//!     .output(SignalDecl::new("O", Direction::Out))
+//!     .body(Stmt::loop_each(
+//!         Delay::cond(Expr::now("R")),
+//!         Stmt::seq([
+//!             Stmt::par([
+//!                 Stmt::await_(Delay::cond(Expr::now("A"))),
+//!                 Stmt::await_(Delay::cond(Expr::now("B"))),
+//!             ]),
+//!             Stmt::emit("O"),
+//!         ]),
+//!     ));
+//!
+//! let linked = link(&abro, &ModuleRegistry::new())?;
+//! assert!(check(&linked)?.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::type_complexity)] // Rc<dyn Fn> hook signatures are the API
+
+pub mod ast;
+pub mod check;
+pub mod desugar;
+pub mod error;
+pub mod expr;
+pub mod library;
+pub mod mailbox;
+pub mod module;
+pub mod signal;
+pub mod streams;
+pub mod value;
+
+/// Convenience re-exports for building HipHop programs.
+pub mod prelude {
+    pub use crate::ast::{AsyncCtx, AsyncHook, AsyncSpec, Delay, Loc, RunBind, Stmt};
+    pub use crate::mailbox::{AsyncHandle, MachineOp, Mailbox};
+    pub use crate::check::check;
+    pub use crate::desugar::desugar;
+    pub use crate::error::{CoreError, Warning};
+    pub use crate::expr::{Expr, SigAccess};
+    pub use crate::module::{link, LinkedProgram, Module, ModuleRegistry, VarDecl};
+    pub use crate::signal::{Combine, Direction, SignalDecl};
+    pub use crate::value::Value;
+}

@@ -1,0 +1,128 @@
+//! A library of reusable temporal modules — the paper's §2.3 claim:
+//! HipHop's behavioral modularity "facilitates … the building and reuse
+//! of library modules" (the `Timer` of §2.2.5 lives in
+//! `hiphop-eventloop::stdlib` because it needs the host clock; the
+//! modules here are pure reactive logic).
+//!
+//! All modules are parameterized by a tick signal so they work with any
+//! time base (seconds, minutes, beats).
+
+use crate::ast::{Delay, Stmt};
+use crate::expr::Expr;
+use crate::module::{Module, VarDecl};
+use crate::signal::{Direction, SignalDecl};
+
+/// `Debounce(var n, in sig, in tick, out debounced)` — emits `debounced`
+/// once `sig` has been quiet for `n` ticks after (re)occurring; every new
+/// `sig` restarts the quiet window.
+pub fn debounce() -> Module {
+    Module::new("Debounce")
+        .var(VarDecl::with_default("n", 2i64))
+        .input(SignalDecl::new("sig", Direction::In))
+        .input(SignalDecl::new("tick", Direction::In))
+        .output(SignalDecl::new("debounced", Direction::Out))
+        .body(Stmt::every(
+            Delay::cond(Expr::now("sig")),
+            Stmt::seq([
+                Stmt::await_(Delay::count(Expr::var("n"), Expr::now("tick"))),
+                Stmt::emit("debounced"),
+                Stmt::Halt,
+            ]),
+        ))
+}
+
+/// `Watchdog(var n, in kick, in tick, out alarm)` — sustains `alarm`
+/// when `kick` has been missing for `n` ticks; any `kick` resets it.
+pub fn watchdog() -> Module {
+    Module::new("Watchdog")
+        .var(VarDecl::with_default("n", 3i64))
+        .input(SignalDecl::new("kick", Direction::In))
+        .input(SignalDecl::new("tick", Direction::In))
+        .output(SignalDecl::new("alarm", Direction::Out))
+        .body(Stmt::loop_each(
+            Delay::cond(Expr::now("kick")),
+            Stmt::seq([
+                Stmt::await_(Delay::count(Expr::var("n"), Expr::now("tick"))),
+                Stmt::sustain("alarm"),
+            ]),
+        ))
+}
+
+/// `TimeoutGuard(var n, in start, in done, in tick, out timeout)` —
+/// after each `start`, emits `timeout` if `done` does not arrive within
+/// `n` ticks (the "process parallel queries, abort the others" pattern
+/// the paper's related work calls fundamental).
+pub fn timeout_guard() -> Module {
+    Module::new("TimeoutGuard")
+        .var(VarDecl::with_default("n", 5i64))
+        .input(SignalDecl::new("start", Direction::In))
+        .input(SignalDecl::new("done", Direction::In))
+        .input(SignalDecl::new("tick", Direction::In))
+        .output(SignalDecl::new("timeout", Direction::Out))
+        .body(Stmt::every(
+            Delay::cond(Expr::now("start")),
+            Stmt::trap(
+                "Watch",
+                Stmt::par([
+                    Stmt::seq([
+                        Stmt::await_(Delay::cond(Expr::now("done"))),
+                        Stmt::exit("Watch"),
+                    ]),
+                    Stmt::seq([
+                        Stmt::await_(Delay::count(Expr::var("n"), Expr::now("tick"))),
+                        Stmt::emit("timeout"),
+                        Stmt::exit("Watch"),
+                    ]),
+                ]),
+            ),
+        ))
+}
+
+/// `RisingEdge(in sig, out rise)` — emits `rise` at instants where `sig`
+/// is present but was absent at the previous instant.
+pub fn rising_edge() -> Module {
+    Module::new("RisingEdge")
+        .input(SignalDecl::new("sig", Direction::In))
+        .output(SignalDecl::new("rise", Direction::Out))
+        .body(Stmt::loop_(Stmt::seq([
+            Stmt::if_(Expr::now("sig").and(Expr::pre("sig").not()), Stmt::emit("rise")),
+            Stmt::Pause,
+        ])))
+}
+
+/// `PulseDivider(var n, in sig, out out)` — emits `out` every `n`-th
+/// occurrence of `sig`, repeatedly.
+pub fn pulse_divider() -> Module {
+    Module::new("PulseDivider")
+        .var(VarDecl::with_default("n", 2i64))
+        .input(SignalDecl::new("sig", Direction::In))
+        .output(SignalDecl::new("out", Direction::Out))
+        .body(Stmt::every(
+            Delay::count(Expr::var("n"), Expr::now("sig")),
+            Stmt::emit("out"),
+        ))
+}
+
+/// `Latch(in set, in reset, out q)` — sustains `q` from `set` until
+/// `reset` (reset wins on simultaneity).
+pub fn latch() -> Module {
+    Module::new("Latch")
+        .input(SignalDecl::new("set", Direction::In))
+        .input(SignalDecl::new("reset", Direction::In))
+        .output(SignalDecl::new("q", Direction::Out))
+        .body(Stmt::loop_(Stmt::seq([
+            Stmt::await_(Delay::cond(Expr::now("set").and(Expr::now("reset").not()))),
+            Stmt::abort(Delay::cond(Expr::now("reset")), Stmt::sustain("q")),
+        ])))
+}
+
+/// Registers every library module into `registry` (convenience for
+/// programs that `run` them by name).
+pub fn register_all(registry: &mut crate::module::ModuleRegistry) {
+    registry.register(debounce());
+    registry.register(watchdog());
+    registry.register(timeout_guard());
+    registry.register(rising_edge());
+    registry.register(pulse_divider());
+    registry.register(latch());
+}

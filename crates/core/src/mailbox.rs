@@ -1,0 +1,163 @@
+//! The machine mailbox: how asynchronous host activities talk back to the
+//! reactive machine.
+//!
+//! The paper's `async` bodies receive a `this` object with `notify(v)` and
+//! `react({...})` (§2.2.4–2.2.5); both are *queued* operations — they
+//! trigger future reactions, never re-enter the current one (JavaScript's
+//! atomic execution guarantees this; in Rust the mailbox makes it
+//! explicit). The host driver (the event loop, or a test) drains the
+//! mailbox between reactions.
+
+use crate::value::Value;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+/// An operation queued for the machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineOp {
+    /// An async instance completed with a value (paper: `this.notify(v)`).
+    Notify {
+        /// The async statement's circuit index.
+        async_id: u32,
+        /// The spawn generation; stale notifications (from a killed
+        /// incarnation) are discarded.
+        instance: u64,
+        /// The completion value.
+        value: Value,
+    },
+    /// Request a reaction with these inputs (paper: `this.react({...})`).
+    React(Vec<(String, Value)>),
+}
+
+/// A shared FIFO of pending machine operations.
+#[derive(Debug, Clone, Default)]
+pub struct Mailbox {
+    queue: Rc<RefCell<VecDeque<MachineOp>>>,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Mailbox {
+        Mailbox::default()
+    }
+    /// Queues an operation.
+    pub fn push(&self, op: MachineOp) {
+        self.queue.borrow_mut().push_back(op);
+    }
+    /// Pops the oldest pending operation.
+    pub fn pop(&self) -> Option<MachineOp> {
+        self.queue.borrow_mut().pop_front()
+    }
+    /// Number of pending operations.
+    pub fn len(&self) -> usize {
+        self.queue.borrow().len()
+    }
+    /// Whether no operation is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.borrow().is_empty()
+    }
+}
+
+/// A cloneable, `'static` handle onto a running async instance — the
+/// paper's `this` inside `async` bodies. Closures may stash it in timers
+/// or promise callbacks and call [`AsyncHandle::notify`] much later; the
+/// generation check discards notifications that arrive after the instance
+/// was preempted (this is what makes the paper's JavaScript `Rconn`
+/// request counter unnecessary, §2.2.4).
+#[derive(Debug, Clone)]
+pub struct AsyncHandle {
+    mailbox: Mailbox,
+    async_id: u32,
+    instance: u64,
+    state: Rc<RefCell<Value>>,
+}
+
+impl AsyncHandle {
+    /// Creates a handle (called by the runtime when spawning).
+    pub fn new(mailbox: Mailbox, async_id: u32, instance: u64, state: Rc<RefCell<Value>>) -> Self {
+        AsyncHandle {
+            mailbox,
+            async_id,
+            instance,
+            state,
+        }
+    }
+
+    /// Signals completion: the async statement terminates at the next
+    /// reaction, emitting its completion signal with `value`.
+    pub fn notify(&self, value: impl Into<Value>) {
+        self.mailbox.push(MachineOp::Notify {
+            async_id: self.async_id,
+            instance: self.instance,
+            value: value.into(),
+        });
+    }
+
+    /// Queues a full machine reaction with the given inputs.
+    pub fn react(&self, inputs: Vec<(String, Value)>) {
+        self.mailbox.push(MachineOp::React(inputs));
+    }
+
+    /// Stores per-instance host state (the paper's `this.intv`).
+    pub fn set_state(&self, value: impl Into<Value>) {
+        *self.state.borrow_mut() = value.into();
+    }
+
+    /// Reads back the per-instance host state.
+    pub fn state(&self) -> Value {
+        self.state.borrow().clone()
+    }
+
+    /// The spawn generation of this handle.
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+}
+
+impl fmt::Display for AsyncHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "async#{}@{}", self.async_id, self.instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailbox_fifo() {
+        let m = Mailbox::new();
+        assert!(m.is_empty());
+        m.push(MachineOp::React(vec![("a".into(), Value::Bool(true))]));
+        m.push(MachineOp::React(vec![("b".into(), Value::Bool(true))]));
+        assert_eq!(m.len(), 2);
+        match m.pop() {
+            Some(MachineOp::React(v)) => assert_eq!(v[0].0, "a"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handle_routes_notify_with_generation() {
+        let m = Mailbox::new();
+        let h = AsyncHandle::new(m.clone(), 4, 9, Rc::new(RefCell::new(Value::Null)));
+        h.notify(42i64);
+        assert_eq!(
+            m.pop(),
+            Some(MachineOp::Notify {
+                async_id: 4,
+                instance: 9,
+                value: Value::Num(42.0)
+            })
+        );
+    }
+
+    #[test]
+    fn handle_state_roundtrip() {
+        let h = AsyncHandle::new(Mailbox::new(), 0, 0, Rc::new(RefCell::new(Value::Null)));
+        h.set_state(7i64);
+        assert_eq!(h.state(), Value::Num(7.0));
+    }
+}

@@ -1,0 +1,543 @@
+//! Modules, the module registry, and `run` inlining (linking).
+//!
+//! A HipHop program is organized in modules declaring interface signals
+//! (paper §2.2.1). `run M(...)` "instantiates a submodule in place by
+//! inlining its code and binding its environment signals in the current
+//! lexical scope" (paper §2.2.2) — that inlining is the *link* step
+//! implemented here: interface signals are bound by name or by explicit
+//! `inner as outer` renamings, `var`s are substituted by their bound
+//! constants, and local signals are alpha-renamed to fresh names so that
+//! multiple instantiations never capture each other.
+
+use crate::ast::{RunBind, Stmt};
+use crate::error::CoreError;
+use crate::signal::{Direction, SignalDecl};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A module-interface host variable (paper §3: `module Freeze(var max, ...)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// The variable name.
+    pub name: String,
+    /// Default value when the instantiation does not bind it.
+    pub default: Option<Value>,
+}
+
+impl VarDecl {
+    /// Declares a variable without default.
+    pub fn new(name: impl Into<String>) -> Self {
+        VarDecl {
+            name: name.into(),
+            default: None,
+        }
+    }
+    /// Declares a variable with a default value.
+    pub fn with_default(name: impl Into<String>, v: impl Into<Value>) -> Self {
+        VarDecl {
+            name: name.into(),
+            default: Some(v.into()),
+        }
+    }
+}
+
+/// A HipHop module: named interface + reactive body.
+///
+/// # Examples
+///
+/// ```
+/// use hiphop_core::module::Module;
+/// use hiphop_core::signal::{SignalDecl, Direction};
+/// use hiphop_core::ast::Stmt;
+///
+/// let m = Module::new("Blink")
+///     .input(SignalDecl::new("tick", Direction::In))
+///     .output(SignalDecl::new("led", Direction::Out))
+///     .body(Stmt::loop_(Stmt::seq([Stmt::emit("led"), Stmt::Pause])));
+/// assert_eq!(m.interface.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// The module name (used by `run`).
+    pub name: String,
+    /// Interface signals, in declaration order.
+    pub interface: Vec<SignalDecl>,
+    /// Interface variables.
+    pub vars: Vec<VarDecl>,
+    /// The reactive body.
+    pub body: Stmt,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            interface: Vec::new(),
+            vars: Vec::new(),
+            body: Stmt::Nothing,
+        }
+    }
+
+    /// Adds an interface signal with the direction already set.
+    pub fn signal(mut self, decl: SignalDecl) -> Self {
+        self.interface.push(decl);
+        self
+    }
+    /// Adds an `in` signal.
+    pub fn input(self, decl: SignalDecl) -> Self {
+        let mut d = decl;
+        d.direction = Direction::In;
+        self.signal(d)
+    }
+    /// Adds an `out` signal.
+    pub fn output(self, decl: SignalDecl) -> Self {
+        let mut d = decl;
+        d.direction = Direction::Out;
+        self.signal(d)
+    }
+    /// Adds an `inout` signal.
+    pub fn inout(self, decl: SignalDecl) -> Self {
+        let mut d = decl;
+        d.direction = Direction::InOut;
+        self.signal(d)
+    }
+    /// Adds an interface variable.
+    pub fn var(mut self, decl: VarDecl) -> Self {
+        self.vars.push(decl);
+        self
+    }
+    /// Copies another module's interface (paper §3:
+    /// `module MainV2(tmo) implements ${Main.interface}`).
+    pub fn implements(mut self, other: &Module) -> Self {
+        self.interface.extend(other.interface.iter().cloned());
+        self.vars.extend(other.vars.iter().cloned());
+        self
+    }
+    /// Sets the body.
+    pub fn body(mut self, body: Stmt) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Looks up an interface signal by name.
+    pub fn find_signal(&self, name: &str) -> Option<&SignalDecl> {
+        self.interface.iter().find(|d| d.name == name)
+    }
+}
+
+/// A set of modules addressable by `run`.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleRegistry {
+    modules: HashMap<String, Module>,
+}
+
+impl ModuleRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Registers a module (replacing any same-named one).
+    pub fn register(&mut self, module: Module) -> &mut Self {
+        self.modules.insert(module.name.clone(), module);
+        self
+    }
+    /// Fetches a module.
+    pub fn get(&self, name: &str) -> Option<&Module> {
+        self.modules.get(name)
+    }
+    /// Iterates over registered modules.
+    pub fn iter(&self) -> impl Iterator<Item = &Module> {
+        self.modules.values()
+    }
+}
+
+/// A fully linked program: the main module's interface plus a body with
+/// every `run` inlined and every local signal made unique.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkedProgram {
+    /// Name of the main module.
+    pub name: String,
+    /// The root interface (machine inputs/outputs).
+    pub interface: Vec<SignalDecl>,
+    /// The inlined body.
+    pub body: Stmt,
+}
+
+/// Links `main` against `registry`, inlining every `run`.
+///
+/// # Errors
+///
+/// - [`CoreError::UnknownModule`] for a `run` naming an unregistered module.
+/// - [`CoreError::RecursiveModule`] when instantiation recurses.
+/// - [`CoreError::UnknownRunBinding`] when a bind names a signal/var that
+///   is not in the callee interface.
+pub fn link(main: &Module, registry: &ModuleRegistry) -> Result<LinkedProgram, CoreError> {
+    let mut linker = Linker {
+        registry,
+        stack: vec![main.name.clone()],
+        fresh: 0,
+    };
+    // The main module's own vars keep their defaults as machine vars; no
+    // substitution at the root.
+    let ident: HashMap<String, String> = main
+        .interface
+        .iter()
+        .map(|d| (d.name.clone(), d.name.clone()))
+        .collect();
+    let body = linker.inline(&main.body, &ident, &HashMap::new())?;
+    Ok(LinkedProgram {
+        name: main.name.clone(),
+        interface: main.interface.clone(),
+        body,
+    })
+}
+
+struct Linker<'a> {
+    registry: &'a ModuleRegistry,
+    stack: Vec<String>,
+    fresh: u32,
+}
+
+impl Linker<'_> {
+    /// Rewrites `stmt` under the signal substitution `subst` (free signal →
+    /// caller-scope name) and constant variable bindings `vars`; inlines
+    /// `run`s recursively.
+    fn inline(
+        &mut self,
+        stmt: &Stmt,
+        subst: &HashMap<String, String>,
+        vars: &HashMap<String, Value>,
+    ) -> Result<Stmt, CoreError> {
+        let mut s = stmt.clone();
+        self.rewrite(&mut s, subst, vars)?;
+        Ok(s)
+    }
+
+    fn apply(subst: &HashMap<String, String>, name: &str) -> String {
+        subst.get(name).cloned().unwrap_or_else(|| name.to_owned())
+    }
+
+    fn rewrite(
+        &mut self,
+        stmt: &mut Stmt,
+        subst: &HashMap<String, String>,
+        vars: &HashMap<String, Value>,
+    ) -> Result<(), CoreError> {
+        match stmt {
+            Stmt::Local { decls, body, .. } => {
+                // Freshen local names to avoid capture across instantiations.
+                let mut inner = subst.clone();
+                for d in decls.iter_mut() {
+                    self.fresh += 1;
+                    let unique = format!("{}%{}", d.name, self.fresh);
+                    inner.insert(d.name.clone(), unique.clone());
+                    d.name = unique;
+                }
+                self.rewrite(body, &inner, vars)
+            }
+            Stmt::Run { module, binds, loc } => {
+                let callee = self
+                    .registry
+                    .get(module)
+                    .ok_or_else(|| CoreError::UnknownModule {
+                        module: module.clone(),
+                        loc: loc.clone(),
+                    })?
+                    .clone();
+                if self.stack.contains(&callee.name) {
+                    let mut chain = self.stack.clone();
+                    chain.push(callee.name.clone());
+                    return Err(CoreError::RecursiveModule { chain });
+                }
+                // Build the callee signal substitution.
+                let mut callee_subst: HashMap<String, String> = HashMap::new();
+                let mut callee_vars: HashMap<String, Value> = HashMap::new();
+                for d in &callee.vars {
+                    if let Some(v) = &d.default {
+                        callee_vars.insert(d.name.clone(), v.clone());
+                    }
+                }
+                for b in binds.iter() {
+                    match b {
+                        RunBind::Signal { inner, outer } => {
+                            if callee.find_signal(inner).is_none() {
+                                return Err(CoreError::UnknownRunBinding {
+                                    module: callee.name.clone(),
+                                    binding: inner.clone(),
+                                    loc: loc.clone(),
+                                });
+                            }
+                            callee_subst
+                                .insert(inner.clone(), Self::apply(subst, outer));
+                        }
+                        RunBind::Var { name, value } => {
+                            if !callee.vars.iter().any(|v| &v.name == name) {
+                                return Err(CoreError::UnknownRunBinding {
+                                    module: callee.name.clone(),
+                                    binding: name.clone(),
+                                    loc: loc.clone(),
+                                });
+                            }
+                            let mut e = value.clone();
+                            e.substitute_vars(&mut |n| vars.get(n).cloned());
+                            let v = e.const_value().ok_or_else(|| {
+                                CoreError::NonConstantVarBinding {
+                                    module: callee.name.clone(),
+                                    var: name.clone(),
+                                    loc: loc.clone(),
+                                }
+                            })?;
+                            callee_vars.insert(name.clone(), v);
+                        }
+                    }
+                }
+                // Implicit by-name binding for the rest of the interface.
+                for d in &callee.interface {
+                    callee_subst
+                        .entry(d.name.clone())
+                        .or_insert_with(|| Self::apply(subst, &d.name));
+                }
+                self.stack.push(callee.name.clone());
+                let inlined = self.inline(&callee.body, &callee_subst, &callee_vars)?;
+                self.stack.pop();
+                *stmt = inlined;
+                Ok(())
+            }
+            other => {
+                // Apply signal substitution and var constants shallowly,
+                // then recurse into children.
+                match other {
+                    Stmt::Emit { signal, value, .. } | Stmt::Sustain { signal, value, .. } => {
+                        *signal = Self::apply(subst, signal);
+                        if let Some(e) = value {
+                            e.rename_signals(&mut |n| Self::apply(subst, n));
+                            e.substitute_vars(&mut |n| vars.get(n).cloned());
+                        }
+                        Ok(())
+                    }
+                    Stmt::Atom { body, .. } => {
+                        match body {
+                            crate::ast::AtomBody::Assign(_, e) | crate::ast::AtomBody::Log(e) => {
+                                e.rename_signals(&mut |n| Self::apply(subst, n));
+                                e.substitute_vars(&mut |n| vars.get(n).cloned());
+                            }
+                            crate::ast::AtomBody::Host { reads, .. } => {
+                                for (s, _) in reads {
+                                    *s = Self::apply(subst, s);
+                                }
+                            }
+                        }
+                        Ok(())
+                    }
+                    Stmt::Seq(ss) | Stmt::Par(ss) => {
+                        for s in ss {
+                            self.rewrite(s, subst, vars)?;
+                        }
+                        Ok(())
+                    }
+                    Stmt::Loop(b) => self.rewrite(b, subst, vars),
+                    Stmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        cond.rename_signals(&mut |n| Self::apply(subst, n));
+                        cond.substitute_vars(&mut |n| vars.get(n).cloned());
+                        self.rewrite(then_branch, subst, vars)?;
+                        self.rewrite(else_branch, subst, vars)
+                    }
+                    Stmt::Await { delay, .. } => {
+                        Self::rewrite_delay(delay, subst, vars);
+                        Ok(())
+                    }
+                    Stmt::Abort { delay, body, .. }
+                    | Stmt::Suspend { delay, body, .. }
+                    | Stmt::Every { delay, body, .. }
+                    | Stmt::LoopEach { delay, body, .. } => {
+                        Self::rewrite_delay(delay, subst, vars);
+                        self.rewrite(body, subst, vars)
+                    }
+                    Stmt::Trap { body, .. } => self.rewrite(body, subst, vars),
+                    Stmt::Async { spec, .. } => {
+                        if let Some(sig) = &mut spec.done_signal {
+                            *sig = Self::apply(subst, sig);
+                        }
+                        Ok(())
+                    }
+                    Stmt::Nothing | Stmt::Pause | Stmt::Halt | Stmt::Exit { .. } => Ok(()),
+                    Stmt::Local { .. } | Stmt::Run { .. } => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+
+    fn rewrite_delay(
+        delay: &mut crate::ast::Delay,
+        subst: &HashMap<String, String>,
+        vars: &HashMap<String, Value>,
+    ) {
+        delay.cond.rename_signals(&mut |n| Self::apply(subst, n));
+        delay.cond.substitute_vars(&mut |n| vars.get(n).cloned());
+        if let Some(n) = &mut delay.count {
+            n.rename_signals(&mut |s| Self::apply(subst, s));
+            n.substitute_vars(&mut |s| vars.get(s).cloned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Delay;
+    use crate::expr::Expr;
+
+    fn timer_module() -> Module {
+        Module::new("Timer")
+            .inout(SignalDecl::new("time", Direction::InOut).with_init(0i64))
+            .body(Stmt::Halt)
+    }
+
+    #[test]
+    fn implicit_by_name_binding() {
+        let mut reg = ModuleRegistry::new();
+        reg.register(timer_module());
+        let main = Module::new("Main")
+            .inout(SignalDecl::new("time", Direction::InOut))
+            .body(Stmt::run("Timer"));
+        let linked = link(&main, &reg).expect("links");
+        assert_eq!(linked.body, Stmt::Halt);
+    }
+
+    #[test]
+    fn explicit_as_binding_renames() {
+        let mut reg = ModuleRegistry::new();
+        reg.register(
+            Module::new("Freeze")
+                .input(SignalDecl::new("sig", Direction::In))
+                .var(VarDecl::new("attempts"))
+                .body(Stmt::await_(Delay::count(
+                    Expr::var("attempts"),
+                    Expr::now("sig"),
+                ))),
+        );
+        let main = Module::new("Main")
+            .inout(SignalDecl::new("connected", Direction::InOut))
+            .body(Stmt::run_with(
+                "Freeze",
+                vec![
+                    RunBind::Signal {
+                        inner: "sig".into(),
+                        outer: "connected".into(),
+                    },
+                    RunBind::Var {
+                        name: "attempts".into(),
+                        value: Expr::num(3.0),
+                    },
+                ],
+            ));
+        let linked = link(&main, &reg).expect("links");
+        assert_eq!(
+            linked.body.to_string().trim(),
+            "await (count(3, connected.now));"
+        );
+    }
+
+    #[test]
+    fn locals_are_freshened_per_instantiation() {
+        let mut reg = ModuleRegistry::new();
+        reg.register(
+            Module::new("M").body(Stmt::local(
+                vec![SignalDecl::new("s", Direction::Local)],
+                Stmt::emit("s"),
+            )),
+        );
+        let main = Module::new("Main").body(Stmt::par([Stmt::run("M"), Stmt::run("M")]));
+        let linked = link(&main, &reg).expect("links");
+        let text = linked.body.to_string();
+        // Two distinct fresh names.
+        assert!(text.contains("s%1") && text.contains("s%2"), "{text}");
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let mut reg = ModuleRegistry::new();
+        reg.register(Module::new("A").body(Stmt::run("B")));
+        reg.register(Module::new("B").body(Stmt::run("A")));
+        let main = Module::new("Main").body(Stmt::run("A"));
+        let err = link(&main, &reg).unwrap_err();
+        assert!(matches!(err, CoreError::RecursiveModule { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_module_and_binding_errors() {
+        let reg = ModuleRegistry::new();
+        let main = Module::new("Main").body(Stmt::run("Nope"));
+        assert!(matches!(
+            link(&main, &reg).unwrap_err(),
+            CoreError::UnknownModule { .. }
+        ));
+
+        let mut reg = ModuleRegistry::new();
+        reg.register(timer_module());
+        let main = Module::new("Main").body(Stmt::run_with(
+            "Timer",
+            vec![RunBind::Signal {
+                inner: "bogus".into(),
+                outer: "x".into(),
+            }],
+        ));
+        assert!(matches!(
+            link(&main, &reg).unwrap_err(),
+            CoreError::UnknownRunBinding { .. }
+        ));
+    }
+
+    #[test]
+    fn var_defaults_apply_without_binding() {
+        let mut reg = ModuleRegistry::new();
+        reg.register(
+            Module::new("D")
+                .var(VarDecl::with_default("n", 7i64))
+                .body(Stmt::emit_val("out", Expr::var("n"))),
+        );
+        let main = Module::new("Main")
+            .output(SignalDecl::new("out", Direction::Out))
+            .body(Stmt::run("D"));
+        let linked = link(&main, &reg).expect("links");
+        assert_eq!(linked.body.to_string().trim(), "emit out(7);");
+    }
+
+    #[test]
+    fn nested_module_chains_bind_transitively() {
+        let mut reg = ModuleRegistry::new();
+        reg.register(
+            Module::new("Inner")
+                .output(SignalDecl::new("o", Direction::Out))
+                .body(Stmt::emit("o")),
+        );
+        reg.register(
+            Module::new("Mid")
+                .output(SignalDecl::new("m", Direction::Out))
+                .body(Stmt::run_with(
+                    "Inner",
+                    vec![RunBind::Signal {
+                        inner: "o".into(),
+                        outer: "m".into(),
+                    }],
+                )),
+        );
+        let main = Module::new("Main")
+            .output(SignalDecl::new("top", Direction::Out))
+            .body(Stmt::run_with(
+                "Mid",
+                vec![RunBind::Signal {
+                    inner: "m".into(),
+                    outer: "top".into(),
+                }],
+            ));
+        let linked = link(&main, &reg).expect("links");
+        assert_eq!(linked.body.to_string().trim(), "emit top();");
+    }
+}

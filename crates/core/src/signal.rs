@@ -1,0 +1,252 @@
+//! Signal declarations: names, directions, initial values and combine
+//! functions.
+//!
+//! HipHop signals broadcast a per-instant *status* (present/absent) and,
+//! for valued signals, a *value* persisting across instants (paper §2.2.1).
+//! Multiple same-instant emissions of a valued signal must be merged by a
+//! [`Combine`] function declared with the signal.
+
+use crate::value::Value;
+use std::fmt;
+use std::rc::Rc;
+
+/// Direction of an interface signal (paper §2.2.1: input, output, local;
+/// `inout` appears in the `Main` module of §2.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Set by the host before a reaction (`in`).
+    In,
+    /// Returned to the host after a reaction (`out`).
+    Out,
+    /// Both settable by the host and emitted by the program (`inout`).
+    InOut,
+    /// Internal to the program (`signal ... ;` declarations).
+    Local,
+}
+
+impl Direction {
+    /// `true` for `in` and `inout` signals (host may set them).
+    pub fn is_input(self) -> bool {
+        matches!(self, Direction::In | Direction::InOut)
+    }
+    /// `true` for `out` and `inout` signals (host may observe them).
+    pub fn is_output(self) -> bool {
+        matches!(self, Direction::Out | Direction::InOut)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::In => write!(f, "in"),
+            Direction::Out => write!(f, "out"),
+            Direction::InOut => write!(f, "inout"),
+            Direction::Local => write!(f, "signal"),
+        }
+    }
+}
+
+/// A function merging two same-instant emissions of a valued signal.
+///
+/// The paper requires the combine function to be associative and
+/// commutative so that the micro-scheduling order is unobservable; the
+/// built-in variants all are. [`Combine::Host`] lets the embedder supply
+/// any Rust closure (the associativity obligation is then theirs).
+#[derive(Clone)]
+pub enum Combine {
+    /// Numeric addition (string concatenation when either side is a string,
+    /// mirroring JavaScript `+`).
+    Plus,
+    /// Numeric multiplication.
+    Mul,
+    /// Logical and of truthiness.
+    And,
+    /// Logical or of truthiness.
+    Or,
+    /// Numeric minimum.
+    Min,
+    /// Numeric maximum.
+    Max,
+    /// Array append: collects all emitted values into one array.
+    Append,
+    /// A host-provided associative/commutative closure.
+    Host(Rc<dyn Fn(&Value, &Value) -> Value>),
+}
+
+impl Combine {
+    /// Applies the combine function to two emitted values.
+    pub fn apply(&self, a: &Value, b: &Value) -> Value {
+        match self {
+            Combine::Plus => match (a, b) {
+                (Value::Str(x), y) => Value::Str(format!("{x}{}", y.to_display_string())),
+                (x, Value::Str(y)) => Value::Str(format!("{}{y}", x.to_display_string())),
+                (x, y) => Value::Num(x.as_num() + y.as_num()),
+            },
+            Combine::Mul => Value::Num(a.as_num() * b.as_num()),
+            Combine::And => Value::Bool(a.truthy() && b.truthy()),
+            Combine::Or => Value::Bool(a.truthy() || b.truthy()),
+            Combine::Min => Value::Num(a.as_num().min(b.as_num())),
+            Combine::Max => Value::Num(a.as_num().max(b.as_num())),
+            Combine::Append => {
+                let mut items = match a {
+                    Value::Arr(xs) => xs.clone(),
+                    other => vec![other.clone()],
+                };
+                match b {
+                    Value::Arr(xs) => items.extend(xs.iter().cloned()),
+                    other => items.push(other.clone()),
+                }
+                Value::Arr(items)
+            }
+            Combine::Host(f) => f(a, b),
+        }
+    }
+}
+
+impl fmt::Debug for Combine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Combine::Plus => write!(f, "Plus"),
+            Combine::Mul => write!(f, "Mul"),
+            Combine::And => write!(f, "And"),
+            Combine::Or => write!(f, "Or"),
+            Combine::Min => write!(f, "Min"),
+            Combine::Max => write!(f, "Max"),
+            Combine::Append => write!(f, "Append"),
+            Combine::Host(_) => write!(f, "Host(<fn>)"),
+        }
+    }
+}
+
+impl PartialEq for Combine {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Combine::Plus, Combine::Plus)
+            | (Combine::Mul, Combine::Mul)
+            | (Combine::And, Combine::And)
+            | (Combine::Or, Combine::Or)
+            | (Combine::Min, Combine::Min)
+            | (Combine::Max, Combine::Max)
+            | (Combine::Append, Combine::Append) => true,
+            (Combine::Host(a), Combine::Host(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// A signal declaration as it appears in a module interface or a local
+/// `signal` statement.
+///
+/// # Examples
+///
+/// ```
+/// use hiphop_core::signal::{SignalDecl, Direction};
+/// use hiphop_core::value::Value;
+///
+/// // `in name = ""` from the paper's Main module.
+/// let d = SignalDecl::new("name", Direction::In).with_init(Value::from(""));
+/// assert!(d.direction.is_input());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalDecl {
+    /// The signal's name in its lexical scope.
+    pub name: String,
+    /// Interface direction.
+    pub direction: Direction,
+    /// Persistent initial value (`=` in the interface; paper §2.2.2).
+    pub init: Option<Value>,
+    /// Combine function for multiple same-instant emissions.
+    pub combine: Option<Combine>,
+}
+
+impl SignalDecl {
+    /// Creates a pure signal declaration.
+    pub fn new(name: impl Into<String>, direction: Direction) -> Self {
+        SignalDecl {
+            name: name.into(),
+            direction,
+            init: None,
+            combine: None,
+        }
+    }
+
+    /// Sets the persistent initial value, making the signal valued.
+    pub fn with_init(mut self, v: impl Into<Value>) -> Self {
+        self.init = Some(v.into());
+        self
+    }
+
+    /// Declares the combine function used for simultaneous emissions.
+    pub fn with_combine(mut self, c: Combine) -> Self {
+        self.combine = Some(c);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions() {
+        assert!(Direction::In.is_input());
+        assert!(Direction::InOut.is_input());
+        assert!(Direction::InOut.is_output());
+        assert!(!Direction::Local.is_input());
+        assert!(!Direction::Local.is_output());
+        assert_eq!(Direction::InOut.to_string(), "inout");
+    }
+
+    #[test]
+    fn combine_plus_numbers_and_strings() {
+        assert_eq!(
+            Combine::Plus.apply(&Value::Num(1.0), &Value::Num(2.0)),
+            Value::Num(3.0)
+        );
+        assert_eq!(
+            Combine::Plus.apply(&Value::from("a"), &Value::Num(2.0)),
+            Value::from("a2")
+        );
+    }
+
+    #[test]
+    fn combine_minmax_or() {
+        assert_eq!(
+            Combine::Max.apply(&Value::Num(1.0), &Value::Num(5.0)),
+            Value::Num(5.0)
+        );
+        assert_eq!(
+            Combine::Min.apply(&Value::Num(1.0), &Value::Num(5.0)),
+            Value::Num(1.0)
+        );
+        assert_eq!(
+            Combine::Or.apply(&Value::Bool(false), &Value::Num(3.0)),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn combine_append_flattens() {
+        let a = Combine::Append.apply(&Value::Num(1.0), &Value::Num(2.0));
+        let b = Combine::Append.apply(&a, &Value::Num(3.0));
+        assert_eq!(b, Value::from(vec![1i64, 2, 3]));
+    }
+
+    #[test]
+    fn host_combine_ptr_equality() {
+        let f: Rc<dyn Fn(&Value, &Value) -> Value> = Rc::new(|a, _| a.clone());
+        let c1 = Combine::Host(f.clone());
+        let c2 = Combine::Host(f);
+        assert_eq!(c1, c2);
+        assert_ne!(c1, Combine::Plus);
+    }
+
+    #[test]
+    fn decl_builder() {
+        let d = SignalDecl::new("time", Direction::InOut)
+            .with_init(0i64)
+            .with_combine(Combine::Max);
+        assert_eq!(d.init, Some(Value::Num(0.0)));
+        assert_eq!(d.combine, Some(Combine::Max));
+    }
+}

@@ -1,0 +1,145 @@
+//! Temporal streams over signals — the paper's stated future work
+//! ("Integrating the notion of temporal stream into HipHop.js might be a
+//! direction for future work", §6, following LuaGravity's encoding of
+//! streams on top of a reactive machine).
+//!
+//! A *stream* is simply a valued signal viewed as its sequence of
+//! emissions. Each combinator below is a reusable module transforming
+//! input streams into output streams, built from ordinary HipHop
+//! statements — demonstrating that Orc/FRP-style dataflow is expressible
+//! inside the synchronous model:
+//!
+//! ```text
+//! src ──map(f)──▶ m ──filter(p)──▶ f ──fold(+)──▶ acc
+//! ```
+//!
+//! All combinators are instantaneous per element (the output emission is
+//! synchronous with the input emission), so chains compose within a
+//! single reaction — deterministic by construction.
+
+use crate::ast::{Delay, Stmt};
+use crate::expr::Expr;
+use crate::module::Module;
+use crate::signal::{Direction, SignalDecl};
+use crate::value::Value;
+
+/// `map`: on every `src`, emit `dst` with `f(src.nowval)`.
+///
+/// `f` receives the expression `src.nowval` and builds the element
+/// transformation.
+pub fn map_stream(src: &str, dst: &str, f: impl FnOnce(Expr) -> Expr) -> Module {
+    Module::new(format!("Map_{src}_{dst}"))
+        .input(SignalDecl::new(src, Direction::In))
+        .output(SignalDecl::new(dst, Direction::Out))
+        .body(Stmt::every(
+            Delay::cond(Expr::now(src)),
+            Stmt::emit_val(dst, f(Expr::nowval(src))),
+        ))
+}
+
+/// `filter`: forward `src` elements satisfying `pred`.
+pub fn filter_stream(src: &str, dst: &str, pred: impl FnOnce(Expr) -> Expr) -> Module {
+    Module::new(format!("Filter_{src}_{dst}"))
+        .input(SignalDecl::new(src, Direction::In))
+        .output(SignalDecl::new(dst, Direction::Out))
+        .body(Stmt::every(
+            Delay::cond(Expr::now(src)),
+            Stmt::if_(
+                pred(Expr::nowval(src)),
+                Stmt::emit_val(dst, Expr::nowval(src)),
+            ),
+        ))
+}
+
+/// `fold`: running accumulation — on every `src`, emit
+/// `dst = op(dst.preval, src.nowval)` starting from `init`.
+pub fn fold_stream(
+    src: &str,
+    dst: &str,
+    init: impl Into<Value>,
+    op: impl FnOnce(Expr, Expr) -> Expr,
+) -> Module {
+    Module::new(format!("Fold_{src}_{dst}"))
+        .input(SignalDecl::new(src, Direction::In))
+        .output(SignalDecl::new(dst, Direction::Out).with_init(init))
+        .body(Stmt::every(
+            Delay::cond(Expr::now(src)),
+            Stmt::emit_val(dst, op(Expr::preval(dst), Expr::nowval(src))),
+        ))
+}
+
+/// `distinct`: forward only elements different from the previous
+/// forwarded one.
+pub fn distinct_stream(src: &str, dst: &str) -> Module {
+    Module::new(format!("Distinct_{src}_{dst}"))
+        .input(SignalDecl::new(src, Direction::In))
+        .output(SignalDecl::new(dst, Direction::Out))
+        .body(Stmt::every(
+            Delay::cond(Expr::now(src)),
+            Stmt::if_(
+                Expr::nowval(src).strict_eq(Expr::preval(dst)).not(),
+                Stmt::emit_val(dst, Expr::nowval(src)),
+            ),
+        ))
+}
+
+/// `zip_latest`: on every occurrence of either input, emit the pair of
+/// latest values `[a.nowval-or-preval, b.nowval-or-preval]` (FRP
+/// "combineLatest").
+pub fn zip_latest(a: &str, b: &str, dst: &str) -> Module {
+    let latest = |s: &str| {
+        Expr::ternary(Expr::now(s), Expr::nowval(s), Expr::preval(s))
+    };
+    Module::new(format!("Zip_{a}_{b}_{dst}"))
+        .input(SignalDecl::new(a, Direction::In))
+        .input(SignalDecl::new(b, Direction::In))
+        .output(SignalDecl::new(dst, Direction::Out))
+        .body(Stmt::every(
+            Delay::cond(Expr::now(a).or(Expr::now(b))),
+            Stmt::emit_val(dst, Expr::Array(vec![latest(a), latest(b)])),
+        ))
+}
+
+/// `window`: emit the last `n` elements of `src` as an array (sliding
+/// window; shorter at the start).
+pub fn window_stream(src: &str, dst: &str, n: u32) -> Module {
+    // dst.preval holds the previous window; append and truncate from the
+    // front via `substring`-style array slicing implemented with an
+    // expression: [..preval, src][-n..] — expressed with a host-free
+    // combinator: keep it simple with Append + drop in the expression
+    // layer using index arithmetic is clumsy, so we carry the window in
+    // the value and trim with a conditional rebuild.
+    let append = Expr::call(
+        "window_push",
+        vec![Expr::preval(dst), Expr::nowval(src), Expr::num(n as f64)],
+    );
+    Module::new(format!("Window_{src}_{dst}"))
+        .input(SignalDecl::new(src, Direction::In))
+        .output(SignalDecl::new(dst, Direction::Out).with_init(Value::Arr(vec![])))
+        .body(Stmt::every(
+            Delay::cond(Expr::now(src)),
+            Stmt::emit_val(dst, append),
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinator_modules_have_stream_shape() {
+        let m = map_stream("a", "b", |x| x.mul(Expr::num(2.0)));
+        assert_eq!(m.interface.len(), 2);
+        let text = m.body.to_string();
+        assert!(text.contains("emit b((a.nowval * 2))"), "{text}");
+
+        let f = fold_stream("a", "acc", 0i64, |acc, x| acc.add(x));
+        assert!(f.body.to_string().contains("acc.preval"), "{}", f.body);
+
+        let d = distinct_stream("a", "b");
+        assert!(d.body.to_string().contains("==="), "{}", d.body);
+
+        let z = zip_latest("a", "b", "p");
+        assert!(z.body.to_string().contains("a.now ?"), "{}", z.body);
+    }
+}

@@ -1,0 +1,331 @@
+//! Dynamically typed values carried by HipHop signals and variables.
+//!
+//! HipHop.js signals carry arbitrary JavaScript values; this module provides
+//! the Rust equivalent: a small dynamic [`Value`] type with JavaScript-like
+//! coercion rules (truthiness, `+` overloading on strings, loose field
+//! access) so that the paper's programs translate directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use hiphop_core::value::Value;
+//!
+//! let v = Value::from("joe");
+//! assert_eq!(v.field("length"), Value::from(3.0));
+//! assert!(v.truthy());
+//! assert!(!Value::Null.truthy());
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dynamically typed value, mirroring the JavaScript values HipHop.js
+/// signals carry.
+///
+/// `Value` is ordered and hashable-by-structure (via `Ord` on the
+/// variants) so it can be used in collections and deterministic traces.
+#[derive(Debug, Clone, PartialEq, PartialOrd, Default)]
+pub enum Value {
+    /// JavaScript `null`/`undefined` (collapsed; the paper never
+    /// distinguishes them in HipHop programs).
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number; HipHop.js inherits JavaScript's single `number` type.
+    Num(f64),
+    /// An immutable string.
+    Str(String),
+    /// An array of values.
+    Arr(Vec<Value>),
+    /// A string-keyed object (sorted for deterministic display).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an object value from key/value pairs.
+    ///
+    /// ```
+    /// use hiphop_core::value::Value;
+    /// let v = Value::object([("id", Value::from(1.0))]);
+    /// assert_eq!(v.field("id"), Value::from(1.0));
+    /// ```
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// JavaScript truthiness: `null`, `false`, `0`, `NaN` and `""` are
+    /// falsy, everything else truthy.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::Arr(_) | Value::Obj(_) => true,
+        }
+    }
+
+    /// Numeric coercion (JavaScript `Number(v)` for the cases HipHop
+    /// programs use). Non-numeric strings coerce to NaN.
+    pub fn as_num(&self) -> f64 {
+        match self {
+            Value::Null => 0.0,
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Num(n) => *n,
+            Value::Str(s) => s.trim().parse::<f64>().unwrap_or(f64::NAN),
+            Value::Arr(_) | Value::Obj(_) => f64::NAN,
+        }
+    }
+
+    /// Returns the string if this is a `Str`, `None` otherwise.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String coercion (JavaScript template semantics).
+    pub fn to_display_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        }
+    }
+
+    /// Field access, JavaScript style: `.length` on strings and arrays,
+    /// object properties, `Null` for anything missing.
+    pub fn field(&self, name: &str) -> Value {
+        match (self, name) {
+            (Value::Str(s), "length") => Value::Num(s.chars().count() as f64),
+            (Value::Arr(a), "length") => Value::Num(a.len() as f64),
+            (Value::Obj(m), _) => m.get(name).cloned().unwrap_or(Value::Null),
+            _ => Value::Null,
+        }
+    }
+
+    /// Index access: array indices and object keys; `Null` when out of
+    /// range or missing.
+    pub fn index(&self, idx: &Value) -> Value {
+        match self {
+            Value::Arr(a) => {
+                let i = idx.as_num();
+                if i.fract() == 0.0 && i >= 0.0 && (i as usize) < a.len() {
+                    a[i as usize].clone()
+                } else {
+                    Value::Null
+                }
+            }
+            Value::Obj(m) => m
+                .get(idx.to_display_string().as_str())
+                .cloned()
+                .unwrap_or(Value::Null),
+            Value::Str(s) => {
+                let i = idx.as_num();
+                if i.fract() == 0.0 && i >= 0.0 {
+                    s.chars()
+                        .nth(i as usize)
+                        .map(|c| Value::Str(c.to_string()))
+                        .unwrap_or(Value::Null)
+                } else {
+                    Value::Null
+                }
+            }
+            _ => Value::Null,
+        }
+    }
+
+    /// Loose equality in the style HipHop programs rely on: numbers by
+    /// value (NaN != NaN), strings/bools/null structurally, arrays and
+    /// objects deep.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Num(a), Value::Str(_)) | (Value::Str(_), Value::Num(a)) => {
+                *a == other.as_num() && *a == self.as_num()
+            }
+            _ => self == other,
+        }
+    }
+
+    /// An estimate of the heap bytes owned by this value, used by the
+    /// E3 memory-footprint experiment.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Value::Null | Value::Bool(_) | Value::Num(_) => 0,
+            Value::Str(s) => s.capacity(),
+            Value::Arr(a) => {
+                a.capacity() * std::mem::size_of::<Value>()
+                    + a.iter().map(Value::heap_bytes).sum::<usize>()
+            }
+            Value::Obj(m) => m
+                .iter()
+                .map(|(k, v)| k.capacity() + std::mem::size_of::<Value>() + 32 + v.heap_bytes())
+                .sum(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.is_finite() && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Arr(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Obj(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Num(n as f64)
+    }
+}
+impl From<i32> for Value {
+    fn from(n: i32) -> Self {
+        Value::Num(n as f64)
+    }
+}
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Num(n as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_javascript() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(!Value::Num(f64::NAN).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Num(-1.0).truthy());
+        assert!(Value::Str("0".into()).truthy());
+        assert!(Value::Arr(vec![]).truthy());
+        assert!(Value::object::<&str>([]).truthy());
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Bool(true).as_num(), 1.0);
+        assert_eq!(Value::Str(" 42 ".into()).as_num(), 42.0);
+        assert!(Value::Str("abc".into()).as_num().is_nan());
+        assert_eq!(Value::Null.as_num(), 0.0);
+    }
+
+    #[test]
+    fn string_length_field() {
+        assert_eq!(Value::from("ab").field("length"), Value::Num(2.0));
+        assert_eq!(Value::from("").field("length"), Value::Num(0.0));
+        // Unicode: chars, not bytes.
+        assert_eq!(Value::from("é½").field("length"), Value::Num(2.0));
+    }
+
+    #[test]
+    fn array_indexing() {
+        let a = Value::from(vec![1i64, 2, 3]);
+        assert_eq!(a.index(&Value::Num(1.0)), Value::Num(2.0));
+        assert_eq!(a.index(&Value::Num(9.0)), Value::Null);
+        assert_eq!(a.index(&Value::Num(-1.0)), Value::Null);
+        assert_eq!(a.field("length"), Value::Num(3.0));
+    }
+
+    #[test]
+    fn object_fields() {
+        let o = Value::object([("name", Value::from("joe")), ("age", Value::from(7i64))]);
+        assert_eq!(o.field("name"), Value::from("joe"));
+        assert_eq!(o.field("missing"), Value::Null);
+        assert_eq!(o.index(&Value::from("age")), Value::Num(7.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Num(3.0).to_string(), "3");
+        assert_eq!(Value::Num(3.5).to_string(), "3.5");
+        assert_eq!(Value::from("x").to_string(), "\"x\"");
+        assert_eq!(Value::from(vec![1i64, 2]).to_string(), "[1, 2]");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn loose_equality() {
+        assert!(Value::Num(2.0).loose_eq(&Value::Num(2.0)));
+        assert!(!Value::Num(f64::NAN).loose_eq(&Value::Num(f64::NAN)));
+        assert!(Value::Num(2.0).loose_eq(&Value::Str("2".into())));
+        assert!(Value::from(vec![1i64]).loose_eq(&Value::from(vec![1i64])));
+    }
+
+    #[test]
+    fn heap_accounting_is_nonzero_for_strings() {
+        assert!(Value::from("hello world").heap_bytes() >= 11);
+        assert_eq!(Value::Num(1.0).heap_bytes(), 0);
+    }
+}

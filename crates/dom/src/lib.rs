@@ -1,0 +1,301 @@
+//! A minimal in-memory DOM with Hop.js-style reactive nodes — the
+//! substrate for the paper's web GUIs (§2.4).
+//!
+//! Hop.js extends HTML with `<react>` nodes "that update their content
+//! automatically" and `~{...}` client expressions reading the reactive
+//! machine. This crate reproduces the part HipHop needs:
+//!
+//! - an element tree with attributes and text;
+//! - event listeners (`onclick`, `onkeyup`, ...) that the test harness
+//!   triggers with [`Document::dispatch`];
+//! - **react text nodes** and **attribute bindings** recomputed from the
+//!   machine after every reaction;
+//! - HTML rendering for snapshot assertions.
+//!
+//! # Examples
+//!
+//! ```
+//! use hiphop_dom::Document;
+//!
+//! let mut doc = Document::new();
+//! let root = doc.root();
+//! let button = doc.element("button", &[("id", "login")]);
+//! doc.append(root, button);
+//! doc.set_text(button, "login");
+//! assert!(doc.render_static().contains("<button id=\"login\">login</button>"));
+//! ```
+
+#![warn(missing_docs)]
+
+use hiphop_core::value::Value;
+use hiphop_runtime::Machine;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Handle to a DOM node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// A dynamic string computed from the machine (react nodes, attribute
+/// bindings) — the `~{ ... M.connState.nowval ... }` expressions of §2.4.
+pub type Binding = Rc<dyn Fn(&Machine) -> String>;
+
+/// An event handler; receives the event payload (e.g. the input text for
+/// `keyup`).
+pub type Handler = Rc<dyn Fn(&Value)>;
+
+struct Node {
+    tag: String,
+    attrs: BTreeMap<String, String>,
+    attr_bindings: BTreeMap<String, Binding>,
+    text: String,
+    react_text: Option<Binding>,
+    children: Vec<NodeId>,
+    listeners: Vec<(String, Handler)>,
+}
+
+/// An in-memory document.
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// A document with an `<html>` root.
+    pub fn new() -> Document {
+        Document {
+            nodes: vec![Node {
+                tag: "html".into(),
+                attrs: BTreeMap::new(),
+                attr_bindings: BTreeMap::new(),
+                text: String::new(),
+                react_text: None,
+                children: Vec::new(),
+                listeners: Vec::new(),
+            }],
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Creates a detached element with static attributes.
+    pub fn element(&mut self, tag: &str, attrs: &[(&str, &str)]) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            tag: tag.to_owned(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            attr_bindings: BTreeMap::new(),
+            text: String::new(),
+            react_text: None,
+            children: Vec::new(),
+            listeners: Vec::new(),
+        });
+        id
+    }
+
+    /// Appends `child` under `parent`.
+    pub fn append(&mut self, parent: NodeId, child: NodeId) {
+        self.nodes[parent.0].children.push(child);
+    }
+
+    /// Sets static text content.
+    pub fn set_text(&mut self, node: NodeId, text: &str) {
+        self.nodes[node.0].text = text.to_owned();
+    }
+
+    /// Sets a static attribute.
+    pub fn set_attr(&mut self, node: NodeId, name: &str, value: &str) {
+        self.nodes[node.0].attrs.insert(name.to_owned(), value.to_owned());
+    }
+
+    /// Reads an attribute (static value only).
+    pub fn attr(&self, node: NodeId, name: &str) -> Option<&str> {
+        self.nodes[node.0].attrs.get(name).map(String::as_str)
+    }
+
+    /// Makes the node's text a `<react>` expression recomputed from the
+    /// machine at render time.
+    pub fn react_text(&mut self, node: NodeId, f: impl Fn(&Machine) -> String + 'static) {
+        self.nodes[node.0].react_text = Some(Rc::new(f));
+    }
+
+    /// Binds an attribute to a machine expression (e.g.
+    /// `class=~{M.connState.nowval}`).
+    pub fn bind_attr(
+        &mut self,
+        node: NodeId,
+        name: &str,
+        f: impl Fn(&Machine) -> String + 'static,
+    ) {
+        self.nodes[node.0]
+            .attr_bindings
+            .insert(name.to_owned(), Rc::new(f));
+    }
+
+    /// Registers an event listener.
+    pub fn on(&mut self, node: NodeId, event: &str, f: impl Fn(&Value) + 'static) {
+        self.nodes[node.0].listeners.push((event.to_owned(), Rc::new(f)));
+    }
+
+    /// Dispatches an event to a node's listeners.
+    pub fn dispatch(&self, node: NodeId, event: &str, payload: Value) {
+        let handlers: Vec<Handler> = self.nodes[node.0]
+            .listeners
+            .iter()
+            .filter(|(e, _)| e == event)
+            .map(|(_, h)| h.clone())
+            .collect();
+        for h in handlers {
+            h(&payload);
+        }
+    }
+
+    /// Finds the first node with the given `id` attribute.
+    pub fn by_id(&self, id: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.attrs.get("id").map(String::as_str) == Some(id))
+            .map(NodeId)
+    }
+
+    fn render_node(&self, node: NodeId, machine: Option<&Machine>, out: &mut String, ind: usize) {
+        let n = &self.nodes[node.0];
+        let pad = "  ".repeat(ind);
+        let mut attrs = String::new();
+        for (k, v) in &n.attrs {
+            let _ = write!(attrs, " {k}=\"{v}\"");
+        }
+        for (k, f) in &n.attr_bindings {
+            if let Some(m) = machine {
+                let _ = write!(attrs, " {k}=\"{}\"", f(m));
+            } else {
+                let _ = write!(attrs, " {k}=\"~{{...}}\"");
+            }
+        }
+        let text = match (&n.react_text, machine) {
+            (Some(f), Some(m)) => f(m),
+            (Some(_), None) => "~{...}".to_owned(),
+            (None, _) => n.text.clone(),
+        };
+        if n.children.is_empty() {
+            let _ = writeln!(out, "{pad}<{}{attrs}>{}</{}>", n.tag, text, n.tag);
+        } else {
+            let _ = writeln!(out, "{pad}<{}{attrs}>{}", n.tag, text);
+            for c in &n.children {
+                self.render_node(*c, machine, out, ind + 1);
+            }
+            let _ = writeln!(out, "{pad}</{}>", n.tag);
+        }
+    }
+
+    /// Renders the page with all reactive expressions evaluated against
+    /// `machine`.
+    pub fn render(&self, machine: &Machine) -> String {
+        let mut out = String::new();
+        self.render_node(self.root(), Some(machine), &mut out, 0);
+        out
+    }
+
+    /// Renders only the static structure (bindings shown as `~{...}`).
+    pub fn render_static(&self) -> String {
+        let mut out = String::new();
+        self.render_node(self.root(), None, &mut out, 0);
+        out
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document has only its root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+impl std::fmt::Debug for Document {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Document({} nodes)", self.nodes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn build_and_render_static() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let input = doc.element("input", &[("id", "name")]);
+        let button = doc.element("button", &[("id", "login"), ("class", "off")]);
+        doc.set_text(button, "login");
+        doc.append(root, input);
+        doc.append(root, button);
+        let html = doc.render_static();
+        assert!(html.contains("<input id=\"name\"></input>"), "{html}");
+        assert!(html.contains("class=\"off\""), "{html}");
+        assert_eq!(doc.by_id("login"), Some(button));
+        assert_eq!(doc.by_id("missing"), None);
+        assert!(!doc.is_empty());
+    }
+
+    #[test]
+    fn listeners_receive_payload() {
+        let mut doc = Document::new();
+        let input = doc.element("input", &[]);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        doc.on(input, "keyup", move |v| s.borrow_mut().push(v.clone()));
+        doc.dispatch(input, "keyup", Value::from("j"));
+        doc.dispatch(input, "keyup", Value::from("jo"));
+        doc.dispatch(input, "click", Value::Null); // no listener: ignored
+        assert_eq!(
+            *seen.borrow(),
+            vec![Value::from("j"), Value::from("jo")]
+        );
+    }
+
+    #[test]
+    fn react_nodes_track_machine_outputs() {
+        use hiphop_core::prelude::*;
+        let module = Module::new("M")
+            .input(SignalDecl::new("go", Direction::In))
+            .output(SignalDecl::new("state", Direction::Out).with_init("idle"))
+            .body(Stmt::every(
+                Delay::cond(Expr::now("go")),
+                Stmt::emit_val("state", Expr::str("running")),
+            ));
+        let mut machine =
+            hiphop_runtime::machine_for(&module, &ModuleRegistry::new()).expect("compiles");
+        let mut doc = Document::new();
+        let root = doc.root();
+        let status = doc.element("span", &[("id", "status")]);
+        doc.append(root, status);
+        doc.react_text(status, |m| m.nowval("state").to_display_string());
+        doc.bind_attr(status, "class", |m| m.nowval("state").to_display_string());
+
+        machine.react().unwrap();
+        assert!(doc.render(&machine).contains("<span id=\"status\" class=\"idle\">idle</span>"));
+        machine.react_with(&[("go", Value::Bool(true))]).unwrap();
+        assert!(doc
+            .render(&machine)
+            .contains("<span id=\"status\" class=\"running\">running</span>"));
+        // Static render shows placeholders.
+        assert!(doc.render_static().contains("~{...}"));
+    }
+}

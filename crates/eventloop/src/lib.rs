@@ -1,0 +1,397 @@
+//! A JavaScript-style single-threaded event loop with **virtual time** —
+//! the host substrate HipHop.js inherits from its JavaScript runtime.
+//!
+//! The paper's `Timer` module wraps `setInterval` (§2.2.5) and its
+//! authentication service resolves a promise later (§2.2.4); both need an
+//! event loop. Using virtual time keeps every temporal test
+//! deterministic: `advance_by(1000)` runs exactly the timers due in the
+//! next simulated second, in deadline order.
+//!
+//! The [`Driver`] wires an event loop to a reactive machine: after each
+//! callback batch it drains the machine mailbox, so `notify`/`react`
+//! calls queued by async bodies turn into reactions exactly as in the
+//! JavaScript runtime.
+//!
+//! # Examples
+//!
+//! ```
+//! use hiphop_eventloop::EventLoop;
+//! use std::rc::Rc;
+//! use std::cell::Cell;
+//!
+//! let mut el = EventLoop::new();
+//! let hits = Rc::new(Cell::new(0));
+//! let h = hits.clone();
+//! el.set_interval(1000, move |_| { h.set(h.get() + 1); });
+//! el.advance_by(3500);
+//! assert_eq!(hits.get(), 3);
+//! assert_eq!(el.now(), 3500);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod multitier;
+pub mod stdlib;
+
+use hiphop_runtime::{Machine, Reaction, RuntimeError};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Identifier returned by [`EventLoop::set_timeout`] /
+/// [`EventLoop::set_interval`], the analogue of JavaScript timer handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(u64);
+
+impl TimerId {
+    /// Raw id, e.g. for storing in a [`hiphop_core::value::Value`].
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+    /// Rebuilds a handle from [`TimerId::raw`].
+    pub fn from_raw(raw: u64) -> TimerId {
+        TimerId(raw)
+    }
+}
+
+/// A timer callback. It receives the event loop so it can schedule more
+/// work (as JavaScript callbacks do).
+pub type Callback = Box<dyn FnMut(&mut EventLoop)>;
+
+struct Timer {
+    callback: Option<Callback>,
+    period: Option<u64>,
+}
+
+/// The virtual-time event loop.
+#[derive(Default)]
+pub struct EventLoop {
+    now_ms: u64,
+    next_id: u64,
+    timers: HashMap<TimerId, Timer>,
+    // (deadline, sequence, id): sequence keeps FIFO order for equal
+    // deadlines, as in JavaScript.
+    heap: BinaryHeap<Reverse<(u64, u64, TimerId)>>,
+    seq: u64,
+    microtasks: VecDeque<Callback>,
+}
+
+impl EventLoop {
+    /// A fresh event loop at virtual time 0.
+    pub fn new() -> EventLoop {
+        EventLoop::default()
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Schedules a one-shot callback after `delay_ms`.
+    pub fn set_timeout(
+        &mut self,
+        delay_ms: u64,
+        f: impl FnMut(&mut EventLoop) + 'static,
+    ) -> TimerId {
+        self.schedule(delay_ms, None, Box::new(f))
+    }
+
+    /// Schedules a repeating callback every `period_ms` (first fire after
+    /// one period, like JavaScript's `setInterval`).
+    pub fn set_interval(
+        &mut self,
+        period_ms: u64,
+        f: impl FnMut(&mut EventLoop) + 'static,
+    ) -> TimerId {
+        self.schedule(period_ms, Some(period_ms), Box::new(f))
+    }
+
+    fn schedule(&mut self, delay: u64, period: Option<u64>, callback: Callback) -> TimerId {
+        self.next_id += 1;
+        let id = TimerId(self.next_id);
+        self.timers.insert(
+            id,
+            Timer {
+                callback: Some(callback),
+                period,
+            },
+        );
+        self.seq += 1;
+        self.heap.push(Reverse((self.now_ms + delay, self.seq, id)));
+        id
+    }
+
+    /// Cancels a timer (`clearInterval`/`clearTimeout`). Unknown or
+    /// already-fired one-shot ids are ignored.
+    pub fn clear(&mut self, id: TimerId) {
+        self.timers.remove(&id);
+    }
+
+    /// Whether a timer is still registered.
+    pub fn is_scheduled(&self, id: TimerId) -> bool {
+        self.timers.contains_key(&id)
+    }
+
+    /// Queues a microtask (promise continuation): runs before any timer,
+    /// at the current virtual instant.
+    pub fn queue_microtask(&mut self, f: impl FnMut(&mut EventLoop) + 'static) {
+        self.microtasks.push_back(Box::new(f));
+    }
+
+    /// Number of pending timers.
+    pub fn pending(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Deadline of the next live timer, if any.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.heap
+            .iter()
+            .filter(|Reverse((_, _, id))| self.timers.contains_key(id))
+            .map(|Reverse((d, _, _))| *d)
+            .min()
+    }
+
+    fn run_microtasks(&mut self) {
+        while let Some(mut t) = self.microtasks.pop_front() {
+            t(self);
+        }
+    }
+
+    /// Runs the next due timer (advancing time to its deadline). Returns
+    /// `false` when nothing is pending.
+    pub fn step(&mut self) -> bool {
+        self.run_microtasks();
+        while let Some(Reverse((deadline, _, id))) = self.heap.pop() {
+            if !self.timers.contains_key(&id) {
+                continue; // cancelled
+            }
+            self.now_ms = self.now_ms.max(deadline);
+            let timer = self.timers.get_mut(&id).expect("checked above");
+            let mut cb = timer.callback.take().expect("callback present");
+            let period = timer.period;
+            match period {
+                Some(p) => {
+                    self.seq += 1;
+                    self.heap.push(Reverse((deadline + p, self.seq, id)));
+                }
+                None => {
+                    self.timers.remove(&id);
+                }
+            }
+            cb(self);
+            // Re-install the callback for repeating timers (unless the
+            // callback cleared itself).
+            if period.is_some() {
+                if let Some(t) = self.timers.get_mut(&id) {
+                    t.callback = Some(cb);
+                }
+            }
+            self.run_microtasks();
+            return true;
+        }
+        false
+    }
+
+    /// Advances virtual time by `ms`, firing every timer due in the
+    /// window, in deadline order.
+    pub fn advance_by(&mut self, ms: u64) {
+        let target = self.now_ms + ms;
+        self.run_microtasks();
+        while self.next_deadline().map(|d| d <= target).unwrap_or(false) {
+            self.step();
+        }
+        self.now_ms = target;
+    }
+
+    /// Runs until no timers remain or `max_steps` callbacks have fired
+    /// (guarding against infinite intervals). Returns the number of
+    /// callbacks run.
+    pub fn run_until_idle(&mut self, max_steps: usize) -> usize {
+        let mut steps = 0;
+        while steps < max_steps && self.step() {
+            steps += 1;
+        }
+        steps
+    }
+}
+
+impl std::fmt::Debug for EventLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop")
+            .field("now_ms", &self.now_ms)
+            .field("pending", &self.timers.len())
+            .finish()
+    }
+}
+
+/// A reactive machine attached to an event loop — the paper's client-side
+/// runtime: timers fire, async bodies queue `notify`/`react`, and the
+/// driver turns them into atomic reactions.
+pub struct Driver {
+    /// The shared machine.
+    pub machine: Rc<RefCell<Machine>>,
+    /// The shared event loop.
+    pub el: Rc<RefCell<EventLoop>>,
+}
+
+impl Driver {
+    /// Wraps a machine and a fresh event loop.
+    pub fn new(machine: Machine) -> Driver {
+        Driver {
+            machine: Rc::new(RefCell::new(machine)),
+            el: Rc::new(RefCell::new(EventLoop::new())),
+        }
+    }
+
+    /// Runs a reaction with inputs, then drains any follow-up mailbox
+    /// operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn react(
+        &self,
+        inputs: &[(&str, hiphop_core::value::Value)],
+    ) -> Result<Vec<Reaction>, RuntimeError> {
+        let mut m = self.machine.borrow_mut();
+        let mut out = vec![m.react_with(inputs)?];
+        out.extend(m.drain()?);
+        Ok(out)
+    }
+
+    /// Advances virtual time, draining the machine mailbox after every
+    /// callback so notifications become reactions promptly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn advance_by(&self, ms: u64) -> Result<Vec<Reaction>, RuntimeError> {
+        let target = self.el.borrow().now() + ms;
+        let mut reactions = Vec::new();
+        reactions.extend(self.machine.borrow_mut().drain()?);
+        loop {
+            let due = {
+                let el = self.el.borrow();
+                el.next_deadline().map(|d| d <= target).unwrap_or(false)
+            };
+            if !due {
+                break;
+            }
+            self.el.borrow_mut().step();
+            reactions.extend(self.machine.borrow_mut().drain()?);
+        }
+        self.el.borrow_mut().now_ms = target;
+        Ok(reactions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn timeout_fires_once_at_deadline() {
+        let mut el = EventLoop::new();
+        let fired = Rc::new(Cell::new(0u32));
+        let f = fired.clone();
+        el.set_timeout(500, move |el| {
+            assert_eq!(el.now(), 500);
+            f.set(f.get() + 1);
+        });
+        el.advance_by(499);
+        assert_eq!(fired.get(), 0);
+        el.advance_by(1);
+        assert_eq!(fired.get(), 1);
+        el.advance_by(10_000);
+        assert_eq!(fired.get(), 1);
+    }
+
+    #[test]
+    fn interval_repeats_and_clears() {
+        let mut el = EventLoop::new();
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let id = el.set_interval(100, move |_| c.set(c.get() + 1));
+        el.advance_by(1000);
+        assert_eq!(count.get(), 10);
+        el.clear(id);
+        el.advance_by(1000);
+        assert_eq!(count.get(), 10);
+        assert!(!el.is_scheduled(id));
+    }
+
+    #[test]
+    fn interval_can_clear_itself() {
+        let mut el = EventLoop::new();
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let id_cell: Rc<Cell<Option<TimerId>>> = Rc::new(Cell::new(None));
+        let idc = id_cell.clone();
+        let id = el.set_interval(100, move |el| {
+            c.set(c.get() + 1);
+            if c.get() == 3 {
+                el.clear(idc.get().expect("id set"));
+            }
+        });
+        id_cell.set(Some(id));
+        el.advance_by(10_000);
+        assert_eq!(count.get(), 3);
+    }
+
+    #[test]
+    fn deadline_order_with_ties_is_fifo() {
+        let mut el = EventLoop::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for tag in ["a", "b", "c"] {
+            let o = order.clone();
+            el.set_timeout(100, move |_| o.borrow_mut().push(tag));
+        }
+        el.advance_by(100);
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn callbacks_can_schedule_more_work() {
+        let mut el = EventLoop::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        el.set_timeout(100, move |el| {
+            l.borrow_mut().push("first");
+            let l2 = l.clone();
+            el.set_timeout(50, move |_| l2.borrow_mut().push("second"));
+        });
+        el.advance_by(200);
+        assert_eq!(*log.borrow(), vec!["first", "second"]);
+        assert_eq!(el.now(), 200);
+    }
+
+    #[test]
+    fn microtasks_run_before_timers() {
+        let mut el = EventLoop::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        el.set_timeout(0, move |_| l1.borrow_mut().push("timer"));
+        let l2 = log.clone();
+        el.queue_microtask(move |_| l2.borrow_mut().push("micro"));
+        el.step();
+        assert_eq!(*log.borrow(), vec!["micro", "timer"]);
+    }
+
+    #[test]
+    fn run_until_idle_respects_cap() {
+        let mut el = EventLoop::new();
+        el.set_interval(1, |_| {});
+        let steps = el.run_until_idle(25);
+        assert_eq!(steps, 25, "interval would run forever; cap stops it");
+    }
+
+    #[test]
+    fn timer_id_raw_roundtrip() {
+        let mut el = EventLoop::new();
+        let id = el.set_timeout(1, |_| {});
+        assert_eq!(TimerId::from_raw(id.raw()), id);
+    }
+}

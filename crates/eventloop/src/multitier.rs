@@ -1,0 +1,329 @@
+//! Multitier execution: several reactive machines (server and clients)
+//! linked by simulated network channels — the Hop.js half of the paper's
+//! architecture ("Hop.js helps programming the asynchronous code
+//! deployment and communication between servers and clients, while
+//! HipHop.js helps programming synchronous patterns *on both sides*",
+//! §2.4).
+//!
+//! A [`Link`] forwards one machine's output signal to another machine's
+//! input signal with a configurable latency; the [`Multitier`] driver
+//! interleaves timer callbacks and message deliveries in virtual-time
+//! order, so distributed scenarios replay deterministically.
+
+use crate::EventLoop;
+use hiphop_core::value::Value;
+use hiphop_runtime::{Machine, Reaction, RuntimeError};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Identifier of a tier (a machine) within a [`Multitier`] driver.
+pub type TierId = usize;
+
+/// A directed signal channel between two tiers.
+#[derive(Debug, Clone)]
+pub struct Link {
+    from_tier: TierId,
+    from: String,
+    to_tier: TierId,
+    to: String,
+    latency_ms: u64,
+}
+
+#[derive(Debug)]
+struct Message {
+    deliver_at: u64,
+    seq: u64,
+    tier: TierId,
+    signal: String,
+    value: Value,
+}
+
+/// The multitier driver.
+pub struct Multitier {
+    /// The shared virtual-time event loop.
+    pub el: Rc<RefCell<EventLoop>>,
+    tiers: Vec<Rc<RefCell<Machine>>>,
+    links: Vec<Link>,
+    pending: Vec<Message>,
+    seq: u64,
+}
+
+impl Multitier {
+    /// A driver over a fresh event loop.
+    pub fn new() -> Multitier {
+        Multitier {
+            el: Rc::new(RefCell::new(EventLoop::new())),
+            tiers: Vec::new(),
+            links: Vec::new(),
+            pending: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Adds a machine as a tier; returns its id.
+    pub fn add_tier(&mut self, machine: Machine) -> TierId {
+        self.tiers.push(Rc::new(RefCell::new(machine)));
+        self.tiers.len() - 1
+    }
+
+    /// Shared handle to a tier's machine.
+    pub fn tier(&self, id: TierId) -> Rc<RefCell<Machine>> {
+        self.tiers[id].clone()
+    }
+
+    /// Declares a channel: whenever `from` is present in a reaction of
+    /// `from_tier`, its value is delivered `latency_ms` later as input
+    /// `to` of `to_tier`.
+    pub fn link(
+        &mut self,
+        from_tier: TierId,
+        from: &str,
+        to_tier: TierId,
+        to: &str,
+        latency_ms: u64,
+    ) -> &mut Self {
+        self.links.push(Link {
+            from_tier,
+            from: from.to_owned(),
+            to_tier,
+            to: to.to_owned(),
+            latency_ms,
+        });
+        self
+    }
+
+    fn route(&mut self, tier: TierId, reactions: &[Reaction]) {
+        let now = self.el.borrow().now();
+        for r in reactions {
+            for l in &self.links {
+                if l.from_tier == tier && r.present(&l.from) {
+                    self.seq += 1;
+                    self.pending.push(Message {
+                        deliver_at: now + l.latency_ms,
+                        seq: self.seq,
+                        tier: l.to_tier,
+                        signal: l.to.clone(),
+                        value: r.value(&l.from),
+                    });
+                }
+            }
+        }
+    }
+
+    fn react_tier(
+        &mut self,
+        tier: TierId,
+        inputs: &[(&str, Value)],
+    ) -> Result<Vec<Reaction>, RuntimeError> {
+        let machine = self.tiers[tier].clone();
+        let mut reactions = {
+            let mut m = machine.borrow_mut();
+            let mut out = vec![m.react_with(inputs)?];
+            out.extend(m.drain()?);
+            out
+        };
+        self.route(tier, &reactions);
+        // Zero-latency deliveries cascade immediately.
+        reactions.extend(self.deliver_due()?);
+        Ok(reactions)
+    }
+
+    /// Reacts on a tier with external inputs (a user action on a client).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors from any tier reached by cascading
+    /// deliveries.
+    pub fn react(
+        &mut self,
+        tier: TierId,
+        inputs: &[(&str, Value)],
+    ) -> Result<Vec<Reaction>, RuntimeError> {
+        self.react_tier(tier, inputs)
+    }
+
+    fn next_due(&self, target: u64) -> Option<usize> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.deliver_at <= target)
+            .min_by_key(|(_, m)| (m.deliver_at, m.seq))
+            .map(|(i, _)| i)
+    }
+
+    fn deliver_due(&mut self) -> Result<Vec<Reaction>, RuntimeError> {
+        let mut out = Vec::new();
+        let mut guard = 0;
+        loop {
+            let now = self.el.borrow().now();
+            let Some(idx) = self.next_due(now) else { break };
+            guard += 1;
+            assert!(
+                guard < 100_000,
+                "zero-latency message loop between tiers"
+            );
+            let msg = self.pending.swap_remove(idx);
+            let rs = self.react_tier(msg.tier, &[(msg.signal.as_str(), msg.value.clone())])?;
+            out.extend(rs);
+        }
+        Ok(out)
+    }
+
+    /// Advances virtual time, interleaving timer callbacks and message
+    /// deliveries in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn advance_by(&mut self, ms: u64) -> Result<Vec<Reaction>, RuntimeError> {
+        let target = self.el.borrow().now() + ms;
+        let mut reactions = Vec::new();
+        loop {
+            let now = self.el.borrow().now();
+            let t_timer = self.el.borrow().next_deadline().filter(|&d| d <= target);
+            let t_msg = self
+                .next_due(target)
+                .map(|i| self.pending[i].deliver_at.max(now));
+            let timer_first = match (t_timer, t_msg) {
+                (None, None) => break,
+                (Some(tt), Some(tm)) => tt <= tm,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+            };
+            if timer_first {
+                self.el.borrow_mut().step();
+                for tier in 0..self.tiers.len() {
+                    let machine = self.tiers[tier].clone();
+                    let rs = machine.borrow_mut().drain()?;
+                    self.route(tier, &rs);
+                    reactions.extend(rs);
+                }
+                reactions.extend(self.deliver_due()?);
+            } else {
+                // Advance the clock to the delivery time, then deliver.
+                let tm = t_msg.expect("message branch");
+                let now = self.el.borrow().now();
+                if tm > now {
+                    self.el.borrow_mut().advance_by(tm - now);
+                }
+                reactions.extend(self.deliver_due()?);
+            }
+        }
+        let now = self.el.borrow().now();
+        if target > now {
+            self.el.borrow_mut().advance_by(target - now);
+        }
+        Ok(reactions)
+    }
+}
+
+impl Default for Multitier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Multitier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Multitier")
+            .field("tiers", &self.tiers.len())
+            .field("links", &self.links.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiphop_core::prelude::*;
+    use hiphop_runtime::machine_for;
+
+    fn client() -> Machine {
+        // Sends `ask` on user click; displays the reply.
+        let m = Module::new("Client")
+            .input(SignalDecl::new("click", Direction::In))
+            .input(SignalDecl::new("reply", Direction::In))
+            .output(SignalDecl::new("ask", Direction::Out).with_init(0i64))
+            .output(SignalDecl::new("shown", Direction::Out).with_init(""))
+            .body(Stmt::par([
+                Stmt::every(
+                    Delay::cond(Expr::now("click")),
+                    Stmt::emit_val("ask", Expr::nowval("click")),
+                ),
+                Stmt::every(
+                    Delay::cond(Expr::now("reply")),
+                    Stmt::emit_val("shown", Expr::nowval("reply")),
+                ),
+            ]));
+        machine_for(&m, &ModuleRegistry::new()).expect("client compiles")
+    }
+
+    fn server() -> Machine {
+        // Doubles each request.
+        let m = Module::new("Server")
+            .input(SignalDecl::new("req", Direction::In))
+            .output(SignalDecl::new("ans", Direction::Out).with_init(0i64))
+            .body(Stmt::every(
+                Delay::cond(Expr::now("req")),
+                Stmt::emit_val("ans", Expr::nowval("req").mul(Expr::num(2.0))),
+            ));
+        machine_for(&m, &ModuleRegistry::new()).expect("server compiles")
+    }
+
+    #[test]
+    fn round_trip_with_latency() {
+        let mut mt = Multitier::new();
+        let c = mt.add_tier(client());
+        let s = mt.add_tier(server());
+        mt.link(c, "ask", s, "req", 20);
+        mt.link(s, "ans", c, "reply", 20);
+        mt.react(c, &[]).unwrap(); // boot client
+        mt.react(s, &[]).unwrap(); // boot server
+        mt.react(c, &[("click", Value::Num(21.0))]).unwrap();
+        // Nothing yet: the request is in flight.
+        assert_eq!(mt.tier(c).borrow().nowval("shown"), Value::from(""));
+        mt.advance_by(19).unwrap();
+        assert_eq!(mt.tier(c).borrow().nowval("shown"), Value::from(""));
+        mt.advance_by(25).unwrap(); // request arrives at t=20, reply at t=40
+        assert_eq!(mt.tier(s).borrow().nowval("ans"), Value::Num(42.0));
+        mt.advance_by(10).unwrap();
+        assert_eq!(mt.tier(c).borrow().nowval("shown"), Value::Num(42.0));
+    }
+
+    #[test]
+    fn zero_latency_cascades_within_one_call() {
+        let mut mt = Multitier::new();
+        let c = mt.add_tier(client());
+        let s = mt.add_tier(server());
+        mt.link(c, "ask", s, "req", 0);
+        mt.link(s, "ans", c, "reply", 0);
+        mt.react(c, &[]).unwrap();
+        mt.react(s, &[]).unwrap();
+        mt.react(c, &[("click", Value::Num(5.0))]).unwrap();
+        assert_eq!(mt.tier(c).borrow().nowval("shown"), Value::Num(10.0));
+    }
+
+    #[test]
+    fn messages_interleave_with_timers_in_time_order() {
+        let mut mt = Multitier::new();
+        let c = mt.add_tier(client());
+        let s = mt.add_tier(server());
+        mt.link(c, "ask", s, "req", 50);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o = order.clone();
+        mt.el
+            .borrow_mut()
+            .set_timeout(30, move |_| o.borrow_mut().push("timer@30"));
+        mt.react(c, &[]).unwrap();
+        mt.react(s, &[]).unwrap();
+        mt.react(c, &[("click", Value::Num(1.0))]).unwrap();
+        mt.advance_by(100).unwrap();
+        assert_eq!(*order.borrow(), vec!["timer@30"]);
+        assert_eq!(
+            mt.tier(s).borrow().nowval("ans"),
+            Value::Num(2.0),
+            "request delivered after the timer, at t=50"
+        );
+    }
+}

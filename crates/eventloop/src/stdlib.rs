@@ -1,0 +1,92 @@
+//! The standard-library `Timer` module (paper §2.2.5).
+//!
+//! ```text
+//! hiphop module Timer(time) {
+//!    async {
+//!       this.react({[time.signame]: this.sec = 0});
+//!       this.intv = setInterval(() =>
+//!          this.react({[time.signame]: ++this.sec}), 1000);
+//!    } kill {
+//!       clearInterval(this.intv);
+//!    }
+//! }
+//! ```
+//!
+//! The `kill` clause frees the interval whatever kills the statement —
+//! the abort in `Session`, the `every(login.now)` in `Main`, anything.
+//! "No user of Timer needs to explicitly call this cleanup action […]
+//! This is a major modularity enhancement."
+
+use crate::{EventLoop, TimerId};
+use hiphop_core::prelude::*;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Builds a `Timer` module ticking `signal_name` once per `period_ms` of
+/// virtual time on `el`, starting from 0 at spawn.
+///
+/// The returned module declares `inout <signal_name>` and can be
+/// instantiated with `run Timer(tmo as time)`-style renamings.
+pub fn timer_module(el: Rc<RefCell<EventLoop>>, signal_name: &str, period_ms: u64) -> Module {
+    let sig = signal_name.to_owned();
+    let el_spawn = el.clone();
+    let sig_spawn = sig.clone();
+    let spawn = AsyncHook::new("Timer.spawn", move |ctx| {
+        let handle = ctx.handle.clone();
+        let sec = Rc::new(Cell::new(0.0f64));
+        handle.react(vec![(sig_spawn.clone(), Value::Num(0.0))]);
+        let h2 = handle.clone();
+        let sig2 = sig_spawn.clone();
+        let id = el_spawn.borrow_mut().set_interval(period_ms, move |_| {
+            sec.set(sec.get() + 1.0);
+            h2.react(vec![(sig2.clone(), Value::Num(sec.get()))]);
+        });
+        // this.intv = id
+        handle.set_state(Value::Num(id.raw() as f64));
+    });
+    let kill = AsyncHook::new("Timer.kill", move |ctx| {
+        let raw = ctx.handle.state().as_num();
+        if raw.is_finite() && raw >= 0.0 {
+            el.borrow_mut().clear(TimerId::from_raw(raw as u64));
+        }
+    });
+    Module::new("Timer")
+        .inout(SignalDecl::new(signal_name, Direction::InOut).with_init(0i64))
+        .body(Stmt::async_(AsyncSpec {
+            done_signal: None,
+            on_spawn: Some(spawn),
+            on_kill: Some(kill),
+            on_suspend: None,
+            on_resume: None,
+        }))
+}
+
+/// A simulated remote service with fixed latency — the substitute for the
+/// paper's `authenticateSvc(name, passwd).post()` OAuth round trip
+/// (§2.2.4). The `check` closure decides the reply from the request
+/// payload; the reply arrives `latency_ms` later and completes the
+/// enclosing `async` through `notify`.
+pub fn service_async(
+    el: Rc<RefCell<EventLoop>>,
+    latency_ms: u64,
+    done_signal: &str,
+    request: impl Fn(&dyn hiphop_core::expr::EvalEnv) -> Value + 'static,
+    check: impl Fn(&Value) -> Value + 'static,
+) -> Stmt {
+    let check = Rc::new(check);
+    let spawn = AsyncHook::new("service.spawn", move |ctx| {
+        let payload = request(ctx.env);
+        let handle = ctx.handle.clone();
+        let check = check.clone();
+        el.borrow_mut().set_timeout(latency_ms, move |_| {
+            handle.notify(check(&payload));
+        });
+    });
+    Stmt::async_(AsyncSpec {
+        done_signal: Some(done_signal.to_owned()),
+        on_spawn: Some(spawn),
+        on_kill: None,
+        on_suspend: None,
+        on_resume: None,
+    })
+}

@@ -1,0 +1,234 @@
+//! Async/synchronous blending tests: the paper's `Timer` module, the
+//! simulated authentication service, automatic kill-cleanup, and stale
+//! notification discarding (§2.2.4–§2.2.5).
+
+use hiphop_core::prelude::*;
+use hiphop_eventloop::stdlib::{service_async, timer_module};
+use hiphop_eventloop::Driver;
+use hiphop_runtime::machine_for;
+use std::cell::Cell;
+use std::rc::Rc;
+
+#[test]
+fn timer_ticks_every_virtual_second() {
+    let main = Module::new("Main")
+        .inout(SignalDecl::new("time", Direction::InOut).with_init(0i64))
+        .body(Stmt::run("Timer"));
+    let el = Rc::new(std::cell::RefCell::new(hiphop_eventloop::EventLoop::new()));
+    let mut reg = ModuleRegistry::new();
+    reg.register(timer_module(el.clone(), "time", 1000));
+    let machine = machine_for(&main, &reg).expect("compiles");
+    let driver = Driver {
+        machine: Rc::new(std::cell::RefCell::new(machine)),
+        el,
+    };
+    driver.react(&[]).unwrap(); // boot: spawns the async, schedules interval
+    driver.advance_by(3500).unwrap();
+    assert_eq!(
+        driver.machine.borrow().nowval("time"),
+        Value::Num(3.0),
+        "three seconds elapsed"
+    );
+    driver.advance_by(2000).unwrap();
+    assert_eq!(driver.machine.borrow().nowval("time"), Value::Num(5.0));
+}
+
+#[test]
+fn killed_timer_frees_its_interval() {
+    // abort (stop.now) { run Timer }: when the abort kills the async, the
+    // kill hook must clearInterval — the paper's automatic resource
+    // cleanup.
+    let el = Rc::new(std::cell::RefCell::new(hiphop_eventloop::EventLoop::new()));
+    let mut reg = ModuleRegistry::new();
+    reg.register(timer_module(el.clone(), "time", 1000));
+    let main = Module::new("Main")
+        .input(SignalDecl::new("stop", Direction::In))
+        .inout(SignalDecl::new("time", Direction::InOut).with_init(0i64))
+        .body(Stmt::abort(Delay::cond(Expr::now("stop")), Stmt::run("Timer")));
+    let machine = machine_for(&main, &reg).expect("compiles");
+    let driver = Driver {
+        machine: Rc::new(std::cell::RefCell::new(machine)),
+        el: el.clone(),
+    };
+    driver.react(&[]).unwrap();
+    driver.advance_by(2500).unwrap();
+    assert_eq!(driver.machine.borrow().nowval("time"), Value::Num(2.0));
+    assert_eq!(el.borrow().pending(), 1, "interval alive");
+    driver.react(&[("stop", Value::Bool(true))]).unwrap();
+    assert_eq!(el.borrow().pending(), 0, "kill hook cleared the interval");
+    // Time stops advancing.
+    driver.advance_by(5000).unwrap();
+    assert_eq!(driver.machine.borrow().nowval("time"), Value::Num(2.0));
+}
+
+#[test]
+fn service_async_completes_with_latency() {
+    // Authenticate-style: async connected { authenticateSvc(...) }.
+    let el = Rc::new(std::cell::RefCell::new(hiphop_eventloop::EventLoop::new()));
+    let body = Stmt::seq([
+        service_async(
+            el.clone(),
+            200,
+            "connected",
+            |env| env.nowval("name"),
+            |payload| Value::Bool(payload.as_str() == Some("joe")),
+        ),
+        Stmt::if_else(
+            Expr::nowval("connected"),
+            Stmt::emit_val("connState", Expr::str("connected")),
+            Stmt::emit_val("connState", Expr::str("error")),
+        ),
+    ]);
+    let main = Module::new("Main")
+        .input(SignalDecl::new("name", Direction::In).with_init("joe"))
+        .inout(SignalDecl::new("connected", Direction::InOut))
+        .output(SignalDecl::new("connState", Direction::Out).with_init("disconn"))
+        .body(body);
+    let machine = machine_for(&main, &ModuleRegistry::new()).expect("compiles");
+    let driver = Driver {
+        machine: Rc::new(std::cell::RefCell::new(machine)),
+        el,
+    };
+    driver.react(&[]).unwrap();
+    assert_eq!(
+        driver.machine.borrow().nowval("connState"),
+        Value::from("disconn"),
+        "still authenticating"
+    );
+    let reactions = driver.advance_by(250).unwrap();
+    assert_eq!(reactions.len(), 1, "one completion reaction");
+    assert!(reactions[0].present("connected"));
+    assert_eq!(
+        driver.machine.borrow().nowval("connState"),
+        Value::from("connected")
+    );
+}
+
+#[test]
+fn preempted_async_discards_stale_notification() {
+    // every (login.now) { async connected { 200ms service } ;
+    //                     if connected emit ok }
+    // Re-login at t+100 kills the pending request; its reply at t+200 must
+    // be dropped; the second reply at t+300 completes. This is exactly the
+    // paper's "pending authentications are automatically discarded
+    // without needing the counter used in JavaScript" (§2.2.4).
+    let el = Rc::new(std::cell::RefCell::new(hiphop_eventloop::EventLoop::new()));
+    let completions = Rc::new(Cell::new(0u32));
+    let comp = completions.clone();
+    let body = Stmt::every(
+        Delay::cond(Expr::now("login")),
+        Stmt::seq([
+            service_async(
+                el.clone(),
+                200,
+                "connected",
+                |_| Value::Null,
+                move |_| {
+                    comp.set(comp.get() + 1);
+                    Value::Bool(true)
+                },
+            ),
+            Stmt::emit("sessionStart"),
+        ]),
+    );
+    let main = Module::new("Main")
+        .input(SignalDecl::new("login", Direction::In))
+        .inout(SignalDecl::new("connected", Direction::InOut))
+        .output(SignalDecl::new("sessionStart", Direction::Out))
+        .body(body);
+    let machine = machine_for(&main, &ModuleRegistry::new()).expect("compiles");
+    let driver = Driver {
+        machine: Rc::new(std::cell::RefCell::new(machine)),
+        el,
+    };
+    driver.react(&[]).unwrap();
+    driver.react(&[("login", Value::Bool(true))]).unwrap(); // t=0: request 1
+    driver.advance_by(100).unwrap();
+    driver.react(&[("login", Value::Bool(true))]).unwrap(); // t=100: request 2 kills 1
+    let r1 = driver.advance_by(150).unwrap(); // t=250: reply 1 arrives, stale
+    assert!(
+        r1.iter().all(|r| !r.present("sessionStart")),
+        "stale reply must not start a session"
+    );
+    let r2 = driver.advance_by(100).unwrap(); // t=350: reply 2 arrives
+    assert!(
+        r2.iter().any(|r| r.present("sessionStart")),
+        "fresh reply completes"
+    );
+    assert_eq!(completions.get(), 2, "both timers fired; only one counted");
+}
+
+#[test]
+fn session_timeout_via_timer_forces_logout() {
+    // Session-like: abort (logout.now || time.nowval > 3) { run Timer } ;
+    // emit done — the paper's Session module shape (§2.2.5).
+    let el = Rc::new(std::cell::RefCell::new(hiphop_eventloop::EventLoop::new()));
+    let mut reg = ModuleRegistry::new();
+    reg.register(timer_module(el.clone(), "time", 1000));
+    let main = Module::new("Main")
+        .input(SignalDecl::new("logout", Direction::In))
+        .inout(SignalDecl::new("time", Direction::InOut).with_init(0i64))
+        .output(SignalDecl::new("done", Direction::Out))
+        .body(Stmt::seq([
+            Stmt::abort(
+                Delay::cond(Expr::now("logout").or(Expr::nowval("time").gt(Expr::num(3.0)))),
+                Stmt::run("Timer"),
+            ),
+            Stmt::emit("done"),
+        ]));
+    let machine = machine_for(&main, &reg).expect("compiles");
+    let driver = Driver {
+        machine: Rc::new(std::cell::RefCell::new(machine)),
+        el: el.clone(),
+    };
+    driver.react(&[]).unwrap();
+    let reactions = driver.advance_by(10_000).unwrap();
+    assert!(
+        reactions.iter().any(|r| r.present("done")),
+        "timeout forces the session to end"
+    );
+    // The timer must have been cleaned up at second 4.
+    assert_eq!(el.borrow().pending(), 0);
+    assert_eq!(driver.machine.borrow().nowval("time"), Value::Num(4.0));
+}
+
+#[test]
+fn async_suspend_and_resume_hooks_fire_on_edges() {
+    use hiphop_core::prelude::*;
+    let events = Rc::new(std::cell::RefCell::new(Vec::new()));
+    let (e1, e2) = (events.clone(), events.clone());
+    let spec = AsyncSpec {
+        done_signal: None,
+        on_spawn: None,
+        on_kill: None,
+        on_suspend: Some(AsyncHook::new("s", move |_| {
+            e1.borrow_mut().push("suspend")
+        })),
+        on_resume: Some(AsyncHook::new("r", move |_| {
+            e2.borrow_mut().push("resume")
+        })),
+    };
+    let main = Module::new("M")
+        .input(SignalDecl::new("freeze", Direction::In))
+        .body(Stmt::suspend(
+            Delay::cond(Expr::now("freeze")),
+            Stmt::async_(spec),
+        ));
+    let mut m = hiphop_runtime::machine_for(&main, &ModuleRegistry::new()).expect("compiles");
+    m.react().unwrap();
+    assert!(events.borrow().is_empty());
+    // Two consecutive suspended instants: the hook fires only on the edge.
+    m.react_with(&[("freeze", Value::Bool(true))]).unwrap();
+    m.react_with(&[("freeze", Value::Bool(true))]).unwrap();
+    assert_eq!(*events.borrow(), ["suspend"]);
+    // Resumption edge.
+    m.react().unwrap();
+    assert_eq!(*events.borrow(), ["suspend", "resume"]);
+    // Steady running: nothing more.
+    m.react().unwrap();
+    assert_eq!(events.borrow().len(), 2);
+    // Another cycle.
+    m.react_with(&[("freeze", Value::Bool(true))]).unwrap();
+    m.react().unwrap();
+    assert_eq!(*events.borrow(), ["suspend", "resume", "suspend", "resume"]);
+}

@@ -1,0 +1,33 @@
+//! A reference interpreter for the HipHop kernel — an implementation of
+//! the synchronous semantics that shares **no code** with the circuit
+//! compiler or the reactive machine, used as a differential-testing
+//! oracle.
+//!
+//! # How it works
+//!
+//! Statements are executed *structurally*: each instant either starts the
+//! program (`go`) or resumes it from its state tree (`res`), the direct
+//! transcription of Esterel's macro-step SOS. Signal statuses are
+//! *monotone knowledge*: an instant is executed in **attempts**, each
+//! replayed deterministically from an instant-start snapshot;
+//!
+//! - reading an unknown status (or a not-yet-stable value) blocks the
+//!   reading thread for this attempt (parallel siblings keep running);
+//! - emissions discovered in an attempt become knowledge for the next;
+//! - at quiescence (an attempt adds no knowledge), all still-unknown
+//!   signals are declared absent and values become stable (the *final*
+//!   attempt);
+//! - an emission that contradicts a declared absence, or that follows a
+//!   same-instant read of the signal's value, is a causality error.
+//!
+//! On logically coherent programs this coincides with the constructive
+//! semantics the circuit runtime implements; pathological programs (e.g.
+//! self-justifying emissions) are rejected by both, possibly with
+//! different error wording. `async` is not supported (it is a host
+//! bridge, not kernel semantics).
+
+#![warn(missing_docs)]
+
+mod state;
+
+pub use state::{InterpError, Interp, InterpReaction};

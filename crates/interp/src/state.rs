@@ -1,0 +1,1114 @@
+//! The interpreter proper: state trees, attempt execution, knowledge
+//! accumulation.
+
+use hiphop_core::ast::{AtomBody, Delay, Stmt};
+use hiphop_core::desugar::desugar;
+use hiphop_core::expr::{EvalEnv, Expr, SigAccess};
+use hiphop_core::module::{link, Module, ModuleRegistry};
+use hiphop_core::signal::{Direction, SignalDecl};
+use hiphop_core::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interpreter errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// The linked program still contains constructs the reference
+    /// interpreter does not model (`async`, `run`).
+    Unsupported(String),
+    /// A loop body terminated instantaneously.
+    InstantaneousLoop,
+    /// The instant could not be completed: a causality problem
+    /// (self-justifying emission, value read before a later emission, or
+    /// a dependency cycle leaving threads blocked).
+    Causality(String),
+    /// Front-end error while preparing the program.
+    Core(String),
+    /// `set_input` named an unknown or non-input signal.
+    BadInput(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Unsupported(s) => write!(f, "unsupported by the reference interpreter: {s}"),
+            InterpError::InstantaneousLoop => write!(f, "loop body terminated instantaneously"),
+            InterpError::Causality(s) => write!(f, "causality error: {s}"),
+            InterpError::Core(s) => write!(f, "{s}"),
+            InterpError::BadInput(s) => write!(f, "bad input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// A signal instance: interface index or local-instance index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Key {
+    Iface(usize),
+    Local(usize),
+}
+
+/// Persistent data of a local-signal instance.
+#[derive(Debug, Clone)]
+struct LocalInstance {
+    decl: SignalDecl,
+}
+
+/// The state tree: where control rests between instants.
+#[derive(Debug, Clone, PartialEq)]
+enum St {
+    Paused,
+    Halted,
+    Seq { idx: usize, inner: Box<St> },
+    Par { branches: Vec<Option<St>> },
+    Loop { inner: Box<St> },
+    If { then_taken: bool, inner: Box<St> },
+    Abort { counter: Option<f64>, inner: Box<St> },
+    Suspend { counter: Option<f64>, inner: Box<St> },
+    Trap { inner: Box<St> },
+    Local { instances: Vec<usize>, inner: Box<St> },
+}
+
+/// Completion of a statement within an attempt.
+#[derive(Debug, Clone, PartialEq)]
+enum K {
+    Term,
+    Pause(St),
+    /// Exit of the trap `levels` above (0 = innermost enclosing).
+    Exit(usize),
+    /// Some thread is waiting for signal knowledge.
+    Blocked,
+}
+
+/// The result of one interpreted reaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpReaction {
+    /// (name, present, value) for each output-direction interface signal.
+    pub outputs: Vec<(String, bool, Value)>,
+    /// Whether the program terminated.
+    pub terminated: bool,
+}
+
+impl InterpReaction {
+    /// Presence of an output.
+    pub fn present(&self, name: &str) -> bool {
+        self.outputs
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, p, _)| *p)
+            .unwrap_or(false)
+    }
+    /// Value of an output.
+    pub fn value(&self, name: &str) -> Value {
+        self.outputs
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, v)| v.clone())
+            .unwrap_or(Value::Null)
+    }
+}
+
+/// The reference interpreter.
+pub struct Interp {
+    program: Stmt,
+    interface: Vec<SignalDecl>,
+    // Persistent machine state.
+    values: Vec<Value>,             // interface values
+    local_values: Vec<Value>,       // per local instance
+    locals: Vec<LocalInstance>,
+    prev_present: HashMap<Key, bool>,
+    vars: HashMap<String, Value>,
+    state: Option<St>,
+    booted: bool,
+    terminated: bool,
+    staged: Vec<(usize, Option<Value>)>,
+    log: Vec<String>,
+}
+
+impl fmt::Debug for Interp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interp")
+            .field("booted", &self.booted)
+            .field("terminated", &self.terminated)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-attempt working data.
+
+struct Attempt {
+    know: HashMap<Key, bool>,
+    final_mode: bool,
+    emitted: HashMap<Key, bool>,
+    values: HashMap<Key, Value>,
+    prev_values: HashMap<Key, Value>,
+    emit_count: HashMap<Key, u32>,
+    assumed_absent: Vec<Key>,
+    value_read: Vec<Key>,
+    vars: HashMap<String, Value>,
+    // Fresh local instances allocated during this attempt (decl clones);
+    // indices start at the persistent high-water mark.
+    fresh_locals: Vec<LocalInstance>,
+    fresh_values: Vec<Value>,
+    base_locals: usize,
+    blocked: bool,
+    log: Vec<String>,
+}
+
+struct Ctx<'a> {
+    attempt: &'a mut Attempt,
+    scopes: Vec<HashMap<String, Key>>,
+    traps: Vec<String>,
+    loop_guard: u32,
+    iface_dirs: Vec<Direction>,
+    pre_present: HashMap<Key, bool>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Need {
+    Ready,
+    Blocked,
+}
+
+impl Ctx<'_> {
+    fn resolve(&self, name: &str) -> Option<Key> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(k) = scope.get(name) {
+                return Some(*k);
+            }
+        }
+        None
+    }
+
+    fn status(&mut self, key: Key) -> Result<Option<bool>, InterpError> {
+        if let Some(&v) = self.attempt.know.get(&key) {
+            return Ok(Some(v));
+        }
+        if self.attempt.emitted.get(&key).copied().unwrap_or(false) {
+            return Ok(Some(true));
+        }
+        if self.attempt.final_mode {
+            self.attempt.assumed_absent.push(key);
+            return Ok(Some(false));
+        }
+        Ok(None)
+    }
+
+    fn decl_of(&self, interp: &Interp, key: Key) -> SignalDecl {
+        match key {
+            Key::Iface(i) => interp.interface[i].clone(),
+            Key::Local(i) => {
+                if i < interp.locals.len() {
+                    interp.locals[i].decl.clone()
+                } else {
+                    self.attempt.fresh_locals[i - interp.locals.len()].decl.clone()
+                }
+            }
+        }
+    }
+
+    /// Checks that every causal read of `expr` is decidable; returns
+    /// `Need::Blocked` (and marks the attempt) otherwise.
+    fn ready(&mut self, interp: &Interp, expr: &Expr) -> Result<Need, InterpError> {
+        let _ = interp;
+        for (name, access) in expr.signal_reads() {
+            let Some(key) = self.resolve(&name) else {
+                return Err(InterpError::Core(format!("unbound signal `{name}`")));
+            };
+            match access {
+                SigAccess::Pre | SigAccess::PreVal => {}
+                SigAccess::Now => {
+                    if self.status(key)?.is_none() {
+                        self.attempt.blocked = true;
+                        return Ok(Need::Blocked);
+                    }
+                }
+                SigAccess::NowVal => {
+                    // Inputs are stable; otherwise a signal's value is
+                    // readable once its status is decided *absent*, or in
+                    // final mode (all emissions done) — reads are recorded
+                    // so later emissions are flagged.
+                    let is_input = matches!(key, Key::Iface(i)
+                        if self.decl_of_dir(i).is_input());
+                    match self.status(key)? {
+                        Some(false) => {}
+                        _ if is_input => {}
+                        Some(true) if self.attempt.final_mode => {
+                            self.attempt.value_read.push(key);
+                        }
+                        _ => {
+                            self.attempt.blocked = true;
+                            return Ok(Need::Blocked);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Need::Ready)
+    }
+
+    fn decl_of_dir(&self, iface_idx: usize) -> Direction {
+        self.iface_dirs[iface_idx]
+    }
+
+    fn eval(&mut self, interp: &Interp, expr: &Expr) -> Result<Result<Value, ()>, InterpError> {
+        if self.ready(interp, expr)? == Need::Blocked {
+            return Ok(Err(()));
+        }
+        let env = AttemptEnv { ctx: self };
+        Ok(Ok(expr.eval(&env)))
+    }
+}
+
+struct AttemptEnv<'a, 'b> {
+    ctx: &'a Ctx<'b>,
+}
+
+impl EvalEnv for AttemptEnv<'_, '_> {
+    fn now(&self, name: &str) -> bool {
+        let Some(key) = self.ctx.resolve(name) else { return false };
+        if let Some(&v) = self.ctx.attempt.know.get(&key) {
+            return v;
+        }
+        self.ctx.attempt.emitted.get(&key).copied().unwrap_or(false)
+    }
+    fn pre(&self, name: &str) -> bool {
+        let Some(key) = self.ctx.resolve(name) else { return false };
+        self.ctx.attempt_pre(key)
+    }
+    fn nowval(&self, name: &str) -> Value {
+        let Some(key) = self.ctx.resolve(name) else { return Value::Null };
+        self.ctx.attempt.values.get(&key).cloned().unwrap_or(Value::Null)
+    }
+    fn preval(&self, name: &str) -> Value {
+        let Some(key) = self.ctx.resolve(name) else { return Value::Null };
+        self.ctx
+            .attempt
+            .prev_values
+            .get(&key)
+            .cloned()
+            .unwrap_or(Value::Null)
+    }
+    fn var(&self, name: &str) -> Value {
+        self.ctx.attempt.vars.get(name).cloned().unwrap_or(Value::Null)
+    }
+}
+
+impl Ctx<'_> {
+    fn attempt_pre(&self, key: Key) -> bool {
+        self.pre_present.get(&key).copied().unwrap_or(false)
+    }
+}
+
+impl Interp {
+    /// Links and desugars `main`, producing a fresh interpreter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linking errors; `async` statements are rejected.
+    pub fn new(main: &Module, registry: &ModuleRegistry) -> Result<Interp, InterpError> {
+        let linked = link(main, registry).map_err(|e| InterpError::Core(e.to_string()))?;
+        let body = desugar(&linked.body);
+        let mut unsupported = None;
+        body.visit(&mut |s| {
+            if matches!(s, Stmt::Async { .. }) && unsupported.is_none() {
+                unsupported = Some("async".to_owned());
+            }
+        });
+        if let Some(u) = unsupported {
+            return Err(InterpError::Unsupported(u));
+        }
+        let values = linked
+            .interface
+            .iter()
+            .map(|d| d.init.clone().unwrap_or(Value::Null))
+            .collect();
+        Ok(Interp {
+            program: body,
+            interface: linked.interface,
+            values,
+            local_values: Vec::new(),
+            locals: Vec::new(),
+            prev_present: HashMap::new(),
+            vars: HashMap::new(),
+            state: None,
+            booted: false,
+            terminated: false,
+            staged: Vec::new(),
+            log: Vec::new(),
+        })
+    }
+
+    /// Stages an input for the next reaction.
+    ///
+    /// # Errors
+    ///
+    /// Unknown or non-input signals are rejected.
+    pub fn set_input(&mut self, name: &str, value: Option<Value>) -> Result<(), InterpError> {
+        let idx = self
+            .interface
+            .iter()
+            .position(|d| d.name == name)
+            .ok_or_else(|| InterpError::BadInput(format!("unknown signal `{name}`")))?;
+        if !self.interface[idx].direction.is_input() {
+            return Err(InterpError::BadInput(format!("`{name}` is not an input")));
+        }
+        self.staged.push((idx, value));
+        Ok(())
+    }
+
+    /// Stages inputs and reacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates staging and reaction errors.
+    pub fn react_with(&mut self, inputs: &[(&str, Value)]) -> Result<InterpReaction, InterpError> {
+        for (n, v) in inputs {
+            self.set_input(n, Some(v.clone()))?;
+        }
+        self.react()
+    }
+
+    /// Whether the program has terminated.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// The interpreter log (`hop { log(...) }`).
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Executes one reaction.
+    ///
+    /// # Errors
+    ///
+    /// Causality problems and unsupported constructs.
+    pub fn react(&mut self) -> Result<InterpReaction, InterpError> {
+        let staged = std::mem::take(&mut self.staged);
+        if self.terminated {
+            return Ok(self.snapshot_outputs(&HashMap::new()));
+        }
+
+        // Instant-start knowledge: inputs fully decided.
+        let mut know: HashMap<Key, bool> = HashMap::new();
+        let mut input_values: HashMap<Key, Value> = HashMap::new();
+        let mut input_counts: HashMap<Key, u32> = HashMap::new();
+        for (i, d) in self.interface.iter().enumerate() {
+            if d.direction.is_input() {
+                know.insert(Key::Iface(i), false);
+            }
+        }
+        for (idx, v) in &staged {
+            know.insert(Key::Iface(*idx), true);
+            if let Some(v) = v {
+                input_values.insert(Key::Iface(*idx), v.clone());
+                input_counts.insert(Key::Iface(*idx), 1);
+            }
+        }
+
+        let prev_values: HashMap<Key, Value> = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (Key::Iface(i), v.clone()))
+            .chain(
+                self.local_values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (Key::Local(i), v.clone())),
+            )
+            .collect();
+
+        let mut final_mode = false;
+        let max_attempts = 2 * (self.interface.len() + self.locals.len() + 8);
+        for _ in 0..max_attempts {
+            let mut attempt = Attempt {
+                know: know.clone(),
+                final_mode,
+                emitted: HashMap::new(),
+                values: {
+                    let mut v = prev_values.clone();
+                    v.extend(input_values.clone());
+                    v
+                },
+                prev_values: prev_values.clone(),
+                emit_count: input_counts.clone(),
+                assumed_absent: Vec::new(),
+                value_read: Vec::new(),
+                vars: self.vars.clone(),
+                fresh_locals: Vec::new(),
+                fresh_values: Vec::new(),
+                base_locals: self.locals.len(),
+                blocked: false,
+                log: Vec::new(),
+            };
+            let mut ctx = Ctx {
+                attempt: &mut attempt,
+                scopes: vec![self
+                    .interface
+                    .iter()
+                    .enumerate()
+                    .map(|(i, d)| (d.name.clone(), Key::Iface(i)))
+                    .collect()],
+                traps: Vec::new(),
+                loop_guard: 0,
+                iface_dirs: self.interface.iter().map(|d| d.direction).collect(),
+                pre_present: self.prev_present.clone(),
+            };
+
+            let program = self.program.clone();
+            let result = if !self.booted {
+                self.go(&program, &mut ctx)?
+            } else {
+                let st = self.state.clone().expect("booted implies state");
+                self.res(&program, st, &mut ctx)?
+            };
+
+            // Fold emissions into knowledge.
+            let mut gained = false;
+            for (&k, &e) in &attempt.emitted {
+                if e && know.insert(k, true) != Some(true) {
+                    gained = true;
+                }
+            }
+
+            let blocked = matches!(result, K::Blocked) || attempt.blocked;
+            if !blocked {
+                // Contradiction checks.
+                for k in &attempt.assumed_absent {
+                    if attempt.emitted.get(k).copied().unwrap_or(false) {
+                        return Err(InterpError::Causality(format!(
+                            "signal {k:?} emitted after being assumed absent"
+                        )));
+                    }
+                }
+                // Commit.
+                self.booted = true;
+                match result {
+                    K::Term => {
+                        self.terminated = true;
+                        self.state = None;
+                    }
+                    K::Pause(st) => self.state = Some(st),
+                    K::Exit(_) => {
+                        return Err(InterpError::Core("uncaught trap exit".into()))
+                    }
+                    K::Blocked => unreachable!(),
+                }
+                for (k, v) in &attempt.values {
+                    match *k {
+                        Key::Iface(i) => self.values[i] = v.clone(),
+                        Key::Local(i) => {
+                            if i < self.local_values.len() {
+                                self.local_values[i] = v.clone();
+                            }
+                        }
+                    }
+                }
+                self.locals.extend(attempt.fresh_locals.clone());
+                self.local_values.extend(attempt.fresh_values.clone());
+                // Fresh-local values may have been updated under their key.
+                for (k, v) in &attempt.values {
+                    if let Key::Local(i) = *k {
+                        if i < self.local_values.len() {
+                            self.local_values[i] = v.clone();
+                        }
+                    }
+                }
+                self.vars = attempt.vars.clone();
+                self.log.extend(attempt.log.clone());
+                // pre statuses for the next instant.
+                let mut present: HashMap<Key, bool> = HashMap::new();
+                for (k, v) in &know {
+                    present.insert(*k, *v);
+                }
+                for (k, e) in &attempt.emitted {
+                    if *e {
+                        present.insert(*k, true);
+                    }
+                }
+                self.prev_present = present;
+                return Ok(self.snapshot_outputs(&know));
+            }
+
+            if !gained {
+                if final_mode {
+                    return Err(InterpError::Causality(
+                        "instant blocked with no further knowledge (dependency cycle)".into(),
+                    ));
+                }
+                final_mode = true;
+            }
+        }
+        Err(InterpError::Causality("attempt budget exhausted".into()))
+    }
+
+    fn snapshot_outputs(&self, know: &HashMap<Key, bool>) -> InterpReaction {
+        let outputs = self
+            .interface
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.direction.is_output())
+            .map(|(i, d)| {
+                (
+                    d.name.clone(),
+                    know.get(&Key::Iface(i)).copied().unwrap_or(false),
+                    self.values[i].clone(),
+                )
+            })
+            .collect();
+        InterpReaction {
+            outputs,
+            terminated: self.terminated,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statement walkers.
+
+impl Interp {
+    fn emit_signal(
+        &self,
+        ctx: &mut Ctx<'_>,
+        name: &str,
+        value: Option<&Expr>,
+    ) -> Result<K, InterpError> {
+        let Some(key) = ctx.resolve(name) else {
+            return Err(InterpError::Core(format!("unbound signal `{name}`")));
+        };
+        let v = match value {
+            None => None,
+            Some(e) => match ctx.eval(self, e)? {
+                Err(()) => return Ok(K::Blocked),
+                Ok(v) => Some(v),
+            },
+        };
+        if ctx.attempt.value_read.contains(&key) {
+            return Err(InterpError::Causality(format!(
+                "signal `{name}` emitted after its value was read this instant"
+            )));
+        }
+        if ctx.attempt.assumed_absent.contains(&key) {
+            return Err(InterpError::Causality(format!(
+                "signal `{name}` emitted after being assumed absent"
+            )));
+        }
+        ctx.attempt.emitted.insert(key, true);
+        if let Some(v) = v {
+            let count = ctx.attempt.emit_count.entry(key).or_insert(0);
+            if *count == 0 {
+                ctx.attempt.values.insert(key, v);
+            } else {
+                let decl = ctx.decl_of(self, key);
+                match decl.combine {
+                    Some(c) => {
+                        let old = ctx.attempt.values.get(&key).cloned().unwrap_or(Value::Null);
+                        ctx.attempt.values.insert(key, c.apply(&old, &v));
+                    }
+                    None => {
+                        return Err(InterpError::Causality(format!(
+                            "signal `{name}` emitted twice without combine"
+                        )))
+                    }
+                }
+            }
+            *ctx.attempt.emit_count.get_mut(&key).expect("just inserted") += 1;
+        }
+        Ok(K::Term)
+    }
+
+    fn run_atom(&self, ctx: &mut Ctx<'_>, body: &AtomBody) -> Result<K, InterpError> {
+        match body {
+            AtomBody::Assign(var, e) => match ctx.eval(self, e)? {
+                Err(()) => Ok(K::Blocked),
+                Ok(v) => {
+                    ctx.attempt.vars.insert(var.clone(), v);
+                    Ok(K::Term)
+                }
+            },
+            AtomBody::Log(e) => match ctx.eval(self, e)? {
+                Err(()) => Ok(K::Blocked),
+                Ok(v) => {
+                    ctx.attempt.log.push(v.to_display_string());
+                    Ok(K::Term)
+                }
+            },
+            AtomBody::Host { .. } => Err(InterpError::Unsupported("host atom".into())),
+        }
+    }
+
+    /// Evaluates a delay at a resumption point; `counter` is the live
+    /// counter for counted delays. Returns None when blocked.
+    fn delay_fires(
+        &self,
+        ctx: &mut Ctx<'_>,
+        delay: &Delay,
+        counter: &mut Option<f64>,
+    ) -> Result<Option<bool>, InterpError> {
+        match ctx.eval(self, &delay.cond)? {
+            Err(()) => Ok(None),
+            Ok(v) => {
+                if !v.truthy() {
+                    return Ok(Some(false));
+                }
+                match counter {
+                    None => Ok(Some(true)),
+                    Some(c) => {
+                        *c -= 1.0;
+                        Ok(Some(*c <= 0.0))
+                    }
+                }
+            }
+        }
+    }
+
+    fn init_counter(
+        &self,
+        ctx: &mut Ctx<'_>,
+        delay: &Delay,
+    ) -> Result<Result<Option<f64>, ()>, InterpError> {
+        match &delay.count {
+            None => Ok(Ok(None)),
+            Some(e) => match ctx.eval(self, e)? {
+                Err(()) => Ok(Err(())),
+                Ok(v) => Ok(Ok(Some(v.as_num().floor()))),
+            },
+        }
+    }
+
+    fn go(&self, stmt: &Stmt, ctx: &mut Ctx<'_>) -> Result<K, InterpError> {
+        match stmt {
+            Stmt::Nothing => Ok(K::Term),
+            Stmt::Pause => Ok(K::Pause(St::Paused)),
+            Stmt::Halt => Ok(K::Pause(St::Halted)),
+            Stmt::Emit { signal, value, .. } => self.emit_signal(ctx, signal, value.as_ref()),
+            Stmt::Atom { body, .. } => self.run_atom(ctx, body),
+            Stmt::Seq(ss) => self.seq_from(ss, 0, ctx),
+            Stmt::Par(ss) => {
+                let mut branches = Vec::with_capacity(ss.len());
+                let mut ks = Vec::with_capacity(ss.len());
+                for s in ss {
+                    let k = self.go(s, ctx)?;
+                    ks.push(match k {
+                        K::Pause(st) => {
+                            branches.push(Some(st));
+                            K::Pause(St::Paused) // placeholder marker
+                        }
+                        other => {
+                            branches.push(None);
+                            other
+                        }
+                    });
+                }
+                Self::join_par(branches, ks)
+            }
+            Stmt::Loop(body) => {
+                ctx.loop_guard += 1;
+                if ctx.loop_guard > 1_000 {
+                    return Err(InterpError::InstantaneousLoop);
+                }
+                match self.go(body, ctx)? {
+                    K::Term => self.go(stmt, ctx), // instantaneous restart guard above
+                    K::Pause(st) => Ok(K::Pause(St::Loop { inner: Box::new(st) })),
+                    other => Ok(other),
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => match ctx.eval(self, cond)? {
+                Err(()) => Ok(K::Blocked),
+                Ok(v) => {
+                    let taken = v.truthy();
+                    let branch = if taken { then_branch } else { else_branch };
+                    match self.go(branch, ctx)? {
+                        K::Pause(st) => Ok(K::Pause(St::If {
+                            then_taken: taken,
+                            inner: Box::new(st),
+                        })),
+                        other => Ok(other),
+                    }
+                }
+            },
+            Stmt::Abort {
+                delay, weak, body, ..
+            } => {
+                let counter = match self.init_counter(ctx, delay)? {
+                    Err(()) => return Ok(K::Blocked),
+                    Ok(c) => c,
+                };
+                if delay.immediate {
+                    match ctx.eval(self, &delay.cond)? {
+                        Err(()) => return Ok(K::Blocked),
+                        Ok(v) if v.truthy() => {
+                            if !*weak {
+                                return Ok(K::Term);
+                            }
+                            // Weak immediate: body runs once, then dies
+                            // (exits still win).
+                            return match self.go(body, ctx)? {
+                                K::Exit(n) => Ok(K::Exit(n)),
+                                K::Blocked => Ok(K::Blocked),
+                                _ => Ok(K::Term),
+                            };
+                        }
+                        Ok(_) => {}
+                    }
+                }
+                match self.go(body, ctx)? {
+                    K::Pause(st) => Ok(K::Pause(St::Abort {
+                        counter,
+                        inner: Box::new(st),
+                    })),
+                    other => Ok(other),
+                }
+            }
+            Stmt::Suspend { delay, body, .. } => {
+                let counter = match self.init_counter(ctx, delay)? {
+                    Err(()) => return Ok(K::Blocked),
+                    Ok(c) => c,
+                };
+                match self.go(body, ctx)? {
+                    K::Pause(st) => Ok(K::Pause(St::Suspend {
+                        counter,
+                        inner: Box::new(st),
+                    })),
+                    other => Ok(other),
+                }
+            }
+            Stmt::Trap { label, body, .. } => {
+                ctx.traps.push(label.clone());
+                let k = self.go(body, ctx);
+                ctx.traps.pop();
+                match k? {
+                    K::Exit(0) => Ok(K::Term),
+                    K::Exit(n) => Ok(K::Exit(n - 1)),
+                    K::Pause(st) => Ok(K::Pause(St::Trap { inner: Box::new(st) })),
+                    other => Ok(other),
+                }
+            }
+            Stmt::Exit { label, .. } => {
+                let pos = ctx
+                    .traps
+                    .iter()
+                    .rposition(|t| t == label)
+                    .ok_or_else(|| InterpError::Core(format!("unknown trap `{label}`")))?;
+                Ok(K::Exit(ctx.traps.len() - 1 - pos))
+            }
+            Stmt::Local { decls, body, .. } => {
+                // Allocate fresh instances.
+                let mut scope = HashMap::new();
+                let mut instances = Vec::new();
+                for d in decls {
+                    let idx = ctx.attempt.base_locals + ctx.attempt.fresh_locals.len();
+                    ctx.attempt.fresh_locals.push(LocalInstance { decl: d.clone() });
+                    ctx.attempt
+                        .fresh_values
+                        .push(d.init.clone().unwrap_or(Value::Null));
+                    ctx.attempt
+                        .values
+                        .insert(Key::Local(idx), d.init.clone().unwrap_or(Value::Null));
+                    scope.insert(d.name.clone(), Key::Local(idx));
+                    instances.push(idx);
+                }
+                ctx.scopes.push(scope);
+                let k = self.go(body, ctx);
+                ctx.scopes.pop();
+                match k? {
+                    K::Pause(st) => Ok(K::Pause(St::Local {
+                        instances,
+                        inner: Box::new(st),
+                    })),
+                    other => Ok(other),
+                }
+            }
+            Stmt::Async { .. } => Err(InterpError::Unsupported("async".into())),
+            Stmt::Run { module, .. } => {
+                Err(InterpError::Unsupported(format!("unlinked run {module}")))
+            }
+            Stmt::Await { .. } | Stmt::Sustain { .. } | Stmt::Every { .. } | Stmt::LoopEach { .. } => {
+                Err(InterpError::Unsupported("underived statement".into()))
+            }
+        }
+    }
+
+    fn seq_from(&self, ss: &[Stmt], start: usize, ctx: &mut Ctx<'_>) -> Result<K, InterpError> {
+        for (i, s) in ss.iter().enumerate().skip(start) {
+            match self.go(s, ctx)? {
+                K::Term => continue,
+                K::Pause(st) => {
+                    return Ok(K::Pause(St::Seq {
+                        idx: i,
+                        inner: Box::new(st),
+                    }))
+                }
+                other => return Ok(other),
+            }
+        }
+        Ok(K::Term)
+    }
+
+    fn join_par(branches: Vec<Option<St>>, ks: Vec<K>) -> Result<K, InterpError> {
+        if ks.iter().any(|k| matches!(k, K::Blocked)) {
+            return Ok(K::Blocked);
+        }
+        let max_exit = ks
+            .iter()
+            .filter_map(|k| match k {
+                K::Exit(n) => Some(*n),
+                _ => None,
+            })
+            .max();
+        if let Some(n) = max_exit {
+            return Ok(K::Exit(n));
+        }
+        if branches.iter().all(Option::is_none) {
+            Ok(K::Term)
+        } else {
+            Ok(K::Pause(St::Par { branches }))
+        }
+    }
+
+    fn res(&self, stmt: &Stmt, st: St, ctx: &mut Ctx<'_>) -> Result<K, InterpError> {
+        match (stmt, st) {
+            (Stmt::Pause, St::Paused) => Ok(K::Term),
+            (Stmt::Halt, St::Halted) => Ok(K::Pause(St::Halted)),
+            (Stmt::Seq(ss), St::Seq { idx, inner }) => {
+                match self.res(&ss[idx], *inner, ctx)? {
+                    K::Term => self.seq_from(ss, idx + 1, ctx),
+                    K::Pause(st) => Ok(K::Pause(St::Seq {
+                        idx,
+                        inner: Box::new(st),
+                    })),
+                    other => Ok(other),
+                }
+            }
+            (Stmt::Par(ss), St::Par { branches }) => {
+                let mut new_branches = Vec::with_capacity(ss.len());
+                let mut ks = Vec::with_capacity(ss.len());
+                for (s, b) in ss.iter().zip(branches) {
+                    match b {
+                        None => {
+                            new_branches.push(None);
+                            ks.push(K::Term);
+                        }
+                        Some(st) => match self.res(s, st, ctx)? {
+                            K::Pause(st2) => {
+                                new_branches.push(Some(st2));
+                                ks.push(K::Pause(St::Paused));
+                            }
+                            other => {
+                                new_branches.push(None);
+                                ks.push(other);
+                            }
+                        },
+                    }
+                }
+                Self::join_par(new_branches, ks)
+            }
+            (Stmt::Loop(body), St::Loop { inner }) => {
+                match self.res(body, *inner, ctx)? {
+                    K::Term => {
+                        ctx.loop_guard += 1;
+                        if ctx.loop_guard > 1_000 {
+                            return Err(InterpError::InstantaneousLoop);
+                        }
+                        match self.go(body, ctx)? {
+                            K::Term => Err(InterpError::InstantaneousLoop),
+                            K::Pause(st) => Ok(K::Pause(St::Loop { inner: Box::new(st) })),
+                            other => Ok(other),
+                        }
+                    }
+                    K::Pause(st) => Ok(K::Pause(St::Loop { inner: Box::new(st) })),
+                    other => Ok(other),
+                }
+            }
+            (
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                },
+                St::If { then_taken, inner },
+            ) => {
+                let branch = if then_taken { then_branch } else { else_branch };
+                match self.res(branch, *inner, ctx)? {
+                    K::Pause(st) => Ok(K::Pause(St::If {
+                        then_taken,
+                        inner: Box::new(st),
+                    })),
+                    other => Ok(other),
+                }
+            }
+            (Stmt::Abort { delay, weak, body, .. }, St::Abort { mut counter, inner }) => {
+                let fired = match self.delay_fires(ctx, delay, &mut counter)? {
+                    None => return Ok(K::Blocked),
+                    Some(f) => f,
+                };
+                if fired && !*weak {
+                    return Ok(K::Term);
+                }
+                let k = self.res(body, *inner, ctx)?;
+                if fired {
+                    // Weak: the body ran its final instant; exits dominate.
+                    return match k {
+                        K::Exit(n) => Ok(K::Exit(n)),
+                        K::Blocked => Ok(K::Blocked),
+                        _ => Ok(K::Term),
+                    };
+                }
+                match k {
+                    K::Pause(st) => Ok(K::Pause(St::Abort {
+                        counter,
+                        inner: Box::new(st),
+                    })),
+                    other => Ok(other),
+                }
+            }
+            (Stmt::Suspend { delay, body, .. }, St::Suspend { mut counter, inner }) => {
+                let fired = match self.delay_fires(ctx, delay, &mut counter)? {
+                    None => return Ok(K::Blocked),
+                    Some(f) => f,
+                };
+                if fired {
+                    return Ok(K::Pause(St::Suspend { counter, inner }));
+                }
+                match self.res(body, *inner, ctx)? {
+                    K::Pause(st) => Ok(K::Pause(St::Suspend {
+                        counter,
+                        inner: Box::new(st),
+                    })),
+                    other => Ok(other),
+                }
+            }
+            (Stmt::Trap { label, body, .. }, St::Trap { inner }) => {
+                ctx.traps.push(label.clone());
+                let k = self.res(body, *inner, ctx);
+                ctx.traps.pop();
+                match k? {
+                    K::Exit(0) => Ok(K::Term),
+                    K::Exit(n) => Ok(K::Exit(n - 1)),
+                    K::Pause(st) => Ok(K::Pause(St::Trap { inner: Box::new(st) })),
+                    other => Ok(other),
+                }
+            }
+            (Stmt::Local { decls, body, .. }, St::Local { instances, inner }) => {
+                let mut scope = HashMap::new();
+                for (d, &idx) in decls.iter().zip(&instances) {
+                    scope.insert(d.name.clone(), Key::Local(idx));
+                }
+                ctx.scopes.push(scope);
+                let k = self.res(body, *inner, ctx);
+                ctx.scopes.pop();
+                match k? {
+                    K::Pause(st) => Ok(K::Pause(St::Local {
+                        instances,
+                        inner: Box::new(st),
+                    })),
+                    other => Ok(other),
+                }
+            }
+            (s, st) => Err(InterpError::Core(format!(
+                "state/statement mismatch: {s:?} vs {st:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiphop_core::ast::Delay as D;
+    use hiphop_core::prelude::*;
+
+    fn interp(body: Stmt, signals: &[(&str, Direction)]) -> Interp {
+        let mut m = Module::new("t");
+        for (n, d) in signals {
+            m = m.signal(SignalDecl::new(*n, *d));
+        }
+        Interp::new(&m.body(body), &ModuleRegistry::new()).expect("builds")
+    }
+
+    const IN: Direction = Direction::In;
+    const OUT: Direction = Direction::Out;
+
+    #[test]
+    fn abro_in_the_interpreter() {
+        let body = Stmt::loop_each(
+            D::cond(Expr::now("R")),
+            Stmt::seq([
+                Stmt::par([
+                    Stmt::await_(D::cond(Expr::now("A"))),
+                    Stmt::await_(D::cond(Expr::now("B"))),
+                ]),
+                Stmt::emit("O"),
+            ]),
+        );
+        let mut i = interp(body, &[("A", IN), ("B", IN), ("R", IN), ("O", OUT)]);
+        i.react().unwrap();
+        let t = Value::Bool(true);
+        assert!(!i.react_with(&[("A", t.clone())]).unwrap().present("O"));
+        assert!(i.react_with(&[("B", t.clone())]).unwrap().present("O"));
+        assert!(!i.react_with(&[("A", t.clone())]).unwrap().present("O"));
+        i.react_with(&[("R", t.clone())]).unwrap();
+        i.react_with(&[("B", t.clone())]).unwrap();
+        assert!(i.react_with(&[("A", t.clone())]).unwrap().present("O"));
+    }
+
+    #[test]
+    fn local_broadcast_needs_a_second_attempt() {
+        let body = Stmt::local(
+            vec![SignalDecl::new("L", Direction::Local)],
+            Stmt::par([
+                Stmt::if_(Expr::now("L"), Stmt::emit("O")),
+                Stmt::emit("L"),
+            ]),
+        );
+        let mut i = interp(body, &[("O", OUT)]);
+        assert!(i.react().unwrap().present("O"));
+    }
+
+    #[test]
+    fn causality_errors_detected() {
+        let body = Stmt::local(
+            vec![SignalDecl::new("X", Direction::Local)],
+            Stmt::if_(Expr::now("X").not(), Stmt::emit("X")),
+        );
+        let mut i = interp(body, &[]);
+        assert!(matches!(i.react(), Err(InterpError::Causality(_))));
+    }
+
+    #[test]
+    fn reincarnated_local_is_fresh() {
+        let body = Stmt::loop_(Stmt::local(
+            vec![SignalDecl::new("S", Direction::Local)],
+            Stmt::seq([
+                Stmt::if_else(Expr::now("S"), Stmt::emit("O1"), Stmt::emit("O2")),
+                Stmt::Pause,
+                Stmt::emit("S"),
+            ]),
+        ));
+        let mut i = interp(body, &[("O1", OUT), ("O2", OUT)]);
+        for _ in 0..4 {
+            let r = i.react().unwrap();
+            assert!(!r.present("O1"));
+            assert!(r.present("O2"));
+        }
+    }
+
+    #[test]
+    fn async_is_rejected() {
+        let err = Interp::new(
+            &Module::new("t").body(Stmt::async_(Default::default())),
+            &ModuleRegistry::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, InterpError::Unsupported(_)));
+    }
+}

@@ -1,0 +1,344 @@
+//! Differential testing: the reference AST interpreter against the
+//! circuit compiler + constructive machine, on random programs and on the
+//! hand-written classics. The two implementations share only the AST and
+//! the expression evaluator — circuits, completion-code encodings,
+//! synchronizers and reincarnation-by-duplication exist solely on the
+//! machine side, making agreement strong evidence for both.
+
+use hiphop_bench::synthetic_program;
+use hiphop_core::prelude::*;
+use hiphop_interp::Interp;
+use hiphop_runtime::machine_for;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Runs the same input schedule through both implementations and returns
+/// (machine trace, interpreter trace) as comparable strings.
+fn traces(module: &Module, seed: u64, steps: usize) -> (Vec<String>, Vec<String>) {
+    let mut machine = machine_for(module, &ModuleRegistry::new()).expect("compiles");
+    let mut interp = Interp::new(module, &ModuleRegistry::new()).expect("interprets");
+
+    let declared: Vec<String> = module
+        .interface
+        .iter()
+        .filter(|d| d.direction.is_input())
+        .map(|d| d.name.clone())
+        .collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut mt = Vec::new();
+    let mut it = Vec::new();
+
+    let render_m = |r: &hiphop_runtime::Reaction| {
+        let mut parts: Vec<String> = r
+            .outputs
+            .iter()
+            .map(|o| format!("{}={}:{}", o.name, o.present as u8, o.value))
+            .collect();
+        parts.sort();
+        format!("[{}] term={}", parts.join(","), r.terminated)
+    };
+    let render_i = |r: &hiphop_interp::InterpReaction| {
+        let mut parts: Vec<String> = r
+            .outputs
+            .iter()
+            .map(|(n, p, v)| format!("{n}={}:{v}", *p as u8))
+            .collect();
+        parts.sort();
+        format!("[{}] term={}", parts.join(","), r.terminated)
+    };
+
+    mt.push(render_m(&machine.react().expect("machine boot")));
+    it.push(render_i(&interp.react().expect("interp boot")));
+    for _ in 0..steps {
+        let mut inputs: Vec<(String, Value)> = Vec::new();
+        for k in 0..8 {
+            let name = format!("i{k}");
+            if rng.gen_bool(0.3) && declared.contains(&name) {
+                inputs.push((name, Value::from(rng.gen_range(0..5) as i64)));
+            }
+        }
+        let refs: Vec<(&str, Value)> = inputs
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        mt.push(render_m(&machine.react_with(&refs).expect("machine")));
+        it.push(render_i(&interp.react_with(&refs).expect("interp")));
+    }
+    (mt, it)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn interpreter_agrees_with_the_circuit_machine(seed in any::<u64>(), size in 10usize..120) {
+        let module = synthetic_program(size, seed);
+        let (mt, it) = traces(&module, seed ^ 0xD1FF, 30);
+        prop_assert_eq!(mt, it, "program:\n{}", module.body);
+    }
+}
+
+#[test]
+fn classics_agree() {
+    let abro = Module::new("ABRO")
+        .input(SignalDecl::new("i0", Direction::In))
+        .input(SignalDecl::new("i1", Direction::In))
+        .input(SignalDecl::new("i2", Direction::In))
+        .output(SignalDecl::new("o0", Direction::Out))
+        .body(Stmt::loop_each(
+            Delay::cond(Expr::now("i2")),
+            Stmt::seq([
+                Stmt::par([
+                    Stmt::await_(Delay::cond(Expr::now("i0"))),
+                    Stmt::await_(Delay::cond(Expr::now("i1"))),
+                ]),
+                Stmt::emit("o0"),
+            ]),
+        ));
+    let (mt, it) = traces(&abro, 7, 50);
+    assert_eq!(mt, it);
+
+    // Trap + weak preemption + sustain.
+    let dose = Module::new("Dose")
+        .input(SignalDecl::new("i0", Direction::In))
+        .input(SignalDecl::new("i1", Direction::In))
+        .output(SignalDecl::new("o0", Direction::Out))
+        .output(SignalDecl::new("o1", Direction::Out))
+        .body(Stmt::loop_(Stmt::seq([
+            Stmt::trap(
+                "OK",
+                Stmt::par([
+                    Stmt::seq([
+                        Stmt::await_(Delay::cond(Expr::now("i0"))),
+                        Stmt::exit("OK"),
+                    ]),
+                    Stmt::seq([
+                        Stmt::await_(Delay::count(Expr::num(3.0), Expr::now("i1"))),
+                        Stmt::sustain("o1"),
+                    ]),
+                ]),
+            ),
+            Stmt::emit("o0"),
+            Stmt::Pause,
+        ])));
+    let (mt, it) = traces(&dose, 8, 60);
+    assert_eq!(mt, it);
+
+    // Suspension with a valued accumulator.
+    let susp = Module::new("Susp")
+        .input(SignalDecl::new("i0", Direction::In))
+        .input(SignalDecl::new("i1", Direction::In))
+        .output(SignalDecl::new("o0", Direction::Out).with_init(0i64))
+        .body(Stmt::suspend(
+            Delay::cond(Expr::now("i0")),
+            Stmt::loop_(Stmt::seq([
+                Stmt::if_(
+                    Expr::now("i1"),
+                    Stmt::emit_val("o0", Expr::preval("o0").add(Expr::num(1.0))),
+                ),
+                Stmt::Pause,
+            ])),
+        ));
+    let (mt, it) = traces(&susp, 9, 60);
+    assert_eq!(mt, it);
+}
+
+#[test]
+fn reincarnation_agrees() {
+    // The schizophrenia torture test: the machine uses loop duplication,
+    // the interpreter allocates fresh instances — both must agree.
+    let module = Module::new("Schizo")
+        .input(SignalDecl::new("i0", Direction::In))
+        .output(SignalDecl::new("o0", Direction::Out))
+        .output(SignalDecl::new("o1", Direction::Out))
+        .body(Stmt::loop_(Stmt::local(
+            vec![SignalDecl::new("s", Direction::Local)],
+            Stmt::par([
+                Stmt::seq([
+                    Stmt::if_else(Expr::now("s"), Stmt::emit("o0"), Stmt::emit("o1")),
+                    Stmt::Pause,
+                ]),
+                Stmt::seq([Stmt::Pause, Stmt::emit("s")]),
+            ]),
+        )));
+    let (mt, it) = traces(&module, 10, 40);
+    assert_eq!(mt, it);
+}
+
+#[test]
+fn pillbox_application_agrees() {
+    // The real Lisinopril pillbox (parsed from its textual source) driven
+    // through a full day scenario on both implementations.
+    let (main, reg) = hiphop_apps::pillbox::modules();
+    let mut machine = machine_for(&main, &reg).expect("compiles");
+    let mut interp = Interp::new(&main, &reg).expect("interprets");
+
+    let render_m = |r: &hiphop_runtime::Reaction| {
+        let mut v: Vec<String> = r
+            .outputs
+            .iter()
+            .map(|o| format!("{}={}:{}", o.name, o.present as u8, o.value))
+            .collect();
+        v.sort();
+        v.join(",")
+    };
+    let render_i = |r: &hiphop_interp::InterpReaction| {
+        let mut v: Vec<String> = r
+            .outputs
+            .iter()
+            .map(|(n, p, val)| format!("{n}={}:{val}", *p as u8))
+            .collect();
+        v.sort();
+        v.join(",")
+    };
+
+    assert_eq!(
+        render_m(&machine.react().unwrap()),
+        render_i(&interp.react().unwrap())
+    );
+
+    // Scenario: start 8PM, 10 min in press Try, 2 min later Confirm, an
+    // impatient Try during the wall, then run out the 8h wall.
+    let mut minute = 20 * 60u64;
+    let mut step = |machine: &mut hiphop_runtime::Machine,
+                    interp: &mut Interp,
+                    extra: Option<&str>,
+                    minute: u64| {
+        let mut inputs: Vec<(&str, Value)> = vec![
+            ("Mn", Value::Bool(true)),
+            ("TimeOfDay", Value::from(minute as i64)),
+        ];
+        if let Some(sig) = extra {
+            inputs.push((sig, Value::Bool(true)));
+        }
+        let rm = machine.react_with(&inputs).unwrap();
+        let ri = interp.react_with(&inputs).unwrap();
+        assert_eq!(render_m(&rm), render_i(&ri), "at minute {minute}");
+    };
+
+    for _ in 0..10 {
+        minute += 1;
+        step(&mut machine, &mut interp, None, minute);
+    }
+    step(&mut machine, &mut interp, Some("Try"), minute);
+    for _ in 0..2 {
+        minute += 1;
+        step(&mut machine, &mut interp, None, minute);
+    }
+    step(&mut machine, &mut interp, Some("Conf"), minute);
+    // Impatient Try inside the 8h wall.
+    for _ in 0..30 {
+        minute += 1;
+        step(&mut machine, &mut interp, None, minute);
+    }
+    step(&mut machine, &mut interp, Some("Try"), minute);
+    // Run out the wall plus the alert horizon.
+    for _ in 0..500 {
+        minute += 1;
+        step(&mut machine, &mut interp, None, minute);
+    }
+    step(&mut machine, &mut interp, Some("Try"), minute);
+    // Logs agree too.
+    assert_eq!(machine.log(), interp.log());
+}
+
+#[test]
+fn counted_suspend_and_immediate_abort_agree() {
+    // Counted suspend: freeze one instant every 2 occurrences of i0.
+    let susp = Module::new("CSusp")
+        .input(SignalDecl::new("i0", Direction::In))
+        .input(SignalDecl::new("i1", Direction::In))
+        .output(SignalDecl::new("o0", Direction::Out))
+        .body(Stmt::suspend(
+            Delay::count(Expr::num(2.0), Expr::now("i0")),
+            Stmt::loop_(Stmt::seq([
+                Stmt::if_(Expr::now("i1"), Stmt::emit("o0")),
+                Stmt::Pause,
+            ])),
+        ));
+    let (mt, it) = traces(&susp, 21, 60);
+    assert_eq!(mt, it);
+
+    // Immediate strong and weak aborts racing a sustained output.
+    for weak in [false, true] {
+        let m = Module::new("ImmAbort")
+            .input(SignalDecl::new("i0", Direction::In))
+            .output(SignalDecl::new("o0", Direction::Out))
+            .body(Stmt::loop_(Stmt::seq([
+                Stmt::Abort {
+                    delay: Delay::immediate(Expr::now("i0")),
+                    weak,
+                    body: Box::new(Stmt::seq([Stmt::emit("o0"), Stmt::Pause, Stmt::Pause])),
+                    loc: Loc::synthetic(),
+                },
+                Stmt::Pause,
+            ])));
+        let (mt, it) = traces(&m, 22, 60);
+        assert_eq!(mt, it, "weak={weak}");
+    }
+}
+
+#[test]
+fn deep_nesting_torture_agrees() {
+    // Traps through parallels through aborts through loops, with counted
+    // delays and valued accumulation.
+    let m = Module::new("Torture")
+        .input(SignalDecl::new("i0", Direction::In))
+        .input(SignalDecl::new("i1", Direction::In))
+        .input(SignalDecl::new("i2", Direction::In))
+        .output(SignalDecl::new("o0", Direction::Out).with_init(0i64))
+        .output(SignalDecl::new("o1", Direction::Out))
+        .body(Stmt::loop_(Stmt::seq([
+            Stmt::trap(
+                "T",
+                Stmt::par([
+                    Stmt::abort(
+                        Delay::count(Expr::num(3.0), Expr::now("i0")),
+                        Stmt::loop_(Stmt::seq([
+                            Stmt::if_(
+                                Expr::now("i1"),
+                                Stmt::emit_val("o0", Expr::preval("o0").add(Expr::num(1.0))),
+                            ),
+                            Stmt::Pause,
+                        ])),
+                    ),
+                    Stmt::seq([
+                        Stmt::await_(Delay::cond(Expr::now("i2"))),
+                        Stmt::exit("T"),
+                    ]),
+                ]),
+            ),
+            Stmt::emit("o1"),
+            Stmt::Pause,
+        ])));
+    let (mt, it) = traces(&m, 23, 120);
+    assert_eq!(mt, it);
+}
+
+#[test]
+fn local_value_broadcast_agrees() {
+    // A valued local read by a sibling in the same instant: the machine
+    // resolves it through emitter dependencies; the interpreter through
+    // the quiescence/final-mode protocol. Both must produce o = 2·v.
+    let m = Module::new("VB")
+        .input(SignalDecl::new("i0", Direction::In))
+        .output(SignalDecl::new("o0", Direction::Out).with_init(0i64))
+        .body(Stmt::local(
+            vec![SignalDecl::new("L", Direction::Local).with_init(0i64)],
+            Stmt::loop_(Stmt::seq([
+                Stmt::par([
+                    Stmt::if_(
+                        Expr::now("i0"),
+                        Stmt::emit_val("L", Expr::nowval("i0").add(Expr::num(10.0))),
+                    ),
+                    Stmt::if_(
+                        Expr::now("L"),
+                        Stmt::emit_val("o0", Expr::nowval("L").mul(Expr::num(2.0))),
+                    ),
+                ]),
+                Stmt::Pause,
+            ])),
+        ));
+    let (mt, it) = traces(&m, 31, 40);
+    assert_eq!(mt, it);
+}

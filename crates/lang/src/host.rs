@@ -1,0 +1,71 @@
+//! The host registry: named Rust hooks referenced from textual programs.
+//!
+//! Rust has no `eval`, so where a HipHop.js program embeds JavaScript —
+//! `async` bodies and arbitrary `hop` statements — the textual syntax
+//! references *named* hooks registered by the embedder:
+//!
+//! ```text
+//! async connected { host "authenticate" } kill { host "cancel" }
+//! hop { host "beep"; }
+//! ```
+//!
+//! Simple atoms (`x = expr;`, `log(expr);`) and all data expressions need
+//! no registry: they are interpreted by the expression evaluator.
+
+use hiphop_core::ast::{AsyncHook, AtomCtx};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Named host hooks available to a parsed program.
+#[derive(Default, Clone)]
+pub struct HostRegistry {
+    asyncs: HashMap<String, AsyncHook>,
+    atoms: HashMap<String, Rc<dyn Fn(&mut dyn AtomCtx)>>,
+}
+
+impl HostRegistry {
+    /// An empty registry.
+    pub fn new() -> HostRegistry {
+        HostRegistry::default()
+    }
+
+    /// Registers an async hook under `name`.
+    pub fn async_hook(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&mut hiphop_core::ast::AsyncCtx<'_>) + 'static,
+    ) -> &mut Self {
+        let name = name.into();
+        self.asyncs.insert(name.clone(), AsyncHook::new(name, f));
+        self
+    }
+
+    /// Registers an atom hook under `name`.
+    pub fn atom(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&mut dyn AtomCtx) + 'static,
+    ) -> &mut Self {
+        self.atoms.insert(name.into(), Rc::new(f));
+        self
+    }
+
+    /// Looks up an async hook.
+    pub fn get_async(&self, name: &str) -> Option<&AsyncHook> {
+        self.asyncs.get(name)
+    }
+
+    /// Looks up an atom hook.
+    pub fn get_atom(&self, name: &str) -> Option<&Rc<dyn Fn(&mut dyn AtomCtx)>> {
+        self.atoms.get(name)
+    }
+}
+
+impl std::fmt::Debug for HostRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostRegistry")
+            .field("asyncs", &self.asyncs.keys().collect::<Vec<_>>())
+            .field("atoms", &self.atoms.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}

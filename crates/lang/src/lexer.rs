@@ -1,0 +1,273 @@
+//! The lexer for the HipHop concrete syntax.
+//!
+//! Comments (`// ...` and `/* ... */`), JavaScript-style string escapes,
+//! and decimal numbers are supported; everything else is the small token
+//! set of [`crate::token::Tok`].
+
+use crate::error::ParseError;
+use crate::token::{Spanned, Tok};
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unterminated strings/comments or stray
+/// characters, with line/column information.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $line:expr, $col:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                line: $line,
+                col: $col,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, line: &mut u32, col: &mut u32, n: usize| {
+            for _ in 0..n {
+                if chars[*i] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+                *i += 1;
+            }
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance(&mut i, &mut line, &mut col, 1),
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                advance(&mut i, &mut line, &mut col, 2);
+                let mut closed = false;
+                while i + 1 < chars.len() {
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        advance(&mut i, &mut line, &mut col, 2);
+                        closed = true;
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+                if !closed {
+                    return Err(ParseError::new("unterminated block comment", tline, tcol));
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                advance(&mut i, &mut line, &mut col, 1);
+                let mut s = String::new();
+                let mut closed = false;
+                while i < chars.len() {
+                    let ch = chars[i];
+                    if ch == quote {
+                        advance(&mut i, &mut line, &mut col, 1);
+                        closed = true;
+                        break;
+                    }
+                    if ch == '\\' && i + 1 < chars.len() {
+                        let esc = chars[i + 1];
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        });
+                        advance(&mut i, &mut line, &mut col, 2);
+                    } else {
+                        if ch == '\n' {
+                            return Err(ParseError::new("unterminated string", tline, tcol));
+                        }
+                        s.push(ch);
+                        advance(&mut i, &mut line, &mut col, 1);
+                    }
+                }
+                if !closed {
+                    return Err(ParseError::new("unterminated string", tline, tcol));
+                }
+                push!(Tok::Str(s), tline, tcol);
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    // Don't eat `..` (ellipsis) or method-ish dots.
+                    if chars[i] == '.' && !chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n = text
+                    .parse::<f64>()
+                    .map_err(|_| ParseError::new(format!("bad number `{text}`"), tline, tcol))?;
+                push!(Tok::Num(n), tline, tcol);
+            }
+            c if c.is_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+                {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+                push!(Tok::Ident(chars[start..i].iter().collect()), tline, tcol);
+            }
+            _ => {
+                let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+                let three: String = chars[i..chars.len().min(i + 3)].iter().collect();
+                let (tok, n) = match (three.as_str(), two.as_str(), c) {
+                    ("...", _, _) => (Tok::Ellipsis, 3),
+                    ("===", _, _) => (Tok::EqEqEq, 3),
+                    ("!==", _, _) => (Tok::NotEqEq, 3),
+                    (_, "==", _) => (Tok::EqEq, 2),
+                    (_, "!=", _) => (Tok::NotEq, 2),
+                    (_, "<=", _) => (Tok::Le, 2),
+                    (_, ">=", _) => (Tok::Ge, 2),
+                    (_, "&&", _) => (Tok::AndAnd, 2),
+                    (_, "||", _) => (Tok::OrOr, 2),
+                    (_, _, '(') => (Tok::LParen, 1),
+                    (_, _, ')') => (Tok::RParen, 1),
+                    (_, _, '{') => (Tok::LBrace, 1),
+                    (_, _, '}') => (Tok::RBrace, 1),
+                    (_, _, '[') => (Tok::LBracket, 1),
+                    (_, _, ']') => (Tok::RBracket, 1),
+                    (_, _, ',') => (Tok::Comma, 1),
+                    (_, _, ';') => (Tok::Semi, 1),
+                    (_, _, ':') => (Tok::Colon, 1),
+                    (_, _, '.') => (Tok::Dot, 1),
+                    (_, _, '=') => (Tok::Assign, 1),
+                    (_, _, '?') => (Tok::Question, 1),
+                    (_, _, '!') => (Tok::Not, 1),
+                    (_, _, '+') => (Tok::Plus, 1),
+                    (_, _, '-') => (Tok::Minus, 1),
+                    (_, _, '*') => (Tok::Star, 1),
+                    (_, _, '/') => (Tok::Slash, 1),
+                    (_, _, '%') => (Tok::Percent, 1),
+                    (_, _, '<') => (Tok::Lt, 1),
+                    (_, _, '>') => (Tok::Gt, 1),
+                    other => {
+                        let _ = other;
+                        return Err(ParseError::new(
+                            format!("unexpected character `{c}`"),
+                            tline,
+                            tcol,
+                        ));
+                    }
+                };
+                advance(&mut i, &mut line, &mut col, n);
+                push!(tok, tline, tcol);
+            }
+        }
+    }
+    push!(Tok::Eof, line, col);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_punct() {
+        assert_eq!(
+            toks("emit connState(\"error\");"),
+            vec![
+                Tok::Ident("emit".into()),
+                Tok::Ident("connState".into()),
+                Tok::LParen,
+                Tok::Str("error".into()),
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a === b != c <= d && e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::EqEqEq,
+                Tok::Ident("b".into()),
+                Tok::NotEq,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::AndAnd,
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_member_dots() {
+        assert_eq!(
+            toks("x.length >= 2.5"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Dot,
+                Tok::Ident("length".into()),
+                Tok::Ge,
+                Tok::Num(2.5),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn ellipsis_in_run_args() {
+        assert_eq!(
+            toks("run Identity(...);"),
+            vec![
+                Tok::Ident("run".into()),
+                Tok::Ident("Identity".into()),
+                Tok::LParen,
+                Tok::Ellipsis,
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_lines_tracked() {
+        let ts = lex("// header\n/* multi\nline */ emit X;").unwrap();
+        assert_eq!(ts[0].tok, Tok::Ident("emit".into()));
+        assert_eq!(ts[0].line, 3);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#" "a\nb" "#), vec![Tok::Str("a\nb".into()), Tok::Eof]);
+        assert_eq!(toks("'ok'"), vec![Tok::Str("ok".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = lex("emit @;").unwrap_err();
+        assert!(e.to_string().contains("unexpected character"));
+        assert!(e.to_string().contains("1:6"), "{e}");
+        assert!(lex("\"open").is_err());
+        assert!(lex("/* open").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Diagnostics quality: parser locations must flow through compilation
+//! into runtime causality reports, so a textual program's deadlock names
+//! its source lines and signals (paper §5.2: "an appropriate error
+//! message").
+
+use hiphop_lang::{parse_program, HostRegistry};
+use hiphop_runtime::{Machine, RuntimeError};
+
+#[test]
+fn causality_report_names_signal_and_location() {
+    let src = "module M() {\n   signal X;\n   if (!X.now) { emit X(); }\n}";
+    let (m, reg) = parse_program(src, "M", &HostRegistry::new()).expect("parses");
+    let compiled = hiphop_compiler::compile_module(&m, &reg).expect("compiles");
+    assert!(compiled.cycle_warnings > 0, "static warning first");
+    let mut machine = Machine::new(compiled.circuit);
+    let err = machine.react().unwrap_err();
+    let RuntimeError::Causality { cycle, .. } = &err else {
+        panic!("expected causality, got {err}");
+    };
+    let text = err.to_string();
+    // The local signal X appears (with its linked unique suffix).
+    assert!(text.contains("signal X"), "{text}");
+    // The emit's parser location (line 3) appears on some cycle net.
+    assert!(
+        cycle.iter().any(|n| n.loc.starts_with("3:")),
+        "expected a net at line 3: {text}"
+    );
+}
+
+#[test]
+fn multiple_emission_error_names_the_signal() {
+    let src = r#"
+        module M(out v = 0) {
+           fork { emit v(1); } par { emit v(2); }
+        }
+    "#;
+    let (m, reg) = parse_program(src, "M", &HostRegistry::new()).expect("parses");
+    let compiled = hiphop_compiler::compile_module(&m, &reg).expect("compiles");
+    let mut machine = Machine::new(compiled.circuit);
+    let err = machine.react().unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::MultipleEmit { ref signal } if signal == "v"),
+        "{err}"
+    );
+    assert!(err.to_string().contains("combine"), "{err}");
+}
+
+#[test]
+fn check_errors_carry_parser_positions() {
+    // `break` without a trap, at a known position.
+    let src = "module M() {\n   break Nowhere;\n}";
+    let (m, reg) = parse_program(src, "M", &HostRegistry::new()).expect("parses");
+    let err = hiphop_compiler::compile_module(&m, &reg).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("Nowhere"), "{text}");
+    assert!(text.contains("2:"), "line number expected: {text}");
+}

@@ -1,0 +1,96 @@
+//! Extraction of readable causality-error reports from a stuck reaction.
+
+use crate::error::CycleNet;
+use hiphop_circuit::Circuit;
+
+/// Given the set of nets left undetermined/unresolved after the
+/// propagation queue drained, finds a dependency cycle among them (every
+/// stuck region contains one) and renders it for the error message.
+pub(crate) fn extract_cycle(circuit: &Circuit, stuck: &[bool]) -> Vec<CycleNet> {
+    // DFS over edges restricted to stuck nets: a net waits on its stuck
+    // fanins and its stuck deps.
+    let n = circuit.nets().len();
+    let mut color = vec![0u8; n]; // 0 white, 1 on stack, 2 done
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+
+    let succ = |v: usize| -> Vec<usize> {
+        let net = &circuit.nets()[v];
+        net.fanins
+            .iter()
+            .map(|f| f.net.index())
+            .chain(net.deps.iter().map(|d| d.index()))
+            .filter(|&w| stuck[w])
+            .collect()
+    };
+
+    for start in 0..n {
+        if !stuck[start] || color[start] != 0 {
+            continue;
+        }
+        // Iterative DFS.
+        let mut stack = vec![(start, 0usize)];
+        color[start] = 1;
+        while let Some(&mut (v, ref mut ei)) = stack.last_mut() {
+            let ss = succ(v);
+            if *ei < ss.len() {
+                let w = ss[*ei];
+                *ei += 1;
+                match color[w] {
+                    0 => {
+                        color[w] = 1;
+                        parent[w] = Some(v);
+                        stack.push((w, 0));
+                    }
+                    1 => {
+                        // Found a cycle w -> ... -> v -> w.
+                        let mut cycle = vec![w];
+                        let mut cur = v;
+                        while cur != w {
+                            cycle.push(cur);
+                            match parent[cur] {
+                                Some(p) => cur = p,
+                                None => break,
+                            }
+                        }
+                        cycle.reverse();
+                        return render(circuit, &cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v] = 2;
+                stack.pop();
+            }
+        }
+    }
+
+    // No strict cycle (e.g. a self-dependency was deduplicated away or the
+    // stuckness comes from a dependency chain); report the stuck frontier.
+    let frontier: Vec<usize> = (0..n).filter(|&i| stuck[i]).take(8).collect();
+    render(circuit, &frontier)
+}
+
+fn render(circuit: &Circuit, nets: &[usize]) -> Vec<CycleNet> {
+    nets.iter()
+        .take(20)
+        .map(|&i| {
+            let net = &circuit.nets()[i];
+            CycleNet {
+                net: i as u32,
+                label: net.label.to_owned(),
+                loc: net.loc.to_string(),
+                signal: net
+                    .sig_hint
+                    .map(|s| circuit.signal(s).name.clone())
+                    .or_else(|| {
+                        // Fall back: is this net some signal's status?
+                        circuit
+                            .signals()
+                            .iter()
+                            .find(|s| s.status_net.index() == i)
+                            .map(|s| s.name.clone())
+                    }),
+            }
+        })
+        .collect()
+}

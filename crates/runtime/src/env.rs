@@ -1,0 +1,116 @@
+//! Evaluation environments over the live circuit state.
+//!
+//! Expressions resolve signals *by circuit name* (the compiler rewrote
+//! them to unique names). `S.now` reads the status net's stabilized value,
+//! `S.pre` the pre-register net, `S.nowval`/`S.preval` the value slots.
+
+use hiphop_circuit::Circuit;
+use hiphop_core::ast::AtomCtx;
+use hiphop_core::expr::EvalEnv;
+use hiphop_core::value::Value;
+use std::collections::HashMap;
+
+/// Read-only expression environment used during a reaction.
+pub(crate) struct EnvView<'a> {
+    pub circuit: &'a Circuit,
+    pub values: &'a [i8],
+    pub sig_val: &'a [Value],
+    pub sig_preval: &'a [Value],
+    pub vars: &'a HashMap<String, Value>,
+}
+
+impl EnvView<'_> {
+    fn sig(&self, name: &str) -> Option<hiphop_circuit::SignalId> {
+        self.circuit.signal_by_name(name)
+    }
+}
+
+impl EvalEnv for EnvView<'_> {
+    fn now(&self, name: &str) -> bool {
+        self.sig(name)
+            .map(|id| {
+                let net = self.circuit.signal(id).status_net;
+                debug_assert!(
+                    self.values[net.index()] >= 0,
+                    "reading undetermined status of `{name}` (missing dependency?)"
+                );
+                self.values[net.index()] == 1
+            })
+            .unwrap_or(false)
+    }
+    fn pre(&self, name: &str) -> bool {
+        self.sig(name)
+            .map(|id| {
+                let net = self.circuit.signal(id).pre_net;
+                self.values[net.index()] == 1
+            })
+            .unwrap_or(false)
+    }
+    fn nowval(&self, name: &str) -> Value {
+        self.sig(name)
+            .map(|id| self.sig_val[id.index()].clone())
+            .unwrap_or(Value::Null)
+    }
+    fn preval(&self, name: &str) -> Value {
+        self.sig(name)
+            .map(|id| self.sig_preval[id.index()].clone())
+            .unwrap_or(Value::Null)
+    }
+    fn var(&self, name: &str) -> Value {
+        self.vars.get(name).cloned().unwrap_or(Value::Null)
+    }
+}
+
+/// Mutable atom environment: expression reads plus variable writes and
+/// logging.
+pub(crate) struct AtomView<'a> {
+    pub circuit: &'a Circuit,
+    pub values: &'a [i8],
+    pub sig_val: &'a [Value],
+    pub sig_preval: &'a [Value],
+    pub vars: &'a mut HashMap<String, Value>,
+    pub log: &'a mut Vec<String>,
+}
+
+impl EvalEnv for AtomView<'_> {
+    fn now(&self, name: &str) -> bool {
+        EnvView {
+            circuit: self.circuit,
+            values: self.values,
+            sig_val: self.sig_val,
+            sig_preval: self.sig_preval,
+            vars: self.vars,
+        }
+        .now(name)
+    }
+    fn pre(&self, name: &str) -> bool {
+        self.circuit
+            .signal_by_name(name)
+            .map(|id| self.values[self.circuit.signal(id).pre_net.index()] == 1)
+            .unwrap_or(false)
+    }
+    fn nowval(&self, name: &str) -> Value {
+        self.circuit
+            .signal_by_name(name)
+            .map(|id| self.sig_val[id.index()].clone())
+            .unwrap_or(Value::Null)
+    }
+    fn preval(&self, name: &str) -> Value {
+        self.circuit
+            .signal_by_name(name)
+            .map(|id| self.sig_preval[id.index()].clone())
+            .unwrap_or(Value::Null)
+    }
+    fn var(&self, name: &str) -> Value {
+        self.vars.get(name).cloned().unwrap_or(Value::Null)
+    }
+}
+
+impl AtomCtx for AtomView<'_> {
+    fn set_var(&mut self, name: &str, value: Value) {
+        self.vars.insert(name.to_owned(), value);
+    }
+    fn log(&mut self, message: String) {
+        self.log.push(message);
+    }
+}

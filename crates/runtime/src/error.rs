@@ -1,0 +1,126 @@
+//! Runtime errors: causality deadlocks and reaction failures.
+
+use std::fmt;
+
+/// A net implicated in a causality cycle, with human-readable context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleNet {
+    /// Net index.
+    pub net: u32,
+    /// The net's debug label.
+    pub label: String,
+    /// Source location of the originating statement, if known.
+    pub loc: String,
+    /// Signal involved, if any.
+    pub signal: Option<String>,
+}
+
+impl fmt::Display for CycleNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net#{} `{}`", self.net, self.label)?;
+        if let Some(s) = &self.signal {
+            write!(f, " (signal {s})")?;
+        }
+        if self.loc != "<builder>" {
+            write!(f, " at {}", self.loc)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors surfaced by the reactive machine.
+///
+/// The paper §5.2: "synchronous deadlock cycles are always detected with
+/// an appropriate error message. This is a major advantage compared to
+/// deadlocks in asynchronous languages."
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The reaction reached a synchronous deadlock: the listed nets form
+    /// (or contain) a non-constructive cycle, e.g. `if (!X.now) emit X;`.
+    Causality {
+        /// Nets in the undetermined region (one cycle, capped).
+        cycle: Vec<CycleNet>,
+        /// Total number of undetermined nets.
+        undetermined: usize,
+    },
+    /// A valued signal was emitted more than once in an instant without a
+    /// declared combine function.
+    MultipleEmit {
+        /// The signal.
+        signal: String,
+    },
+    /// `set_input` named a signal absent from the interface.
+    UnknownSignal {
+        /// The name.
+        signal: String,
+    },
+    /// `set_input` targeted a non-input signal.
+    NotAnInput {
+        /// The name.
+        signal: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Causality {
+                cycle,
+                undetermined,
+            } => {
+                writeln!(
+                    f,
+                    "causality error: synchronous deadlock ({undetermined} nets left undetermined)"
+                )?;
+                write!(f, "cycle:")?;
+                for n in cycle {
+                    write!(f, "\n  - {n}")?;
+                }
+                Ok(())
+            }
+            RuntimeError::MultipleEmit { signal } => write!(
+                f,
+                "signal `{signal}` emitted twice in one instant without a combine function"
+            ),
+            RuntimeError::UnknownSignal { signal } => {
+                write!(f, "no interface signal named `{signal}`")
+            }
+            RuntimeError::NotAnInput { signal } => {
+                write!(f, "signal `{signal}` is not an input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_causality() {
+        let e = RuntimeError::Causality {
+            cycle: vec![CycleNet {
+                net: 3,
+                label: "sig.status".into(),
+                loc: "<builder>".into(),
+                signal: Some("X".into()),
+            }],
+            undetermined: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("causality error"), "{s}");
+        assert!(s.contains("signal X"), "{s}");
+    }
+
+    #[test]
+    fn display_others() {
+        assert!(RuntimeError::MultipleEmit { signal: "t".into() }
+            .to_string()
+            .contains("combine"));
+        assert!(RuntimeError::NotAnInput { signal: "o".into() }
+            .to_string()
+            .contains("not an input"));
+    }
+}

@@ -1,0 +1,61 @@
+//! The HipHop runtime: a reactive machine executing compiled circuits with
+//! constructive (ternary least-fixpoint) semantics, causality-error
+//! reporting, valued signals, and the `async` bridge to the host world.
+//!
+//! # Examples
+//!
+//! Running the ABRO classic:
+//!
+//! ```
+//! use hiphop_core::prelude::*;
+//! use hiphop_runtime::machine_for;
+//!
+//! let abro = Module::new("ABRO")
+//!     .input(SignalDecl::new("A", Direction::In))
+//!     .input(SignalDecl::new("B", Direction::In))
+//!     .input(SignalDecl::new("R", Direction::In))
+//!     .output(SignalDecl::new("O", Direction::Out))
+//!     .body(Stmt::loop_each(
+//!         Delay::cond(Expr::now("R")),
+//!         Stmt::seq([
+//!             Stmt::par([
+//!                 Stmt::await_(Delay::cond(Expr::now("A"))),
+//!                 Stmt::await_(Delay::cond(Expr::now("B"))),
+//!             ]),
+//!             Stmt::emit("O"),
+//!         ]),
+//!     ));
+//!
+//! let mut m = machine_for(&abro, &ModuleRegistry::new())?;
+//! m.react()?; // boot instant
+//! let r = m.react_with(&[("A", Value::Bool(true)), ("B", Value::Bool(true))])?;
+//! assert!(r.present("O"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::type_complexity)] // Rc<dyn Fn> hook signatures are the API
+
+mod causality;
+mod env;
+pub mod error;
+pub mod machine;
+pub mod waveform;
+
+pub use error::{CycleNet, RuntimeError};
+pub use machine::{Machine, OutputEvent, Reaction};
+pub use waveform::{SharedWaveform, Waveform};
+
+use hiphop_compiler::{compile_module, CompileError};
+use hiphop_core::module::{Module, ModuleRegistry};
+
+/// Compiles `main` against `registry` and wraps it in a fresh machine —
+/// the one-call analogue of loading a `.hh.js` module in the paper.
+///
+/// # Errors
+///
+/// Propagates linking, checking and translation errors.
+pub fn machine_for(main: &Module, registry: &ModuleRegistry) -> Result<Machine, CompileError> {
+    let compiled = compile_module(main, registry)?;
+    Ok(Machine::new(compiled.circuit))
+}

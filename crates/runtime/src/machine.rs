@@ -1,0 +1,1041 @@
+//! The reactive machine: atomic reactions over a compiled circuit.
+//!
+//! This is the paper's "JavaScript reactive machine" (§2.2.1, §5.2): it
+//! holds the circuit, the persistent state (registers, signal values,
+//! variables, counters, async instances), stages inputs, and executes each
+//! reaction as a linear-time constructive simulation of the circuit — the
+//! least-fixpoint evaluation in Scott's ternary logic {⊥, 0, 1}. Nets
+//! stabilize through a FIFO of determination/resolution events; attached
+//! actions run exactly when their net stabilizes to 1 and their data
+//! dependencies have resolved, which realizes the paper's
+//! micro-scheduling. If the queue drains with ⊥ nets remaining, the
+//! reaction fails with a reported causality cycle.
+
+use crate::causality::extract_cycle;
+use crate::env::{AtomView, EnvView};
+use crate::error::RuntimeError;
+use hiphop_circuit::{Action, AsyncId, Circuit, NetId, NetKind, SignalId, TestKind};
+use hiphop_core::ast::{AsyncCtx, AtomBody};
+use hiphop_core::mailbox::{AsyncHandle, MachineOp, Mailbox};
+use hiphop_core::value::Value;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Per-net evaluation strategy, precomputed at machine construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Const / Input / RegOut: determined at reaction start.
+    Source,
+    /// Plain gate, no side effect.
+    Gate,
+    /// Data test: evaluates once its control and dependencies stabilize.
+    Test,
+    /// Gate with an *early* action (signal emission): the boolean value
+    /// propagates immediately; the side effect waits for dependencies.
+    /// This keeps signal *status* propagation independent from *value*
+    /// computation, as in Esterel.
+    Early,
+    /// Gate with a *late* action (atoms, counters, async hooks): the net
+    /// is determined only after the side effect ran, so sequential host
+    /// state updates are ordered before downstream control.
+    Late,
+}
+
+/// One output signal's snapshot after a reaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputEvent {
+    /// Signal name.
+    pub name: String,
+    /// Present this instant.
+    pub present: bool,
+    /// Current value (persists across instants).
+    pub value: Value,
+}
+
+/// The result of one reaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reaction {
+    /// Reaction number (0-based).
+    pub seq: u64,
+    /// Snapshot of every output-direction interface signal.
+    pub outputs: Vec<OutputEvent>,
+    /// Whether the program terminated in this instant.
+    pub terminated: bool,
+    /// Number of net events processed (linear in circuit size; used by
+    /// the E4 experiments).
+    pub events: usize,
+}
+
+impl Reaction {
+    /// Snapshot of a specific output, if present in the interface.
+    pub fn output(&self, name: &str) -> Option<&OutputEvent> {
+        self.outputs.iter().find(|o| o.name == name)
+    }
+    /// Whether `name` was emitted this instant.
+    pub fn present(&self, name: &str) -> bool {
+        self.output(name).map(|o| o.present).unwrap_or(false)
+    }
+    /// Current value of `name` (Null if unknown).
+    pub fn value(&self, name: &str) -> Value {
+        self.output(name).map(|o| o.value.clone()).unwrap_or(Value::Null)
+    }
+}
+
+#[derive(Debug)]
+struct AsyncRt {
+    active: bool,
+    instance: u64,
+    state: Rc<RefCell<Value>>,
+    notified: Option<Value>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Det(u32),
+    Res(u32),
+}
+
+/// A running reactive machine.
+pub struct Machine {
+    circuit: Rc<Circuit>,
+    class: Vec<Class>,
+    is_or: Vec<bool>,
+
+    // Persistent state.
+    regs: Vec<bool>,
+    sig_val: Vec<Value>,
+    sig_preval: Vec<Value>,
+    vars: HashMap<String, Value>,
+    counters: Vec<f64>,
+    asyncs: Vec<AsyncRt>,
+    log: Vec<String>,
+    mailbox: Mailbox,
+    next_instance: u64,
+    terminated: bool,
+    seq: u64,
+    last_present: Vec<bool>,
+
+    // Staging for the next reaction.
+    staged_inputs: Vec<(SignalId, Option<Value>)>,
+    staged_notifies: Vec<(AsyncId, Value)>,
+
+    // Scratch (allocated once).
+    value: Vec<i8>,
+    undet: Vec<u32>,
+    deps_left: Vec<u32>,
+    armed: Vec<bool>,
+    resolved: Vec<bool>,
+    queue: VecDeque<Ev>,
+    events: usize,
+
+    listeners: Vec<Rc<dyn Fn(&Reaction)>>,
+    trace: Option<Vec<Reaction>>,
+    naive: bool,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("program", &self.circuit.name)
+            .field("nets", &self.circuit.nets().len())
+            .field("seq", &self.seq)
+            .field("terminated", &self.terminated)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Wraps a finalized circuit into a fresh machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit was not [`Circuit::finalize`]d.
+    pub fn new(circuit: Circuit) -> Machine {
+        assert!(circuit.is_finalized(), "circuit must be finalized");
+        let n = circuit.nets().len();
+        let mut class = Vec::with_capacity(n);
+        let mut is_or = Vec::with_capacity(n);
+        for net in circuit.nets() {
+            is_or.push(!matches!(net.kind, NetKind::And));
+            let c = match &net.kind {
+                NetKind::Const(_) | NetKind::Input | NetKind::RegOut(_) => Class::Source,
+                NetKind::Test(_) => Class::Test,
+                NetKind::Or | NetKind::And => match net.action.map(|a| &circuit.actions()[a.index()]) {
+                    None => Class::Gate,
+                    Some(Action::Emit { .. }) | Some(Action::AsyncDone(_)) => Class::Early,
+                    Some(_) => Class::Late,
+                },
+            };
+            class.push(c);
+        }
+        let regs = circuit.registers().iter().map(|r| r.init).collect();
+        let sig_val: Vec<Value> = circuit
+            .signals()
+            .iter()
+            .map(|s| s.init.clone().unwrap_or(Value::Null))
+            .collect();
+        let asyncs = circuit
+            .asyncs()
+            .iter()
+            .map(|_| AsyncRt {
+                active: false,
+                instance: 0,
+                state: Rc::new(RefCell::new(Value::Null)),
+                notified: None,
+            })
+            .collect();
+        let nsig = circuit.signals().len();
+        Machine {
+            class,
+            is_or,
+            regs,
+            sig_preval: sig_val.clone(),
+            sig_val,
+            vars: HashMap::new(),
+            counters: vec![0.0; circuit.counters().len()],
+            asyncs,
+            log: Vec::new(),
+            mailbox: Mailbox::new(),
+            next_instance: 0,
+            terminated: false,
+            seq: 0,
+            last_present: vec![false; nsig],
+            staged_inputs: Vec::new(),
+            staged_notifies: Vec::new(),
+            value: vec![-1; n],
+            undet: vec![0; n],
+            deps_left: vec![0; n],
+            armed: vec![false; n],
+            resolved: vec![false; n],
+            queue: VecDeque::new(),
+            events: 0,
+            listeners: Vec::new(),
+            trace: None,
+            naive: false,
+            circuit: Rc::new(circuit),
+        }
+    }
+
+    /// Switches to the *naive* propagation engine: instead of the
+    /// event-driven linear-time queue, each reaction repeatedly sweeps all
+    /// nets until a fixpoint. Same constructive semantics, O(nets²) worst
+    /// case — used as an independent reference implementation in the
+    /// differential property tests.
+    pub fn set_naive(&mut self, naive: bool) {
+        self.naive = naive;
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The mailbox used by async activities; share it with your event
+    /// loop and call [`Machine::drain`] to process queued operations.
+    pub fn mailbox(&self) -> Mailbox {
+        self.mailbox.clone()
+    }
+
+    /// Whether the program has terminated.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Number of reactions executed so far.
+    pub fn reactions(&self) -> u64 {
+        self.seq
+    }
+
+    /// The machine's log (filled by `hop { log(...) }` atoms).
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Reads a machine variable.
+    pub fn var(&self, name: &str) -> Value {
+        self.vars.get(name).cloned().unwrap_or(Value::Null)
+    }
+
+    /// Sets a machine variable (module-level `var`s without bindings).
+    pub fn set_var(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    /// Registers a listener called after each successful reaction.
+    pub fn on_reaction(&mut self, f: impl Fn(&Reaction) + 'static) {
+        self.listeners.push(Rc::new(f));
+    }
+
+    /// Starts recording reactions (see [`Machine::take_trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded reactions.
+    pub fn take_trace(&mut self) -> Vec<Reaction> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Presence of `name` at the last reaction.
+    pub fn present(&self, name: &str) -> bool {
+        self.circuit
+            .signal_by_name(name)
+            .map(|id| self.last_present[id.index()])
+            .unwrap_or(false)
+    }
+
+    /// Current value of `name`.
+    pub fn nowval(&self, name: &str) -> Value {
+        self.circuit
+            .signal_by_name(name)
+            .map(|id| self.sig_val[id.index()].clone())
+            .unwrap_or(Value::Null)
+    }
+
+    /// Previous-instant value of `name`.
+    pub fn preval(&self, name: &str) -> Value {
+        self.circuit
+            .signal_by_name(name)
+            .map(|id| self.sig_preval[id.index()].clone())
+            .unwrap_or(Value::Null)
+    }
+
+    /// Stages an input signal for the next reaction.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownSignal`] / [`RuntimeError::NotAnInput`].
+    pub fn set_input(&mut self, name: &str, value: Option<Value>) -> Result<(), RuntimeError> {
+        let id = self
+            .circuit
+            .signal_by_name(name)
+            .ok_or_else(|| RuntimeError::UnknownSignal {
+                signal: name.to_owned(),
+            })?;
+        if !self.circuit.signal(id).direction.is_input() {
+            return Err(RuntimeError::NotAnInput {
+                signal: name.to_owned(),
+            });
+        }
+        self.staged_inputs.push((id, value));
+        Ok(())
+    }
+
+    /// Stages inputs and runs one reaction — the paper's
+    /// `M.react({name: value, ...})`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates staging errors and reaction failures.
+    pub fn react_with(
+        &mut self,
+        inputs: &[(&str, Value)],
+    ) -> Result<Reaction, RuntimeError> {
+        for (name, v) in inputs {
+            self.set_input(name, Some(v.clone()))?;
+        }
+        self.react()
+    }
+
+    /// Runs one atomic reaction with the currently staged inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Causality`] on a synchronous deadlock,
+    /// [`RuntimeError::MultipleEmit`] on an uncombined double emission.
+    /// After an error the reaction is not committed (registers keep their
+    /// previous values) but host side effects that already ran are not
+    /// rolled back.
+    pub fn react(&mut self) -> Result<Reaction, RuntimeError> {
+        let circuit = self.circuit.clone();
+
+        // Previous-instant values snapshot.
+        self.sig_preval.clone_from(&self.sig_val);
+
+        // Scratch reset.
+        let n = circuit.nets().len();
+        self.value[..n].fill(-1);
+        self.resolved[..n].fill(false);
+        self.armed[..n].fill(false);
+        self.events = 0;
+        self.queue.clear();
+        for (i, net) in circuit.nets().iter().enumerate() {
+            self.undet[i] = net.fanins.len() as u32;
+            self.deps_left[i] = net.deps.len() as u32;
+        }
+
+        // Per-reaction emission counters (for combine checking) live in
+        // last_present's shadow: use a local vector.
+        let mut emit_count = vec![0u32; circuit.signals().len()];
+
+        // Apply staged input values.
+        let staged = std::mem::take(&mut self.staged_inputs);
+        let mut input_present = vec![false; n];
+        for (sig, val) in &staged {
+            let info = circuit.signal(*sig);
+            if let Some(inet) = info.input_net {
+                input_present[inet.index()] = true;
+            }
+            if let Some(v) = val {
+                self.sig_val[sig.index()] = v.clone();
+                emit_count[sig.index()] = 1;
+            }
+        }
+        let notifies = std::mem::take(&mut self.staged_notifies);
+        for (aid, v) in notifies {
+            let rt = &mut self.asyncs[aid.index()];
+            rt.notified = Some(v);
+            input_present[circuit.asyncs()[aid.index()].notify_net.index()] = true;
+        }
+
+        // Determine sources.
+        for (i, net) in circuit.nets().iter().enumerate() {
+            let v = match net.kind {
+                NetKind::Const(c) => c,
+                NetKind::Input => input_present[i],
+                NetKind::RegOut(r) => self.regs[r.index()],
+                _ => continue,
+            };
+            self.value[i] = v as i8;
+            self.resolved[i] = true;
+            self.queue.push_back(Ev::Det(i as u32));
+            self.queue.push_back(Ev::Res(i as u32));
+        }
+        // Gates with no fanins are their neutral constant (an empty OR is
+        // 0, an empty AND is 1); they receive no feed, so settle them now.
+        for (i, net) in circuit.nets().iter().enumerate() {
+            if net.fanins.is_empty() && matches!(net.kind, NetKind::Or | NetKind::And) {
+                let neutral = matches!(net.kind, NetKind::And);
+                self.gate_value(&circuit, i as u32, neutral, &mut emit_count)?;
+            }
+        }
+
+        // Propagate to fixpoint.
+        if self.naive {
+            self.queue.clear();
+            self.naive_fixpoint(&circuit, &mut emit_count)?;
+        }
+        while let Some(ev) = self.queue.pop_front() {
+            self.events += 1;
+            match ev {
+                Ev::Det(i) => {
+                    let v = self.value[i as usize] == 1;
+                    // Fanouts are (target, edge-polarity).
+                    for k in 0..circuit.fanouts(NetId(i)).len() {
+                        let (j, neg) = circuit.fanouts(NetId(i))[k];
+                        self.feed(&circuit, j.0, v ^ neg, &mut emit_count)?;
+                    }
+                }
+                Ev::Res(i) => {
+                    for k in 0..circuit.dep_fanouts(NetId(i)).len() {
+                        let d = circuit.dep_fanouts(NetId(i))[k].0;
+                        self.deps_left[d as usize] -= 1;
+                        if self.deps_left[d as usize] == 0
+                            && self.armed[d as usize]
+                            && !self.resolved[d as usize]
+                        {
+                            self.fire(&circuit, d, &mut emit_count)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Constructive check: everything must be determined and resolved.
+        let stuck: Vec<bool> = (0..n)
+            .map(|i| self.value[i] < 0 || !self.resolved[i])
+            .collect();
+        let undetermined = stuck.iter().filter(|&&b| b).count();
+        if undetermined > 0 {
+            return Err(RuntimeError::Causality {
+                cycle: extract_cycle(&circuit, &stuck),
+                undetermined,
+            });
+        }
+
+        // Commit registers.
+        for (r, reg) in circuit.registers().iter().enumerate() {
+            self.regs[r] = self.value[reg.input.index()] == 1;
+        }
+        for (s, info) in circuit.signals().iter().enumerate() {
+            self.last_present[s] = self.value[info.status_net.index()] == 1;
+        }
+        if let Some(t) = circuit.terminated_net {
+            if self.value[t.index()] == 1 {
+                self.terminated = true;
+            }
+        }
+
+        let outputs = circuit
+            .signals()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.direction.is_output())
+            .map(|(i, s)| OutputEvent {
+                name: s.name.clone(),
+                present: self.last_present[i],
+                value: self.sig_val[i].clone(),
+            })
+            .collect();
+        let reaction = Reaction {
+            seq: self.seq,
+            outputs,
+            terminated: self.terminated,
+            events: self.events,
+        };
+        self.seq += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(reaction.clone());
+        }
+        let listeners = self.listeners.clone();
+        for l in listeners {
+            l(&reaction);
+        }
+        Ok(reaction)
+    }
+
+    /// Processes every queued mailbox operation, running one reaction per
+    /// operation (notifications, `react` requests from async bodies).
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing reaction.
+    pub fn drain(&mut self) -> Result<Vec<Reaction>, RuntimeError> {
+        let mut out = Vec::new();
+        while let Some(op) = self.mailbox.pop() {
+            match op {
+                MachineOp::Notify {
+                    async_id,
+                    instance,
+                    value,
+                } => {
+                    let idx = async_id as usize;
+                    if idx < self.asyncs.len()
+                        && self.asyncs[idx].active
+                        && self.asyncs[idx].instance == instance
+                    {
+                        self.staged_notifies.push((AsyncId(async_id), value));
+                        out.push(self.react()?);
+                    }
+                    // Stale notification: automatically discarded — this is
+                    // the paper's "pending authentications are automatically
+                    // discarded" (§2.2.4).
+                }
+                MachineOp::React(inputs) => {
+                    for (name, v) in inputs {
+                        self.set_input(&name, Some(v))?;
+                    }
+                    out.push(self.react()?);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Restarts the machine: control state, signal values, variables,
+    /// counters and the log return to their initial configuration; the
+    /// mailbox, listeners and reaction counter are kept.
+    pub fn reset(&mut self) -> &mut Self {
+        let circuit = self.circuit.clone();
+        self.regs = circuit.registers().iter().map(|r| r.init).collect();
+        self.sig_val = circuit
+            .signals()
+            .iter()
+            .map(|s| s.init.clone().unwrap_or(Value::Null))
+            .collect();
+        self.sig_preval = self.sig_val.clone();
+        self.vars.clear();
+        self.counters.fill(0.0);
+        for rt in &mut self.asyncs {
+            rt.active = false;
+            rt.notified = None;
+        }
+        self.log.clear();
+        self.terminated = false;
+        self.last_present.fill(false);
+        self.staged_inputs.clear();
+        self.staged_notifies.clear();
+        self
+    }
+
+    /// Lists the currently selected control points: the labels and source
+    /// locations of every register that is set (pauses, halts, async
+    /// waits, signal `pre` state excluded). This is the "explicit control
+    /// state defined by the concurrent positions in the code where the
+    /// control has stopped" that §2.3 contrasts with JavaScript's hidden
+    /// state variables — made inspectable.
+    pub fn selected(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, reg) in self.circuit.registers().iter().enumerate() {
+            if !self.regs[i] || reg.label == "sig.pre" || reg.label == "boot" {
+                continue;
+            }
+            let net = self.circuit.net(reg.output);
+            let loc = net.loc.to_string();
+            if loc == "<builder>" {
+                out.push(reg.label.to_owned());
+            } else {
+                out.push(format!("{} at {}", reg.label, loc));
+            }
+        }
+        out
+    }
+
+    /// Iterates over the interface signals: (name, direction,
+    /// present-at-last-reaction, current value).
+    pub fn signals(
+        &self,
+    ) -> impl Iterator<Item = (String, hiphop_core::signal::Direction, bool, Value)> + '_ {
+        self.circuit
+            .clone()
+            .signals()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.direction != hiphop_core::signal::Direction::Local)
+            .map(|(i, s)| {
+                (
+                    s.name.clone(),
+                    s.direction,
+                    self.last_present[i],
+                    self.sig_val[i].clone(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    /// Dynamic reconfiguration (paper §6: "HipHop.js is dynamic at
+    /// source-code level: it allows the user to partially reconfigure the
+    /// program between two synchronous reactions"): replaces the program
+    /// with a newly compiled circuit between reactions.
+    ///
+    /// Persistent signal *values* are carried over by (interface) name, as
+    /// are machine variables and the log; the new program's control state
+    /// starts at its boot instant (control-state transplantation across
+    /// arbitrary edits is documented future work, DESIGN.md §7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new circuit is not finalized.
+    pub fn hot_swap(&mut self, circuit: Circuit) -> &mut Self {
+        let mut fresh = Machine::new(circuit);
+        for (i, info) in fresh.circuit.clone().signals().iter().enumerate() {
+            if let Some(old) = self.circuit.signal_by_name(&info.name) {
+                fresh.sig_val[i] = self.sig_val[old.index()].clone();
+                fresh.sig_preval[i] = self.sig_preval[old.index()].clone();
+            }
+        }
+        fresh.vars = std::mem::take(&mut self.vars);
+        fresh.log = std::mem::take(&mut self.log);
+        fresh.mailbox = self.mailbox.clone();
+        fresh.next_instance = self.next_instance;
+        fresh.seq = self.seq;
+        fresh.listeners = std::mem::take(&mut self.listeners);
+        *self = fresh;
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Engine internals.
+
+    /// Reference engine: full sweeps until stable (see
+    /// [`Machine::set_naive`]).
+    fn naive_fixpoint(
+        &mut self,
+        circuit: &Circuit,
+        emit_count: &mut [u32],
+    ) -> Result<(), RuntimeError> {
+        let n = circuit.nets().len();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                self.events += 1;
+                if self.resolved[i] {
+                    continue;
+                }
+                let net = &circuit.nets()[i];
+                let deps_ok = net.deps.iter().all(|d| self.resolved[d.index()]);
+                match self.class[i] {
+                    Class::Source => {}
+                    Class::Test => {
+                        let f = net.fanins[0];
+                        let c = self.value[f.net.index()];
+                        if c < 0 {
+                            continue;
+                        }
+                        let control = (c == 1) ^ f.negated;
+                        if !control {
+                            self.value[i] = 0;
+                            self.resolved[i] = true;
+                            changed = true;
+                        } else if deps_ok {
+                            let v = self.eval_test(circuit, i as u32);
+                            self.value[i] = v as i8;
+                            self.resolved[i] = true;
+                            changed = true;
+                        }
+                    }
+                    Class::Gate | Class::Early | Class::Late => {
+                        // Ternary gate evaluation.
+                        let controlling = self.is_or[i];
+                        let mut any_controlling = false;
+                        let mut all_known = true;
+                        for f in &net.fanins {
+                            let v = self.value[f.net.index()];
+                            if v < 0 {
+                                all_known = false;
+                            } else if ((v == 1) ^ f.negated) == controlling {
+                                any_controlling = true;
+                            }
+                        }
+                        let value = if any_controlling {
+                            Some(controlling)
+                        } else if all_known {
+                            Some(!controlling)
+                        } else {
+                            None
+                        };
+                        let Some(v) = value else { continue };
+                        match self.class[i] {
+                            Class::Gate => {
+                                self.value[i] = v as i8;
+                                self.resolved[i] = true;
+                                changed = true;
+                            }
+                            Class::Early => {
+                                if self.value[i] < 0 {
+                                    self.value[i] = v as i8;
+                                    changed = true;
+                                }
+                                if !v {
+                                    self.resolved[i] = true;
+                                } else if deps_ok {
+                                    self.run_action(circuit, i as u32, emit_count)?;
+                                    self.resolved[i] = true;
+                                    changed = true;
+                                }
+                            }
+                            Class::Late => {
+                                if !v {
+                                    self.value[i] = 0;
+                                    self.resolved[i] = true;
+                                    changed = true;
+                                } else if deps_ok {
+                                    self.run_action(circuit, i as u32, emit_count)?;
+                                    self.value[i] = 1;
+                                    self.resolved[i] = true;
+                                    changed = true;
+                                }
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn feed(
+        &mut self,
+        circuit: &Circuit,
+        j: u32,
+        v: bool,
+        emit_count: &mut [u32],
+    ) -> Result<(), RuntimeError> {
+        let ji = j as usize;
+        if self.value[ji] != -1 || (self.armed[ji] && self.class[ji] != Class::Early) {
+            return Ok(());
+        }
+        match self.class[ji] {
+            Class::Source => Ok(()),
+            Class::Test => {
+                if v {
+                    self.arm(circuit, j, emit_count)
+                } else {
+                    self.value[ji] = 0;
+                    self.queue.push_back(Ev::Det(j));
+                    self.resolve(j);
+                    Ok(())
+                }
+            }
+            _ => {
+                let controlling = self.is_or[ji];
+                if v == controlling {
+                    self.gate_value(circuit, j, controlling, emit_count)
+                } else {
+                    self.undet[ji] -= 1;
+                    if self.undet[ji] == 0 {
+                        self.gate_value(circuit, j, !controlling, emit_count)
+                    } else {
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    fn gate_value(
+        &mut self,
+        circuit: &Circuit,
+        j: u32,
+        v: bool,
+        emit_count: &mut [u32],
+    ) -> Result<(), RuntimeError> {
+        let ji = j as usize;
+        match self.class[ji] {
+            Class::Gate => {
+                self.value[ji] = v as i8;
+                self.queue.push_back(Ev::Det(j));
+                self.resolve(j);
+                Ok(())
+            }
+            Class::Early => {
+                self.value[ji] = v as i8;
+                self.queue.push_back(Ev::Det(j));
+                if v {
+                    self.arm(circuit, j, emit_count)
+                } else {
+                    self.resolve(j);
+                    Ok(())
+                }
+            }
+            Class::Late => {
+                if v {
+                    self.arm(circuit, j, emit_count)
+                } else {
+                    self.value[ji] = 0;
+                    self.queue.push_back(Ev::Det(j));
+                    self.resolve(j);
+                    Ok(())
+                }
+            }
+            Class::Source | Class::Test => unreachable!("gate_value on non-gate"),
+        }
+    }
+
+    fn arm(
+        &mut self,
+        circuit: &Circuit,
+        j: u32,
+        emit_count: &mut [u32],
+    ) -> Result<(), RuntimeError> {
+        self.armed[j as usize] = true;
+        if self.deps_left[j as usize] == 0 {
+            self.fire(circuit, j, emit_count)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn fire(
+        &mut self,
+        circuit: &Circuit,
+        j: u32,
+        emit_count: &mut [u32],
+    ) -> Result<(), RuntimeError> {
+        let ji = j as usize;
+        match self.class[ji] {
+            Class::Test => {
+                let v = self.eval_test(circuit, j);
+                self.value[ji] = v as i8;
+                self.queue.push_back(Ev::Det(j));
+                self.resolve(j);
+                Ok(())
+            }
+            Class::Early => {
+                self.run_action(circuit, j, emit_count)?;
+                self.resolve(j);
+                Ok(())
+            }
+            Class::Late => {
+                self.run_action(circuit, j, emit_count)?;
+                self.value[ji] = 1;
+                self.queue.push_back(Ev::Det(j));
+                self.resolve(j);
+                Ok(())
+            }
+            Class::Source | Class::Gate => unreachable!("fire on actionless net"),
+        }
+    }
+
+    fn resolve(&mut self, j: u32) {
+        self.resolved[j as usize] = true;
+        self.queue.push_back(Ev::Res(j));
+    }
+
+    fn env<'a>(&'a self, circuit: &'a Circuit) -> EnvView<'a> {
+        EnvView {
+            circuit,
+            values: &self.value,
+            sig_val: &self.sig_val,
+            sig_preval: &self.sig_preval,
+            vars: &self.vars,
+        }
+    }
+
+    fn eval_test(&mut self, circuit: &Circuit, j: u32) -> bool {
+        let NetKind::Test(kind) = &circuit.nets()[j as usize].kind else {
+            unreachable!("fire(Test) on non-test net");
+        };
+        match kind {
+            TestKind::Expr(e) => e.eval(&self.env(circuit)).truthy(),
+            TestKind::CounterElapsed { counter, cond } => {
+                if cond.eval(&self.env(circuit)).truthy() {
+                    let c = &mut self.counters[counter.index()];
+                    *c -= 1.0;
+                    *c <= 0.0
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn run_action(
+        &mut self,
+        circuit: &Circuit,
+        j: u32,
+        emit_count: &mut [u32],
+    ) -> Result<(), RuntimeError> {
+        let aid = circuit.nets()[j as usize]
+            .action
+            .expect("fire() requires an action");
+        match &circuit.actions()[aid.index()] {
+            Action::Emit { signal, value } => {
+                let v = value.as_ref().map(|e| e.eval(&self.env(circuit)));
+                if let Some(v) = v {
+                    self.emit_value(circuit, *signal, v, emit_count)?;
+                }
+                Ok(())
+            }
+            Action::Atom(body) => {
+                match body {
+                    AtomBody::Assign(var, e) => {
+                        let v = e.eval(&self.env(circuit));
+                        self.vars.insert(var.clone(), v);
+                    }
+                    AtomBody::Log(e) => {
+                        let v = e.eval(&self.env(circuit));
+                        self.log.push(v.to_display_string());
+                    }
+                    AtomBody::Host { f, .. } => {
+                        let f = f.clone();
+                        let mut view = AtomView {
+                            circuit,
+                            values: &self.value,
+                            sig_val: &self.sig_val,
+                            sig_preval: &self.sig_preval,
+                            vars: &mut self.vars,
+                            log: &mut self.log,
+                        };
+                        f(&mut view);
+                    }
+                }
+                Ok(())
+            }
+            Action::CounterReset { counter, value } => {
+                let v = value.eval(&self.env(circuit)).as_num();
+                self.counters[counter.index()] = v.floor();
+                Ok(())
+            }
+            Action::AsyncSpawn(id) => {
+                self.next_instance += 1;
+                let instance = self.next_instance;
+                {
+                    let rt = &mut self.asyncs[id.index()];
+                    rt.active = true;
+                    rt.instance = instance;
+                    rt.state = Rc::new(RefCell::new(Value::Null));
+                    rt.notified = None;
+                }
+                self.call_hook(circuit, *id, HookKind::Spawn);
+                Ok(())
+            }
+            Action::AsyncKill(id) => {
+                if self.asyncs[id.index()].active {
+                    self.call_hook(circuit, *id, HookKind::Kill);
+                    self.asyncs[id.index()].active = false;
+                }
+                Ok(())
+            }
+            Action::AsyncSuspend(id) => {
+                if self.asyncs[id.index()].active {
+                    self.call_hook(circuit, *id, HookKind::Suspend);
+                }
+                Ok(())
+            }
+            Action::AsyncResume(id) => {
+                if self.asyncs[id.index()].active {
+                    self.call_hook(circuit, *id, HookKind::Resume);
+                }
+                Ok(())
+            }
+            Action::AsyncDone(id) => {
+                let v = self.asyncs[id.index()].notified.take().unwrap_or(Value::Null);
+                self.asyncs[id.index()].active = false;
+                if let Some(sig) = circuit.asyncs()[id.index()].signal {
+                    self.emit_value(circuit, sig, v, emit_count)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn emit_value(
+        &mut self,
+        circuit: &Circuit,
+        sig: SignalId,
+        v: Value,
+        emit_count: &mut [u32],
+    ) -> Result<(), RuntimeError> {
+        let si = sig.index();
+        if emit_count[si] == 0 {
+            self.sig_val[si] = v;
+        } else {
+            match &circuit.signal(sig).combine {
+                Some(c) => {
+                    let merged = c.apply(&self.sig_val[si], &v);
+                    self.sig_val[si] = merged;
+                }
+                None => {
+                    return Err(RuntimeError::MultipleEmit {
+                        signal: circuit.signal(sig).name.clone(),
+                    })
+                }
+            }
+        }
+        emit_count[si] += 1;
+        Ok(())
+    }
+
+    fn call_hook(&mut self, circuit: &Circuit, id: AsyncId, kind: HookKind) {
+        let info = &circuit.asyncs()[id.index()];
+        let hook = match kind {
+            HookKind::Spawn => info.spec.on_spawn.clone(),
+            HookKind::Kill => info.spec.on_kill.clone(),
+            HookKind::Suspend => info.spec.on_suspend.clone(),
+            HookKind::Resume => info.spec.on_resume.clone(),
+        };
+        let Some(hook) = hook else { return };
+        let rt = &self.asyncs[id.index()];
+        let handle = AsyncHandle::new(self.mailbox.clone(), id.0, rt.instance, rt.state.clone());
+        let env = self.env(circuit);
+        let mut ctx = AsyncCtx {
+            handle,
+            env: &env,
+        };
+        (hook.f)(&mut ctx);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum HookKind {
+    Spawn,
+    Kill,
+    Suspend,
+    Resume,
+}

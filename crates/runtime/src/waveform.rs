@@ -1,0 +1,184 @@
+//! Signal waveform recording — a timing-diagram view of reactions, the
+//! natural debugging aid for a synchronous language.
+//!
+//! ```text
+//! instant    0123456789
+//! login      ▁▁█▁▁▁█▁▁▁
+//! connState  ▁▁c▁▁▁C▁▁▁   (value changes marked)
+//! ```
+//!
+//! Attach a [`Waveform`] to a machine with [`Waveform::attach`]; it
+//! records through the machine's reaction listener and renders on demand.
+
+use crate::machine::{Machine, Reaction};
+use hiphop_core::value::Value;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// One signal's recorded history.
+#[derive(Debug, Clone, Default)]
+struct Track {
+    present: Vec<bool>,
+    values: Vec<Value>,
+}
+
+/// A recorder of output-signal activity across reactions.
+#[derive(Debug, Default)]
+pub struct Waveform {
+    signals: Vec<String>,
+    tracks: Vec<Track>,
+    instants: usize,
+}
+
+/// Shared handle returned by [`Waveform::attach`].
+pub type SharedWaveform = Rc<RefCell<Waveform>>;
+
+impl Waveform {
+    /// Creates a recorder for the given output signals.
+    pub fn new(signals: &[&str]) -> Waveform {
+        Waveform {
+            signals: signals.iter().map(|s| (*s).to_owned()).collect(),
+            tracks: vec![Track::default(); signals.len()],
+            instants: 0,
+        }
+    }
+
+    /// Wraps the recorder in a shared handle and registers it as a
+    /// reaction listener on `machine`.
+    pub fn attach(self, machine: &mut Machine) -> SharedWaveform {
+        let shared = Rc::new(RefCell::new(self));
+        let clone = shared.clone();
+        machine.on_reaction(move |r| clone.borrow_mut().record(r));
+        shared
+    }
+
+    /// Records one reaction.
+    pub fn record(&mut self, reaction: &Reaction) {
+        self.instants += 1;
+        for (i, name) in self.signals.iter().enumerate() {
+            let (present, value) = reaction
+                .output(name)
+                .map(|o| (o.present, o.value.clone()))
+                .unwrap_or((false, Value::Null));
+            self.tracks[i].present.push(present);
+            self.tracks[i].values.push(value);
+        }
+    }
+
+    /// Number of recorded instants.
+    pub fn len(&self) -> usize {
+        self.instants
+    }
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.instants == 0
+    }
+
+    /// Presence history of a signal.
+    pub fn presences(&self, signal: &str) -> Option<&[bool]> {
+        self.signals
+            .iter()
+            .position(|s| s == signal)
+            .map(|i| self.tracks[i].present.as_slice())
+    }
+
+    /// Instants at which the signal's *value* changed (including the
+    /// first recorded instant).
+    pub fn value_changes(&self, signal: &str) -> Vec<(usize, Value)> {
+        let Some(i) = self.signals.iter().position(|s| s == signal) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut last: Option<&Value> = None;
+        for (t, v) in self.tracks[i].values.iter().enumerate() {
+            if last != Some(v) {
+                out.push((t, v.clone()));
+                last = Some(v);
+            }
+        }
+        out
+    }
+
+    /// Renders the ASCII timing diagram.
+    pub fn render(&self) -> String {
+        let width = self.signals.iter().map(String::len).max().unwrap_or(0).max(7);
+        let mut out = String::new();
+        let _ = write!(out, "{:<width$} ", "instant");
+        for t in 0..self.instants {
+            let _ = write!(out, "{}", t % 10);
+        }
+        out.push('\n');
+        for (i, name) in self.signals.iter().enumerate() {
+            let _ = write!(out, "{name:<width$} ");
+            for &p in &self.tracks[i].present {
+                out.push(if p { '█' } else { '▁' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiphop_core::prelude::*;
+
+    fn blinker() -> Machine {
+        let m = Module::new("blink")
+            .input(SignalDecl::new("tick", Direction::In))
+            .output(SignalDecl::new("led", Direction::Out).with_init(0i64))
+            .body(Stmt::every(
+                Delay::count(Expr::num(2.0), Expr::now("tick")),
+                Stmt::emit_val("led", Expr::preval("led").add(Expr::num(1.0))),
+            ));
+        crate::machine_for(&m, &ModuleRegistry::new()).expect("compiles")
+    }
+
+    #[test]
+    fn records_presence_pattern() {
+        let mut machine = blinker();
+        let wf = Waveform::new(&["led"]).attach(&mut machine);
+        machine.react().unwrap();
+        for _ in 0..6 {
+            machine
+                .react_with(&[("tick", Value::Bool(true))])
+                .unwrap();
+        }
+        let wf = wf.borrow();
+        assert_eq!(wf.len(), 7);
+        assert_eq!(
+            wf.presences("led").unwrap(),
+            &[false, false, true, false, true, false, true],
+            "every second tick"
+        );
+        assert_eq!(wf.presences("nope"), None);
+    }
+
+    #[test]
+    fn value_changes_are_tracked() {
+        let mut machine = blinker();
+        let wf = Waveform::new(&["led"]).attach(&mut machine);
+        machine.react().unwrap();
+        for _ in 0..4 {
+            machine.react_with(&[("tick", Value::Bool(true))]).unwrap();
+        }
+        let changes = wf.borrow().value_changes("led");
+        let nums: Vec<f64> = changes.iter().map(|(_, v)| v.as_num()).collect();
+        assert_eq!(nums, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn render_shows_blocks() {
+        let mut machine = blinker();
+        let wf = Waveform::new(&["led"]).attach(&mut machine);
+        machine.react().unwrap();
+        machine.react_with(&[("tick", Value::Bool(true))]).unwrap();
+        machine.react_with(&[("tick", Value::Bool(true))]).unwrap();
+        let text = wf.borrow().render();
+        assert!(text.contains("instant 012"), "{text}");
+        assert!(text.contains("led"), "{text}");
+        assert!(text.contains("▁▁█"), "{text}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Behavioral tests of the reusable temporal-module library
+//! (`hiphop_core::library`).
+
+use hiphop_core::library;
+use hiphop_core::prelude::*;
+use hiphop_runtime::{machine_for, Machine};
+
+const T: fn() -> Value = || Value::Bool(true);
+
+fn instantiate(module_name: &str, binds: Vec<RunBind>, iface: &[(&str, Direction)]) -> Machine {
+    let mut reg = ModuleRegistry::new();
+    library::register_all(&mut reg);
+    let mut main = Module::new("Main");
+    for (n, d) in iface {
+        main = main.signal(SignalDecl::new(*n, *d));
+    }
+    machine_for(&main.body(Stmt::run_with(module_name, binds)), &reg).expect("compiles")
+}
+
+#[test]
+fn debounce_waits_for_quiet() {
+    let mut m = instantiate(
+        "Debounce",
+        vec![RunBind::Var {
+            name: "n".into(),
+            value: Expr::num(2.0),
+        }],
+        &[
+            ("sig", Direction::In),
+            ("tick", Direction::In),
+            ("debounced", Direction::Out),
+        ],
+    );
+    m.react().unwrap();
+    m.react_with(&[("sig", T())]).unwrap();
+    assert!(!m.react_with(&[("tick", T())]).unwrap().present("debounced"));
+    // A new sig restarts the quiet window.
+    m.react_with(&[("sig", T())]).unwrap();
+    assert!(!m.react_with(&[("tick", T())]).unwrap().present("debounced"));
+    assert!(m.react_with(&[("tick", T())]).unwrap().present("debounced"));
+    // Stays quiet afterwards.
+    assert!(!m.react_with(&[("tick", T())]).unwrap().present("debounced"));
+}
+
+#[test]
+fn watchdog_alarms_without_kicks() {
+    let mut m = instantiate(
+        "Watchdog",
+        vec![RunBind::Var {
+            name: "n".into(),
+            value: Expr::num(3.0),
+        }],
+        &[
+            ("kick", Direction::In),
+            ("tick", Direction::In),
+            ("alarm", Direction::Out),
+        ],
+    );
+    m.react().unwrap();
+    m.react_with(&[("tick", T())]).unwrap();
+    m.react_with(&[("tick", T())]).unwrap();
+    assert!(!m.react_with(&[("kick", T())]).unwrap().present("alarm"), "kick resets");
+    m.react_with(&[("tick", T())]).unwrap();
+    m.react_with(&[("tick", T())]).unwrap();
+    let r = m.react_with(&[("tick", T())]).unwrap();
+    assert!(r.present("alarm"), "3 unkicked ticks raise the alarm");
+    // Sustained until the next kick.
+    assert!(m.react_with(&[("tick", T())]).unwrap().present("alarm"));
+    assert!(!m.react_with(&[("kick", T())]).unwrap().present("alarm"));
+}
+
+#[test]
+fn timeout_guard_races_done_against_the_clock() {
+    let mut m = instantiate(
+        "TimeoutGuard",
+        vec![RunBind::Var {
+            name: "n".into(),
+            value: Expr::num(2.0),
+        }],
+        &[
+            ("start", Direction::In),
+            ("done", Direction::In),
+            ("tick", Direction::In),
+            ("timeout", Direction::Out),
+        ],
+    );
+    m.react().unwrap();
+    // Fast completion: no timeout.
+    m.react_with(&[("start", T())]).unwrap();
+    m.react_with(&[("tick", T())]).unwrap();
+    assert!(!m.react_with(&[("done", T())]).unwrap().present("timeout"));
+    // Slow completion: timeout after 2 ticks.
+    m.react_with(&[("start", T())]).unwrap();
+    m.react_with(&[("tick", T())]).unwrap();
+    let r = m.react_with(&[("tick", T())]).unwrap();
+    assert!(r.present("timeout"));
+    // Late done is ignored (the guard already exited).
+    assert!(!m.react_with(&[("done", T())]).unwrap().present("timeout"));
+}
+
+#[test]
+fn rising_edge_fires_once_per_edge() {
+    let mut m = instantiate(
+        "RisingEdge",
+        vec![],
+        &[("sig", Direction::In), ("rise", Direction::Out)],
+    );
+    m.react().unwrap();
+    assert!(m.react_with(&[("sig", T())]).unwrap().present("rise"));
+    assert!(!m.react_with(&[("sig", T())]).unwrap().present("rise"), "level, not edge");
+    m.react().unwrap(); // gap
+    assert!(m.react_with(&[("sig", T())]).unwrap().present("rise"));
+}
+
+#[test]
+fn pulse_divider_divides() {
+    let mut m = instantiate(
+        "PulseDivider",
+        vec![RunBind::Var {
+            name: "n".into(),
+            value: Expr::num(3.0),
+        }],
+        &[("sig", Direction::In), ("out", Direction::Out)],
+    );
+    m.react().unwrap();
+    let mut pattern = Vec::new();
+    for _ in 0..9 {
+        pattern.push(m.react_with(&[("sig", T())]).unwrap().present("out"));
+    }
+    assert_eq!(
+        pattern,
+        [false, false, true, false, false, true, false, false, true]
+    );
+}
+
+#[test]
+fn latch_sets_and_resets() {
+    let mut m = instantiate(
+        "Latch",
+        vec![],
+        &[
+            ("set", Direction::In),
+            ("reset", Direction::In),
+            ("q", Direction::Out),
+        ],
+    );
+    m.react().unwrap();
+    assert!(m.react_with(&[("set", T())]).unwrap().present("q"));
+    assert!(m.react().unwrap().present("q"), "held");
+    assert!(!m.react_with(&[("reset", T())]).unwrap().present("q"));
+    assert!(!m.react().unwrap().present("q"));
+    // Simultaneous set+reset: reset wins (the await requires set && !reset).
+    assert!(!m
+        .react_with(&[("set", T()), ("reset", T())])
+        .unwrap()
+        .present("q"));
+}
+
+#[test]
+fn library_modules_compose_in_one_program() {
+    // Watchdog over a debounced signal: end-to-end composition via run.
+    let mut reg = ModuleRegistry::new();
+    library::register_all(&mut reg);
+    let main = Module::new("Main")
+        .input(SignalDecl::new("raw", Direction::In))
+        .input(SignalDecl::new("tick", Direction::In))
+        .inout(SignalDecl::new("clean", Direction::InOut))
+        .output(SignalDecl::new("alarm", Direction::Out))
+        .body(Stmt::par([
+            Stmt::run_with(
+                "Debounce",
+                vec![
+                    RunBind::Var {
+                        name: "n".into(),
+                        value: Expr::num(1.0),
+                    },
+                    RunBind::Signal {
+                        inner: "sig".into(),
+                        outer: "raw".into(),
+                    },
+                    RunBind::Signal {
+                        inner: "debounced".into(),
+                        outer: "clean".into(),
+                    },
+                ],
+            ),
+            Stmt::run_with(
+                "Watchdog",
+                vec![
+                    RunBind::Var {
+                        name: "n".into(),
+                        value: Expr::num(2.0),
+                    },
+                    RunBind::Signal {
+                        inner: "kick".into(),
+                        outer: "clean".into(),
+                    },
+                ],
+            ),
+        ]));
+    let mut m = machine_for(&main, &reg).expect("compiles");
+    m.react().unwrap();
+    m.react_with(&[("raw", T())]).unwrap();
+    let r = m.react_with(&[("tick", T())]).unwrap();
+    assert!(r.present("clean"), "debounced signal kicks the watchdog");
+    m.react_with(&[("tick", T())]).unwrap();
+    let r = m.react_with(&[("tick", T())]).unwrap();
+    assert!(r.present("alarm"), "no further kicks: alarm");
+}

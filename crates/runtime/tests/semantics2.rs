@@ -1,0 +1,474 @@
+//! Second semantics batch: interaction of preemption operators, deep
+//! nesting, suspension edge cases, valued-signal corners, and async
+//! generations.
+
+use hiphop_core::prelude::*;
+use hiphop_runtime::{machine_for, Machine, RuntimeError};
+
+fn machine(body: Stmt, signals: &[(&str, Direction)]) -> Machine {
+    let mut m = Module::new("test");
+    for (n, d) in signals {
+        m = m.signal(SignalDecl::new(*n, *d));
+    }
+    machine_for(&m.body(body), &ModuleRegistry::new()).expect("compiles")
+}
+
+const IN: Direction = Direction::In;
+const OUT: Direction = Direction::Out;
+const T: fn() -> Value = || Value::Bool(true);
+
+#[test]
+fn abort_inside_suspend_does_not_fire_while_suspended() {
+    // suspend (C) { abort (S) { sustain O } } — S during suspension is
+    // ignored (the abort only checks at resumption instants).
+    let body = Stmt::suspend(
+        Delay::cond(Expr::now("C")),
+        Stmt::abort(Delay::cond(Expr::now("S")), Stmt::sustain("O")),
+    );
+    let mut m = machine(body, &[("C", IN), ("S", IN), ("O", OUT)]);
+    assert!(m.react().unwrap().present("O"));
+    let r = m.react_with(&[("C", T()), ("S", T())]).unwrap();
+    assert!(!r.present("O"), "suspended");
+    assert!(!r.terminated, "abort must not fire under suspension");
+    assert!(m.react().unwrap().present("O"), "still alive after resume");
+    assert!(m.react_with(&[("S", T())]).unwrap().terminated);
+}
+
+#[test]
+fn suspend_inside_abort_still_aborts() {
+    // abort (S) { suspend (C) { sustain O } }
+    let body = Stmt::abort(
+        Delay::cond(Expr::now("S")),
+        Stmt::suspend(Delay::cond(Expr::now("C")), Stmt::sustain("O")),
+    );
+    let mut m = machine(body, &[("C", IN), ("S", IN), ("O", OUT)]);
+    m.react().unwrap();
+    let r = m.react_with(&[("C", T()), ("S", T())]).unwrap();
+    assert!(r.terminated, "outer abort wins even while inner suspends");
+}
+
+#[test]
+fn nested_every_inner_restarts_more_often() {
+    // every (A) { every (B) { emit O } }
+    let body = Stmt::every(
+        Delay::cond(Expr::now("A")),
+        Stmt::every(Delay::cond(Expr::now("B")), Stmt::emit("O")),
+    );
+    let mut m = machine(body, &[("A", IN), ("B", IN), ("O", OUT)]);
+    m.react().unwrap();
+    assert!(!m.react_with(&[("B", T())]).unwrap().present("O"), "outer not armed");
+    m.react_with(&[("A", T())]).unwrap();
+    assert!(m.react_with(&[("B", T())]).unwrap().present("O"));
+    assert!(m.react_with(&[("B", T())]).unwrap().present("O"));
+    // A restarts the inner every: B must occur again after A.
+    let r = m.react_with(&[("A", T()), ("B", T())]).unwrap();
+    assert!(!r.present("O"), "restart instant: inner every re-awaits B");
+    assert!(m.react_with(&[("B", T())]).unwrap().present("O"));
+}
+
+#[test]
+fn immediate_weak_abort_runs_body_once() {
+    let body = Stmt::Abort {
+        delay: Delay::immediate(Expr::now("S")),
+        weak: true,
+        body: Box::new(Stmt::seq([Stmt::emit("O"), Stmt::Halt])),
+        loc: Loc::synthetic(),
+    };
+    let mut m = machine(body, &[("S", IN), ("O", OUT)]);
+    let r = m.react_with(&[("S", T())]).unwrap();
+    assert!(r.present("O"), "weak immediate abort runs the body");
+    assert!(r.terminated);
+}
+
+#[test]
+fn exit_from_triple_nesting_skips_all_continuations() {
+    // L1: { L2: { L3: { break L1 } ; emit A } ; emit B } ; emit C
+    let body = Stmt::seq([
+        Stmt::trap(
+            "L1",
+            Stmt::seq([
+                Stmt::trap(
+                    "L2",
+                    Stmt::seq([Stmt::trap("L3", Stmt::exit("L1")), Stmt::emit("A")]),
+                ),
+                Stmt::emit("B"),
+            ]),
+        ),
+        Stmt::emit("C"),
+    ]);
+    let mut m = machine(body, &[("A", OUT), ("B", OUT), ("C", OUT)]);
+    let r = m.react().unwrap();
+    assert!(!r.present("A") && !r.present("B"));
+    assert!(r.present("C"), "only the code after the exited trap runs");
+}
+
+#[test]
+fn trap_label_shadowing_prefers_innermost() {
+    // L: { L: { break L } ; emit Inner } ; emit Outer
+    let body = Stmt::seq([
+        Stmt::trap(
+            "L",
+            Stmt::seq([Stmt::trap("L", Stmt::exit("L")), Stmt::emit("Inner")]),
+        ),
+        Stmt::emit("Outer"),
+    ]);
+    let mut m = machine(body, &[("Inner", OUT), ("Outer", OUT)]);
+    let r = m.react().unwrap();
+    assert!(r.present("Inner"), "inner trap caught its own exit");
+    assert!(r.present("Outer"));
+}
+
+#[test]
+fn three_way_parallel_max_code() {
+    // fork { nothing } par { pause } par { break L } inside L: exit wins.
+    let body = Stmt::seq([
+        Stmt::trap(
+            "L",
+            Stmt::par([Stmt::Nothing, Stmt::Pause, Stmt::exit("L")]),
+        ),
+        Stmt::emit("O"),
+    ]);
+    let mut m = machine(body, &[("O", OUT)]);
+    let r = m.react().unwrap();
+    assert!(r.present("O"), "max completion code (exit) wins over pause");
+    assert!(r.terminated);
+}
+
+#[test]
+fn suspended_body_keeps_signal_absent() {
+    // The suspended sustain does not emit — statuses are per instant.
+    let body = Stmt::suspend(Delay::cond(Expr::now("C")), Stmt::sustain("O"));
+    let mut m = machine(body, &[("C", IN), ("O", OUT)]);
+    assert!(m.react().unwrap().present("O"));
+    for _ in 0..3 {
+        assert!(!m.react_with(&[("C", T())]).unwrap().present("O"));
+    }
+    assert!(m.react().unwrap().present("O"));
+}
+
+#[test]
+fn await_immediate_terminates_at_start_when_present() {
+    let body = Stmt::seq([
+        Stmt::await_(Delay::immediate(Expr::now("S"))),
+        Stmt::emit("O"),
+    ]);
+    let mut m = machine(body, &[("S", IN), ("O", OUT)]);
+    let r = m.react_with(&[("S", T())]).unwrap();
+    assert!(r.present("O") && r.terminated);
+
+    // Without S at boot it behaves like a plain await.
+    let mut m = machine(
+        Stmt::seq([
+            Stmt::await_(Delay::immediate(Expr::now("S"))),
+            Stmt::emit("O"),
+        ]),
+        &[("S", IN), ("O", OUT)],
+    );
+    assert!(!m.react().unwrap().present("O"));
+    assert!(m.react_with(&[("S", T())]).unwrap().present("O"));
+}
+
+#[test]
+fn counted_abort_with_zero_count_fires_at_first_check() {
+    let body = Stmt::abort(
+        Delay::count(Expr::num(0.0), Expr::now("S")),
+        Stmt::Halt,
+    );
+    let mut m = machine(body, &[("S", IN)]);
+    m.react().unwrap();
+    assert!(m.react_with(&[("S", T())]).unwrap().terminated);
+}
+
+#[test]
+fn append_combine_collects_parallel_emissions() {
+    let module = Module::new("t")
+        .output(
+            SignalDecl::new("bag", Direction::Out)
+                .with_init(Value::Arr(vec![]))
+                .with_combine(Combine::Append),
+        )
+        .body(Stmt::par([
+            Stmt::emit_val("bag", Expr::num(1.0)),
+            Stmt::emit_val("bag", Expr::num(2.0)),
+            Stmt::emit_val("bag", Expr::num(3.0)),
+        ]));
+    let mut m = machine_for(&module, &ModuleRegistry::new()).unwrap();
+    let r = m.react().unwrap();
+    match r.value("bag") {
+        Value::Arr(items) => {
+            let mut nums: Vec<i64> = items.iter().map(|v| v.as_num() as i64).collect();
+            nums.sort_unstable();
+            assert_eq!(nums, vec![1, 2, 3]);
+        }
+        other => panic!("expected array, got {other}"),
+    }
+}
+
+#[test]
+fn input_value_combines_with_program_emission() {
+    // inout signal with combine: env value + program emission merge.
+    let module = Module::new("t")
+        .inout(
+            SignalDecl::new("x", Direction::InOut)
+                .with_init(0i64)
+                .with_combine(Combine::Plus),
+        )
+        .body(Stmt::loop_(Stmt::seq([
+            Stmt::emit_val("x", Expr::num(10.0)),
+            Stmt::Pause,
+        ])));
+    let mut m = machine_for(&module, &ModuleRegistry::new()).unwrap();
+    let r = m.react().unwrap();
+    assert_eq!(r.value("x"), Value::Num(10.0));
+    let r = m.react_with(&[("x", Value::Num(5.0))]).unwrap();
+    assert_eq!(r.value("x"), Value::Num(15.0), "5 (env) + 10 (program)");
+}
+
+#[test]
+fn input_value_without_combine_conflicts_with_emission() {
+    let module = Module::new("t")
+        .inout(SignalDecl::new("x", Direction::InOut).with_init(0i64))
+        .body(Stmt::loop_(Stmt::seq([
+            Stmt::emit_val("x", Expr::num(10.0)),
+            Stmt::Pause,
+        ])));
+    let mut m = machine_for(&module, &ModuleRegistry::new()).unwrap();
+    m.react().unwrap();
+    let err = m.react_with(&[("x", Value::Num(5.0))]).unwrap_err();
+    assert!(matches!(err, RuntimeError::MultipleEmit { .. }));
+}
+
+#[test]
+fn async_generations_drop_stale_notifies() {
+    // Two async incarnations; a notification carrying the old generation
+    // id must be ignored even if its async_id matches.
+    let body = Stmt::every(
+        Delay::cond(Expr::now("go")),
+        Stmt::seq([
+            Stmt::async_(AsyncSpec {
+                done_signal: Some("done".into()),
+                ..AsyncSpec::default()
+            }),
+            Stmt::emit("finished"),
+        ]),
+    );
+    let module = Module::new("t")
+        .input(SignalDecl::new("go", IN))
+        .inout(SignalDecl::new("done", Direction::InOut))
+        .output(SignalDecl::new("finished", OUT))
+        .body(body);
+    let mut m = machine_for(&module, &ModuleRegistry::new()).unwrap();
+    m.react().unwrap();
+    m.react_with(&[("go", T())]).unwrap(); // generation 1
+    m.react_with(&[("go", T())]).unwrap(); // kills 1, spawns generation 2
+    // Forge a stale notify for generation 1 via the mailbox (trying every
+    // compiled async instance: loop duplication creates two).
+    for id in 0..4 {
+        m.mailbox().push(MachineOp::Notify {
+            async_id: id,
+            instance: 1,
+            value: Value::Bool(true),
+        });
+    }
+    let reactions = m.drain().unwrap();
+    assert!(reactions.is_empty(), "stale notify discarded without a reaction");
+    // The live generation (instance 2, on whichever duplicated copy is
+    // active) still completes; the inactive copies drop theirs.
+    for id in 0..4 {
+        m.mailbox().push(MachineOp::Notify {
+            async_id: id,
+            instance: 2,
+            value: Value::Bool(true),
+        });
+    }
+    let reactions = m.drain().unwrap();
+    assert_eq!(reactions.len(), 1);
+    assert!(reactions[0].present("finished"));
+}
+
+#[test]
+fn every_with_counted_delay() {
+    // every (count(2, S)) { emit O } — O at every second S.
+    let body = Stmt::every(
+        Delay::count(Expr::num(2.0), Expr::now("S")),
+        Stmt::emit("O"),
+    );
+    let mut m = machine(body, &[("S", IN), ("O", OUT)]);
+    m.react().unwrap();
+    assert!(!m.react_with(&[("S", T())]).unwrap().present("O"));
+    assert!(m.react_with(&[("S", T())]).unwrap().present("O"));
+    assert!(!m.react_with(&[("S", T())]).unwrap().present("O"));
+    assert!(m.react_with(&[("S", T())]).unwrap().present("O"));
+}
+
+#[test]
+fn weak_abort_final_exit_beats_termination() {
+    // weakabort (S) { trap-free body that exits an OUTER trap at the abort
+    // instant }: the exit (higher code) must win over the abort's K0.
+    let body = Stmt::seq([
+        Stmt::trap(
+            "Out",
+            Stmt::seq([
+                Stmt::weak_abort(
+                    Delay::cond(Expr::now("S")),
+                    Stmt::seq([Stmt::Pause, Stmt::exit("Out")]),
+                ),
+                // Only reached if the weakabort terminates normally:
+                Stmt::emit("AfterAbort"),
+            ]),
+        ),
+        Stmt::emit("AfterTrap"),
+    ]);
+    let mut m = machine(body, &[("S", IN), ("AfterAbort", OUT), ("AfterTrap", OUT)]);
+    m.react().unwrap();
+    // S arrives exactly when the body resumes and exits: exit wins.
+    let r = m.react_with(&[("S", T())]).unwrap();
+    assert!(!r.present("AfterAbort"), "exit preempts the weakabort continuation");
+    assert!(r.present("AfterTrap"));
+    assert!(r.terminated);
+}
+
+#[test]
+fn signal_absent_in_termination_instant_of_sustain() {
+    let body = Stmt::seq([
+        Stmt::abort(Delay::cond(Expr::now("S")), Stmt::sustain("O")),
+        Stmt::Halt,
+    ]);
+    let mut m = machine(body, &[("S", IN), ("O", OUT)]);
+    assert!(m.react().unwrap().present("O"));
+    let r = m.react_with(&[("S", T())]).unwrap();
+    assert!(!r.present("O"), "strong abort: no emission at the abort instant");
+    assert!(!m.react().unwrap().present("O"));
+}
+
+#[test]
+fn pre_chain_two_instants_back_via_local() {
+    // prev holds S delayed by one instant; prev.pre is S two instants back.
+    let body = Stmt::local(
+        vec![SignalDecl::new("prev", Direction::Local)],
+        Stmt::par([
+            Stmt::loop_(Stmt::seq([
+                Stmt::if_(Expr::pre("S"), Stmt::emit("prev")),
+                Stmt::Pause,
+            ])),
+            Stmt::loop_(Stmt::seq([
+                Stmt::if_(Expr::pre("prev"), Stmt::emit("O")),
+                Stmt::Pause,
+            ])),
+        ]),
+    );
+    let mut m = machine(body, &[("S", IN), ("O", OUT)]);
+    m.react().unwrap();
+    m.react_with(&[("S", T())]).unwrap();
+    assert!(!m.react().unwrap().present("O"), "one instant after S");
+    assert!(m.react().unwrap().present("O"), "two instants after S");
+    assert!(!m.react().unwrap().present("O"));
+}
+
+#[test]
+fn var_binding_through_nested_runs() {
+    let mut reg = ModuleRegistry::new();
+    reg.register(
+        Module::new("Leaf")
+            .var(VarDecl::new("n"))
+            .output(SignalDecl::new("out", OUT).with_init(0i64))
+            .body(Stmt::emit_val("out", Expr::var("n"))),
+    );
+    reg.register(
+        Module::new("Mid")
+            .var(VarDecl::new("m"))
+            .output(SignalDecl::new("out", OUT))
+            .body(Stmt::run_with(
+                "Leaf",
+                vec![RunBind::Var {
+                    name: "n".into(),
+                    value: Expr::var("m").mul(Expr::num(2.0)),
+                }],
+            )),
+    );
+    let main = Module::new("Main")
+        .output(SignalDecl::new("out", OUT).with_init(0i64))
+        .body(Stmt::run_with(
+            "Mid",
+            vec![RunBind::Var {
+                name: "m".into(),
+                value: Expr::num(21.0),
+            }],
+        ));
+    let mut m = machine_for(&main, &reg).unwrap();
+    let r = m.react().unwrap();
+    assert_eq!(r.value("out"), Value::Num(42.0), "vars fold through run chains");
+}
+
+#[test]
+fn constructive_cycles_execute_when_resolvable() {
+    // X = A ∨ (B ∧ X): a statically cyclic circuit (paper §5.2: "some
+    // cycles that always lead to correct execution can be useful...
+    // At runtime, correct cycles are correctly computed, but synchronous
+    // deadlocks cycles are always detected").
+    //
+    // Pure-presence conditions compile to gates, so the cycle is resolved
+    // constructively instant by instant:
+    //   - A present: the OR is 1 regardless of X → X emitted;
+    //   - A and B absent: the AND is 0 → X absent;
+    //   - only B present: X's status truly depends on itself → deadlock.
+    let body = Stmt::local(
+        vec![SignalDecl::new("X", Direction::Local)],
+        Stmt::loop_(Stmt::seq([
+            Stmt::if_(
+                Expr::now("A").or(Expr::now("B").and(Expr::now("X"))),
+                Stmt::seq([Stmt::emit("X"), Stmt::emit("O")]),
+            ),
+            Stmt::Pause,
+        ])),
+    );
+    let mut m = machine(body, &[("A", IN), ("B", IN), ("O", OUT)]);
+
+    // The compiler statically warns about the potential cycle.
+    assert!(!m.react().unwrap().present("O"), "nothing present: X absent");
+    assert!(m.react_with(&[("A", T())]).unwrap().present("O"), "A forces the cycle");
+    assert!(
+        m.react_with(&[("A", T()), ("B", T())]).unwrap().present("O"),
+        "A dominates"
+    );
+    // Only B: the instant is non-constructive.
+    let err = m.react_with(&[("B", T())]).unwrap_err();
+    assert!(matches!(err, RuntimeError::Causality { .. }), "{err}");
+}
+
+#[test]
+fn terminated_machine_stays_quiescent() {
+    let mut m = machine(Stmt::emit("O"), &[("O", OUT)]);
+    let r = m.react().unwrap();
+    assert!(r.present("O") && r.terminated);
+    for _ in 0..3 {
+        let r = m.react_with(&[]).unwrap();
+        assert!(!r.present("O"));
+        assert!(r.terminated);
+    }
+}
+
+#[test]
+fn outputs_report_persisted_values_when_absent() {
+    let mut m = machine(
+        Stmt::seq([Stmt::Pause, Stmt::Halt]),
+        &[("V", OUT)],
+    );
+    // V never emitted: present=false, value = Null (no init).
+    let r = m.react().unwrap();
+    assert!(!r.present("V"));
+    assert_eq!(r.value("V"), Value::Null);
+}
+
+#[test]
+fn seq_of_emits_is_one_instant() {
+    let body = Stmt::seq([
+        Stmt::emit("A"),
+        Stmt::emit("B"),
+        Stmt::emit("C"),
+    ]);
+    let mut m = machine(body, &[("A", OUT), ("B", OUT), ("C", OUT)]);
+    let r = m.react().unwrap();
+    assert!(r.present("A") && r.present("B") && r.present("C"));
+    assert!(r.terminated, "all in the boot instant");
+}

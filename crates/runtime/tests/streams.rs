@@ -1,0 +1,117 @@
+//! Behavioral tests of the temporal-stream combinators (the paper's §6
+//! future-work feature), composed through `run` and executed on the
+//! machine.
+
+use hiphop_core::prelude::*;
+use hiphop_core::streams;
+use hiphop_runtime::machine_for;
+
+#[test]
+fn map_filter_fold_pipeline_is_instantaneous() {
+    // src --double--> m --only >4--> f --sum--> acc, all in one reaction.
+    let mut reg = ModuleRegistry::new();
+    reg.register(streams::map_stream("src", "m", |x| x.mul(Expr::num(2.0))));
+    reg.register(streams::filter_stream("m", "f", |x| x.gt(Expr::num(4.0))));
+    reg.register(streams::fold_stream("f", "acc", 0i64, |a, x| a.add(x)));
+    let main = Module::new("Pipe")
+        .input(SignalDecl::new("src", Direction::In))
+        .inout(SignalDecl::new("m", Direction::InOut))
+        .inout(SignalDecl::new("f", Direction::InOut))
+        .output(SignalDecl::new("acc", Direction::Out).with_init(0i64))
+        .body(Stmt::par([
+            Stmt::run("Map_src_m"),
+            Stmt::run("Filter_m_f"),
+            Stmt::run("Fold_f_acc"),
+        ]));
+    let mut machine = machine_for(&main, &reg).expect("compiles");
+    machine.react().unwrap();
+    // 1*2=2 → filtered out.
+    let r = machine.react_with(&[("src", Value::Num(1.0))]).unwrap();
+    assert!(!r.present("acc"));
+    // 3*2=6 → passes → acc=6, same instant as the input.
+    let r = machine.react_with(&[("src", Value::Num(3.0))]).unwrap();
+    assert!(r.present("acc"));
+    assert_eq!(r.value("acc"), Value::Num(6.0));
+    // 5*2=10 → acc=16.
+    let r = machine.react_with(&[("src", Value::Num(5.0))]).unwrap();
+    assert_eq!(r.value("acc"), Value::Num(16.0));
+}
+
+#[test]
+fn distinct_drops_repeats() {
+    let mut reg = ModuleRegistry::new();
+    reg.register(streams::distinct_stream("src", "out"));
+    let main = Module::new("D")
+        .input(SignalDecl::new("src", Direction::In))
+        .output(SignalDecl::new("out", Direction::Out))
+        .body(Stmt::run("Distinct_src_out"));
+    let mut m = machine_for(&main, &reg).expect("compiles");
+    m.react().unwrap();
+    assert!(m.react_with(&[("src", Value::Num(1.0))]).unwrap().present("out"));
+    assert!(!m.react_with(&[("src", Value::Num(1.0))]).unwrap().present("out"));
+    assert!(m.react_with(&[("src", Value::Num(2.0))]).unwrap().present("out"));
+    assert!(m.react_with(&[("src", Value::Num(1.0))]).unwrap().present("out"));
+}
+
+#[test]
+fn zip_latest_pairs_most_recent_values() {
+    let mut reg = ModuleRegistry::new();
+    reg.register(streams::zip_latest("a", "b", "pair"));
+    let main = Module::new("Z")
+        .input(SignalDecl::new("a", Direction::In))
+        .input(SignalDecl::new("b", Direction::In))
+        .output(SignalDecl::new("pair", Direction::Out))
+        .body(Stmt::run("Zip_a_b_pair"));
+    let mut m = machine_for(&main, &reg).expect("compiles");
+    m.react().unwrap();
+    let r = m.react_with(&[("a", Value::Num(1.0))]).unwrap();
+    assert_eq!(r.value("pair"), Value::Arr(vec![Value::Num(1.0), Value::Null]));
+    let r = m.react_with(&[("b", Value::Num(9.0))]).unwrap();
+    assert_eq!(r.value("pair"), Value::Arr(vec![Value::Num(1.0), Value::Num(9.0)]));
+    let r = m
+        .react_with(&[("a", Value::Num(2.0)), ("b", Value::Num(8.0))])
+        .unwrap();
+    assert_eq!(r.value("pair"), Value::Arr(vec![Value::Num(2.0), Value::Num(8.0)]));
+}
+
+#[test]
+fn sliding_window_keeps_last_n() {
+    let mut reg = ModuleRegistry::new();
+    reg.register(streams::window_stream("src", "w", 3));
+    let main = Module::new("W")
+        .input(SignalDecl::new("src", Direction::In))
+        .output(SignalDecl::new("w", Direction::Out).with_init(Value::Arr(vec![])))
+        .body(Stmt::run("Window_src_w"));
+    let mut m = machine_for(&main, &reg).expect("compiles");
+    m.react().unwrap();
+    for i in 1..=5 {
+        m.react_with(&[("src", Value::Num(i as f64))]).unwrap();
+    }
+    assert_eq!(
+        m.nowval("w"),
+        Value::from(vec![3i64, 4, 5]),
+        "window of the last three"
+    );
+}
+
+#[test]
+fn streams_compose_with_preemption() {
+    // A folded stream inside an abort: preemption applies to dataflow too.
+    let mut reg = ModuleRegistry::new();
+    reg.register(streams::fold_stream("src", "acc", 0i64, |a, x| a.add(x)));
+    let main = Module::new("P")
+        .input(SignalDecl::new("src", Direction::In))
+        .input(SignalDecl::new("stop", Direction::In))
+        .output(SignalDecl::new("acc", Direction::Out).with_init(0i64))
+        .body(Stmt::abort(
+            Delay::cond(Expr::now("stop")),
+            Stmt::run("Fold_src_acc"),
+        ));
+    let mut m = machine_for(&main, &reg).expect("compiles");
+    m.react().unwrap();
+    m.react_with(&[("src", Value::Num(5.0))]).unwrap();
+    m.react_with(&[("stop", Value::Bool(true))]).unwrap();
+    let r = m.react_with(&[("src", Value::Num(7.0))]).unwrap();
+    assert!(!r.present("acc"), "aborted fold ignores further elements");
+    assert_eq!(m.nowval("acc"), Value::Num(5.0));
+}

@@ -1,0 +1,137 @@
+//! The audience simulator: the crowd of connected smartphones choosing
+//! patterns from active groups (substitute for the paper's live
+//! participants).
+//!
+//! Deterministic under a seed, so performances replay identically.
+
+use crate::composition::{Composition, PatternId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// One audience selection: a pattern in a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// The group the selection came from.
+    pub group: String,
+    /// The chosen pattern.
+    pub pattern: PatternId,
+}
+
+/// A simulated audience.
+pub struct Audience {
+    rng: StdRng,
+    /// Probability (0–1) that any member selects during a beat, per
+    /// active group.
+    pub enthusiasm: f64,
+    used_tank_patterns: HashMap<String, HashSet<PatternId>>,
+}
+
+impl Audience {
+    /// A seeded audience.
+    pub fn new(seed: u64, enthusiasm: f64) -> Audience {
+        Audience {
+            rng: StdRng::seed_from_u64(seed),
+            enthusiasm,
+            used_tank_patterns: HashMap::new(),
+        }
+    }
+
+    /// Given the groups currently offered, produce this beat's
+    /// selections. Tank patterns are never selected twice (the phone GUI
+    /// greys them out).
+    pub fn pick(&mut self, comp: &Composition, active: &[String]) -> Vec<Selection> {
+        let mut out = Vec::new();
+        for name in active {
+            let Some(group) = comp.group(name) else { continue };
+            if self.rng.gen::<f64>() > self.enthusiasm {
+                continue;
+            }
+            let used = self.used_tank_patterns.entry(name.clone()).or_default();
+            let candidates: Vec<PatternId> = group
+                .patterns
+                .iter()
+                .copied()
+                .filter(|p| !group.tank || !used.contains(p))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let pick = candidates[self.rng.gen_range(0..candidates.len())];
+            if group.tank {
+                used.insert(pick);
+            }
+            out.push(Selection {
+                group: name.clone(),
+                pattern: pick,
+            });
+        }
+        out
+    }
+
+    /// Clears tank memory (new performance).
+    pub fn reset(&mut self) {
+        self.used_tank_patterns.clear();
+    }
+}
+
+impl std::fmt::Debug for Audience {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Audience")
+            .field("enthusiasm", &self.enthusiasm)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp() -> Composition {
+        let mut c = Composition::new();
+        c.add_group("G", "piano", 4, false);
+        c.add_group("T", "brass", 3, true);
+        c
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c = comp();
+        let active = vec!["G".to_owned(), "T".to_owned()];
+        let run = |seed| {
+            let mut a = Audience::new(seed, 1.0);
+            (0..10).map(|_| a.pick(&c, &active)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn tank_patterns_selected_once() {
+        let c = comp();
+        let mut a = Audience::new(7, 1.0);
+        let active = vec!["T".to_owned()];
+        let mut seen = HashSet::new();
+        for _ in 0..20 {
+            for s in a.pick(&c, &active) {
+                assert!(seen.insert(s.pattern), "tank pattern repeated");
+            }
+        }
+        assert_eq!(seen.len(), 3, "tank exhausted");
+    }
+
+    #[test]
+    fn zero_enthusiasm_selects_nothing() {
+        let c = comp();
+        let mut a = Audience::new(1, 0.0);
+        assert!(a.pick(&c, &["G".to_owned()]).is_empty());
+    }
+
+    #[test]
+    fn inactive_groups_are_ignored() {
+        let c = comp();
+        let mut a = Audience::new(1, 1.0);
+        assert!(a.pick(&c, &[]).is_empty());
+        assert!(a.pick(&c, &["Nope".to_owned()]).is_empty());
+    }
+}

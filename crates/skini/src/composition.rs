@@ -1,0 +1,125 @@
+//! Musical material: patterns, groups and tanks (paper §4.2.1).
+//!
+//! "The composer first creates a set of music patterns … Patterns are
+//! accessible for selection to the audience only via *groups* and *tanks*
+//! that are activated or deactivated upon audience interactions. Patterns
+//! in an active group (resp. tank) can be selected multiple times (resp.
+//! only once)."
+
+use std::collections::HashMap;
+
+/// Identifier of a pattern within a composition.
+pub type PatternId = u32;
+
+/// A brief composed music element (1–2 seconds in the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// Unique id.
+    pub id: PatternId,
+    /// Display name.
+    pub name: String,
+    /// Instrument family (for the DAW simulator's channels).
+    pub instrument: String,
+    /// Length in beats.
+    pub duration_beats: u32,
+}
+
+/// A named set of patterns the audience can select from while active.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Group name; also the base name of its HipHop signals
+    /// (`<name>In` / `<name>State`).
+    pub name: String,
+    /// Member patterns.
+    pub patterns: Vec<PatternId>,
+    /// Tanks are groups whose patterns can each be selected only once.
+    pub tank: bool,
+}
+
+/// A composition: the pattern/group material a score orchestrates.
+#[derive(Debug, Clone, Default)]
+pub struct Composition {
+    patterns: Vec<Pattern>,
+    groups: Vec<Group>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Composition {
+    /// An empty composition.
+    pub fn new() -> Composition {
+        Composition::default()
+    }
+
+    /// Adds `count` patterns for `instrument`, grouped under `group_name`.
+    pub fn add_group(
+        &mut self,
+        group_name: &str,
+        instrument: &str,
+        count: u32,
+        tank: bool,
+    ) -> &mut Self {
+        let mut ids = Vec::new();
+        for i in 0..count {
+            let id = self.patterns.len() as PatternId;
+            self.patterns.push(Pattern {
+                id,
+                name: format!("{group_name}#{i}"),
+                instrument: instrument.to_owned(),
+                duration_beats: 1 + (i % 2),
+            });
+            ids.push(id);
+        }
+        self.by_name.insert(group_name.to_owned(), self.groups.len());
+        self.groups.push(Group {
+            name: group_name.to_owned(),
+            patterns: ids,
+            tank,
+        });
+        self
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+    /// All patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+    /// A group by name.
+    pub fn group(&self, name: &str) -> Option<&Group> {
+        self.by_name.get(name).map(|&i| &self.groups[i])
+    }
+    /// A pattern by id.
+    pub fn pattern(&self, id: PatternId) -> Option<&Pattern> {
+        self.patterns.get(id as usize)
+    }
+    /// The input-signal name for a group (audience selections).
+    pub fn in_signal(group: &str) -> String {
+        format!("{group}In")
+    }
+    /// The activation-signal name for a group.
+    pub fn state_signal(group: &str) -> String {
+        format!("{group}State")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_patterns_register() {
+        let mut c = Composition::new();
+        c.add_group("Cellos", "strings", 5, false)
+            .add_group("TrombonesTank", "brass", 3, true);
+        assert_eq!(c.groups().len(), 2);
+        assert_eq!(c.patterns().len(), 8);
+        let tank = c.group("TrombonesTank").expect("registered");
+        assert!(tank.tank);
+        assert_eq!(tank.patterns.len(), 3);
+        assert_eq!(c.pattern(0).expect("exists").instrument, "strings");
+        assert_eq!(Composition::in_signal("Cellos"), "CellosIn");
+        assert_eq!(Composition::state_signal("Cellos"), "CellosState");
+    }
+}

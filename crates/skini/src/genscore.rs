@@ -1,0 +1,160 @@
+//! Generated score families for the §5.3 experiments.
+//!
+//! "Skini music scores are much bigger programs … a typical classical
+//! music score can compile into up to 10,000 nets, which occupy about
+//! 2.1MB of memory." This module generates realistic score shapes at any
+//! size: a sequence of movements, each a parallel composition of group
+//! offers with per-movement timeouts, exclusion constraints and
+//! decoration (exactly the orchestration patterns §4.2.2 lists).
+
+use crate::composition::Composition;
+use crate::score::ScoreBuilder;
+use hiphop_core::prelude::*;
+
+/// Parameters of a generated score.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoreShape {
+    /// Number of sequential movements.
+    pub movements: u32,
+    /// Parallel groups per movement.
+    pub groups_per_movement: u32,
+    /// Patterns per group.
+    pub patterns_per_group: u32,
+    /// Audience selections required to finish a group's offer.
+    pub selections_per_group: u32,
+}
+
+impl ScoreShape {
+    /// A small rehearsal score.
+    pub fn small() -> ScoreShape {
+        ScoreShape {
+            movements: 2,
+            groups_per_movement: 2,
+            patterns_per_group: 3,
+            selections_per_group: 2,
+        }
+    }
+    /// A typical concert score.
+    pub fn concert() -> ScoreShape {
+        ScoreShape {
+            movements: 8,
+            groups_per_movement: 4,
+            patterns_per_group: 6,
+            selections_per_group: 3,
+        }
+    }
+    /// A large classical score (the paper's ~10k-net scale).
+    pub fn classical() -> ScoreShape {
+        ScoreShape {
+            movements: 64,
+            groups_per_movement: 8,
+            patterns_per_group: 8,
+            selections_per_group: 4,
+        }
+    }
+}
+
+const INSTRUMENTS: &[&str] = &[
+    "strings", "brass", "winds", "percussion", "piano", "choir", "synth", "harp",
+];
+
+/// Generates a score of the given shape. Returns the module (with a
+/// `beat` input and a `movement` output) and its composition.
+pub fn generate(shape: ScoreShape) -> (Module, Composition) {
+    let mut comp = Composition::new();
+    for m in 0..shape.movements {
+        for g in 0..shape.groups_per_movement {
+            let name = format!("M{m}G{g}");
+            let instrument = INSTRUMENTS[(m + g) as usize % INSTRUMENTS.len()];
+            // Every third group is a tank.
+            comp.add_group(&name, instrument, shape.patterns_per_group, g % 3 == 2);
+        }
+    }
+
+    let b = ScoreBuilder::new(&comp);
+    let mut movements = Vec::new();
+    for m in 0..shape.movements {
+        let mut branches = Vec::new();
+        for g in 0..shape.groups_per_movement {
+            let name = format!("M{m}G{g}");
+            let offer = if g % 3 == 2 {
+                b.tank(&name)
+            } else {
+                b.offer(&name, shape.selections_per_group)
+            };
+            // Decorate every other group with a per-group abort on the
+            // movement-relative beat (a "deactivate after the audience has
+            // adopted a behavior" constraint).
+            let branch = if g % 2 == 1 {
+                Stmt::seq([
+                    Stmt::abort(
+                        Delay::count(
+                            Expr::num((16 * (g + 1)) as f64),
+                            Expr::now("beat"),
+                        ),
+                        offer,
+                    ),
+                    b.deactivate(&name),
+                ])
+            } else {
+                offer
+            };
+            branches.push(branch);
+        }
+        // The movement ends when all offers are done, or after a hard
+        // timeout of 64 beats (the composer's structural constraint).
+        let body = Stmt::seq([
+            Stmt::emit_val("movement", Expr::num(m as f64)),
+            Stmt::abort(
+                Delay::count(Expr::num(64.0), Expr::now("beat")),
+                Stmt::seq([Stmt::par(branches), Stmt::Halt]),
+            ),
+        ]);
+        movements.push(body);
+    }
+
+    let module = b
+        .interface(Module::new(format!(
+            "GenScore{}x{}",
+            shape.movements, shape.groups_per_movement
+        )))
+        .input(SignalDecl::new("beat", Direction::In).with_init(0i64))
+        .output(SignalDecl::new("movement", Direction::Out).with_init(-1));
+    (module.body(Stmt::seq(movements)), comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiphop_compiler::compile_module;
+    use hiphop_core::module::ModuleRegistry;
+
+    #[test]
+    fn generated_scores_compile_and_scale() {
+        let small = generate(ScoreShape::small());
+        let concert = generate(ScoreShape::concert());
+        let c_small = compile_module(&small.0, &ModuleRegistry::new()).expect("small compiles");
+        let c_concert =
+            compile_module(&concert.0, &ModuleRegistry::new()).expect("concert compiles");
+        let (n1, n2) = (c_small.circuit.stats().nets, c_concert.circuit.stats().nets);
+        assert!(n2 > 4 * n1, "concert ({n2} nets) ≫ small ({n1} nets)");
+    }
+
+    #[test]
+    fn generated_score_runs_a_performance() {
+        let (module, comp) = generate(ScoreShape::small());
+        // `beat` is already in the interface.
+        let compiled = compile_module(&module, &ModuleRegistry::new()).expect("compiles");
+        let mut machine = hiphop_runtime::Machine::new(compiled.circuit);
+        let mut audience = crate::audience::Audience::new(5, 1.0);
+        let report =
+            crate::performance::perform(&mut machine, &comp, &mut audience, 200).expect("runs");
+        assert!(report.played > 0);
+        // All movements were reached.
+        assert_eq!(
+            machine.nowval("movement"),
+            hiphop_core::value::Value::Num(1.0),
+            "second (last) movement reached"
+        );
+    }
+}

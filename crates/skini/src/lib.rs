@@ -1,0 +1,22 @@
+//! Skini (paper §4.2): the massively interactive music platform —
+//! patterns/groups/tanks, HipHop score programming, a seeded audience
+//! simulator, a DAW/sequencer simulator, and generated large-score
+//! families for the §5.3 measurements.
+
+#![warn(missing_docs)]
+
+pub mod audience;
+pub mod composition;
+pub mod genscore;
+pub mod performance;
+pub mod score;
+pub mod sequencer;
+pub mod text_score;
+
+pub use audience::{Audience, Selection};
+pub use composition::{Composition, Group, Pattern, PatternId};
+pub use genscore::{generate, ScoreShape};
+pub use performance::{perform, LatencyStats, PerformanceReport};
+pub use score::{paper_excerpt, ScoreBuilder};
+pub use sequencer::{PlayedPattern, Sequencer};
+pub use text_score::{chamber_composition, load_score, ScoreError, CHAMBER_SCORE};

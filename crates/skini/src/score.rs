@@ -1,0 +1,259 @@
+//! Score programming (paper §4.2.2): HipHop statements over group
+//! signals.
+//!
+//! "Groups that play together are implemented as fork/par constructs;
+//! sequences of groups are simply implemented as code sequences;
+//! dependencies between groups and tanks are implemented using wait and
+//! preemption statements."
+
+use crate::composition::Composition;
+use hiphop_core::prelude::*;
+
+/// Builds score statements for a composition's groups.
+#[derive(Debug)]
+pub struct ScoreBuilder<'a> {
+    comp: &'a Composition,
+}
+
+impl<'a> ScoreBuilder<'a> {
+    /// A builder over `comp`.
+    pub fn new(comp: &'a Composition) -> Self {
+        ScoreBuilder { comp }
+    }
+
+    /// `emit <g>State(true)` — offer the group to the audience.
+    pub fn activate(&self, group: &str) -> Stmt {
+        Stmt::emit_val(Composition::state_signal(group), Expr::bool(true))
+    }
+
+    /// `emit <g>State(false)`.
+    pub fn deactivate(&self, group: &str) -> Stmt {
+        Stmt::emit_val(Composition::state_signal(group), Expr::bool(false))
+    }
+
+    /// `await count(n, <g>In.now)` — wait for `n` audience selections.
+    pub fn await_selections(&self, n: u32, group: &str) -> Stmt {
+        Stmt::await_(Delay::count(
+            Expr::num(n as f64),
+            Expr::now(Composition::in_signal(group)),
+        ))
+    }
+
+    /// Activate, wait `n` selections, deactivate.
+    pub fn offer(&self, group: &str, n: u32) -> Stmt {
+        Stmt::seq([
+            self.activate(group),
+            self.await_selections(n, group),
+            self.deactivate(group),
+        ])
+    }
+
+    /// Runs a tank: each pattern selectable once; the tank is exhausted
+    /// after as many selections as it has patterns (uniqueness is enforced
+    /// by the audience front-end, as in Skini's phone GUI).
+    pub fn tank(&self, group: &str) -> Stmt {
+        let size = self
+            .comp
+            .group(group)
+            .map(|g| g.patterns.len() as u32)
+            .unwrap_or(0);
+        self.offer(group, size)
+    }
+
+    /// "Enforced group sequences to avoid too repetitive selections by the
+    /// audience" (§4.2.1): offers the groups one after another.
+    pub fn sequence_of(&self, groups: &[&str], selections_each: u32) -> Stmt {
+        Stmt::seq(
+            groups
+                .iter()
+                .map(|g| self.offer(g, selections_each))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// "Exclusion rules between groups that involve incompatible
+    /// instruments" (§4.2.1): offers both groups; the first group the
+    /// audience selects from wins and the other is withdrawn, then the
+    /// winner stays offered for `n - 1` further selections.
+    pub fn exclusive_race(&self, a: &str, b: &str, n: u32) -> Stmt {
+        let a_in = Composition::in_signal(a);
+        let b_in = Composition::in_signal(b);
+        let winner_a = format!("won{a}");
+        Stmt::local(
+            vec![SignalDecl::new(winner_a.clone(), Direction::Local)],
+            Stmt::seq([
+                self.activate(a),
+                self.activate(b),
+                Stmt::trap(
+                    "Race",
+                    Stmt::par([
+                        Stmt::seq([
+                            Stmt::await_(Delay::cond(Expr::now(&a_in))),
+                            Stmt::emit(winner_a.clone()),
+                            Stmt::exit("Race"),
+                        ]),
+                        Stmt::seq([
+                            Stmt::await_(Delay::cond(Expr::now(&b_in))),
+                            Stmt::exit("Race"),
+                        ]),
+                    ]),
+                ),
+                Stmt::if_else(
+                    Expr::now(&winner_a),
+                    Stmt::seq([
+                        self.deactivate(b),
+                        Stmt::await_(Delay::count(
+                            Expr::num((n.max(1) - 1) as f64),
+                            Expr::now(&a_in),
+                        )),
+                        self.deactivate(a),
+                    ]),
+                    Stmt::seq([
+                        self.deactivate(a),
+                        Stmt::await_(Delay::count(
+                            Expr::num((n.max(1) - 1) as f64),
+                            Expr::now(&b_in),
+                        )),
+                        self.deactivate(b),
+                    ]),
+                ),
+            ]),
+        )
+    }
+
+    /// Declares the interface signals of a score module for every group:
+    /// `in <g>In` (selection, value = pattern id) and `out <g>State`.
+    pub fn interface(&self, mut module: Module) -> Module {
+        for g in self.comp.groups() {
+            module = module
+                .input(SignalDecl::new(Composition::in_signal(&g.name), Direction::In).with_init(-1))
+                .output(
+                    SignalDecl::new(Composition::state_signal(&g.name), Direction::Out)
+                        .with_init(false)
+                        .with_combine(Combine::Or),
+                );
+        }
+        module
+    }
+}
+
+/// The paper's §4.2.2 score excerpt over a cello/trombone/trumpet/horn
+/// composition:
+///
+/// ```text
+/// abort (seconds.nowval === 20) {
+///    emit ActivateCellos(true);
+///    await count(5, CellosIn.nowval);
+///    run TrombonesTank();
+///    fork { run TrumpetsTank(); } par { run HornsTank(); }
+/// }
+/// ```
+pub fn paper_excerpt() -> (Module, Composition) {
+    let mut comp = Composition::new();
+    comp.add_group("Cellos", "strings", 8, false)
+        .add_group("Trombones", "brass", 3, true)
+        .add_group("Trumpets", "brass", 2, true)
+        .add_group("Horns", "brass", 2, true);
+    let b = ScoreBuilder::new(&comp);
+    let body = Stmt::abort(
+        Delay::cond(Expr::nowval("seconds").strict_eq(Expr::num(20.0))),
+        Stmt::seq([
+            b.activate("Cellos"),
+            b.await_selections(5, "Cellos"),
+            b.deactivate("Cellos"),
+            b.tank("Trombones"),
+            Stmt::par([b.tank("Trumpets"), b.tank("Horns")]),
+            Stmt::Halt,
+        ]),
+    );
+    let module = b
+        .interface(Module::new("PaperScore"))
+        .input(SignalDecl::new("seconds", Direction::In).with_init(0i64));
+    (module.body(body), comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiphop_runtime::machine_for;
+
+    #[test]
+    fn paper_excerpt_sequencing() {
+        let (module, comp) = paper_excerpt();
+        let mut m = machine_for(&module, &ModuleRegistry::new()).expect("compiles");
+        let r = m.react().unwrap();
+        assert_eq!(r.value("CellosState"), Value::Bool(true), "cellos offered");
+        assert_eq!(r.value("TrombonesState"), Value::Bool(false));
+        // Five cello selections enable the trombone tank.
+        for i in 0..5 {
+            let r = m
+                .react_with(&[("CellosIn", Value::from(i as i64))])
+                .unwrap();
+            if i < 4 {
+                assert_eq!(r.value("TrombonesState"), Value::Bool(false));
+            } else {
+                assert_eq!(r.value("CellosState"), Value::Bool(false), "cellos closed");
+                assert_eq!(r.value("TrombonesState"), Value::Bool(true));
+            }
+        }
+        // Exhaust the trombone tank (3 patterns).
+        for i in 0..3 {
+            m.react_with(&[("TrombonesIn", Value::from(i as i64))])
+                .unwrap();
+        }
+        // Both trumpets and horns play synchronously now.
+        assert_eq!(m.nowval("TrumpetsState"), Value::Bool(true));
+        assert_eq!(m.nowval("HornsState"), Value::Bool(true));
+        let _ = comp;
+    }
+
+    #[test]
+    fn exclusive_race_withdraws_the_loser() {
+        let mut comp = Composition::new();
+        comp.add_group("Strings", "strings", 4, false)
+            .add_group("Brass", "brass", 4, false);
+        let b = ScoreBuilder::new(&comp);
+        let module = b
+            .interface(Module::new("Race"))
+            .body(Stmt::seq([b.exclusive_race("Strings", "Brass", 3), Stmt::Halt]));
+        let mut m = machine_for(&module, &ModuleRegistry::new()).expect("compiles");
+        let r = m.react().unwrap();
+        assert_eq!(r.value("StringsState"), Value::Bool(true));
+        assert_eq!(r.value("BrassState"), Value::Bool(true));
+        // The audience picks brass first: strings withdrawn.
+        let r = m.react_with(&[("BrassIn", Value::from(4i64))]).unwrap();
+        assert_eq!(r.value("StringsState"), Value::Bool(false));
+        assert_eq!(r.value("BrassState"), Value::Bool(true));
+        // Two more brass selections close the offer.
+        m.react_with(&[("BrassIn", Value::from(5i64))]).unwrap();
+        let r = m.react_with(&[("BrassIn", Value::from(6i64))]).unwrap();
+        assert_eq!(r.value("BrassState"), Value::Bool(false));
+    }
+
+    #[test]
+    fn sequence_of_offers_groups_in_order() {
+        let mut comp = Composition::new();
+        comp.add_group("A", "piano", 2, false)
+            .add_group("B", "harp", 2, false);
+        let b = ScoreBuilder::new(&comp);
+        let module = b
+            .interface(Module::new("Seq"))
+            .body(Stmt::seq([b.sequence_of(&["A", "B"], 1), Stmt::Halt]));
+        let mut m = machine_for(&module, &ModuleRegistry::new()).expect("compiles");
+        let r = m.react().unwrap();
+        assert_eq!(r.value("AState"), Value::Bool(true));
+        assert_eq!(r.value("BState"), Value::Bool(false));
+        let r = m.react_with(&[("AIn", Value::from(0i64))]).unwrap();
+        assert_eq!(r.value("AState"), Value::Bool(false));
+        assert_eq!(r.value("BState"), Value::Bool(true));
+    }
+
+    #[test]
+    fn timeout_aborts_the_fragment() {
+        let (module, _) = paper_excerpt();
+        let mut m = machine_for(&module, &ModuleRegistry::new()).expect("compiles");
+        m.react().unwrap();
+        let r = m.react_with(&[("seconds", Value::from(20i64))]).unwrap();
+        assert!(r.terminated, "the fragment runs for 20s");
+    }
+}

@@ -1,0 +1,119 @@
+//! The DAW/sequencer simulator: queues selected patterns and plays them
+//! on beats (substitute for the paper's external digital audio
+//! workstation driven over MIDI).
+//!
+//! "Selecting a pattern has two effects: first, its music is planned to
+//! be played; second, it impacts the future of the music" (§4.2.2). The
+//! planning part is this queue; a pattern occupies the channel of its
+//! instrument for its duration.
+
+use crate::composition::{Composition, PatternId};
+use std::collections::{HashMap, VecDeque};
+
+/// One played note in the performance record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlayedPattern {
+    /// Beat at which the pattern started playing.
+    pub beat: u64,
+    /// The pattern.
+    pub pattern: PatternId,
+    /// Channel (instrument) it played on.
+    pub instrument: String,
+}
+
+/// The pattern sequencer.
+#[derive(Debug, Default)]
+pub struct Sequencer {
+    queue: VecDeque<PatternId>,
+    busy_until: HashMap<String, u64>,
+    history: Vec<PlayedPattern>,
+}
+
+impl Sequencer {
+    /// An empty sequencer.
+    pub fn new() -> Sequencer {
+        Sequencer::default()
+    }
+
+    /// Queues a selected pattern.
+    pub fn enqueue(&mut self, pattern: PatternId) {
+        self.queue.push_back(pattern);
+    }
+
+    /// Advances to `beat`: starts queued patterns whose instrument channel
+    /// is free. Returns the patterns started this beat.
+    pub fn play_beat(&mut self, comp: &Composition, beat: u64) -> Vec<PatternId> {
+        let mut started = Vec::new();
+        let mut requeue = VecDeque::new();
+        while let Some(pid) = self.queue.pop_front() {
+            let Some(p) = comp.pattern(pid) else { continue };
+            let busy = self.busy_until.get(&p.instrument).copied().unwrap_or(0);
+            if busy > beat {
+                // Channel occupied: keep waiting (preserve order per
+                // instrument).
+                requeue.push_back(pid);
+                continue;
+            }
+            self.busy_until
+                .insert(p.instrument.clone(), beat + p.duration_beats as u64);
+            self.history.push(PlayedPattern {
+                beat,
+                pattern: pid,
+                instrument: p.instrument.clone(),
+            });
+            started.push(pid);
+        }
+        self.queue = requeue;
+        started
+    }
+
+    /// Patterns still waiting for a free channel.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Everything played so far.
+    pub fn history(&self) -> &[PlayedPattern] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp() -> Composition {
+        let mut c = Composition::new();
+        c.add_group("G", "piano", 4, false); // durations alternate 1,2,1,2
+        c.add_group("B", "brass", 2, false);
+        c
+    }
+
+    #[test]
+    fn plays_in_fifo_order_per_channel() {
+        let c = comp();
+        let mut s = Sequencer::new();
+        s.enqueue(0); // piano, 1 beat
+        s.enqueue(1); // piano, 2 beats
+        s.enqueue(4); // brass, 1 beat
+        let started = s.play_beat(&c, 0);
+        assert_eq!(started, vec![0, 4], "piano#0 and brass start; piano#1 waits");
+        assert_eq!(s.pending(), 1);
+        let started = s.play_beat(&c, 1);
+        assert_eq!(started, vec![1]);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn long_patterns_block_their_channel() {
+        let c = comp();
+        let mut s = Sequencer::new();
+        s.enqueue(1); // piano, 2 beats
+        s.enqueue(2); // piano, 1 beat
+        s.play_beat(&c, 0);
+        assert!(s.play_beat(&c, 1).is_empty(), "channel busy until beat 2");
+        assert_eq!(s.play_beat(&c, 2), vec![2]);
+        assert_eq!(s.history().len(), 2);
+        assert_eq!(s.history()[1].beat, 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Scores in textual HipHop — how a composer actually writes them
+//! (§4.2.2 shows score fragments in concrete syntax).
+//!
+//! [`load_score`] parses a score source file and validates that its
+//! interface matches the composition's group-signal convention
+//! (`<group>In` inputs, `<group>State` outputs), so a typo'd group name
+//! fails at load time instead of mid-concert.
+
+use crate::composition::Composition;
+use hiphop_core::module::{Module, ModuleRegistry};
+use hiphop_lang::{parse_program, HostRegistry};
+use std::fmt;
+
+/// A score whose interface does not match the composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScoreError {
+    /// The source failed to parse.
+    Parse(String),
+    /// The score references a group the composition does not define.
+    UnknownGroup {
+        /// The offending signal.
+        signal: String,
+    },
+}
+
+impl fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoreError::Parse(e) => write!(f, "{e}"),
+            ScoreError::UnknownGroup { signal } => write!(
+                f,
+                "score interface signal `{signal}` does not match any composition group"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+/// Parses a textual score and checks its group signals against `comp`.
+/// Non-group signals (e.g. `beat`, `seconds`) pass through freely.
+///
+/// # Errors
+///
+/// [`ScoreError::Parse`] or [`ScoreError::UnknownGroup`].
+pub fn load_score(
+    src: &str,
+    main: &str,
+    comp: &Composition,
+) -> Result<(Module, ModuleRegistry), ScoreError> {
+    let (module, registry) =
+        parse_program(src, main, &HostRegistry::new()).map_err(|e| ScoreError::Parse(e.to_string()))?;
+    for decl in &module.interface {
+        let name = decl.name.as_str();
+        let group = name
+            .strip_suffix("In")
+            .or_else(|| name.strip_suffix("State"));
+        if let Some(g) = group {
+            if comp.group(g).is_none() {
+                return Err(ScoreError::UnknownGroup {
+                    signal: name.to_owned(),
+                });
+            }
+        }
+    }
+    Ok((module, registry))
+}
+
+/// A composed two-movement chamber piece in textual HipHop, used by the
+/// tests and the concert example.
+pub const CHAMBER_SCORE: &str = r#"
+// Movement I: strings lead; after 6 selections the winds tank opens.
+// Movement II: brass and percussion play together; a 64-beat timeout
+// bounds the movement.
+
+module Chamber(in beat, out movement = 0,
+               in StringsIn = -1, out StringsState = false,
+               in WindsIn = -1, out WindsState = false,
+               in BrassIn = -1, out BrassState = false,
+               in PercussionIn = -1, out PercussionState = false) {
+   // Movement I
+   emit movement(1);
+   emit StringsState(true);
+   await count(6, StringsIn.now);
+   emit StringsState(false);
+   emit WindsState(true);
+   await count(3, WindsIn.now);
+   emit WindsState(false);
+
+   // Movement II
+   emit movement(2);
+   abort count(64, beat.now) {
+      fork {
+         emit BrassState(true);
+         await count(4, BrassIn.now);
+         emit BrassState(false);
+      } par {
+         emit PercussionState(true);
+         await count(4, PercussionIn.now);
+         emit PercussionState(false);
+      }
+      halt;
+   }
+   emit BrassState(false);
+   emit PercussionState(false);
+}
+"#;
+
+/// Builds the composition matching [`CHAMBER_SCORE`].
+pub fn chamber_composition() -> Composition {
+    let mut comp = Composition::new();
+    comp.add_group("Strings", "strings", 8, false)
+        .add_group("Winds", "winds", 3, true)
+        .add_group("Brass", "brass", 5, false)
+        .add_group("Percussion", "percussion", 5, false);
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audience::Audience;
+    use crate::performance::perform;
+    use hiphop_core::value::Value;
+    use hiphop_runtime::machine_for;
+
+    #[test]
+    fn chamber_score_loads_and_performs() {
+        let comp = chamber_composition();
+        let (module, reg) = load_score(CHAMBER_SCORE, "Chamber", &comp).expect("loads");
+        let mut machine = machine_for(&module, &reg).expect("compiles");
+        let mut audience = Audience::new(11, 1.0);
+        let report = perform(&mut machine, &comp, &mut audience, 128).expect("performs");
+        assert!(report.played >= 13, "all offers served: {}", report.played);
+        assert_eq!(machine.nowval("movement"), Value::Num(2.0));
+        // The winds tank was played exactly its 3 patterns.
+        let winds = report
+            .sequencer
+            .history()
+            .iter()
+            .filter(|p| p.instrument == "winds")
+            .count();
+        assert_eq!(winds, 3);
+    }
+
+    #[test]
+    fn unknown_group_is_rejected_at_load_time() {
+        let comp = chamber_composition();
+        let src = r#"
+            module Bad(in beat, in TypoIn, out TypoState) { halt; }
+        "#;
+        let err = load_score(src, "Bad", &comp).unwrap_err();
+        assert!(matches!(err, ScoreError::UnknownGroup { ref signal } if signal == "TypoIn"));
+        assert!(err.to_string().contains("TypoIn"));
+    }
+
+    #[test]
+    fn parse_errors_are_wrapped() {
+        let comp = chamber_composition();
+        let err = load_score("module Broken(", "Broken", &comp).unwrap_err();
+        assert!(matches!(err, ScoreError::Parse(_)));
+    }
+
+    #[test]
+    fn non_group_signals_pass_validation() {
+        let comp = chamber_composition();
+        let src = r#"
+            module Ok(in beat, in seconds = 0, out tempo = 120) { halt; }
+        "#;
+        assert!(load_score(src, "Ok", &comp).is_ok());
+    }
+}

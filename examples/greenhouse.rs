@@ -1,0 +1,107 @@
+//! An IoT greenhouse controller — the abstract's other motivating domain
+//! ("complex web interfaces or IoT controllers") — written entirely in
+//! textual HipHop, composing the temporal library modules.
+//!
+//! Sensors tick in once per minute; the controller orchestrates
+//! irrigation (with a stuck-valve watchdog), ventilation (hysteresis
+//! latch), and a panic mode that preempts everything.
+//!
+//! Run with `cargo run --example greenhouse`.
+
+use hiphop::lang::{parse_program, HostRegistry};
+use hiphop::prelude::*;
+use hiphop::runtime::Waveform;
+
+const CONTROLLER: &str = r#"
+module Irrigation(in mn, in soilDry, in moistureOk, out valveOpen, out valveClose,
+                  out stuckValveAlarm) {
+   loop {
+      await (soilDry.now);
+      emit valveOpen();
+      // Water until moisture recovers, but alarm if the valve seems stuck
+      // (no recovery within 30 minutes).
+      WaterDone: fork {
+         await (moistureOk.now);
+         break WaterDone;
+      } par {
+         await count(30, mn.now);
+         sustain stuckValveAlarm();
+      }
+      emit valveClose();
+      // Don't re-water for at least 2 hours.
+      abort count(120, mn.now) { halt; }
+   }
+}
+
+module Ventilation(in tooHot, in coolEnough, out fanOn, out fanOff) {
+   loop {
+      await (tooHot.now);
+      emit fanOn();
+      await (coolEnough.now);
+      emit fanOff();
+   }
+}
+
+module Greenhouse(in mn, in soilDry, in moistureOk, in tooHot, in coolEnough,
+                  in panic, in allClear,
+                  out valveOpen, out valveClose, out stuckValveAlarm,
+                  out fanOn, out fanOff, out lockdown) {
+   loop {
+      weakabort (panic.now) {
+         fork {
+            run Irrigation(...);
+         } par {
+            run Ventilation(...);
+         }
+      }
+      // Panic: close everything, wait for the operator.
+      emit valveClose();
+      emit fanOff();
+      emit lockdown();
+      await (allClear.now);
+   }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (module, registry) = parse_program(CONTROLLER, "Greenhouse", &HostRegistry::new())?;
+    let mut m = hiphop::machine_for(&module, &registry)?;
+    let wf = Waveform::new(&["valveOpen", "valveClose", "fanOn", "fanOff", "lockdown"])
+        .attach(&mut m);
+
+    m.react()?;
+    let t = || Value::Bool(true);
+
+    println!("minute 1: soil goes dry");
+    let r = m.react_with(&[("mn", t()), ("soilDry", t())])?;
+    println!("  valveOpen = {}", r.present("valveOpen"));
+
+    println!("minutes 2-9: watering...");
+    for _ in 0..8 {
+        m.react_with(&[("mn", t())])?;
+    }
+    println!("minute 10: moisture recovered");
+    let r = m.react_with(&[("mn", t()), ("moistureOk", t())])?;
+    println!("  valveClose = {}", r.present("valveClose"));
+
+    println!("minute 11: heat wave");
+    let r = m.react_with(&[("mn", t()), ("tooHot", t())])?;
+    println!("  fanOn = {}", r.present("fanOn"));
+
+    println!("minute 12: PANIC (storm) — everything shuts down at once");
+    let r = m.react_with(&[("mn", t()), ("panic", t())])?;
+    println!(
+        "  lockdown = {}, valveClose = {}, fanOff = {}",
+        r.present("lockdown"),
+        r.present("valveClose"),
+        r.present("fanOff")
+    );
+
+    println!("minute 13: operator gives the all-clear; controller restarts");
+    m.react_with(&[("mn", t()), ("allClear", t())])?;
+    let r = m.react_with(&[("mn", t()), ("soilDry", t())])?;
+    println!("  watering again: valveOpen = {}", r.present("valveOpen"));
+
+    println!("\n-- actuator waveform --\n{}", wf.borrow().render());
+    Ok(())
+}

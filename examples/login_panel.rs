@@ -1,0 +1,97 @@
+//! The paper's full login web page (§2.4): the HipHop `Main` module wired
+//! to a Hop.js-style reactive DOM over a virtual-time event loop.
+//!
+//! Run with `cargo run --example login_panel`.
+
+use hiphop::apps::login::{build_v1, AuthConfig};
+use hiphop::dom::Document;
+use hiphop::eventloop::{Driver, EventLoop};
+use hiphop::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let auth = AuthConfig::single_user(150, "joe", "secret");
+    let (main, registry) = build_v1(el.clone(), &auth);
+    let machine = machine_for(&main, &registry)?;
+    let driver = Driver {
+        machine: Rc::new(RefCell::new(machine)),
+        el,
+    };
+
+    // ------------------------------------------------------------- page
+    // The §2.4 page: two inputs, login/logout buttons, status + clock.
+    let mut doc = Document::new();
+    let root = doc.root();
+    let name = doc.element("input", &[("id", "name")]);
+    let passwd = doc.element("input", &[("id", "passwd")]);
+    let login = doc.element("button", &[("id", "login")]);
+    doc.set_text(login, "login");
+    let status = doc.element("react", &[("id", "status")]);
+    let logout = doc.element("button", &[("id", "logout")]);
+    doc.set_text(logout, "logout");
+    let clock = doc.element("div", &[("id", "clock")]);
+    for n in [name, passwd, login, status, logout, clock] {
+        doc.append(root, n);
+    }
+
+    // onkeyup=~{M.react({name: this.value})}
+    let m = driver.machine.clone();
+    doc.on(name, "keyup", move |v| {
+        let mut mm = m.borrow_mut();
+        mm.set_input("name", Some(v.clone())).expect("input");
+        mm.react().expect("reaction");
+    });
+    let m = driver.machine.clone();
+    doc.on(passwd, "keyup", move |v| {
+        let mut mm = m.borrow_mut();
+        mm.set_input("passwd", Some(v.clone())).expect("input");
+        mm.react().expect("reaction");
+    });
+    let m = driver.machine.clone();
+    doc.on(login, "click", move |_| {
+        m.borrow_mut()
+            .react_with(&[("login", Value::Bool(true))])
+            .expect("reaction");
+    });
+    let m = driver.machine.clone();
+    doc.on(logout, "click", move |_| {
+        m.borrow_mut()
+            .react_with(&[("logout", Value::Bool(true))])
+            .expect("reaction");
+    });
+
+    // class=~{this.disabled=!M.enableLogin.nowval}
+    doc.bind_attr(login, "disabled", |m| {
+        (!m.nowval("enableLogin").truthy()).to_string()
+    });
+    // <react>status=~{M.connState.nowval}</react>
+    doc.react_text(status, |m| {
+        format!("status={}", m.nowval("connState").to_display_string())
+    });
+    doc.bind_attr(logout, "class", |m| m.nowval("connState").to_display_string());
+    doc.react_text(clock, |m| format!("time: {}", m.nowval("time")));
+
+    // ------------------------------------------------------ interaction
+    driver.react(&[])?; // boot
+    println!("-- initial page --\n{}", doc.render(&driver.machine.borrow()));
+
+    doc.dispatch(name, "keyup", Value::from("joe"));
+    doc.dispatch(passwd, "keyup", Value::from("secret"));
+    println!(
+        "-- credentials typed (login enabled: {}) --",
+        driver.machine.borrow().nowval("enableLogin")
+    );
+
+    doc.dispatch(login, "click", Value::Null);
+    println!("-- login clicked --\n{}", doc.render(&driver.machine.borrow()));
+
+    driver.advance_by(200)?; // the OAuth reply arrives
+    driver.advance_by(3000)?; // the session clock ticks
+    println!("-- 3s into the session --\n{}", doc.render(&driver.machine.borrow()));
+
+    doc.dispatch(logout, "click", Value::Null);
+    println!("-- after logout --\n{}", doc.render(&driver.machine.borrow()));
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Login panel 2.0 (§3): quarantine after three failed logins — the
+//! evolution that reuses V1 `Main` unchanged — and the causality deadlock
+//! you get if you use `abort` instead of `weakabort`.
+//!
+//! Run with `cargo run --example login_v2_quarantine`.
+
+use hiphop::apps::login::AuthConfig;
+use hiphop::apps::login_v2::build_v2;
+use hiphop::eventloop::{Driver, EventLoop};
+use hiphop::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn make_driver(strong_abort: bool) -> Result<Driver, Box<dyn std::error::Error>> {
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let auth = AuthConfig::single_user(100, "joe", "secret");
+    let (main, registry) = build_v2(el.clone(), &auth, strong_abort);
+    let machine = machine_for(&main, &registry)?;
+    Ok(Driver {
+        machine: Rc::new(RefCell::new(machine)),
+        el,
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== correct version: weakabort(freeze.now) ==");
+    let d = make_driver(false)?;
+    d.react(&[])?;
+    d.react(&[("name", Value::from("joe"))])?;
+    d.react(&[("passwd", Value::from("WRONG"))])?;
+    for attempt in 1..=3 {
+        d.react(&[("login", Value::Bool(true))])?;
+        d.advance_by(150)?;
+        println!(
+            "failed attempt {attempt}: connState = {}",
+            d.machine.borrow().nowval("connState")
+        );
+    }
+    println!("login disabled during quarantine: enableLogin = {}",
+        d.machine.borrow().nowval("enableLogin"));
+    d.advance_by(7000)?; // the 5-second quarantine elapses
+    println!("after quarantine: connState = {}", d.machine.borrow().nowval("connState"));
+    d.react(&[("passwd", Value::from("secret"))])?;
+    d.react(&[("login", Value::Bool(true))])?;
+    d.advance_by(150)?;
+    println!("retry with the right password: connState = {}",
+        d.machine.borrow().nowval("connState"));
+
+    println!("\n== faulty version: abort(freeze.now) — the paper's predicted deadlock ==");
+    let d = make_driver(true)?;
+    d.react(&[])?;
+    d.react(&[("name", Value::from("joe"))])?;
+    d.react(&[("passwd", Value::from("WRONG"))])?;
+    d.react(&[("login", Value::Bool(true))])?;
+    match d.advance_by(150) {
+        Err(e) => {
+            println!("detected and reported, as promised:");
+            for line in e.to_string().lines().take(6) {
+                println!("    {line}");
+            }
+        }
+        Ok(_) => println!("unexpected: no causality error"),
+    }
+    Ok(())
+}

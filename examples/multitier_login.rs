@@ -1,0 +1,103 @@
+//! The login application split across two tiers — the client GUI machine
+//! and a server-side authenticator — linked over simulated network
+//! channels (the Hop.js multitier architecture of §2.4, with HipHop
+//! "programming synchronous patterns on both sides").
+//!
+//! Run with `cargo run --example multitier_login`.
+
+use hiphop::eventloop::multitier::Multitier;
+use hiphop::prelude::*;
+
+fn client() -> Module {
+    // The GUI side: Identity logic plus session display.
+    Module::new("Client")
+        .input(SignalDecl::new("name", Direction::In).with_init(""))
+        .input(SignalDecl::new("passwd", Direction::In).with_init(""))
+        .input(SignalDecl::new("login", Direction::In))
+        .input(SignalDecl::new("verdict", Direction::In))
+        .output(SignalDecl::new("enableLogin", Direction::Out).with_init(false))
+        .output(SignalDecl::new("request", Direction::Out))
+        .output(SignalDecl::new("connState", Direction::Out).with_init("disconn"))
+        .body(Stmt::par([
+            // Identity (§2.2.3), verbatim logic.
+            Stmt::loop_each(
+                Delay::cond(Expr::now("name").or(Expr::now("passwd"))),
+                Stmt::emit_val(
+                    "enableLogin",
+                    Expr::nowval("name")
+                        .field("length")
+                        .ge(Expr::num(2.0))
+                        .and(Expr::nowval("passwd").field("length").ge(Expr::num(2.0))),
+                ),
+            ),
+            // Ship credentials to the server on login; await the verdict.
+            Stmt::every(
+                Delay::cond(Expr::now("login")),
+                Stmt::seq([
+                    Stmt::emit_val(
+                        "request",
+                        Expr::Array(vec![Expr::nowval("name"), Expr::nowval("passwd")]),
+                    ),
+                    Stmt::emit_val("connState", Expr::str("connecting")),
+                    Stmt::await_(Delay::cond(Expr::now("verdict"))),
+                    Stmt::if_else(
+                        Expr::nowval("verdict"),
+                        Stmt::emit_val("connState", Expr::str("connected")),
+                        Stmt::emit_val("connState", Expr::str("error")),
+                    ),
+                ]),
+            ),
+        ]))
+}
+
+fn server() -> Module {
+    Module::new("Server")
+        .input(SignalDecl::new("credentials", Direction::In))
+        .output(SignalDecl::new("answer", Direction::Out))
+        .body(Stmt::every(
+            Delay::cond(Expr::now("credentials")),
+            Stmt::emit_val(
+                "answer",
+                Expr::nowval("credentials")
+                    .index(Expr::num(0.0))
+                    .eq(Expr::str("joe"))
+                    .and(
+                        Expr::nowval("credentials")
+                            .index(Expr::num(1.0))
+                            .eq(Expr::str("secret")),
+                    ),
+            ),
+        ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mt = Multitier::new();
+    let c = mt.add_tier(hiphop::machine_for(&client(), &ModuleRegistry::new())?);
+    let s = mt.add_tier(hiphop::machine_for(&server(), &ModuleRegistry::new())?);
+    // 35 ms each way, like a LAN round trip.
+    mt.link(c, "request", s, "credentials", 35);
+    mt.link(s, "answer", c, "verdict", 35);
+
+    mt.react(c, &[])?;
+    mt.react(s, &[])?;
+    mt.react(c, &[("name", Value::from("joe"))])?;
+    mt.react(c, &[("passwd", Value::from("secret"))])?;
+    println!(
+        "enableLogin = {}",
+        mt.tier(c).borrow().nowval("enableLogin")
+    );
+
+    mt.react(c, &[("login", Value::Bool(true))])?;
+    println!("t={}ms  connState = {}", mt.el.borrow().now(), mt.tier(c).borrow().nowval("connState"));
+    mt.advance_by(35)?; // request reaches the server
+    println!("t={}ms  server answered: {}", mt.el.borrow().now(), mt.tier(s).borrow().nowval("answer"));
+    mt.advance_by(35)?; // verdict reaches the client
+    println!("t={}ms  connState = {}", mt.el.borrow().now(), mt.tier(c).borrow().nowval("connState"));
+
+    // A wrong password round trip.
+    mt.react(c, &[("passwd", Value::from("nope42"))])?;
+    mt.react(c, &[("login", Value::Bool(true))])?;
+    mt.advance_by(100)?;
+    println!("t={}ms  connState = {}", mt.el.borrow().now(), mt.tier(c).borrow().nowval("connState"));
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! The Lisinopril pillbox (§4.1): a day in the life of a prescription,
+//! with the smart Try/Confirm buttons and the full event log.
+//!
+//! Run with `cargo run --example pillbox`.
+
+use hiphop::apps::pillbox::Pillbox;
+
+fn hhmm(minute: u64) -> String {
+    format!("{:02}:{:02}", minute / 60 % 24, minute % 60)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The pillbox program itself is written in textual HipHop — print it.
+    println!("-- the reactive prescription (HipHop source) --");
+    for line in hiphop::apps::pillbox::PILLBOX_SRC.lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ...\n");
+
+    let mut p = Pillbox::new(19 * 60)?; // 7 PM
+    println!(
+        "{} pillbox on; Try active: {}, window: {}",
+        hhmm(p.minute_of_day()),
+        p.try_active(),
+        p.in_dose_window()
+    );
+
+    p.advance(75)?; // 8:15 PM
+    println!(
+        "{} window open: {} — pressing Try",
+        hhmm(p.minute_of_day()),
+        p.in_dose_window()
+    );
+    let r = p.press_try()?;
+    println!(
+        "      DeliverDose={} warning={} (Confirm active: {})",
+        r.present("DeliverDose"),
+        r.present("TryNotInWindowWarning"),
+        p.conf_active()
+    );
+
+    p.advance(12)?; // dawdle 12 minutes: Confirm starts alerting at 10
+    println!(
+        "{} confirmation late — ConfAlert: {}",
+        hhmm(p.minute_of_day()),
+        p.conf_alert()
+    );
+    let r = p.press_conf()?;
+    println!(
+        "      RecordDose at minute {} (alert cleared: {})",
+        r.value("RecordDose"),
+        !p.conf_alert()
+    );
+
+    // Try again an hour later: the 8-hour wall rejects it.
+    p.advance(60)?;
+    let r = p.press_try()?;
+    println!(
+        "{} impatient Try — TryTooCloseError={}",
+        hhmm(p.minute_of_day()),
+        r.present("TryTooCloseError")
+    );
+
+    println!("\n-- event log --");
+    for entry in p.log() {
+        println!("  {entry}");
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a reactive module three ways (builder API, textual
+//! syntax, classic ABRO) and drive reactions from Rust.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use hiphop::lang::{parse_program, HostRegistry};
+use hiphop::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. The builder API (the paper's "build ASTs on the fly", §5).
+    println!("== builder API: ABO ==");
+    let abo = Module::new("ABO")
+        .input(SignalDecl::new("A", Direction::In))
+        .input(SignalDecl::new("B", Direction::In))
+        .output(SignalDecl::new("O", Direction::Out))
+        .body(Stmt::seq([
+            Stmt::par([
+                Stmt::await_(Delay::cond(Expr::now("A"))),
+                Stmt::await_(Delay::cond(Expr::now("B"))),
+            ]),
+            Stmt::emit("O"),
+        ]));
+    let mut m = machine_for(&abo, &ModuleRegistry::new())?;
+    m.react()?; // boot instant
+    println!("A alone:  O = {}", m.react_with(&[("A", Value::Bool(true))])?.present("O"));
+    println!("then B:   O = {}", m.react_with(&[("B", Value::Bool(true))])?.present("O"));
+
+    // ------------------------------------------------------------------
+    // 2. The textual syntax (the paper's Phase 1 front-end).
+    println!("\n== textual syntax: ABRO ==");
+    let src = r#"
+        module ABRO(in A, in B, in R, out O) {
+           do {
+              fork { await (A.now); } par { await (B.now); }
+              emit O();
+           } every (R.now)
+        }
+    "#;
+    let (module, registry) = parse_program(src, "ABRO", &HostRegistry::new())?;
+    let mut m = machine_for(&module, &registry)?;
+    m.react()?;
+    let t = || Value::Bool(true);
+    println!("A+B together: O = {}", m.react_with(&[("A", t()), ("B", t())])?.present("O"));
+    println!("reset R:      O = {}", m.react_with(&[("R", t())])?.present("O"));
+    println!("B:            O = {}", m.react_with(&[("B", t())])?.present("O"));
+    println!("A:            O = {}", m.react_with(&[("A", t())])?.present("O"));
+
+    // ------------------------------------------------------------------
+    // 3. Valued signals and causality-safe data flow.
+    println!("\n== valued signals ==");
+    let counter = Module::new("Counter")
+        .input(SignalDecl::new("inc", Direction::In))
+        .output(SignalDecl::new("count", Direction::Out).with_init(0i64))
+        .body(Stmt::every(
+            Delay::cond(Expr::now("inc")),
+            Stmt::emit_val("count", Expr::preval("count").add(Expr::num(1.0))),
+        ));
+    let mut m = machine_for(&counter, &ModuleRegistry::new())?;
+    m.react()?;
+    for _ in 0..3 {
+        let r = m.react_with(&[("inc", Value::Bool(true))])?;
+        println!("count = {}", r.value("count"));
+    }
+
+    // The compiler inventory, for the curious:
+    let compiled = hiphop::compiler::compile_module(&counter, &ModuleRegistry::new())?;
+    println!("\ncounter circuit: {}", compiled.circuit.stats());
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! A Skini concert (§4.2): a generated score performed by a seeded
+//! audience, with the sequencer's play history and reaction-latency
+//! figures (the §5.3 timing constraint).
+//!
+//! Run with `cargo run --example skini_concert --release`.
+
+use hiphop::prelude::*;
+use hiphop::skini::{generate, perform, Audience, ScoreShape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shape = ScoreShape::concert();
+    let (module, comp) = generate(shape);
+    let compiled = hiphop::compiler::compile_module(&module, &ModuleRegistry::new())?;
+    println!(
+        "score `{}`: {} groups, {} patterns — circuit: {}",
+        module.name,
+        comp.groups().len(),
+        comp.patterns().len(),
+        compiled.circuit.stats()
+    );
+
+    let mut machine = Machine::new(compiled.circuit);
+    let mut audience = Audience::new(0xC0FFEE, 0.85);
+    let report = perform(&mut machine, &comp, &mut audience, 256)?;
+
+    println!(
+        "\nperformance: {} beats, {} patterns played",
+        report.beats, report.played
+    );
+    println!("first 16 plays:");
+    for p in report.sequencer.history().iter().take(16) {
+        let name = comp
+            .pattern(p.pattern)
+            .map(|q| q.name.clone())
+            .unwrap_or_default();
+        println!("  beat {:>3}  {:<12} on {}", p.beat, name, p.instrument);
+    }
+
+    println!(
+        "\nreaction latency: mean {:.1} µs, max {:.3} ms (budget: 300 ms — paper measured ≤ 15 ms)",
+        report.latency.mean_ns() as f64 / 1000.0,
+        report.latency.max_ms()
+    );
+    Ok(())
+}

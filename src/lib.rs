@@ -1,0 +1,84 @@
+//! # hiphop — synchronous reactive orchestration for Rust
+//!
+//! A Rust reproduction of *"HipHop.js: (A)Synchronous Reactive Web
+//! Programming"* (Berry & Serrano, PLDI 2020): an Esterel-style
+//! synchronous language with preemption and concurrency, compiled to
+//! augmented boolean circuits and executed by a constructive reactive
+//! machine, plus the paper's event-loop/DOM substrates and applications.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hiphop::prelude::*;
+//!
+//! // ABO: emit O once both A and B have occurred.
+//! let module = Module::new("ABO")
+//!     .input(SignalDecl::new("A", Direction::In))
+//!     .input(SignalDecl::new("B", Direction::In))
+//!     .output(SignalDecl::new("O", Direction::Out))
+//!     .body(Stmt::seq([
+//!         Stmt::par([
+//!             Stmt::await_(Delay::cond(Expr::now("A"))),
+//!             Stmt::await_(Delay::cond(Expr::now("B"))),
+//!         ]),
+//!         Stmt::emit("O"),
+//!     ]));
+//!
+//! let mut machine = hiphop::machine_for(&module, &ModuleRegistry::new())?;
+//! machine.react()?; // boot instant
+//! machine.react_with(&[("A", Value::Bool(true))])?;
+//! let r = machine.react_with(&[("B", Value::Bool(true))])?;
+//! assert!(r.present("O"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Or in the textual syntax (the paper's Phase 1):
+//!
+//! ```
+//! use hiphop::lang::{parse_program, HostRegistry};
+//!
+//! let (module, registry) = parse_program(
+//!     "module ABO(in A, in B, out O) {
+//!         fork { await (A.now); } par { await (B.now); }
+//!         emit O();
+//!      }",
+//!     "ABO",
+//!     &HostRegistry::new(),
+//! )?;
+//! let mut machine = hiphop::machine_for(&module, &registry)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crates
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | values, signals, expressions, AST, modules, linking |
+//! | [`circuit`] | augmented boolean circuits |
+//! | [`compiler`] | AST → circuit translation and optimization |
+//! | [`runtime`] | the reactive machine (constructive engine) |
+//! | [`lang`] | the textual parser |
+//! | [`eventloop`] | virtual-time event loop + standard `Timer` module |
+//! | [`dom`] | Hop.js-style reactive DOM substrate |
+//! | [`apps`] | the paper's login panel (V1/V2), baseline, pillbox |
+//! | [`skini`] | the interactive-music platform |
+
+#![warn(missing_docs)]
+
+pub use hiphop_apps as apps;
+pub use hiphop_circuit as circuit;
+pub use hiphop_compiler as compiler;
+pub use hiphop_core as core;
+pub use hiphop_dom as dom;
+pub use hiphop_eventloop as eventloop;
+pub use hiphop_lang as lang;
+pub use hiphop_runtime as runtime;
+pub use hiphop_skini as skini;
+
+pub use hiphop_runtime::{machine_for, Machine, Reaction, RuntimeError};
+
+/// Everything needed to build and run HipHop programs.
+pub mod prelude {
+    pub use hiphop_core::prelude::*;
+    pub use hiphop_runtime::{machine_for, Machine, Reaction, RuntimeError};
+}

@@ -1,0 +1,135 @@
+//! End-to-end §2/§2.4 scenario: the login specification driven through
+//! the DOM page, exactly as a user would click it.
+
+use hiphop::apps::login::{build_v1, AuthConfig, MAX_SESSION_TIME};
+use hiphop::dom::Document;
+use hiphop::eventloop::{Driver, EventLoop};
+use hiphop::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Page {
+    doc: Document,
+    driver: Driver,
+    name: hiphop::dom::NodeId,
+    passwd: hiphop::dom::NodeId,
+    login: hiphop::dom::NodeId,
+    logout: hiphop::dom::NodeId,
+}
+
+fn page() -> Page {
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let auth = AuthConfig::single_user(150, "joe", "secret");
+    let (main, registry) = build_v1(el.clone(), &auth);
+    let machine = machine_for(&main, &registry).expect("compiles");
+    let driver = Driver {
+        machine: Rc::new(RefCell::new(machine)),
+        el,
+    };
+
+    let mut doc = Document::new();
+    let root = doc.root();
+    let name = doc.element("input", &[("id", "name")]);
+    let passwd = doc.element("input", &[("id", "passwd")]);
+    let login = doc.element("button", &[("id", "login")]);
+    let status = doc.element("react", &[("id", "status")]);
+    let logout = doc.element("button", &[("id", "logout")]);
+    let clock = doc.element("div", &[("id", "clock")]);
+    for n in [name, passwd, login, status, logout, clock] {
+        doc.append(root, n);
+    }
+    for (node, signal) in [(name, "name"), (passwd, "passwd")] {
+        let m = driver.machine.clone();
+        doc.on(node, "keyup", move |v| {
+            let mut mm = m.borrow_mut();
+            mm.set_input(signal, Some(v.clone())).expect("input");
+            mm.react().expect("reaction");
+        });
+    }
+    for (node, signal) in [(login, "login"), (logout, "logout")] {
+        let m = driver.machine.clone();
+        doc.on(node, "click", move |_| {
+            m.borrow_mut()
+                .react_with(&[(signal, Value::Bool(true))])
+                .expect("reaction");
+        });
+    }
+    doc.bind_attr(login, "disabled", |m| {
+        (!m.nowval("enableLogin").truthy()).to_string()
+    });
+    doc.react_text(status, |m| m.nowval("connState").to_display_string());
+    doc.react_text(clock, |m| format!("time: {}", m.nowval("time")));
+    driver.react(&[]).expect("boot");
+    Page {
+        doc,
+        driver,
+        name,
+        passwd,
+        login,
+        logout,
+    }
+}
+
+fn status_of(p: &Page) -> String {
+    p.driver.machine.borrow().nowval("connState").to_display_string()
+}
+
+#[test]
+fn button_enables_only_with_two_chars_each() {
+    let p = page();
+    let html = p.doc.render(&p.driver.machine.borrow());
+    assert!(html.contains("disabled=\"true\""), "{html}");
+    p.doc.dispatch(p.name, "keyup", Value::from("jo"));
+    p.doc.dispatch(p.passwd, "keyup", Value::from("s"));
+    let html = p.doc.render(&p.driver.machine.borrow());
+    assert!(html.contains("disabled=\"true\""), "1-char password: {html}");
+    p.doc.dispatch(p.passwd, "keyup", Value::from("se"));
+    let html = p.doc.render(&p.driver.machine.borrow());
+    assert!(html.contains("disabled=\"false\""), "{html}");
+}
+
+#[test]
+fn full_session_through_the_page() {
+    let p = page();
+    p.doc.dispatch(p.name, "keyup", Value::from("joe"));
+    p.doc.dispatch(p.passwd, "keyup", Value::from("secret"));
+    p.doc.dispatch(p.login, "click", Value::Null);
+    assert_eq!(status_of(&p), "connecting");
+    p.driver.advance_by(200).unwrap();
+    assert_eq!(status_of(&p), "connected");
+    // The clock ticks into the page.
+    p.driver.advance_by(4000).unwrap();
+    let html = p.doc.render(&p.driver.machine.borrow());
+    assert!(html.contains("time: 4"), "{html}");
+    // Logout via the page.
+    p.doc.dispatch(p.logout, "click", Value::Null);
+    assert_eq!(status_of(&p), "disconnected");
+    assert_eq!(p.driver.el.borrow().pending(), 0, "timer freed");
+}
+
+#[test]
+fn session_timeout_forces_logout_through_the_page() {
+    let p = page();
+    p.doc.dispatch(p.name, "keyup", Value::from("joe"));
+    p.doc.dispatch(p.passwd, "keyup", Value::from("secret"));
+    p.doc.dispatch(p.login, "click", Value::Null);
+    p.driver.advance_by(200).unwrap();
+    p.driver
+        .advance_by((MAX_SESSION_TIME as u64 + 2) * 1000)
+        .unwrap();
+    assert_eq!(status_of(&p), "disconnected");
+}
+
+#[test]
+fn login_during_session_restarts_login_phase() {
+    let p = page();
+    p.doc.dispatch(p.name, "keyup", Value::from("joe"));
+    p.doc.dispatch(p.passwd, "keyup", Value::from("secret"));
+    p.doc.dispatch(p.login, "click", Value::Null);
+    p.driver.advance_by(200).unwrap();
+    assert_eq!(status_of(&p), "connected");
+    // §2: "During an active session, clicking login causes immediate
+    // logout and restart of the login phase."
+    p.doc.dispatch(p.login, "click", Value::Null);
+    assert_eq!(status_of(&p), "connecting");
+}

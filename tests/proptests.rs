@@ -1,0 +1,216 @@
+//! Property-based tests over randomly generated reactive programs.
+//!
+//! The generator (`hiphop_bench::synthetic_program`) emits well-formed
+//! programs from a seed; the properties below are the system's core
+//! meta-theorems:
+//!
+//! 1. compilation is total on well-formed programs;
+//! 2. reactions are deterministic (same inputs ⇒ same outputs);
+//! 3. the optimizer preserves observable behavior exactly;
+//! 4. reaction work is linear in circuit size (paper §5.2);
+//! 5. the textual pipeline (print → parse) preserves behavior;
+//! 6. built-in combine functions are commutative, making simultaneous
+//!    emission order unobservable.
+
+use hiphop::compiler::{compile_module_with, CompileOptions};
+use hiphop::prelude::*;
+use hiphop_bench::synthetic_program;
+use proptest::prelude::*;
+
+/// Drives `machine` with a deterministic pseudo-random input schedule and
+/// returns the trace of all output snapshots.
+fn drive(machine: &mut Machine, seed: u64, steps: usize) -> Vec<String> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut trace = Vec::new();
+    let r = machine.react().expect("boot");
+    trace.push(format!("{:?}", r.outputs));
+    for _ in 0..steps {
+        let mut inputs: Vec<(String, Value)> = Vec::new();
+        for k in 0..8 {
+            if rng.gen_bool(0.3) {
+                inputs.push((format!("i{k}"), Value::from(rng.gen_range(0..5) as i64)));
+            }
+        }
+        let refs: Vec<(&str, Value)> = inputs
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        let r = machine.react_with(&refs).expect("reaction");
+        trace.push(format!("{:?}", r.outputs));
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compilation_is_total(seed in any::<u64>(), size in 10usize..120) {
+        let module = synthetic_program(size, seed);
+        let compiled = compile_module_with(
+            &module,
+            &ModuleRegistry::new(),
+            CompileOptions::default(),
+        );
+        prop_assert!(compiled.is_ok(), "{:?}", compiled.err());
+    }
+
+    #[test]
+    fn reactions_are_deterministic(seed in any::<u64>(), size in 10usize..100) {
+        let module = synthetic_program(size, seed);
+        let build = || {
+            let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
+                .expect("compiles");
+            Machine::new(c.circuit)
+        };
+        let t1 = drive(&mut build(), seed ^ 1, 30);
+        let t2 = drive(&mut build(), seed ^ 1, 30);
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn optimizer_preserves_behavior(seed in any::<u64>(), size in 10usize..100) {
+        let module = synthetic_program(size, seed);
+        let run = |optimize: bool| {
+            let c = compile_module_with(
+                &module,
+                &ModuleRegistry::new(),
+                CompileOptions { optimize },
+            )
+            .expect("compiles");
+            drive(&mut Machine::new(c.circuit), seed ^ 2, 30)
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn reaction_work_is_linear_in_circuit_size(seed in any::<u64>(), size in 20usize..120) {
+        let module = synthetic_program(size, seed);
+        let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
+            .expect("compiles");
+        let stats = c.circuit.stats();
+        let bound = 4 * (stats.nets + stats.fanin_edges + stats.dep_edges) + 64;
+        let mut machine = Machine::new(c.circuit);
+        let r = machine.react().expect("boot");
+        prop_assert!(
+            r.events <= bound,
+            "events {} exceed linear bound {bound}",
+            r.events
+        );
+        for _ in 0..5 {
+            let r = machine
+                .react_with(&[("i0", Value::Bool(true))])
+                .expect("reaction");
+            prop_assert!(r.events <= bound);
+        }
+    }
+
+    #[test]
+    fn print_parse_roundtrip_preserves_behavior(seed in any::<u64>(), size in 10usize..80) {
+        let module = synthetic_program(size, seed);
+        // Render the module in concrete syntax.
+        let mut iface = Vec::new();
+        for d in &module.interface {
+            iface.push(format!("{} {}", d.direction, d.name));
+        }
+        let src = format!("module M({}) {{\n{}\n}}", iface.join(", "), module.body);
+        let (parsed, reg) = hiphop::lang::parse_program(&src, "M", &hiphop::lang::HostRegistry::new())
+            .map_err(|e| TestCaseError::fail(format!("reparse: {e}\n{src}")))?;
+        // Re-attach the combine/init declarations (not rendered by the
+        // statement printer) so behavior matches.
+        let mut parsed = parsed;
+        parsed.interface = module.interface.clone();
+        let reference = {
+            let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
+                .expect("compiles");
+            drive(&mut Machine::new(c.circuit), seed ^ 3, 20)
+        };
+        let reparsed = {
+            let c = compile_module_with(&parsed, &reg, CompileOptions::default())
+                .expect("reparsed compiles");
+            drive(&mut Machine::new(c.circuit), seed ^ 3, 20)
+        };
+        prop_assert_eq!(reference, reparsed, "source:\n{}", src);
+    }
+
+    #[test]
+    fn builtin_combines_are_commutative(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        for c in [Combine::Plus, Combine::Mul, Combine::Min, Combine::Max, Combine::And, Combine::Or] {
+            let x = Value::Num(a);
+            let y = Value::Num(b);
+            prop_assert_eq!(c.apply(&x, &y), c.apply(&y, &x), "{:?}", c);
+        }
+    }
+
+    #[test]
+    fn emission_order_is_unobservable(vals in proptest::collection::vec(-100i64..100, 2..6)) {
+        // Emit the same values from parallel branches in two different
+        // static orders; the combined result must agree.
+        let build = |values: &[i64]| {
+            let branches: Vec<Stmt> = values
+                .iter()
+                .map(|&v| Stmt::emit_val("acc", Expr::num(v as f64)))
+                .collect();
+            Module::new("T")
+                .output(
+                    SignalDecl::new("acc", Direction::Out)
+                        .with_init(0i64)
+                        .with_combine(Combine::Plus),
+                )
+                .body(Stmt::par(branches))
+        };
+        let run = |values: &[i64]| {
+            let m = build(values);
+            let c = compile_module_with(&m, &ModuleRegistry::new(), CompileOptions::default())
+                .expect("compiles");
+            let mut machine = Machine::new(c.circuit);
+            machine.react().expect("boot").value("acc")
+        };
+        let mut rev = vals.clone();
+        rev.reverse();
+        prop_assert_eq!(run(&vals), run(&rev));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn naive_and_event_driven_engines_agree(seed in any::<u64>(), size in 10usize..100) {
+        // The O(n²) sweep engine is an independent implementation of the
+        // constructive fixpoint; both engines must produce identical
+        // observable traces on the same circuit.
+        let module = synthetic_program(size, seed);
+        let run = |naive: bool| {
+            let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
+                .expect("compiles");
+            let mut m = Machine::new(c.circuit);
+            m.set_naive(naive);
+            drive(&mut m, seed ^ 4, 25)
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn naive_engine_detects_the_same_causality_errors(flip in any::<bool>()) {
+        let body = if flip {
+            Stmt::local(
+                vec![SignalDecl::new("X", Direction::Local)],
+                Stmt::if_(Expr::now("X").not(), Stmt::emit("X")),
+            )
+        } else {
+            Stmt::local(
+                vec![SignalDecl::new("X", Direction::Local)],
+                Stmt::if_(Expr::now("X"), Stmt::emit("X")),
+            )
+        };
+        let module = Module::new("cyc").body(body);
+        let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
+            .expect("compiles");
+        let mut m = Machine::new(c.circuit);
+        m.set_naive(true);
+        let causality = matches!(m.react(), Err(RuntimeError::Causality { .. }));
+        prop_assert!(causality);
+    }
+}
