@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything runs from the committed sources with no
+# network access (the workspace has zero external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "ci: all green"

@@ -1,21 +1,16 @@
 //! E1 — compile time vs source size (paper §5.3: "the compiling time of
 //! a HipHop.js program is roughly proportional to its source code size").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hiphop_bench::harness::bench;
 use hiphop_bench::synthetic_program;
 use hiphop_compiler::compile_module;
 use hiphop_core::module::ModuleRegistry;
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_compile_time");
+fn main() {
     for &n in &[50usize, 200, 800, 3200] {
         let module = synthetic_program(n, 2020);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &module, |b, m| {
-            b.iter(|| compile_module(m, &ModuleRegistry::new()).expect("compiles"))
+        bench(&format!("e1_compile_time/{n}"), || {
+            compile_module(&module, &ModuleRegistry::new()).expect("compiles");
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);

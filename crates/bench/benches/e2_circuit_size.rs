@@ -1,22 +1,18 @@
 //! E2 — circuit size: linear for the normal family (E2a), super-linear
-//! for reincarnating loop nests (E2b). Criterion times the translation;
-//! the sizes themselves are printed by `cargo run --bin report`.
+//! for reincarnating loop nests (E2b). The harness times the
+//! translation; the sizes themselves are printed by
+//! `cargo run --bin report`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hiphop_bench::harness::bench;
 use hiphop_bench::schizophrenic_program;
 use hiphop_compiler::compile_module;
 use hiphop_core::module::ModuleRegistry;
 
-fn bench_schizo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2b_reincarnation");
+fn main() {
     for depth in [1usize, 3, 5] {
         let module = schizophrenic_program(depth);
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &module, |b, m| {
-            b.iter(|| compile_module(m, &ModuleRegistry::new()).expect("compiles"))
+        bench(&format!("e2b_reincarnation/{depth}"), || {
+            compile_module(&module, &ModuleRegistry::new()).expect("compiles");
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_schizo);
-criterion_main!(benches);

@@ -1,21 +1,22 @@
 //! E3 — memory footprint accounting (paper §5.3: bytes per net, app
-//! totals). Criterion times the accounting walk; the measured KB numbers
-//! are printed by `cargo run --bin report`.
+//! totals). The harness times the accounting walk; the measured KB
+//! numbers are printed by `cargo run --bin report`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hiphop_bench::harness::bench;
 use hiphop_compiler::compile_module;
 use hiphop_core::module::ModuleRegistry;
 
-fn bench_memory(c: &mut Criterion) {
+fn main() {
     let (main, reg) = hiphop_apps::pillbox::modules();
     let pill = compile_module(&main, &reg).expect("compiles").circuit;
     let (score, _) = hiphop_skini::generate(hiphop_skini::ScoreShape::concert());
     let skini = compile_module(&score, &ModuleRegistry::new())
         .expect("compiles")
         .circuit;
-    c.bench_function("e3_memory/lisinopril", |b| b.iter(|| pill.memory_bytes()));
-    c.bench_function("e3_memory/skini_concert", |b| b.iter(|| skini.memory_bytes()));
+    bench("e3_memory/lisinopril", || {
+        pill.memory_bytes();
+    });
+    bench("e3_memory/skini_concert", || {
+        skini.memory_bytes();
+    });
 }
-
-criterion_group!(benches, bench_memory);
-criterion_main!(benches);

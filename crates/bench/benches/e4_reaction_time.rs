@@ -1,50 +1,39 @@
 //! E4 — reaction time: linear in circuit size (E4a) and the Skini
 //! musical budget (E4b: reactions ≪ 300 ms; paper measured ≤ 15 ms).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hiphop_bench::harness::bench;
 use hiphop_bench::synthetic_program;
 use hiphop_compiler::compile_module;
 use hiphop_core::module::ModuleRegistry;
 use hiphop_core::value::Value;
 use hiphop_runtime::Machine;
 
-fn bench_reaction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4a_reaction_time");
+fn main() {
     for &n in &[50usize, 200, 800, 3200] {
         let module = synthetic_program(n, 2020);
         let compiled = compile_module(&module, &ModuleRegistry::new()).expect("compiles");
         let mut machine = Machine::new(compiled.circuit);
         machine.react().expect("boot");
         let mut k = 0usize;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                k += 1;
-                let sig = format!("i{}", k % 8);
-                machine
-                    .react_with(&[(sig.as_str(), Value::Bool(true))])
-                    .expect("reaction")
-            })
+        bench(&format!("e4a_reaction_time/{n}"), || {
+            k += 1;
+            let sig = format!("i{}", k % 8);
+            machine
+                .react_with(&[(sig.as_str(), Value::Bool(true))])
+                .expect("reaction");
         });
     }
-    group.finish();
-}
 
-fn bench_skini_reaction(c: &mut Criterion) {
     let (module, _) = hiphop_skini::generate(hiphop_skini::ScoreShape::classical());
     let compiled = compile_module(&module, &ModuleRegistry::new()).expect("compiles");
     let nets = compiled.circuit.stats().nets;
     let mut machine = Machine::new(compiled.circuit);
     machine.react().expect("boot");
     let mut beat = 0i64;
-    c.bench_function(&format!("e4b_skini_classical_{nets}_nets"), |b| {
-        b.iter(|| {
-            beat += 1;
-            machine
-                .react_with(&[("beat", Value::from(beat)), ("M0G0In", Value::from(0i64))])
-                .expect("reaction")
-        })
+    bench(&format!("e4b_skini_classical_{nets}_nets"), || {
+        beat += 1;
+        machine
+            .react_with(&[("beat", Value::from(beat)), ("M0G0In", Value::from(0i64))])
+            .expect("reaction");
     });
 }
-
-criterion_group!(benches, bench_reaction, bench_skini_reaction);
-criterion_main!(benches);

@@ -4,7 +4,7 @@
 
 use hiphop_bench::{
     linear_fit, login_v2_abort_comparison, memory_table, optimizer_ablation, schizo_sweep,
-    size_sweep, skini_latency,
+    size_sweep, skini_latency, telemetry_metrics,
 };
 
 fn main() {
@@ -150,6 +150,11 @@ fn main() {
             100.0 * r.reduction()
         );
     }
+
+    // ------------------------------------------------------------------- E6
+    println!("\nE6 — runtime telemetry (MetricsSink over a 640-stmt synthetic program)");
+    let metrics = telemetry_metrics(640, 500, 2020);
+    print!("{}", metrics.render());
 
     println!("\ndone.");
 }

@@ -82,6 +82,26 @@ pub fn size_sweep(sizes: &[usize], seed: u64) -> Vec<SizeRow> {
         .collect()
 }
 
+/// Runs a synthetic program for `instants` reactions with the runtime's
+/// aggregating telemetry sink attached, returning the percentile
+/// snapshot (the report's E6 section; see
+/// `hiphop_runtime::telemetry`).
+pub fn telemetry_metrics(n: usize, instants: usize, seed: u64) -> hiphop_runtime::Metrics {
+    let module = synthetic_program(n, seed);
+    let reg = ModuleRegistry::new();
+    let compiled = compile_module(&module, &reg).expect("synthetic program compiles");
+    let mut machine = Machine::new(compiled.circuit);
+    machine.enable_metrics();
+    machine.react().expect("boot");
+    for i in 0..instants {
+        let sig = format!("i{}", i % 8);
+        machine
+            .react_with(&[(&sig, Value::Bool(true))])
+            .expect("reaction");
+    }
+    machine.metrics().expect("metrics enabled")
+}
+
 /// One row of the E2b reincarnation sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct SchizoRow {

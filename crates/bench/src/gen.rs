@@ -11,13 +11,12 @@
 //! reincarnation" (E2b).
 
 use hiphop_core::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hiphop_core::rng::Rng;
 
 /// Builds a deterministic synthetic module with roughly `target_stmts`
 /// statements. Inputs `i0..iK`, outputs `o0..oK`.
 pub fn synthetic_program(target_stmts: usize, seed: u64) -> Module {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n_sigs = 8usize;
     let mut module = Module::new(format!("Synth{target_stmts}"));
     for k in 0..n_sigs {
@@ -40,14 +39,14 @@ pub fn synthetic_program(target_stmts: usize, seed: u64) -> Module {
     module.body(Stmt::seq(blocks))
 }
 
-fn sig_in(rng: &mut StdRng, n: usize) -> String {
+fn sig_in(rng: &mut Rng, n: usize) -> String {
     format!("i{}", rng.gen_range(0..n))
 }
-fn sig_out(rng: &mut StdRng, n: usize) -> String {
+fn sig_out(rng: &mut Rng, n: usize) -> String {
     format!("o{}", rng.gen_range(0..n))
 }
 
-fn gen_block(rng: &mut StdRng, n_sigs: usize, budget: &mut i64, depth: usize) -> Stmt {
+fn gen_block(rng: &mut Rng, n_sigs: usize, budget: &mut i64, depth: usize) -> Stmt {
     let choice = if depth >= 3 {
         rng.gen_range(0..3)
     } else {
@@ -224,8 +223,7 @@ mod tests {
         let compiled = compile_module(&m, &ModuleRegistry::new()).expect("compiles");
         let mut machine = hiphop_runtime::Machine::new(compiled.circuit);
         machine.react().expect("boot");
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..50 {
             let k = rng.gen_range(0..8);
             machine

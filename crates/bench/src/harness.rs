@@ -1,0 +1,91 @@
+//! A minimal micro-benchmark harness.
+//!
+//! Replaces the external `criterion` dependency so the repository builds
+//! and benches offline. Each [`bench`] call warms the closure up, then
+//! times batches until a wall-clock budget is spent and reports
+//! min/median/p95 per-iteration times in a criterion-like one-line
+//! format. No statistics beyond percentiles are attempted — the E1–E4
+//! linearity *claims* are checked by `cargo run --bin report`, the
+//! benches only exist to watch for regressions.
+
+use std::time::Instant;
+
+/// Result of one [`bench`] run (per-iteration times, nanoseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchResult {
+    /// Fastest batch, per iteration.
+    pub min_ns: f64,
+    /// Median batch, per iteration.
+    pub median_ns: f64,
+    /// 95th-percentile batch, per iteration.
+    pub p95_ns: f64,
+}
+
+/// Times `f`, printing `name  min … median … p95 …` and returning the
+/// numbers. The budget is ~0.5 s per benchmark (set `HIPHOP_BENCH_MS` to
+/// change it).
+pub fn bench(name: &str, mut f: impl FnMut()) -> BenchResult {
+    let budget_ms: u64 = std::env::var("HIPHOP_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+
+    // Warm up and size a batch so one batch is ~1 ms.
+    f();
+    let t = Instant::now();
+    f();
+    let once_ns = t.elapsed().as_nanos().max(1);
+    let batch = (1_000_000 / once_ns).max(1) as usize;
+
+    let start = Instant::now();
+    let mut samples: Vec<f64> = Vec::new();
+    while start.elapsed().as_millis() < u128::from(budget_ms) || samples.len() < 10 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        if samples.len() >= 10_000 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let pick = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    let result = BenchResult {
+        min_ns: samples[0],
+        median_ns: pick(0.5),
+        p95_ns: pick(0.95),
+    };
+    println!(
+        "{name:<40} min {:>12} median {:>12} p95 {:>12}  ({} samples × {batch})",
+        fmt_ns(result.min_ns),
+        fmt_ns(result.median_ns),
+        fmt_ns(result.p95_ns),
+        samples.len(),
+    );
+    result
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_ordered_percentiles() {
+        std::env::set_var("HIPHOP_BENCH_MS", "20");
+        let mut x = 0u64;
+        let r = bench("noop", || x = x.wrapping_add(1));
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p95_ns);
+        std::env::remove_var("HIPHOP_BENCH_MS");
+    }
+}

@@ -5,6 +5,7 @@
 
 pub mod gen;
 pub mod experiments;
+pub mod harness;
 pub mod stats;
 
 pub use experiments::*;

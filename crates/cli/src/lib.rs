@@ -17,7 +17,8 @@ use hiphop_compiler::{compile_module_with, CompileOptions};
 use hiphop_core::module::link;
 use hiphop_core::value::Value;
 use hiphop_lang::{parse_file, HostRegistry};
-use hiphop_runtime::Machine;
+use hiphop_runtime::telemetry::shared;
+use hiphop_runtime::{JsonlSink, Machine, VcdSink};
 use std::fmt::Write as _;
 
 /// A CLI failure, rendered to stderr by `main`.
@@ -48,6 +49,43 @@ pub struct Options {
     pub no_optimize: bool,
     /// Stimulus for `trace` (instants separated by `;`).
     pub stimulus: Option<String>,
+    /// Telemetry outputs for `trace` / `oracle`.
+    pub telemetry: TelemetryOptions,
+}
+
+/// Telemetry outputs attached to the machine by `trace` and `oracle`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryOptions {
+    /// Print a percentile metrics table (stderr).
+    pub metrics: bool,
+    /// Write a structured JSONL trace to this file.
+    pub jsonl: Option<String>,
+    /// Write a GTKWave-compatible VCD waveform to this file.
+    pub vcd: Option<String>,
+}
+
+impl TelemetryOptions {
+    /// Attaches the requested sinks to `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an output file cannot be created.
+    pub fn attach(&self, machine: &mut Machine) -> Result<(), CliError> {
+        if let Some(path) = &self.jsonl {
+            let sink = JsonlSink::to_file(path)
+                .map_err(|e| fail(format!("cannot create {path}: {e}")))?;
+            machine.attach_sink(shared(sink));
+        }
+        if let Some(path) = &self.vcd {
+            let sink = VcdSink::for_machine(machine, path)
+                .map_err(|e| fail(format!("cannot create {path}: {e}")))?;
+            machine.attach_sink(shared(sink));
+        }
+        if self.metrics {
+            machine.enable_metrics();
+        }
+        Ok(())
+    }
 }
 
 /// Parses `argv` (without the program name).
@@ -68,6 +106,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut main = None;
     let mut no_optimize = false;
     let mut stimulus = None;
+    let mut telemetry = TelemetryOptions::default();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--main" => {
@@ -85,6 +124,21 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 )
             }
             "--no-optimize" => no_optimize = true,
+            "--metrics" => telemetry.metrics = true,
+            "--jsonl" => {
+                telemetry.jsonl = Some(
+                    it.next()
+                        .ok_or_else(|| fail("--jsonl needs a file path"))?
+                        .clone(),
+                )
+            }
+            "--vcd" => {
+                telemetry.vcd = Some(
+                    it.next()
+                        .ok_or_else(|| fail("--vcd needs a file path"))?
+                        .clone(),
+                )
+            }
             other if !other.starts_with('-') && file.is_none() => {
                 file = Some(other.to_owned());
             }
@@ -97,6 +151,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         main,
         no_optimize,
         stimulus,
+        telemetry,
     })
 }
 
@@ -110,7 +165,13 @@ pub const USAGE: &str = "usage: hiphopc <check|stats|pretty|dot|run|trace|oracle
           a lone `?` prints the control state without reacting
   trace   render the output waveform for --stimulus \"A;B;;A B\"
   oracle  run --stimulus through the machine AND the reference
-          interpreter, reporting any disagreement";
+          interpreter, reporting any disagreement
+telemetry flags (trace and oracle only):
+  --metrics      print a per-reaction percentile table (duration, net
+                 events, actions, queue high-water mark) to stderr
+  --jsonl FILE   write a structured trace, one JSON object per event line
+  --vcd FILE     write the output waveform as a Value Change Dump
+                 viewable in GTKWave";
 
 fn load(
     source: &str,
@@ -233,7 +294,35 @@ pub fn cmd_trace(
     optimize: bool,
     stimulus: &str,
 ) -> Result<String, CliError> {
+    Ok(cmd_trace_with(source, main, optimize, stimulus, &TelemetryOptions::default())?.stdout)
+}
+
+/// Output of [`cmd_trace_with`] / [`cmd_oracle_with`]: the main report
+/// plus the optional rendered metrics table (printed to stderr by the
+/// binary so it composes with piped stdout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Text for stdout.
+    pub stdout: String,
+    /// Rendered `--metrics` table, when requested.
+    pub metrics: Option<String>,
+}
+
+/// [`cmd_trace`] with telemetry: attaches the requested sinks before
+/// driving the stimulus; JSONL/VCD files are written as a side effect.
+///
+/// # Errors
+///
+/// Front-end, input, reaction, or output-file errors.
+pub fn cmd_trace_with(
+    source: &str,
+    main: Option<&str>,
+    optimize: bool,
+    stimulus: &str,
+    telemetry: &TelemetryOptions,
+) -> Result<TraceReport, CliError> {
     let mut machine = build_machine(source, main, optimize)?;
+    telemetry.attach(&mut machine)?;
     let outputs: Vec<String> = machine
         .signals()
         .filter(|(_, d, _, _)| d.is_output())
@@ -241,11 +330,21 @@ pub fn cmd_trace(
         .collect();
     let refs: Vec<&str> = outputs.iter().map(String::as_str).collect();
     let wf = hiphop_runtime::Waveform::new(&refs).attach(&mut machine);
-    for instant in stimulus.split(';') {
-        run_line(&mut machine, instant)?;
-    }
+    let run = (|| -> Result<(), CliError> {
+        for instant in stimulus.split(';') {
+            run_line(&mut machine, instant)?;
+        }
+        Ok(())
+    })();
+    // Flush sinks even on a failed reaction so the JSONL trace keeps the
+    // causality report that explains the failure.
+    machine.finish_sinks();
+    run?;
     let rendered = wf.borrow().render();
-    Ok(rendered)
+    Ok(TraceReport {
+        stdout: rendered,
+        metrics: machine.metrics().map(|m| m.render()),
+    })
 }
 
 /// `oracle`: runs the stimulus through BOTH the circuit machine and the
@@ -261,13 +360,45 @@ pub fn cmd_oracle(
     optimize: bool,
     stimulus: &str,
 ) -> Result<String, CliError> {
+    Ok(cmd_oracle_with(source, main, optimize, stimulus, &TelemetryOptions::default())?.stdout)
+}
+
+/// [`cmd_oracle`] with telemetry sinks attached to the circuit machine
+/// (the reference interpreter is not instrumented).
+///
+/// # Errors
+///
+/// Front-end errors, reaction errors, output-file errors, or a reported
+/// disagreement.
+pub fn cmd_oracle_with(
+    source: &str,
+    main: Option<&str>,
+    optimize: bool,
+    stimulus: &str,
+    telemetry: &TelemetryOptions,
+) -> Result<TraceReport, CliError> {
     let (module, registry) = load(source, main)?;
     let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
         .map_err(|e| fail(e.to_string()))?;
     let mut machine = Machine::new(compiled.circuit);
+    telemetry.attach(&mut machine)?;
     let mut interp =
         hiphop_interp::Interp::new(&module, &registry).map_err(|e| fail(e.to_string()))?;
 
+    let run = oracle_loop(&mut machine, &mut interp, stimulus);
+    machine.finish_sinks();
+    let out = run?;
+    Ok(TraceReport {
+        stdout: out,
+        metrics: machine.metrics().map(|m| m.render()),
+    })
+}
+
+fn oracle_loop(
+    machine: &mut Machine,
+    interp: &mut hiphop_interp::Interp,
+    stimulus: &str,
+) -> Result<String, CliError> {
     let mut out = String::new();
     for (t, instant) in stimulus.split(';').enumerate() {
         let mut inputs: Vec<(String, Value)> = Vec::new();
@@ -522,6 +653,59 @@ mod tests {
         assert!(out.contains("y=42"), "{out}");
         let out = run_line(&mut m, "x=hello").unwrap();
         assert!(out.contains("y=NaN"), "{out}");
+    }
+
+    #[test]
+    fn parse_args_telemetry_flags() {
+        let o = parse_args(&[
+            "trace".into(),
+            "x.hh".into(),
+            "--metrics".into(),
+            "--jsonl".into(),
+            "t.jsonl".into(),
+            "--vcd".into(),
+            "t.vcd".into(),
+        ])
+        .unwrap();
+        assert!(o.telemetry.metrics);
+        assert_eq!(o.telemetry.jsonl.as_deref(), Some("t.jsonl"));
+        assert_eq!(o.telemetry.vcd.as_deref(), Some("t.vcd"));
+        assert!(parse_args(&["trace".into(), "x.hh".into(), "--vcd".into()]).is_err());
+    }
+
+    #[test]
+    fn trace_with_metrics_and_files() {
+        let dir = std::env::temp_dir();
+        let vcd_path = dir.join("hiphopc_test_trace.vcd");
+        let jsonl_path = dir.join("hiphopc_test_trace.jsonl");
+        let telemetry = TelemetryOptions {
+            metrics: true,
+            jsonl: Some(jsonl_path.to_string_lossy().into_owned()),
+            vcd: Some(vcd_path.to_string_lossy().into_owned()),
+        };
+        let report = cmd_trace_with(ABRO, None, true, ";A;B;R;A B", &telemetry).unwrap();
+        assert!(report.stdout.contains("▁▁█▁█"), "{}", report.stdout);
+        let table = report.metrics.expect("--metrics requested");
+        assert!(table.contains("p95"), "{table}");
+        assert!(table.contains("5 reaction(s)"), "{table}");
+        let vcd = std::fs::read_to_string(&vcd_path).unwrap();
+        assert!(vcd.contains("$enddefinitions $end"), "{vcd}");
+        let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+        assert!(jsonl.contains("\"type\":\"reaction_end\""), "{jsonl}");
+        let _ = std::fs::remove_file(vcd_path);
+        let _ = std::fs::remove_file(jsonl_path);
+    }
+
+    #[test]
+    fn oracle_with_metrics() {
+        let report =
+            cmd_oracle_with(ABRO, None, true, ";A;B", &TelemetryOptions {
+                metrics: true,
+                ..TelemetryOptions::default()
+            })
+            .unwrap();
+        assert!(report.stdout.contains("agree on all instants"), "{}", report.stdout);
+        assert!(report.metrics.expect("requested").contains("3 reaction(s)"));
     }
 
     #[test]

@@ -26,20 +26,32 @@ fn main() {
         "stats" => cmd_stats(&source, main, optimize).map(Some),
         "pretty" => cmd_pretty(&source, main).map(Some),
         "dot" => cmd_dot(&source, main, optimize).map(Some),
-        "oracle" => hiphop_cli::cmd_oracle(
+        "oracle" => hiphop_cli::cmd_oracle_with(
             &source,
             main,
             optimize,
             opts.stimulus.as_deref().unwrap_or(""),
+            &opts.telemetry,
         )
-        .map(Some),
-        "trace" => hiphop_cli::cmd_trace(
+        .map(|r| {
+            if let Some(table) = &r.metrics {
+                eprint!("{table}");
+            }
+            Some(r.stdout)
+        }),
+        "trace" => hiphop_cli::cmd_trace_with(
             &source,
             main,
             optimize,
             opts.stimulus.as_deref().unwrap_or(""),
+            &opts.telemetry,
         )
-        .map(Some),
+        .map(|r| {
+            if let Some(table) = &r.metrics {
+                eprint!("{table}");
+            }
+            Some(r.stdout)
+        }),
         "run" => build_machine(&source, main, optimize).map(|mut machine| {
             eprintln!("one line per instant (the first line is the boot instant): `sig` or `sig=value` tokens; ctrl-d ends");
             let stdin = std::io::stdin();

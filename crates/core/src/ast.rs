@@ -944,7 +944,7 @@ mod tests {
     #[test]
     fn var_substitution_in_delays() {
         let mut s = Stmt::await_(Delay::count(Expr::var("attempts"), Expr::now("sig")));
-        s.substitute_vars(&mut |v| (v == "attempts").then(|| Value::Num(3.0)));
+        s.substitute_vars(&mut |v| (v == "attempts").then_some(Value::Num(3.0)));
         assert_eq!(s.to_string().trim(), "await (count(3, sig.now));");
     }
 

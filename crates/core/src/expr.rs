@@ -691,7 +691,7 @@ mod tests {
                 s.into()
             }
         });
-        e.substitute_vars(&mut |v| (v == "max").then(|| Value::Num(5.0)));
+        e.substitute_vars(&mut |v| (v == "max").then_some(Value::Num(5.0)));
         assert_eq!(e.to_string(), "(connected.nowval > 5)");
     }
 

@@ -49,6 +49,7 @@ pub mod expr;
 pub mod library;
 pub mod mailbox;
 pub mod module;
+pub mod rng;
 pub mod signal;
 pub mod streams;
 pub mod value;

@@ -1,0 +1,159 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The repository must build and test **offline**, so instead of the
+//! external `rand` crate the workload generators (`hiphop-bench`), the
+//! Skini audience simulator and the property tests share this internal
+//! module: a PCG-XSH-RR 64/32 generator ([O'Neill 2014]) seeded through
+//! SplitMix64. It is *not* cryptographic — it only needs to be fast,
+//! well-distributed and reproducible under a seed so experiments and
+//! performances replay identically.
+//!
+//! [O'Neill 2014]: https://www.pcg-random.org/paper.html
+
+/// A seeded PCG32 generator (PCG-XSH-RR 64/32).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+/// SplitMix64 step — used to spread a user seed over the full state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (same name as the `rand`
+    /// API this module replaces, to keep call sites familiar).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut s = seed;
+        let state = splitmix64(&mut s);
+        let inc = splitmix64(&mut s) | 1; // stream must be odd
+        let mut rng = Rng { state, inc };
+        // Advance once so the first output depends on the whole state.
+        rng.next_u32();
+        rng
+    }
+
+    /// Next raw 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from a half-open range, like `rand`'s
+    /// `gen_range(a..b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: RangeInt>(&mut self, range: std::ops::Range<T>) -> T {
+        let lo = range.start.to_i128();
+        let hi = range.end.to_i128();
+        assert!(lo < hi, "gen_range called with an empty range");
+        let span = (hi - lo) as u128;
+        // Multiply-shift bounded draw (Lemire); the tiny modulo bias of a
+        // plain `% span` would be acceptable too, but this is just as
+        // short and exact enough for 64-bit spans.
+        let draw = u128::from(self.next_u64()) % span;
+        T::from_i128(lo + draw as i128)
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can draw.
+pub trait RangeInt: Copy {
+    /// Widen to `i128` for uniform range arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrow back after the draw (always in range by construction).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+range_int!(usize, u32, u64, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            assert!(v < 10);
+            seen[v] = true;
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+}

@@ -1025,7 +1025,6 @@ impl Interp {
 mod tests {
     use super::*;
     use hiphop_core::ast::Delay as D;
-    use hiphop_core::prelude::*;
 
     fn interp(body: Stmt, signals: &[(&str, Direction)]) -> Interp {
         let mut m = Module::new("t");

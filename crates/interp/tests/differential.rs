@@ -9,8 +9,7 @@ use hiphop_bench::synthetic_program;
 use hiphop_core::prelude::*;
 use hiphop_interp::Interp;
 use hiphop_runtime::machine_for;
-use proptest::prelude::*;
-use rand::{Rng, SeedableRng};
+use hiphop_core::rng::Rng;
 
 /// Runs the same input schedule through both implementations and returns
 /// (machine trace, interpreter trace) as comparable strings.
@@ -24,7 +23,7 @@ fn traces(module: &Module, seed: u64, steps: usize) -> (Vec<String>, Vec<String>
         .filter(|d| d.direction.is_input())
         .map(|d| d.name.clone())
         .collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut mt = Vec::new();
     let mut it = Vec::new();
 
@@ -54,7 +53,7 @@ fn traces(module: &Module, seed: u64, steps: usize) -> (Vec<String>, Vec<String>
         for k in 0..8 {
             let name = format!("i{k}");
             if rng.gen_bool(0.3) && declared.contains(&name) {
-                inputs.push((name, Value::from(rng.gen_range(0..5) as i64)));
+                inputs.push((name, Value::from(rng.gen_range(0i64..5))));
             }
         }
         let refs: Vec<(&str, Value)> = inputs
@@ -67,14 +66,17 @@ fn traces(module: &Module, seed: u64, steps: usize) -> (Vec<String>, Vec<String>
     (mt, it)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn interpreter_agrees_with_the_circuit_machine(seed in any::<u64>(), size in 10usize..120) {
+#[test]
+fn interpreter_agrees_with_the_circuit_machine() {
+    // Deterministic seed sweep (replaces the former proptest harness so
+    // the repository tests offline); each case seed reproduces the
+    // program exactly.
+    for case in 0u64..32 {
+        let seed = 0xD1FF ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+        let size = 10 + (Rng::seed_from_u64(seed).gen_range(0usize..110));
         let module = synthetic_program(size, seed);
         let (mt, it) = traces(&module, seed ^ 0xD1FF, 30);
-        prop_assert_eq!(mt, it, "program:\n{}", module.body);
+        assert_eq!(mt, it, "seed {seed}, program:\n{}", module.body);
     }
 }
 
@@ -200,7 +202,7 @@ fn pillbox_application_agrees() {
     // Scenario: start 8PM, 10 min in press Try, 2 min later Confirm, an
     // impatient Try during the wall, then run out the 8h wall.
     let mut minute = 20 * 60u64;
-    let mut step = |machine: &mut hiphop_runtime::Machine,
+    let step = |machine: &mut hiphop_runtime::Machine,
                     interp: &mut Interp,
                     extra: Option<&str>,
                     minute: u64| {

@@ -1,5 +1,6 @@
 //! Runtime errors: causality deadlocks and reaction failures.
 
+use crate::causality::CausalityReport;
 use std::fmt;
 
 /// A net implicated in a causality cycle, with human-readable context.
@@ -9,6 +10,8 @@ pub struct CycleNet {
     pub net: u32,
     /// The net's debug label.
     pub label: String,
+    /// The net's defining equation (`or`, `and`, `test`, `register`, …).
+    pub kind: String,
     /// Source location of the originating statement, if known.
     pub loc: String,
     /// Signal involved, if any.
@@ -18,6 +21,9 @@ pub struct CycleNet {
 impl fmt::Display for CycleNet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "net#{} `{}`", self.net, self.label)?;
+        if !self.kind.is_empty() {
+            write!(f, " [{}]", self.kind)?;
+        }
         if let Some(s) = &self.signal {
             write!(f, " (signal {s})")?;
         }
@@ -38,10 +44,14 @@ pub enum RuntimeError {
     /// The reaction reached a synchronous deadlock: the listed nets form
     /// (or contain) a non-constructive cycle, e.g. `if (!X.now) emit X;`.
     Causality {
-        /// Nets in the undetermined region (one cycle, capped).
+        /// Nets in the undetermined region (one cycle, capped) — kept as
+        /// a compatibility shim; the same nets are in `report.nets`.
         cycle: Vec<CycleNet>,
         /// Total number of undetermined nets.
         undetermined: usize,
+        /// The full structured report (signal names, net kinds, source
+        /// locations; renders as pretty text or JSON).
+        report: CausalityReport,
     },
     /// A valued signal was emitted more than once in an instant without a
     /// declared combine function.
@@ -67,6 +77,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Causality {
                 cycle,
                 undetermined,
+                ..
             } => {
                 writeln!(
                     f,
@@ -100,18 +111,28 @@ mod tests {
 
     #[test]
     fn display_causality() {
+        let nets = vec![CycleNet {
+            net: 3,
+            label: "sig.status".into(),
+            kind: "or".into(),
+            loc: "<builder>".into(),
+            signal: Some("X".into()),
+        }];
         let e = RuntimeError::Causality {
-            cycle: vec![CycleNet {
-                net: 3,
-                label: "sig.status".into(),
-                loc: "<builder>".into(),
-                signal: Some("X".into()),
-            }],
+            cycle: nets.clone(),
             undetermined: 2,
+            report: CausalityReport {
+                program: "M".into(),
+                seq: 0,
+                undetermined: 2,
+                is_cycle: true,
+                nets,
+            },
         };
         let s = e.to_string();
         assert!(s.contains("causality error"), "{s}");
         assert!(s.contains("signal X"), "{s}");
+        assert!(s.contains("[or]"), "{s}");
     }
 
     #[test]

@@ -36,14 +36,20 @@
 #![warn(missing_docs)]
 #![allow(clippy::type_complexity)] // Rc<dyn Fn> hook signatures are the API
 
-mod causality;
+pub mod causality;
 mod env;
 pub mod error;
 pub mod machine;
+pub mod telemetry;
 pub mod waveform;
 
+pub use causality::CausalityReport;
 pub use error::{CycleNet, RuntimeError};
 pub use machine::{Machine, OutputEvent, Reaction};
+pub use telemetry::{
+    JsonlSink, Metrics, MetricsSink, ReactionStats, SharedSink, Summary, TraceEvent, TraceSink,
+    VcdSink,
+};
 pub use waveform::{SharedWaveform, Waveform};
 
 use hiphop_compiler::{compile_module, CompileError};

@@ -11,9 +11,12 @@
 //! micro-scheduling. If the queue drains with ⊥ nets remaining, the
 //! reaction fails with a reported causality cycle.
 
-use crate::causality::extract_cycle;
+use crate::causality::analyze;
 use crate::env::{AtomView, EnvView};
 use crate::error::RuntimeError;
+use crate::telemetry::{
+    AsyncPhase, Metrics, MetricsSink, ReactionStats, SharedSink, TraceEvent,
+};
 use hiphop_circuit::{Action, AsyncId, Circuit, NetId, NetKind, SignalId, TestKind};
 use hiphop_core::ast::{AsyncCtx, AtomBody};
 use hiphop_core::mailbox::{AsyncHandle, MachineOp, Mailbox};
@@ -21,6 +24,7 @@ use hiphop_core::value::Value;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Per-net evaluation strategy, precomputed at machine construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,9 +132,14 @@ pub struct Machine {
     resolved: Vec<bool>,
     queue: VecDeque<Ev>,
     events: usize,
+    actions_run: usize,
+    queue_hwm: usize,
 
     listeners: Vec<Rc<dyn Fn(&Reaction)>>,
     trace: Option<Vec<Reaction>>,
+    sinks: Vec<SharedSink>,
+    fine_events: bool,
+    metrics: Option<Rc<RefCell<MetricsSink>>>,
     naive: bool,
 }
 
@@ -210,8 +219,13 @@ impl Machine {
             resolved: vec![false; n],
             queue: VecDeque::new(),
             events: 0,
+            actions_run: 0,
+            queue_hwm: 0,
             listeners: Vec::new(),
             trace: None,
+            sinks: Vec::new(),
+            fine_events: false,
+            metrics: None,
             naive: false,
             circuit: Rc::new(circuit),
         }
@@ -248,8 +262,64 @@ impl Machine {
     }
 
     /// The machine's log (filled by `hop { log(...) }` atoms).
+    ///
+    /// Compatibility shim: messages are recorded through the
+    /// [`TraceSink`] path ([`TraceEvent::Log`] reaches every attached
+    /// sink); this accessor reads the built-in retaining buffer.
     pub fn log(&self) -> &[String] {
         &self.log
+    }
+
+    /// Records a log message: publishes [`TraceEvent::Log`] to every
+    /// attached sink, then retains the message for [`Machine::log`].
+    fn record_log(&mut self, message: String) {
+        if !self.sinks.is_empty() {
+            self.emit_trace(TraceEvent::Log {
+                seq: self.seq,
+                message: &message,
+            });
+        }
+        self.log.push(message);
+    }
+
+    /// Attaches a telemetry sink; it receives every [`TraceEvent`] from
+    /// subsequent reactions. Sinks survive [`Machine::reset`] and
+    /// [`Machine::hot_swap`].
+    pub fn attach_sink(&mut self, sink: SharedSink) {
+        self.fine_events |= sink.borrow().wants_net_events();
+        self.sinks.push(sink);
+    }
+
+    /// Attaches (once) and returns the built-in aggregating
+    /// [`MetricsSink`]; read it with [`Machine::metrics`].
+    pub fn enable_metrics(&mut self) -> Rc<RefCell<MetricsSink>> {
+        if let Some(m) = &self.metrics {
+            return m.clone();
+        }
+        let m = Rc::new(RefCell::new(MetricsSink::new()));
+        self.metrics = Some(m.clone());
+        self.attach_sink(m.clone());
+        m
+    }
+
+    /// Percentile snapshot of the built-in metrics sink (`None` until
+    /// [`Machine::enable_metrics`] is called).
+    pub fn metrics(&self) -> Option<Metrics> {
+        self.metrics.as_ref().map(|m| m.borrow().snapshot())
+    }
+
+    /// Flushes every attached sink (file sinks write their output here;
+    /// also triggered by dropping the sink).
+    pub fn finish_sinks(&mut self) {
+        for s in &self.sinks {
+            s.borrow_mut().finish();
+        }
+    }
+
+    fn emit_trace(&self, event: TraceEvent<'_>) {
+        for s in &self.sinks {
+            s.borrow_mut().on_event(&event);
+        }
     }
 
     /// Reads a machine variable.
@@ -350,6 +420,16 @@ impl Machine {
     pub fn react(&mut self) -> Result<Reaction, RuntimeError> {
         let circuit = self.circuit.clone();
 
+        // Telemetry: time the reaction only when someone is listening.
+        let t0 = if self.sinks.is_empty() {
+            None
+        } else {
+            self.emit_trace(TraceEvent::ReactionStart { seq: self.seq });
+            Some(Instant::now())
+        };
+        self.actions_run = 0;
+        self.queue_hwm = 0;
+
         // Previous-instant values snapshot.
         self.sig_preval.clone_from(&self.sig_val);
 
@@ -418,9 +498,18 @@ impl Machine {
         }
         while let Some(ev) = self.queue.pop_front() {
             self.events += 1;
+            // +1 counts the event just popped.
+            self.queue_hwm = self.queue_hwm.max(self.queue.len() + 1);
             match ev {
                 Ev::Det(i) => {
                     let v = self.value[i as usize] == 1;
+                    if self.fine_events {
+                        self.emit_trace(TraceEvent::NetStabilized {
+                            net: i,
+                            label: circuit.nets()[i as usize].label,
+                            value: v,
+                        });
+                    }
                     // Fanouts are (target, edge-polarity).
                     for k in 0..circuit.fanouts(NetId(i)).len() {
                         let (j, neg) = circuit.fanouts(NetId(i))[k];
@@ -448,9 +537,14 @@ impl Machine {
             .collect();
         let undetermined = stuck.iter().filter(|&&b| b).count();
         if undetermined > 0 {
+            let report = analyze(&circuit, &stuck, undetermined, self.seq);
+            if !self.sinks.is_empty() {
+                self.emit_trace(TraceEvent::CausalityFailure { report: &report });
+            }
             return Err(RuntimeError::Causality {
-                cycle: extract_cycle(&circuit, &stuck),
+                cycle: report.nets.clone(),
                 undetermined,
+                report,
             });
         }
 
@@ -485,6 +579,17 @@ impl Machine {
             events: self.events,
         };
         self.seq += 1;
+        if let Some(t) = t0 {
+            self.emit_trace(TraceEvent::ReactionEnd {
+                reaction: &reaction,
+                stats: ReactionStats {
+                    duration_ns: t.elapsed().as_nanos() as u64,
+                    events: self.events,
+                    actions: self.actions_run,
+                    queue_hwm: self.queue_hwm,
+                },
+            });
+        }
         if let Some(t) = &mut self.trace {
             t.push(reaction.clone());
         }
@@ -632,6 +737,9 @@ impl Machine {
         fresh.next_instance = self.next_instance;
         fresh.seq = self.seq;
         fresh.listeners = std::mem::take(&mut self.listeners);
+        fresh.sinks = std::mem::take(&mut self.sinks);
+        fresh.fine_events = self.fine_events;
+        fresh.metrics = self.metrics.take();
         *self = fresh;
         self
     }
@@ -904,7 +1012,22 @@ impl Machine {
         let aid = circuit.nets()[j as usize]
             .action
             .expect("fire() requires an action");
-        match &circuit.actions()[aid.index()] {
+        self.actions_run += 1;
+        let action = &circuit.actions()[aid.index()];
+        if self.fine_events {
+            let kind = match action {
+                Action::Emit { .. } => "emit",
+                Action::Atom(_) => "atom",
+                Action::CounterReset { .. } => "counter-reset",
+                Action::AsyncSpawn(_) => "async-spawn",
+                Action::AsyncKill(_) => "async-kill",
+                Action::AsyncSuspend(_) => "async-suspend",
+                Action::AsyncResume(_) => "async-resume",
+                Action::AsyncDone(_) => "async-done",
+            };
+            self.emit_trace(TraceEvent::ActionRun { net: j, kind });
+        }
+        match action {
             Action::Emit { signal, value } => {
                 let v = value.as_ref().map(|e| e.eval(&self.env(circuit)));
                 if let Some(v) = v {
@@ -920,19 +1043,25 @@ impl Machine {
                     }
                     AtomBody::Log(e) => {
                         let v = e.eval(&self.env(circuit));
-                        self.log.push(v.to_display_string());
+                        self.record_log(v.to_display_string());
                     }
                     AtomBody::Host { f, .. } => {
                         let f = f.clone();
+                        // Host atoms append to a scratch log so the sinks
+                        // see each message too.
+                        let mut scratch = Vec::new();
                         let mut view = AtomView {
                             circuit,
                             values: &self.value,
                             sig_val: &self.sig_val,
                             sig_preval: &self.sig_preval,
                             vars: &mut self.vars,
-                            log: &mut self.log,
+                            log: &mut scratch,
                         };
                         f(&mut view);
+                        for message in scratch {
+                            self.record_log(message);
+                        }
                     }
                 }
                 Ok(())
@@ -952,11 +1081,14 @@ impl Machine {
                     rt.state = Rc::new(RefCell::new(Value::Null));
                     rt.notified = None;
                 }
+                self.emit_async_event(*id, instance, AsyncPhase::Spawn);
                 self.call_hook(circuit, *id, HookKind::Spawn);
                 Ok(())
             }
             Action::AsyncKill(id) => {
                 if self.asyncs[id.index()].active {
+                    let instance = self.asyncs[id.index()].instance;
+                    self.emit_async_event(*id, instance, AsyncPhase::Kill);
                     self.call_hook(circuit, *id, HookKind::Kill);
                     self.asyncs[id.index()].active = false;
                 }
@@ -964,24 +1096,40 @@ impl Machine {
             }
             Action::AsyncSuspend(id) => {
                 if self.asyncs[id.index()].active {
+                    let instance = self.asyncs[id.index()].instance;
+                    self.emit_async_event(*id, instance, AsyncPhase::Suspend);
                     self.call_hook(circuit, *id, HookKind::Suspend);
                 }
                 Ok(())
             }
             Action::AsyncResume(id) => {
                 if self.asyncs[id.index()].active {
+                    let instance = self.asyncs[id.index()].instance;
+                    self.emit_async_event(*id, instance, AsyncPhase::Resume);
                     self.call_hook(circuit, *id, HookKind::Resume);
                 }
                 Ok(())
             }
             Action::AsyncDone(id) => {
                 let v = self.asyncs[id.index()].notified.take().unwrap_or(Value::Null);
+                let instance = self.asyncs[id.index()].instance;
+                self.emit_async_event(*id, instance, AsyncPhase::Done);
                 self.asyncs[id.index()].active = false;
                 if let Some(sig) = circuit.asyncs()[id.index()].signal {
                     self.emit_value(circuit, sig, v, emit_count)?;
                 }
                 Ok(())
             }
+        }
+    }
+
+    fn emit_async_event(&self, id: AsyncId, instance: u64, phase: AsyncPhase) {
+        if !self.sinks.is_empty() {
+            self.emit_trace(TraceEvent::AsyncLifecycle {
+                async_id: id.index() as u32,
+                instance,
+                phase,
+            });
         }
     }
 

@@ -1,0 +1,625 @@
+//! Reaction telemetry: structured trace sinks over the reactive machine.
+//!
+//! The paper's reactive machine is defined by *observable* guarantees —
+//! linear-time reactions, atomic instants, runtime causality reporting
+//! (§2.2.1, §5.2). This module makes those observables first-class: the
+//! machine publishes [`TraceEvent`]s to any number of attached
+//! [`TraceSink`]s, and three sinks ship with the runtime:
+//!
+//! - [`MetricsSink`] aggregates per-reaction duration, net-event count,
+//!   action count and propagation-queue high-water mark, summarized as
+//!   min/p50/p95/max percentiles ([`Summary`]);
+//! - [`JsonlSink`] encodes every event as one JSON object per line
+//!   (hand-rolled encoder — no external dependencies) for machine
+//!   consumption;
+//! - [`VcdSink`] records output signals and writes a standard Value
+//!   Change Dump file viewable in GTKWave (the rendering itself lives in
+//!   [`crate::waveform`]).
+//!
+//! Attach sinks with [`crate::Machine::attach_sink`]; enable the
+//! aggregating sink with [`crate::Machine::enable_metrics`].
+
+use crate::causality::CausalityReport;
+use crate::machine::{Machine, Reaction};
+use crate::waveform::Waveform;
+use hiphop_core::value::Value;
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Events.
+
+/// Lifecycle phase of an `async` statement instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsyncPhase {
+    /// The async block started (control entered it).
+    Spawn,
+    /// The async block was killed by preemption.
+    Kill,
+    /// The enclosing context suspended the block.
+    Suspend,
+    /// The enclosing context resumed the block.
+    Resume,
+    /// The async completed via notification.
+    Done,
+}
+
+impl AsyncPhase {
+    /// Lower-case name used in trace encodings.
+    pub fn name(self) -> &'static str {
+        match self {
+            AsyncPhase::Spawn => "spawn",
+            AsyncPhase::Kill => "kill",
+            AsyncPhase::Suspend => "suspend",
+            AsyncPhase::Resume => "resume",
+            AsyncPhase::Done => "done",
+        }
+    }
+}
+
+/// Per-reaction engine statistics, delivered with
+/// [`TraceEvent::ReactionEnd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReactionStats {
+    /// Wall-clock duration of the reaction, nanoseconds.
+    pub duration_ns: u64,
+    /// Net determination/resolution events processed (linear in circuit
+    /// size — the paper's §5.2 guarantee).
+    pub events: usize,
+    /// Actions (emissions, atoms, counters, async hooks) executed.
+    pub actions: usize,
+    /// High-water mark of the propagation FIFO.
+    pub queue_hwm: usize,
+}
+
+/// One telemetry event published by the machine during a reaction.
+///
+/// Borrowed payloads keep the hot path allocation-free; sinks that need
+/// to keep data copy it.
+#[derive(Debug)]
+pub enum TraceEvent<'a> {
+    /// A reaction is starting.
+    ReactionStart {
+        /// Reaction number (0-based).
+        seq: u64,
+    },
+    /// A net stabilized to a boolean value (only published to sinks that
+    /// return `true` from [`TraceSink::wants_net_events`], and only by
+    /// the event-driven engine).
+    NetStabilized {
+        /// Net index.
+        net: u32,
+        /// The net's debug label.
+        label: &'static str,
+        /// The stabilized value.
+        value: bool,
+    },
+    /// A net's attached action executed.
+    ActionRun {
+        /// Net index whose stabilization triggered the action.
+        net: u32,
+        /// Action kind: `emit`, `atom`, `counter-reset`, `async-*`.
+        kind: &'static str,
+    },
+    /// An async statement instance changed lifecycle state.
+    AsyncLifecycle {
+        /// Async statement index.
+        async_id: u32,
+        /// Monotonic instance number (stale notifications are dropped).
+        instance: u64,
+        /// The transition.
+        phase: AsyncPhase,
+    },
+    /// A `hop { log(...) }` atom (or host code) logged a message.
+    Log {
+        /// Reaction during which the message was logged.
+        seq: u64,
+        /// The message.
+        message: &'a str,
+    },
+    /// The reaction committed; snapshot and statistics attached.
+    ReactionEnd {
+        /// The committed reaction.
+        reaction: &'a Reaction,
+        /// Engine statistics.
+        stats: ReactionStats,
+    },
+    /// The reaction failed with a synchronous deadlock.
+    CausalityFailure {
+        /// The structured cycle report.
+        report: &'a CausalityReport,
+    },
+}
+
+/// A consumer of [`TraceEvent`]s.
+pub trait TraceSink {
+    /// Receives one event. Called synchronously from inside the
+    /// reaction, so implementations should be quick.
+    fn on_event(&mut self, event: &TraceEvent<'_>);
+
+    /// Whether this sink wants per-net [`TraceEvent::NetStabilized`]
+    /// events. Fine-grained events cost one dispatch per net, so the
+    /// machine skips them unless some attached sink opts in.
+    fn wants_net_events(&self) -> bool {
+        false
+    }
+
+    /// Flushes any buffered output (file sinks write here).
+    fn finish(&mut self) {}
+}
+
+/// Shared, attachable sink handle (see [`Machine::attach_sink`]).
+pub type SharedSink = Rc<RefCell<dyn TraceSink>>;
+
+/// Wraps a sink in the shared handle [`Machine::attach_sink`] expects.
+pub fn shared<S: TraceSink + 'static>(sink: S) -> Rc<RefCell<S>> {
+    Rc::new(RefCell::new(sink))
+}
+
+// ---------------------------------------------------------------------------
+// Percentile summaries (bench/src/stats.rs-style, local so the runtime
+// stays dependency-free).
+
+/// Five-number summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples` (empty input gives an all-zero summary).
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let pick = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            p50: pick(0.5),
+            p95: pick(0.95),
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSink.
+
+/// Aggregating sink: per-reaction engine statistics, summarized with
+/// percentiles on demand.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    duration_ns: Vec<f64>,
+    events: Vec<f64>,
+    actions: Vec<f64>,
+    queue_hwm: Vec<f64>,
+    causality_failures: usize,
+    logs: usize,
+    async_events: usize,
+}
+
+/// Snapshot of a [`MetricsSink`]'s aggregates.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics {
+    /// Committed reactions observed.
+    pub reactions: usize,
+    /// Reaction wall-clock duration, microseconds.
+    pub duration_us: Summary,
+    /// Net events per reaction.
+    pub events: Summary,
+    /// Actions per reaction.
+    pub actions: Summary,
+    /// Propagation-queue high-water mark per reaction.
+    pub queue_hwm: Summary,
+    /// Reactions that failed with a causality error.
+    pub causality_failures: usize,
+    /// Logged messages.
+    pub logs: usize,
+    /// Async lifecycle transitions.
+    pub async_events: usize,
+}
+
+impl MetricsSink {
+    /// A fresh sink.
+    pub fn new() -> MetricsSink {
+        MetricsSink::default()
+    }
+
+    /// Total net events across all observed reactions (exact mirror of
+    /// summing [`Reaction::events`]).
+    pub fn total_events(&self) -> usize {
+        self.events.iter().sum::<f64>() as usize
+    }
+
+    /// Number of committed reactions observed.
+    pub fn reactions(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Computes the percentile snapshot.
+    pub fn snapshot(&self) -> Metrics {
+        let us: Vec<f64> = self.duration_ns.iter().map(|ns| ns / 1e3).collect();
+        Metrics {
+            reactions: self.events.len(),
+            duration_us: Summary::of(&us),
+            events: Summary::of(&self.events),
+            actions: Summary::of(&self.actions),
+            queue_hwm: Summary::of(&self.queue_hwm),
+            causality_failures: self.causality_failures,
+            logs: self.logs,
+            async_events: self.async_events,
+        }
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn on_event(&mut self, event: &TraceEvent<'_>) {
+        match event {
+            TraceEvent::ReactionEnd { stats, .. } => {
+                self.duration_ns.push(stats.duration_ns as f64);
+                self.events.push(stats.events as f64);
+                self.actions.push(stats.actions as f64);
+                self.queue_hwm.push(stats.queue_hwm as f64);
+            }
+            TraceEvent::CausalityFailure { .. } => self.causality_failures += 1,
+            TraceEvent::Log { .. } => self.logs += 1,
+            TraceEvent::AsyncLifecycle { .. } => self.async_events += 1,
+            _ => {}
+        }
+    }
+}
+
+impl Metrics {
+    /// Renders the percentile table (the `--metrics` CLI output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let row = |name: &str, s: &Summary, unit: &str| {
+            format!(
+                "{name:<14} {:>10.2} {:>10.2} {:>10.2} {:>10.2}  {unit}\n",
+                s.min, s.p50, s.p95, s.max
+            )
+        };
+        out.push_str(&format!(
+            "reaction metrics over {} reaction(s)\n",
+            self.reactions
+        ));
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>10} {:>10} {:>10}\n",
+            "", "min", "p50", "p95", "max"
+        ));
+        out.push_str(&row("duration", &self.duration_us, "µs"));
+        out.push_str(&row("net events", &self.events, "events"));
+        out.push_str(&row("actions", &self.actions, "actions"));
+        out.push_str(&row("queue hwm", &self.queue_hwm, "slots"));
+        out.push_str(&format!(
+            "causality failures: {}   logs: {}   async transitions: {}\n",
+            self.causality_failures, self.logs, self.async_events
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding (hand-rolled; the repo builds offline with no serde).
+
+/// Escapes `s` as the inside of a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a host [`Value`] as JSON.
+pub(crate) fn json_value(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => {
+            if n.is_finite() {
+                // `f64::to_string` is shortest-roundtrip in Rust.
+                n.to_string()
+            } else {
+                // JSON has no NaN/Inf; encode as strings.
+                format!("\"{n}\"")
+            }
+        }
+        Value::Str(s) => format!("\"{}\"", json_escape(s)),
+        Value::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(json_value).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Obj(map) => {
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", json_escape(k), json_value(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// Structured-trace sink: one JSON object per line, one line per event.
+pub struct JsonlSink {
+    out: Box<dyn Write>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+/// An in-memory byte buffer usable as a [`JsonlSink`] target; keep the
+/// returned handle to read what was written (used by tests and the
+/// oracle command).
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer(pub Rc<RefCell<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// A fresh empty buffer.
+    pub fn new() -> SharedBuffer {
+        SharedBuffer::default()
+    }
+    /// The buffered bytes as UTF-8 text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.0.borrow()).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl JsonlSink {
+    /// A sink writing to an arbitrary byte stream.
+    pub fn new(out: Box<dyn Write>) -> JsonlSink {
+        JsonlSink { out }
+    }
+
+    /// A sink writing (buffered) to the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn to_file(path: &str) -> std::io::Result<JsonlSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    /// A sink writing to an in-memory buffer, plus the read handle.
+    pub fn buffered() -> (JsonlSink, SharedBuffer) {
+        let buf = SharedBuffer::new();
+        (JsonlSink::new(Box::new(buf.clone())), buf)
+    }
+
+    fn line(&mut self, json: &str) {
+        let _ = writeln!(self.out, "{json}");
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn on_event(&mut self, event: &TraceEvent<'_>) {
+        let json = match event {
+            TraceEvent::ReactionStart { seq } => {
+                format!("{{\"type\":\"reaction_start\",\"seq\":{seq}}}")
+            }
+            TraceEvent::NetStabilized { net, label, value } => format!(
+                "{{\"type\":\"net\",\"net\":{net},\"label\":\"{}\",\"value\":{value}}}",
+                json_escape(label)
+            ),
+            TraceEvent::ActionRun { net, kind } => {
+                format!("{{\"type\":\"action\",\"net\":{net},\"kind\":\"{kind}\"}}")
+            }
+            TraceEvent::AsyncLifecycle {
+                async_id,
+                instance,
+                phase,
+            } => format!(
+                "{{\"type\":\"async\",\"id\":{async_id},\"instance\":{instance},\"phase\":\"{}\"}}",
+                phase.name()
+            ),
+            TraceEvent::Log { seq, message } => format!(
+                "{{\"type\":\"log\",\"seq\":{seq},\"message\":\"{}\"}}",
+                json_escape(message)
+            ),
+            TraceEvent::ReactionEnd { reaction, stats } => {
+                let outputs: Vec<String> = reaction
+                    .outputs
+                    .iter()
+                    .map(|o| {
+                        format!(
+                            "{{\"name\":\"{}\",\"present\":{},\"value\":{}}}",
+                            json_escape(&o.name),
+                            o.present,
+                            json_value(&o.value)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"type\":\"reaction_end\",\"seq\":{},\"duration_ns\":{},\"events\":{},\"actions\":{},\"queue_hwm\":{},\"terminated\":{},\"outputs\":[{}]}}",
+                    reaction.seq,
+                    stats.duration_ns,
+                    stats.events,
+                    stats.actions,
+                    stats.queue_hwm,
+                    reaction.terminated,
+                    outputs.join(",")
+                )
+            }
+            TraceEvent::CausalityFailure { report } => report.to_json(),
+        };
+        self.line(&json);
+    }
+
+    fn wants_net_events(&self) -> bool {
+        true
+    }
+
+    fn finish(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VcdSink.
+
+/// Value Change Dump sink: records output signals each reaction and
+/// writes a GTKWave-compatible `.vcd` on [`TraceSink::finish`] (also on
+/// drop). One VCD time unit = one instant.
+pub struct VcdSink {
+    wf: Waveform,
+    module: String,
+    out: Option<Box<dyn Write>>,
+}
+
+impl std::fmt::Debug for VcdSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VcdSink")
+            .field("module", &self.module)
+            .finish_non_exhaustive()
+    }
+}
+
+impl VcdSink {
+    /// A sink recording `signals` of machine/program `module`, writing
+    /// to `out` when finished.
+    pub fn new(module: impl Into<String>, signals: &[&str], out: Box<dyn Write>) -> VcdSink {
+        VcdSink {
+            wf: Waveform::new(signals),
+            module: module.into(),
+            out: Some(out),
+        }
+    }
+
+    /// A sink recording every output signal of `machine`, writing to the
+    /// file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn for_machine(machine: &Machine, path: &str) -> std::io::Result<VcdSink> {
+        let outputs: Vec<String> = machine
+            .signals()
+            .filter(|(_, d, _, _)| d.is_output())
+            .map(|(n, _, _, _)| n)
+            .collect();
+        let refs: Vec<&str> = outputs.iter().map(String::as_str).collect();
+        let f = std::fs::File::create(path)?;
+        Ok(VcdSink::new(
+            machine.circuit().name.clone(),
+            &refs,
+            Box::new(std::io::BufWriter::new(f)),
+        ))
+    }
+
+    /// The VCD text recorded so far (rendered fresh on each call).
+    pub fn render(&self) -> String {
+        self.wf.render_vcd(&self.module)
+    }
+}
+
+impl TraceSink for VcdSink {
+    fn on_event(&mut self, event: &TraceEvent<'_>) {
+        if let TraceEvent::ReactionEnd { reaction, .. } = event {
+            self.wf.record(reaction);
+        }
+    }
+
+    fn finish(&mut self) {
+        if let Some(mut out) = self.out.take() {
+            let _ = out.write_all(self.wf.render_vcd(&self.module).as_bytes());
+            let _ = out.flush();
+        }
+    }
+}
+
+impl Drop for VcdSink {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_percentiles() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(Summary::of(&[]).count, 0);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_value(&Value::Str("x\"y".into())), "\"x\\\"y\"");
+        assert_eq!(json_value(&Value::Num(1.5)), "1.5");
+        assert_eq!(json_value(&Value::Num(f64::NAN)), "\"NaN\"");
+        assert_eq!(json_value(&Value::Null), "null");
+        assert_eq!(
+            json_value(&Value::Arr(vec![Value::Bool(true), Value::Num(2.0)])),
+            "[true,2]"
+        );
+    }
+
+    #[test]
+    fn metrics_render_mentions_percentile_columns() {
+        let mut sink = MetricsSink::new();
+        sink.on_event(&TraceEvent::ReactionEnd {
+            reaction: &Reaction {
+                seq: 0,
+                outputs: vec![],
+                terminated: false,
+                events: 10,
+            },
+            stats: ReactionStats {
+                duration_ns: 2_000,
+                events: 10,
+                actions: 3,
+                queue_hwm: 4,
+            },
+        });
+        let text = sink.snapshot().render();
+        assert!(text.contains("p95"), "{text}");
+        assert!(text.contains("duration"), "{text}");
+        assert!(text.contains("queue hwm"), "{text}");
+        assert_eq!(sink.total_events(), 10);
+    }
+}

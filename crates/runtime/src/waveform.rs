@@ -100,6 +100,73 @@ impl Waveform {
         out
     }
 
+    /// Renders the recording as a standard Value Change Dump (IEEE 1364)
+    /// viewable in GTKWave: one VCD time unit per instant, one 1-bit wire
+    /// per signal for *presence* and one `real` variable (`name.val`) for
+    /// the signal's numeric value. Non-numeric values use GTKWave's
+    /// string-change extension (`s<text>`).
+    pub fn render_vcd(&self, module: &str) -> String {
+        let sanitize = |s: &str| -> String {
+            s.chars()
+                .map(|c| if c.is_whitespace() { '_' } else { c })
+                .collect()
+        };
+        let mut out = String::new();
+        out.push_str("$comment hiphop-rs reaction trace (1 time unit = 1 instant) $end\n");
+        out.push_str("$timescale 1 us $end\n");
+        let _ = writeln!(out, "$scope module {} $end", sanitize(module));
+        for (i, name) in self.signals.iter().enumerate() {
+            let name = sanitize(name);
+            let _ = writeln!(out, "$var wire 1 {} {} $end", vcd_id(2 * i), name);
+            let _ = writeln!(out, "$var real 64 {} {}.val $end", vcd_id(2 * i + 1), name);
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        for t in 0..self.instants {
+            let mut changes = String::new();
+            for (i, track) in self.tracks.iter().enumerate() {
+                let present = track.present[t];
+                if t == 0 || present != track.present[t - 1] {
+                    let _ = writeln!(changes, "{}{}", present as u8, vcd_id(2 * i));
+                }
+                let value = &track.values[t];
+                if t == 0 || value != &track.values[t - 1] {
+                    match value {
+                        Value::Null => {
+                            if t > 0 {
+                                let _ = writeln!(changes, "rnan {}", vcd_id(2 * i + 1));
+                            }
+                        }
+                        Value::Bool(b) => {
+                            let _ =
+                                writeln!(changes, "r{} {}", u8::from(*b), vcd_id(2 * i + 1));
+                        }
+                        Value::Num(n) => {
+                            let _ = writeln!(changes, "r{n} {}", vcd_id(2 * i + 1));
+                        }
+                        other => {
+                            let _ = writeln!(
+                                changes,
+                                "s{} {}",
+                                sanitize(&other.to_display_string()),
+                                vcd_id(2 * i + 1)
+                            );
+                        }
+                    }
+                }
+            }
+            let _ = writeln!(out, "#{t}");
+            if t == 0 {
+                out.push_str("$dumpvars\n");
+                out.push_str(&changes);
+                out.push_str("$end\n");
+            } else {
+                out.push_str(&changes);
+            }
+        }
+        let _ = writeln!(out, "#{}", self.instants);
+        out
+    }
+
     /// Renders the ASCII timing diagram.
     pub fn render(&self) -> String {
         let width = self.signals.iter().map(String::len).max().unwrap_or(0).max(7);
@@ -118,6 +185,20 @@ impl Waveform {
         }
         out
     }
+}
+
+/// A printable VCD identifier code for variable `n` (base-94 over the
+/// printable ASCII range `!`..`~`, as the VCD grammar requires).
+fn vcd_id(mut n: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (n % 94) as u8) as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
 }
 
 #[cfg(test)]

@@ -5,8 +5,7 @@
 //! Deterministic under a seed, so performances replay identically.
 
 use crate::composition::{Composition, PatternId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hiphop_core::rng::Rng;
 use std::collections::{HashMap, HashSet};
 
 /// One audience selection: a pattern in a group.
@@ -20,7 +19,7 @@ pub struct Selection {
 
 /// A simulated audience.
 pub struct Audience {
-    rng: StdRng,
+    rng: Rng,
     /// Probability (0–1) that any member selects during a beat, per
     /// active group.
     pub enthusiasm: f64,
@@ -31,7 +30,7 @@ impl Audience {
     /// A seeded audience.
     pub fn new(seed: u64, enthusiasm: f64) -> Audience {
         Audience {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             enthusiasm,
             used_tank_patterns: HashMap::new(),
         }
@@ -44,7 +43,7 @@ impl Audience {
         let mut out = Vec::new();
         for name in active {
             let Some(group) = comp.group(name) else { continue };
-            if self.rng.gen::<f64>() > self.enthusiasm {
+            if self.rng.gen_f64() > self.enthusiasm {
                 continue;
             }
             let used = self.used_tank_patterns.entry(name.clone()).or_default();

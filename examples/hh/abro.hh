@@ -1,0 +1,15 @@
+// ABRO — the "hello world" of synchronous programming (paper §2.1).
+//
+// Await A and B in any order (possibly the same instant), then emit O;
+// R resets the whole behaviour.
+//
+// Try:
+//   hiphopc trace examples/hh/abro.hh --stimulus ";A;B;R;A B" \
+//       --metrics --vcd out.vcd --jsonl trace.jsonl
+//   hiphopc oracle examples/hh/abro.hh --stimulus ";A;B;R;A B"
+module ABRO(in A, in B, in R, out O) {
+   do {
+      fork { await (A.now); } par { await (B.now); }
+      emit O();
+   } every (R.now)
+}

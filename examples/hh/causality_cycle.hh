@@ -1,0 +1,10 @@
+// The classic non-constructive program (paper §5.2): X must be present
+// exactly when it is absent. Any reaction deadlocks, and the machine
+// reports the dependency cycle with the offending signal named.
+//
+// Try:
+//   hiphopc trace examples/hh/causality_cycle.hh --stimulus ";" --jsonl cycle.jsonl
+module Paradox() {
+   signal X;
+   if (!X.now) { emit X(); }
+}

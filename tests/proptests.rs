@@ -11,17 +11,31 @@
 //! 5. the textual pipeline (print → parse) preserves behavior;
 //! 6. built-in combine functions are commutative, making simultaneous
 //!    emission order unobservable.
+//!
+//! The harness is a deterministic seed sweep over the internal
+//! `hiphop_core::rng` generator (the external `proptest` dependency was
+//! dropped so the repository builds offline); every failure message
+//! includes the case seed, which reproduces the program exactly.
 
 use hiphop::compiler::{compile_module_with, CompileOptions};
 use hiphop::prelude::*;
 use hiphop_bench::synthetic_program;
-use proptest::prelude::*;
+use hiphop_core::rng::Rng;
+
+/// Runs `f` over `n` deterministic cases; each case gets its own
+/// generator seeded from the sweep position.
+fn cases(n: u64, f: impl Fn(&mut Rng, u64)) {
+    for case in 0..n {
+        let seed = 0xC0FFEE ^ (case.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = Rng::seed_from_u64(seed);
+        f(&mut rng, seed);
+    }
+}
 
 /// Drives `machine` with a deterministic pseudo-random input schedule and
 /// returns the trace of all output snapshots.
 fn drive(machine: &mut Machine, seed: u64, steps: usize) -> Vec<String> {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut trace = Vec::new();
     let r = machine.react().expect("boot");
     trace.push(format!("{:?}", r.outputs));
@@ -29,7 +43,7 @@ fn drive(machine: &mut Machine, seed: u64, steps: usize) -> Vec<String> {
         let mut inputs: Vec<(String, Value)> = Vec::new();
         for k in 0..8 {
             if rng.gen_bool(0.3) {
-                inputs.push((format!("i{k}"), Value::from(rng.gen_range(0..5) as i64)));
+                inputs.push((format!("i{k}"), Value::from(rng.gen_range(0i64..5))));
             }
         }
         let refs: Vec<(&str, Value)> = inputs
@@ -42,22 +56,24 @@ fn drive(machine: &mut Machine, seed: u64, steps: usize) -> Vec<String> {
     trace
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn compilation_is_total(seed in any::<u64>(), size in 10usize..120) {
+#[test]
+fn compilation_is_total() {
+    cases(24, |rng, seed| {
+        let size = rng.gen_range(10usize..120);
         let module = synthetic_program(size, seed);
         let compiled = compile_module_with(
             &module,
             &ModuleRegistry::new(),
             CompileOptions::default(),
         );
-        prop_assert!(compiled.is_ok(), "{:?}", compiled.err());
-    }
+        assert!(compiled.is_ok(), "seed {seed}: {:?}", compiled.err());
+    });
+}
 
-    #[test]
-    fn reactions_are_deterministic(seed in any::<u64>(), size in 10usize..100) {
+#[test]
+fn reactions_are_deterministic() {
+    cases(24, |rng, seed| {
+        let size = rng.gen_range(10usize..100);
         let module = synthetic_program(size, seed);
         let build = || {
             let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
@@ -66,11 +82,14 @@ proptest! {
         };
         let t1 = drive(&mut build(), seed ^ 1, 30);
         let t2 = drive(&mut build(), seed ^ 1, 30);
-        prop_assert_eq!(t1, t2);
-    }
+        assert_eq!(t1, t2, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn optimizer_preserves_behavior(seed in any::<u64>(), size in 10usize..100) {
+#[test]
+fn optimizer_preserves_behavior() {
+    cases(24, |rng, seed| {
+        let size = rng.gen_range(10usize..100);
         let module = synthetic_program(size, seed);
         let run = |optimize: bool| {
             let c = compile_module_with(
@@ -81,11 +100,14 @@ proptest! {
             .expect("compiles");
             drive(&mut Machine::new(c.circuit), seed ^ 2, 30)
         };
-        prop_assert_eq!(run(true), run(false));
-    }
+        assert_eq!(run(true), run(false), "seed {seed}");
+    });
+}
 
-    #[test]
-    fn reaction_work_is_linear_in_circuit_size(seed in any::<u64>(), size in 20usize..120) {
+#[test]
+fn reaction_work_is_linear_in_circuit_size() {
+    cases(24, |rng, seed| {
+        let size = rng.gen_range(20usize..120);
         let module = synthetic_program(size, seed);
         let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
             .expect("compiles");
@@ -93,21 +115,24 @@ proptest! {
         let bound = 4 * (stats.nets + stats.fanin_edges + stats.dep_edges) + 64;
         let mut machine = Machine::new(c.circuit);
         let r = machine.react().expect("boot");
-        prop_assert!(
+        assert!(
             r.events <= bound,
-            "events {} exceed linear bound {bound}",
+            "seed {seed}: events {} exceed linear bound {bound}",
             r.events
         );
         for _ in 0..5 {
             let r = machine
                 .react_with(&[("i0", Value::Bool(true))])
                 .expect("reaction");
-            prop_assert!(r.events <= bound);
+            assert!(r.events <= bound, "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn print_parse_roundtrip_preserves_behavior(seed in any::<u64>(), size in 10usize..80) {
+#[test]
+fn print_parse_roundtrip_preserves_behavior() {
+    cases(24, |rng, seed| {
+        let size = rng.gen_range(10usize..80);
         let module = synthetic_program(size, seed);
         // Render the module in concrete syntax.
         let mut iface = Vec::new();
@@ -115,8 +140,9 @@ proptest! {
             iface.push(format!("{} {}", d.direction, d.name));
         }
         let src = format!("module M({}) {{\n{}\n}}", iface.join(", "), module.body);
-        let (parsed, reg) = hiphop::lang::parse_program(&src, "M", &hiphop::lang::HostRegistry::new())
-            .map_err(|e| TestCaseError::fail(format!("reparse: {e}\n{src}")))?;
+        let (parsed, reg) =
+            hiphop::lang::parse_program(&src, "M", &hiphop::lang::HostRegistry::new())
+                .unwrap_or_else(|e| panic!("seed {seed}: reparse: {e}\n{src}"));
         // Re-attach the combine/init declarations (not rendered by the
         // statement printer) so behavior matches.
         let mut parsed = parsed;
@@ -131,22 +157,37 @@ proptest! {
                 .expect("reparsed compiles");
             drive(&mut Machine::new(c.circuit), seed ^ 3, 20)
         };
-        prop_assert_eq!(reference, reparsed, "source:\n{}", src);
-    }
+        assert_eq!(reference, reparsed, "seed {seed}: source:\n{src}");
+    });
+}
 
-    #[test]
-    fn builtin_combines_are_commutative(a in -1e6f64..1e6, b in -1e6f64..1e6) {
-        for c in [Combine::Plus, Combine::Mul, Combine::Min, Combine::Max, Combine::And, Combine::Or] {
+#[test]
+fn builtin_combines_are_commutative() {
+    cases(64, |rng, _| {
+        let a = (rng.gen_f64() - 0.5) * 2e6;
+        let b = (rng.gen_f64() - 0.5) * 2e6;
+        for c in [
+            Combine::Plus,
+            Combine::Mul,
+            Combine::Min,
+            Combine::Max,
+            Combine::And,
+            Combine::Or,
+        ] {
             let x = Value::Num(a);
             let y = Value::Num(b);
-            prop_assert_eq!(c.apply(&x, &y), c.apply(&y, &x), "{:?}", c);
+            assert_eq!(c.apply(&x, &y), c.apply(&y, &x), "{c:?} on {a} {b}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn emission_order_is_unobservable(vals in proptest::collection::vec(-100i64..100, 2..6)) {
+#[test]
+fn emission_order_is_unobservable() {
+    cases(24, |rng, seed| {
         // Emit the same values from parallel branches in two different
         // static orders; the combined result must agree.
+        let len = rng.gen_range(2usize..6);
+        let vals: Vec<i64> = (0..len).map(|_| rng.gen_range(-100i64..100)).collect();
         let build = |values: &[i64]| {
             let branches: Vec<Stmt> = values
                 .iter()
@@ -169,18 +210,17 @@ proptest! {
         };
         let mut rev = vals.clone();
         rev.reverse();
-        prop_assert_eq!(run(&vals), run(&rev));
-    }
+        assert_eq!(run(&vals), run(&rev), "seed {seed}: {vals:?}");
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn naive_and_event_driven_engines_agree(seed in any::<u64>(), size in 10usize..100) {
+#[test]
+fn naive_and_event_driven_engines_agree() {
+    cases(16, |rng, seed| {
         // The O(n²) sweep engine is an independent implementation of the
         // constructive fixpoint; both engines must produce identical
         // observable traces on the same circuit.
+        let size = rng.gen_range(10usize..100);
         let module = synthetic_program(size, seed);
         let run = |naive: bool| {
             let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
@@ -189,11 +229,13 @@ proptest! {
             m.set_naive(naive);
             drive(&mut m, seed ^ 4, 25)
         };
-        prop_assert_eq!(run(false), run(true));
-    }
+        assert_eq!(run(false), run(true), "seed {seed}");
+    });
+}
 
-    #[test]
-    fn naive_engine_detects_the_same_causality_errors(flip in any::<bool>()) {
+#[test]
+fn naive_engine_detects_the_same_causality_errors() {
+    for flip in [false, true] {
         let body = if flip {
             Stmt::local(
                 vec![SignalDecl::new("X", Direction::Local)],
@@ -211,6 +253,6 @@ proptest! {
         let mut m = Machine::new(c.circuit);
         m.set_naive(true);
         let causality = matches!(m.react(), Err(RuntimeError::Causality { .. }));
-        prop_assert!(causality);
+        assert!(causality, "flip {flip}");
     }
 }
