@@ -13,4 +13,13 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Widened cross-engine differential sweep: every generated program runs
+# under the levelized, constructive and naive engines plus the reference
+# interpreter (tests/proptests.rs). Override the seed count with
+# HIPHOP_PROPTEST_SEEDS=N ./ci.sh.
+HIPHOP_PROPTEST_SEEDS="${HIPHOP_PROPTEST_SEEDS:-64}"
+echo "==> differential proptest sweep (${HIPHOP_PROPTEST_SEEDS} seeds)"
+HIPHOP_PROPTEST_SEEDS="$HIPHOP_PROPTEST_SEEDS" \
+    cargo test -q --offline --test proptests -- all_engines_agree_with_the_interpreter
+
 echo "ci: all green"

@@ -3,8 +3,8 @@
 //! Run with `cargo run -p hiphop-bench --bin report --release`.
 
 use hiphop_bench::{
-    linear_fit, login_v2_abort_comparison, memory_table, optimizer_ablation, schizo_sweep,
-    size_sweep, skini_latency, telemetry_metrics,
+    engine_comparison, linear_fit, login_v2_abort_comparison, memory_table, optimizer_ablation,
+    schizo_sweep, size_sweep, skini_latency, telemetry_metrics,
 };
 
 fn main() {
@@ -155,6 +155,36 @@ fn main() {
     println!("\nE6 — runtime telemetry (MetricsSink over a 640-stmt synthetic program)");
     let metrics = telemetry_metrics(640, 500, 2020);
     print!("{}", metrics.render());
+
+    // ------------------------------------------------------------------- E7
+    println!("\nE7 — engine comparison (same 640-stmt workload, one drive per engine)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "engine", "p50 (µs)", "p95 (µs)", "max (µs)", "events p50", "queue p50"
+    );
+    let rows = engine_comparison(640, 500, 2020);
+    for r in &rows {
+        println!(
+            "{:<14} {:>10.1} {:>10.1} {:>10.1} {:>12.0} {:>12.0}",
+            r.engine.name(),
+            r.metrics.duration_us.p50,
+            r.metrics.duration_us.p95,
+            r.metrics.duration_us.max,
+            r.metrics.events.p50,
+            r.metrics.queue_hwm.p50,
+        );
+    }
+    let p50 = |mode: hiphop_runtime::EngineMode| {
+        rows.iter()
+            .find(|r| r.engine == mode)
+            .map(|r| r.metrics.duration_us.p50)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "levelized / constructive p50 ratio: {:.2}×",
+        p50(hiphop_runtime::EngineMode::Constructive)
+            / p50(hiphop_runtime::EngineMode::Levelized)
+    );
 
     println!("\ndone.");
 }

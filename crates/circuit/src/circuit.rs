@@ -32,11 +32,15 @@ pub struct Circuit {
     pub boot_net: Option<NetId>,
     /// Root completion net: 1 when the whole program terminates.
     pub terminated_net: Option<NetId>,
-    /// Fanouts with the consuming edge's polarity, computed by
-    /// [`Circuit::finalize`].
-    fanouts: Vec<Vec<(NetId, bool)>>,
-    /// Dependency fanouts (which nets wait on me), computed by finalize.
-    dep_fanouts: Vec<Vec<NetId>>,
+    /// Flattened fanout edges with the consuming edge's polarity, grouped
+    /// by source net (compressed sparse rows, computed by
+    /// [`Circuit::finalize`]). `fanout_start[i]..fanout_start[i+1]` slices
+    /// the edges of net `i`.
+    fanout_edges: Vec<(NetId, bool)>,
+    fanout_start: Vec<u32>,
+    /// Flattened dependency fanouts (which nets wait on me), same layout.
+    dep_fanout_edges: Vec<NetId>,
+    dep_fanout_start: Vec<u32>,
     finalized: bool,
 }
 
@@ -255,11 +259,15 @@ impl Circuit {
     /// Fanouts of a net with the consuming edge's polarity (requires
     /// [`Circuit::finalize`]).
     pub fn fanouts(&self, id: NetId) -> &[(NetId, bool)] {
-        &self.fanouts[id.index()]
+        let s = self.fanout_start[id.index()] as usize;
+        let e = self.fanout_start[id.index() + 1] as usize;
+        &self.fanout_edges[s..e]
     }
     /// Nets depending on `id` (requires [`Circuit::finalize`]).
     pub fn dep_fanouts(&self, id: NetId) -> &[NetId] {
-        &self.dep_fanouts[id.index()]
+        let s = self.dep_fanout_start[id.index()] as usize;
+        let e = self.dep_fanout_start[id.index() + 1] as usize;
+        &self.dep_fanout_edges[s..e]
     }
     /// Whether [`Circuit::finalize`] has run.
     pub fn is_finalized(&self) -> bool {
@@ -271,20 +279,56 @@ impl Circuit {
 
     /// Computes fanout and dependency-fanout tables; call once after
     /// construction.
+    ///
+    /// The tables are compressed sparse rows: one contiguous edge array
+    /// per table plus per-net start offsets, so a reaction's fanout walks
+    /// touch dense cache-friendly memory instead of a `Vec` per net.
     pub fn finalize(&mut self) {
         let n = self.nets.len();
-        let mut fanouts: Vec<Vec<(NetId, bool)>> = vec![Vec::new(); n];
-        let mut dep_fanouts = vec![Vec::new(); n];
-        for (i, net) in self.nets.iter().enumerate() {
+        let mut fan_count = vec![0u32; n];
+        let mut dep_count = vec![0u32; n];
+        for net in &self.nets {
             for f in &net.fanins {
-                fanouts[f.net.index()].push((NetId(i as u32), f.negated));
+                fan_count[f.net.index()] += 1;
             }
             for d in &net.deps {
-                dep_fanouts[d.index()].push(NetId(i as u32));
+                dep_count[d.index()] += 1;
             }
         }
-        self.fanouts = fanouts;
-        self.dep_fanouts = dep_fanouts;
+        let prefix = |counts: &[u32]| -> Vec<u32> {
+            let mut start = Vec::with_capacity(counts.len() + 1);
+            let mut acc = 0u32;
+            start.push(0);
+            for &c in counts {
+                acc += c;
+                start.push(acc);
+            }
+            start
+        };
+        let fanout_start = prefix(&fan_count);
+        let dep_fanout_start = prefix(&dep_count);
+        let mut fanout_edges = vec![(NetId(0), false); *fanout_start.last().unwrap() as usize];
+        let mut dep_fanout_edges = vec![NetId(0); *dep_fanout_start.last().unwrap() as usize];
+        // Second pass: scatter edges; cursors start at each row's offset,
+        // preserving consumer order within a row.
+        let mut fan_cur: Vec<u32> = fanout_start[..n].to_vec();
+        let mut dep_cur: Vec<u32> = dep_fanout_start[..n].to_vec();
+        for (i, net) in self.nets.iter().enumerate() {
+            for f in &net.fanins {
+                let c = &mut fan_cur[f.net.index()];
+                fanout_edges[*c as usize] = (NetId(i as u32), f.negated);
+                *c += 1;
+            }
+            for d in &net.deps {
+                let c = &mut dep_cur[d.index()];
+                dep_fanout_edges[*c as usize] = NetId(i as u32);
+                *c += 1;
+            }
+        }
+        self.fanout_edges = fanout_edges;
+        self.fanout_start = fanout_start;
+        self.dep_fanout_edges = dep_fanout_edges;
+        self.dep_fanout_start = dep_fanout_start;
         self.finalized = true;
     }
 
@@ -536,6 +580,73 @@ impl Circuit {
         out
     }
 
+    /// Topological levelization of the combinational graph (fanin edges
+    /// plus data dependencies; registers break cycles by construction), or
+    /// `None` if the graph has a static cycle — exactly when
+    /// [`Circuit::static_cycles`] is non-empty.
+    ///
+    /// This is the classic Esterel acyclic-circuit strategy: when the
+    /// graph levelizes, a reaction can be evaluated by a single dense
+    /// sweep in level order with no constructive ⊥-bookkeeping, because
+    /// every fanin *and* every data dependency of a net stabilizes at a
+    /// strictly lower level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is not finalized (the Kahn pass walks the
+    /// fanout tables).
+    pub fn levelize(&self) -> Option<Levelization> {
+        assert!(self.finalized, "levelize requires a finalized circuit");
+        let n = self.nets.len();
+        let mut indegree = vec![0u32; n];
+        for (i, net) in self.nets.iter().enumerate() {
+            indegree[i] = (net.fanins.len() + net.deps.len()) as u32;
+        }
+        let mut level_of = vec![0u32; n];
+        let mut order: Vec<NetId> = Vec::with_capacity(n);
+        let mut level_starts = vec![0u32];
+        let mut frontier: Vec<NetId> = (0..n as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .map(NetId)
+            .collect();
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            // Canonical within-level order: ascending net id.
+            frontier.sort_unstable();
+            order.extend_from_slice(&frontier);
+            level_starts.push(order.len() as u32);
+            let mut next = Vec::new();
+            for &v in &frontier {
+                let mut relax = |w: NetId| {
+                    let d = &mut indegree[w.index()];
+                    *d -= 1;
+                    if *d == 0 {
+                        // The last predecessor of `w` sits on this level,
+                        // so `w` belongs to the next one.
+                        level_of[w.index()] = level + 1;
+                        next.push(w);
+                    }
+                };
+                for &(w, _) in self.fanouts(v) {
+                    relax(w);
+                }
+                for &w in self.dep_fanouts(v) {
+                    relax(w);
+                }
+            }
+            frontier = next;
+            level += 1;
+        }
+        if order.len() < n {
+            return None; // A combinational cycle kept some nets unready.
+        }
+        Some(Levelization {
+            order,
+            level_starts,
+            level_of,
+        })
+    }
+
     /// Statistics for the paper's §5.3 measurements.
     pub fn stats(&self) -> CircuitStats {
         let fanin_edges = self.nets.iter().map(|x| x.fanins.len()).sum();
@@ -566,12 +677,10 @@ impl Circuit {
         }
         total += self.registers.capacity() * size_of::<Register>();
         total += self.actions.capacity() * size_of::<Action>();
-        for v in &self.fanouts {
-            total += v.capacity() * size_of::<(NetId, bool)>() + size_of::<Vec<(NetId, bool)>>();
-        }
-        for v in &self.dep_fanouts {
-            total += v.capacity() * size_of::<NetId>() + size_of::<Vec<NetId>>();
-        }
+        total += self.fanout_edges.capacity() * size_of::<(NetId, bool)>();
+        total += self.fanout_start.capacity() * size_of::<u32>();
+        total += self.dep_fanout_edges.capacity() * size_of::<NetId>();
+        total += self.dep_fanout_start.capacity() * size_of::<u32>();
         for s in &self.signals {
             total += size_of::<SignalInfo>()
                 + s.name.capacity()
@@ -625,6 +734,38 @@ impl Circuit {
         }
         s.push_str("}\n");
         s
+    }
+}
+
+/// A topological levelization of an acyclic combinational graph, from
+/// [`Circuit::levelize`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Levelization {
+    /// Every net exactly once, in topological order, grouped by level
+    /// (level 0 first; ascending net id within a level).
+    pub order: Vec<NetId>,
+    /// Start offset of each level in `order` (length = `levels() + 1`).
+    pub level_starts: Vec<u32>,
+    /// Topological level of each net, indexed by net id.
+    pub level_of: Vec<u32>,
+}
+
+impl Levelization {
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.level_starts.len().saturating_sub(1)
+    }
+    /// Size of the widest level (the sweep's available parallelism).
+    pub fn max_width(&self) -> usize {
+        self.level_starts
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+    /// The nets of one level.
+    pub fn level(&self, i: usize) -> &[NetId] {
+        &self.order[self.level_starts[i] as usize..self.level_starts[i + 1] as usize]
     }
 }
 
@@ -768,6 +909,55 @@ mod tests {
         assert!(dot.contains("digraph"));
         assert!(dot.contains("inA"));
         assert!(dot.contains("arrowhead=odot"));
+    }
+
+    #[test]
+    fn levelize_orders_a_diamond() {
+        let mut c = Circuit::new("diamond");
+        let a = c.input("a");
+        let l = c.or(vec![Fanin::pos(a)], "l");
+        let r = c.and(vec![Fanin::neg(a)], "r");
+        let o = c.or(vec![Fanin::pos(l), Fanin::pos(r)], "o");
+        c.finalize();
+        let lv = c.levelize().expect("acyclic");
+        assert_eq!(lv.levels(), 3);
+        assert_eq!(lv.level(0), &[a]);
+        assert_eq!(lv.level(1), &[l, r]);
+        assert_eq!(lv.level(2), &[o]);
+        assert_eq!(lv.level_of, vec![0, 1, 1, 2]);
+        assert_eq!(lv.max_width(), 2);
+        assert_eq!(lv.order.len(), c.nets().len());
+    }
+
+    #[test]
+    fn levelize_counts_dep_edges() {
+        // b has no fanin from a but depends on it: still level(a) < level(b).
+        let mut c = Circuit::new("deps");
+        let a = c.input("a");
+        let b = c.or(vec![], "b");
+        c.add_dep(b, a);
+        c.finalize();
+        let lv = c.levelize().expect("acyclic");
+        assert_eq!(lv.level_of[a.index()], 0);
+        assert_eq!(lv.level_of[b.index()], 1);
+    }
+
+    #[test]
+    fn levelize_rejects_cycles_exactly_when_static_cycles_fire() {
+        let mut c = Circuit::new("cycle");
+        let x = c.or(vec![], "x");
+        c.add_fanin(x, Fanin::neg(x));
+        c.finalize();
+        assert!(!c.static_cycles().is_empty());
+        assert!(c.levelize().is_none());
+
+        let mut c2 = Circuit::new("reg");
+        let (reg, out) = c2.register(false, "r");
+        let next = c2.or(vec![Fanin::neg(out)], "next");
+        c2.set_register_input(reg, next);
+        c2.finalize();
+        assert!(c2.static_cycles().is_empty());
+        assert!(c2.levelize().is_some());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 pub mod circuit;
 pub mod net;
 
-pub use circuit::{Circuit, CircuitStats};
+pub use circuit::{Circuit, CircuitStats, Levelization};
 pub use net::{
     Action, ActionId, AsyncId, AsyncInfo, CounterId, CounterInfo, Fanin, Net, NetId, NetKind,
     RegId, Register, SignalId, SignalInfo, TestKind,

@@ -18,7 +18,7 @@ use hiphop_core::module::link;
 use hiphop_core::value::Value;
 use hiphop_lang::{parse_file, HostRegistry};
 use hiphop_runtime::telemetry::shared;
-use hiphop_runtime::{JsonlSink, Machine, VcdSink};
+use hiphop_runtime::{EngineMode, JsonlSink, Machine, VcdSink};
 use std::fmt::Write as _;
 
 /// A CLI failure, rendered to stderr by `main`.
@@ -49,6 +49,9 @@ pub struct Options {
     pub no_optimize: bool,
     /// Stimulus for `trace` (instants separated by `;`).
     pub stimulus: Option<String>,
+    /// Evaluation engine override for `run`/`trace`/`oracle` (`None` =
+    /// automatic: levelized when the circuit is acyclic).
+    pub engine: Option<EngineMode>,
     /// Telemetry outputs for `trace` / `oracle`.
     pub telemetry: TelemetryOptions,
 }
@@ -106,9 +109,19 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut main = None;
     let mut no_optimize = false;
     let mut stimulus = None;
+    let mut engine = None;
     let mut telemetry = TelemetryOptions::default();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--engine" => {
+                let name = it.next().ok_or_else(|| {
+                    fail("--engine needs a mode (auto, levelized, constructive, naive)")
+                })?;
+                engine = match name.as_str() {
+                    "auto" => None,
+                    other => Some(other.parse::<EngineMode>().map_err(fail)?),
+                };
+            }
             "--main" => {
                 main = Some(
                     it.next()
@@ -151,12 +164,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         main,
         no_optimize,
         stimulus,
+        engine,
         telemetry,
     })
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: hiphopc <check|stats|pretty|dot|run|trace|oracle> FILE [--main MODULE] [--no-optimize] [--stimulus S]
+pub const USAGE: &str = "usage: hiphopc <check|stats|pretty|dot|run|trace|oracle> FILE [--main MODULE] [--no-optimize] [--stimulus S] [--engine E]
   check   parse, link and statically check the program
   stats   print circuit statistics after compilation
   pretty  pretty-print the linked program
@@ -166,6 +180,13 @@ pub const USAGE: &str = "usage: hiphopc <check|stats|pretty|dot|run|trace|oracle
   trace   render the output waveform for --stimulus \"A;B;;A B\"
   oracle  run --stimulus through the machine AND the reference
           interpreter, reporting any disagreement
+engine selection (run, trace and oracle):
+  --engine auto          levelized when the circuit is acyclic, else
+                         constructive (the default)
+  --engine levelized     dense topological sweep (falls back to
+                         constructive on cyclic circuits)
+  --engine constructive  FIFO event propagation with causality reports
+  --engine naive         O(nets²) reference fixpoint
 telemetry flags (trace and oracle only):
   --metrics      print a per-reaction percentile table (duration, net
                  events, actions, queue high-water mark) to stderr
@@ -234,6 +255,14 @@ pub fn cmd_stats(source: &str, main: Option<&str>, optimize: bool) -> Result<Str
     let _ = writeln!(out, "signals  : {}", stats.signals);
     let _ = writeln!(out, "edges    : {} (+{} data deps)", stats.fanin_edges, stats.dep_edges);
     let _ = writeln!(out, "memory   : {} bytes ({:.1} B/net)", stats.bytes, stats.bytes_per_net());
+    match compiled.levels {
+        Some(levels) => {
+            let _ = writeln!(out, "engine   : levelized ({levels} topological levels)");
+        }
+        None => {
+            let _ = writeln!(out, "engine   : constructive (combinational cycle)");
+        }
+    }
     if compiled.cycle_warnings > 0 {
         let _ = writeln!(
             out,
@@ -294,7 +323,10 @@ pub fn cmd_trace(
     optimize: bool,
     stimulus: &str,
 ) -> Result<String, CliError> {
-    Ok(cmd_trace_with(source, main, optimize, stimulus, &TelemetryOptions::default())?.stdout)
+    Ok(
+        cmd_trace_with(source, main, optimize, stimulus, None, &TelemetryOptions::default())?
+            .stdout,
+    )
 }
 
 /// Output of [`cmd_trace_with`] / [`cmd_oracle_with`]: the main report
@@ -319,9 +351,10 @@ pub fn cmd_trace_with(
     main: Option<&str>,
     optimize: bool,
     stimulus: &str,
+    engine: Option<EngineMode>,
     telemetry: &TelemetryOptions,
 ) -> Result<TraceReport, CliError> {
-    let mut machine = build_machine(source, main, optimize)?;
+    let mut machine = build_machine_with(source, main, optimize, engine)?;
     telemetry.attach(&mut machine)?;
     let outputs: Vec<String> = machine
         .signals()
@@ -360,7 +393,10 @@ pub fn cmd_oracle(
     optimize: bool,
     stimulus: &str,
 ) -> Result<String, CliError> {
-    Ok(cmd_oracle_with(source, main, optimize, stimulus, &TelemetryOptions::default())?.stdout)
+    Ok(
+        cmd_oracle_with(source, main, optimize, stimulus, None, &TelemetryOptions::default())?
+            .stdout,
+    )
 }
 
 /// [`cmd_oracle`] with telemetry sinks attached to the circuit machine
@@ -375,12 +411,16 @@ pub fn cmd_oracle_with(
     main: Option<&str>,
     optimize: bool,
     stimulus: &str,
+    engine: Option<EngineMode>,
     telemetry: &TelemetryOptions,
 ) -> Result<TraceReport, CliError> {
     let (module, registry) = load(source, main)?;
     let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
         .map_err(|e| fail(e.to_string()))?;
     let mut machine = Machine::new(compiled.circuit);
+    if let Some(mode) = engine {
+        machine.set_engine(mode);
+    }
     telemetry.attach(&mut machine)?;
     let mut interp =
         hiphop_interp::Interp::new(&module, &registry).map_err(|e| fail(e.to_string()))?;
@@ -530,10 +570,29 @@ pub fn build_machine(
     main: Option<&str>,
     optimize: bool,
 ) -> Result<Machine, CliError> {
+    build_machine_with(source, main, optimize, None)
+}
+
+/// [`build_machine`] with an explicit engine override (`None` keeps the
+/// automatic choice: levelized when the circuit is acyclic).
+///
+/// # Errors
+///
+/// Fails on front-end or compilation errors.
+pub fn build_machine_with(
+    source: &str,
+    main: Option<&str>,
+    optimize: bool,
+    engine: Option<EngineMode>,
+) -> Result<Machine, CliError> {
     let (module, registry) = load(source, main)?;
     let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
         .map_err(|e| fail(e.to_string()))?;
-    Ok(Machine::new(compiled.circuit))
+    let mut machine = Machine::new(compiled.circuit);
+    if let Some(mode) = engine {
+        machine.set_engine(mode);
+    }
+    Ok(machine)
 }
 
 #[cfg(test)]
@@ -674,6 +733,74 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_engine_flag() {
+        let parse = |mode: &str| {
+            parse_args(&["trace".into(), "x.hh".into(), "--engine".into(), mode.into()])
+        };
+        assert_eq!(parse("auto").unwrap().engine, None);
+        assert_eq!(parse("levelized").unwrap().engine, Some(EngineMode::Levelized));
+        assert_eq!(parse("constructive").unwrap().engine, Some(EngineMode::Constructive));
+        assert_eq!(parse("naive").unwrap().engine, Some(EngineMode::Naive));
+        assert!(parse("turbo").is_err());
+        assert!(parse_args(&["trace".into(), "x.hh".into(), "--engine".into()]).is_err());
+    }
+
+    #[test]
+    fn engine_override_reaches_the_machine() {
+        let auto = build_machine_with(ABRO, None, true, None).unwrap();
+        assert_eq!(auto.engine(), EngineMode::Levelized, "ABRO is acyclic");
+        let forced =
+            build_machine_with(ABRO, None, true, Some(EngineMode::Constructive)).unwrap();
+        assert_eq!(forced.engine(), EngineMode::Constructive);
+        let naive = build_machine_with(ABRO, None, true, Some(EngineMode::Naive)).unwrap();
+        assert_eq!(naive.engine(), EngineMode::Naive);
+    }
+
+    #[test]
+    fn trace_and_oracle_agree_across_engines() {
+        let reference = cmd_trace(ABRO, None, true, ";A;B;R;A B").unwrap();
+        for mode in [EngineMode::Levelized, EngineMode::Constructive, EngineMode::Naive] {
+            let out = cmd_trace_with(
+                ABRO,
+                None,
+                true,
+                ";A;B;R;A B",
+                Some(mode),
+                &TelemetryOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(out.stdout, reference, "waveform differs under {mode}");
+            let oracle = cmd_oracle_with(
+                ABRO,
+                None,
+                true,
+                ";A;B;R;A B",
+                Some(mode),
+                &TelemetryOptions::default(),
+            )
+            .unwrap();
+            assert!(
+                oracle.stdout.contains("agree on all instants"),
+                "{mode}: {}",
+                oracle.stdout
+            );
+        }
+    }
+
+    #[test]
+    fn stats_reports_levelization() {
+        let stats = cmd_stats(ABRO, Some("ABRO"), true).unwrap();
+        assert!(stats.contains("engine   : levelized ("), "{stats}");
+        let cyclic = r#"
+            module Cyc(out X) {
+               if (!X.now) { emit X(); }
+            }
+        "#;
+        let stats = cmd_stats(cyclic, None, true).unwrap();
+        assert!(stats.contains("engine   : constructive"), "{stats}");
+    }
+
+    #[test]
     fn trace_with_metrics_and_files() {
         let dir = std::env::temp_dir();
         let vcd_path = dir.join("hiphopc_test_trace.vcd");
@@ -683,7 +810,7 @@ mod tests {
             jsonl: Some(jsonl_path.to_string_lossy().into_owned()),
             vcd: Some(vcd_path.to_string_lossy().into_owned()),
         };
-        let report = cmd_trace_with(ABRO, None, true, ";A;B;R;A B", &telemetry).unwrap();
+        let report = cmd_trace_with(ABRO, None, true, ";A;B;R;A B", None, &telemetry).unwrap();
         assert!(report.stdout.contains("▁▁█▁█"), "{}", report.stdout);
         let table = report.metrics.expect("--metrics requested");
         assert!(table.contains("p95"), "{table}");
@@ -699,7 +826,7 @@ mod tests {
     #[test]
     fn oracle_with_metrics() {
         let report =
-            cmd_oracle_with(ABRO, None, true, ";A;B", &TelemetryOptions {
+            cmd_oracle_with(ABRO, None, true, ";A;B", None, &TelemetryOptions {
                 metrics: true,
                 ..TelemetryOptions::default()
             })

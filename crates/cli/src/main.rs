@@ -1,6 +1,8 @@
 //! `hiphopc` — the command-line HipHop compiler and runner.
 
-use hiphop_cli::{build_machine, cmd_check, cmd_dot, cmd_pretty, cmd_stats, parse_args, run_line};
+use hiphop_cli::{
+    build_machine_with, cmd_check, cmd_dot, cmd_pretty, cmd_stats, parse_args, run_line,
+};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -31,6 +33,7 @@ fn main() {
             main,
             optimize,
             opts.stimulus.as_deref().unwrap_or(""),
+            opts.engine,
             &opts.telemetry,
         )
         .map(|r| {
@@ -44,6 +47,7 @@ fn main() {
             main,
             optimize,
             opts.stimulus.as_deref().unwrap_or(""),
+            opts.engine,
             &opts.telemetry,
         )
         .map(|r| {
@@ -52,7 +56,7 @@ fn main() {
             }
             Some(r.stdout)
         }),
-        "run" => build_machine(&source, main, optimize).map(|mut machine| {
+        "run" => build_machine_with(&source, main, optimize, opts.engine).map(|mut machine| {
             eprintln!("one line per instant (the first line is the boot instant): `sig` or `sig=value` tokens; ctrl-d ends");
             let stdin = std::io::stdin();
             for line in stdin.lock().lines() {

@@ -149,6 +149,12 @@ pub struct CompiledProgram {
     /// Number of potential causality cycles found statically (the paper:
     /// "a compiler warning if such a dynamic deadlock is possible").
     pub cycle_warnings: usize,
+    /// Topological level count of the combinational graph when it is
+    /// acyclic (`Some` exactly when `cycle_warnings == 0`): the depth of
+    /// the runtime's dense levelized schedule. `None` means the circuit
+    /// has a static cycle and the machine keeps the constructive FIFO
+    /// engine.
+    pub levels: Option<usize>,
 }
 
 /// Compiles an already-linked program with the given options.
@@ -222,9 +228,16 @@ pub fn compile_module_with(
     let warnings = hiphop_core::check::check(&linked)?;
     let circuit = compile_linked(&linked, options)?;
     let cycle_warnings = circuit.static_cycles().len();
+    let levels = circuit.levelize().map(|lv| lv.levels());
+    debug_assert_eq!(
+        levels.is_none(),
+        cycle_warnings > 0,
+        "levelize and static_cycles must agree on acyclicity"
+    );
     Ok(CompiledProgram {
         circuit,
         warnings,
         cycle_warnings,
+        levels,
     })
 }

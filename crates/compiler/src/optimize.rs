@@ -376,6 +376,35 @@ mod tests {
     }
 
     #[test]
+    fn optimization_preserves_levelizability() {
+        // The optimizer only aliases fanins onto existing sources, folds
+        // constants and sweeps dead nets — none of which can introduce a
+        // combinational cycle. The level metadata the runtime's dense
+        // schedule relies on must survive the pass.
+        let mut c = Circuit::new("t");
+        let _c0 = c.constant(false, "c0");
+        let _c1 = c.constant(true, "c1");
+        let a = c.input("a");
+        let b1 = c.or(vec![Fanin::pos(a)], "buf1");
+        let b2 = c.or(vec![Fanin::pos(b1)], "buf2");
+        let g = c.and(vec![Fanin::pos(b2), Fanin::neg(a)], "g");
+        let act = c.or(vec![Fanin::pos(g)], "act");
+        c.add_dep(act, b2); // dep edges levelize too, aliased or not
+        c.attach_action(act, Action::AsyncSpawn(hiphop_circuit::AsyncId(0)));
+
+        let mut raw = c.clone();
+        raw.finalize();
+        let raw_lv = raw.levelize().expect("raw circuit is acyclic");
+
+        optimize(&mut c);
+        c.finalize();
+        let opt_lv = c.levelize().expect("optimized circuit stays acyclic");
+        // Aliasing shortcuts buffer chains, so depth can only shrink.
+        assert!(opt_lv.levels() <= raw_lv.levels());
+        assert_eq!(opt_lv.order.len(), c.nets().len());
+    }
+
+    #[test]
     fn dead_nets_are_swept() {
         let mut c = Circuit::new("t");
         let a = c.input("a");

@@ -39,12 +39,14 @@
 pub mod causality;
 mod env;
 pub mod error;
+pub mod levelized;
 pub mod machine;
 pub mod telemetry;
 pub mod waveform;
 
 pub use causality::CausalityReport;
 pub use error::{CycleNet, RuntimeError};
+pub use levelized::EngineMode;
 pub use machine::{Machine, OutputEvent, Reaction};
 pub use telemetry::{
     JsonlSink, Metrics, MetricsSink, ReactionStats, SharedSink, Summary, TraceEvent, TraceSink,

@@ -14,6 +14,10 @@
 use crate::causality::analyze;
 use crate::env::{AtomView, EnvView};
 use crate::error::RuntimeError;
+use crate::levelized::{
+    EngineMode, LevelSchedule, PackedStates, CODE_AND, CODE_AND_EARLY, CODE_AND_LATE, CODE_CONST0,
+    CODE_CONST1, CODE_INPUT, CODE_OR, CODE_OR_EARLY, CODE_OR_LATE, CODE_REG, CODE_TEST,
+};
 use crate::telemetry::{
     AsyncPhase, Metrics, MetricsSink, ReactionStats, SharedSink, TraceEvent,
 };
@@ -28,7 +32,7 @@ use std::time::Instant;
 
 /// Per-net evaluation strategy, precomputed at machine construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Class {
+pub(crate) enum Class {
     /// Const / Input / RegOut: determined at reaction start.
     Source,
     /// Plain gate, no side effect.
@@ -140,7 +144,12 @@ pub struct Machine {
     sinks: Vec<SharedSink>,
     fine_events: bool,
     metrics: Option<Rc<RefCell<MetricsSink>>>,
-    naive: bool,
+
+    // Engine selection: `schedule` exists iff the circuit is acyclic;
+    // `requested` is the user's explicit choice (`None` = automatic).
+    schedule: Option<Rc<LevelSchedule>>,
+    requested: Option<EngineMode>,
+    lv_state: PackedStates,
 }
 
 impl std::fmt::Debug for Machine {
@@ -195,7 +204,11 @@ impl Machine {
             })
             .collect();
         let nsig = circuit.signals().len();
+        // Acyclicity analysis: precompute the dense level schedule when
+        // the combinational graph levelizes (the common case).
+        let schedule = LevelSchedule::build(&circuit, &class).map(Rc::new);
         Machine {
+            schedule,
             class,
             is_or,
             regs,
@@ -226,18 +239,52 @@ impl Machine {
             sinks: Vec::new(),
             fine_events: false,
             metrics: None,
-            naive: false,
+            requested: None,
+            lv_state: PackedStates::default(),
             circuit: Rc::new(circuit),
         }
+    }
+
+    /// Requests an evaluation engine; returns the *effective* engine
+    /// (requesting [`EngineMode::Levelized`] on a cyclic circuit falls
+    /// back to the constructive engine, which is also the automatic
+    /// default for cyclic circuits).
+    pub fn set_engine(&mut self, mode: EngineMode) -> EngineMode {
+        self.requested = Some(mode);
+        self.engine()
+    }
+
+    /// The engine the next reaction will use: the requested one
+    /// ([`Machine::set_engine`]), or — by default — [`EngineMode::Levelized`]
+    /// when the circuit is acyclic and [`EngineMode::Constructive`]
+    /// otherwise.
+    pub fn engine(&self) -> EngineMode {
+        match self.requested {
+            Some(EngineMode::Levelized) | None => {
+                if self.schedule.is_some() {
+                    EngineMode::Levelized
+                } else {
+                    EngineMode::Constructive
+                }
+            }
+            Some(mode) => mode,
+        }
+    }
+
+    /// Whether the circuit levelizes (acyclic combinational graph);
+    /// reports `(levels, max_level_width)` of the dense schedule.
+    pub fn levelization(&self) -> Option<(usize, usize)> {
+        self.schedule.as_ref().map(|s| (s.levels, s.max_width))
     }
 
     /// Switches to the *naive* propagation engine: instead of the
     /// event-driven linear-time queue, each reaction repeatedly sweeps all
     /// nets until a fixpoint. Same constructive semantics, O(nets²) worst
     /// case — used as an independent reference implementation in the
-    /// differential property tests.
+    /// differential property tests. Compatibility shim over
+    /// [`Machine::set_engine`]; `false` restores automatic selection.
     pub fn set_naive(&mut self, naive: bool) {
-        self.naive = naive;
+        self.requested = naive.then_some(EngineMode::Naive);
     }
 
     /// The underlying circuit.
@@ -419,6 +466,7 @@ impl Machine {
     /// rolled back.
     pub fn react(&mut self) -> Result<Reaction, RuntimeError> {
         let circuit = self.circuit.clone();
+        let engine = self.engine();
 
         // Telemetry: time the reaction only when someone is listening.
         let t0 = if self.sinks.is_empty() {
@@ -433,16 +481,19 @@ impl Machine {
         // Previous-instant values snapshot.
         self.sig_preval.clone_from(&self.sig_val);
 
-        // Scratch reset.
+        // Scratch reset. The levelized sweep needs no ⊥-bookkeeping: no
+        // queue, no undetermined-fanin or pending-dependency counters.
         let n = circuit.nets().len();
         self.value[..n].fill(-1);
-        self.resolved[..n].fill(false);
-        self.armed[..n].fill(false);
         self.events = 0;
-        self.queue.clear();
-        for (i, net) in circuit.nets().iter().enumerate() {
-            self.undet[i] = net.fanins.len() as u32;
-            self.deps_left[i] = net.deps.len() as u32;
+        if engine != EngineMode::Levelized {
+            self.resolved[..n].fill(false);
+            self.armed[..n].fill(false);
+            self.queue.clear();
+            for (i, net) in circuit.nets().iter().enumerate() {
+                self.undet[i] = net.fanins.len() as u32;
+                self.deps_left[i] = net.deps.len() as u32;
+            }
         }
 
         // Per-reaction emission counters (for combine checking) live in
@@ -469,83 +520,89 @@ impl Machine {
             input_present[circuit.asyncs()[aid.index()].notify_net.index()] = true;
         }
 
-        // Determine sources.
-        for (i, net) in circuit.nets().iter().enumerate() {
-            let v = match net.kind {
-                NetKind::Const(c) => c,
-                NetKind::Input => input_present[i],
-                NetKind::RegOut(r) => self.regs[r.index()],
-                _ => continue,
-            };
-            self.value[i] = v as i8;
-            self.resolved[i] = true;
-            self.queue.push_back(Ev::Det(i as u32));
-            self.queue.push_back(Ev::Res(i as u32));
-        }
-        // Gates with no fanins are their neutral constant (an empty OR is
-        // 0, an empty AND is 1); they receive no feed, so settle them now.
-        for (i, net) in circuit.nets().iter().enumerate() {
-            if net.fanins.is_empty() && matches!(net.kind, NetKind::Or | NetKind::And) {
-                let neutral = matches!(net.kind, NetKind::And);
-                self.gate_value(&circuit, i as u32, neutral, &mut emit_count)?;
+        if engine == EngineMode::Levelized {
+            // One dense sweep in topological level order; every net is
+            // determined by construction, so no constructive check.
+            self.levelized_fixpoint(&circuit, &input_present, &mut emit_count)?;
+        } else {
+            // Determine sources.
+            for (i, net) in circuit.nets().iter().enumerate() {
+                let v = match net.kind {
+                    NetKind::Const(c) => c,
+                    NetKind::Input => input_present[i],
+                    NetKind::RegOut(r) => self.regs[r.index()],
+                    _ => continue,
+                };
+                self.value[i] = v as i8;
+                self.resolved[i] = true;
+                self.queue.push_back(Ev::Det(i as u32));
+                self.queue.push_back(Ev::Res(i as u32));
             }
-        }
-
-        // Propagate to fixpoint.
-        if self.naive {
-            self.queue.clear();
-            self.naive_fixpoint(&circuit, &mut emit_count)?;
-        }
-        while let Some(ev) = self.queue.pop_front() {
-            self.events += 1;
-            // +1 counts the event just popped.
-            self.queue_hwm = self.queue_hwm.max(self.queue.len() + 1);
-            match ev {
-                Ev::Det(i) => {
-                    let v = self.value[i as usize] == 1;
-                    if self.fine_events {
-                        self.emit_trace(TraceEvent::NetStabilized {
-                            net: i,
-                            label: circuit.nets()[i as usize].label,
-                            value: v,
-                        });
-                    }
-                    // Fanouts are (target, edge-polarity).
-                    for k in 0..circuit.fanouts(NetId(i)).len() {
-                        let (j, neg) = circuit.fanouts(NetId(i))[k];
-                        self.feed(&circuit, j.0, v ^ neg, &mut emit_count)?;
-                    }
+            // Gates with no fanins are their neutral constant (an empty OR is
+            // 0, an empty AND is 1); they receive no feed, so settle them now.
+            for (i, net) in circuit.nets().iter().enumerate() {
+                if net.fanins.is_empty() && matches!(net.kind, NetKind::Or | NetKind::And) {
+                    let neutral = matches!(net.kind, NetKind::And);
+                    self.gate_value(&circuit, i as u32, neutral, &mut emit_count)?;
                 }
-                Ev::Res(i) => {
-                    for k in 0..circuit.dep_fanouts(NetId(i)).len() {
-                        let d = circuit.dep_fanouts(NetId(i))[k].0;
-                        self.deps_left[d as usize] -= 1;
-                        if self.deps_left[d as usize] == 0
-                            && self.armed[d as usize]
-                            && !self.resolved[d as usize]
-                        {
-                            self.fire(&circuit, d, &mut emit_count)?;
+            }
+
+            // Propagate to fixpoint.
+            if engine == EngineMode::Naive {
+                self.queue.clear();
+                self.naive_fixpoint(&circuit, &mut emit_count)?;
+            }
+            while let Some(ev) = self.queue.pop_front() {
+                self.events += 1;
+                // +1 counts the event just popped.
+                self.queue_hwm = self.queue_hwm.max(self.queue.len() + 1);
+                match ev {
+                    Ev::Det(i) => {
+                        let v = self.value[i as usize] == 1;
+                        if self.fine_events {
+                            self.emit_trace(TraceEvent::NetStabilized {
+                                net: i,
+                                label: circuit.nets()[i as usize].label,
+                                value: v,
+                            });
+                        }
+                        // Fanouts are (target, edge-polarity).
+                        for k in 0..circuit.fanouts(NetId(i)).len() {
+                            let (j, neg) = circuit.fanouts(NetId(i))[k];
+                            self.feed(&circuit, j.0, v ^ neg, &mut emit_count)?;
+                        }
+                    }
+                    Ev::Res(i) => {
+                        for k in 0..circuit.dep_fanouts(NetId(i)).len() {
+                            let d = circuit.dep_fanouts(NetId(i))[k].0;
+                            self.deps_left[d as usize] -= 1;
+                            if self.deps_left[d as usize] == 0
+                                && self.armed[d as usize]
+                                && !self.resolved[d as usize]
+                            {
+                                self.fire(&circuit, d, &mut emit_count)?;
+                            }
                         }
                     }
                 }
             }
-        }
 
-        // Constructive check: everything must be determined and resolved.
-        let stuck: Vec<bool> = (0..n)
-            .map(|i| self.value[i] < 0 || !self.resolved[i])
-            .collect();
-        let undetermined = stuck.iter().filter(|&&b| b).count();
-        if undetermined > 0 {
-            let report = analyze(&circuit, &stuck, undetermined, self.seq);
-            if !self.sinks.is_empty() {
-                self.emit_trace(TraceEvent::CausalityFailure { report: &report });
+            // Constructive check: everything must be determined and resolved.
+            let stuck: Vec<bool> = (0..n)
+                .map(|i| self.value[i] < 0 || !self.resolved[i])
+                .collect();
+            let undetermined = stuck.iter().filter(|&&b| b).count();
+            if undetermined > 0 {
+                let report = analyze(&circuit, &stuck, undetermined, self.seq);
+                if !self.sinks.is_empty() {
+                    self.emit_trace(TraceEvent::CausalityFailure { report: &report });
+                }
+                return Err(RuntimeError::Causality {
+                    cycle: report.nets.clone(),
+                    undetermined,
+                    report,
+                });
             }
-            return Err(RuntimeError::Causality {
-                cycle: report.nets.clone(),
-                undetermined,
-                report,
-            });
         }
 
         // Commit registers.
@@ -587,6 +644,7 @@ impl Machine {
                     events: self.events,
                     actions: self.actions_run,
                     queue_hwm: self.queue_hwm,
+                    engine,
                 },
             });
         }
@@ -740,12 +798,110 @@ impl Machine {
         fresh.sinks = std::mem::take(&mut self.sinks);
         fresh.fine_events = self.fine_events;
         fresh.metrics = self.metrics.take();
+        // Carry the engine *request*, not the old resolution:
+        // `Machine::new` already rebuilt the levelized schedule for the
+        // new circuit (or found it cyclic), so the effective engine is
+        // re-resolved against the fresh acyclicity analysis rather than
+        // reusing a stale schedule.
+        fresh.requested = self.requested;
         *self = fresh;
         self
     }
 
     // ------------------------------------------------------------------
     // Engine internals.
+
+    /// Levelized engine: one dense sweep over the precomputed
+    /// topological schedule. Every fanin and data dependency of a net
+    /// sits at a strictly lower level, so each net is computed exactly
+    /// once and actions fire in level order at their net's stabilization
+    /// point — no queue, no ⊥-bookkeeping, no causality check.
+    fn levelized_fixpoint(
+        &mut self,
+        circuit: &Circuit,
+        input_present: &[bool],
+        emit_count: &mut [u32],
+    ) -> Result<(), RuntimeError> {
+        let sched = self
+            .schedule
+            .clone()
+            .expect("levelized engine without a schedule");
+        // The packed states live outside `self` during the sweep so the
+        // fold can read them while actions borrow `self` mutably.
+        let mut state = std::mem::take(&mut self.lv_state);
+        state.reset(circuit.nets().len());
+        let result = self.levelized_sweep(circuit, &sched, &mut state, input_present, emit_count);
+        self.lv_state = state;
+        result
+    }
+
+    fn levelized_sweep(
+        &mut self,
+        circuit: &Circuit,
+        sched: &LevelSchedule,
+        state: &mut PackedStates,
+        input_present: &[bool],
+        emit_count: &mut [u32],
+    ) -> Result<(), RuntimeError> {
+        // Folds a gate's fanins with an early exit on the controlling
+        // value (OR: any 1 → 1; AND: any 0 → 0).
+        #[inline]
+        fn fold(sched: &LevelSchedule, state: &PackedStates, i: usize, controlling: bool) -> bool {
+            for &edge in sched.fanins(i) {
+                let v = state.get((edge >> 1) as usize) ^ (edge & 1 == 1);
+                if v == controlling {
+                    return controlling;
+                }
+            }
+            !controlling
+        }
+
+        for &id in &sched.order {
+            let i = id as usize;
+            let v = match sched.code[i] {
+                CODE_CONST0 => false,
+                CODE_CONST1 => true,
+                CODE_INPUT => input_present[i],
+                CODE_REG => self.regs[sched.aux[i] as usize],
+                CODE_OR => fold(sched, state, i, true),
+                CODE_AND => fold(sched, state, i, false),
+                CODE_TEST => {
+                    // Exactly one control fanin; a 0 control skips the
+                    // test evaluation (and its counter side effects),
+                    // matching the constructive engine.
+                    let edge = sched.fanins(i)[0];
+                    let control = state.get((edge >> 1) as usize) ^ (edge & 1 == 1);
+                    control && self.eval_test(circuit, id)
+                }
+                code @ (CODE_OR_EARLY | CODE_AND_EARLY) => {
+                    let v = fold(sched, state, i, code == CODE_OR_EARLY);
+                    if v {
+                        self.run_action(circuit, id, emit_count)?;
+                    }
+                    v
+                }
+                code @ (CODE_OR_LATE | CODE_AND_LATE) => {
+                    let gate = fold(sched, state, i, code == CODE_OR_LATE);
+                    if gate {
+                        self.run_action(circuit, id, emit_count)?;
+                    }
+                    gate
+                }
+                code => unreachable!("bad opcode {code}"),
+            };
+            state.set(i, v);
+            self.value[i] = v as i8;
+            if self.fine_events {
+                self.emit_trace(TraceEvent::NetStabilized {
+                    net: id,
+                    label: circuit.nets()[i].label,
+                    value: v,
+                });
+            }
+        }
+        self.events += sched.order.len();
+        Ok(())
+    }
 
     /// Reference engine: full sweeps until stable (see
     /// [`Machine::set_naive`]).

@@ -20,6 +20,7 @@
 //! aggregating sink with [`crate::Machine::enable_metrics`].
 
 use crate::causality::CausalityReport;
+use crate::levelized::EngineMode;
 use crate::machine::{Machine, Reaction};
 use crate::waveform::Waveform;
 use hiphop_core::value::Value;
@@ -69,8 +70,11 @@ pub struct ReactionStats {
     pub events: usize,
     /// Actions (emissions, atoms, counters, async hooks) executed.
     pub actions: usize,
-    /// High-water mark of the propagation FIFO.
+    /// High-water mark of the propagation FIFO (0 under the levelized
+    /// engine, which has no queue).
     pub queue_hwm: usize,
+    /// The engine that executed this reaction.
+    pub engine: EngineMode,
 }
 
 /// One telemetry event published by the machine during a reaction.
@@ -367,6 +371,7 @@ pub(crate) fn json_value(v: &Value) -> String {
 /// Structured-trace sink: one JSON object per line, one line per event.
 pub struct JsonlSink {
     out: Box<dyn Write>,
+    fine: bool,
 }
 
 impl std::fmt::Debug for JsonlSink {
@@ -405,7 +410,17 @@ impl Write for SharedBuffer {
 impl JsonlSink {
     /// A sink writing to an arbitrary byte stream.
     pub fn new(out: Box<dyn Write>) -> JsonlSink {
-        JsonlSink { out }
+        JsonlSink { out, fine: true }
+    }
+
+    /// Switches off fine-grained per-net/per-action events, keeping only
+    /// the engine-independent lines (reaction boundaries, logs, async
+    /// lifecycle, causality). Net-stabilization order differs between
+    /// engines, so coarse traces are what the golden-trace regression
+    /// tests compare across [`EngineMode`]s.
+    pub fn coarse(mut self) -> JsonlSink {
+        self.fine = false;
+        self
     }
 
     /// A sink writing (buffered) to the file at `path`.
@@ -431,6 +446,16 @@ impl JsonlSink {
 
 impl TraceSink for JsonlSink {
     fn on_event(&mut self, event: &TraceEvent<'_>) {
+        if !self.fine
+            && matches!(
+                event,
+                TraceEvent::NetStabilized { .. } | TraceEvent::ActionRun { .. }
+            )
+        {
+            // Another attached sink may have opted into fine events;
+            // keep a coarse trace engine-independent regardless.
+            return;
+        }
         let json = match event {
             TraceEvent::ReactionStart { seq } => {
                 format!("{{\"type\":\"reaction_start\",\"seq\":{seq}}}")
@@ -468,8 +493,9 @@ impl TraceSink for JsonlSink {
                     })
                     .collect();
                 format!(
-                    "{{\"type\":\"reaction_end\",\"seq\":{},\"duration_ns\":{},\"events\":{},\"actions\":{},\"queue_hwm\":{},\"terminated\":{},\"outputs\":[{}]}}",
+                    "{{\"type\":\"reaction_end\",\"seq\":{},\"engine\":\"{}\",\"duration_ns\":{},\"events\":{},\"actions\":{},\"queue_hwm\":{},\"terminated\":{},\"outputs\":[{}]}}",
                     reaction.seq,
+                    stats.engine.name(),
                     stats.duration_ns,
                     stats.events,
                     stats.actions,
@@ -484,7 +510,7 @@ impl TraceSink for JsonlSink {
     }
 
     fn wants_net_events(&self) -> bool {
-        true
+        self.fine
     }
 
     fn finish(&mut self) {
@@ -614,6 +640,7 @@ mod tests {
                 events: 10,
                 actions: 3,
                 queue_hwm: 4,
+                engine: EngineMode::Constructive,
             },
         });
         let text = sink.snapshot().render();

@@ -1,0 +1,133 @@
+//! Engine-selection semantics: acyclic circuits get the levelized
+//! schedule, statically cyclic circuits fall back to the constructive
+//! FIFO engine — including circuits that are cyclic *but constructive*
+//! (they converge), which the levelized engine can never run because
+//! topological levels do not exist for them.
+
+use hiphop_core::prelude::*;
+use hiphop_runtime::{machine_for, EngineMode, Machine, RuntimeError};
+
+/// `X = Y or not Y; Y = X and I` — statically a dependency cycle
+/// (X ← Y ← X), but constructively convergent whenever `I` is absent:
+/// `and(X, 0)` determines `Y = 0` without looking at `X`, which then
+/// determines `X = 1`. Constructive semantics has no excluded middle,
+/// so with `I` present the cycle is real and the reaction must fail.
+fn cyclic_but_constructive() -> Machine {
+    let body = Stmt::local(
+        vec![
+            SignalDecl::new("X", Direction::Local),
+            SignalDecl::new("Y", Direction::Local),
+        ],
+        Stmt::par([
+            Stmt::if_(Expr::now("Y").or(Expr::now("Y").not()), Stmt::emit("X")),
+            Stmt::if_(Expr::now("X").and(Expr::now("I")), Stmt::emit("Y")),
+            Stmt::if_(Expr::now("X"), Stmt::emit("O")),
+        ]),
+    );
+    let module = Module::new("CYC")
+        .input(SignalDecl::new("I", Direction::In))
+        .output(SignalDecl::new("O", Direction::Out))
+        .body(body);
+    machine_for(&module, &ModuleRegistry::new()).expect("compiles (with a cycle warning)")
+}
+
+fn abro() -> Machine {
+    let m = Module::new("ABRO")
+        .input(SignalDecl::new("A", Direction::In))
+        .input(SignalDecl::new("B", Direction::In))
+        .input(SignalDecl::new("R", Direction::In))
+        .output(SignalDecl::new("O", Direction::Out))
+        .body(Stmt::loop_each(
+            Delay::cond(Expr::now("R")),
+            Stmt::seq([
+                Stmt::par([
+                    Stmt::await_(Delay::cond(Expr::now("A"))),
+                    Stmt::await_(Delay::cond(Expr::now("B"))),
+                ]),
+                Stmt::emit("O"),
+            ]),
+        ));
+    machine_for(&m, &ModuleRegistry::new()).expect("compiles")
+}
+
+#[test]
+fn acyclic_circuits_default_to_levelized() {
+    let m = abro();
+    assert_eq!(m.engine(), EngineMode::Levelized);
+    let (levels, max_width) = m.levelization().expect("acyclic");
+    assert!(levels > 1 && max_width >= 1, "{levels} levels, width {max_width}");
+}
+
+#[test]
+fn cyclic_circuits_fall_back_to_constructive() {
+    let mut m = cyclic_but_constructive();
+    assert_eq!(m.engine(), EngineMode::Constructive, "no levelized schedule exists");
+    assert!(m.levelization().is_none());
+    // An explicit levelized request cannot be honored either — the
+    // resolved engine stays constructive.
+    assert_eq!(m.set_engine(EngineMode::Levelized), EngineMode::Constructive);
+    // …but an explicit naive request is.
+    assert_eq!(m.set_engine(EngineMode::Naive), EngineMode::Naive);
+}
+
+#[test]
+fn cyclic_but_constructive_converges_without_the_input() {
+    for mode in [EngineMode::Constructive, EngineMode::Naive] {
+        let mut m = cyclic_but_constructive();
+        m.set_engine(mode);
+        let r = m.react().expect("constructive convergence");
+        assert!(r.present("O"), "{mode}: X = or(0, not 0) = 1 emits O");
+    }
+}
+
+#[test]
+fn cyclic_but_constructive_deadlocks_with_the_input() {
+    for mode in [EngineMode::Constructive, EngineMode::Naive] {
+        let mut m = cyclic_but_constructive();
+        m.set_engine(mode);
+        let err = m
+            .react_with(&[("I", Value::Bool(true))])
+            .expect_err("I present closes the cycle");
+        let RuntimeError::Causality { report, .. } = err else {
+            panic!("{mode}: expected a causality error, got {err}");
+        };
+        assert!(report.undetermined > 0, "{mode}: {report:?}");
+        assert!(
+            report.signals().iter().any(|s| s.starts_with('X') || s.starts_with('Y')),
+            "{mode}: the report names a cycle signal: {:?}",
+            report.signals()
+        );
+    }
+}
+
+#[test]
+fn explicit_engine_requests_are_honored_on_acyclic_circuits() {
+    for mode in [
+        EngineMode::Levelized,
+        EngineMode::Constructive,
+        EngineMode::Naive,
+    ] {
+        let mut m = abro();
+        assert_eq!(m.set_engine(mode), mode);
+        m.react().expect("boot");
+        let r = m
+            .react_with(&[("A", Value::Bool(true)), ("B", Value::Bool(true))])
+            .expect("reaction");
+        assert!(r.present("O"), "{mode}");
+    }
+}
+
+#[test]
+fn levelized_reports_its_engine_in_reaction_stats() {
+    use hiphop_runtime::telemetry::{shared, JsonlSink};
+    let mut m = abro();
+    let (sink, buf) = JsonlSink::buffered();
+    m.attach_sink(shared(sink));
+    m.react().expect("boot");
+    m.set_engine(EngineMode::Constructive);
+    m.react().expect("second");
+    m.finish_sinks();
+    let text = buf.text();
+    assert!(text.contains("\"engine\":\"levelized\""), "{text}");
+    assert!(text.contains("\"engine\":\"constructive\""), "{text}");
+}

@@ -2,7 +2,7 @@
 
 use hiphop_core::prelude::*;
 use hiphop_compiler::compile_module;
-use hiphop_runtime::Machine;
+use hiphop_runtime::{EngineMode, Machine};
 
 fn counter_module(step: f64) -> Module {
     Module::new("Counter")
@@ -72,6 +72,67 @@ fn hot_swap_resets_control_state() {
     assert!(!m.react().unwrap().present("late"));
     assert!(!m.react().unwrap().present("late"));
     assert!(m.react().unwrap().present("late"));
+}
+
+/// A statically cyclic (but constructively convergent) variant of the
+/// counter interface: `X = Y or not Y`, `Y = X and inc`.
+fn cyclic_module() -> Module {
+    Module::new("Counter")
+        .input(SignalDecl::new("inc", Direction::In))
+        .output(SignalDecl::new("count", Direction::Out).with_init(0i64))
+        .body(Stmt::local(
+            vec![
+                SignalDecl::new("X", Direction::Local),
+                SignalDecl::new("Y", Direction::Local),
+            ],
+            Stmt::par([
+                Stmt::if_(Expr::now("Y").or(Expr::now("Y").not()), Stmt::emit("X")),
+                Stmt::if_(Expr::now("X").and(Expr::now("inc")), Stmt::emit("Y")),
+            ]),
+        ))
+}
+
+#[test]
+fn hot_swap_rebuilds_the_levelized_schedule() {
+    // Acyclic → levelized by default.
+    let c1 = compile_module(&counter_module(1.0), &ModuleRegistry::new()).unwrap();
+    let mut m = Machine::new(c1.circuit);
+    assert_eq!(m.engine(), EngineMode::Levelized);
+    m.react().unwrap();
+    m.react_with(&[("inc", Value::Bool(true))]).unwrap();
+
+    // Acyclic → cyclic: the schedule is gone, the engine resolution
+    // falls back to constructive for the swapped circuit.
+    let c2 = compile_module(&cyclic_module(), &ModuleRegistry::new()).unwrap();
+    assert!(c2.levels.is_none(), "the swapped-in circuit is cyclic");
+    m.hot_swap(c2.circuit);
+    assert_eq!(m.engine(), EngineMode::Constructive);
+    assert!(m.levelization().is_none());
+    m.react().unwrap();
+
+    // Cyclic → acyclic: the fresh analysis restores the levelized
+    // schedule and the carried state is still there.
+    let c3 = compile_module(&counter_module(10.0), &ModuleRegistry::new()).unwrap();
+    m.hot_swap(c3.circuit);
+    assert_eq!(m.engine(), EngineMode::Levelized);
+    assert!(m.levelization().is_some());
+    m.react().unwrap();
+    m.react_with(&[("inc", Value::Bool(true))]).unwrap();
+    assert_eq!(m.nowval("count"), Value::Num(11.0), "1 carried over + 10");
+}
+
+#[test]
+fn explicit_engine_request_survives_hot_swap() {
+    let c1 = compile_module(&counter_module(1.0), &ModuleRegistry::new()).unwrap();
+    let mut m = Machine::new(c1.circuit);
+    assert_eq!(m.set_engine(EngineMode::Naive), EngineMode::Naive);
+    m.react().unwrap();
+    let c2 = compile_module(&counter_module(10.0), &ModuleRegistry::new()).unwrap();
+    m.hot_swap(c2.circuit);
+    assert_eq!(m.engine(), EngineMode::Naive, "the request is sticky");
+    m.react().unwrap();
+    m.react_with(&[("inc", Value::Bool(true))]).unwrap();
+    assert_eq!(m.nowval("count"), Value::Num(10.0));
 }
 
 #[test]

@@ -4,7 +4,7 @@
 
 use hiphop_core::prelude::*;
 use hiphop_runtime::telemetry::{shared, JsonlSink, SharedBuffer, VcdSink};
-use hiphop_runtime::{machine_for, Machine, RuntimeError};
+use hiphop_runtime::{machine_for, EngineMode, Machine, RuntimeError};
 
 fn machine(body: Stmt, signals: &[(&str, Direction)]) -> Machine {
     let mut m = Module::new("test");
@@ -36,6 +36,9 @@ fn abro() -> Machine {
 #[test]
 fn metrics_event_counts_match_reactions() {
     let mut m = abro();
+    // Queue telemetry is a constructive-engine observable (the levelized
+    // default has no queue); pin the engine this test is about.
+    assert_eq!(m.set_engine(EngineMode::Constructive), EngineMode::Constructive);
     let metrics = m.enable_metrics();
     let mut total = 0usize;
     total += m.react().unwrap().events;

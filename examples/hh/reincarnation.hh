@@ -1,0 +1,19 @@
+// Reincarnation (Berry's schizophrenia problem): the local signal S is
+// emitted in the instant the loop body terminates, and the loop restarts
+// *in the same instant* with a fresh incarnation of S. The fresh
+// incarnation is absent, so CAUGHT must never be emitted — a compiler
+// that naively reused S's nets across iterations would emit it whenever
+// GO is present.
+//
+// Try:
+//   hiphopc trace examples/hh/reincarnation.hh --stimulus ";GO;;GO;GO"
+//   hiphopc oracle examples/hh/reincarnation.hh --stimulus ";GO;;GO;GO"
+module Reincarnate(in GO, out CAUGHT, out ALIVE) {
+   loop {
+      signal S;
+      if (S.now) { emit CAUGHT(); }
+      emit ALIVE();
+      pause;
+      if (GO.now) { emit S(); }
+   }
+}

@@ -1,0 +1,14 @@
+// A pausable clock (paper §2.3's suspend): TICK is emitted every
+// instant, except that HOLD freezes the body — its registers keep their
+// state but do not advance — and RESET restarts the whole behaviour.
+//
+// Try:
+//   hiphopc trace examples/hh/suspend_clock.hh --stimulus ";;HOLD;;HOLD;RESET;"
+//   hiphopc oracle examples/hh/suspend_clock.hh --stimulus ";;HOLD;;HOLD;RESET;"
+module SuspendClock(in HOLD, in RESET, out TICK) {
+   do {
+      suspend (HOLD.now) {
+         loop { emit TICK(); pause; }
+      }
+   } every (RESET.now)
+}

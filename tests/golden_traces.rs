@@ -1,0 +1,177 @@
+//! Golden-trace regression tests: the coarse JSONL trace of each `.hh`
+//! example is pinned in `tests/golden/` and replayed under all three
+//! evaluation engines. The traces must agree **byte for byte** after
+//! normalization, which strips exactly the engine-dependent fields of
+//! `reaction_end` (the engine tag, wall-clock duration, event count and
+//! queue high-water mark — the constructive queue does not exist under
+//! the levelized engine). Everything observable — reaction boundaries,
+//! actions, termination, the output sets — must be identical.
+//!
+//! Regenerate the golden files with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! ```
+
+use hiphop::lang::{parse_program, HostRegistry};
+use hiphop::runtime::telemetry::shared;
+use hiphop::runtime::{EngineMode, JsonlSink};
+use hiphop::{Machine, RuntimeError};
+use hiphop_core::value::Value;
+use std::path::PathBuf;
+
+struct Example {
+    name: &'static str,
+    main: &'static str,
+    source: &'static str,
+    stimulus: &'static str,
+}
+
+const EXAMPLES: &[Example] = &[
+    Example {
+        name: "abro",
+        main: "ABRO",
+        source: include_str!("../examples/hh/abro.hh"),
+        stimulus: ";A;B;R;A B;B A;R;B;A",
+    },
+    Example {
+        name: "suspend_clock",
+        main: "SuspendClock",
+        source: include_str!("../examples/hh/suspend_clock.hh"),
+        stimulus: ";;HOLD;;HOLD;RESET;;HOLD RESET;",
+    },
+    Example {
+        name: "reincarnation",
+        main: "Reincarnate",
+        source: include_str!("../examples/hh/reincarnation.hh"),
+        stimulus: ";GO;;GO;GO;;GO",
+    },
+];
+
+/// Strips the engine-dependent fields from a `reaction_end` line; field
+/// order is fixed (`seq`, `engine`, `duration_ns`, `events`, `actions`,
+/// `queue_hwm`, `terminated`, `outputs`), so two range deletions keep
+/// `seq`, `actions` and everything observable.
+fn normalize(line: &str) -> String {
+    let mut s = line.to_owned();
+    if let (Some(a), Some(b)) = (s.find(",\"engine\":"), s.find(",\"actions\":")) {
+        s.replace_range(a..b, "");
+    }
+    if let (Some(a), Some(b)) = (s.find(",\"queue_hwm\":"), s.find(",\"terminated\":")) {
+        s.replace_range(a..b, "");
+    }
+    s
+}
+
+/// Runs one example under `mode` with a coarse JSONL sink attached and
+/// returns the normalized trace text.
+fn trace(example: &Example, mode: EngineMode) -> String {
+    let (module, registry) =
+        parse_program(example.source, example.main, &HostRegistry::new()).expect("parses");
+    let compiled = hiphop::compiler::compile_module(&module, &registry).expect("compiles");
+    let mut machine = Machine::new(compiled.circuit);
+    assert_eq!(
+        machine.set_engine(mode),
+        mode,
+        "{}: the example is acyclic, every engine is available",
+        example.name
+    );
+    let (sink, buf) = JsonlSink::buffered();
+    machine.attach_sink(shared(sink.coarse()));
+    for instant in example.stimulus.split(';') {
+        let inputs: Vec<(&str, Value)> = instant
+            .split_whitespace()
+            .map(|tok| (tok, Value::Bool(true)))
+            .collect();
+        machine.react_with(&inputs).expect("reaction");
+    }
+    machine.finish_sinks();
+    let mut out = String::new();
+    for line in buf.text().lines() {
+        out.push_str(&normalize(line));
+        out.push('\n');
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.jsonl"))
+}
+
+#[test]
+fn engines_replay_the_golden_traces_byte_for_byte() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for example in EXAMPLES {
+        let levelized = trace(example, EngineMode::Levelized);
+        for mode in [EngineMode::Constructive, EngineMode::Naive] {
+            assert_eq!(
+                trace(example, mode),
+                levelized,
+                "{}: {mode} trace diverges from levelized",
+                example.name
+            );
+        }
+        let path = golden_path(example.name);
+        if update {
+            std::fs::write(&path, &levelized).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: no golden file ({e}); run with UPDATE_GOLDEN=1", example.name));
+        assert_eq!(
+            levelized, golden,
+            "{}: trace drifted from tests/golden/{}.jsonl (UPDATE_GOLDEN=1 regenerates)",
+            example.name, example.name
+        );
+    }
+}
+
+#[test]
+fn causality_cycle_example_still_reports_structured_causality() {
+    // The non-constructive example is statically cyclic, so the default
+    // engine resolution must keep the constructive engine — and with it
+    // the full structured causality diagnosis.
+    let source = include_str!("../examples/hh/causality_cycle.hh");
+    let (module, registry) =
+        parse_program(source, "Paradox", &HostRegistry::new()).expect("parses");
+    let compiled = hiphop::compiler::compile_module(&module, &registry).expect("compiles");
+    assert!(compiled.cycle_warnings > 0, "statically flagged");
+    assert!(compiled.levels.is_none(), "no levelized schedule exists");
+    let mut machine = Machine::new(compiled.circuit);
+    assert_eq!(machine.engine(), EngineMode::Constructive);
+    let err = machine.react().expect_err("the paradox deadlocks");
+    let RuntimeError::Causality { report, .. } = err else {
+        panic!("expected a causality error, got {err}");
+    };
+    assert!(report.is_cycle, "a strict dependency cycle is isolated");
+    assert!(
+        report.signals().iter().any(|s| s.starts_with('X')),
+        "the report names the offending signal: {:?}",
+        report.signals()
+    );
+    assert!(report.to_json().contains("\"type\":\"causality\""));
+}
+
+#[test]
+fn golden_traces_exercise_the_interesting_behaviour() {
+    // The pinned traces are only a regression net if they actually show
+    // the behaviour the examples exist for.
+    let abro = std::fs::read_to_string(golden_path("abro")).expect("golden present");
+    assert!(
+        abro.contains("{\"name\":\"O\",\"present\":true")
+            || abro.contains("\"O\""),
+        "ABRO emits O somewhere: {abro}"
+    );
+    let clock = std::fs::read_to_string(golden_path("suspend_clock")).expect("golden present");
+    assert!(clock.contains("TICK"), "{clock}");
+    let reinc = std::fs::read_to_string(golden_path("reincarnation")).expect("golden present");
+    assert!(reinc.contains("ALIVE"), "{reinc}");
+    assert!(
+        !reinc
+            .lines()
+            .any(|l| l.contains("\"name\":\"CAUGHT\",\"present\":true")),
+        "reincarnated S must never be seen by the next iteration: {reinc}"
+    );
+}

@@ -19,6 +19,7 @@
 
 use hiphop::compiler::{compile_module_with, CompileOptions};
 use hiphop::prelude::*;
+use hiphop::runtime::EngineMode;
 use hiphop_bench::synthetic_program;
 use hiphop_core::rng::Rng;
 
@@ -211,6 +212,130 @@ fn emission_order_is_unobservable() {
         let mut rev = vals.clone();
         rev.reverse();
         assert_eq!(run(&vals), run(&rev), "seed {seed}: {vals:?}");
+    });
+}
+
+/// Seed count for the cross-engine differential sweep. CI widens it via
+/// `HIPHOP_PROPTEST_SEEDS`; the default keeps `cargo test` quick.
+fn sweep_seeds() -> u64 {
+    std::env::var("HIPHOP_PROPTEST_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The deterministic input schedule shared by every engine in the
+/// differential sweep (same shape as [`drive`]).
+fn input_schedule(seed: u64, steps: usize) -> Vec<Vec<(String, Value)>> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..steps)
+        .map(|_| {
+            let mut inputs = Vec::new();
+            for k in 0..8 {
+                if rng.gen_bool(0.3) {
+                    inputs.push((format!("i{k}"), Value::from(rng.gen_range(0i64..5))));
+                }
+            }
+            inputs
+        })
+        .collect()
+}
+
+/// One reaction's observable record: the sorted `name=present:value`
+/// rendering of all outputs, or the error class if the reaction failed.
+/// The drive stops at the first error (the machine is poisoned), so a
+/// diverging verdict also truncates the trace and is caught by the
+/// whole-trace comparison.
+fn observable_trace(
+    schedule: &[Vec<(String, Value)>],
+    mut react: impl FnMut(&[(&str, Value)]) -> Result<Vec<String>, String>,
+) -> Vec<String> {
+    let mut trace = Vec::new();
+    let boot: &[Vec<(String, Value)>] = &[Vec::new()];
+    for instant in boot.iter().chain(schedule.iter()) {
+        let refs: Vec<(&str, Value)> = instant
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        match react(&refs) {
+            Ok(mut outputs) => {
+                outputs.sort();
+                trace.push(outputs.join(" "));
+            }
+            Err(verdict) => {
+                trace.push(format!("<error: {verdict}>"));
+                break;
+            }
+        }
+    }
+    trace
+}
+
+#[test]
+fn all_engines_agree_with_the_interpreter() {
+    // The tentpole meta-theorem: every generated program produces
+    // identical per-reaction output sets and identical causality
+    // verdicts under the levelized, constructive and naive engines AND
+    // the reference AST interpreter.
+    cases(sweep_seeds(), |rng, seed| {
+        let size = rng.gen_range(10usize..100);
+        let module = synthetic_program(size, seed);
+        let schedule = input_schedule(seed ^ 5, 25);
+
+        let engine_trace = |mode: EngineMode| {
+            let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
+                .expect("compiles");
+            let mut m = Machine::new(c.circuit);
+            assert_eq!(
+                m.set_engine(mode),
+                mode,
+                "seed {seed}: synthetic programs are acyclic, every engine is available"
+            );
+            observable_trace(&schedule, |refs| {
+                m.react_with(refs)
+                    .map(|r| {
+                        r.outputs
+                            .iter()
+                            .map(|o| format!("{}={}:{}", o.name, o.present as u8, o.value))
+                            .collect()
+                    })
+                    .map_err(|e| match e {
+                        RuntimeError::Causality { .. } => "causality".to_owned(),
+                        other => other.to_string(),
+                    })
+            })
+        };
+
+        let reference = {
+            let mut interp = hiphop_interp::Interp::new(&module, &ModuleRegistry::new())
+                .unwrap_or_else(|e| panic!("seed {seed}: interp: {e}"));
+            observable_trace(&schedule, |refs| {
+                interp
+                    .react_with(refs)
+                    .map(|r| {
+                        r.outputs
+                            .iter()
+                            .map(|(n, p, v)| format!("{n}={}:{v}", *p as u8))
+                            .collect()
+                    })
+                    .map_err(|e| match e {
+                        hiphop_interp::InterpError::Causality(_) => "causality".to_owned(),
+                        other => other.to_string(),
+                    })
+            })
+        };
+
+        for mode in [
+            EngineMode::Levelized,
+            EngineMode::Constructive,
+            EngineMode::Naive,
+        ] {
+            assert_eq!(
+                engine_trace(mode),
+                reference,
+                "seed {seed}: {mode} disagrees with the interpreter"
+            );
+        }
     });
 }
 
