@@ -22,4 +22,14 @@ echo "==> differential proptest sweep (${HIPHOP_PROPTEST_SEEDS} seeds)"
 HIPHOP_PROPTEST_SEEDS="$HIPHOP_PROPTEST_SEEDS" \
     cargo test -q --offline --test proptests -- all_engines_agree_with_the_interpreter
 
+# Widened chaos differential sweep: each seeded fault schedule runs a
+# chaotic machine against a fault-free shadow under all three engines;
+# every injected fault must roll back to the shadow's exact state digest
+# (tests/chaos.rs). Override the seed count with
+# HIPHOP_CHAOS_SEEDS=N ./ci.sh.
+HIPHOP_CHAOS_SEEDS="${HIPHOP_CHAOS_SEEDS:-100}"
+echo "==> chaos fault-injection sweep (${HIPHOP_CHAOS_SEEDS} seeds)"
+HIPHOP_CHAOS_SEEDS="$HIPHOP_CHAOS_SEEDS" \
+    cargo test -q --offline --test chaos
+
 echo "ci: all green"

@@ -126,7 +126,7 @@ impl Pillbox {
     pub fn new(start_minute_of_day: u64) -> Result<Pillbox, Box<dyn std::error::Error>> {
         let (main, reg) = modules();
         let compiled = hiphop_compiler::compile_module(&main, &reg)?;
-        let mut machine = Machine::new(compiled.circuit);
+        let mut machine = Machine::new(compiled.circuit)?;
         machine.react()?; // boot instant
         Ok(Pillbox {
             machine,

@@ -12,7 +12,7 @@ fn main() {
     for &n in &[50usize, 200, 800, 3200] {
         let module = synthetic_program(n, 2020);
         let compiled = compile_module(&module, &ModuleRegistry::new()).expect("compiles");
-        let mut machine = Machine::new(compiled.circuit);
+        let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
         machine.react().expect("boot");
         let mut k = 0usize;
         bench(&format!("e4a_reaction_time/{n}"), || {
@@ -27,7 +27,7 @@ fn main() {
     let (module, _) = hiphop_skini::generate(hiphop_skini::ScoreShape::classical());
     let compiled = compile_module(&module, &ModuleRegistry::new()).expect("compiles");
     let nets = compiled.circuit.stats().nets;
-    let mut machine = Machine::new(compiled.circuit);
+    let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
     machine.react().expect("boot");
     let mut beat = 0i64;
     bench(&format!("e4b_skini_classical_{nets}_nets"), || {

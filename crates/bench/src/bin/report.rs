@@ -3,8 +3,8 @@
 //! Run with `cargo run -p hiphop-bench --bin report --release`.
 
 use hiphop_bench::{
-    engine_comparison, linear_fit, login_v2_abort_comparison, memory_table, optimizer_ablation,
-    schizo_sweep, size_sweep, skini_latency, telemetry_metrics,
+    chaos_overhead, engine_comparison, linear_fit, login_v2_abort_comparison, memory_table,
+    optimizer_ablation, schizo_sweep, size_sweep, skini_latency, telemetry_metrics,
 };
 
 fn main() {
@@ -184,6 +184,35 @@ fn main() {
         "levelized / constructive p50 ratio: {:.2}×",
         p50(hiphop_runtime::EngineMode::Constructive)
             / p50(hiphop_runtime::EngineMode::Levelized)
+    );
+
+    // ------------------------------------------------------------------- E8
+    println!("\nE8 — robustness overhead (same 640-stmt workload; rollback & fault injection)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>8}",
+        "config", "p50 (µs)", "p95 (µs)", "max (µs)", "faults"
+    );
+    let rows = chaos_overhead(640, 2000, 2020);
+    for r in &rows {
+        println!(
+            "{:<14} {:>10.1} {:>10.1} {:>10.1} {:>8}",
+            r.label,
+            r.metrics.duration_us.p50,
+            r.metrics.duration_us.p95,
+            r.metrics.duration_us.max,
+            r.faults,
+        );
+    }
+    let p50 = |label: &str| {
+        rows.iter()
+            .find(|r| r.label == label)
+            .map(|r| r.metrics.duration_us.p50)
+            .unwrap_or(f64::NAN)
+    };
+    let overhead = 100.0 * (p50("rollback on") / p50("rollback off") - 1.0);
+    println!(
+        "rollback (supervision-ready) p50 overhead vs raw fast path: {overhead:+.1}% {}",
+        if overhead < 10.0 { "(< 10% budget)" } else { "(OVER 10% budget)" }
     );
 
     println!("\ndone.");

@@ -68,7 +68,7 @@ pub fn size_sweep(sizes: &[usize], seed: u64) -> Vec<SizeRow> {
             assert!(parsed.is_ok(), "printed source parses");
             let (compiled, compile_us) = compile_timed(&module);
             let stats = compiled.circuit.stats();
-            let mut machine = Machine::new(compiled.circuit);
+            let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
             let reaction_us = measure_reactions(&mut machine, 200);
             SizeRow {
                 stmts,
@@ -90,7 +90,7 @@ pub fn telemetry_metrics(n: usize, instants: usize, seed: u64) -> hiphop_runtime
     let module = synthetic_program(n, seed);
     let reg = ModuleRegistry::new();
     let compiled = compile_module(&module, &reg).expect("synthetic program compiles");
-    let mut machine = Machine::new(compiled.circuit);
+    let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
     machine.enable_metrics();
     machine.react().expect("boot");
     for i in 0..instants {
@@ -127,7 +127,7 @@ pub fn engine_comparison(n: usize, instants: usize, seed: u64) -> Vec<EngineRow>
         let module = synthetic_program(n, seed);
         let compiled =
             compile_module(&module, &ModuleRegistry::new()).expect("synthetic program compiles");
-        let mut machine = Machine::new(compiled.circuit);
+        let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
         assert_eq!(
             machine.set_engine(mode),
             mode,
@@ -258,7 +258,7 @@ pub fn skini_latency(
     let (module, comp) = hiphop_skini::generate(shape);
     let compiled = compile_module(&module, &ModuleRegistry::new()).expect("score compiles");
     let nets = compiled.circuit.stats().nets;
-    let mut machine = Machine::new(compiled.circuit);
+    let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
     let mut audience = hiphop_skini::Audience::new(seed, 0.9);
     let report =
         hiphop_skini::perform(&mut machine, &comp, &mut audience, beats).expect("performs");
@@ -353,6 +353,64 @@ pub fn login_v2_abort_comparison() -> (bool, String) {
     (weak_ok, strong_err)
 }
 
+/// One row of the E8 robustness-overhead comparison.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Configuration label (`rollback off` / `rollback on` / `chaos 1%`).
+    pub label: &'static str,
+    /// Percentile snapshot of the drive.
+    pub metrics: hiphop_runtime::Metrics,
+    /// Reactions that failed with an injected fault and rolled back.
+    pub faults: usize,
+}
+
+/// E8: cost of the robustness layer on the E6 workload. Three machines
+/// drive the same synthetic program: rollback disabled (the raw fast
+/// path — errors would poison the machine), rollback enabled (the
+/// default: every reaction snapshots its state so errors restore it),
+/// and rollback plus seeded fault injection at a 10% per-action rate
+/// (host actions are sparse on this workload, so the effective
+/// per-reaction fault rate is far lower). Injected faults surface as
+/// structured `HostPanic` errors; the drive keeps going and counts
+/// them, which is only possible because rollback keeps the machine
+/// unpoisoned.
+pub fn chaos_overhead(n: usize, instants: usize, seed: u64) -> Vec<ChaosRow> {
+    let configs: [(&'static str, bool, f64); 3] = [
+        ("rollback off", false, 0.0),
+        ("rollback on", true, 0.0),
+        ("chaos 10%", true, 0.1),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, rollback, rate)| {
+            let module = synthetic_program(n, seed);
+            let compiled = compile_module(&module, &ModuleRegistry::new())
+                .expect("synthetic program compiles");
+            let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
+            machine.set_rollback(rollback);
+            if rate > 0.0 {
+                machine.set_chaos(seed, rate);
+            }
+            machine.enable_metrics();
+            let mut faults = 0usize;
+            if machine.react().is_err() {
+                faults += 1;
+            }
+            for i in 0..instants {
+                let sig = format!("i{}", i % 8);
+                if machine.react_with(&[(&sig, Value::Bool(true))]).is_err() {
+                    faults += 1;
+                }
+            }
+            ChaosRow {
+                label,
+                metrics: machine.metrics().expect("metrics enabled"),
+                faults,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +476,27 @@ mod tests {
             p50(EngineMode::Levelized),
             p50(EngineMode::Constructive)
         );
+    }
+
+    #[test]
+    fn chaos_overhead_rows_behave() {
+        let rows = chaos_overhead(80, 120, 2020);
+        assert_eq!(rows.len(), 3);
+        let by = |label: &str| rows.iter().find(|r| r.label == label).expect("row");
+        assert_eq!(by("rollback off").faults, 0);
+        assert_eq!(by("rollback on").faults, 0);
+        let chaotic = by("chaos 10%");
+        assert!(chaotic.faults > 0, "10% over 120 instants injects something");
+        // Faulted reactions roll back, so the machine keeps reacting:
+        // every instant is accounted for either way.
+        assert_eq!(
+            chaotic.metrics.reactions + chaotic.faults,
+            121,
+            "boot + 120 driven instants, minus the rolled-back ones"
+        );
+        // Determinism: the same seed injects the same schedule.
+        let again = chaos_overhead(80, 120, 2020);
+        assert_eq!(by("chaos 10%").faults, again[2].faults);
     }
 
     #[test]

@@ -221,7 +221,7 @@ mod tests {
     fn synthetic_programs_run_under_random_inputs() {
         let m = synthetic_program(120, 3);
         let compiled = compile_module(&m, &ModuleRegistry::new()).expect("compiles");
-        let mut machine = hiphop_runtime::Machine::new(compiled.circuit);
+        let mut machine = hiphop_runtime::Machine::new(compiled.circuit).expect("finalized circuit");
         machine.react().expect("boot");
         let mut rng = Rng::seed_from_u64(1);
         for _ in 0..50 {
@@ -258,7 +258,7 @@ mod tests {
     fn schizophrenic_programs_execute_correctly() {
         let m = schizophrenic_program(2);
         let compiled = compile_module(&m, &ModuleRegistry::new()).expect("compiles");
-        let mut machine = hiphop_runtime::Machine::new(compiled.circuit);
+        let mut machine = hiphop_runtime::Machine::new(compiled.circuit).expect("finalized circuit");
         machine.react().expect("boot");
         for _ in 0..10 {
             machine

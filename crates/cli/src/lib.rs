@@ -37,7 +37,7 @@ fn fail(msg: impl Into<String>) -> CliError {
 }
 
 /// Parsed command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Subcommand.
     pub command: String,
@@ -54,6 +54,30 @@ pub struct Options {
     pub engine: Option<EngineMode>,
     /// Telemetry outputs for `trace` / `oracle`.
     pub telemetry: TelemetryOptions,
+    /// Seeded fault injection for `trace` / `run` (the `oracle`
+    /// differential check always runs fault-free).
+    pub chaos: ChaosOptions,
+}
+
+/// Seeded fault injection knobs (`--chaos-seed` / `--chaos-rate`).
+/// Injected faults surface as structured `HostPanic` errors and the
+/// failed reaction is rolled back, so a chaotic trace reports the error
+/// and keeps going.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosOptions {
+    /// PCG32 seed for the fault stream (default 0).
+    pub seed: u64,
+    /// Per-action fault probability in `[0, 1]`; 0 disables injection.
+    pub rate: f64,
+}
+
+impl ChaosOptions {
+    /// Arms fault injection on `machine` when the rate is non-zero.
+    pub fn arm(&self, machine: &mut Machine) {
+        if self.rate > 0.0 {
+            machine.set_chaos(self.seed, self.rate);
+        }
+    }
 }
 
 /// Telemetry outputs attached to the machine by `trace` and `oracle`.
@@ -111,6 +135,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut stimulus = None;
     let mut engine = None;
     let mut telemetry = TelemetryOptions::default();
+    let mut chaos = ChaosOptions::default();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--engine" => {
@@ -152,6 +177,24 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                         .clone(),
                 )
             }
+            "--chaos-seed" => {
+                chaos.seed = it
+                    .next()
+                    .ok_or_else(|| fail("--chaos-seed needs an integer"))?
+                    .parse()
+                    .map_err(|e| fail(format!("--chaos-seed: {e}")))?;
+            }
+            "--chaos-rate" => {
+                let rate: f64 = it
+                    .next()
+                    .ok_or_else(|| fail("--chaos-rate needs a probability in [0, 1]"))?
+                    .parse()
+                    .map_err(|e| fail(format!("--chaos-rate: {e}")))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(fail("--chaos-rate must be within [0, 1]"));
+                }
+                chaos.rate = rate;
+            }
             other if !other.starts_with('-') && file.is_none() => {
                 file = Some(other.to_owned());
             }
@@ -166,6 +209,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         stimulus,
         engine,
         telemetry,
+        chaos,
     })
 }
 
@@ -192,7 +236,13 @@ telemetry flags (trace and oracle only):
                  events, actions, queue high-water mark) to stderr
   --jsonl FILE   write a structured trace, one JSON object per event line
   --vcd FILE     write the output waveform as a Value Change Dump
-                 viewable in GTKWave";
+                 viewable in GTKWave
+fault injection (trace and run; oracle always runs fault-free):
+  --chaos-rate P   inject host panics into action nets with probability
+                   P per action; each failed reaction is rolled back,
+                   reported, and the trace continues
+  --chaos-seed N   PCG32 seed for the fault stream (default 0) — the
+                   same seed and rate replay the same fault schedule";
 
 fn load(
     source: &str,
@@ -323,10 +373,16 @@ pub fn cmd_trace(
     optimize: bool,
     stimulus: &str,
 ) -> Result<String, CliError> {
-    Ok(
-        cmd_trace_with(source, main, optimize, stimulus, None, &TelemetryOptions::default())?
-            .stdout,
-    )
+    Ok(cmd_trace_with(
+        source,
+        main,
+        optimize,
+        stimulus,
+        None,
+        &TelemetryOptions::default(),
+        &ChaosOptions::default(),
+    )?
+    .stdout)
 }
 
 /// Output of [`cmd_trace_with`] / [`cmd_oracle_with`]: the main report
@@ -340,12 +396,17 @@ pub struct TraceReport {
     pub metrics: Option<String>,
 }
 
-/// [`cmd_trace`] with telemetry: attaches the requested sinks before
-/// driving the stimulus; JSONL/VCD files are written as a side effect.
+/// [`cmd_trace`] with telemetry and fault injection: attaches the
+/// requested sinks (JSONL/VCD files are written as a side effect), arms
+/// chaos when requested, and drives the stimulus. A failed reaction
+/// does not abort the trace: the machine rolls back, the error is
+/// reported as a summary line after the waveform, and the remaining
+/// instants still run.
 ///
 /// # Errors
 ///
-/// Front-end, input, reaction, or output-file errors.
+/// Front-end, input (unknown signal), or output-file errors. Reaction
+/// errors are reported in the output instead.
 pub fn cmd_trace_with(
     source: &str,
     main: Option<&str>,
@@ -353,9 +414,11 @@ pub fn cmd_trace_with(
     stimulus: &str,
     engine: Option<EngineMode>,
     telemetry: &TelemetryOptions,
+    chaos: &ChaosOptions,
 ) -> Result<TraceReport, CliError> {
     let mut machine = build_machine_with(source, main, optimize, engine)?;
     telemetry.attach(&mut machine)?;
+    chaos.arm(&mut machine);
     let outputs: Vec<String> = machine
         .signals()
         .filter(|(_, d, _, _)| d.is_output())
@@ -363,17 +426,28 @@ pub fn cmd_trace_with(
         .collect();
     let refs: Vec<&str> = outputs.iter().map(String::as_str).collect();
     let wf = hiphop_runtime::Waveform::new(&refs).attach(&mut machine);
+    let mut errors = Vec::new();
     let run = (|| -> Result<(), CliError> {
-        for instant in stimulus.split(';') {
-            run_line(&mut machine, instant)?;
+        for (t, instant) in stimulus.split(';').enumerate() {
+            if instant.trim() == "?" {
+                continue; // state inspection token: nothing to trace
+            }
+            stage_line(&mut machine, instant)?;
+            if let Err(e) = machine.react() {
+                errors.push(format!("instant {t}: error: {e}"));
+            }
         }
         Ok(())
     })();
-    // Flush sinks even on a failed reaction so the JSONL trace keeps the
-    // causality report that explains the failure.
+    // Flush sinks even on a failed stage so the JSONL trace keeps the
+    // diagnostics that explain the failure.
     machine.finish_sinks();
     run?;
-    let rendered = wf.borrow().render();
+    let mut rendered = wf.borrow().render();
+    for line in &errors {
+        rendered.push_str(line);
+        rendered.push('\n');
+    }
     Ok(TraceReport {
         stdout: rendered,
         metrics: machine.metrics().map(|m| m.render()),
@@ -417,7 +491,7 @@ pub fn cmd_oracle_with(
     let (module, registry) = load(source, main)?;
     let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
         .map_err(|e| fail(e.to_string()))?;
-    let mut machine = Machine::new(compiled.circuit);
+    let mut machine = Machine::new(compiled.circuit).map_err(|e| fail(e.to_string()))?;
     if let Some(mode) = engine {
         machine.set_engine(mode);
     }
@@ -519,24 +593,7 @@ pub fn run_line(machine: &mut Machine, line: &str) -> Result<String, CliError> {
         }
         return Ok(out.trim_end().to_owned());
     }
-    for tok in line.split_whitespace() {
-        let (name, value) = match tok.split_once('=') {
-            Some((n, v)) => {
-                let value = if let Ok(num) = v.parse::<f64>() {
-                    Value::Num(num)
-                } else if v == "true" || v == "false" {
-                    Value::Bool(v == "true")
-                } else {
-                    Value::Str(v.to_owned())
-                };
-                (n, Some(value))
-            }
-            None => (tok, Some(Value::Bool(true))),
-        };
-        machine
-            .set_input(name, value)
-            .map_err(|e| fail(e.to_string()))?;
-    }
+    stage_line(machine, line)?;
     let r = machine.react().map_err(|e| fail(e.to_string()))?;
     let mut shown: Vec<String> = r
         .outputs
@@ -558,6 +615,34 @@ pub fn run_line(machine: &mut Machine, line: &str) -> Result<String, CliError> {
     } else {
         shown.join(" ")
     })
+}
+
+/// Stages the inputs of one instant line (`sig` / `sig=value` tokens)
+/// without reacting.
+///
+/// # Errors
+///
+/// Fails on unknown signals.
+pub fn stage_line(machine: &mut Machine, line: &str) -> Result<(), CliError> {
+    for tok in line.split_whitespace() {
+        let (name, value) = match tok.split_once('=') {
+            Some((n, v)) => {
+                let value = if let Ok(num) = v.parse::<f64>() {
+                    Value::Num(num)
+                } else if v == "true" || v == "false" {
+                    Value::Bool(v == "true")
+                } else {
+                    Value::Str(v.to_owned())
+                };
+                (n, Some(value))
+            }
+            None => (tok, Some(Value::Bool(true))),
+        };
+        machine
+            .set_input(name, value)
+            .map_err(|e| fail(e.to_string()))?;
+    }
+    Ok(())
 }
 
 /// Builds the machine for `run`.
@@ -588,7 +673,7 @@ pub fn build_machine_with(
     let (module, registry) = load(source, main)?;
     let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
         .map_err(|e| fail(e.to_string()))?;
-    let mut machine = Machine::new(compiled.circuit);
+    let mut machine = Machine::new(compiled.circuit).map_err(|e| fail(e.to_string()))?;
     if let Some(mode) = engine {
         machine.set_engine(mode);
     }
@@ -767,6 +852,7 @@ mod tests {
                 ";A;B;R;A B",
                 Some(mode),
                 &TelemetryOptions::default(),
+                &ChaosOptions::default(),
             )
             .unwrap();
             assert_eq!(out.stdout, reference, "waveform differs under {mode}");
@@ -810,7 +896,16 @@ mod tests {
             jsonl: Some(jsonl_path.to_string_lossy().into_owned()),
             vcd: Some(vcd_path.to_string_lossy().into_owned()),
         };
-        let report = cmd_trace_with(ABRO, None, true, ";A;B;R;A B", None, &telemetry).unwrap();
+        let report = cmd_trace_with(
+            ABRO,
+            None,
+            true,
+            ";A;B;R;A B",
+            None,
+            &telemetry,
+            &ChaosOptions::default(),
+        )
+        .unwrap();
         assert!(report.stdout.contains("▁▁█▁█"), "{}", report.stdout);
         let table = report.metrics.expect("--metrics requested");
         assert!(table.contains("p95"), "{table}");
@@ -833,6 +928,86 @@ mod tests {
             .unwrap();
         assert!(report.stdout.contains("agree on all instants"), "{}", report.stdout);
         assert!(report.metrics.expect("requested").contains("3 reaction(s)"));
+    }
+
+    #[test]
+    fn parse_args_chaos_flags() {
+        let o = parse_args(&[
+            "trace".into(),
+            "x.hh".into(),
+            "--chaos-seed".into(),
+            "42".into(),
+            "--chaos-rate".into(),
+            "0.25".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.chaos.seed, 42);
+        assert_eq!(o.chaos.rate, 0.25);
+        assert!(parse_args(&["trace".into(), "x.hh".into(), "--chaos-rate".into()]).is_err());
+        assert!(parse_args(&[
+            "trace".into(),
+            "x.hh".into(),
+            "--chaos-rate".into(),
+            "1.5".into()
+        ])
+        .is_err());
+        assert!(parse_args(&[
+            "trace".into(),
+            "x.hh".into(),
+            "--chaos-seed".into(),
+            "nope".into()
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn chaotic_trace_reports_faults_and_keeps_going() {
+        // A 100% fault rate: every instant's emit action panics, every
+        // reaction rolls back — the trace must still cover the whole
+        // stimulus and list one structured error per instant.
+        let report = cmd_trace_with(
+            ABRO,
+            None,
+            true,
+            ";A;B;R;A B",
+            None,
+            &TelemetryOptions { metrics: true, ..TelemetryOptions::default() },
+            &ChaosOptions { seed: 1, rate: 1.0 },
+        )
+        .unwrap();
+        assert!(
+            report.stdout.contains("error: host code panicked"),
+            "{}",
+            report.stdout
+        );
+        assert!(
+            report.stdout.contains("rolled back"),
+            "{}",
+            report.stdout
+        );
+        let table = report.metrics.expect("metrics requested");
+        assert!(table.contains("host panics:"), "{table}");
+        // A fault-free rerun of the same stimulus is unaffected.
+        let clean = cmd_trace(ABRO, None, true, ";A;B;R;A B").unwrap();
+        assert!(clean.contains("▁▁█▁█"), "{clean}");
+    }
+
+    #[test]
+    fn chaotic_trace_is_reproducible() {
+        let run = || {
+            cmd_trace_with(
+                ABRO,
+                None,
+                true,
+                ";A;B;R;A B;A;B;R;A B",
+                None,
+                &TelemetryOptions::default(),
+                &ChaosOptions { seed: 7, rate: 0.4 },
+            )
+            .unwrap()
+            .stdout
+        };
+        assert_eq!(run(), run(), "same seed, same fault schedule");
     }
 
     #[test]

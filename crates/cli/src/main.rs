@@ -49,6 +49,7 @@ fn main() {
             opts.stimulus.as_deref().unwrap_or(""),
             opts.engine,
             &opts.telemetry,
+            &opts.chaos,
         )
         .map(|r| {
             if let Some(table) = &r.metrics {
@@ -57,6 +58,7 @@ fn main() {
             Some(r.stdout)
         }),
         "run" => build_machine_with(&source, main, optimize, opts.engine).map(|mut machine| {
+            opts.chaos.arm(&mut machine);
             eprintln!("one line per instant (the first line is the boot instant): `sig` or `sig=value` tokens; ctrl-d ends");
             let stdin = std::io::stdin();
             for line in stdin.lock().lines() {

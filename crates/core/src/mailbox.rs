@@ -114,6 +114,13 @@ impl AsyncHandle {
     pub fn instance(&self) -> u64 {
         self.instance
     }
+
+    /// The async statement this handle belongs to; `(async_id, instance)`
+    /// uniquely identifies a running activity (the supervisor keys its
+    /// registry on the pair).
+    pub fn async_id(&self) -> u32 {
+        self.async_id
+    }
 }
 
 impl fmt::Display for AsyncHandle {

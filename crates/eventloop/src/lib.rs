@@ -32,6 +32,7 @@
 
 pub mod multitier;
 pub mod stdlib;
+pub mod supervisor;
 
 use hiphop_runtime::{Machine, Reaction, RuntimeError};
 use std::cell::RefCell;
@@ -262,15 +263,20 @@ impl Driver {
     }
 
     /// Advances virtual time, draining the machine mailbox after every
-    /// callback so notifications become reactions promptly.
+    /// callback so notifications become reactions promptly. Pending
+    /// microtasks run first, mirroring [`EventLoop::advance_by`].
     ///
     /// # Errors
     ///
-    /// Propagates machine errors.
+    /// Propagates machine errors. On error the event loop is left at a
+    /// consistent state: virtual time stays at the failure point and
+    /// still-queued timers and microtasks remain pending, so a
+    /// subsequent `advance_by` resumes where this one stopped.
     pub fn advance_by(&self, ms: u64) -> Result<Vec<Reaction>, RuntimeError> {
         let target = self.el.borrow().now() + ms;
         let mut reactions = Vec::new();
-        reactions.extend(self.machine.borrow_mut().drain()?);
+        self.el.borrow_mut().run_microtasks();
+        self.drain_into(&mut reactions)?;
         loop {
             let due = {
                 let el = self.el.borrow();
@@ -280,10 +286,18 @@ impl Driver {
                 break;
             }
             self.el.borrow_mut().step();
-            reactions.extend(self.machine.borrow_mut().drain()?);
+            self.drain_into(&mut reactions)?;
         }
         self.el.borrow_mut().now_ms = target;
         Ok(reactions)
+    }
+
+    /// Drains the mailbox into `out`, keeping already-collected
+    /// reactions observable through listeners/sinks even when a later
+    /// mailbox operation fails.
+    fn drain_into(&self, out: &mut Vec<Reaction>) -> Result<(), RuntimeError> {
+        out.extend(self.machine.borrow_mut().drain()?);
+        Ok(())
     }
 }
 

@@ -1,0 +1,756 @@
+//! Supervised async activities: timeouts, bounded retries with capped
+//! exponential backoff, panic isolation, and seeded fault injection.
+//!
+//! The paper's `async` statement bridges the synchronous core to an
+//! untrusted asynchronous host world — and assumes the host behaves:
+//! activities complete, never hang, never panic. The [`Supervisor`]
+//! drops that assumption. Every activity launched through
+//! [`supervised_async`] runs under an [`ActivityPolicy`]:
+//!
+//! - a **deadline** enforced with the event loop's virtual clock — an
+//!   attempt that neither succeeds nor fails by its deadline is failed
+//!   with a timeout;
+//! - **bounded retries** with capped exponential backoff and
+//!   deterministic jitter drawn from a per-activity PCG32 stream
+//!   ([`hiphop_core::rng::Rng`]), so retry storms never synchronize and
+//!   every schedule replays exactly under a fixed seed;
+//! - **panic isolation**: the work function runs under
+//!   [`hiphop_runtime::isolate::guarded`], so a panicking attempt
+//!   becomes a failed attempt, not a torn-down event loop;
+//! - **cleanup hooks** ([`Attempt::defer_cancel`]) with `finally`
+//!   semantics, honoured on retry, timeout, preemption (`abort` killing
+//!   the statement) and give-up alike.
+//!
+//! Outcomes re-enter the synchronous world as signals: success delivers
+//! the value through the async statement's completion signal; exhausted
+//! retries deliver an error object (`{error, attempts}`) through the
+//! completion signal or, when [`SupervisedSpec::fail_signal`] names an
+//! interface input, through a staged reaction on that signal. Every
+//! supervision decision is also published as telemetry
+//! ([`TraceEvent::ActivityRetry`], [`TraceEvent::ActivityTimeout`],
+//! [`TraceEvent::ActivityPanic`]) to the machine's sinks via
+//! [`Supervisor::attach_sinks`].
+//!
+//! [`ChaosPolicy`] arms seeded fault injection at the supervision
+//! boundary: completions may be delayed, dropped, duplicated or turned
+//! into failures, and work functions may panic — each drawn from one
+//! PCG32 stream, so a `(seed, rate)` pair names a reproducible fault
+//! schedule. The chaos differential tests drive the full matrix.
+
+use crate::{EventLoop, TimerId};
+use hiphop_core::ast::{AsyncHook, AsyncSpec, Stmt};
+use hiphop_core::mailbox::AsyncHandle;
+use hiphop_core::rng::Rng;
+use hiphop_core::value::Value;
+use hiphop_runtime::isolate::guarded;
+use hiphop_runtime::telemetry::{SinkSet, TraceEvent};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+
+/// Retry/timeout policy for one supervised activity.
+#[derive(Debug, Clone)]
+pub struct ActivityPolicy {
+    /// Deadline per attempt in virtual ms; `None` disables the timeout.
+    /// An activity whose completion is *dropped* (by chaos or a buggy
+    /// host) can only recover through this deadline.
+    pub timeout_ms: Option<u64>,
+    /// Retries allowed after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `base * 2^(k-1)`, capped below.
+    pub backoff_base_ms: u64,
+    /// Upper bound on the computed backoff.
+    pub backoff_cap_ms: u64,
+    /// Jitter fraction in `[0, 1]`: the delay is scaled by a factor
+    /// drawn uniformly from `1 ± jitter` (deterministic per activity).
+    pub jitter: f64,
+}
+
+impl Default for ActivityPolicy {
+    fn default() -> ActivityPolicy {
+        ActivityPolicy {
+            timeout_ms: None,
+            max_retries: 0,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 10_000,
+            jitter: 0.1,
+        }
+    }
+}
+
+impl ActivityPolicy {
+    /// Convenience: a policy with a per-attempt deadline.
+    pub fn with_timeout(mut self, ms: u64) -> ActivityPolicy {
+        self.timeout_ms = Some(ms);
+        self
+    }
+    /// Convenience: a policy allowing `n` retries.
+    pub fn with_retries(mut self, n: u32) -> ActivityPolicy {
+        self.max_retries = n;
+        self
+    }
+    /// Convenience: backoff base and cap in one call.
+    pub fn with_backoff(mut self, base_ms: u64, cap_ms: u64) -> ActivityPolicy {
+        self.backoff_base_ms = base_ms;
+        self.backoff_cap_ms = cap_ms;
+        self
+    }
+}
+
+/// Static description of a supervised activity.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisedSpec {
+    /// Diagnostic name carried on every telemetry event.
+    pub name: String,
+    /// Completion signal of the underlying `async` statement; emitted
+    /// with the success value (or, when `fail_signal` is `None`, with
+    /// the `{error, attempts}` object on give-up).
+    pub done_signal: Option<String>,
+    /// When set, give-up stages a reaction with this *interface input*
+    /// carrying the `{error, attempts}` object instead of completing
+    /// the async statement; the statement stays selected until the
+    /// program preempts it.
+    pub fail_signal: Option<String>,
+    /// The retry/timeout policy.
+    pub policy: ActivityPolicy,
+}
+
+impl SupervisedSpec {
+    /// A named spec with the default policy.
+    pub fn new(name: impl Into<String>) -> SupervisedSpec {
+        SupervisedSpec {
+            name: name.into(),
+            ..SupervisedSpec::default()
+        }
+    }
+    /// Sets the completion signal.
+    pub fn done(mut self, signal: impl Into<String>) -> SupervisedSpec {
+        self.done_signal = Some(signal.into());
+        self
+    }
+    /// Sets the failure signal.
+    pub fn fail(mut self, signal: impl Into<String>) -> SupervisedSpec {
+        self.fail_signal = Some(signal.into());
+        self
+    }
+    /// Sets the policy.
+    pub fn policy(mut self, policy: ActivityPolicy) -> SupervisedSpec {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Seeded fault injection at the supervision boundary (see the module
+/// docs); `(seed, rate)` names a reproducible fault schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosPolicy {
+    /// PCG32 seed for the fault stream.
+    pub seed: u64,
+    /// Per-decision fault probability in `[0, 1]`.
+    pub rate: f64,
+    /// Upper bound on injected completion delays, virtual ms.
+    pub max_delay_ms: u64,
+    /// Whether work functions may be made to panic (exercises the
+    /// panic-isolation path).
+    pub panic_work: bool,
+}
+
+impl ChaosPolicy {
+    /// A policy with the default delay bound (500 ms) and work panics
+    /// enabled.
+    pub fn new(seed: u64, rate: f64) -> ChaosPolicy {
+        ChaosPolicy {
+            seed,
+            rate,
+            max_delay_ms: 500,
+            panic_work: true,
+        }
+    }
+}
+
+/// One drawn completion fault.
+#[derive(Debug, Clone)]
+enum Fault {
+    Delay(u64),
+    Drop,
+    Duplicate,
+    Fail,
+}
+
+#[derive(Debug)]
+struct ChaosEngine {
+    rng: Rng,
+    policy: ChaosPolicy,
+}
+
+impl ChaosEngine {
+    fn draw_completion_fault(&mut self) -> Option<Fault> {
+        if !self.rng.gen_bool(self.policy.rate) {
+            return None;
+        }
+        Some(match self.rng.gen_range(0u32..4) {
+            0 => Fault::Delay(self.rng.gen_range(1u64..self.policy.max_delay_ms.max(2))),
+            1 => Fault::Drop,
+            2 => Fault::Duplicate,
+            _ => Fault::Fail,
+        })
+    }
+
+    fn draw_work_panic(&mut self) -> bool {
+        self.policy.panic_work && self.rng.gen_bool(self.policy.rate)
+    }
+}
+
+/// Monotonic counters over every activity the supervisor has seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionStats {
+    /// Activities launched (spawn hooks run).
+    pub launched: u64,
+    /// Activities that delivered a success value.
+    pub completed: u64,
+    /// Retries scheduled.
+    pub retries: u64,
+    /// Attempts that hit their deadline.
+    pub timeouts: u64,
+    /// Work-function panics caught.
+    pub panics: u64,
+    /// Activities that exhausted their retries.
+    pub gave_up: u64,
+    /// Activities preempted by the program (`abort` etc.).
+    pub killed: u64,
+    /// Chaos faults injected (completion faults and work panics).
+    pub chaos_faults: u64,
+}
+
+type ActivityKey = (u32, u64);
+type CancelHook = Box<dyn FnOnce(&mut EventLoop)>;
+type WorkFn = Rc<dyn Fn(&mut Attempt<'_>)>;
+
+struct ActivityRun {
+    name: String,
+    policy: ActivityPolicy,
+    handle: AsyncHandle,
+    fail_signal: Option<String>,
+    work: WorkFn,
+    /// Attempts started so far (1-based once running).
+    attempt: u32,
+    /// Bumped on every state transition; callbacks capture the epoch at
+    /// scheduling time and anything stale is dropped — the supervisor's
+    /// analogue of the machine's instance/generation check.
+    epoch: u64,
+    /// Per-activity jitter stream, seeded from the activity key.
+    rng: Rng,
+    timeout_timer: Option<TimerId>,
+    retry_timer: Option<TimerId>,
+    cancel_hooks: Vec<CancelHook>,
+}
+
+/// Supervises activities launched through [`supervised_async`] on one
+/// event loop. Create with [`Supervisor::new`], share as `Rc`.
+pub struct Supervisor {
+    el: Rc<RefCell<EventLoop>>,
+    activities: RefCell<HashMap<ActivityKey, ActivityRun>>,
+    sinks: RefCell<SinkSet>,
+    chaos: RefCell<Option<ChaosEngine>>,
+    stats: RefCell<SupervisionStats>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("activities", &self.activities.borrow().len())
+            .field("stats", &*self.stats.borrow())
+            .finish()
+    }
+}
+
+/// Handed to the work function on every attempt: schedule host work on
+/// [`Attempt::el`], report the outcome through [`Attempt::completion`],
+/// register cleanup with [`Attempt::defer_cancel`].
+pub struct Attempt<'a> {
+    /// The event loop, mutably — the attempt runs inside an event-loop
+    /// callback or a reaction, so scheduling goes through this borrow.
+    pub el: &'a mut EventLoop,
+    completion: Completion,
+    attempt: u32,
+}
+
+impl Attempt<'_> {
+    /// Which attempt this is (1 on first launch).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// A cloneable token for reporting this attempt's outcome later,
+    /// from timer or promise callbacks. Outcomes reported after the
+    /// attempt was abandoned (retried, timed out, killed) are
+    /// discarded by the epoch check.
+    pub fn completion(&self) -> Completion {
+        self.completion.clone()
+    }
+
+    /// Registers cleanup run when this attempt is torn down — on
+    /// success, retry, timeout, preemption and give-up alike (`finally`
+    /// semantics). Use it to clear intervals or connections the attempt
+    /// opened, the supervised analogue of the paper's `kill` clause.
+    pub fn defer_cancel(&mut self, f: impl FnOnce(&mut EventLoop) + 'static) {
+        if let Some(sup) = self.completion.sup.upgrade() {
+            if let Some(run) = sup.activities.borrow_mut().get_mut(&self.completion.key) {
+                if run.epoch == self.completion.epoch {
+                    run.cancel_hooks.push(Box::new(f));
+                }
+            }
+        }
+    }
+}
+
+/// Outcome token for one attempt (see [`Attempt::completion`]).
+#[derive(Clone)]
+pub struct Completion {
+    sup: Weak<Supervisor>,
+    key: ActivityKey,
+    epoch: u64,
+}
+
+impl std::fmt::Debug for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completion")
+            .field("key", &self.key)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl Completion {
+    /// Reports success: the value is delivered into the next reaction
+    /// through the activity's completion signal (subject to any armed
+    /// chaos faults).
+    pub fn succeed(&self, el: &mut EventLoop, value: impl Into<Value>) {
+        if let Some(sup) = self.sup.upgrade() {
+            sup.on_outcome(el, self.key, self.epoch, Ok(value.into()), true);
+        }
+    }
+
+    /// Reports failure: the attempt is retried under the activity's
+    /// policy, or the failure is surfaced once retries are exhausted.
+    pub fn fail(&self, el: &mut EventLoop, reason: impl Into<String>) {
+        if let Some(sup) = self.sup.upgrade() {
+            sup.on_outcome(el, self.key, self.epoch, Err(reason.into()), true);
+        }
+    }
+}
+
+/// Builds the `{error, attempts}` object delivered on give-up.
+fn error_value(reason: &str, attempts: u32) -> Value {
+    Value::object([
+        ("error", Value::Str(reason.to_owned())),
+        ("attempts", Value::Num(attempts as f64)),
+    ])
+}
+
+impl Supervisor {
+    /// A supervisor over `el`.
+    pub fn new(el: Rc<RefCell<EventLoop>>) -> Rc<Supervisor> {
+        Rc::new(Supervisor {
+            el,
+            activities: RefCell::new(HashMap::new()),
+            sinks: RefCell::new(SinkSet::new()),
+            chaos: RefCell::new(None),
+            stats: RefCell::new(SupervisionStats::default()),
+        })
+    }
+
+    /// Publishes supervision telemetry into `sinks` — pass the
+    /// machine's [`hiphop_runtime::Machine::sink_handle`] so activity
+    /// events land in the same trace as the reactions they cause.
+    pub fn attach_sinks(&self, sinks: SinkSet) {
+        *self.sinks.borrow_mut() = sinks;
+    }
+
+    /// Arms fault injection; `None`-like disarming is done by passing a
+    /// zero-rate policy.
+    pub fn set_chaos(&self, policy: ChaosPolicy) {
+        *self.chaos.borrow_mut() = (policy.rate > 0.0).then(|| ChaosEngine {
+            rng: Rng::seed_from_u64(policy.seed),
+            policy,
+        });
+    }
+
+    /// Snapshot of the supervision counters.
+    pub fn stats(&self) -> SupervisionStats {
+        *self.stats.borrow()
+    }
+
+    /// Number of activities currently registered (running or backing
+    /// off).
+    pub fn active(&self) -> usize {
+        self.activities.borrow().len()
+    }
+
+    fn emit(&self, event: TraceEvent<'_>) {
+        let sinks = self.sinks.borrow();
+        if !sinks.is_empty() {
+            sinks.emit(&event);
+        }
+    }
+
+    /// Registers a fresh activity run (spawn hook).
+    fn register(&self, handle: AsyncHandle, spec: &SupervisedSpec, work: WorkFn) -> ActivityKey {
+        let key = (handle.async_id(), handle.instance());
+        let seed = 0x5EED_u64 ^ ((key.0 as u64) << 32) ^ key.1;
+        self.activities.borrow_mut().insert(
+            key,
+            ActivityRun {
+                name: spec.name.clone(),
+                policy: spec.policy.clone(),
+                handle,
+                fail_signal: spec.fail_signal.clone(),
+                work,
+                attempt: 0,
+                epoch: 0,
+                rng: Rng::seed_from_u64(seed),
+                timeout_timer: None,
+                retry_timer: None,
+                cancel_hooks: Vec::new(),
+            },
+        );
+        self.stats.borrow_mut().launched += 1;
+        key
+    }
+
+    /// Starts the next attempt of `key`: bumps the epoch (staling every
+    /// in-flight callback of the previous attempt), arms the deadline
+    /// timer, and runs the work function under panic isolation.
+    fn start_attempt(self: &Rc<Self>, el: &mut EventLoop, key: ActivityKey) {
+        let Some((work, attempt, epoch, name, timeout_ms)) = ({
+            let mut acts = self.activities.borrow_mut();
+            acts.get_mut(&key).map(|run| {
+                run.attempt += 1;
+                run.epoch += 1;
+                run.retry_timer = None;
+                (
+                    run.work.clone(),
+                    run.attempt,
+                    run.epoch,
+                    run.name.clone(),
+                    run.policy.timeout_ms,
+                )
+            })
+        }) else {
+            return;
+        };
+        if let Some(deadline) = timeout_ms {
+            let weak = Rc::downgrade(self);
+            let id = el.set_timeout(deadline, move |el| {
+                if let Some(sup) = weak.upgrade() {
+                    sup.on_timeout(el, key, epoch, deadline);
+                }
+            });
+            if let Some(run) = self.activities.borrow_mut().get_mut(&key) {
+                run.timeout_timer = Some(id);
+            }
+        }
+        let inject_panic = self
+            .chaos
+            .borrow_mut()
+            .as_mut()
+            .is_some_and(|c| c.draw_work_panic());
+        if inject_panic {
+            self.stats.borrow_mut().chaos_faults += 1;
+        }
+        let completion = Completion {
+            sup: Rc::downgrade(self),
+            key,
+            epoch,
+        };
+        let outcome = {
+            let mut ctx = Attempt {
+                el,
+                completion,
+                attempt,
+            };
+            guarded(|| {
+                if inject_panic {
+                    std::panic::panic_any(format!(
+                        "chaos: injected panic in activity `{name}` attempt {attempt}"
+                    ));
+                }
+                (work)(&mut ctx);
+            })
+        };
+        if let Err(payload) = outcome {
+            self.stats.borrow_mut().panics += 1;
+            self.emit(TraceEvent::ActivityPanic {
+                name: &name,
+                payload: &payload,
+            });
+            self.attempt_failed(el, key, epoch, format!("panic: {payload}"));
+        }
+    }
+
+    fn on_timeout(self: &Rc<Self>, el: &mut EventLoop, key: ActivityKey, epoch: u64, deadline: u64) {
+        let Some((name, attempt)) = ({
+            let acts = self.activities.borrow();
+            acts.get(&key)
+                .filter(|run| run.epoch == epoch)
+                .map(|run| (run.name.clone(), run.attempt))
+        }) else {
+            return;
+        };
+        self.stats.borrow_mut().timeouts += 1;
+        self.emit(TraceEvent::ActivityTimeout {
+            name: &name,
+            attempt,
+            timeout_ms: deadline,
+        });
+        self.attempt_failed(el, key, epoch, format!("timeout after {deadline}ms"));
+    }
+
+    /// Outcome delivery, optionally passing the chaos gate (re-delivery
+    /// of a chaos-delayed outcome skips it so a fault stream cannot
+    /// postpone delivery forever).
+    fn on_outcome(
+        self: &Rc<Self>,
+        el: &mut EventLoop,
+        key: ActivityKey,
+        epoch: u64,
+        outcome: Result<Value, String>,
+        chaos_gate: bool,
+    ) {
+        {
+            let acts = self.activities.borrow();
+            let Some(run) = acts.get(&key) else { return };
+            if run.epoch != epoch {
+                return;
+            }
+        }
+        let fault = if chaos_gate {
+            self.chaos
+                .borrow_mut()
+                .as_mut()
+                .and_then(|c| c.draw_completion_fault())
+        } else {
+            None
+        };
+        if fault.is_some() {
+            self.stats.borrow_mut().chaos_faults += 1;
+        }
+        match fault {
+            Some(Fault::Drop) => {}
+            Some(Fault::Delay(ms)) => {
+                let weak = Rc::downgrade(self);
+                let mut slot = Some(outcome);
+                el.set_timeout(ms, move |el| {
+                    if let (Some(sup), Some(outcome)) = (weak.upgrade(), slot.take()) {
+                        sup.on_outcome(el, key, epoch, outcome, false);
+                    }
+                });
+            }
+            Some(Fault::Duplicate) => {
+                // The first delivery wins; the duplicate trails through
+                // the microtask queue and is discarded as stale — the
+                // supervised analogue of the machine's generation check.
+                let weak = Rc::downgrade(self);
+                let mut slot = Some(outcome.clone());
+                el.queue_microtask(move |el| {
+                    if let (Some(sup), Some(outcome)) = (weak.upgrade(), slot.take()) {
+                        sup.on_outcome(el, key, epoch, outcome, false);
+                    }
+                });
+                self.deliver(el, key, epoch, outcome);
+            }
+            Some(Fault::Fail) => {
+                self.attempt_failed(el, key, epoch, "chaos: injected completion failure".into());
+            }
+            None => self.deliver(el, key, epoch, outcome),
+        }
+    }
+
+    fn deliver(self: &Rc<Self>, el: &mut EventLoop, key: ActivityKey, epoch: u64, outcome: Result<Value, String>) {
+        match outcome {
+            Ok(value) => {
+                let Some(mut run) = ({
+                    let mut acts = self.activities.borrow_mut();
+                    match acts.get(&key) {
+                        Some(r) if r.epoch == epoch => acts.remove(&key),
+                        _ => None,
+                    }
+                }) else {
+                    return;
+                };
+                Supervisor::teardown_attempt(&mut run, el);
+                self.stats.borrow_mut().completed += 1;
+                run.handle.notify(value);
+            }
+            Err(reason) => self.attempt_failed(el, key, epoch, reason),
+        }
+    }
+
+    /// An attempt failed (explicitly, by timeout, or by panic): retry
+    /// under the policy or give up and surface the failure.
+    fn attempt_failed(self: &Rc<Self>, el: &mut EventLoop, key: ActivityKey, epoch: u64, reason: String) {
+        enum Decision {
+            Retry { name: String, attempt: u32, delay: u64 },
+            GiveUp(Box<ActivityRun>),
+        }
+        let decision = {
+            let mut acts = self.activities.borrow_mut();
+            let Some(run) = acts.get_mut(&key) else { return };
+            if run.epoch != epoch {
+                return;
+            }
+            if run.attempt <= run.policy.max_retries {
+                // Stale the failed attempt's remaining callbacks now;
+                // the retry callback below carries no epoch — it
+                // re-reads the run when it fires.
+                run.epoch += 1;
+                let delay = backoff_delay(&run.policy, run.attempt, &mut run.rng);
+                Decision::Retry {
+                    name: run.name.clone(),
+                    attempt: run.attempt,
+                    delay,
+                }
+            } else {
+                Decision::GiveUp(Box::new(acts.remove(&key).expect("present above")))
+            }
+        };
+        match decision {
+            Decision::Retry { name, attempt, delay } => {
+                if let Some(run) = self.activities.borrow_mut().get_mut(&key) {
+                    if let Some(t) = run.timeout_timer.take() {
+                        el.clear(t);
+                    }
+                }
+                self.run_cancel_hooks(key, el);
+                self.stats.borrow_mut().retries += 1;
+                self.emit(TraceEvent::ActivityRetry {
+                    name: &name,
+                    attempt,
+                    delay_ms: delay,
+                });
+                let weak = Rc::downgrade(self);
+                let id = el.set_timeout(delay, move |el| {
+                    if let Some(sup) = weak.upgrade() {
+                        sup.start_attempt(el, key);
+                    }
+                });
+                if let Some(run) = self.activities.borrow_mut().get_mut(&key) {
+                    run.retry_timer = Some(id);
+                }
+            }
+            Decision::GiveUp(mut run) => {
+                Supervisor::teardown_attempt(&mut run, el);
+                self.stats.borrow_mut().gave_up += 1;
+                let err = error_value(&reason, run.attempt);
+                match &run.fail_signal {
+                    Some(sig) => run.handle.react(vec![(sig.clone(), err)]),
+                    None => run.handle.notify(err),
+                }
+            }
+        }
+    }
+
+    /// Preemption (the async statement's kill hook): drop the run and
+    /// tear down its timers and cleanup hooks. Idempotent — give-up or
+    /// completion may already have removed the run.
+    fn cancel(&self, key: ActivityKey, el: &mut EventLoop) {
+        let Some(mut run) = self.activities.borrow_mut().remove(&key) else {
+            return;
+        };
+        Supervisor::teardown_attempt(&mut run, el);
+        self.stats.borrow_mut().killed += 1;
+    }
+
+    /// Clears the run's timers and drains its cleanup hooks.
+    fn teardown_attempt(run: &mut ActivityRun, el: &mut EventLoop) {
+        if let Some(t) = run.timeout_timer.take() {
+            el.clear(t);
+        }
+        if let Some(t) = run.retry_timer.take() {
+            el.clear(t);
+        }
+        for hook in run.cancel_hooks.drain(..) {
+            hook(el);
+        }
+    }
+
+    /// Runs the cancel hooks of a still-registered run (retry path).
+    fn run_cancel_hooks(&self, key: ActivityKey, el: &mut EventLoop) {
+        let hooks = match self.activities.borrow_mut().get_mut(&key) {
+            Some(run) => std::mem::take(&mut run.cancel_hooks),
+            None => Vec::new(),
+        };
+        for hook in hooks {
+            hook(el);
+        }
+    }
+}
+
+/// Computes the capped, jittered exponential backoff before the retry
+/// that follows failed attempt `attempt`.
+fn backoff_delay(policy: &ActivityPolicy, attempt: u32, rng: &mut Rng) -> u64 {
+    let exp = attempt.saturating_sub(1).min(20);
+    let raw = policy
+        .backoff_base_ms
+        .saturating_mul(1u64 << exp)
+        .min(policy.backoff_cap_ms);
+    let jitter = policy.jitter.clamp(0.0, 1.0);
+    if jitter == 0.0 || raw == 0 {
+        return raw;
+    }
+    let factor = 1.0 + jitter * (2.0 * rng.gen_f64() - 1.0);
+    ((raw as f64 * factor).round() as u64).min(policy.backoff_cap_ms)
+}
+
+/// The spawn/kill hook pair of a supervised activity. Use these to
+/// embed supervision into a hand-built [`AsyncSpec`] or to register the
+/// hooks in a textual-language host registry, so a `.hh` program can
+/// write `async res { host "fetch.spawn" } kill { host "fetch.kill" }`.
+pub fn supervised_hooks(
+    sup: &Rc<Supervisor>,
+    spec: SupervisedSpec,
+    work: impl Fn(&mut Attempt<'_>) + 'static,
+) -> (AsyncHook, AsyncHook) {
+    let work: WorkFn = Rc::new(work);
+    let sup_spawn = sup.clone();
+    let spec_spawn = spec.clone();
+    let hook_name = format!("supervised.{}.spawn", spec.name);
+    let spawn = AsyncHook::new(hook_name, move |ctx| {
+        let key = sup_spawn.register(ctx.handle.clone(), &spec_spawn, work.clone());
+        // Hooks run inside a reaction; reactions never run while the
+        // event loop is borrowed (callbacks queue through the mailbox),
+        // so this borrow cannot collide with a running `step()`.
+        let el = sup_spawn.el.clone();
+        let mut el = el.borrow_mut();
+        sup_spawn.start_attempt(&mut el, key);
+    });
+    let sup_kill = sup.clone();
+    let kill = AsyncHook::new(format!("supervised.{}.kill", spec.name), move |ctx| {
+        let key = (ctx.handle.async_id(), ctx.handle.instance());
+        let el = sup_kill.el.clone();
+        let mut el = el.borrow_mut();
+        sup_kill.cancel(key, &mut el);
+    });
+    (spawn, kill)
+}
+
+/// Builds a supervised `async` statement: `work` runs on every attempt
+/// under `spec.policy`, reporting through its [`Attempt::completion`]
+/// token. The statement's kill hook deregisters the activity and runs
+/// its cleanup hooks, so `abort` preempts in-flight attempts *and*
+/// pending retries.
+pub fn supervised_async(
+    sup: &Rc<Supervisor>,
+    spec: SupervisedSpec,
+    work: impl Fn(&mut Attempt<'_>) + 'static,
+) -> Stmt {
+    let done_signal = spec.done_signal.clone();
+    let (spawn, kill) = supervised_hooks(sup, spec, work);
+    Stmt::async_(AsyncSpec {
+        done_signal,
+        on_spawn: Some(spawn),
+        on_kill: Some(kill),
+        on_suspend: None,
+        on_resume: None,
+    })
+}

@@ -1,0 +1,473 @@
+//! Supervised activity tests: deadlines, retry/backoff schedules,
+//! give-up delivery, preemption mid-retry, cleanup hooks, panic
+//! isolation, and seeded chaos determinism.
+
+use hiphop_core::prelude::*;
+use hiphop_eventloop::supervisor::{
+    ActivityPolicy, ChaosPolicy, SupervisedSpec, Supervisor,
+};
+use hiphop_eventloop::{Driver, EventLoop};
+use hiphop_runtime::machine_for;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+fn no_jitter(policy: ActivityPolicy) -> ActivityPolicy {
+    ActivityPolicy {
+        jitter: 0.0,
+        ..policy
+    }
+}
+
+/// Builds `Main { body }` with signals and wires it to a driver sharing
+/// `el`.
+fn driver_for(main: &Module, el: Rc<RefCell<EventLoop>>) -> Driver {
+    let machine = machine_for(main, &ModuleRegistry::new()).expect("compiles");
+    Driver {
+        machine: Rc::new(RefCell::new(machine)),
+        el,
+    }
+}
+
+#[test]
+fn success_on_first_attempt_delivers_value() {
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let sup = Supervisor::new(el.clone());
+    let body = hiphop_eventloop::supervisor::supervised_async(
+        &sup,
+        SupervisedSpec::new("fetch").done("res"),
+        |a| {
+            let c = a.completion();
+            a.el.set_timeout(50, move |el| c.succeed(el, 42i64));
+        },
+    );
+    let main = Module::new("Main")
+        .inout(SignalDecl::new("res", Direction::InOut))
+        .body(body);
+    let driver = driver_for(&main, el);
+    driver.react(&[]).unwrap();
+    let reactions = driver.advance_by(100).unwrap();
+    assert!(reactions.iter().any(|r| r.present("res")));
+    assert_eq!(driver.machine.borrow().nowval("res"), Value::Num(42.0));
+    let stats = sup.stats();
+    assert_eq!(stats.launched, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.retries, 0);
+    assert_eq!(sup.active(), 0, "registry empty after completion");
+}
+
+#[test]
+fn timeout_retries_until_an_attempt_succeeds() {
+    // Attempts 1 and 2 never complete; the 100ms deadline fails them.
+    // Attempt 3 completes in 20ms.
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let sup = Supervisor::new(el.clone());
+    let body = hiphop_eventloop::supervisor::supervised_async(
+        &sup,
+        SupervisedSpec::new("flaky").done("res").policy(no_jitter(
+            ActivityPolicy::default()
+                .with_timeout(100)
+                .with_retries(5)
+                .with_backoff(10, 80),
+        )),
+        |a| {
+            if a.attempt() >= 3 {
+                let c = a.completion();
+                a.el.set_timeout(20, move |el| c.succeed(el, "ok"));
+            }
+            // Attempts 1-2 hang: only the supervisor's deadline saves us.
+        },
+    );
+    let main = Module::new("Main")
+        .inout(SignalDecl::new("res", Direction::InOut))
+        .body(body);
+    let driver = driver_for(&main, el.clone());
+    driver.react(&[]).unwrap();
+    driver.advance_by(1000).unwrap();
+    assert_eq!(driver.machine.borrow().nowval("res"), Value::from("ok"));
+    let stats = sup.stats();
+    assert_eq!(stats.timeouts, 2);
+    assert_eq!(stats.retries, 2);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(el.borrow().pending(), 0, "all supervision timers cleared");
+}
+
+#[test]
+fn backoff_schedule_is_exponential_capped_and_deterministic() {
+    // Every attempt fails instantly; base 100, cap 400, 4 retries, no
+    // jitter. Attempt starts: 0, +100, +200, +400, +400 (capped).
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let sup = Supervisor::new(el.clone());
+    let starts = Rc::new(RefCell::new(Vec::new()));
+    let starts2 = starts.clone();
+    let body = hiphop_eventloop::supervisor::supervised_async(
+        &sup,
+        SupervisedSpec::new("doomed").done("res").policy(no_jitter(
+            ActivityPolicy::default().with_retries(4).with_backoff(100, 400),
+        )),
+        move |a| {
+            starts2.borrow_mut().push(a.el.now());
+            let c = a.completion();
+            c.fail(a.el, "nope");
+        },
+    );
+    let main = Module::new("Main")
+        .inout(SignalDecl::new("res", Direction::InOut))
+        .body(body);
+    let driver = driver_for(&main, el);
+    driver.react(&[]).unwrap();
+    driver.advance_by(5000).unwrap();
+    assert_eq!(*starts.borrow(), vec![0, 100, 300, 700, 1100]);
+    let stats = sup.stats();
+    assert_eq!(stats.retries, 4);
+    assert_eq!(stats.gave_up, 1);
+    // Give-up surfaces the error object through the completion signal.
+    let res = driver.machine.borrow().nowval("res");
+    assert_eq!(res.field("error"), Value::from("nope"));
+    assert_eq!(res.field("attempts"), Value::Num(5.0));
+}
+
+#[test]
+fn jittered_backoff_stays_within_band_and_replays() {
+    let schedule = || {
+        let el = Rc::new(RefCell::new(EventLoop::new()));
+        let sup = Supervisor::new(el.clone());
+        let starts = Rc::new(RefCell::new(Vec::new()));
+        let starts2 = starts.clone();
+        let body = hiphop_eventloop::supervisor::supervised_async(
+            &sup,
+            SupervisedSpec::new("jitter").done("res").policy(ActivityPolicy {
+                jitter: 0.5,
+                ..ActivityPolicy::default().with_retries(3).with_backoff(100, 1000)
+            }),
+            move |a| {
+                starts2.borrow_mut().push(a.el.now());
+                let c = a.completion();
+                c.fail(a.el, "nope");
+            },
+        );
+        let main = Module::new("Main")
+            .inout(SignalDecl::new("res", Direction::InOut))
+            .body(body);
+        let driver = driver_for(&main, el);
+        driver.react(&[]).unwrap();
+        driver.advance_by(10_000).unwrap();
+        let v = starts.borrow().clone();
+        v
+    };
+    let a = schedule();
+    let b = schedule();
+    assert_eq!(a, b, "jitter is deterministic per activity");
+    assert_eq!(a.len(), 4);
+    // Delays stay within 1 ± 0.5 of the nominal 100, 200, 400 schedule.
+    let delays: Vec<u64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+    for (delay, nominal) in delays.iter().zip([100u64, 200, 400]) {
+        assert!(
+            *delay >= nominal / 2 && *delay <= nominal * 3 / 2,
+            "delay {delay} outside band around {nominal}"
+        );
+    }
+}
+
+#[test]
+fn abort_kills_activity_mid_retry_and_clears_timers() {
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let sup = Supervisor::new(el.clone());
+    let body = Stmt::abort(
+        Delay::cond(Expr::now("stop")),
+        hiphop_eventloop::supervisor::supervised_async(
+            &sup,
+            SupervisedSpec::new("victim").done("res").policy(no_jitter(
+                ActivityPolicy::default().with_retries(10).with_backoff(500, 500),
+            )),
+            |a| {
+                let c = a.completion();
+                c.fail(a.el, "always");
+            },
+        ),
+    );
+    let main = Module::new("Main")
+        .input(SignalDecl::new("stop", Direction::In))
+        .inout(SignalDecl::new("res", Direction::InOut))
+        .body(body);
+    let driver = driver_for(&main, el.clone());
+    driver.react(&[]).unwrap();
+    // First attempt failed at t=0; retry timer pending for t=500.
+    driver.advance_by(100).unwrap();
+    assert_eq!(el.borrow().pending(), 1, "retry timer armed");
+    assert_eq!(sup.active(), 1);
+    driver.react(&[("stop", Value::Bool(true))]).unwrap();
+    assert_eq!(el.borrow().pending(), 0, "kill cancelled the retry timer");
+    assert_eq!(sup.active(), 0);
+    assert_eq!(sup.stats().killed, 1);
+    // Nothing left to fire.
+    let reactions = driver.advance_by(10_000).unwrap();
+    assert!(reactions.is_empty());
+}
+
+#[test]
+fn defer_cancel_runs_on_retry_timeout_kill_and_success() {
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let sup = Supervisor::new(el.clone());
+    let cleanups = Rc::new(Cell::new(0u32));
+    let cl = cleanups.clone();
+    let body = Stmt::abort(
+        Delay::cond(Expr::now("stop")),
+        hiphop_eventloop::supervisor::supervised_async(
+            &sup,
+            SupervisedSpec::new("leaky").done("res").policy(no_jitter(
+                ActivityPolicy::default()
+                    .with_timeout(100)
+                    .with_retries(10)
+                    .with_backoff(50, 50),
+            )),
+            move |a| {
+                let cl = cl.clone();
+                a.defer_cancel(move |_| cl.set(cl.get() + 1));
+                if a.attempt() == 3 {
+                    let c = a.completion();
+                    a.el.set_timeout(10, move |el| c.succeed(el, true));
+                }
+                // Other attempts hang until the deadline.
+            },
+        ),
+    );
+    let main = Module::new("Main")
+        .input(SignalDecl::new("stop", Direction::In))
+        .inout(SignalDecl::new("res", Direction::InOut))
+        .body(body);
+    let driver = driver_for(&main, el);
+    driver.react(&[]).unwrap();
+    driver.advance_by(2000).unwrap();
+    // Attempts 1 and 2 timed out (2 cleanups); attempt 3 succeeded and
+    // its cleanup ran with `finally` semantics (3rd).
+    assert_eq!(cleanups.get(), 3);
+    assert_eq!(sup.stats().completed, 1);
+}
+
+#[test]
+fn stale_success_after_timeout_give_up_is_discarded() {
+    // The attempt would succeed at t=200, but the deadline is 100 and no
+    // retries remain: the activity gives up at t=100; the late success
+    // must be dropped by the epoch check.
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let sup = Supervisor::new(el.clone());
+    let body = hiphop_eventloop::supervisor::supervised_async(
+        &sup,
+        SupervisedSpec::new("slow")
+            .done("res")
+            .policy(no_jitter(ActivityPolicy::default().with_timeout(100))),
+        |a| {
+            let c = a.completion();
+            a.el.set_timeout(200, move |el| c.succeed(el, "too late"));
+        },
+    );
+    let main = Module::new("Main")
+        .inout(SignalDecl::new("res", Direction::InOut))
+        .body(body);
+    let driver = driver_for(&main, el);
+    driver.react(&[]).unwrap();
+    driver.advance_by(1000).unwrap();
+    let stats = sup.stats();
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(stats.gave_up, 1);
+    assert_eq!(stats.completed, 0, "late success discarded");
+    let res = driver.machine.borrow().nowval("res");
+    assert_eq!(res.field("error"), Value::from("timeout after 100ms"));
+}
+
+#[test]
+fn give_up_can_stage_a_failure_signal_reaction() {
+    // fail_signal routes the error into the reaction as an interface
+    // input; the program preempts on it and recovers.
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let sup = Supervisor::new(el.clone());
+    let body = Stmt::seq([
+        Stmt::abort(
+            Delay::cond(Expr::now("svcFail")),
+            hiphop_eventloop::supervisor::supervised_async(
+                &sup,
+                SupervisedSpec::new("svc")
+                    .done("res")
+                    .fail("svcFail")
+                    .policy(no_jitter(ActivityPolicy::default().with_retries(1).with_backoff(10, 10))),
+                |a| {
+                    let c = a.completion();
+                    c.fail(a.el, "connection refused");
+                },
+            ),
+        ),
+        Stmt::emit("recovered"),
+    ]);
+    let main = Module::new("Main")
+        .input(SignalDecl::new("svcFail", Direction::In))
+        .inout(SignalDecl::new("res", Direction::InOut))
+        .output(SignalDecl::new("recovered", Direction::Out))
+        .body(body);
+    let driver = driver_for(&main, el);
+    driver.react(&[]).unwrap();
+    let reactions = driver.advance_by(1000).unwrap();
+    let recovered = reactions.iter().any(|r| r.present("recovered"));
+    assert!(recovered, "failure signal preempted the waiting async");
+    assert_eq!(sup.stats().gave_up, 1);
+    assert_eq!(
+        driver.machine.borrow().nowval("res"),
+        Value::Null,
+        "the completion signal never fired"
+    );
+}
+
+#[test]
+fn panicking_work_is_isolated_and_retried() {
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let sup = Supervisor::new(el.clone());
+    let body = hiphop_eventloop::supervisor::supervised_async(
+        &sup,
+        SupervisedSpec::new("boom").done("res").policy(no_jitter(
+            ActivityPolicy::default().with_retries(2).with_backoff(10, 10),
+        )),
+        |a| {
+            if a.attempt() == 1 {
+                panic!("host bug");
+            }
+            let c = a.completion();
+            c.succeed(a.el, "recovered");
+        },
+    );
+    let main = Module::new("Main")
+        .inout(SignalDecl::new("res", Direction::InOut))
+        .body(body);
+    let driver = driver_for(&main, el);
+    driver.react(&[]).unwrap();
+    driver.advance_by(1000).unwrap();
+    assert_eq!(
+        driver.machine.borrow().nowval("res"),
+        Value::from("recovered")
+    );
+    let stats = sup.stats();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// Runs a small supervised scenario under chaos and returns
+/// `(stats, final value, virtual end time)`.
+fn chaos_run(seed: u64, rate: f64) -> (hiphop_eventloop::supervisor::SupervisionStats, Value, u64) {
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let sup = Supervisor::new(el.clone());
+    sup.set_chaos(ChaosPolicy::new(seed, rate));
+    let body = Stmt::every(
+        Delay::cond(Expr::now("go")),
+        hiphop_eventloop::supervisor::supervised_async(
+            &sup,
+            SupervisedSpec::new("svc").done("res").policy(no_jitter(
+                ActivityPolicy::default()
+                    .with_timeout(200)
+                    .with_retries(3)
+                    .with_backoff(20, 100),
+            )),
+            |a| {
+                let c = a.completion();
+                a.el.set_timeout(30, move |el| c.succeed(el, "ok"));
+            },
+        ),
+    );
+    let main = Module::new("Main")
+        .input(SignalDecl::new("go", Direction::In))
+        .inout(SignalDecl::new("res", Direction::InOut))
+        .body(body);
+    let driver = driver_for(&main, el.clone());
+    driver.react(&[]).unwrap();
+    for _ in 0..5 {
+        driver.react(&[("go", Value::Bool(true))]).unwrap();
+        driver.advance_by(2000).unwrap();
+    }
+    let now = el.borrow().now();
+    let res = driver.machine.borrow().nowval("res");
+    (sup.stats(), res, now)
+}
+
+#[test]
+fn chaos_fault_schedule_is_deterministic_per_seed() {
+    let a = chaos_run(0xDECAF, 0.8);
+    let b = chaos_run(0xDECAF, 0.8);
+    assert_eq!(a, b, "same seed, same faults, same outcome");
+    assert!(a.0.chaos_faults > 0, "rate 0.8 must inject something");
+    let c = chaos_run(0xBEEF, 0.8);
+    assert!(
+        a.0 != c.0 || a.1 != c.1,
+        "different seeds should explore different schedules"
+    );
+}
+
+#[test]
+fn chaos_never_wedges_a_supervised_activity() {
+    // With a deadline and bounded retries, every launched activity must
+    // end in completed / gave_up / killed — never a wedge — whatever
+    // the fault stream does.
+    for seed in 0..20u64 {
+        let (stats, _, _) = chaos_run(seed, 0.7);
+        assert_eq!(stats.launched, 5, "seed {seed}");
+        assert_eq!(
+            stats.completed + stats.gave_up + stats.killed,
+            stats.launched,
+            "seed {seed}: every activity resolved: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn driver_advance_by_runs_microtasks_without_due_timers() {
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let main = Module::new("Main")
+        .inout(SignalDecl::new("res", Direction::InOut))
+        .body(Stmt::Nothing);
+    let driver = driver_for(&main, el.clone());
+    driver.react(&[]).unwrap();
+    let ran = Rc::new(Cell::new(false));
+    let r = ran.clone();
+    el.borrow_mut().queue_microtask(move |_| r.set(true));
+    driver.advance_by(10).unwrap();
+    assert!(ran.get(), "microtasks run even when no timer is due");
+}
+
+#[test]
+fn driver_advance_by_error_preserves_queued_work() {
+    // A timer at t=10 stages a reaction that panics inside a host atom;
+    // an unrelated timer at t=20 must survive the error and fire on the
+    // next advance_by.
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let body = Stmt::every(
+        Delay::cond(Expr::now("kaboom")),
+        Stmt::atom("boom", vec![], |_| panic!("injected")),
+    );
+    let main = Module::new("Main")
+        .input(SignalDecl::new("kaboom", Direction::In))
+        .body(body);
+    let machine = machine_for(&main, &ModuleRegistry::new()).expect("compiles");
+    let driver = Driver {
+        machine: Rc::new(RefCell::new(machine)),
+        el: el.clone(),
+    };
+    driver.react(&[]).unwrap();
+    let mailbox = driver.machine.borrow().mailbox();
+    el.borrow_mut().set_timeout(10, move |_| {
+        mailbox.push(hiphop_core::mailbox::MachineOp::React(vec![(
+            "kaboom".into(),
+            Value::Bool(true),
+        )]));
+    });
+    let fired = Rc::new(Cell::new(false));
+    let f2 = fired.clone();
+    el.borrow_mut().set_timeout(20, move |_| f2.set(true));
+
+    let err = driver.advance_by(100);
+    assert!(err.is_err(), "panicking atom must surface as an error");
+    assert!(!fired.get(), "the later timer must not have fired yet");
+    assert_eq!(el.borrow().now(), 10, "time stopped at the failure point");
+    assert_eq!(el.borrow().pending(), 1, "queued timer survives the error");
+
+    let ok = driver.advance_by(100).unwrap();
+    assert!(fired.get(), "subsequent advance continues from the failure point");
+    assert!(ok.is_empty() || !ok.is_empty()); // reactions drained without error
+    assert!(!driver.machine.borrow().is_poisoned());
+}

@@ -20,7 +20,7 @@
 //! "#;
 //! let (main, registry) = parse_program(src, "Blink", &HostRegistry::new())?;
 //! let compiled = compile_module(&main, &registry)?;
-//! let mut m = Machine::new(compiled.circuit);
+//! let mut m = Machine::new(compiled.circuit)?;
 //! m.react()?;
 //! let r = m.react_with(&[("tick", hiphop_core::value::Value::Bool(true))])?;
 //! assert!(r.present("led"));

@@ -12,7 +12,7 @@ fn causality_report_names_signal_and_location() {
     let (m, reg) = parse_program(src, "M", &HostRegistry::new()).expect("parses");
     let compiled = hiphop_compiler::compile_module(&m, &reg).expect("compiles");
     assert!(compiled.cycle_warnings > 0, "static warning first");
-    let mut machine = Machine::new(compiled.circuit);
+    let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
     let err = machine.react().unwrap_err();
     let RuntimeError::Causality { cycle, .. } = &err else {
         panic!("expected causality, got {err}");
@@ -36,7 +36,7 @@ fn multiple_emission_error_names_the_signal() {
     "#;
     let (m, reg) = parse_program(src, "M", &HostRegistry::new()).expect("parses");
     let compiled = hiphop_compiler::compile_module(&m, &reg).expect("compiles");
-    let mut machine = Machine::new(compiled.circuit);
+    let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
     let err = machine.react().unwrap_err();
     assert!(
         matches!(err, RuntimeError::MultipleEmit { ref signal } if signal == "v"),

@@ -9,7 +9,7 @@ fn compile(src: &str, main: &str) -> Machine {
     let hosts = HostRegistry::new();
     let (m, reg) = parse_program(src, main, &hosts).expect("parses");
     let compiled = hiphop_compiler::compile_module(&m, &reg).expect("compiles");
-    Machine::new(compiled.circuit)
+    Machine::new(compiled.circuit).expect("finalized circuit")
 }
 
 #[test]
@@ -78,7 +78,7 @@ fn freeze_module_from_paper() {
             ],
         ));
     let compiled = hiphop_compiler::compile_module(&main, &reg).expect("compiles");
-    let mut m = Machine::new(compiled.circuit);
+    let mut m = Machine::new(compiled.circuit).expect("finalized circuit");
     m.react().unwrap();
     // Three failed connections (connected with value false) → freeze.
     let f = Value::Bool(false);
@@ -122,7 +122,7 @@ fn button_module_from_paper() {
             }],
         ));
     let compiled = hiphop_compiler::compile_module(&main, &reg).expect("compiles");
-    let mut m = Machine::new(compiled.circuit);
+    let mut m = Machine::new(compiled.circuit).expect("finalized circuit");
     let r = m.react().unwrap();
     assert_eq!(r.value("Active"), Value::Bool(true));
     let t = Value::Bool(true);
@@ -202,7 +202,7 @@ fn async_with_host_hooks() {
     "#;
     let (m, reg) = parse_program(src, "M", &hosts).expect("parses");
     let compiled = hiphop_compiler::compile_module(&m, &reg).expect("compiles");
-    let mut machine = Machine::new(compiled.circuit);
+    let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
     machine.react().unwrap();
     // The spawn hook notified immediately; drain turns it into a reaction.
     let reactions = machine.drain().unwrap();

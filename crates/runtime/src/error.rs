@@ -69,6 +69,22 @@ pub enum RuntimeError {
         /// The name.
         signal: String,
     },
+    /// A host atom or async callback panicked mid-reaction. The machine
+    /// caught the unwind, rolled the reaction back and stays usable
+    /// ([`crate::Machine::is_poisoned`] is `false` after rollback).
+    HostPanic {
+        /// Source location of the statement whose action panicked.
+        source_loc: String,
+        /// The panic payload, rendered as text (`&str`/`String` payloads
+        /// verbatim; anything else as a placeholder).
+        payload: String,
+    },
+    /// A circuit handed to [`crate::Machine::new`] / `hot_swap` was not
+    /// finalized with `Circuit::finish()`.
+    UnfinalizedCircuit {
+        /// The circuit's program name.
+        program: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -98,6 +114,12 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NotAnInput { signal } => {
                 write!(f, "signal `{signal}` is not an input")
+            }
+            RuntimeError::HostPanic { source_loc, payload } => {
+                write!(f, "host code panicked at {source_loc}: {payload} (reaction rolled back)")
+            }
+            RuntimeError::UnfinalizedCircuit { program } => {
+                write!(f, "circuit `{program}` is not finalized (call Circuit::finish() first)")
             }
         }
     }
@@ -143,5 +165,14 @@ mod tests {
         assert!(RuntimeError::NotAnInput { signal: "o".into() }
             .to_string()
             .contains("not an input"));
+        let p = RuntimeError::HostPanic {
+            source_loc: "demo.hh:3:1".into(),
+            payload: "boom".into(),
+        }
+        .to_string();
+        assert!(p.contains("demo.hh:3:1") && p.contains("boom") && p.contains("rolled back"), "{p}");
+        assert!(RuntimeError::UnfinalizedCircuit { program: "M".into() }
+            .to_string()
+            .contains("not finalized"));
     }
 }

@@ -1,0 +1,99 @@
+//! Panic isolation for host code.
+//!
+//! The reactive machine calls into untrusted host closures — `hop { }`
+//! atoms, async lifecycle hooks, host combine functions — from inside a
+//! reaction. A panic there must not tear down the machine (or the whole
+//! event loop): [`guarded`] wraps the call in [`std::panic::catch_unwind`]
+//! and renders the payload as text, so callers can turn it into a
+//! structured [`crate::RuntimeError::HostPanic`] and roll the reaction
+//! back.
+//!
+//! The default panic hook would still print a backtrace for every caught
+//! unwind, which turns deliberate fault-injection runs (the chaos
+//! harness) into a wall of noise. [`guarded`] therefore installs — once
+//! per process — a wrapping hook that stays silent while a guarded
+//! section is on the current thread's stack and delegates to the
+//! previous hook everywhere else, so genuine crashes still report.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    /// Depth of guarded sections on this thread's stack.
+    static GUARD_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Installs (once) the process-wide quiet-inside-guards panic hook.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if GUARD_DEPTH.with(|d| d.get()) == 0 {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Renders a caught panic payload as text: `&str`/`String` payloads
+/// verbatim, anything else as a placeholder.
+fn payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Runs `f`, catching any panic it raises. Returns `Err(payload)` with
+/// the panic payload rendered as text; the unwind does not propagate
+/// and nothing is printed for caught panics.
+///
+/// The closure is treated as unwind-safe by fiat (`AssertUnwindSafe`):
+/// the machine guarantees logical consistency itself by rolling the
+/// whole reaction back to its pre-reaction snapshot on any error.
+pub fn guarded<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    GUARD_DEPTH.with(|d| d.set(d.get() + 1));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    GUARD_DEPTH.with(|d| d.set(d.get() - 1));
+    result.map_err(payload_text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_values() {
+        assert_eq!(guarded(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn catches_str_and_string_payloads() {
+        assert_eq!(guarded(|| panic!("boom")), Err::<(), _>("boom".into()));
+        let msg = format!("with {}", "details");
+        assert_eq!(
+            guarded(move || std::panic::panic_any(msg)),
+            Err::<(), _>("with details".into())
+        );
+        assert_eq!(
+            guarded(|| std::panic::panic_any(7_u32)),
+            Err::<(), _>("<non-string panic payload>".into())
+        );
+    }
+
+    #[test]
+    fn nested_guards_unwind_cleanly() {
+        let outer = guarded(|| {
+            let inner = guarded(|| -> u32 { panic!("inner") });
+            assert_eq!(inner, Err("inner".into()));
+            5
+        });
+        assert_eq!(outer, Ok(5));
+    }
+}

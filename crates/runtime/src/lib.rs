@@ -39,6 +39,7 @@
 pub mod causality;
 mod env;
 pub mod error;
+pub mod isolate;
 pub mod levelized;
 pub mod machine;
 pub mod telemetry;
@@ -49,8 +50,8 @@ pub use error::{CycleNet, RuntimeError};
 pub use levelized::EngineMode;
 pub use machine::{Machine, OutputEvent, Reaction};
 pub use telemetry::{
-    JsonlSink, Metrics, MetricsSink, ReactionStats, SharedSink, Summary, TraceEvent, TraceSink,
-    VcdSink,
+    JsonlSink, Metrics, MetricsSink, ReactionStats, SharedSink, SinkSet, Summary, TraceEvent,
+    TraceSink, VcdSink,
 };
 pub use waveform::{SharedWaveform, Waveform};
 
@@ -65,5 +66,5 @@ use hiphop_core::module::{Module, ModuleRegistry};
 /// Propagates linking, checking and translation errors.
 pub fn machine_for(main: &Module, registry: &ModuleRegistry) -> Result<Machine, CompileError> {
     let compiled = compile_module(main, registry)?;
-    Ok(Machine::new(compiled.circuit))
+    Ok(Machine::new(compiled.circuit).expect("compiled circuits are finalized"))
 }

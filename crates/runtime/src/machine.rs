@@ -18,12 +18,14 @@ use crate::levelized::{
     EngineMode, LevelSchedule, PackedStates, CODE_AND, CODE_AND_EARLY, CODE_AND_LATE, CODE_CONST0,
     CODE_CONST1, CODE_INPUT, CODE_OR, CODE_OR_EARLY, CODE_OR_LATE, CODE_REG, CODE_TEST,
 };
+use crate::isolate::guarded;
 use crate::telemetry::{
-    AsyncPhase, Metrics, MetricsSink, ReactionStats, SharedSink, TraceEvent,
+    AsyncPhase, Metrics, MetricsSink, ReactionStats, SharedSink, SinkSet, TraceEvent,
 };
 use hiphop_circuit::{Action, AsyncId, Circuit, NetId, NetKind, SignalId, TestKind};
 use hiphop_core::ast::{AsyncCtx, AtomBody};
 use hiphop_core::mailbox::{AsyncHandle, MachineOp, Mailbox};
+use hiphop_core::rng::Rng;
 use hiphop_core::value::Value;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -104,6 +106,30 @@ enum Ev {
     Res(u32),
 }
 
+/// Pre-reaction copy of everything a failed reaction may have mutated
+/// before its first fallible step completed; buffers are reused across
+/// reactions so steady-state snapshotting allocates nothing. Registers,
+/// `last_present`, `terminated` and `seq` need no snapshot — they are
+/// only committed after the last fallible step.
+#[derive(Debug, Default)]
+struct Snapshot {
+    sig_val: Vec<Value>,
+    sig_preval: Vec<Value>,
+    vars: HashMap<String, Value>,
+    counters: Vec<f64>,
+    asyncs: Vec<(bool, u64, Rc<RefCell<Value>>, Option<Value>)>,
+    log_len: usize,
+}
+
+/// Machine-level fault injection: an armed machine panics inside host
+/// actions at the configured rate, drawing from its own PCG32 stream
+/// (see [`Machine::set_chaos`]).
+#[derive(Debug)]
+struct Chaos {
+    rng: Rng,
+    rate: f64,
+}
+
 /// A running reactive machine.
 pub struct Machine {
     circuit: Rc<Circuit>,
@@ -141,9 +167,17 @@ pub struct Machine {
 
     listeners: Vec<Rc<dyn Fn(&Reaction)>>,
     trace: Option<Vec<Reaction>>,
-    sinks: Vec<SharedSink>,
+    sinks: SinkSet,
     fine_events: bool,
     metrics: Option<Rc<RefCell<MetricsSink>>>,
+
+    // Fault tolerance: pre-reaction snapshot for rollback-on-error,
+    // poison flag (only ever observable with rollback disabled), and the
+    // optional fault injector.
+    snapshot: Snapshot,
+    rollback: bool,
+    poisoned: bool,
+    chaos: Option<Chaos>,
 
     // Engine selection: `schedule` exists iff the circuit is acyclic;
     // `requested` is the user's explicit choice (`None` = automatic).
@@ -166,11 +200,17 @@ impl std::fmt::Debug for Machine {
 impl Machine {
     /// Wraps a finalized circuit into a fresh machine.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the circuit was not [`Circuit::finalize`]d.
-    pub fn new(circuit: Circuit) -> Machine {
-        assert!(circuit.is_finalized(), "circuit must be finalized");
+    /// [`RuntimeError::UnfinalizedCircuit`] if the circuit was not
+    /// [`Circuit::finalize`]d (the compiler always finalizes, so
+    /// `machine_for` unwraps; hand-built circuits must call `finish()`).
+    pub fn new(circuit: Circuit) -> Result<Machine, RuntimeError> {
+        if !circuit.is_finalized() {
+            return Err(RuntimeError::UnfinalizedCircuit {
+                program: circuit.name.clone(),
+            });
+        }
         let n = circuit.nets().len();
         let mut class = Vec::with_capacity(n);
         let mut is_or = Vec::with_capacity(n);
@@ -207,7 +247,7 @@ impl Machine {
         // Acyclicity analysis: precompute the dense level schedule when
         // the combinational graph levelizes (the common case).
         let schedule = LevelSchedule::build(&circuit, &class).map(Rc::new);
-        Machine {
+        Ok(Machine {
             schedule,
             class,
             is_or,
@@ -236,13 +276,17 @@ impl Machine {
             queue_hwm: 0,
             listeners: Vec::new(),
             trace: None,
-            sinks: Vec::new(),
+            sinks: SinkSet::new(),
             fine_events: false,
             metrics: None,
+            snapshot: Snapshot::default(),
+            rollback: true,
+            poisoned: false,
+            chaos: None,
             requested: None,
             lv_state: PackedStates::default(),
             circuit: Rc::new(circuit),
-        }
+        })
     }
 
     /// Requests an evaluation engine; returns the *effective* engine
@@ -334,7 +378,16 @@ impl Machine {
     /// [`Machine::hot_swap`].
     pub fn attach_sink(&mut self, sink: SharedSink) {
         self.fine_events |= sink.borrow().wants_net_events();
-        self.sinks.push(sink);
+        self.sinks.attach(sink);
+    }
+
+    /// A clone of the machine's shared sink set. External publishers —
+    /// the event-loop supervisor in particular — use this to emit
+    /// activity-supervision events ([`TraceEvent::ActivityRetry`] and
+    /// friends) into the same sinks the machine publishes to. The handle
+    /// stays live across [`Machine::hot_swap`].
+    pub fn sink_handle(&self) -> SinkSet {
+        self.sinks.clone()
     }
 
     /// Attaches (once) and returns the built-in aggregating
@@ -358,15 +411,11 @@ impl Machine {
     /// Flushes every attached sink (file sinks write their output here;
     /// also triggered by dropping the sink).
     pub fn finish_sinks(&mut self) {
-        for s in &self.sinks {
-            s.borrow_mut().finish();
-        }
+        self.sinks.finish();
     }
 
     fn emit_trace(&self, event: TraceEvent<'_>) {
-        for s in &self.sinks {
-            s.borrow_mut().on_event(&event);
-        }
+        self.sinks.emit(&event);
     }
 
     /// Reads a machine variable.
@@ -460,11 +509,139 @@ impl Machine {
     /// # Errors
     ///
     /// [`RuntimeError::Causality`] on a synchronous deadlock,
-    /// [`RuntimeError::MultipleEmit`] on an uncombined double emission.
-    /// After an error the reaction is not committed (registers keep their
-    /// previous values) but host side effects that already ran are not
-    /// rolled back.
+    /// [`RuntimeError::MultipleEmit`] on an uncombined double emission,
+    /// [`RuntimeError::HostPanic`] when a host atom, async hook or
+    /// combine function panics (the unwind is caught).
+    ///
+    /// Reactions are atomic under error: on any failure the machine
+    /// rolls its persistent state (signal values, pre-values, variables,
+    /// counters, async instances, the log) back to the pre-reaction
+    /// snapshot, registers were never committed, and the machine accepts
+    /// further reactions ([`Machine::is_poisoned`] stays `false`). What
+    /// cannot be undone: external host side effects that already ran,
+    /// messages already published to trace sinks, and the staged inputs
+    /// of the failed reaction, which are consumed.
     pub fn react(&mut self) -> Result<Reaction, RuntimeError> {
+        if self.rollback {
+            self.take_snapshot();
+        }
+        let result = self.react_core();
+        match &result {
+            Ok(_) => self.poisoned = false,
+            Err(_) => {
+                if self.rollback {
+                    self.restore_snapshot();
+                    self.poisoned = false;
+                } else {
+                    self.poisoned = true;
+                }
+            }
+        }
+        result
+    }
+
+    /// Whether a mid-reaction error left the machine in a half-stabilized
+    /// state. Always `false` under the default rollback regime — rollback
+    /// restores the pre-reaction snapshot on every error — and only ever
+    /// `true` after an error with rollback disabled
+    /// ([`Machine::set_rollback`]); cleared by the next successful
+    /// reaction or [`Machine::reset`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Enables/disables reaction rollback (default: enabled). Disabling
+    /// is a diagnostic knob — it restores the pre-supervision behaviour
+    /// where a failed reaction may leave partial state behind (and sets
+    /// [`Machine::is_poisoned`]); the bench suite uses it to measure the
+    /// snapshot overhead.
+    pub fn set_rollback(&mut self, enabled: bool) {
+        self.rollback = enabled;
+    }
+
+    /// Arms machine-level fault injection: host actions panic with
+    /// probability `rate` per action, drawn from a PCG32 stream seeded
+    /// with `seed` — deterministic given the seed and the reaction
+    /// sequence. The injected panics exercise exactly the
+    /// catch-unwind/rollback path real host bugs would take. A `rate`
+    /// of 0 disarms.
+    pub fn set_chaos(&mut self, seed: u64, rate: f64) {
+        self.chaos = (rate > 0.0).then(|| Chaos {
+            rng: Rng::seed_from_u64(seed),
+            rate,
+        });
+    }
+
+    /// A deterministic digest of the machine's persistent state
+    /// (registers, signal values and pre-values, variables, counters,
+    /// async instances, termination flag). Two machines that executed
+    /// the same committed reactions digest identically; the chaos tests
+    /// compare digests before and after a failed reaction to verify
+    /// rollback byte-for-byte.
+    pub fn state_digest(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "regs:{:?};present:{:?};term:{};", self.regs, self.last_present, self.terminated);
+        let _ = write!(s, "sig:[");
+        for (i, info) in self.circuit.signals().iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}={:?}/{:?},",
+                info.name, self.sig_val[i], self.sig_preval[i]
+            );
+        }
+        let _ = write!(s, "];counters:{:?};vars:[", self.counters);
+        let mut kv: Vec<(&String, &Value)> = self.vars.iter().collect();
+        kv.sort_by_key(|(k, _)| k.as_str());
+        for (k, v) in kv {
+            let _ = write!(s, "{k}={v:?},");
+        }
+        let _ = write!(s, "];asyncs:[");
+        for rt in &self.asyncs {
+            let _ = write!(s, "({},{},{:?}),", rt.active, rt.instance, rt.notified);
+        }
+        s.push(']');
+        s
+    }
+
+    /// Copies everything a failed reaction could have mutated; reuses the
+    /// snapshot buffers so the steady state allocates nothing.
+    fn take_snapshot(&mut self) {
+        let snap = &mut self.snapshot;
+        snap.sig_val.clone_from(&self.sig_val);
+        snap.sig_preval.clone_from(&self.sig_preval);
+        snap.vars.clone_from(&self.vars);
+        snap.counters.clone_from(&self.counters);
+        snap.asyncs.clear();
+        snap.asyncs.extend(
+            self.asyncs
+                .iter()
+                .map(|rt| (rt.active, rt.instance, rt.state.clone(), rt.notified.clone())),
+        );
+        snap.log_len = self.log.len();
+    }
+
+    /// Restores the pre-reaction snapshot after an error. `next_instance`
+    /// is deliberately *not* restored: instance numbers stay monotonic so
+    /// a host callback holding a handle from a rolled-back spawn can
+    /// never collide with a later incarnation.
+    fn restore_snapshot(&mut self) {
+        let snap = &mut self.snapshot;
+        std::mem::swap(&mut self.sig_val, &mut snap.sig_val);
+        std::mem::swap(&mut self.sig_preval, &mut snap.sig_preval);
+        std::mem::swap(&mut self.vars, &mut snap.vars);
+        std::mem::swap(&mut self.counters, &mut snap.counters);
+        for (rt, saved) in self.asyncs.iter_mut().zip(snap.asyncs.drain(..)) {
+            let (active, instance, state, notified) = saved;
+            rt.active = active;
+            rt.instance = instance;
+            rt.state = state;
+            rt.notified = notified;
+        }
+        self.log.truncate(snap.log_len);
+    }
+
+    fn react_core(&mut self) -> Result<Reaction, RuntimeError> {
         let circuit = self.circuit.clone();
         let engine = self.engine();
 
@@ -716,6 +893,7 @@ impl Machine {
         }
         self.log.clear();
         self.terminated = false;
+        self.poisoned = false;
         self.last_present.fill(false);
         self.staged_inputs.clear();
         self.staged_notifies.clear();
@@ -778,11 +956,12 @@ impl Machine {
     /// starts at its boot instant (control-state transplantation across
     /// arbitrary edits is documented future work, DESIGN.md §7).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the new circuit is not finalized.
-    pub fn hot_swap(&mut self, circuit: Circuit) -> &mut Self {
-        let mut fresh = Machine::new(circuit);
+    /// [`RuntimeError::UnfinalizedCircuit`] if the new circuit is not
+    /// finalized; the running machine is left untouched.
+    pub fn hot_swap(&mut self, circuit: Circuit) -> Result<&mut Self, RuntimeError> {
+        let mut fresh = Machine::new(circuit)?;
         for (i, info) in fresh.circuit.clone().signals().iter().enumerate() {
             if let Some(old) = self.circuit.signal_by_name(&info.name) {
                 fresh.sig_val[i] = self.sig_val[old.index()].clone();
@@ -795,6 +974,8 @@ impl Machine {
         fresh.next_instance = self.next_instance;
         fresh.seq = self.seq;
         fresh.listeners = std::mem::take(&mut self.listeners);
+        // The sink *set* moves wholesale, so handles from
+        // `Machine::sink_handle` stay live across the swap.
         fresh.sinks = std::mem::take(&mut self.sinks);
         fresh.fine_events = self.fine_events;
         fresh.metrics = self.metrics.take();
@@ -804,8 +985,10 @@ impl Machine {
         // re-resolved against the fresh acyclicity analysis rather than
         // reusing a stale schedule.
         fresh.requested = self.requested;
+        fresh.rollback = self.rollback;
+        fresh.chaos = self.chaos.take();
         *self = fresh;
-        self
+        Ok(self)
     }
 
     // ------------------------------------------------------------------
@@ -1159,7 +1342,48 @@ impl Machine {
         }
     }
 
+    /// Runs a net's action with panic isolation: the dispatch — and with
+    /// it every host surface (atoms, async hooks, combine functions,
+    /// emitted-value evaluation) — executes under [`guarded`], so a host
+    /// panic becomes a structured [`RuntimeError::HostPanic`] that
+    /// triggers reaction rollback instead of unwinding through the
+    /// engine. The armed chaos injector panics here too, taking exactly
+    /// the path a real host bug would.
     fn run_action(
+        &mut self,
+        circuit: &Circuit,
+        j: u32,
+        emit_count: &mut [u32],
+    ) -> Result<(), RuntimeError> {
+        let result = guarded(|| {
+            if let Some(chaos) = &mut self.chaos {
+                if chaos.rng.gen_f64() < chaos.rate {
+                    std::panic::panic_any(format!(
+                        "chaos: injected host panic at action net#{j}"
+                    ));
+                }
+            }
+            self.run_action_inner(circuit, j, emit_count)
+        });
+        match result {
+            Ok(r) => r,
+            Err(payload) => {
+                let source_loc = circuit.nets()[j as usize].loc.to_string();
+                if !self.sinks.is_empty() {
+                    self.emit_trace(TraceEvent::ActivityPanic {
+                        name: &source_loc,
+                        payload: &payload,
+                    });
+                }
+                Err(RuntimeError::HostPanic {
+                    source_loc,
+                    payload,
+                })
+            }
+        }
+    }
+
+    fn run_action_inner(
         &mut self,
         circuit: &Circuit,
         j: u32,

@@ -134,6 +134,35 @@ pub enum TraceEvent<'a> {
         /// The structured cycle report.
         report: &'a CausalityReport,
     },
+    /// A supervised activity attempt failed and a retry was scheduled
+    /// (published by the event-loop supervisor, between reactions).
+    ActivityRetry {
+        /// Activity name (from its `SupervisedSpec`).
+        name: &'a str,
+        /// The attempt that just failed (1-based).
+        attempt: u32,
+        /// Backoff delay before the next attempt, in virtual ms.
+        delay_ms: u64,
+    },
+    /// A supervised activity attempt exceeded its deadline.
+    ActivityTimeout {
+        /// Activity name.
+        name: &'a str,
+        /// The attempt that timed out (1-based).
+        attempt: u32,
+        /// The deadline that was exceeded, in virtual ms.
+        timeout_ms: u64,
+    },
+    /// Host code panicked and the unwind was caught — either inside a
+    /// reaction (an atom or async hook; the reaction rolls back) or
+    /// inside a supervised activity's work function (the attempt fails).
+    ActivityPanic {
+        /// Activity name, or the statement source location for
+        /// mid-reaction panics.
+        name: &'a str,
+        /// The panic payload rendered as text.
+        payload: &'a str,
+    },
 }
 
 /// A consumer of [`TraceEvent`]s.
@@ -159,6 +188,60 @@ pub type SharedSink = Rc<RefCell<dyn TraceSink>>;
 /// Wraps a sink in the shared handle [`Machine::attach_sink`] expects.
 pub fn shared<S: TraceSink + 'static>(sink: S) -> Rc<RefCell<S>> {
     Rc::new(RefCell::new(sink))
+}
+
+/// A shared, growable set of trace sinks.
+///
+/// The machine publishes through its set; [`Machine::sink_handle`] hands
+/// out a clone so external publishers — the event-loop supervisor in
+/// particular — can emit [`TraceEvent::ActivityRetry`]-class events into
+/// the *same* sinks between reactions. Hot-swapping a machine keeps the
+/// set, so handles stay live across program replacement.
+#[derive(Clone, Default)]
+pub struct SinkSet(Rc<RefCell<Vec<SharedSink>>>);
+
+impl std::fmt::Debug for SinkSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkSet")
+            .field("sinks", &self.0.borrow().len())
+            .finish()
+    }
+}
+
+impl SinkSet {
+    /// A fresh empty set.
+    pub fn new() -> SinkSet {
+        SinkSet::default()
+    }
+
+    /// Adds a sink to the set.
+    pub fn attach(&self, sink: SharedSink) {
+        self.0.borrow_mut().push(sink);
+    }
+
+    /// `true` when no sink is attached.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
+    /// Publishes one event to every attached sink.
+    pub fn emit(&self, event: &TraceEvent<'_>) {
+        for sink in self.0.borrow().iter() {
+            sink.borrow_mut().on_event(event);
+        }
+    }
+
+    /// Whether any attached sink opted into per-net events.
+    pub fn wants_net_events(&self) -> bool {
+        self.0.borrow().iter().any(|s| s.borrow().wants_net_events())
+    }
+
+    /// Flushes every attached sink.
+    pub fn finish(&self) {
+        for sink in self.0.borrow().iter() {
+            sink.borrow_mut().finish();
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -216,6 +299,9 @@ pub struct MetricsSink {
     causality_failures: usize,
     logs: usize,
     async_events: usize,
+    activity_retries: usize,
+    activity_timeouts: usize,
+    host_panics: usize,
 }
 
 /// Snapshot of a [`MetricsSink`]'s aggregates.
@@ -237,6 +323,12 @@ pub struct Metrics {
     pub logs: usize,
     /// Async lifecycle transitions.
     pub async_events: usize,
+    /// Supervised-activity retries scheduled.
+    pub activity_retries: usize,
+    /// Supervised-activity attempts that hit their deadline.
+    pub activity_timeouts: usize,
+    /// Host panics caught (mid-reaction or in activity work functions).
+    pub host_panics: usize,
 }
 
 impl MetricsSink {
@@ -268,6 +360,9 @@ impl MetricsSink {
             causality_failures: self.causality_failures,
             logs: self.logs,
             async_events: self.async_events,
+            activity_retries: self.activity_retries,
+            activity_timeouts: self.activity_timeouts,
+            host_panics: self.host_panics,
         }
     }
 }
@@ -284,6 +379,9 @@ impl TraceSink for MetricsSink {
             TraceEvent::CausalityFailure { .. } => self.causality_failures += 1,
             TraceEvent::Log { .. } => self.logs += 1,
             TraceEvent::AsyncLifecycle { .. } => self.async_events += 1,
+            TraceEvent::ActivityRetry { .. } => self.activity_retries += 1,
+            TraceEvent::ActivityTimeout { .. } => self.activity_timeouts += 1,
+            TraceEvent::ActivityPanic { .. } => self.host_panics += 1,
             _ => {}
         }
     }
@@ -314,6 +412,10 @@ impl Metrics {
         out.push_str(&format!(
             "causality failures: {}   logs: {}   async transitions: {}\n",
             self.causality_failures, self.logs, self.async_events
+        ));
+        out.push_str(&format!(
+            "activity retries: {}   timeouts: {}   host panics: {}\n",
+            self.activity_retries, self.activity_timeouts, self.host_panics
         ));
         out
     }
@@ -505,6 +607,27 @@ impl TraceSink for JsonlSink {
                 )
             }
             TraceEvent::CausalityFailure { report } => report.to_json(),
+            TraceEvent::ActivityRetry {
+                name,
+                attempt,
+                delay_ms,
+            } => format!(
+                "{{\"type\":\"activity_retry\",\"name\":\"{}\",\"attempt\":{attempt},\"delay_ms\":{delay_ms}}}",
+                json_escape(name)
+            ),
+            TraceEvent::ActivityTimeout {
+                name,
+                attempt,
+                timeout_ms,
+            } => format!(
+                "{{\"type\":\"activity_timeout\",\"name\":\"{}\",\"attempt\":{attempt},\"timeout_ms\":{timeout_ms}}}",
+                json_escape(name)
+            ),
+            TraceEvent::ActivityPanic { name, payload } => format!(
+                "{{\"type\":\"activity_panic\",\"name\":\"{}\",\"payload\":\"{}\"}}",
+                json_escape(name),
+                json_escape(payload)
+            ),
         };
         self.line(&json);
     }

@@ -17,7 +17,7 @@ fn counter_module(step: f64) -> Module {
 #[test]
 fn hot_swap_carries_signal_values() {
     let c1 = compile_module(&counter_module(1.0), &ModuleRegistry::new()).unwrap();
-    let mut m = Machine::new(c1.circuit);
+    let mut m = Machine::new(c1.circuit).expect("finalized circuit");
     m.react().unwrap();
     m.react_with(&[("inc", Value::Bool(true))]).unwrap();
     m.react_with(&[("inc", Value::Bool(true))]).unwrap();
@@ -25,7 +25,7 @@ fn hot_swap_carries_signal_values() {
 
     // Swap in a version counting by 10: the accumulated value persists.
     let c2 = compile_module(&counter_module(10.0), &ModuleRegistry::new()).unwrap();
-    m.hot_swap(c2.circuit);
+    m.hot_swap(c2.circuit).expect("finalized circuit");
     m.react().unwrap(); // new program's boot instant
     m.react_with(&[("inc", Value::Bool(true))]).unwrap();
     assert_eq!(m.nowval("count"), Value::Num(12.0), "2 carried over + 10");
@@ -41,7 +41,7 @@ fn hot_swap_carries_vars_and_log() {
             Stmt::Halt,
         ]));
     let c1 = compile_module(&m1, &ModuleRegistry::new()).unwrap();
-    let mut m = Machine::new(c1.circuit);
+    let mut m = Machine::new(c1.circuit).expect("finalized circuit");
     m.react().unwrap();
 
     let m2 = Module::new("B")
@@ -51,7 +51,7 @@ fn hot_swap_carries_vars_and_log() {
             Stmt::seq([Stmt::emit("o"), Stmt::log(Expr::str("after swap"))]),
         ));
     let c2 = compile_module(&m2, &ModuleRegistry::new()).unwrap();
-    m.hot_swap(c2.circuit);
+    m.hot_swap(c2.circuit).expect("finalized circuit");
     let r = m.react().unwrap();
     assert!(r.present("o"), "swapped program sees the carried variable");
     assert_eq!(m.log(), ["before swap", "after swap"]);
@@ -63,11 +63,11 @@ fn hot_swap_resets_control_state() {
         .output(SignalDecl::new("late", Direction::Out))
         .body(Stmt::seq([Stmt::Pause, Stmt::Pause, Stmt::emit("late"), Stmt::Halt]));
     let c1 = compile_module(&m1, &ModuleRegistry::new()).unwrap();
-    let mut m = Machine::new(c1.circuit);
+    let mut m = Machine::new(c1.circuit).expect("finalized circuit");
     m.react().unwrap();
     m.react().unwrap(); // one pause in
     let c2 = compile_module(&m1, &ModuleRegistry::new()).unwrap();
-    m.hot_swap(c2.circuit);
+    m.hot_swap(c2.circuit).expect("finalized circuit");
     // The swapped program restarts from its boot instant.
     assert!(!m.react().unwrap().present("late"));
     assert!(!m.react().unwrap().present("late"));
@@ -96,7 +96,7 @@ fn cyclic_module() -> Module {
 fn hot_swap_rebuilds_the_levelized_schedule() {
     // Acyclic → levelized by default.
     let c1 = compile_module(&counter_module(1.0), &ModuleRegistry::new()).unwrap();
-    let mut m = Machine::new(c1.circuit);
+    let mut m = Machine::new(c1.circuit).expect("finalized circuit");
     assert_eq!(m.engine(), EngineMode::Levelized);
     m.react().unwrap();
     m.react_with(&[("inc", Value::Bool(true))]).unwrap();
@@ -105,7 +105,7 @@ fn hot_swap_rebuilds_the_levelized_schedule() {
     // falls back to constructive for the swapped circuit.
     let c2 = compile_module(&cyclic_module(), &ModuleRegistry::new()).unwrap();
     assert!(c2.levels.is_none(), "the swapped-in circuit is cyclic");
-    m.hot_swap(c2.circuit);
+    m.hot_swap(c2.circuit).expect("finalized circuit");
     assert_eq!(m.engine(), EngineMode::Constructive);
     assert!(m.levelization().is_none());
     m.react().unwrap();
@@ -113,7 +113,7 @@ fn hot_swap_rebuilds_the_levelized_schedule() {
     // Cyclic → acyclic: the fresh analysis restores the levelized
     // schedule and the carried state is still there.
     let c3 = compile_module(&counter_module(10.0), &ModuleRegistry::new()).unwrap();
-    m.hot_swap(c3.circuit);
+    m.hot_swap(c3.circuit).expect("finalized circuit");
     assert_eq!(m.engine(), EngineMode::Levelized);
     assert!(m.levelization().is_some());
     m.react().unwrap();
@@ -124,11 +124,11 @@ fn hot_swap_rebuilds_the_levelized_schedule() {
 #[test]
 fn explicit_engine_request_survives_hot_swap() {
     let c1 = compile_module(&counter_module(1.0), &ModuleRegistry::new()).unwrap();
-    let mut m = Machine::new(c1.circuit);
+    let mut m = Machine::new(c1.circuit).expect("finalized circuit");
     assert_eq!(m.set_engine(EngineMode::Naive), EngineMode::Naive);
     m.react().unwrap();
     let c2 = compile_module(&counter_module(10.0), &ModuleRegistry::new()).unwrap();
-    m.hot_swap(c2.circuit);
+    m.hot_swap(c2.circuit).expect("finalized circuit");
     assert_eq!(m.engine(), EngineMode::Naive, "the request is sticky");
     m.react().unwrap();
     m.react_with(&[("inc", Value::Bool(true))]).unwrap();
@@ -139,7 +139,7 @@ fn explicit_engine_request_survives_hot_swap() {
 fn reset_restores_the_initial_configuration() {
     let m1 = counter_module(1.0);
     let c = compile_module(&m1, &ModuleRegistry::new()).unwrap();
-    let mut m = Machine::new(c.circuit);
+    let mut m = Machine::new(c.circuit).expect("finalized circuit");
     m.react().unwrap();
     m.react_with(&[("inc", Value::Bool(true))]).unwrap();
     m.react_with(&[("inc", Value::Bool(true))]).unwrap();

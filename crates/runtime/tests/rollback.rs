@@ -1,0 +1,229 @@
+//! Reactions atomic under error: host panics are caught, the machine
+//! rolls back to its pre-reaction snapshot, and structured errors
+//! replace the documented panics of `Machine::new` / `hot_swap`.
+
+use hiphop_circuit::circuit::Circuit;
+use hiphop_core::prelude::*;
+use hiphop_compiler::compile_module;
+use hiphop_runtime::{Machine, RuntimeError};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A counter that also explodes inside a host atom when `boom` is
+/// present — after first emitting into `count`, so a torn reaction
+/// would be observable.
+fn fragile_module() -> Module {
+    Module::new("Fragile")
+        .input(SignalDecl::new("inc", Direction::In))
+        .input(SignalDecl::new("boom", Direction::In))
+        .output(SignalDecl::new("count", Direction::Out).with_init(0i64))
+        .body(Stmt::par([
+            Stmt::every(
+                Delay::cond(Expr::now("inc")),
+                Stmt::emit_val("count", Expr::preval("count").add(Expr::num(1.0))),
+            ),
+            Stmt::every(
+                Delay::cond(Expr::now("boom")),
+                Stmt::seq([
+                    Stmt::assign("scratch", Expr::num(999.0)),
+                    Stmt::atom("explode", vec![], |_| panic!("host bug")),
+                ]),
+            ),
+        ]))
+}
+
+fn fragile_machine() -> Machine {
+    let c = compile_module(&fragile_module(), &ModuleRegistry::new()).unwrap();
+    Machine::new(c.circuit).expect("finalized circuit")
+}
+
+#[test]
+fn host_panic_becomes_structured_error_and_rolls_back() {
+    let mut m = fragile_machine();
+    m.react().unwrap();
+    m.react_with(&[("inc", Value::Bool(true))]).unwrap();
+    m.react_with(&[("inc", Value::Bool(true))]).unwrap();
+    let before = m.state_digest();
+
+    let err = m
+        .react_with(&[("inc", Value::Bool(true)), ("boom", Value::Bool(true))])
+        .unwrap_err();
+    match &err {
+        RuntimeError::HostPanic { payload, .. } => {
+            assert!(payload.contains("host bug"), "payload: {payload}")
+        }
+        other => panic!("expected HostPanic, got {other:?}"),
+    }
+    assert!(!m.is_poisoned(), "rollback leaves the machine healthy");
+    assert_eq!(
+        m.state_digest(),
+        before,
+        "failed reaction left no trace in machine state"
+    );
+    assert_eq!(m.nowval("count"), Value::Num(2.0));
+    assert_eq!(m.var("scratch"), Value::Null, "mid-reaction var assignment undone");
+
+    // The machine keeps reacting as if the failed instant never happened.
+    m.react_with(&[("inc", Value::Bool(true))]).unwrap();
+    assert_eq!(m.nowval("count"), Value::Num(3.0));
+}
+
+#[test]
+fn panicking_async_spawn_hook_is_contained() {
+    let spec = AsyncSpec {
+        done_signal: Some("res".into()),
+        on_spawn: Some(AsyncHook::new("bad-spawn", |_| panic!("spawn exploded"))),
+        on_kill: None,
+        on_suspend: None,
+        on_resume: None,
+    };
+    let main = Module::new("Main")
+        .inout(SignalDecl::new("res", Direction::InOut))
+        .body(Stmt::async_(spec));
+    let c = compile_module(&main, &ModuleRegistry::new()).unwrap();
+    let mut m = Machine::new(c.circuit).expect("finalized circuit");
+    let before = m.state_digest();
+    let err = m.react().unwrap_err();
+    assert!(matches!(err, RuntimeError::HostPanic { .. }));
+    assert_eq!(m.state_digest(), before);
+    assert!(!m.is_poisoned());
+}
+
+#[test]
+fn rollback_disabled_marks_machine_poisoned() {
+    let mut m = fragile_machine();
+    m.set_rollback(false);
+    m.react().unwrap();
+    assert!(!m.is_poisoned());
+    let err = m.react_with(&[("boom", Value::Bool(true))]).unwrap_err();
+    assert!(matches!(err, RuntimeError::HostPanic { .. }));
+    assert!(m.is_poisoned(), "without rollback the state may be torn");
+    // A successful reaction clears the poison flag again.
+    m.react().unwrap();
+    assert!(!m.is_poisoned());
+}
+
+#[test]
+fn non_panic_runtime_errors_also_roll_back() {
+    // Two unconditional emits of a single-emit value signal: a
+    // MultipleEmit error raised by the net evaluator, not by a panic.
+    let main = Module::new("Main")
+        .input(SignalDecl::new("go", Direction::In))
+        .output(SignalDecl::new("v", Direction::Out).with_init(0i64))
+        .body(Stmt::every(
+            Delay::cond(Expr::now("go")),
+            Stmt::seq([
+                Stmt::emit_val("v", Expr::num(1.0)),
+                Stmt::emit_val("v", Expr::num(2.0)),
+            ]),
+        ));
+    let c = compile_module(&main, &ModuleRegistry::new()).unwrap();
+    let mut m = Machine::new(c.circuit).expect("finalized circuit");
+    m.react().unwrap();
+    let before = m.state_digest();
+    let err = m.react_with(&[("go", Value::Bool(true))]).unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::MultipleEmit { .. }),
+        "got {err:?}"
+    );
+    assert_eq!(m.state_digest(), before);
+    assert!(!m.is_poisoned());
+    m.react().unwrap();
+}
+
+#[test]
+fn unfinalized_circuit_is_a_structured_error() {
+    let raw = Circuit::new("raw");
+    match Machine::new(raw) {
+        Err(RuntimeError::UnfinalizedCircuit { program }) => assert_eq!(program, "raw"),
+        other => panic!("expected UnfinalizedCircuit, got {other:?}"),
+    }
+}
+
+#[test]
+fn hot_swap_to_unfinalized_circuit_leaves_machine_untouched() {
+    let mut m = fragile_machine();
+    m.react().unwrap();
+    m.react_with(&[("inc", Value::Bool(true))]).unwrap();
+    let before = m.state_digest();
+    let err = m.hot_swap(Circuit::new("broken")).map(|_| ()).unwrap_err();
+    assert!(matches!(err, RuntimeError::UnfinalizedCircuit { .. }));
+    assert_eq!(m.state_digest(), before, "failed swap changed nothing");
+    m.react_with(&[("inc", Value::Bool(true))]).unwrap();
+    assert_eq!(m.nowval("count"), Value::Num(2.0));
+}
+
+#[test]
+fn chaos_injection_is_deterministic_and_survivable() {
+    let run = |seed: u64| {
+        let mut m = fragile_machine();
+        m.set_chaos(seed, 0.3);
+        let mut errors = Vec::new();
+        for i in 0..50u32 {
+            let inputs = [("inc", Value::Bool(true))];
+            match m.react_with(&inputs) {
+                Ok(_) => {}
+                Err(RuntimeError::HostPanic { payload, .. }) => {
+                    assert!(payload.contains("chaos"), "payload: {payload}");
+                    assert!(!m.is_poisoned());
+                    errors.push(i);
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        (errors, m.state_digest())
+    };
+    let (e1, d1) = run(7);
+    let (e2, d2) = run(7);
+    assert_eq!(e1, e2, "same seed, same injected panics");
+    assert_eq!(d1, d2, "same seed, same final state");
+    assert!(!e1.is_empty(), "rate 0.3 over 50 reactions must fire");
+    let (e3, _) = run(8);
+    assert_ne!(e1, e3, "different seeds explore different schedules");
+}
+
+#[test]
+fn failed_reaction_truncates_its_log_entries() {
+    let main = Module::new("Main")
+        .input(SignalDecl::new("boom", Direction::In))
+        .body(Stmt::every(
+            Delay::cond(Expr::now("boom")),
+            Stmt::seq([
+                Stmt::log(Expr::str("about to explode")),
+                Stmt::atom("explode", vec![], |_| panic!("bang")),
+            ]),
+        ));
+    let c = compile_module(&main, &ModuleRegistry::new()).unwrap();
+    let mut m = Machine::new(c.circuit).expect("finalized circuit");
+    m.react().unwrap();
+    m.react_with(&[("boom", Value::Bool(true))]).unwrap_err();
+    assert!(
+        m.log().is_empty(),
+        "log entries from the rolled-back reaction are gone: {:?}",
+        m.log()
+    );
+}
+
+#[test]
+fn panic_guard_restores_previous_hook_behaviour() {
+    // Unsupervised panics (outside `guarded`) still reach the normal
+    // panic machinery: catch one with catch_unwind and check the
+    // machine guard did not swallow it.
+    let caught = std::panic::catch_unwind(|| panic!("normal panic"));
+    assert!(caught.is_err());
+    // And a guarded panic inside a reaction does not disturb an
+    // observer counting unsupervised hook invocations afterwards.
+    let count = Rc::new(Cell::new(0u32));
+    let mut m = fragile_machine();
+    m.react().unwrap();
+    let _ = m.react_with(&[("boom", Value::Bool(true))]);
+    let c2 = count.clone();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        c2.set(c2.get() + 1);
+        if c2.get() > 0 {
+            panic!("outer")
+        }
+    }));
+    assert!(r.is_err());
+    assert_eq!(count.get(), 1);
+}

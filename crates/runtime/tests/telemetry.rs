@@ -225,7 +225,7 @@ fn sinks_survive_hot_swap() {
         .body(Stmt::loop_(Stmt::seq([Stmt::Pause, Stmt::emit("o")])));
     let compiled =
         hiphop_compiler::compile_module(&after, &ModuleRegistry::new()).unwrap();
-    m.hot_swap(compiled.circuit);
+    m.hot_swap(compiled.circuit).expect("finalized circuit");
     m.react().unwrap();
     assert_eq!(
         metrics.borrow().reactions(),

@@ -145,7 +145,7 @@ mod tests {
         let (module, comp) = generate(ScoreShape::small());
         // `beat` is already in the interface.
         let compiled = compile_module(&module, &ModuleRegistry::new()).expect("compiles");
-        let mut machine = hiphop_runtime::Machine::new(compiled.circuit);
+        let mut machine = hiphop_runtime::Machine::new(compiled.circuit).expect("finalized circuit");
         let mut audience = crate::audience::Audience::new(5, 1.0);
         let report =
             crate::performance::perform(&mut machine, &comp, &mut audience, 200).expect("runs");

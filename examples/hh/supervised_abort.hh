@@ -1,0 +1,20 @@
+// Supervised async activity preempted mid-retry.
+//
+// The `fetch.spawn` / `fetch.kill` host hooks are a supervised activity
+// (see hiphop_eventloop::supervisor): every attempt fails fast, so the
+// supervisor schedules retries with exponential backoff on the virtual
+// event loop. The program aborts the whole activity on `stop` — the
+// kill hook cancels the pending retry timer and emits nothing further;
+// the abort continuation emits `aborted`.
+//
+// Driven by tests/golden_traces.rs: the coarse JSONL trace — including
+// the supervision telemetry (activity_retry events) — is pinned in
+// tests/golden/supervised_abort.jsonl and replayed under all three
+// evaluation engines.
+module SupervisedAbort(in stop, inout res, out gotit, out aborted) {
+   abort (stop.now) {
+      async res { host "fetch.spawn" } kill { host "fetch.kill" }
+      emit gotit();
+   }
+   emit aborted();
+}

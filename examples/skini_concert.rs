@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compiled.circuit.stats()
     );
 
-    let mut machine = Machine::new(compiled.circuit);
+    let mut machine = Machine::new(compiled.circuit)?;
     let mut audience = Audience::new(0xC0FFEE, 0.85);
     let report = perform(&mut machine, &comp, &mut audience, 256)?;
 

@@ -1,0 +1,169 @@
+//! Chaos differential sweep: seeded fault injection against every
+//! engine, with a fault-free shadow machine as the oracle.
+//!
+//! Each case builds the same synthetic program twice — one machine with
+//! `set_chaos(seed, rate)` armed, one pristine shadow — and drives both
+//! in lockstep over a deterministic input schedule. The invariants:
+//!
+//! 1. **No panic escapes.** Every injected fault surfaces as a
+//!    structured [`RuntimeError::HostPanic`], never an unwinding panic.
+//! 2. **Rollback is exact.** After a failed reaction the machine's
+//!    [`Machine::state_digest`] equals its pre-reaction digest and
+//!    [`Machine::is_poisoned`] is false.
+//! 3. **No wedge.** The machine accepts further reactions after every
+//!    fault; a faulted instant is simply skipped (the shadow skips it
+//!    too, since for the rolled-back machine it never happened).
+//! 4. **Differential equality.** On every successful instant the chaos
+//!    machine's outputs and digest equal the shadow's — fault injection
+//!    plus rollback is observationally a no-op.
+//!
+//! The sweep width defaults to 100 fault sequences (each run under all
+//! three engines) and widens via `HIPHOP_CHAOS_SEEDS`, mirroring
+//! `HIPHOP_PROPTEST_SEEDS`.
+
+use hiphop::compiler::{compile_module_with, CompileOptions};
+use hiphop::prelude::*;
+use hiphop::runtime::EngineMode;
+use hiphop_bench::synthetic_program;
+use hiphop_core::rng::Rng;
+use hiphop_runtime::RuntimeError;
+
+fn chaos_seeds() -> u64 {
+    std::env::var("HIPHOP_CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+}
+
+fn input_schedule(seed: u64, steps: usize) -> Vec<Vec<(String, Value)>> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..steps)
+        .map(|_| {
+            let mut inputs = Vec::new();
+            for k in 0..8 {
+                if rng.gen_bool(0.3) {
+                    inputs.push((format!("i{k}"), Value::from(rng.gen_range(0i64..5))));
+                }
+            }
+            inputs
+        })
+        .collect()
+}
+
+fn outputs_of(r: &hiphop::runtime::Reaction) -> Vec<String> {
+    let mut out: Vec<String> = r
+        .outputs
+        .iter()
+        .map(|o| format!("{}={}:{}", o.name, o.present as u8, o.value))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn chaos_faults_roll_back_and_never_diverge() {
+    let sweep = chaos_seeds();
+    let mut total_faults = 0u64;
+    for case in 0..sweep {
+        let seed = 0xC4A05 ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+        let mut rng = Rng::seed_from_u64(seed);
+        let size = rng.gen_range(10usize..60);
+        let module = synthetic_program(size, seed);
+        let schedule = input_schedule(seed ^ 0xFA017, 20);
+        for mode in [
+            EngineMode::Levelized,
+            EngineMode::Constructive,
+            EngineMode::Naive,
+        ] {
+            let build = || {
+                let c = compile_module_with(
+                    &module,
+                    &ModuleRegistry::new(),
+                    CompileOptions::default(),
+                )
+                .expect("compiles");
+                let mut m = Machine::new(c.circuit).expect("finalized circuit");
+                m.set_engine(mode);
+                m
+            };
+            let mut chaotic = build();
+            chaotic.set_chaos(seed, 0.05);
+            let mut shadow = build();
+
+            let boot: &[Vec<(String, Value)>] = &[Vec::new()];
+            for (step, instant) in boot.iter().chain(schedule.iter()).enumerate() {
+                let refs: Vec<(&str, Value)> = instant
+                    .iter()
+                    .map(|(n, v)| (n.as_str(), v.clone()))
+                    .collect();
+                let before = chaotic.state_digest();
+                match chaotic.react_with(&refs) {
+                    Ok(r) => {
+                        let s = shadow
+                            .react_with(&refs)
+                            .unwrap_or_else(|e| panic!("seed {seed} {mode} step {step}: shadow failed: {e}"));
+                        assert_eq!(
+                            outputs_of(&r),
+                            outputs_of(&s),
+                            "seed {seed} {mode} step {step}: outputs diverge"
+                        );
+                        assert_eq!(
+                            chaotic.state_digest(),
+                            shadow.state_digest(),
+                            "seed {seed} {mode} step {step}: state diverges"
+                        );
+                        assert!(!chaotic.is_poisoned());
+                    }
+                    Err(RuntimeError::HostPanic { payload, .. }) => {
+                        // Invariant 2: exact rollback; invariant 3: the
+                        // machine is not poisoned and keeps reacting
+                        // (the next loop iteration exercises it).
+                        total_faults += 1;
+                        assert!(
+                            payload.contains("chaos"),
+                            "seed {seed} {mode} step {step}: unexpected panic {payload}"
+                        );
+                        assert!(!chaotic.is_poisoned(), "seed {seed} {mode} step {step}");
+                        assert_eq!(
+                            chaotic.state_digest(),
+                            before,
+                            "seed {seed} {mode} step {step}: rollback not exact"
+                        );
+                        // The instant never happened for the chaotic
+                        // machine; the shadow skips it to stay aligned.
+                    }
+                    Err(other) => panic!(
+                        "seed {seed} {mode} step {step}: non-fault error {other:?}"
+                    ),
+                }
+            }
+        }
+    }
+    assert!(
+        total_faults > 0,
+        "a 5% rate over {sweep} sweeps must inject faults"
+    );
+}
+
+#[test]
+fn wide_chaos_rate_cannot_wedge_a_machine() {
+    // Even at a 50% fault rate the machine must stay responsive: every
+    // error is structured, every recovery instantaneous.
+    for case in 0..8u64 {
+        let seed = 0xBADCAFE ^ case;
+        let module = synthetic_program(40, seed);
+        let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
+            .expect("compiles");
+        let mut m = Machine::new(c.circuit).expect("finalized circuit");
+        m.set_chaos(seed, 0.5);
+        let mut ok = 0u32;
+        for step in 0..60u32 {
+            match m.react_with(&[("i0", Value::from((step % 5) as i64))]) {
+                Ok(_) => ok += 1,
+                Err(RuntimeError::HostPanic { .. }) => assert!(!m.is_poisoned()),
+                Err(other) => panic!("seed {seed} step {step}: {other:?}"),
+            }
+        }
+        assert!(ok > 0, "seed {seed}: some reactions must survive");
+    }
+}

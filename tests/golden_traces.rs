@@ -69,7 +69,7 @@ fn trace(example: &Example, mode: EngineMode) -> String {
     let (module, registry) =
         parse_program(example.source, example.main, &HostRegistry::new()).expect("parses");
     let compiled = hiphop::compiler::compile_module(&module, &registry).expect("compiles");
-    let mut machine = Machine::new(compiled.circuit);
+    let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
     assert_eq!(
         machine.set_engine(mode),
         mode,
@@ -128,6 +128,109 @@ fn engines_replay_the_golden_traces_byte_for_byte() {
     }
 }
 
+/// Replays `supervised_abort.hh` — a supervised activity whose every
+/// attempt fails, preempted by `abort` mid-retry — under `mode`, and
+/// returns the normalized coarse trace (supervision telemetry
+/// included: the supervisor publishes into the machine's sinks).
+fn supervised_abort_trace(mode: EngineMode) -> String {
+    use hiphop::eventloop::supervisor::{
+        supervised_hooks, ActivityPolicy, SupervisedSpec, Supervisor,
+    };
+    use hiphop::eventloop::{Driver, EventLoop};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let sup = Supervisor::new(el.clone());
+    let (spawn, kill) = supervised_hooks(
+        &sup,
+        SupervisedSpec::new("fetch").done("res").policy(ActivityPolicy {
+            jitter: 0.0,
+            ..ActivityPolicy::default().with_retries(10).with_backoff(200, 200)
+        }),
+        |a| {
+            let c = a.completion();
+            c.fail(a.el, "connection refused");
+        },
+    );
+    let mut hosts = HostRegistry::new();
+    let (sf, kf) = (spawn.f.clone(), kill.f.clone());
+    hosts.async_hook("fetch.spawn", move |ctx| (sf)(ctx));
+    hosts.async_hook("fetch.kill", move |ctx| (kf)(ctx));
+
+    let source = include_str!("../examples/hh/supervised_abort.hh");
+    let (module, registry) = parse_program(source, "SupervisedAbort", &hosts).expect("parses");
+    let compiled = hiphop::compiler::compile_module(&module, &registry).expect("compiles");
+    let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
+    assert_eq!(machine.set_engine(mode), mode, "the example is acyclic");
+    let (sink, buf) = JsonlSink::buffered();
+    machine.attach_sink(shared(sink.coarse()));
+    sup.attach_sinks(machine.sink_handle());
+
+    let driver = Driver {
+        machine: Rc::new(RefCell::new(machine)),
+        el: el.clone(),
+    };
+    // Boot: attempt 1 fails instantly, retry scheduled at t=200.
+    driver.react(&[]).expect("boot");
+    // Attempts 2 and 3 fail at t=200 and t=400; the next retry would
+    // fire at t=600.
+    driver.advance_by(500).expect("advance");
+    // t=500: abort mid-retry — the kill hook cancels the pending timer.
+    driver.react(&[("stop", Value::Bool(true))]).expect("stop");
+    assert_eq!(el.borrow().pending(), 0, "{mode}: retry timer cancelled");
+    assert_eq!(sup.active(), 0, "{mode}: activity deregistered");
+    assert_eq!(sup.stats().killed, 1, "{mode}");
+    assert_eq!(sup.stats().retries, 3, "{mode}: three retries scheduled");
+    // Nothing further may happen.
+    let tail = driver.advance_by(2000).expect("tail");
+    assert!(tail.is_empty(), "{mode}: dead activity stays dead");
+
+    driver.machine.borrow_mut().finish_sinks();
+    let mut out = String::new();
+    for line in buf.text().lines() {
+        out.push_str(&normalize(line));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn supervised_abort_replays_identically_across_engines() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let levelized = supervised_abort_trace(EngineMode::Levelized);
+    assert!(
+        levelized.contains("\"type\":\"activity_retry\""),
+        "supervision telemetry reaches the coarse trace: {levelized}"
+    );
+    assert!(
+        levelized.contains("\"name\":\"aborted\",\"present\":true"),
+        "the abort continuation ran: {levelized}"
+    );
+    assert!(
+        !levelized.contains("\"name\":\"gotit\",\"present\":true"),
+        "the activity never completed: {levelized}"
+    );
+    for mode in [EngineMode::Constructive, EngineMode::Naive] {
+        assert_eq!(
+            supervised_abort_trace(mode),
+            levelized,
+            "supervised_abort: {mode} trace diverges from levelized"
+        );
+    }
+    let path = golden_path("supervised_abort");
+    if update {
+        std::fs::write(&path, &levelized).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("supervised_abort: no golden file ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        levelized, golden,
+        "supervised_abort: trace drifted from tests/golden/supervised_abort.jsonl (UPDATE_GOLDEN=1 regenerates)"
+    );
+}
+
 #[test]
 fn causality_cycle_example_still_reports_structured_causality() {
     // The non-constructive example is statically cyclic, so the default
@@ -139,7 +242,7 @@ fn causality_cycle_example_still_reports_structured_causality() {
     let compiled = hiphop::compiler::compile_module(&module, &registry).expect("compiles");
     assert!(compiled.cycle_warnings > 0, "statically flagged");
     assert!(compiled.levels.is_none(), "no levelized schedule exists");
-    let mut machine = Machine::new(compiled.circuit);
+    let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
     assert_eq!(machine.engine(), EngineMode::Constructive);
     let err = machine.react().expect_err("the paradox deadlocks");
     let RuntimeError::Causality { report, .. } = err else {

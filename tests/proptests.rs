@@ -79,7 +79,7 @@ fn reactions_are_deterministic() {
         let build = || {
             let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
                 .expect("compiles");
-            Machine::new(c.circuit)
+            Machine::new(c.circuit).expect("finalized circuit")
         };
         let t1 = drive(&mut build(), seed ^ 1, 30);
         let t2 = drive(&mut build(), seed ^ 1, 30);
@@ -99,7 +99,7 @@ fn optimizer_preserves_behavior() {
                 CompileOptions { optimize },
             )
             .expect("compiles");
-            drive(&mut Machine::new(c.circuit), seed ^ 2, 30)
+            drive(&mut Machine::new(c.circuit).expect("finalized circuit"), seed ^ 2, 30)
         };
         assert_eq!(run(true), run(false), "seed {seed}");
     });
@@ -114,7 +114,7 @@ fn reaction_work_is_linear_in_circuit_size() {
             .expect("compiles");
         let stats = c.circuit.stats();
         let bound = 4 * (stats.nets + stats.fanin_edges + stats.dep_edges) + 64;
-        let mut machine = Machine::new(c.circuit);
+        let mut machine = Machine::new(c.circuit).expect("finalized circuit");
         let r = machine.react().expect("boot");
         assert!(
             r.events <= bound,
@@ -151,12 +151,12 @@ fn print_parse_roundtrip_preserves_behavior() {
         let reference = {
             let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
                 .expect("compiles");
-            drive(&mut Machine::new(c.circuit), seed ^ 3, 20)
+            drive(&mut Machine::new(c.circuit).expect("finalized circuit"), seed ^ 3, 20)
         };
         let reparsed = {
             let c = compile_module_with(&parsed, &reg, CompileOptions::default())
                 .expect("reparsed compiles");
-            drive(&mut Machine::new(c.circuit), seed ^ 3, 20)
+            drive(&mut Machine::new(c.circuit).expect("finalized circuit"), seed ^ 3, 20)
         };
         assert_eq!(reference, reparsed, "seed {seed}: source:\n{src}");
     });
@@ -206,7 +206,7 @@ fn emission_order_is_unobservable() {
             let m = build(values);
             let c = compile_module_with(&m, &ModuleRegistry::new(), CompileOptions::default())
                 .expect("compiles");
-            let mut machine = Machine::new(c.circuit);
+            let mut machine = Machine::new(c.circuit).expect("finalized circuit");
             machine.react().expect("boot").value("acc")
         };
         let mut rev = vals.clone();
@@ -285,7 +285,7 @@ fn all_engines_agree_with_the_interpreter() {
         let engine_trace = |mode: EngineMode| {
             let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
                 .expect("compiles");
-            let mut m = Machine::new(c.circuit);
+            let mut m = Machine::new(c.circuit).expect("finalized circuit");
             assert_eq!(
                 m.set_engine(mode),
                 mode,
@@ -350,7 +350,7 @@ fn naive_and_event_driven_engines_agree() {
         let run = |naive: bool| {
             let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
                 .expect("compiles");
-            let mut m = Machine::new(c.circuit);
+            let mut m = Machine::new(c.circuit).expect("finalized circuit");
             m.set_naive(naive);
             drive(&mut m, seed ^ 4, 25)
         };
@@ -375,7 +375,7 @@ fn naive_engine_detects_the_same_causality_errors() {
         let module = Module::new("cyc").body(body);
         let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
             .expect("compiles");
-        let mut m = Machine::new(c.circuit);
+        let mut m = Machine::new(c.circuit).expect("finalized circuit");
         m.set_naive(true);
         let causality = matches!(m.react(), Err(RuntimeError::Causality { .. }));
         assert!(causality, "flip {flip}");
