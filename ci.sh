@@ -13,9 +13,32 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Static constructiveness gate: every example must lint clean of the
+# HH001 non-constructive lint — except causality_cycle.hh, the paper's
+# X = not X paradox, which must FAIL the gate (that is what it is for).
+echo "==> hiphop analyze --deny non-constructive over examples/hh"
+for hh in examples/hh/*.hh; do
+    if [ "$hh" = "examples/hh/supervised_abort.hh" ]; then
+        # Needs host hooks (fetch.spawn/fetch.kill) that only the
+        # embedding registers; the standalone CLI cannot parse it.
+        echo "    $hh: skipped (host hooks)"
+        continue
+    fi
+    if [ "$hh" = "examples/hh/causality_cycle.hh" ]; then
+        if ./target/release/hiphopc analyze "$hh" --deny non-constructive > /dev/null; then
+            echo "ci: $hh should be non-constructive but passed the gate" >&2
+            exit 1
+        fi
+        echo "    $hh: rejected as expected"
+    else
+        ./target/release/hiphopc analyze "$hh" --deny non-constructive > /dev/null
+        echo "    $hh: ok"
+    fi
+done
+
 # Widened cross-engine differential sweep: every generated program runs
-# under the levelized, constructive and naive engines plus the reference
-# interpreter (tests/proptests.rs). Override the seed count with
+# under the levelized, constructive, naive and hybrid engines plus the
+# reference interpreter (tests/proptests.rs). Override the seed count with
 # HIPHOP_PROPTEST_SEEDS=N ./ci.sh.
 HIPHOP_PROPTEST_SEEDS="${HIPHOP_PROPTEST_SEEDS:-64}"
 echo "==> differential proptest sweep (${HIPHOP_PROPTEST_SEEDS} seeds)"
@@ -23,7 +46,7 @@ HIPHOP_PROPTEST_SEEDS="$HIPHOP_PROPTEST_SEEDS" \
     cargo test -q --offline --test proptests -- all_engines_agree_with_the_interpreter
 
 # Widened chaos differential sweep: each seeded fault schedule runs a
-# chaotic machine against a fault-free shadow under all three engines;
+# chaotic machine against a fault-free shadow under every engine;
 # every injected fault must roll back to the shadow's exact state digest
 # (tests/chaos.rs). Override the seed count with
 # HIPHOP_CHAOS_SEEDS=N ./ci.sh.

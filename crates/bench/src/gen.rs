@@ -159,6 +159,67 @@ fn gen_block(rng: &mut Rng, n_sigs: usize, budget: &mut i64, depth: usize) -> St
     }
 }
 
+/// A cyclic-but-constructive workload: the acyclic [`synthetic_program`]
+/// of the requested size running in parallel with a small token-ring
+/// arbiter whose pass wires form a combinational cycle (the classic
+/// constructive-cycle benchmark). The acyclic portion dominates the net
+/// count, which is exactly the shape the hybrid engine exists for:
+/// levelized sweeps everywhere, bounded constructive iteration inside
+/// the one small SCC. Inputs `i0..i2` double as the arbiter's request
+/// lines; grants come out on `g0..g2`.
+pub fn cyclic_program(target_stmts: usize, seed: u64) -> Module {
+    let base = synthetic_program(target_stmts, seed);
+
+    // Token rotation: exactly one station holds the token each instant.
+    let token = Stmt::loop_(Stmt::seq([
+        Stmt::emit("ct0"),
+        Stmt::Pause,
+        Stmt::emit("ct1"),
+        Stmt::Pause,
+        Stmt::emit("ct2"),
+        Stmt::Pause,
+    ]));
+    // Station k grants its request when it sees the token or the
+    // predecessor's pass wire, and passes otherwise. The stations run in
+    // parallel; sequencing them would add control dependencies against
+    // the ring and break constructiveness.
+    let stations = (0..3usize).map(|k| {
+        let seen = Expr::now(format!("ct{k}")).or(Expr::now(format!("cp{}", (k + 2) % 3)));
+        Stmt::loop_(Stmt::seq([
+            Stmt::if_(
+                seen,
+                Stmt::if_else(
+                    Expr::now(format!("i{k}")),
+                    Stmt::emit(format!("g{k}")),
+                    Stmt::emit(format!("cp{k}")),
+                ),
+            ),
+            Stmt::Pause,
+        ]))
+    });
+    let ring_locals = (0..3usize)
+        .flat_map(|k| {
+            [
+                SignalDecl::new(format!("ct{k}"), Direction::Local),
+                SignalDecl::new(format!("cp{k}"), Direction::Local),
+            ]
+        })
+        .collect();
+    let ring = Stmt::local(
+        ring_locals,
+        Stmt::par(std::iter::once(token).chain(stations).collect::<Vec<_>>()),
+    );
+
+    let mut module = Module::new(format!("Cyclic{target_stmts}"));
+    for d in &base.interface {
+        module = module.signal(d.clone());
+    }
+    for k in 0..3usize {
+        module = module.output(SignalDecl::new(format!("g{k}"), Direction::Out));
+    }
+    module.body(Stmt::par([base.body, ring]))
+}
+
 /// Nested schizophrenic loops of the given depth: every level is a loop
 /// whose body declares a local signal and forks — forcing body
 /// duplication at each level.

@@ -9,5 +9,5 @@ pub mod harness;
 pub mod stats;
 
 pub use experiments::*;
-pub use gen::{schizophrenic_program, synthetic_program};
+pub use gen::{cyclic_program, schizophrenic_program, synthetic_program};
 pub use stats::{linear_fit, Fit};

@@ -502,82 +502,14 @@ impl Circuit {
     /// cycles the paper says deserve a compile-time warning; at runtime
     /// they may still evaluate constructively.
     pub fn static_cycles(&self) -> Vec<Vec<NetId>> {
-        // Tarjan over combinational fanin edges + data dependencies
-        // (registers break cycles by construction).
-        let n = self.nets.len();
-        let mut index = vec![usize::MAX; n];
-        let mut low = vec![0usize; n];
-        let mut on_stack = vec![false; n];
-        let mut stack: Vec<usize> = Vec::new();
-        let mut next = 0usize;
-        let mut out = Vec::new();
-
-        // Iterative Tarjan to avoid stack overflow on big circuits.
-        #[derive(Clone)]
-        struct Frame {
-            v: usize,
-            edge: usize,
-        }
-        let succ = |v: usize| -> Vec<usize> {
-            let net = &self.nets[v];
-            let mut s: Vec<usize> =
-                net.fanins.iter().map(|f| f.net.index()).collect();
-            s.extend(net.deps.iter().map(|d| d.index()));
-            s
-        };
-        for start in 0..n {
-            if index[start] != usize::MAX {
-                continue;
-            }
-            let mut frames = vec![Frame { v: start, edge: 0 }];
-            index[start] = next;
-            low[start] = next;
-            next += 1;
-            stack.push(start);
-            on_stack[start] = true;
-            while let Some(fr) = frames.last_mut() {
-                let v = fr.v;
-                let succs = succ(v);
-                if fr.edge < succs.len() {
-                    let w = succs[fr.edge];
-                    fr.edge += 1;
-                    if index[w] == usize::MAX {
-                        index[w] = next;
-                        low[w] = next;
-                        next += 1;
-                        stack.push(w);
-                        on_stack[w] = true;
-                        frames.push(Frame { v: w, edge: 0 });
-                    } else if on_stack[w] {
-                        low[v] = low[v].min(index[w]);
-                    }
-                } else {
-                    if low[v] == index[v] {
-                        let mut comp = Vec::new();
-                        loop {
-                            let w = stack.pop().expect("tarjan stack");
-                            on_stack[w] = false;
-                            comp.push(NetId(w as u32));
-                            if w == v {
-                                break;
-                            }
-                        }
-                        let self_loop = comp.len() == 1
-                            && succ(comp[0].index()).contains(&comp[0].index());
-                        if comp.len() > 1 || self_loop {
-                            comp.sort();
-                            out.push(comp);
-                        }
-                    }
-                    frames.pop();
-                    if let Some(parent) = frames.last() {
-                        let pv = parent.v;
-                        low[pv] = low[pv].min(low[v]);
-                    }
-                }
-            }
-        }
-        out
+        // A view over the SCC condensation (see `analysis.rs`): the
+        // nontrivial components in topological order, members sorted by
+        // ascending net id.
+        let cond = self.condensation();
+        cond.nontrivial()
+            .iter()
+            .map(|&comp| cond.members(comp).to_vec())
+            .collect()
     }
 
     /// Topological levelization of the combinational graph (fanin edges
@@ -691,9 +623,20 @@ impl Circuit {
         total
     }
 
-    /// Graphviz dot rendering for debugging small circuits.
+    /// Graphviz dot rendering for debugging small circuits. Nets caught
+    /// in a static cycle are filled with a per-SCC color so the cycles
+    /// stand out.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
+        const SCC_PALETTE: [&str; 6] = [
+            "lightsalmon",
+            "lightblue",
+            "palegreen",
+            "khaki",
+            "plum",
+            "lightpink",
+        ];
+        let cond = self.condensation();
         let mut s = String::new();
         let _ = writeln!(s, "digraph \"{}\" {{", self.name);
         let _ = writeln!(s, "  rankdir=LR; node [fontsize=9];");
@@ -711,9 +654,23 @@ impl Circuit {
                 _ => String::new(),
             };
             let act = if net.action.is_some() { "*" } else { "" };
+            let comp = cond.comp_of(NetId(i as u32));
+            let fill = if cond.is_nontrivial(comp) {
+                let scc = cond
+                    .nontrivial()
+                    .iter()
+                    .position(|&c| c == comp)
+                    .unwrap_or(0);
+                format!(
+                    ", style=filled, fillcolor={}",
+                    SCC_PALETTE[scc % SCC_PALETTE.len()]
+                )
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 s,
-                "  n{i} [label=\"{}{}{}#{i}\", shape={shape}];",
+                "  n{i} [label=\"{}{}{}#{i}\", shape={shape}{fill}];",
                 net.label, extra, act
             );
             for f in &net.fanins {
@@ -909,6 +866,22 @@ mod tests {
         assert!(dot.contains("digraph"));
         assert!(dot.contains("inA"));
         assert!(dot.contains("arrowhead=odot"));
+    }
+
+    #[test]
+    fn dot_colors_cyclic_nets_by_scc() {
+        let mut c = Circuit::new("cyc");
+        let x = c.or(vec![], "x");
+        c.add_fanin(x, Fanin::neg(x));
+        let _ = c.and(vec![Fanin::pos(x)], "sink");
+        let dot = c.to_dot();
+        assert!(dot.contains("fillcolor=lightsalmon"), "{dot}");
+        assert_eq!(dot.matches("style=filled").count(), 1, "only the cycle");
+
+        let mut ac = Circuit::new("acyclic");
+        let a = ac.input("a");
+        let _ = ac.or(vec![Fanin::pos(a)], "gate");
+        assert!(!ac.to_dot().contains("style=filled"));
     }
 
     #[test]

@@ -22,9 +22,11 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod circuit;
 pub mod net;
 
+pub use analysis::{Condensation, ConstructivenessAnalysis, SccVerdict, Verdict};
 pub use circuit::{Circuit, CircuitStats, Levelization};
 pub use net::{
     Action, ActionId, AsyncId, AsyncInfo, CounterId, CounterInfo, Fanin, Net, NetId, NetKind,

@@ -5,6 +5,8 @@
 //! Subcommands:
 //!
 //! - `check`  — parse + link + static checks;
+//! - `analyze`— compile and run the circuit lint framework (constructiveness
+//!   verdicts, emission hygiene, dead nets) with `--deny` gating;
 //! - `stats`  — circuit statistics after compilation;
 //! - `pretty` — pretty-print the linked program;
 //! - `dot`    — Graphviz rendering of the compiled circuit;
@@ -13,7 +15,7 @@
 
 #![warn(missing_docs)]
 
-use hiphop_compiler::{compile_module_with, CompileOptions};
+use hiphop_compiler::{compile_module_with, lint_compiled, CompileOptions};
 use hiphop_core::module::link;
 use hiphop_core::value::Value;
 use hiphop_lang::{parse_file, HostRegistry};
@@ -57,6 +59,10 @@ pub struct Options {
     /// Seeded fault injection for `trace` / `run` (the `oracle`
     /// differential check always runs fault-free).
     pub chaos: ChaosOptions,
+    /// Output format for `analyze` (`pretty` or `json`).
+    pub format: String,
+    /// Lints (by code or name) that make `analyze` exit non-zero.
+    pub deny: Vec<String>,
 }
 
 /// Seeded fault injection knobs (`--chaos-seed` / `--chaos-rate`).
@@ -136,11 +142,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut engine = None;
     let mut telemetry = TelemetryOptions::default();
     let mut chaos = ChaosOptions::default();
+    let mut format = "pretty".to_owned();
+    let mut deny = Vec::new();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--engine" => {
                 let name = it.next().ok_or_else(|| {
-                    fail("--engine needs a mode (auto, levelized, constructive, naive)")
+                    fail("--engine needs a mode (auto, levelized, constructive, naive, hybrid)")
                 })?;
                 engine = match name.as_str() {
                     "auto" => None,
@@ -162,6 +170,24 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 )
             }
             "--no-optimize" => no_optimize = true,
+            "--format" => {
+                let f = it
+                    .next()
+                    .ok_or_else(|| fail("--format needs `pretty` or `json`"))?;
+                if f != "pretty" && f != "json" {
+                    return Err(fail(format!(
+                        "--format must be `pretty` or `json`, not `{f}`"
+                    )));
+                }
+                format = f.clone();
+            }
+            "--deny" => {
+                deny.push(
+                    it.next()
+                        .ok_or_else(|| fail("--deny needs a lint code or name"))?
+                        .clone(),
+                );
+            }
             "--metrics" => telemetry.metrics = true,
             "--jsonl" => {
                 telemetry.jsonl = Some(
@@ -210,12 +236,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         engine,
         telemetry,
         chaos,
+        format,
+        deny,
     })
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: hiphopc <check|stats|pretty|dot|run|trace|oracle> FILE [--main MODULE] [--no-optimize] [--stimulus S] [--engine E]
+pub const USAGE: &str = "usage: hiphopc <check|analyze|stats|pretty|dot|run|trace|oracle> FILE [--main MODULE] [--no-optimize] [--stimulus S] [--engine E]
   check   parse, link and statically check the program
+  analyze compile and lint the circuit: constructiveness verdicts per
+          cyclic SCC, emission hygiene, dead nets
   stats   print circuit statistics after compilation
   pretty  pretty-print the linked program
   dot     print a Graphviz rendering of the circuit
@@ -224,11 +254,18 @@ pub const USAGE: &str = "usage: hiphopc <check|stats|pretty|dot|run|trace|oracle
   trace   render the output waveform for --stimulus \"A;B;;A B\"
   oracle  run --stimulus through the machine AND the reference
           interpreter, reporting any disagreement
+analyze flags:
+  --format pretty|json   human-readable lines (default) or one JSON
+                         object per lint
+  --deny LINT            exit non-zero if LINT fires (by code `HH001`
+                         or name `non-constructive`; repeatable)
 engine selection (run, trace and oracle):
   --engine auto          levelized when the circuit is acyclic, else
-                         constructive (the default)
-  --engine levelized     dense topological sweep (falls back to
-                         constructive on cyclic circuits)
+                         hybrid (the default)
+  --engine levelized     dense topological sweep (falls back to hybrid
+                         on cyclic circuits)
+  --engine hybrid        levelized sweeps over acyclic regions, bounded
+                         constructive iteration inside undecided SCCs
   --engine constructive  FIFO event propagation with causality reports
   --engine naive         O(nets²) reference fixpoint
 telemetry flags (trace and oracle only):
@@ -287,6 +324,66 @@ pub fn cmd_check(source: &str, main: Option<&str>) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Output of [`cmd_analyze`]: the rendered lints plus whether any
+/// `--deny` filter fired (the binary exits non-zero in that case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeReport {
+    /// Rendered lint lines (pretty or JSON, one per line).
+    pub stdout: String,
+    /// True when a lint matching a `--deny` filter fired.
+    pub denied: bool,
+}
+
+/// `analyze`: compile and run the circuit lint framework. Unlike
+/// machine construction, this never rejects a non-constructive program —
+/// the verdict surfaces as the `HH001` deny-level lint so the whole
+/// report is always produced.
+///
+/// # Errors
+///
+/// Fails on front-end or compilation errors, or an unknown `--format`.
+pub fn cmd_analyze(
+    source: &str,
+    main: Option<&str>,
+    optimize: bool,
+    format: &str,
+    deny: &[String],
+) -> Result<AnalyzeReport, CliError> {
+    let (module, registry) = load(source, main)?;
+    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
+        .map_err(|e| fail(e.to_string()))?;
+    let lints = lint_compiled(&compiled);
+    let denied: Vec<&hiphop_compiler::Lint> = lints
+        .iter()
+        .filter(|l| deny.iter().any(|d| l.matches(d)))
+        .collect();
+    let mut out = String::new();
+    match format {
+        "json" => {
+            for l in &lints {
+                let _ = writeln!(out, "{}", l.to_json());
+            }
+        }
+        "pretty" => {
+            for l in &lints {
+                let _ = writeln!(out, "{}", l.pretty());
+            }
+            let _ = writeln!(
+                out,
+                "{}: {} lint(s) ({} denied)",
+                module.name,
+                lints.len(),
+                denied.len()
+            );
+        }
+        other => return Err(fail(format!("unknown --format `{other}`"))),
+    }
+    Ok(AnalyzeReport {
+        stdout: out,
+        denied: !denied.is_empty(),
+    })
+}
+
 /// `stats`: compile and report circuit statistics.
 ///
 /// # Errors
@@ -310,8 +407,24 @@ pub fn cmd_stats(source: &str, main: Option<&str>, optimize: bool) -> Result<Str
             let _ = writeln!(out, "engine   : levelized ({levels} topological levels)");
         }
         None => {
-            let _ = writeln!(out, "engine   : constructive (combinational cycle)");
+            let _ = writeln!(out, "engine   : hybrid (combinational cycle)");
         }
+    }
+    let analysis = &compiled.analysis;
+    if analysis.cyclic_sccs() > 0 {
+        let _ = writeln!(
+            out,
+            "sccs     : {} cyclic (largest {} nets)",
+            analysis.cyclic_sccs(),
+            analysis.largest_scc()
+        );
+        let _ = writeln!(
+            out,
+            "verdicts : {} constructive, {} non-constructive, {} input-dependent",
+            analysis.count(hiphop_circuit::Verdict::Constructive),
+            analysis.count(hiphop_circuit::Verdict::NonConstructive),
+            analysis.count(hiphop_circuit::Verdict::InputDependent)
+        );
     }
     if compiled.cycle_warnings > 0 {
         let _ = writeln!(
@@ -826,6 +939,7 @@ mod tests {
         assert_eq!(parse("levelized").unwrap().engine, Some(EngineMode::Levelized));
         assert_eq!(parse("constructive").unwrap().engine, Some(EngineMode::Constructive));
         assert_eq!(parse("naive").unwrap().engine, Some(EngineMode::Naive));
+        assert_eq!(parse("hybrid").unwrap().engine, Some(EngineMode::Hybrid));
         assert!(parse("turbo").is_err());
         assert!(parse_args(&["trace".into(), "x.hh".into(), "--engine".into()]).is_err());
     }
@@ -844,7 +958,12 @@ mod tests {
     #[test]
     fn trace_and_oracle_agree_across_engines() {
         let reference = cmd_trace(ABRO, None, true, ";A;B;R;A B").unwrap();
-        for mode in [EngineMode::Levelized, EngineMode::Constructive, EngineMode::Naive] {
+        for mode in [
+            EngineMode::Levelized,
+            EngineMode::Constructive,
+            EngineMode::Naive,
+            EngineMode::Hybrid,
+        ] {
             let out = cmd_trace_with(
                 ABRO,
                 None,
@@ -877,13 +996,87 @@ mod tests {
     fn stats_reports_levelization() {
         let stats = cmd_stats(ABRO, Some("ABRO"), true).unwrap();
         assert!(stats.contains("engine   : levelized ("), "{stats}");
+        assert!(!stats.contains("sccs"), "acyclic: no SCC lines: {stats}");
         let cyclic = r#"
             module Cyc(out X) {
                if (!X.now) { emit X(); }
             }
         "#;
         let stats = cmd_stats(cyclic, None, true).unwrap();
-        assert!(stats.contains("engine   : constructive"), "{stats}");
+        assert!(stats.contains("engine   : hybrid"), "{stats}");
+        assert!(stats.contains("sccs     : 1 cyclic (largest "), "{stats}");
+        assert!(stats.contains("1 non-constructive"), "{stats}");
+    }
+
+    #[test]
+    fn analyze_reports_and_denies_non_constructive_programs() {
+        let cyclic = r#"
+            module Cyc(out X) {
+               if (!X.now) { emit X(); }
+            }
+        "#;
+        // `analyze` still compiles the program (no machine is built), so
+        // the HH001 deny lint is reported rather than erroring out.
+        let report = cmd_analyze(cyclic, None, true, "pretty", &[]).unwrap();
+        assert!(report.stdout.contains("deny[HH001] non-constructive"), "{}", report.stdout);
+        assert!(!report.denied, "nothing denied without --deny");
+        // Denying by name or by code trips the gate.
+        for filter in ["non-constructive", "HH001", "hh001"] {
+            let report =
+                cmd_analyze(cyclic, None, true, "pretty", &[filter.to_owned()]).unwrap();
+            assert!(report.denied, "--deny {filter} must fire");
+            assert!(report.stdout.contains("(1 denied)"), "{}", report.stdout);
+        }
+        // A clean program denies nothing.
+        let clean = cmd_analyze(ABRO, None, true, "pretty", &["HH001".to_owned()]).unwrap();
+        assert!(!clean.denied);
+        assert!(clean.stdout.contains("ABRO: "), "{}", clean.stdout);
+    }
+
+    #[test]
+    fn analyze_json_format_emits_one_object_per_lint() {
+        let cyclic = r#"
+            module Cyc(out X) {
+               if (!X.now) { emit X(); }
+            }
+        "#;
+        let report = cmd_analyze(cyclic, None, true, "json", &[]).unwrap();
+        let first = report.stdout.lines().next().expect("at least one lint");
+        assert!(first.starts_with("{\"code\":\"HH001\""), "{first}");
+        assert!(first.contains("\"severity\":\"deny\""), "{first}");
+        for line in report.stdout.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_args_analyze_flags() {
+        let o = parse_args(&[
+            "analyze".into(),
+            "x.hh".into(),
+            "--format".into(),
+            "json".into(),
+            "--deny".into(),
+            "HH001".into(),
+            "--deny".into(),
+            "dead-net".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.format, "json");
+        assert_eq!(o.deny, vec!["HH001".to_owned(), "dead-net".to_owned()]);
+        assert!(parse_args(&["analyze".into(), "x.hh".into(), "--format".into()]).is_err());
+        assert!(parse_args(&[
+            "analyze".into(),
+            "x.hh".into(),
+            "--format".into(),
+            "yaml".into()
+        ])
+        .is_err());
+        assert!(parse_args(&["analyze".into(), "x.hh".into(), "--deny".into()]).is_err());
+        // Defaults.
+        let o = parse_args(&["analyze".into(), "x.hh".into()]).unwrap();
+        assert_eq!(o.format, "pretty");
+        assert!(o.deny.is_empty());
     }
 
     #[test]

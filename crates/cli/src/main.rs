@@ -25,6 +25,15 @@ fn main() {
     let optimize = !opts.no_optimize;
     let result = match opts.command.as_str() {
         "check" => cmd_check(&source, main).map(Some),
+        "analyze" => {
+            hiphop_cli::cmd_analyze(&source, main, optimize, &opts.format, &opts.deny).map(|r| {
+                print!("{}", r.stdout);
+                if r.denied {
+                    std::process::exit(1);
+                }
+                None
+            })
+        }
         "stats" => cmd_stats(&source, main, optimize).map(Some),
         "pretty" => cmd_pretty(&source, main).map(Some),
         "dot" => cmd_dot(&source, main, optimize).map(Some),

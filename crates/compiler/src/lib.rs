@@ -25,12 +25,15 @@
 
 #![warn(missing_docs)]
 
+pub mod lint;
 pub mod optimize;
 pub mod reincarnation;
 pub mod synchronizer;
 pub mod translate;
 
-use hiphop_circuit::{Circuit, Fanin};
+pub use lint::{lint_compiled, Lint, Severity};
+
+use hiphop_circuit::{Circuit, ConstructivenessAnalysis, Fanin};
 use hiphop_core::ast::Loc;
 use hiphop_core::error::{CoreError, Warning};
 use hiphop_core::module::{link, LinkedProgram, Module, ModuleRegistry};
@@ -76,6 +79,18 @@ pub enum CompileError {
         /// Where the `run` appears.
         loc: Loc,
     },
+    /// The static constructiveness analysis proved a combinational cycle
+    /// can never stabilize (the paper's `X = not X`). Raised by
+    /// machine-construction wrappers; `compile_module` itself records
+    /// the verdict in [`CompiledProgram::analysis`] so tooling can still
+    /// inspect the rejected circuit.
+    NonConstructive {
+        /// The program name.
+        program: String,
+        /// Pretty rendering of the causality report (signals, net kinds,
+        /// source locations).
+        report: String,
+    },
     /// An error from linking or static checking.
     Core(CoreError),
 }
@@ -103,6 +118,9 @@ impl fmt::Display for CompileError {
             }
             CompileError::NotLinked { module, loc } => {
                 write!(f, "internal: run {module} at {loc} reached the translator")
+            }
+            CompileError::NonConstructive { program, report } => {
+                write!(f, "`{program}` is statically non-constructive:\n{report}")
             }
             CompileError::Core(e) => write!(f, "{e}"),
         }
@@ -152,9 +170,13 @@ pub struct CompiledProgram {
     /// Topological level count of the combinational graph when it is
     /// acyclic (`Some` exactly when `cycle_warnings == 0`): the depth of
     /// the runtime's dense levelized schedule. `None` means the circuit
-    /// has a static cycle and the machine keeps the constructive FIFO
+    /// has a static cycle and the machine uses the SCC-condensed hybrid
     /// engine.
     pub levels: Option<usize>,
+    /// The static constructiveness analysis: SCC condensation plus one
+    /// verdict per nontrivial component. `Machine::new` rejects the
+    /// program if any verdict is provably non-constructive.
+    pub analysis: ConstructivenessAnalysis,
 }
 
 /// Compiles an already-linked program with the given options.
@@ -227,7 +249,8 @@ pub fn compile_module_with(
     let linked = link(main, registry)?;
     let warnings = hiphop_core::check::check(&linked)?;
     let circuit = compile_linked(&linked, options)?;
-    let cycle_warnings = circuit.static_cycles().len();
+    let analysis = circuit.constructiveness();
+    let cycle_warnings = analysis.condensation.nontrivial().len();
     let levels = circuit.levelize().map(|lv| lv.levels());
     debug_assert_eq!(
         levels.is_none(),
@@ -239,5 +262,6 @@ pub fn compile_module_with(
         warnings,
         cycle_warnings,
         levels,
+        analysis,
     })
 }

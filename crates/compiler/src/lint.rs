@@ -1,0 +1,456 @@
+//! The circuit lint framework: static diagnostics over a compiled
+//! program, each with a stable code (`HH001`…) and a severity level.
+//!
+//! Lints inspect both the circuit (SCC verdicts from the
+//! constructiveness analysis, net liveness) and the checker warnings
+//! carried by [`CompiledProgram`], normalizing everything into one
+//! [`Lint`] shape so tooling (the CLI `analyze` subcommand, CI deny
+//! gates) can filter by code, name or severity uniformly.
+
+use crate::CompiledProgram;
+use hiphop_circuit::{Circuit, NetId, NetKind, TestKind, Verdict};
+use hiphop_core::ast::Loc;
+use hiphop_core::error::Warning;
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// How severe a lint finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The program is wrong and will be rejected at machine construction.
+    Deny,
+    /// Suspicious; likely a bug or a runtime-failure risk.
+    Warn,
+    /// Informational.
+    Info,
+}
+
+impl Severity {
+    /// Lower-case name used in CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// Stable code (`HH001`…), never reused across lint kinds.
+    pub code: &'static str,
+    /// Stable kebab-case name (`non-constructive`…), usable with
+    /// `--deny` interchangeably with the code.
+    pub name: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// Human-readable description of this particular finding.
+    pub message: String,
+    /// Source location of the offending construct when one is known.
+    pub loc: Option<Loc>,
+}
+
+impl Lint {
+    /// `true` if `filter` names this lint by code or name
+    /// (case-insensitive).
+    pub fn matches(&self, filter: &str) -> bool {
+        filter.eq_ignore_ascii_case(self.code) || filter.eq_ignore_ascii_case(self.name)
+    }
+
+    /// One-line pretty rendering: `warn[HH003] message (at loc)`.
+    pub fn pretty(&self) -> String {
+        let mut s = format!("{}[{}] {}: {}", self.severity, self.code, self.name, self.message);
+        if let Some(loc) = &self.loc {
+            s.push_str(&format!(" (at {loc})"));
+        }
+        s
+    }
+
+    /// JSON object rendering (stable field order).
+    pub fn to_json(&self) -> String {
+        let loc = match &self.loc {
+            Some(l) => format!("\"{l}\""),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"code\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"loc\":{}}}",
+            self.code,
+            self.name,
+            self.severity,
+            self.message.replace('\\', "\\\\").replace('"', "\\\""),
+            loc
+        )
+    }
+}
+
+/// The signals a set of nets participates in, for diagnostics: distinct
+/// `sig_hint` names in first-seen order.
+fn involved_signals(circuit: &Circuit, members: &[NetId]) -> Vec<String> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for &id in members {
+        if let Some(sig) = circuit.nets()[id.index()].sig_hint {
+            let name = &circuit.signal(sig).name;
+            if seen.insert(name.clone()) {
+                out.push(name.clone());
+            }
+        }
+    }
+    out
+}
+
+/// The first concrete source location among `members`, if any.
+fn first_loc(circuit: &Circuit, members: &[NetId]) -> Option<Loc> {
+    members
+        .iter()
+        .map(|&id| circuit.nets()[id.index()].loc.clone())
+        .find(|loc| *loc != Loc::default())
+}
+
+/// Replicates the optimizer's liveness computation (read-only): a net is
+/// live iff reachable from a root (action, signal wiring, async notify,
+/// boot/terminated, counter tests) through fanins, deps and registers.
+fn liveness(circuit: &Circuit) -> Vec<bool> {
+    let n = circuit.nets().len();
+    let mut live = vec![false; n];
+    let mut queue: VecDeque<NetId> = VecDeque::new();
+    let mark = |id: NetId, live: &mut Vec<bool>, queue: &mut VecDeque<NetId>| {
+        if !live[id.index()] {
+            live[id.index()] = true;
+            queue.push_back(id);
+        }
+    };
+    for (i, net) in circuit.nets().iter().enumerate() {
+        if net.action.is_some()
+            || matches!(net.kind, NetKind::Test(TestKind::CounterElapsed { .. }))
+        {
+            mark(NetId(i as u32), &mut live, &mut queue);
+        }
+    }
+    for s in circuit.signals() {
+        mark(s.status_net, &mut live, &mut queue);
+        mark(s.pre_net, &mut live, &mut queue);
+        if let Some(i) = s.input_net {
+            mark(i, &mut live, &mut queue);
+        }
+        for &e in &s.emitters {
+            mark(e, &mut live, &mut queue);
+        }
+    }
+    for a in circuit.asyncs() {
+        mark(a.notify_net, &mut live, &mut queue);
+    }
+    if let Some(b) = circuit.boot_net {
+        mark(b, &mut live, &mut queue);
+    }
+    if let Some(t) = circuit.terminated_net {
+        mark(t, &mut live, &mut queue);
+    }
+    while let Some(id) = queue.pop_front() {
+        let net = &circuit.nets()[id.index()];
+        for f in &net.fanins {
+            mark(f.net, &mut live, &mut queue);
+        }
+        for &d in &net.deps {
+            mark(d, &mut live, &mut queue);
+        }
+        if let NetKind::RegOut(r) = net.kind {
+            mark(circuit.registers()[r.index()].input, &mut live, &mut queue);
+        }
+    }
+    live
+}
+
+/// Runs every lint over a compiled program and returns the findings,
+/// most severe first (stable within a severity).
+pub fn lint_compiled(compiled: &CompiledProgram) -> Vec<Lint> {
+    let circuit = &compiled.circuit;
+    let mut lints = Vec::new();
+
+    // HH001 / HH002: SCC verdicts from the constructiveness analysis.
+    for v in &compiled.analysis.verdicts {
+        let members = compiled.analysis.condensation.members(v.comp);
+        let signals = involved_signals(circuit, members);
+        let siglist = if signals.is_empty() {
+            String::from("no named signals")
+        } else {
+            format!("signals {}", signals.join(", "))
+        };
+        match v.verdict {
+            Verdict::NonConstructive => lints.push(Lint {
+                code: "HH001",
+                name: "non-constructive",
+                severity: Severity::Deny,
+                message: format!(
+                    "cycle of {} net(s) can never stabilize ({siglist}); \
+                     the machine will reject this program",
+                    members.len()
+                ),
+                loc: first_loc(circuit, members),
+            }),
+            Verdict::InputDependent => lints.push(Lint {
+                code: "HH002",
+                name: "undecided-cycle",
+                severity: Severity::Warn,
+                message: format!(
+                    "cycle of {} net(s) is input-dependent ({siglist}); \
+                     some input assignments may deadlock at runtime",
+                    members.len()
+                ),
+                loc: first_loc(circuit, members),
+            }),
+            Verdict::Constructive => {}
+        }
+    }
+
+    // HH003: multiple valued emitters without a combine function.
+    for info in circuit.signals() {
+        if info.combine.is_some() {
+            continue;
+        }
+        let valued_emitters: Vec<NetId> = info
+            .emitters
+            .iter()
+            .copied()
+            .filter(|&e| {
+                circuit.nets()[e.index()].action.map(|a| &circuit.actions()[a.index()]).is_some_and(
+                    |a| matches!(a, hiphop_circuit::Action::Emit { value: Some(_), .. }),
+                )
+            })
+            .collect();
+        if valued_emitters.len() > 1 {
+            lints.push(Lint {
+                code: "HH003",
+                name: "multiple-emitters",
+                severity: Severity::Warn,
+                message: format!(
+                    "signal `{}` has {} valued emitters but no combine function; \
+                     simultaneous emission is a runtime error",
+                    info.name,
+                    valued_emitters.len()
+                ),
+                loc: first_loc(circuit, &valued_emitters),
+            });
+        }
+    }
+
+    // HH004: a local signal that is emitted but never awaited — its
+    // status is computed and thrown away.
+    for info in circuit.signals() {
+        if info.direction != hiphop_core::signal::Direction::Local || info.emitters.is_empty() {
+            continue;
+        }
+        let unread = |id: NetId| {
+            circuit.fanouts(id).is_empty() && circuit.dep_fanouts(id).is_empty()
+        };
+        if unread(info.status_net) && unread(info.pre_net) {
+            lints.push(Lint {
+                code: "HH004",
+                name: "never-awaited",
+                severity: Severity::Warn,
+                message: format!(
+                    "local signal `{}` is emitted but its presence is never tested",
+                    info.name
+                ),
+                loc: first_loc(circuit, &info.emitters),
+            });
+        }
+    }
+
+    // HH005: dead nets surviving the optimizer (or compiled without it).
+    let live = liveness(circuit);
+    let dead: Vec<usize> = (0..circuit.nets().len()).filter(|&i| !live[i]).collect();
+    if !dead.is_empty() {
+        let examples: Vec<&str> = dead
+            .iter()
+            .take(3)
+            .map(|&i| circuit.nets()[i].label)
+            .collect();
+        lints.push(Lint {
+            code: "HH005",
+            name: "dead-net",
+            severity: Severity::Warn,
+            message: format!(
+                "{} net(s) feed no action, signal or register (e.g. {}); \
+                 re-run the optimizer to sweep them",
+                dead.len(),
+                examples.join(", ")
+            ),
+            loc: dead.first().map(|&i| circuit.nets()[i].loc.clone()),
+        });
+    }
+
+    // HH006 / HH007: checker warnings promoted into the framework.
+    for w in &compiled.warnings {
+        match w {
+            Warning::SharedVariable { var } => lints.push(Lint {
+                code: "HH006",
+                name: "shared-variable",
+                severity: Severity::Warn,
+                message: format!(
+                    "variable `{var}` is written in one parallel branch and \
+                     accessed in a sibling; scheduling order is not part of the semantics"
+                ),
+                loc: None,
+            }),
+            Warning::NeverEmitted { signal } => lints.push(Lint {
+                code: "HH007",
+                name: "never-emitted",
+                severity: Severity::Warn,
+                message: format!("output signal `{signal}` is never emitted"),
+                loc: None,
+            }),
+        }
+    }
+
+    lints.sort_by_key(|l| l.severity);
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_module, compile_module_with, CompileOptions};
+    use hiphop_core::prelude::*;
+
+    fn lint_of(module: &Module) -> Vec<Lint> {
+        lint_compiled(&compile_module(module, &ModuleRegistry::new()).expect("compiles"))
+    }
+
+    #[test]
+    fn non_constructive_program_gets_a_deny_lint() {
+        let m = Module::new("paradox").body(Stmt::local(
+            vec![SignalDecl::new("X", Direction::Local)],
+            Stmt::if_(Expr::now("X").not(), Stmt::emit("X")),
+        ));
+        let lints = lint_of(&m);
+        let hh001 = lints.iter().find(|l| l.code == "HH001").expect("HH001");
+        assert_eq!(hh001.severity, Severity::Deny);
+        assert!(hh001.message.contains('X'), "{}", hh001.message);
+        assert!(hh001.matches("non-constructive") && hh001.matches("hh001"));
+    }
+
+    #[test]
+    fn input_dependent_cycle_gets_an_undecided_warning() {
+        let m = Module::new("cyc")
+            .input(SignalDecl::new("I", Direction::In))
+            .body(Stmt::local(
+                vec![
+                    SignalDecl::new("X", Direction::Local),
+                    SignalDecl::new("Y", Direction::Local),
+                ],
+                Stmt::par([
+                    Stmt::if_(Expr::now("Y").or(Expr::now("Y").not()), Stmt::emit("X")),
+                    Stmt::if_(Expr::now("X").and(Expr::now("I")), Stmt::emit("Y")),
+                    Stmt::if_(Expr::now("X"), Stmt::Nothing),
+                ]),
+            ));
+        let lints = lint_of(&m);
+        assert!(lints.iter().any(|l| l.code == "HH002"), "{lints:?}");
+        assert!(!lints.iter().any(|l| l.code == "HH001"), "{lints:?}");
+    }
+
+    #[test]
+    fn multiple_valued_emitters_without_combine_warn() {
+        let m = Module::new("multi")
+            .output(SignalDecl::new("V", Direction::Out))
+            .body(Stmt::par([
+                Stmt::emit_val("V", Expr::num(1.0)),
+                Stmt::emit_val("V", Expr::num(2.0)),
+            ]));
+        let lints = lint_of(&m);
+        let hh003 = lints.iter().find(|l| l.code == "HH003").expect("HH003");
+        assert!(hh003.message.contains("`V`"), "{}", hh003.message);
+    }
+
+    #[test]
+    fn combine_silences_the_multiple_emitter_lint() {
+        let m = Module::new("multi")
+            .output(SignalDecl::new("V", Direction::Out).with_combine(Combine::Plus))
+            .body(Stmt::par([
+                Stmt::emit_val("V", Expr::num(1.0)),
+                Stmt::emit_val("V", Expr::num(2.0)),
+            ]));
+        assert!(!lint_of(&m).iter().any(|l| l.code == "HH003"));
+    }
+
+    #[test]
+    fn never_awaited_local_signal_warns() {
+        let m = Module::new("waste").body(Stmt::local(
+            vec![SignalDecl::new("S", Direction::Local)],
+            Stmt::emit("S"),
+        ));
+        let lints = lint_of(&m);
+        let hh004 = lints.iter().find(|l| l.code == "HH004").expect("HH004");
+        assert!(hh004.message.contains("`S%"), "{}", hh004.message);
+    }
+
+    #[test]
+    fn optimized_programs_have_no_dead_nets() {
+        let m = Module::new("clean")
+            .input(SignalDecl::new("I", Direction::In))
+            .output(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::every(
+                Delay::cond(Expr::now("I")),
+                Stmt::emit("O"),
+            ));
+        assert!(!lint_of(&m).iter().any(|l| l.code == "HH005"));
+    }
+
+    #[test]
+    fn unoptimized_compilation_reports_dead_nets() {
+        // Without the optimizer, translation scaffolding (dead buffers)
+        // survives and HH005 points at it.
+        let m = Module::new("raw")
+            .output(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::seq([Stmt::emit("O"), Stmt::Pause, Stmt::emit("O")]));
+        let compiled =
+            compile_module_with(&m, &ModuleRegistry::new(), CompileOptions { optimize: false })
+                .expect("compiles");
+        let lints = lint_compiled(&compiled);
+        // The lint only fires if the raw translation actually leaves
+        // unreachable nets; either way the optimized build must be clean.
+        let optimized = compile_module(&m, &ModuleRegistry::new()).expect("compiles");
+        assert!(!lint_compiled(&optimized).iter().any(|l| l.code == "HH005"));
+        drop(lints);
+    }
+
+    #[test]
+    fn checker_warnings_are_promoted() {
+        let m = Module::new("silent")
+            .output(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::Nothing);
+        let lints = lint_of(&m);
+        let hh007 = lints.iter().find(|l| l.code == "HH007").expect("HH007");
+        assert_eq!(hh007.severity, Severity::Warn);
+        assert!(hh007.message.contains("`O`"));
+    }
+
+    #[test]
+    fn lint_renderings_are_stable() {
+        let l = Lint {
+            code: "HH003",
+            name: "multiple-emitters",
+            severity: Severity::Warn,
+            message: "signal `V` has 2 valued emitters".to_owned(),
+            loc: None,
+        };
+        assert_eq!(
+            l.pretty(),
+            "warn[HH003] multiple-emitters: signal `V` has 2 valued emitters"
+        );
+        assert_eq!(
+            l.to_json(),
+            "{\"code\":\"HH003\",\"name\":\"multiple-emitters\",\"severity\":\"warn\",\
+             \"message\":\"signal `V` has 2 valued emitters\",\"loc\":null}"
+        );
+    }
+}

@@ -63,6 +63,18 @@ fn collect_emissions(stmt: &Stmt, out: &mut HashSet<String>) {
                 out.insert(sig.clone());
             }
         }
+        Stmt::Run { binds, .. } => {
+            // An un-inlined instantiation may emit any outer signal it
+            // binds (the callee body is not visible here, so every bound
+            // signal is credited conservatively). The linked pipeline
+            // inlines `run` before this pass, but the function must stay
+            // sound on raw bodies too.
+            for b in binds {
+                if let crate::ast::RunBind::Signal { outer, .. } = b {
+                    out.insert(outer.clone());
+                }
+            }
+        }
         _ => {}
     });
 }
@@ -511,6 +523,52 @@ mod tests {
         assert!(warnings
             .iter()
             .any(|w| matches!(w, Warning::NeverEmitted { signal } if signal == "o")));
+    }
+
+    #[test]
+    fn run_instantiated_emissions_are_credited() {
+        // Regression: an output emitted only inside a `run`-instantiated
+        // module must not warn `NeverEmitted`, whether the binding is an
+        // explicit rename or implicit by-name.
+        use crate::ast::RunBind;
+        let inner = Module::new("Inner")
+            .signal(SignalDecl::new("X", Direction::Out))
+            .body(Stmt::seq([Stmt::emit("X"), Stmt::Halt]));
+        let by_name = Module::new("ByName")
+            .signal(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::seq([Stmt::emit("O"), Stmt::Halt]));
+        let mut reg = ModuleRegistry::new();
+        reg.register(inner);
+        reg.register(by_name);
+
+        let renamed = Module::new("Outer")
+            .signal(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::run_with(
+                "Inner",
+                vec![RunBind::Signal { inner: "X".into(), outer: "O".into() }],
+            ));
+        let warnings = check(&link(&renamed, &reg).expect("links")).expect("checks");
+        assert!(warnings.is_empty(), "renamed bind: {warnings:?}");
+
+        let implicit = Module::new("Outer2")
+            .signal(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::run("ByName"));
+        let warnings = check(&link(&implicit, &reg).expect("links")).expect("checks");
+        assert!(warnings.is_empty(), "implicit bind: {warnings:?}");
+    }
+
+    #[test]
+    fn collect_emissions_credits_raw_run_bindings() {
+        // `collect_emissions` must stay sound on bodies where `run` has
+        // not been inlined: a bound outer signal counts as emitted.
+        use crate::ast::RunBind;
+        let body = Stmt::run_with(
+            "M",
+            vec![RunBind::Signal { inner: "X".into(), outer: "O".into() }],
+        );
+        let mut emitted = HashSet::new();
+        collect_emissions(&body, &mut emitted);
+        assert!(emitted.contains("O"), "{emitted:?}");
     }
 
     #[test]

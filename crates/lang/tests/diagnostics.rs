@@ -12,8 +12,9 @@ fn causality_report_names_signal_and_location() {
     let (m, reg) = parse_program(src, "M", &HostRegistry::new()).expect("parses");
     let compiled = hiphop_compiler::compile_module(&m, &reg).expect("compiles");
     assert!(compiled.cycle_warnings > 0, "static warning first");
-    let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
-    let err = machine.react().unwrap_err();
+    // The paradox is provably non-constructive, so construction itself
+    // rejects it — with the same located report a runtime stall would carry.
+    let err = Machine::new(compiled.circuit).unwrap_err();
     let RuntimeError::Causality { cycle, .. } = &err else {
         panic!("expected causality, got {err}");
     };

@@ -20,8 +20,9 @@
 //! by debug assertions, since the order guarantees determinacy).
 
 use crate::machine::Class;
-use hiphop_circuit::{Circuit, NetKind};
+use hiphop_circuit::{Circuit, Condensation, NetKind};
 use std::fmt;
+use std::rc::Rc;
 use std::str::FromStr;
 
 /// The reaction-evaluation strategy of a [`crate::Machine`].
@@ -43,6 +44,12 @@ pub enum EngineMode {
     /// The O(nets²) reference engine: full sweeps to fixpoint, used as
     /// an independent oracle in the differential tests.
     Naive,
+    /// SCC-condensed hybrid scheduling: acyclic regions run as dense
+    /// level-ordered sweeps while each undecided strongly connected
+    /// component iterates locally to its constructive fixpoint. Selected
+    /// automatically for cyclic circuits that pass the static
+    /// constructiveness analysis.
+    Hybrid,
 }
 
 impl EngineMode {
@@ -52,6 +59,7 @@ impl EngineMode {
             EngineMode::Levelized => "levelized",
             EngineMode::Constructive => "constructive",
             EngineMode::Naive => "naive",
+            EngineMode::Hybrid => "hybrid",
         }
     }
 }
@@ -69,8 +77,9 @@ impl FromStr for EngineMode {
             "levelized" => Ok(EngineMode::Levelized),
             "constructive" => Ok(EngineMode::Constructive),
             "naive" => Ok(EngineMode::Naive),
+            "hybrid" => Ok(EngineMode::Hybrid),
             other => Err(format!(
-                "unknown engine `{other}` (expected levelized, constructive or naive)"
+                "unknown engine `{other}` (expected levelized, constructive, naive or hybrid)"
             )),
         }
     }
@@ -118,6 +127,26 @@ impl LevelSchedule {
     /// combinational cycle and must keep the constructive engine.
     pub(crate) fn build(circuit: &Circuit, class: &[Class]) -> Option<LevelSchedule> {
         let lv = circuit.levelize()?;
+        Some(LevelSchedule::with_order(
+            circuit,
+            class,
+            lv.order.iter().map(|id| id.0).collect(),
+            lv.levels(),
+            lv.max_width(),
+        ))
+    }
+
+    /// Builds the dense per-net tables around an externally supplied net
+    /// order (the levelization for acyclic circuits, the condensation
+    /// topological order for hybrid scheduling). The tables are net-id
+    /// indexed, so they are valid for any order covering every net once.
+    pub(crate) fn with_order(
+        circuit: &Circuit,
+        class: &[Class],
+        order: Vec<u32>,
+        levels: usize,
+        max_width: usize,
+    ) -> LevelSchedule {
         let n = circuit.nets().len();
         let mut code = vec![0u8; n];
         let mut aux = vec![0u32; n];
@@ -148,21 +177,97 @@ impl LevelSchedule {
                 (kind, class) => unreachable!("net {i}: {kind:?} classified {class:?}"),
             };
         }
-        Some(LevelSchedule {
-            order: lv.order.iter().map(|id| id.0).collect(),
-            levels: lv.levels(),
-            max_width: lv.max_width(),
+        LevelSchedule {
+            order,
+            levels,
+            max_width,
             code,
             aux,
             fanin_start,
             fanin_edges,
-        })
+        }
     }
 
     /// Fanin edges of net `i`.
     #[inline]
     pub(crate) fn fanins(&self, i: usize) -> &[u32] {
         &self.fanin_edges[self.fanin_start[i] as usize..self.fanin_start[i + 1] as usize]
+    }
+}
+
+/// One contiguous run of the hybrid schedule's net order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Block {
+    /// Positions `start..end` of the order form an acyclic run: a single
+    /// dense sweep determines every net.
+    Dense { start: u32, end: u32 },
+    /// Positions `start..end` hold the members of one nontrivial SCC:
+    /// iterate them constructively until the local fixpoint.
+    Cyclic { start: u32, end: u32 },
+}
+
+/// The hybrid engine's schedule: a [`LevelSchedule`] whose order is the
+/// SCC condensation's topological order, partitioned into dense runs of
+/// singleton components and cyclic blocks (one per nontrivial SCC).
+#[derive(Debug, Clone)]
+pub(crate) struct HybridSchedule {
+    /// Dense per-net tables plus the condensation topological order.
+    pub(crate) sched: Rc<LevelSchedule>,
+    /// Partition of `sched.order` into dense and cyclic runs.
+    pub(crate) blocks: Vec<Block>,
+}
+
+impl HybridSchedule {
+    /// Wraps an acyclic circuit's levelized schedule as one dense block,
+    /// sharing the allocation with the levelized engine.
+    pub(crate) fn acyclic(sched: Rc<LevelSchedule>) -> HybridSchedule {
+        let end = sched.order.len() as u32;
+        HybridSchedule {
+            sched,
+            blocks: vec![Block::Dense { start: 0, end }],
+        }
+    }
+
+    /// Builds the schedule for a cyclic circuit from its condensation:
+    /// the net order is the condensation topological order, maximal runs
+    /// of trivial components collapse into dense blocks, and each
+    /// nontrivial SCC becomes one cyclic block.
+    pub(crate) fn cyclic(circuit: &Circuit, class: &[Class], cond: &Condensation) -> HybridSchedule {
+        let order: Vec<u32> = cond.topo_order().iter().map(|id| id.0).collect();
+        let mut blocks = Vec::new();
+        let mut pos = 0u32;
+        let mut dense_start = 0u32;
+        let mut max_dense = 0usize;
+        for comp in 0..cond.comps() as u32 {
+            let len = cond.members(comp).len() as u32;
+            if cond.is_nontrivial(comp) {
+                if pos > dense_start {
+                    max_dense = max_dense.max((pos - dense_start) as usize);
+                    blocks.push(Block::Dense {
+                        start: dense_start,
+                        end: pos,
+                    });
+                }
+                blocks.push(Block::Cyclic {
+                    start: pos,
+                    end: pos + len,
+                });
+                dense_start = pos + len;
+            }
+            pos += len;
+        }
+        if pos > dense_start {
+            max_dense = max_dense.max((pos - dense_start) as usize);
+            blocks.push(Block::Dense {
+                start: dense_start,
+                end: pos,
+            });
+        }
+        let levels = blocks.len();
+        let sched = Rc::new(LevelSchedule::with_order(
+            circuit, class, order, levels, max_dense,
+        ));
+        HybridSchedule { sched, blocks }
     }
 }
 
@@ -208,6 +313,7 @@ mod tests {
             EngineMode::Levelized,
             EngineMode::Constructive,
             EngineMode::Naive,
+            EngineMode::Hybrid,
         ] {
             assert_eq!(m.name().parse::<EngineMode>(), Ok(m));
             assert_eq!(m.to_string(), m.name());

@@ -63,8 +63,18 @@ use hiphop_core::module::{Module, ModuleRegistry};
 ///
 /// # Errors
 ///
-/// Propagates linking, checking and translation errors.
+/// Propagates linking, checking and translation errors. A statically
+/// non-constructive program (the paper's `X = not X`) is rejected here
+/// as [`CompileError::NonConstructive`], carrying the rendered
+/// [`CausalityReport`] — no reaction needs to run.
 pub fn machine_for(main: &Module, registry: &ModuleRegistry) -> Result<Machine, CompileError> {
     let compiled = compile_module(main, registry)?;
-    Ok(Machine::new(compiled.circuit).expect("compiled circuits are finalized"))
+    let program = compiled.circuit.name.clone();
+    Machine::new(compiled.circuit).map_err(|e| match e {
+        RuntimeError::Causality { report, .. } => CompileError::NonConstructive {
+            program,
+            report: report.pretty(),
+        },
+        other => unreachable!("compiled circuits are finalized: {other}"),
+    })
 }

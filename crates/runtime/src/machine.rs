@@ -15,8 +15,9 @@ use crate::causality::analyze;
 use crate::env::{AtomView, EnvView};
 use crate::error::RuntimeError;
 use crate::levelized::{
-    EngineMode, LevelSchedule, PackedStates, CODE_AND, CODE_AND_EARLY, CODE_AND_LATE, CODE_CONST0,
-    CODE_CONST1, CODE_INPUT, CODE_OR, CODE_OR_EARLY, CODE_OR_LATE, CODE_REG, CODE_TEST,
+    Block, EngineMode, HybridSchedule, LevelSchedule, PackedStates, CODE_AND, CODE_AND_EARLY,
+    CODE_AND_LATE, CODE_CONST0, CODE_CONST1, CODE_INPUT, CODE_OR, CODE_OR_EARLY, CODE_OR_LATE,
+    CODE_REG, CODE_TEST,
 };
 use crate::isolate::guarded;
 use crate::telemetry::{
@@ -180,8 +181,11 @@ pub struct Machine {
     chaos: Option<Chaos>,
 
     // Engine selection: `schedule` exists iff the circuit is acyclic;
-    // `requested` is the user's explicit choice (`None` = automatic).
+    // `hybrid` always exists (non-constructive circuits are rejected at
+    // construction); `requested` is the user's explicit choice (`None` =
+    // automatic).
     schedule: Option<Rc<LevelSchedule>>,
+    hybrid: Rc<HybridSchedule>,
     requested: Option<EngineMode>,
     lv_state: PackedStates,
 }
@@ -205,6 +209,12 @@ impl Machine {
     /// [`RuntimeError::UnfinalizedCircuit`] if the circuit was not
     /// [`Circuit::finalize`]d (the compiler always finalizes, so
     /// `machine_for` unwraps; hand-built circuits must call `finish()`).
+    ///
+    /// [`RuntimeError::Causality`] if the static constructiveness
+    /// analysis proves a combinational cycle can never stabilize (the
+    /// paper's `X = not X`): the program is rejected before any reaction
+    /// runs, with the same structured [`crate::CausalityReport`] a
+    /// runtime deadlock would produce.
     pub fn new(circuit: Circuit) -> Result<Machine, RuntimeError> {
         if !circuit.is_finalized() {
             return Err(RuntimeError::UnfinalizedCircuit {
@@ -245,10 +255,33 @@ impl Machine {
             .collect();
         let nsig = circuit.signals().len();
         // Acyclicity analysis: precompute the dense level schedule when
-        // the combinational graph levelizes (the common case).
+        // the combinational graph levelizes (the common case). Cyclic
+        // circuits run the static constructiveness analysis: provably
+        // non-constructive ones are rejected here — before any reaction —
+        // and the rest get an SCC-condensed hybrid schedule.
         let schedule = LevelSchedule::build(&circuit, &class).map(Rc::new);
+        let hybrid = match &schedule {
+            Some(s) => Rc::new(HybridSchedule::acyclic(s.clone())),
+            None => {
+                let analysis = circuit.constructiveness();
+                if let Some(members) = analysis.first_non_constructive() {
+                    let mut stuck = vec![false; n];
+                    for m in members {
+                        stuck[m.index()] = true;
+                    }
+                    let report = analyze(&circuit, &stuck, members.len(), 0);
+                    return Err(RuntimeError::Causality {
+                        cycle: report.nets.clone(),
+                        undetermined: members.len(),
+                        report,
+                    });
+                }
+                Rc::new(HybridSchedule::cyclic(&circuit, &class, &analysis.condensation))
+            }
+        };
         Ok(Machine {
             schedule,
+            hybrid,
             class,
             is_or,
             regs,
@@ -291,8 +324,8 @@ impl Machine {
 
     /// Requests an evaluation engine; returns the *effective* engine
     /// (requesting [`EngineMode::Levelized`] on a cyclic circuit falls
-    /// back to the constructive engine, which is also the automatic
-    /// default for cyclic circuits).
+    /// back to the hybrid engine, which is also the automatic default
+    /// for cyclic circuits).
     pub fn set_engine(&mut self, mode: EngineMode) -> EngineMode {
         self.requested = Some(mode);
         self.engine()
@@ -300,15 +333,15 @@ impl Machine {
 
     /// The engine the next reaction will use: the requested one
     /// ([`Machine::set_engine`]), or — by default — [`EngineMode::Levelized`]
-    /// when the circuit is acyclic and [`EngineMode::Constructive`]
-    /// otherwise.
+    /// when the circuit is acyclic and [`EngineMode::Hybrid`] otherwise
+    /// (acyclic regions sweep densely, only cycles iterate).
     pub fn engine(&self) -> EngineMode {
         match self.requested {
             Some(EngineMode::Levelized) | None => {
                 if self.schedule.is_some() {
                     EngineMode::Levelized
                 } else {
-                    EngineMode::Constructive
+                    EngineMode::Hybrid
                 }
             }
             Some(mode) => mode,
@@ -701,6 +734,11 @@ impl Machine {
             // One dense sweep in topological level order; every net is
             // determined by construction, so no constructive check.
             self.levelized_fixpoint(&circuit, &input_present, &mut emit_count)?;
+        } else if engine == EngineMode::Hybrid {
+            // Dense sweeps over acyclic regions in condensation order;
+            // each nontrivial SCC iterates locally to its constructive
+            // fixpoint (with a per-SCC causality check).
+            self.hybrid_fixpoint(&circuit, &input_present, &mut emit_count)?;
         } else {
             // Determine sources.
             for (i, net) in circuit.nets().iter().enumerate() {
@@ -1013,18 +1051,133 @@ impl Machine {
         // fold can read them while actions borrow `self` mutably.
         let mut state = std::mem::take(&mut self.lv_state);
         state.reset(circuit.nets().len());
-        let result = self.levelized_sweep(circuit, &sched, &mut state, input_present, emit_count);
+        let end = sched.order.len();
+        let result = self.sweep_range(circuit, &sched, &mut state, input_present, emit_count, 0..end);
         self.lv_state = state;
         result
     }
 
-    fn levelized_sweep(
+    /// Hybrid engine: walks the SCC condensation's topological order,
+    /// sweeping dense (acyclic) runs exactly like the levelized engine
+    /// and iterating each nontrivial SCC to its local constructive
+    /// fixpoint. Acyclic work stays O(nets); only cycles pay for
+    /// ⊥-iteration.
+    fn hybrid_fixpoint(
+        &mut self,
+        circuit: &Circuit,
+        input_present: &[bool],
+        emit_count: &mut [u32],
+    ) -> Result<(), RuntimeError> {
+        let hybrid = self.hybrid.clone();
+        let mut state = std::mem::take(&mut self.lv_state);
+        state.reset(circuit.nets().len());
+        let mut result = Ok(());
+        for block in &hybrid.blocks {
+            result = match *block {
+                Block::Dense { start, end } => self.sweep_range(
+                    circuit,
+                    &hybrid.sched,
+                    &mut state,
+                    input_present,
+                    emit_count,
+                    start as usize..end as usize,
+                ),
+                Block::Cyclic { start, end } => self.iterate_scc(
+                    circuit,
+                    &hybrid.sched,
+                    &mut state,
+                    input_present,
+                    emit_count,
+                    start as usize..end as usize,
+                ),
+            };
+            if result.is_err() {
+                break;
+            }
+        }
+        self.lv_state = state;
+        result
+    }
+
+    /// Iterates one strongly connected component (positions `range` of
+    /// the hybrid order) with the naive sweep rules until its local
+    /// fixpoint, then publishes the members into the packed states for
+    /// downstream dense sweeps. A member left ⊥ (or unresolved) is a
+    /// constructive deadlock: reported exactly like the FIFO engine's
+    /// end-of-reaction causality check, but scoped to this SCC.
+    fn iterate_scc(
         &mut self,
         circuit: &Circuit,
         sched: &LevelSchedule,
         state: &mut PackedStates,
         input_present: &[bool],
         emit_count: &mut [u32],
+        range: std::ops::Range<usize>,
+    ) -> Result<(), RuntimeError> {
+        let members = &sched.order[range];
+        // Sources cannot sit on a combinational cycle, but dep-edge-only
+        // SCCs may contain them; seed them like the FIFO engine does.
+        for &id in members {
+            let i = id as usize;
+            if self.class[i] == Class::Source {
+                let v = match circuit.nets()[i].kind {
+                    NetKind::Const(c) => c,
+                    NetKind::Input => input_present[i],
+                    NetKind::RegOut(r) => self.regs[r.index()],
+                    _ => unreachable!("source net with gate kind"),
+                };
+                self.value[i] = v as i8;
+                self.resolved[i] = true;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for &id in members {
+                changed |= self.step_net(circuit, id as usize, emit_count)?;
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut stuck_members = Vec::new();
+        for &id in members {
+            let i = id as usize;
+            if self.value[i] < 0 || !self.resolved[i] {
+                stuck_members.push(i);
+            } else {
+                state.set(i, self.value[i] == 1);
+            }
+        }
+        if !stuck_members.is_empty() {
+            let mut stuck = vec![false; circuit.nets().len()];
+            for &i in &stuck_members {
+                stuck[i] = true;
+            }
+            let report = analyze(circuit, &stuck, stuck_members.len(), self.seq);
+            if !self.sinks.is_empty() {
+                self.emit_trace(TraceEvent::CausalityFailure { report: &report });
+            }
+            return Err(RuntimeError::Causality {
+                cycle: report.nets.clone(),
+                undetermined: stuck_members.len(),
+                report,
+            });
+        }
+        Ok(())
+    }
+
+    /// One dense pass over positions `range` of `sched.order`: each net
+    /// is computed exactly once (all fanins and dependencies stabilized
+    /// earlier in the order) and additionally marked resolved so cyclic
+    /// blocks downstream see it as a settled dependency.
+    fn sweep_range(
+        &mut self,
+        circuit: &Circuit,
+        sched: &LevelSchedule,
+        state: &mut PackedStates,
+        input_present: &[bool],
+        emit_count: &mut [u32],
+        range: std::ops::Range<usize>,
     ) -> Result<(), RuntimeError> {
         // Folds a gate's fanins with an early exit on the controlling
         // value (OR: any 1 → 1; AND: any 0 → 0).
@@ -1039,7 +1192,8 @@ impl Machine {
             !controlling
         }
 
-        for &id in &sched.order {
+        let nets = &sched.order[range];
+        for &id in nets {
             let i = id as usize;
             let v = match sched.code[i] {
                 CODE_CONST0 => false,
@@ -1074,6 +1228,7 @@ impl Machine {
             };
             state.set(i, v);
             self.value[i] = v as i8;
+            self.resolved[i] = true;
             if self.fine_events {
                 self.emit_trace(TraceEvent::NetStabilized {
                     net: id,
@@ -1082,7 +1237,7 @@ impl Machine {
                 });
             }
         }
-        self.events += sched.order.len();
+        self.events += nets.len();
         Ok(())
     }
 
@@ -1097,93 +1252,110 @@ impl Machine {
         loop {
             let mut changed = false;
             for i in 0..n {
-                self.events += 1;
-                if self.resolved[i] {
-                    continue;
-                }
-                let net = &circuit.nets()[i];
-                let deps_ok = net.deps.iter().all(|d| self.resolved[d.index()]);
-                match self.class[i] {
-                    Class::Source => {}
-                    Class::Test => {
-                        let f = net.fanins[0];
-                        let c = self.value[f.net.index()];
-                        if c < 0 {
-                            continue;
-                        }
-                        let control = (c == 1) ^ f.negated;
-                        if !control {
-                            self.value[i] = 0;
-                            self.resolved[i] = true;
-                            changed = true;
-                        } else if deps_ok {
-                            let v = self.eval_test(circuit, i as u32);
-                            self.value[i] = v as i8;
-                            self.resolved[i] = true;
-                            changed = true;
-                        }
-                    }
-                    Class::Gate | Class::Early | Class::Late => {
-                        // Ternary gate evaluation.
-                        let controlling = self.is_or[i];
-                        let mut any_controlling = false;
-                        let mut all_known = true;
-                        for f in &net.fanins {
-                            let v = self.value[f.net.index()];
-                            if v < 0 {
-                                all_known = false;
-                            } else if ((v == 1) ^ f.negated) == controlling {
-                                any_controlling = true;
-                            }
-                        }
-                        let value = if any_controlling {
-                            Some(controlling)
-                        } else if all_known {
-                            Some(!controlling)
-                        } else {
-                            None
-                        };
-                        let Some(v) = value else { continue };
-                        match self.class[i] {
-                            Class::Gate => {
-                                self.value[i] = v as i8;
-                                self.resolved[i] = true;
-                                changed = true;
-                            }
-                            Class::Early => {
-                                if self.value[i] < 0 {
-                                    self.value[i] = v as i8;
-                                    changed = true;
-                                }
-                                if !v {
-                                    self.resolved[i] = true;
-                                } else if deps_ok {
-                                    self.run_action(circuit, i as u32, emit_count)?;
-                                    self.resolved[i] = true;
-                                    changed = true;
-                                }
-                            }
-                            Class::Late => {
-                                if !v {
-                                    self.value[i] = 0;
-                                    self.resolved[i] = true;
-                                    changed = true;
-                                } else if deps_ok {
-                                    self.run_action(circuit, i as u32, emit_count)?;
-                                    self.value[i] = 1;
-                                    self.resolved[i] = true;
-                                    changed = true;
-                                }
-                            }
-                            _ => unreachable!(),
-                        }
-                    }
-                }
+                changed |= self.step_net(circuit, i, emit_count)?;
             }
             if !changed {
                 return Ok(());
             }
         }
+    }
+
+    /// One evaluation attempt of net `i` under the sweep engines' ternary
+    /// rules; returns whether anything changed. Shared by the naive
+    /// reference engine (full-circuit sweeps) and the hybrid engine's
+    /// per-SCC iteration.
+    fn step_net(
+        &mut self,
+        circuit: &Circuit,
+        i: usize,
+        emit_count: &mut [u32],
+    ) -> Result<bool, RuntimeError> {
+        self.events += 1;
+        if self.resolved[i] {
+            return Ok(false);
+        }
+        let net = &circuit.nets()[i];
+        let deps_ok = net.deps.iter().all(|d| self.resolved[d.index()]);
+        let mut changed = false;
+        match self.class[i] {
+            Class::Source => {}
+            Class::Test => {
+                let f = net.fanins[0];
+                let c = self.value[f.net.index()];
+                if c < 0 {
+                    return Ok(false);
+                }
+                let control = (c == 1) ^ f.negated;
+                if !control {
+                    self.value[i] = 0;
+                    self.resolved[i] = true;
+                    changed = true;
+                } else if deps_ok {
+                    let v = self.eval_test(circuit, i as u32);
+                    self.value[i] = v as i8;
+                    self.resolved[i] = true;
+                    changed = true;
+                }
+            }
+            Class::Gate | Class::Early | Class::Late => {
+                // Ternary gate evaluation.
+                let controlling = self.is_or[i];
+                let mut any_controlling = false;
+                let mut all_known = true;
+                for f in &net.fanins {
+                    let v = self.value[f.net.index()];
+                    if v < 0 {
+                        all_known = false;
+                    } else if ((v == 1) ^ f.negated) == controlling {
+                        any_controlling = true;
+                    }
+                }
+                let value = if any_controlling {
+                    Some(controlling)
+                } else if all_known {
+                    Some(!controlling)
+                } else {
+                    None
+                };
+                let Some(v) = value else {
+                    return Ok(false);
+                };
+                match self.class[i] {
+                    Class::Gate => {
+                        self.value[i] = v as i8;
+                        self.resolved[i] = true;
+                        changed = true;
+                    }
+                    Class::Early => {
+                        if self.value[i] < 0 {
+                            self.value[i] = v as i8;
+                            changed = true;
+                        }
+                        if !v {
+                            self.resolved[i] = true;
+                        } else if deps_ok {
+                            self.run_action(circuit, i as u32, emit_count)?;
+                            self.resolved[i] = true;
+                            changed = true;
+                        }
+                    }
+                    Class::Late => {
+                        if !v {
+                            self.value[i] = 0;
+                            self.resolved[i] = true;
+                            changed = true;
+                        } else if deps_ok {
+                            self.run_action(circuit, i as u32, emit_count)?;
+                            self.value[i] = 1;
+                            self.resolved[i] = true;
+                            changed = true;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        Ok(changed)
     }
 
     fn feed(

@@ -1,6 +1,6 @@
 //! Engine-selection semantics: acyclic circuits get the levelized
-//! schedule, statically cyclic circuits fall back to the constructive
-//! FIFO engine — including circuits that are cyclic *but constructive*
+//! schedule, statically cyclic circuits default to the SCC-condensed
+//! hybrid engine — including circuits that are cyclic *but constructive*
 //! (they converge), which the levelized engine can never run because
 //! topological levels do not exist for them.
 
@@ -59,20 +59,25 @@ fn acyclic_circuits_default_to_levelized() {
 }
 
 #[test]
-fn cyclic_circuits_fall_back_to_constructive() {
+fn cyclic_circuits_default_to_hybrid() {
     let mut m = cyclic_but_constructive();
-    assert_eq!(m.engine(), EngineMode::Constructive, "no levelized schedule exists");
+    assert_eq!(m.engine(), EngineMode::Hybrid, "no levelized schedule exists");
     assert!(m.levelization().is_none());
     // An explicit levelized request cannot be honored either — the
-    // resolved engine stays constructive.
-    assert_eq!(m.set_engine(EngineMode::Levelized), EngineMode::Constructive);
-    // …but an explicit naive request is.
+    // resolved engine stays hybrid (dense sweeps outside the SCCs).
+    assert_eq!(m.set_engine(EngineMode::Levelized), EngineMode::Hybrid);
+    // …but explicit constructive / naive requests are.
+    assert_eq!(m.set_engine(EngineMode::Constructive), EngineMode::Constructive);
     assert_eq!(m.set_engine(EngineMode::Naive), EngineMode::Naive);
 }
 
 #[test]
 fn cyclic_but_constructive_converges_without_the_input() {
-    for mode in [EngineMode::Constructive, EngineMode::Naive] {
+    for mode in [
+        EngineMode::Constructive,
+        EngineMode::Naive,
+        EngineMode::Hybrid,
+    ] {
         let mut m = cyclic_but_constructive();
         m.set_engine(mode);
         let r = m.react().expect("constructive convergence");
@@ -82,7 +87,11 @@ fn cyclic_but_constructive_converges_without_the_input() {
 
 #[test]
 fn cyclic_but_constructive_deadlocks_with_the_input() {
-    for mode in [EngineMode::Constructive, EngineMode::Naive] {
+    for mode in [
+        EngineMode::Constructive,
+        EngineMode::Naive,
+        EngineMode::Hybrid,
+    ] {
         let mut m = cyclic_but_constructive();
         m.set_engine(mode);
         let err = m
@@ -106,6 +115,7 @@ fn explicit_engine_requests_are_honored_on_acyclic_circuits() {
         EngineMode::Levelized,
         EngineMode::Constructive,
         EngineMode::Naive,
+        EngineMode::Hybrid,
     ] {
         let mut m = abro();
         assert_eq!(m.set_engine(mode), mode);

@@ -102,11 +102,11 @@ fn hot_swap_rebuilds_the_levelized_schedule() {
     m.react_with(&[("inc", Value::Bool(true))]).unwrap();
 
     // Acyclic → cyclic: the schedule is gone, the engine resolution
-    // falls back to constructive for the swapped circuit.
+    // falls back to the hybrid engine for the swapped circuit.
     let c2 = compile_module(&cyclic_module(), &ModuleRegistry::new()).unwrap();
     assert!(c2.levels.is_none(), "the swapped-in circuit is cyclic");
     m.hot_swap(c2.circuit).expect("finalized circuit");
-    assert_eq!(m.engine(), EngineMode::Constructive);
+    assert_eq!(m.engine(), EngineMode::Hybrid);
     assert!(m.levelization().is_none());
     m.react().unwrap();
 

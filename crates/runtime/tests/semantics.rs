@@ -279,30 +279,36 @@ fn local_signal_same_instant_broadcast() {
 #[test]
 fn causality_error_on_negative_self_loop() {
     // if (!X.now) emit X  — the paper's §5.2 example "emit X if you don't
-    // receive it".
+    // receive it". The static constructiveness analysis rejects it at
+    // construction time, before any reaction.
     let body = Stmt::local(
         vec![SignalDecl::new("X", Direction::Local)],
         Stmt::if_(Expr::now("X").not(), Stmt::emit("X")),
     );
-    let mut m = machine(body, &[]);
-    let err = m.react().unwrap_err();
+    let err = machine_for(
+        &Module::new("test").body(body),
+        &ModuleRegistry::new(),
+    )
+    .expect_err("statically non-constructive");
     match err {
-        RuntimeError::Causality { undetermined, .. } => assert!(undetermined > 0),
-        other => panic!("expected causality error, got {other}"),
+        hiphop_compiler::CompileError::NonConstructive { report, .. } => {
+            assert!(report.contains('X'), "the report names the signal: {report}")
+        }
+        other => panic!("expected static non-constructive rejection, got {other}"),
     }
 }
 
 #[test]
 fn positive_self_loop_is_also_non_constructive() {
-    // if (X.now) emit X — also rejected by constructive semantics.
+    // if (X.now) emit X — also rejected by constructive semantics, and
+    // also statically (X has no constructive justification).
     let body = Stmt::local(
         vec![SignalDecl::new("X", Direction::Local)],
         Stmt::if_(Expr::now("X"), Stmt::emit("X")),
     );
-    let mut m = machine(body, &[]);
     assert!(matches!(
-        m.react().unwrap_err(),
-        RuntimeError::Causality { .. }
+        machine_for(&Module::new("test").body(body), &ModuleRegistry::new()),
+        Err(hiphop_compiler::CompileError::NonConstructive { .. })
     ));
 }
 

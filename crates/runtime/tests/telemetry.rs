@@ -152,12 +152,18 @@ fn jsonl_trace_has_reaction_and_net_events() {
 #[test]
 fn causality_report_names_the_cycle_signal() {
     // if (!X.now) emit X — the paper's §5.2 non-constructive classic.
+    // The static analysis now rejects it at machine construction with
+    // the same structured report a runtime deadlock would produce.
     let body = Stmt::local(
         vec![SignalDecl::new("X", Direction::Local)],
         Stmt::if_(Expr::now("X").not(), Stmt::emit("X")),
     );
-    let mut m = machine(body, &[]);
-    let err = m.react().unwrap_err();
+    let compiled = hiphop_compiler::compile_module(
+        &Module::new("test").body(body),
+        &ModuleRegistry::new(),
+    )
+    .unwrap();
+    let err = Machine::new(compiled.circuit).expect_err("statically non-constructive");
     let RuntimeError::Causality { report, cycle, .. } = err else {
         panic!("expected causality error");
     };
@@ -183,15 +189,24 @@ fn causality_report_names_the_cycle_signal() {
 
 #[test]
 fn causality_failure_reaches_the_sinks() {
+    // An *input-dependent* cycle passes the static analysis but
+    // deadlocks at runtime when `I` is present — the failure flows
+    // through the hybrid engine's per-SCC causality check to the sinks.
     let body = Stmt::local(
-        vec![SignalDecl::new("X", Direction::Local)],
-        Stmt::if_(Expr::now("X").not(), Stmt::emit("X")),
+        vec![
+            SignalDecl::new("X", Direction::Local),
+            SignalDecl::new("Y", Direction::Local),
+        ],
+        Stmt::par([
+            Stmt::if_(Expr::now("Y").or(Expr::now("Y").not()), Stmt::emit("X")),
+            Stmt::if_(Expr::now("X").and(Expr::now("I")), Stmt::emit("Y")),
+        ]),
     );
-    let mut m = machine(body, &[]);
+    let mut m = machine(body, &[("I", Direction::In)]);
     let metrics = m.enable_metrics();
     let (sink, buf) = JsonlSink::buffered();
     m.attach_sink(shared(sink));
-    assert!(m.react().is_err());
+    assert!(m.react_with(&[("I", Value::Bool(true))]).is_err());
     m.finish_sinks();
     assert_eq!(metrics.borrow().snapshot().causality_failures, 1);
     assert!(buf.text().contains("\"type\":\"causality\""), "{}", buf.text());

@@ -74,6 +74,7 @@ fn chaos_faults_roll_back_and_never_diverge() {
             EngineMode::Levelized,
             EngineMode::Constructive,
             EngineMode::Naive,
+            EngineMode::Hybrid,
         ] {
             let build = || {
                 let c = compile_module_with(

@@ -329,6 +329,7 @@ fn all_engines_agree_with_the_interpreter() {
             EngineMode::Levelized,
             EngineMode::Constructive,
             EngineMode::Naive,
+            EngineMode::Hybrid,
         ] {
             assert_eq!(
                 engine_trace(mode),
@@ -359,7 +360,12 @@ fn naive_and_event_driven_engines_agree() {
 }
 
 #[test]
-fn naive_engine_detects_the_same_causality_errors() {
+fn self_loops_are_rejected_statically_for_every_engine() {
+    // Both self-loop polarities (`X = not X` and `X = X`) used to
+    // deadlock at runtime under every engine; the static
+    // constructiveness analysis now rejects them at `Machine::new`
+    // with the same structured causality report, so no engine ever
+    // sees a reaction.
     for flip in [false, true] {
         let body = if flip {
             Stmt::local(
@@ -375,9 +381,10 @@ fn naive_engine_detects_the_same_causality_errors() {
         let module = Module::new("cyc").body(body);
         let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
             .expect("compiles");
-        let mut m = Machine::new(c.circuit).expect("finalized circuit");
-        m.set_naive(true);
-        let causality = matches!(m.react(), Err(RuntimeError::Causality { .. }));
+        let causality = matches!(
+            Machine::new(c.circuit),
+            Err(RuntimeError::Causality { .. })
+        );
         assert!(causality, "flip {flip}");
     }
 }
