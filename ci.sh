@@ -7,8 +7,20 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release --workspace --offline
 
-echo "==> cargo test -q"
-cargo test -q --workspace --offline
+echo "==> cargo test -q (with test-count regression guard)"
+TEST_OUT=$(cargo test -q --workspace --offline 2>&1)
+printf '%s\n' "$TEST_OUT"
+TOTAL=$(printf '%s\n' "$TEST_OUT" \
+    | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p' \
+    | awk '{s+=$1} END {print s+0}')
+echo "    workspace test count: $TOTAL"
+# Regression guard: the suite only ever grows. Raise the floor when
+# you add tests; never lower it.
+MIN_TESTS=410
+if [ "$TOTAL" -lt "$MIN_TESTS" ]; then
+    echo "ci: workspace test count regressed below $MIN_TESTS (got $TOTAL)" >&2
+    exit 1
+fi
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -54,5 +66,28 @@ HIPHOP_CHAOS_SEEDS="${HIPHOP_CHAOS_SEEDS:-100}"
 echo "==> chaos fault-injection sweep (${HIPHOP_CHAOS_SEEDS} seeds)"
 HIPHOP_CHAOS_SEEDS="$HIPHOP_CHAOS_SEEDS" \
     cargo test -q --offline --test chaos
+
+# Esterel-kernel conformance battery: hand-written per-instant emission
+# oracles for abort/weakabort/suspend/every/traps/sustain/counted
+# await/reincarnation, each checked under all four engines AND the
+# reference interpreter (tests/conformance.rs).
+echo "==> Esterel-kernel conformance battery (4 engines + interpreter)"
+cargo test -q --offline --test conformance
+
+# Session-pool smoke: a deterministic 64-session / 4-shard serve run on
+# the virtual clock must report its metrics JSON with a nonzero
+# reaction count and a digest.
+echo "==> session-pool serve smoke (64 sessions / 4 shards)"
+SERVE_JSON=$(./target/release/hiphopc serve --sessions 64 --shards 4 --ticks 8 2>/dev/null)
+REACTIONS=$(printf '%s' "$SERVE_JSON" | grep -o '"reactions":[0-9]*' | head -1 | cut -d: -f2)
+if [ -z "$REACTIONS" ] || [ "$REACTIONS" -le 0 ]; then
+    echo "ci: serve smoke reported no reactions: $SERVE_JSON" >&2
+    exit 1
+fi
+case "$SERVE_JSON" in
+    *'"digest":"'*) : ;;
+    *) echo "ci: serve smoke JSON has no digest: $SERVE_JSON" >&2; exit 1 ;;
+esac
+echo "    serve: $REACTIONS reactions across 4 shards"
 
 echo "ci: all green"

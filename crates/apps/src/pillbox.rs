@@ -134,6 +134,25 @@ impl Pillbox {
         })
     }
 
+    /// Wraps an already-configured machine (engine selected, trace sinks
+    /// attached), boots it, and starts the clock at `start_minute_of_day`.
+    /// This is how the golden-trace tests capture the boot instant: the
+    /// plain [`Pillbox::new`] boots before a sink can be attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the boot-reaction error.
+    pub fn from_machine(
+        mut machine: Machine,
+        start_minute_of_day: u64,
+    ) -> Result<Pillbox, RuntimeError> {
+        machine.react()?;
+        Ok(Pillbox {
+            machine,
+            minute_of_day: start_minute_of_day,
+        })
+    }
+
     fn minute_inputs(&self) -> Vec<(&'static str, Value)> {
         vec![
             ("Mn", Value::Bool(true)),
@@ -221,6 +240,10 @@ impl Pillbox {
     /// Access to the underlying machine (for the GUI layer).
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+    /// Mutable access to the underlying machine (sink management).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
     }
 }
 

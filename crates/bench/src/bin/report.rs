@@ -4,8 +4,8 @@
 
 use hiphop_bench::{
     chaos_overhead, engine_comparison, hybrid_comparison, linear_fit,
-    login_v2_abort_comparison, memory_table, optimizer_ablation, schizo_sweep, size_sweep,
-    skini_latency, telemetry_metrics,
+    login_v2_abort_comparison, memory_table, optimizer_ablation, pool_scaling, schizo_sweep,
+    size_sweep, skini_latency, telemetry_metrics,
 };
 
 fn main() {
@@ -186,6 +186,7 @@ fn main() {
         p50(hiphop_runtime::EngineMode::Constructive)
             / p50(hiphop_runtime::EngineMode::Levelized)
     );
+    let e7_levelized_p50 = p50(hiphop_runtime::EngineMode::Levelized);
 
     // ------------------------------------------------------------------- E8
     println!("\nE8 — robustness overhead (same 640-stmt workload; rollback & fault injection)");
@@ -250,6 +251,48 @@ fn main() {
         "acyclic regression check: E7's hybrid row runs the identical dense levelized"
     );
     println!("schedule, so the acyclic 640-stmt workload is unaffected by the new default.");
+
+    // ------------------------------------------------------------------ E10
+    println!("\nE10 — sharded session pool (one 640-stmt machine per session, batched ticks;");
+    println!("throughput measured on the pool critical path — the per-tick maximum across");
+    println!("shards of sweep time, i.e. the rate an N-core host sustains)");
+    println!(
+        "{:<10} {:>7} {:>10} {:>10} {:>11} {:>16}",
+        "sessions", "shards", "p50 (µs)", "p95 (µs)", "reactions", "throughput (r/s)"
+    );
+    let rows = pool_scaling(640, &[64, 1000], &[1, 2, 4, 8], 8, 2020);
+    for r in &rows {
+        println!(
+            "{:<10} {:>7} {:>10.1} {:>10.1} {:>11} {:>16.0}",
+            r.sessions,
+            r.shards,
+            r.metrics.duration_us.p50,
+            r.metrics.duration_us.p95,
+            r.metrics.reactions,
+            r.metrics.throughput_rps(),
+        );
+    }
+    let tp = |sessions: u64, shards: usize| {
+        rows.iter()
+            .find(|r| r.sessions == sessions && r.shards == shards)
+            .map(|r| r.metrics.throughput_rps())
+            .unwrap_or(f64::NAN)
+    };
+    let scale = tp(1000, 8) / tp(1000, 1);
+    println!(
+        "8-shard / 1-shard critical-path throughput on 1000 sessions: {scale:.2}× {}",
+        if scale >= 3.0 { "(≥ 3× target)" } else { "(UNDER 3× target)" }
+    );
+    // No-regression: a 1-shard single-session pool runs the very E7
+    // drive through the pool plumbing; the sinks time the reactions
+    // themselves, so its p50 is directly comparable to E7/E9.
+    let single = pool_scaling(640, &[1], &[1], 500, 2020);
+    let pool_p50 = single[0].metrics.duration_us.p50;
+    let ratio = pool_p50 / e7_levelized_p50;
+    println!(
+        "1-shard single-session p50: {pool_p50:.1} µs vs E7 levelized {e7_levelized_p50:.1} µs ({ratio:.2}×) {}",
+        if ratio <= 1.15 { "(no regression)" } else { "(REGRESSION over 15%)" }
+    );
 
     println!("\ndone.");
 }

@@ -454,6 +454,93 @@ pub fn chaos_overhead(n: usize, instants: usize, seed: u64) -> Vec<ChaosRow> {
         .collect()
 }
 
+/// One cell of the E10 session-pool scaling table.
+#[derive(Debug, Clone)]
+pub struct PoolRow {
+    /// Concurrent sessions.
+    pub sessions: u64,
+    /// Pool shards.
+    pub shards: usize,
+    /// Pool-wide roll-up (reactions, latency percentiles, critical
+    /// path).
+    pub metrics: hiphop_runtime::PoolMetrics,
+}
+
+thread_local! {
+    // Shard threads build one machine per session from the same
+    // circuit: compile once per thread, clone per machine.
+    static POOL_CIRCUIT: RefCell<Option<((usize, u64), hiphop_circuit::Circuit)>> =
+        const { RefCell::new(None) };
+}
+
+fn pool_machine(n: usize, seed: u64) -> Result<Machine, String> {
+    let circuit = POOL_CIRCUIT.with(|c| -> Result<hiphop_circuit::Circuit, String> {
+        let mut c = c.borrow_mut();
+        match &*c {
+            Some((key, circuit)) if *key == (n, seed) => Ok(circuit.clone()),
+            _ => {
+                let module = synthetic_program(n, seed);
+                let compiled = compile_module(&module, &ModuleRegistry::new())
+                    .map_err(|e| e.to_string())?;
+                *c = Some(((n, seed), compiled.circuit.clone()));
+                Ok(compiled.circuit)
+            }
+        }
+    })?;
+    Machine::new(circuit).map_err(|e| e.to_string())
+}
+
+/// E10: the sharded session pool on the E6/E7 synthetic workload. Every
+/// cell opens `sessions` machines of the same `n`-statement program over
+/// `shards` shards and drives `ticks` batched instants with the E7 input
+/// schedule (`i{t%8}` per session per tick). Throughput is measured on
+/// the pool's critical path — the per-tick maximum across shards of
+/// reaction busy time — i.e. the rate an `shards`-core host sustains;
+/// per-reaction latency percentiles come from the same per-shard
+/// telemetry sinks as E7, so the 1-shard single-session cell is directly
+/// comparable to the E7/E9 rows.
+pub fn pool_scaling(
+    n: usize,
+    sessions: &[u64],
+    shards: &[usize],
+    ticks: u64,
+    seed: u64,
+) -> Vec<PoolRow> {
+    let mut rows = Vec::new();
+    for &k in sessions {
+        for &s in shards {
+            let mut pool =
+                hiphop_eventloop::sessions::SessionPool::new(s, 10, move |_id| {
+                    pool_machine(n, seed)
+                });
+            // Serial sweep: on an oversubscribed benchmark host a
+            // concurrently swept shard's wall clock includes descheduled
+            // time; sweeping one shard at a time keeps the per-shard
+            // (and thus critical-path) numbers honest.
+            pool.set_serial_sweep(true);
+            pool.open_many(k).expect("pool opens");
+            for t in 0..ticks {
+                let sig = format!("i{}", t % 8);
+                for id in 0..k {
+                    pool.inject(
+                        hiphop_eventloop::sessions::SessionId(id),
+                        &sig,
+                        Value::Bool(true),
+                    );
+                }
+                let report = pool.tick().expect("tick");
+                assert!(report.faults.is_empty(), "synthetic workload never faults");
+            }
+            rows.push(PoolRow {
+                sessions: k,
+                shards: s,
+                metrics: pool.metrics().expect("metrics"),
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,5 +660,20 @@ mod tests {
         let (nets, lat) = skini_latency(hiphop_skini::ScoreShape::small(), 50, 3);
         assert!(nets > 0);
         assert!(lat.max_ms() < 300.0, "{} ms", lat.max_ms());
+    }
+
+    #[test]
+    fn pool_scaling_rows_account_for_every_reaction() {
+        let rows = pool_scaling(40, &[8], &[1, 2], 4, 7);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.sessions, 8);
+            // Boot + one reaction per session per tick, across shards.
+            assert_eq!(row.metrics.reactions as u64, 8 * (4 + 1));
+            assert!(row.metrics.throughput_rps() > 0.0);
+            assert!(row.metrics.critical_path_us > 0.0);
+        }
+        assert_eq!(rows[0].shards, 1);
+        assert_eq!(rows[1].shards, 2);
     }
 }

@@ -63,6 +63,36 @@ pub struct Options {
     pub format: String,
     /// Lints (by code or name) that make `analyze` exit non-zero.
     pub deny: Vec<String>,
+    /// Session-pool knobs for `serve`.
+    pub serve: ServeOptions,
+}
+
+/// Knobs for the `serve` subcommand: a sharded multi-session concert
+/// run on the virtual clock (no source file — the score is generated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Audience sessions to open (`--sessions`).
+    pub sessions: u64,
+    /// Pool shards (`--shards`).
+    pub shards: usize,
+    /// Beats to run (`--ticks`).
+    pub ticks: u64,
+    /// Master seed (`--seed`).
+    pub seed: u64,
+    /// Generated score family (`--shape small|concert|classical`).
+    pub shape: String,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            sessions: 16,
+            shards: 4,
+            ticks: 32,
+            seed: 0,
+            shape: "small".to_owned(),
+        }
+    }
 }
 
 /// Seeded fault injection knobs (`--chaos-seed` / `--chaos-rate`).
@@ -144,6 +174,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut chaos = ChaosOptions::default();
     let mut format = "pretty".to_owned();
     let mut deny = Vec::new();
+    let mut serve = ServeOptions::default();
+    let uint = |flag: &str, v: Option<&String>| -> Result<u64, CliError> {
+        v.ok_or_else(|| fail(format!("{flag} needs an integer")))?
+            .parse()
+            .map_err(|e| fail(format!("{flag}: {e}")))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--engine" => {
@@ -203,6 +239,26 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                         .clone(),
                 )
             }
+            "--sessions" => serve.sessions = uint("--sessions", it.next())?,
+            "--shards" => {
+                serve.shards = uint("--shards", it.next())? as usize;
+                if serve.shards == 0 {
+                    return Err(fail("--shards must be at least 1"));
+                }
+            }
+            "--ticks" => serve.ticks = uint("--ticks", it.next())?,
+            "--seed" => serve.seed = uint("--seed", it.next())?,
+            "--shape" => {
+                let s = it
+                    .next()
+                    .ok_or_else(|| fail("--shape needs `small`, `concert` or `classical`"))?;
+                if !["small", "concert", "classical"].contains(&s.as_str()) {
+                    return Err(fail(format!(
+                        "--shape must be `small`, `concert` or `classical`, not `{s}`"
+                    )));
+                }
+                serve.shape = s.clone();
+            }
             "--chaos-seed" => {
                 chaos.seed = it
                     .next()
@@ -227,9 +283,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             other => return Err(fail(format!("unknown argument `{other}`\n{USAGE}"))),
         }
     }
+    let file = if command == "serve" {
+        // `serve` runs a generated score: no source file.
+        file.unwrap_or_default()
+    } else {
+        file.ok_or_else(|| fail(format!("missing source file\n{USAGE}")))?
+    };
     Ok(Options {
         command,
-        file: file.ok_or_else(|| fail(format!("missing source file\n{USAGE}")))?,
+        file,
         main,
         no_optimize,
         stimulus,
@@ -238,11 +300,73 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         chaos,
         format,
         deny,
+        serve,
+    })
+}
+
+/// Output of [`cmd_serve`]: a one-line JSON summary for stdout plus the
+/// optional rendered pool-metrics table (stderr).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// One JSON object summarising the run (stdout).
+    pub json: String,
+    /// Rendered `--metrics` pool table, when requested.
+    pub metrics: Option<String>,
+}
+
+/// `serve`: opens `--sessions` audience sessions over `--shards` shards
+/// of a [`hiphop_eventloop::sessions::SessionPool`] and drives `--ticks`
+/// beats of the generated Skini concert deterministically on the virtual
+/// clock. Prints a one-line JSON summary; `--metrics` adds the per-shard
+/// roll-up table.
+///
+/// # Errors
+///
+/// Fails on an unknown `--shape`, a score compile error, or a dead
+/// shard. Injected chaos faults (from `--chaos-rate`) roll back and are
+/// counted, not fatal.
+pub fn cmd_serve(
+    serve: &ServeOptions,
+    chaos: &ChaosOptions,
+    metrics: bool,
+) -> Result<ServeReport, CliError> {
+    let shape = match serve.shape.as_str() {
+        "small" => hiphop_skini::ScoreShape::small(),
+        "concert" => hiphop_skini::ScoreShape::concert(),
+        "classical" => hiphop_skini::ScoreShape::classical(),
+        other => return Err(fail(format!("unknown --shape `{other}`"))),
+    };
+    let cfg = hiphop_skini::ConcertConfig {
+        sessions: serve.sessions,
+        shards: serve.shards,
+        ticks: serve.ticks,
+        seed: serve.seed,
+        shape,
+        chaos_rate: chaos.rate,
+    };
+    let report = hiphop_skini::concert::run(&cfg).map_err(fail)?;
+    let json = format!(
+        "{{\"sessions\":{},\"shards\":{},\"ticks\":{},\"shape\":\"{}\",\"seed\":{},\"enqueued\":{},\"played\":{},\"faults\":{},\"digest\":\"{:016x}\",\"pool\":{}}}",
+        report.sessions,
+        serve.shards,
+        report.ticks,
+        serve.shape,
+        serve.seed,
+        report.enqueued,
+        report.played,
+        report.faults,
+        report.digest,
+        report.metrics.to_json(),
+    );
+    Ok(ServeReport {
+        json,
+        metrics: metrics.then(|| hiphop_runtime::Metrics::render_pool(&report.metrics)),
     })
 }
 
 /// Usage text.
 pub const USAGE: &str = "usage: hiphopc <check|analyze|stats|pretty|dot|run|trace|oracle> FILE [--main MODULE] [--no-optimize] [--stimulus S] [--engine E]
+       hiphopc serve [--sessions N] [--shards N] [--ticks N] [--seed N] [--shape S] [--metrics]
   check   parse, link and statically check the program
   analyze compile and lint the circuit: constructiveness verdicts per
           cyclic SCC, emission hygiene, dead nets
@@ -254,6 +378,12 @@ pub const USAGE: &str = "usage: hiphopc <check|analyze|stats|pretty|dot|run|trac
   trace   render the output waveform for --stimulus \"A;B;;A B\"
   oracle  run --stimulus through the machine AND the reference
           interpreter, reporting any disagreement
+  serve   run a sharded multi-session Skini concert on the virtual
+          clock: --sessions audience sessions over --shards shards for
+          --ticks beats (--shape small|concert|classical, --seed N);
+          prints a one-line JSON summary, --metrics adds the per-shard
+          table, --chaos-rate injects per-session faults (the fault
+          streams derive from --seed)
 analyze flags:
   --format pretty|json   human-readable lines (default) or one JSON
                          object per lint
@@ -1201,6 +1331,88 @@ mod tests {
             .stdout
         };
         assert_eq!(run(), run(), "same seed, same fault schedule");
+    }
+
+    #[test]
+    fn parse_args_serve_flags() {
+        let o = parse_args(&[
+            "serve".into(),
+            "--sessions".into(),
+            "64".into(),
+            "--shards".into(),
+            "4".into(),
+            "--ticks".into(),
+            "10".into(),
+            "--seed".into(),
+            "9".into(),
+            "--shape".into(),
+            "concert".into(),
+            "--metrics".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.command, "serve");
+        assert_eq!(o.file, "", "serve needs no source file");
+        assert_eq!(o.serve.sessions, 64);
+        assert_eq!(o.serve.shards, 4);
+        assert_eq!(o.serve.ticks, 10);
+        assert_eq!(o.serve.seed, 9);
+        assert_eq!(o.serve.shape, "concert");
+        assert!(o.telemetry.metrics);
+        // Defaults.
+        let o = parse_args(&["serve".into()]).unwrap();
+        assert_eq!(o.serve, ServeOptions::default());
+        assert!(parse_args(&["serve".into(), "--shards".into(), "0".into()]).is_err());
+        assert!(parse_args(&["serve".into(), "--shape".into(), "opera".into()]).is_err());
+        assert!(parse_args(&["serve".into(), "--sessions".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_runs_a_deterministic_pool() {
+        let opts = ServeOptions {
+            sessions: 12,
+            shards: 3,
+            ticks: 8,
+            seed: 4,
+            shape: "small".to_owned(),
+        };
+        let report = cmd_serve(&opts, &ChaosOptions::default(), true).unwrap();
+        assert!(report.json.starts_with("{\"sessions\":12,"), "{}", report.json);
+        // Boot + one reaction per session per tick.
+        assert!(report.json.contains("\"reactions\":108"), "{}", report.json);
+        assert!(report.json.contains("\"faults\":0"), "{}", report.json);
+        let table = report.metrics.expect("--metrics requested");
+        assert!(table.contains("12 session(s) over 3 shard(s)"), "{table}");
+        // Same seed replays the same run (timing fields aside); the
+        // digest is shard-agnostic.
+        let digest_of = |json: &str| {
+            json.split("\"digest\":\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .map(str::to_owned)
+        };
+        let rerun = cmd_serve(&opts, &ChaosOptions::default(), false).unwrap();
+        assert_eq!(digest_of(&rerun.json), digest_of(&report.json));
+        let one_shard = cmd_serve(
+            &ServeOptions { shards: 1, ..opts.clone() },
+            &ChaosOptions::default(),
+            false,
+        )
+        .unwrap();
+        assert_eq!(digest_of(&one_shard.json), digest_of(&report.json));
+    }
+
+    #[test]
+    fn serve_with_chaos_counts_faults() {
+        let opts = ServeOptions {
+            sessions: 8,
+            shards: 2,
+            ticks: 16,
+            seed: 3,
+            shape: "small".to_owned(),
+        };
+        let report =
+            cmd_serve(&opts, &ChaosOptions { seed: 0, rate: 0.1 }, false).unwrap();
+        assert!(!report.json.contains("\"faults\":0"), "{}", report.json);
     }
 
     #[test]

@@ -14,6 +14,22 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if opts.command == "serve" {
+        // No source file: the score is generated.
+        match hiphop_cli::cmd_serve(&opts.serve, &opts.chaos, opts.telemetry.metrics) {
+            Ok(report) => {
+                if let Some(table) = &report.metrics {
+                    eprint!("{table}");
+                }
+                println!("{}", report.json);
+                return;
+            }
+            Err(e) => {
+                eprintln!("hiphopc: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod multitier;
+pub mod sessions;
 pub mod stdlib;
 pub mod supervisor;
 

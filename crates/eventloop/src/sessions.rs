@@ -1,0 +1,937 @@
+//! The sharded multi-session server: many reactive machines, one pool.
+//!
+//! The paper's flagship deployment (Skini, §4.2) multiplexes *audiences
+//! of hundreds of concurrent participants*, each driving their own
+//! reactive session, behind one orchestrating server — the shape the
+//! companion multitier paper calls "many clients, one Hop server". A
+//! [`SessionPool`] owns N shards; each shard is a worker thread with its
+//! own virtual-clock [`EventLoop`] and a `SessionId → Machine` map.
+//! Sessions are hash-routed to shards, driven by batched input events:
+//! [`SessionPool::inject`] buffers `(session, signal, value)` triples and
+//! [`SessionPool::tick`] sweeps every shard in parallel, running one
+//! reaction per session and draining per-session output batches.
+//!
+//! # Threading model
+//!
+//! [`Machine`] is deliberately single-threaded (`Rc`-based sinks,
+//! listeners and async hooks), so machines never cross threads: each
+//! shard *constructs its own machines* from a `Send + Sync` factory
+//! closure and everything that flows over the command channels —
+//! [`SessionId`], signal names, [`Value`]s, [`OutputEvent`]s, metric
+//! snapshots — is plain `Send` data.
+//!
+//! # Isolation guarantees
+//!
+//! Reactions are atomic under error (machine rollback, PR3): a session
+//! whose reaction fails — injected host panic, causality error — rolls
+//! back to its pre-reaction snapshot and stays serviceable, and its
+//! shard-mates are untouched (their machines share nothing but the
+//! shard's clock and metrics sink). The pool records the fault in the
+//! [`TickReport`] and counts it in the shard's roll-up; with rollback
+//! disabled a poisoned session is quarantined (skipped from then on)
+//! without taking down its shard.
+
+use crate::{Driver, EventLoop};
+use hiphop_core::value::Value;
+use hiphop_runtime::telemetry::shared;
+use hiphop_runtime::{Machine, MetricsSink, OutputEvent, PoolMetrics, ShardRollup};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Stable identifier of one session in a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Builds a session's machine on its shard thread. Fallible so callers
+/// can surface compile errors per session instead of panicking a shard.
+pub type SessionFactory = dyn Fn(SessionId) -> Result<Machine, String> + Send + Sync;
+
+/// SplitMix64 — the pool's deterministic router. `std`'s `HashMap`
+/// hasher is randomly keyed per process, which would make shard
+/// assignment (and therefore every metrics table) nondeterministic.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// One session's committed outputs for one tick (one entry per reaction
+/// the session ran this tick: the swept reaction plus any mailbox
+/// follow-ups).
+#[derive(Debug, Clone)]
+pub struct SessionOutputs {
+    /// The session.
+    pub session: SessionId,
+    /// Output snapshots, exactly as [`hiphop_runtime::Reaction::outputs`].
+    pub outputs: Vec<OutputEvent>,
+    /// Whether the session's program has terminated.
+    pub terminated: bool,
+}
+
+/// A failed (rolled-back) reaction inside a tick.
+#[derive(Debug, Clone)]
+pub struct SessionFault {
+    /// The session whose reaction failed.
+    pub session: SessionId,
+    /// Rendered error.
+    pub error: String,
+    /// Whether the session was quarantined (poisoned with rollback
+    /// disabled); `false` means it rolled back and stays serviceable.
+    pub quarantined: bool,
+}
+
+/// What one [`SessionPool::tick`] observed across every shard.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// Tick number (0-based).
+    pub tick: u64,
+    /// Per-session output batches, ordered by session id.
+    pub outputs: Vec<SessionOutputs>,
+    /// Failed reactions, ordered by session id.
+    pub faults: Vec<SessionFault>,
+    /// Committed reactions this tick.
+    pub reactions: usize,
+    /// Slowest shard's reaction time this tick, microseconds (the
+    /// tick's critical path — shards sweep concurrently).
+    pub critical_path_us: f64,
+}
+
+impl TickReport {
+    /// The output batch for `session`, if it reacted this tick.
+    pub fn session(&self, session: SessionId) -> Option<&SessionOutputs> {
+        self.outputs.iter().find(|o| o.session == session)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard worker protocol. Every payload is Send; machines never cross.
+
+enum Cmd {
+    /// Build machines for the given sessions and run their boot
+    /// reactions. Replies with the boot batch — a failed boot reaction
+    /// rolls back and is reported as a fault; only factory errors are
+    /// fatal.
+    Open(Vec<SessionId>, Sender<Result<ShardTick, String>>),
+    /// Run one reaction per session with the batched inputs, then
+    /// advance the shard clock.
+    Tick {
+        inputs: Vec<(SessionId, String, Value)>,
+        reply: Sender<ShardTick>,
+    },
+    /// State digests of every live session (for isolation tests).
+    Digests(Sender<Vec<(SessionId, String)>>),
+    /// Metrics roll-up snapshot.
+    Metrics(Sender<ShardRollup>),
+    Shutdown,
+}
+
+struct ShardTick {
+    outputs: Vec<SessionOutputs>,
+    faults: Vec<SessionFault>,
+    reactions: usize,
+    busy_us: f64,
+}
+
+struct ShardHandle {
+    tx: Sender<Cmd>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Per-shard worker state — lives entirely on the shard thread.
+struct ShardState {
+    index: usize,
+    tick_ms: u64,
+    el: Rc<RefCell<EventLoop>>,
+    sessions: BTreeMap<SessionId, Slot>,
+    sink: Rc<RefCell<MetricsSink>>,
+    rollbacks: u64,
+    quarantined: usize,
+    factory: Arc<SessionFactory>,
+}
+
+struct Slot {
+    driver: Driver,
+    quarantined: bool,
+}
+
+impl ShardState {
+    fn open(&mut self, ids: Vec<SessionId>) -> Result<ShardTick, String> {
+        let mut out = ShardTick {
+            outputs: Vec::new(),
+            faults: Vec::new(),
+            reactions: 0,
+            busy_us: 0.0,
+        };
+        let t0 = std::time::Instant::now();
+        for id in ids {
+            let mut machine =
+                (self.factory)(id).map_err(|e| format!("shard {}: {id}: {e}", self.index))?;
+            machine.attach_sink(self.sink.clone());
+            let driver = Driver {
+                machine: Rc::new(RefCell::new(machine)),
+                el: self.el.clone(),
+            };
+            let mut quarantined = false;
+            // A failed boot reaction rolls back like any other fault: the
+            // session stays open (un-booted — the next tick runs its
+            // first instant) unless the machine is poisoned.
+            match driver.react(&[]) {
+                Ok(boot) => {
+                    out.reactions += boot.len();
+                    out.outputs.push(SessionOutputs {
+                        session: id,
+                        outputs: boot.iter().flat_map(|r| r.outputs.clone()).collect(),
+                        terminated: boot.iter().any(|r| r.terminated),
+                    });
+                }
+                Err(e) => {
+                    self.rollbacks += 1;
+                    quarantined = driver.machine.borrow().is_poisoned();
+                    if quarantined {
+                        self.quarantined += 1;
+                    }
+                    out.faults.push(SessionFault {
+                        session: id,
+                        error: format!("boot: {e}"),
+                        quarantined,
+                    });
+                }
+            }
+            self.sessions.insert(id, Slot { driver, quarantined });
+        }
+        out.busy_us = t0.elapsed().as_nanos() as f64 / 1e3;
+        Ok(out)
+    }
+
+    fn tick(&mut self, inputs: Vec<(SessionId, String, Value)>) -> ShardTick {
+        let mut per_session: BTreeMap<SessionId, Vec<(String, Value)>> = BTreeMap::new();
+        for (id, signal, value) in inputs {
+            per_session.entry(id).or_default().push((signal, value));
+        }
+        let mut out = ShardTick {
+            outputs: Vec::new(),
+            faults: Vec::new(),
+            reactions: 0,
+            busy_us: 0.0,
+        };
+        let t0 = std::time::Instant::now();
+        for (&id, slot) in &mut self.sessions {
+            if slot.quarantined {
+                continue;
+            }
+            let empty = Vec::new();
+            let inputs = per_session.get(&id).unwrap_or(&empty);
+            let refs: Vec<(&str, Value)> =
+                inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            match slot.driver.react(&refs) {
+                Ok(reactions) => {
+                    out.reactions += reactions.len();
+                    out.outputs.push(SessionOutputs {
+                        session: id,
+                        outputs: reactions.iter().flat_map(|r| r.outputs.clone()).collect(),
+                        terminated: reactions.iter().any(|r| r.terminated),
+                    });
+                }
+                Err(e) => {
+                    // The failed reaction rolled back: the session's
+                    // digest is its pre-reaction digest and shard-mates
+                    // never observe the fault. Quarantine only the
+                    // (rollback-disabled) poisoned case.
+                    self.rollbacks += 1;
+                    let quarantined = slot.driver.machine.borrow().is_poisoned();
+                    if quarantined {
+                        slot.quarantined = true;
+                        self.quarantined += 1;
+                    }
+                    out.faults.push(SessionFault {
+                        session: id,
+                        error: e.to_string(),
+                        quarantined,
+                    });
+                }
+            }
+        }
+        // Advance the shard's virtual clock and drain any timer-driven
+        // mailbox work (async completions, supervised retries).
+        self.el.borrow_mut().advance_by(self.tick_ms);
+        for (&id, slot) in &mut self.sessions {
+            if slot.quarantined {
+                continue;
+            }
+            let drained = slot.driver.machine.borrow_mut().drain();
+            match drained {
+                Ok(reactions) if !reactions.is_empty() => {
+                    out.reactions += reactions.len();
+                    out.outputs.push(SessionOutputs {
+                        session: id,
+                        outputs: reactions.iter().flat_map(|r| r.outputs.clone()).collect(),
+                        terminated: reactions.iter().any(|r| r.terminated),
+                    });
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.rollbacks += 1;
+                    let quarantined = slot.driver.machine.borrow().is_poisoned();
+                    if quarantined {
+                        slot.quarantined = true;
+                        self.quarantined += 1;
+                    }
+                    out.faults.push(SessionFault {
+                        session: id,
+                        error: e.to_string(),
+                        quarantined,
+                    });
+                }
+            }
+        }
+        out.busy_us = t0.elapsed().as_nanos() as f64 / 1e3;
+        out
+    }
+
+    fn digests(&self) -> Vec<(SessionId, String)> {
+        self.sessions
+            .iter()
+            .filter(|(_, s)| !s.quarantined)
+            .map(|(&id, s)| (id, s.driver.machine.borrow().state_digest()))
+            .collect()
+    }
+
+    fn rollup(&self) -> ShardRollup {
+        let sink = self.sink.borrow();
+        ShardRollup {
+            shard: self.index,
+            sessions: self.sessions.values().filter(|s| !s.quarantined).count(),
+            quarantined: self.quarantined,
+            rollbacks: self.rollbacks,
+            metrics: sink.snapshot(),
+            samples_us: sink.duration_samples_us(),
+        }
+    }
+}
+
+fn shard_main(mut state: ShardState, rx: Receiver<Cmd>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Open(ids, reply) => {
+                let _ = reply.send(state.open(ids));
+            }
+            Cmd::Tick { inputs, reply } => {
+                let _ = reply.send(state.tick(inputs));
+            }
+            Cmd::Digests(reply) => {
+                let _ = reply.send(state.digests());
+            }
+            Cmd::Metrics(reply) => {
+                let _ = reply.send(state.rollup());
+            }
+            Cmd::Shutdown => break,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool.
+
+/// Error from pool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError(pub String);
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session pool: {}", self.0)
+    }
+}
+impl std::error::Error for PoolError {}
+
+/// A sharded multi-session reactive server. See the module docs.
+pub struct SessionPool {
+    shards: Vec<ShardHandle>,
+    tick_ms: u64,
+    ticks: u64,
+    critical_path_us: f64,
+    /// Buffered inputs, flushed by the next [`SessionPool::tick`].
+    pending: Vec<(SessionId, String, Value)>,
+    sessions: usize,
+    serial_sweep: bool,
+}
+
+impl SessionPool {
+    /// Spawns `shards` worker threads. `tick_ms` is how far each shard's
+    /// virtual clock advances per [`SessionPool::tick`]; `factory` builds
+    /// each session's machine *on its shard thread* (machines are not
+    /// `Send`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    pub fn new(
+        shards: usize,
+        tick_ms: u64,
+        factory: impl Fn(SessionId) -> Result<Machine, String> + Send + Sync + 'static,
+    ) -> SessionPool {
+        assert!(shards > 0, "a pool needs at least one shard");
+        let factory: Arc<SessionFactory> = Arc::new(factory);
+        let shards = (0..shards)
+            .map(|index| {
+                let (tx, rx) = channel();
+                let factory = factory.clone();
+                let join = std::thread::Builder::new()
+                    .name(format!("hiphop-shard-{index}"))
+                    .spawn(move || {
+                        let state = ShardState {
+                            index,
+                            tick_ms,
+                            el: Rc::new(RefCell::new(EventLoop::new())),
+                            sessions: BTreeMap::new(),
+                            sink: shared(MetricsSink::new()),
+                            rollbacks: 0,
+                            quarantined: 0,
+                            factory,
+                        };
+                        shard_main(state, rx);
+                    })
+                    .expect("spawn shard thread");
+                ShardHandle { tx, join: Some(join) }
+            })
+            .collect();
+        SessionPool {
+            shards,
+            tick_ms,
+            ticks: 0,
+            critical_path_us: 0.0,
+            pending: Vec::new(),
+            sessions: 0,
+            serial_sweep: false,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of opened sessions (including quarantined ones).
+    pub fn sessions(&self) -> usize {
+        self.sessions
+    }
+
+    /// Ticks executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Virtual time each shard clock has reached, milliseconds.
+    pub fn now(&self) -> u64 {
+        self.ticks * self.tick_ms
+    }
+
+    /// Deterministic shard routing for `session`.
+    pub fn shard_of(&self, session: SessionId) -> usize {
+        (splitmix64(session.0) % self.shards.len() as u64) as usize
+    }
+
+    /// Opens `sessions`, each built by the factory on its home shard,
+    /// and runs their boot reactions. Returns the boot batch as a
+    /// [`TickReport`] (tick 0 of each session's life): output batches
+    /// ordered by session id, with failed boot reactions rolled back and
+    /// reported in [`TickReport::faults`] like any tick fault.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a factory call fails (the session cannot exist) or if a
+    /// shard died.
+    pub fn open(&mut self, sessions: &[SessionId]) -> Result<TickReport, PoolError> {
+        let mut per_shard: Vec<Vec<SessionId>> = vec![Vec::new(); self.shards.len()];
+        for &id in sessions {
+            per_shard[self.shard_of(id)].push(id);
+        }
+        let mut replies = Vec::new();
+        for (shard, ids) in per_shard.into_iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            let (tx, rx) = channel();
+            self.shards[shard]
+                .tx
+                .send(Cmd::Open(ids, tx))
+                .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+            replies.push((shard, rx));
+        }
+        let mut report = TickReport { tick: self.ticks, ..TickReport::default() };
+        let mut slowest = 0.0f64;
+        for (shard, rx) in replies {
+            let st = rx
+                .recv()
+                .map_err(|_| PoolError(format!("shard {shard} is gone")))?
+                .map_err(PoolError)?;
+            report.outputs.extend(st.outputs);
+            report.faults.extend(st.faults);
+            report.reactions += st.reactions;
+            slowest = slowest.max(st.busy_us);
+        }
+        report.outputs.sort_by_key(|o| o.session);
+        report.faults.sort_by_key(|f| f.session);
+        // Informational only: boot wall time is dominated by machine
+        // construction, not reaction work, so it is not folded into the
+        // pool's reaction critical path.
+        report.critical_path_us = slowest;
+        self.sessions += sessions.len();
+        Ok(report)
+    }
+
+    /// Opens sessions `0..n` (the common load-scenario shape).
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionPool::open`].
+    pub fn open_many(&mut self, n: u64) -> Result<TickReport, PoolError> {
+        let ids: Vec<SessionId> = (0..n).map(SessionId).collect();
+        self.open(&ids)
+    }
+
+    /// Switches [`SessionPool::tick`] between the default parallel
+    /// fan-out sweep and a serial one-shard-at-a-time sweep. Outputs are
+    /// identical either way (sessions never interact); serial mode is
+    /// for measurement on oversubscribed hosts, where a concurrently
+    /// swept shard's wall-clock time includes time spent descheduled and
+    /// the per-tick critical path would be overstated.
+    pub fn set_serial_sweep(&mut self, serial: bool) {
+        self.serial_sweep = serial;
+    }
+
+    /// Buffers one input event for `session`, delivered at the next
+    /// [`SessionPool::tick`]. Multiple injections for the same session
+    /// land in the same reaction (one batched instant per tick).
+    pub fn inject(&mut self, session: SessionId, signal: &str, value: Value) {
+        self.pending.push((session, signal.to_owned(), value));
+    }
+
+    /// Sweeps every shard in parallel: each shard runs one reaction per
+    /// session with the batched inputs, advances its virtual clock by
+    /// `tick_ms`, and drains mailbox follow-ups. Returns the merged
+    /// report, ordered by session id.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if a shard thread died; per-session reaction errors
+    /// are reported (and rolled back) in [`TickReport::faults`].
+    pub fn tick(&mut self) -> Result<TickReport, PoolError> {
+        let mut per_shard: Vec<Vec<(SessionId, String, Value)>> =
+            vec![Vec::new(); self.shards.len()];
+        for (id, signal, value) in self.pending.drain(..) {
+            let shard = (splitmix64(id.0) % per_shard.len() as u64) as usize;
+            per_shard[shard].push((id, signal, value));
+        }
+        let mut shard_ticks = Vec::new();
+        if self.serial_sweep {
+            // One shard at a time: each shard's wall-clock sweep time is
+            // its isolated (CPU) time, so `critical_path_us` stays
+            // honest even on an oversubscribed single-core host.
+            for (shard, inputs) in per_shard.into_iter().enumerate() {
+                let (tx, rx) = channel();
+                self.shards[shard]
+                    .tx
+                    .send(Cmd::Tick { inputs, reply: tx })
+                    .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+                shard_ticks.push(
+                    rx.recv()
+                        .map_err(|_| PoolError(format!("shard {shard} is gone")))?,
+                );
+            }
+        } else {
+            // Fan out first — every shard works concurrently — then
+            // gather.
+            let mut replies = Vec::new();
+            for (shard, inputs) in per_shard.into_iter().enumerate() {
+                let (tx, rx) = channel();
+                self.shards[shard]
+                    .tx
+                    .send(Cmd::Tick { inputs, reply: tx })
+                    .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+                replies.push((shard, rx));
+            }
+            for (shard, rx) in replies {
+                shard_ticks.push(
+                    rx.recv()
+                        .map_err(|_| PoolError(format!("shard {shard} is gone")))?,
+                );
+            }
+        }
+        let mut report = TickReport { tick: self.ticks, ..TickReport::default() };
+        let mut slowest = 0.0f64;
+        for st in shard_ticks {
+            report.outputs.extend(st.outputs);
+            report.faults.extend(st.faults);
+            report.reactions += st.reactions;
+            slowest = slowest.max(st.busy_us);
+        }
+        report.outputs.sort_by_key(|o| o.session);
+        report.faults.sort_by_key(|f| f.session);
+        report.critical_path_us = slowest;
+        self.critical_path_us += slowest;
+        self.ticks += 1;
+        Ok(report)
+    }
+
+    /// State digests of every live session across the pool, for
+    /// isolation assertions.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a shard thread died.
+    pub fn digests(&self) -> Result<BTreeMap<SessionId, String>, PoolError> {
+        let mut replies = Vec::new();
+        for (shard, h) in self.shards.iter().enumerate() {
+            let (tx, rx) = channel();
+            h.tx.send(Cmd::Digests(tx))
+                .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+            replies.push((shard, rx));
+        }
+        let mut out = BTreeMap::new();
+        for (shard, rx) in replies {
+            for (id, digest) in rx
+                .recv()
+                .map_err(|_| PoolError(format!("shard {shard} is gone")))?
+            {
+                out.insert(id, digest);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pool-wide metrics roll-up (render with
+    /// [`hiphop_runtime::Metrics::render_pool`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a shard thread died.
+    pub fn metrics(&self) -> Result<PoolMetrics, PoolError> {
+        let mut replies = Vec::new();
+        for (shard, h) in self.shards.iter().enumerate() {
+            let (tx, rx) = channel();
+            h.tx.send(Cmd::Metrics(tx))
+                .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+            replies.push((shard, rx));
+        }
+        let mut rollups = Vec::new();
+        for (shard, rx) in replies {
+            rollups.push(
+                rx.recv()
+                    .map_err(|_| PoolError(format!("shard {shard} is gone")))?,
+            );
+        }
+        rollups.sort_by_key(|r| r.shard);
+        Ok(PoolMetrics::from_shards(
+            rollups,
+            self.critical_path_us,
+            self.ticks,
+        ))
+    }
+}
+
+impl Drop for SessionPool {
+    fn drop(&mut self) {
+        for h in &self.shards {
+            let _ = h.tx.send(Cmd::Shutdown);
+        }
+        for h in &mut self.shards {
+            if let Some(join) = h.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionPool")
+            .field("shards", &self.shards.len())
+            .field("sessions", &self.sessions)
+            .field("ticks", &self.ticks)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiphop_compiler::compile_module;
+    use hiphop_core::prelude::*;
+
+    /// A per-session counter program: each `inc` increments `count`
+    /// (emitted every instant); emits `big` once count passes `limit`.
+    fn counter_module() -> Module {
+        Module::new("Counter")
+            .input(SignalDecl::new("inc", Direction::In))
+            .output(
+                SignalDecl::new("count", Direction::Out)
+                    .with_init(0i64)
+                    .with_combine(Combine::Plus),
+            )
+            .body(Stmt::loop_(Stmt::seq([
+                Stmt::if_(
+                    Expr::now("inc"),
+                    Stmt::emit_val("count", Expr::nowval("inc")),
+                ),
+                Stmt::Pause,
+            ])))
+    }
+
+    fn counter_factory(id: SessionId) -> Result<Machine, String> {
+        let c = compile_module(&counter_module(), &ModuleRegistry::new())
+            .map_err(|e| e.to_string())?;
+        let mut m = Machine::new(c.circuit).map_err(|e| e.to_string())?;
+        // Stagger engines across sessions: the pool supports per-session
+        // engine selection.
+        let _ = m.set_engine(if id.0.is_multiple_of(2) {
+            hiphop_runtime::EngineMode::Levelized
+        } else {
+            hiphop_runtime::EngineMode::Constructive
+        });
+        Ok(m)
+    }
+
+    fn count_of(outputs: &SessionOutputs) -> f64 {
+        outputs
+            .outputs
+            .iter()
+            .rev()
+            .find(|o| o.name == "count")
+            .map(|o| match &o.value {
+                Value::Num(n) => *n,
+                other => panic!("count is numeric, got {other:?}"),
+            })
+            .expect("count output present")
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spread() {
+        let pool = SessionPool::new(4, 10, counter_factory);
+        let mut per_shard = [0usize; 4];
+        for id in 0..256 {
+            let a = pool.shard_of(SessionId(id));
+            assert_eq!(a, pool.shard_of(SessionId(id)), "routing is stable");
+            per_shard[a] += 1;
+        }
+        for (shard, n) in per_shard.iter().enumerate() {
+            assert!(
+                (32..=96).contains(n),
+                "shard {shard} got {n}/256 sessions — routing is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn inject_reaches_exactly_the_target_session() {
+        let mut pool = SessionPool::new(3, 10, counter_factory);
+        pool.open_many(6).expect("open");
+        pool.inject(SessionId(2), "inc", Value::from(5i64));
+        pool.inject(SessionId(4), "inc", Value::from(7i64));
+        let report = pool.tick().expect("tick");
+        assert_eq!(report.outputs.len(), 6, "every session reacts each tick");
+        for o in &report.outputs {
+            let expect = match o.session.0 {
+                2 => 5.0,
+                4 => 7.0,
+                _ => 0.0,
+            };
+            assert_eq!(count_of(o), expect, "{}", o.session);
+        }
+        assert!(report.faults.is_empty());
+        assert_eq!(report.reactions, 6);
+    }
+
+    #[test]
+    fn batched_inputs_land_in_one_instant() {
+        let mut pool = SessionPool::new(2, 10, counter_factory);
+        pool.open_many(1).expect("open");
+        // Two injections for the same session in the same tick land in
+        // the same instant. For a plain (non-combined) input signal the
+        // later staging wins, exactly as two `Machine::set_input` calls
+        // before one `react` — the pool adds no semantics of its own.
+        pool.inject(SessionId(0), "inc", Value::from(3i64));
+        pool.inject(SessionId(0), "inc", Value::from(4i64));
+        let report = pool.tick().expect("tick");
+        assert_eq!(count_of(&report.outputs[0]), 4.0);
+        // And the next tick is a fresh instant.
+        pool.inject(SessionId(0), "inc", Value::from(2i64));
+        let report = pool.tick().expect("tick");
+        assert_eq!(count_of(&report.outputs[0]), 2.0);
+    }
+
+    #[test]
+    fn pool_matches_a_single_machine_exactly() {
+        // Differential: the pool is just plumbing — a session's output
+        // trace must equal the same machine driven directly.
+        let mut pool = SessionPool::new(4, 10, counter_factory);
+        pool.open_many(8).expect("open");
+        let c = compile_module(&counter_module(), &ModuleRegistry::new()).expect("compiles");
+        let mut solo = Machine::new(c.circuit).expect("finalized");
+        solo.react().expect("boot");
+        for step in 0..20u64 {
+            let target = SessionId(step % 8);
+            pool.inject(target, "inc", Value::from(1i64));
+            let report = pool.tick().expect("tick");
+            let solo_r = if target.0 == 3 {
+                solo.react_with(&[("inc", Value::from(1i64))]).expect("react")
+            } else {
+                solo.react_with(&[]).expect("react")
+            };
+            let pooled = report.session(SessionId(3)).expect("session 3 reacted");
+            let solo_outputs: Vec<String> = solo_r
+                .outputs
+                .iter()
+                .map(|o| format!("{}={}:{}", o.name, o.present as u8, o.value))
+                .collect();
+            let pool_outputs: Vec<String> = pooled
+                .outputs
+                .iter()
+                .map(|o| format!("{}={}:{}", o.name, o.present as u8, o.value))
+                .collect();
+            assert_eq!(pool_outputs, solo_outputs, "step {step}");
+        }
+    }
+
+    #[test]
+    fn boot_outputs_are_returned_by_open() {
+        let mut pool = SessionPool::new(2, 10, counter_factory);
+        let booted = pool.open_many(3).expect("open");
+        assert_eq!(booted.outputs.len(), 3);
+        assert!(booted.faults.is_empty());
+        assert_eq!(booted.reactions, 3);
+        for (i, o) in booted.outputs.iter().enumerate() {
+            assert_eq!(o.session, SessionId(i as u64));
+            assert_eq!(count_of(o), 0.0, "boot instant shows the init value");
+        }
+    }
+
+    #[test]
+    fn a_faulting_session_rolls_back_without_perturbing_shard_mates() {
+        let factory = |id: SessionId| -> Result<Machine, String> {
+            let mut m = counter_factory(id)?;
+            if id.0 == 1 {
+                // Session 1 panics on (almost) every action.
+                m.set_chaos(42, 0.95);
+            }
+            Ok(m)
+        };
+        let mut pool = SessionPool::new(1, 10, factory);
+        pool.open_many(4).expect("open: boot has no action faults for inc-less instants");
+        let mut faults = 0;
+        for step in 0..30u64 {
+            for id in 0..4 {
+                pool.inject(SessionId(id), "inc", Value::from(1i64));
+            }
+            let report = pool.tick().expect("tick");
+            faults += report.faults.len();
+            for f in &report.faults {
+                assert_eq!(f.session, SessionId(1), "only the chaotic session faults");
+                assert!(!f.quarantined, "rollback keeps it serviceable");
+            }
+            // Healthy shard-mates always commit their reaction.
+            let _ = step;
+            for id in [0u64, 2, 3] {
+                let o = report.session(SessionId(id)).expect("healthy session reacted");
+                assert_eq!(count_of(o), 1.0, "session {id} unperturbed");
+            }
+        }
+        assert!(faults > 0, "the chaotic session must fault at 95%");
+        let metrics = pool.metrics().expect("metrics");
+        assert_eq!(metrics.rollbacks as usize, faults);
+        assert_eq!(metrics.per_shard[0].quarantined, 0);
+    }
+
+    #[test]
+    fn metrics_roll_up_across_shards() {
+        let mut pool = SessionPool::new(3, 10, counter_factory);
+        pool.open_many(9).expect("open");
+        for _ in 0..5 {
+            for id in 0..9 {
+                pool.inject(SessionId(id), "inc", Value::from(1i64));
+            }
+            pool.tick().expect("tick");
+        }
+        let m = pool.metrics().expect("metrics");
+        assert_eq!(m.shards, 3);
+        assert_eq!(m.sessions(), 9);
+        // 9 boots + 9 sessions × 5 ticks.
+        assert_eq!(m.reactions, 9 + 45);
+        assert_eq!(m.ticks, 5);
+        assert!(m.critical_path_us > 0.0);
+        // busy_us sums pure reaction compute (from the telemetry
+        // sinks); critical_path_us is wall-clock shard-sweep time, so
+        // neither bounds the other on small workloads.
+        assert!(m.busy_us > 0.0);
+        assert_eq!(
+            m.reactions,
+            m.per_shard.iter().map(|s| s.metrics.reactions).sum::<usize>()
+        );
+        let table = hiphop_runtime::Metrics::render_pool(&m);
+        assert!(table.contains("9 session(s) over 3 shard(s)"), "{table}");
+        let json = m.to_json();
+        assert!(json.contains("\"reactions\":54"), "{json}");
+        assert!(json.contains("\"per_shard\":["), "{json}");
+    }
+
+    #[test]
+    fn shard_clocks_advance_in_virtual_time() {
+        let mut pool = SessionPool::new(2, 250, counter_factory);
+        pool.open_many(2).expect("open");
+        for _ in 0..4 {
+            pool.tick().expect("tick");
+        }
+        assert_eq!(pool.now(), 1000);
+        assert_eq!(pool.ticks(), 4);
+    }
+
+    #[test]
+    fn serial_sweep_is_observably_identical_to_parallel() {
+        let run = |serial: bool| {
+            let mut pool = SessionPool::new(3, 10, counter_factory);
+            pool.set_serial_sweep(serial);
+            pool.open_many(6).expect("open");
+            let mut trace = Vec::new();
+            for step in 0..5u64 {
+                for id in 0..6 {
+                    if (id + step) % 2 == 0 {
+                        pool.inject(SessionId(id), "inc", Value::from(step as i64 + 1));
+                    }
+                }
+                let r = pool.tick().expect("tick");
+                trace.push(
+                    r.outputs
+                        .iter()
+                        .map(|o| (o.session, count_of(o)))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            trace
+        };
+        assert_eq!(run(true), run(false), "sweep order is unobservable");
+    }
+
+    #[test]
+    fn factory_errors_surface_per_session() {
+        let factory = |id: SessionId| -> Result<Machine, String> {
+            if id.0 == 7 {
+                Err("no such score".to_owned())
+            } else {
+                counter_factory(id)
+            }
+        };
+        let mut pool = SessionPool::new(2, 10, factory);
+        let err = pool.open_many(8).expect_err("session 7 fails to build");
+        assert!(err.to_string().contains("no such score"), "{err}");
+    }
+}

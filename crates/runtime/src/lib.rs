@@ -50,8 +50,8 @@ pub use error::{CycleNet, RuntimeError};
 pub use levelized::EngineMode;
 pub use machine::{Machine, OutputEvent, Reaction};
 pub use telemetry::{
-    JsonlSink, Metrics, MetricsSink, ReactionStats, SharedSink, SinkSet, Summary, TraceEvent,
-    TraceSink, VcdSink,
+    JsonlSink, Metrics, MetricsSink, PoolMetrics, ReactionStats, ShardRollup, SharedSink, SinkSet,
+    Summary, TraceEvent, TraceSink, VcdSink,
 };
 pub use waveform::{SharedWaveform, Waveform};
 

@@ -348,6 +348,14 @@ impl MetricsSink {
         self.events.len()
     }
 
+    /// Reaction durations in microseconds, one sample per committed
+    /// reaction, in observation order. Session pools use this to compute
+    /// *exact* pooled percentiles across shards (merging per-shard
+    /// [`Summary`]s would be lossy).
+    pub fn duration_samples_us(&self) -> Vec<f64> {
+        self.duration_ns.iter().map(|ns| ns / 1e3).collect()
+    }
+
     /// Computes the percentile snapshot.
     pub fn snapshot(&self) -> Metrics {
         let us: Vec<f64> = self.duration_ns.iter().map(|ns| ns / 1e3).collect();
@@ -416,6 +424,180 @@ impl Metrics {
         out.push_str(&format!(
             "activity retries: {}   timeouts: {}   host panics: {}\n",
             self.activity_retries, self.activity_timeouts, self.host_panics
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool-level roll-ups (the sharded multi-session server in
+// `hiphop_eventloop::sessions`).
+
+/// One shard's contribution to a [`PoolMetrics`] roll-up.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRollup {
+    /// Shard index.
+    pub shard: usize,
+    /// Live (non-quarantined) sessions on the shard.
+    pub sessions: usize,
+    /// Sessions quarantined after poisoning (only possible with rollback
+    /// disabled; always 0 under the default regime).
+    pub quarantined: usize,
+    /// Failed reactions rolled back on this shard.
+    pub rollbacks: u64,
+    /// The shard's [`MetricsSink`] snapshot.
+    pub metrics: Metrics,
+    /// Raw per-reaction durations (µs) from the shard's sink, for exact
+    /// pooled percentiles.
+    pub samples_us: Vec<f64>,
+}
+
+/// Aggregated metrics for a whole session pool: per-shard roll-ups plus
+/// pooled percentiles and critical-path throughput.
+#[derive(Debug, Clone, Default)]
+pub struct PoolMetrics {
+    /// Number of shards.
+    pub shards: usize,
+    /// Per-shard roll-ups, by shard index.
+    pub per_shard: Vec<ShardRollup>,
+    /// Pooled reaction-duration percentiles (exact, over every shard's
+    /// samples).
+    pub duration_us: Summary,
+    /// Total committed reactions across the pool.
+    pub reactions: usize,
+    /// Total rolled-back reactions across the pool.
+    pub rollbacks: u64,
+    /// Total reaction CPU time across every shard, microseconds (summed
+    /// per-reaction durations from the telemetry sinks — pure engine
+    /// compute, excluding sweep overhead).
+    pub busy_us: f64,
+    /// Critical-path time, microseconds: the sum over ticks of the
+    /// *slowest shard's* wall-clock sweep time in that tick (reactions
+    /// plus clock/mailbox/batching overhead). Shards sweep their
+    /// sessions concurrently, so this is the serving time an N-core
+    /// host spends per tick — the honest denominator for multi-shard
+    /// throughput on any machine, including single-core CI. On tiny
+    /// workloads the overhead share means neither `busy_us` nor this
+    /// bounds the other.
+    pub critical_path_us: f64,
+    /// Pool ticks executed.
+    pub ticks: u64,
+}
+
+impl PoolMetrics {
+    /// Builds the pooled view from per-shard roll-ups.
+    ///
+    /// `critical_path_us` and `ticks` are accumulated by the pool itself
+    /// (they need per-tick timing, not end-of-run snapshots).
+    pub fn from_shards(per_shard: Vec<ShardRollup>, critical_path_us: f64, ticks: u64) -> PoolMetrics {
+        let mut all = Vec::new();
+        let mut reactions = 0;
+        let mut rollbacks = 0;
+        for s in &per_shard {
+            all.extend_from_slice(&s.samples_us);
+            reactions += s.metrics.reactions;
+            rollbacks += s.rollbacks;
+        }
+        PoolMetrics {
+            shards: per_shard.len(),
+            duration_us: Summary::of(&all),
+            busy_us: all.iter().sum(),
+            per_shard,
+            reactions,
+            rollbacks,
+            critical_path_us,
+            ticks,
+        }
+    }
+
+    /// Total live sessions across the pool.
+    pub fn sessions(&self) -> usize {
+        self.per_shard.iter().map(|s| s.sessions).sum()
+    }
+
+    /// Aggregate reactions per second over the critical path (see
+    /// [`PoolMetrics::critical_path_us`]).
+    pub fn throughput_rps(&self) -> f64 {
+        if self.critical_path_us <= 0.0 {
+            0.0
+        } else {
+            self.reactions as f64 / (self.critical_path_us / 1e6)
+        }
+    }
+
+    /// Renders the pool table (alias of [`Metrics::render_pool`]).
+    pub fn render(&self) -> String {
+        Metrics::render_pool(self)
+    }
+
+    /// One-line JSON object for machine consumption (the CLI `serve`
+    /// smoke test parses this).
+    pub fn to_json(&self) -> String {
+        let mut shards = String::new();
+        for (i, s) in self.per_shard.iter().enumerate() {
+            if i > 0 {
+                shards.push(',');
+            }
+            shards.push_str(&format!(
+                "{{\"shard\":{},\"sessions\":{},\"reactions\":{},\"rollbacks\":{},\"p50_us\":{:.1},\"p95_us\":{:.1}}}",
+                s.shard, s.sessions, s.metrics.reactions, s.rollbacks,
+                s.metrics.duration_us.p50, s.metrics.duration_us.p95,
+            ));
+        }
+        format!(
+            "{{\"shards\":{},\"sessions\":{},\"ticks\":{},\"reactions\":{},\"rollbacks\":{},\"p50_us\":{:.1},\"p95_us\":{:.1},\"busy_us\":{:.1},\"critical_path_us\":{:.1},\"throughput_rps\":{:.1},\"per_shard\":[{}]}}",
+            self.shards,
+            self.sessions(),
+            self.ticks,
+            self.reactions,
+            self.rollbacks,
+            self.duration_us.p50,
+            self.duration_us.p95,
+            self.busy_us,
+            self.critical_path_us,
+            self.throughput_rps(),
+            shards,
+        )
+    }
+}
+
+impl Metrics {
+    /// Renders a pool-level metrics table: one row per shard
+    /// (sessions, reactions, p50/p95 latency, rollbacks) plus pooled
+    /// totals and critical-path throughput.
+    pub fn render_pool(pool: &PoolMetrics) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "session pool: {} session(s) over {} shard(s), {} tick(s)\n",
+            pool.sessions(),
+            pool.shards,
+            pool.ticks
+        ));
+        out.push_str(&format!(
+            "{:<7} {:>9} {:>10} {:>10} {:>10} {:>10} {:>6}\n",
+            "shard", "sessions", "reactions", "p50 (µs)", "p95 (µs)", "rollback", "quar"
+        ));
+        for s in &pool.per_shard {
+            out.push_str(&format!(
+                "{:<7} {:>9} {:>10} {:>10.1} {:>10.1} {:>10} {:>6}\n",
+                s.shard,
+                s.sessions,
+                s.metrics.reactions,
+                s.metrics.duration_us.p50,
+                s.metrics.duration_us.p95,
+                s.rollbacks,
+                s.quarantined,
+            ));
+        }
+        out.push_str(&format!(
+            "pooled   reactions: {}   p50: {:.1} µs   p95: {:.1} µs   rollbacks: {}\n",
+            pool.reactions, pool.duration_us.p50, pool.duration_us.p95, pool.rollbacks
+        ));
+        out.push_str(&format!(
+            "busy: {:.1} ms   critical path: {:.1} ms   throughput: {:.0} reactions/s\n",
+            pool.busy_us / 1e3,
+            pool.critical_path_us / 1e3,
+            pool.throughput_rps()
         ));
         out
     }

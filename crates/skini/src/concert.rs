@@ -1,0 +1,306 @@
+//! The pool-scale concert load scenario: K audience sessions, each its
+//! own reactive score machine, multiplexed by a sharded
+//! [`SessionPool`] — the Skini deployment shape ("audiences of hundreds
+//! of participants", §4.2) driven deterministically on the virtual
+//! clock.
+//!
+//! Every session runs the *same generated score* but with its own
+//! seeded [`Audience`], its own active-group view and its own
+//! [`Sequencer`], so behaviour is per-session deterministic and —
+//! crucially — **independent of the shard count**: re-running a concert
+//! with the same seed on 1 or 8 shards produces the same
+//! [`ConcertReport::digest`]. The pool is pure plumbing.
+
+use crate::audience::Audience;
+use crate::composition::Composition;
+use crate::genscore::{generate, ScoreShape};
+use crate::sequencer::Sequencer;
+use hiphop_core::value::Value;
+use hiphop_eventloop::sessions::{SessionId, SessionOutputs, SessionPool};
+use hiphop_runtime::{Machine, PoolMetrics};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Parameters of a concert load run.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcertConfig {
+    /// Number of audience sessions (K).
+    pub sessions: u64,
+    /// Pool shards.
+    pub shards: usize,
+    /// Beats to run (one pool tick per beat).
+    pub ticks: u64,
+    /// Master seed; each session's audience derives its own stream.
+    pub seed: u64,
+    /// Score family every session plays.
+    pub shape: ScoreShape,
+    /// Per-action host-panic injection rate across every session
+    /// (0 disables — the default; failed reactions roll back).
+    pub chaos_rate: f64,
+}
+
+impl ConcertConfig {
+    /// A small-score concert — the CLI `serve` default.
+    pub fn new(sessions: u64, shards: usize, ticks: u64, seed: u64) -> ConcertConfig {
+        ConcertConfig {
+            sessions,
+            shards,
+            ticks,
+            seed,
+            shape: ScoreShape::small(),
+            chaos_rate: 0.0,
+        }
+    }
+}
+
+/// What a concert run produced.
+#[derive(Debug, Clone)]
+pub struct ConcertReport {
+    /// Sessions served.
+    pub sessions: u64,
+    /// Beats executed.
+    pub ticks: u64,
+    /// Audience selections enqueued across all sessions.
+    pub enqueued: usize,
+    /// Patterns actually started by the per-session sequencers.
+    pub played: usize,
+    /// Failed (rolled-back) reactions observed.
+    pub faults: usize,
+    /// Order-independent digest of every session's output trace —
+    /// equal across shard counts for the same seed.
+    pub digest: u64,
+    /// Pool metrics roll-up.
+    pub metrics: PoolMetrics,
+}
+
+/// Cache key: the four `ScoreShape` knobs.
+type ShapeKey = (u32, u32, u32, u32);
+
+thread_local! {
+    /// Per-shard-thread circuit cache: every session of a shard plays
+    /// the same generated score, so compile once per thread and clone
+    /// the circuit per machine (circuits are plain data; machines are
+    /// not).
+    static CIRCUIT_CACHE: RefCell<Option<(ShapeKey, hiphop_circuit::Circuit)>> =
+        const { RefCell::new(None) };
+}
+
+fn shape_key(s: ScoreShape) -> ShapeKey {
+    (
+        s.movements,
+        s.groups_per_movement,
+        s.patterns_per_group,
+        s.selections_per_group,
+    )
+}
+
+/// Builds one session's score machine (on the calling — shard — thread).
+fn build_machine(shape: ScoreShape, chaos_seed: u64, chaos_rate: f64) -> Result<Machine, String> {
+    let circuit = CIRCUIT_CACHE.with(|cache| -> Result<hiphop_circuit::Circuit, String> {
+        let mut cache = cache.borrow_mut();
+        match &*cache {
+            Some((key, circuit)) if *key == shape_key(shape) => Ok(circuit.clone()),
+            _ => {
+                let (module, _comp) = generate(shape);
+                let registry = hiphop_core::module::ModuleRegistry::new();
+                let compiled = hiphop_compiler::compile_module(&module, &registry)
+                    .map_err(|e| e.to_string())?;
+                *cache = Some((shape_key(shape), compiled.circuit.clone()));
+                Ok(compiled.circuit)
+            }
+        }
+    })?;
+    let mut machine = Machine::new(circuit).map_err(|e| e.to_string())?;
+    if chaos_rate > 0.0 {
+        machine.set_chaos(chaos_seed, chaos_rate);
+    }
+    Ok(machine)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// One participant's client-side view: their audience stream, the
+/// groups they currently see offered, and their DAW/sequencer.
+struct Participant {
+    audience: Audience,
+    active: Vec<String>,
+    sequencer: Sequencer,
+    enqueued: usize,
+}
+
+impl Participant {
+    /// Refreshes the active-group view from the session's latest output
+    /// batch. Output snapshots list every declared output, so the last
+    /// occurrence of each `<g>State` signal is the instant's value.
+    fn observe(&mut self, comp: &Composition, outputs: &SessionOutputs) {
+        let mut state: BTreeMap<&str, bool> = BTreeMap::new();
+        for o in &outputs.outputs {
+            if let Some(group) = o.name.strip_suffix("State") {
+                state.insert(group, o.value.truthy());
+            }
+        }
+        self.active = comp
+            .groups()
+            .iter()
+            .filter(|g| state.get(g.name.as_str()).copied().unwrap_or(false))
+            .map(|g| g.name.clone())
+            .collect();
+    }
+}
+
+/// FNV-1a over a session-output batch, folded into `digest`.
+fn fold_digest(digest: &mut u64, tick: u64, outputs: &SessionOutputs) {
+    let mut h = *digest ^ splitmix64(tick ^ outputs.session.0.rotate_left(17));
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001B3);
+        }
+    };
+    for o in &outputs.outputs {
+        eat(&o.name);
+        eat(if o.present { "+" } else { "-" });
+        eat(&o.value.to_string());
+        eat(";");
+    }
+    *digest = h;
+}
+
+/// Runs a full concert: opens `cfg.sessions` sessions over
+/// `cfg.shards` shards and drives `cfg.ticks` beats of audience
+/// activity through [`SessionPool::inject`] / [`SessionPool::tick`].
+///
+/// # Errors
+///
+/// Fails when a session cannot be built (a compile error in the
+/// generated score) or a shard dies. Per-reaction faults (only possible
+/// with `chaos_rate > 0`) are rolled back and *counted*, not fatal.
+pub fn run(cfg: &ConcertConfig) -> Result<ConcertReport, String> {
+    let (_, comp) = generate(cfg.shape);
+    let shape = cfg.shape;
+    let (master_seed, chaos_rate) = (cfg.seed, cfg.chaos_rate);
+    let mut pool = SessionPool::new(cfg.shards, 10, move |id: SessionId| {
+        build_machine(shape, splitmix64(master_seed ^ !id.0), chaos_rate)
+    });
+
+    let mut participants: BTreeMap<SessionId, Participant> = (0..cfg.sessions)
+        .map(|i| {
+            (
+                SessionId(i),
+                Participant {
+                    // Enthusiasm varies across the audience, seeded.
+                    audience: Audience::new(
+                        cfg.seed ^ splitmix64(i),
+                        0.5 + (splitmix64(cfg.seed ^ i) % 50) as f64 / 100.0,
+                    ),
+                    active: Vec::new(),
+                    sequencer: Sequencer::new(),
+                    enqueued: 0,
+                },
+            )
+        })
+        .collect();
+
+    let mut digest = 0xcbf29ce484222325u64;
+    let mut faults = 0usize;
+
+    let booted = pool.open_many(cfg.sessions).map_err(|e| e.to_string())?;
+    faults += booted.faults.len();
+    for outputs in &booted.outputs {
+        let p = participants.get_mut(&outputs.session).expect("opened session");
+        p.observe(&comp, outputs);
+        fold_digest(&mut digest, 0, outputs);
+    }
+
+    for beat in 0..cfg.ticks {
+        for (&id, p) in &mut participants {
+            let picks = p.audience.pick(&comp, &p.active);
+            for s in &picks {
+                p.sequencer.enqueue(s.pattern);
+                p.enqueued += 1;
+                pool.inject(id, &Composition::in_signal(&s.group), Value::from(s.pattern as i64));
+            }
+            pool.inject(id, "beat", Value::from(beat as i64));
+        }
+        let report = pool.tick().map_err(|e| e.to_string())?;
+        faults += report.faults.len();
+        for outputs in &report.outputs {
+            let p = participants.get_mut(&outputs.session).expect("known session");
+            p.observe(&comp, outputs);
+            fold_digest(&mut digest, beat + 1, outputs);
+            p.sequencer.play_beat(&comp, beat);
+        }
+    }
+
+    let metrics = pool.metrics().map_err(|e| e.to_string())?;
+    Ok(ConcertReport {
+        sessions: cfg.sessions,
+        ticks: cfg.ticks,
+        enqueued: participants.values().map(|p| p.enqueued).sum(),
+        played: participants.values().map(|p| p.sequencer.history().len()).sum(),
+        faults,
+        digest,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_concert_actually_plays_music() {
+        let report = run(&ConcertConfig::new(12, 3, 24, 42)).expect("runs");
+        assert_eq!(report.sessions, 12);
+        assert!(report.enqueued > 0, "the audience picked patterns");
+        assert!(report.played > 0, "the sequencers started patterns");
+        assert!(report.played <= report.enqueued);
+        assert_eq!(report.faults, 0, "no chaos, no faults");
+        // Boot + one reaction per session per beat.
+        assert_eq!(report.metrics.reactions as u64, 12 * (24 + 1));
+        assert_eq!(report.metrics.sessions(), 12);
+    }
+
+    #[test]
+    fn same_seed_same_digest_regardless_of_sharding() {
+        let one = run(&ConcertConfig::new(10, 1, 16, 7)).expect("1 shard");
+        let four = run(&ConcertConfig::new(10, 4, 16, 7)).expect("4 shards");
+        assert_eq!(
+            one.digest, four.digest,
+            "sharding is pure plumbing — behaviour must not change"
+        );
+        assert_eq!(one.played, four.played);
+        assert_eq!(one.enqueued, four.enqueued);
+        let other_seed = run(&ConcertConfig::new(10, 4, 16, 8)).expect("other seed");
+        assert_ne!(one.digest, other_seed.digest, "the seed matters");
+    }
+
+    #[test]
+    fn sessions_diverge_from_each_other() {
+        // Different audience seeds ⇒ different per-session behaviour;
+        // the load is not K copies of one trace.
+        let report = run(&ConcertConfig::new(6, 2, 24, 11)).expect("runs");
+        assert!(report.enqueued > 6, "multiple picks across the audience");
+        let per_session_spread = report.metrics.reactions;
+        assert_eq!(per_session_spread as u64, 6 * 25);
+    }
+
+    #[test]
+    fn chaotic_concert_survives_with_rollbacks() {
+        let mut cfg = ConcertConfig::new(8, 2, 24, 3);
+        cfg.chaos_rate = 0.10;
+        let report = run(&cfg).expect("survives chaos");
+        assert!(report.faults > 0, "10% action faults across 8×24 beats");
+        assert_eq!(report.metrics.rollbacks as usize, report.faults);
+        assert_eq!(
+            report.metrics.sessions(),
+            8,
+            "rollback keeps every session live"
+        );
+    }
+}

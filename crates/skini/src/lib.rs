@@ -7,6 +7,7 @@
 
 pub mod audience;
 pub mod composition;
+pub mod concert;
 pub mod genscore;
 pub mod performance;
 pub mod score;
@@ -15,6 +16,7 @@ pub mod text_score;
 
 pub use audience::{Audience, Selection};
 pub use composition::{Composition, Group, Pattern, PatternId};
+pub use concert::{ConcertConfig, ConcertReport};
 pub use genscore::{generate, ScoreShape};
 pub use performance::{perform, LatencyStats, PerformanceReport};
 pub use score::{paper_excerpt, ScoreBuilder};

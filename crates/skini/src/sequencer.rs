@@ -72,6 +72,11 @@ impl Sequencer {
         self.queue.len()
     }
 
+    /// The waiting patterns in queue order (front first).
+    pub fn queued(&self) -> impl ExactSizeIterator<Item = PatternId> + '_ {
+        self.queue.iter().copied()
+    }
+
     /// Everything played so far.
     pub fn history(&self) -> &[PlayedPattern] {
         &self.history
@@ -102,6 +107,65 @@ mod tests {
         let started = s.play_beat(&c, 1);
         assert_eq!(started, vec![1]);
         assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn history_records_beat_pattern_and_instrument() {
+        let c = comp();
+        let mut s = Sequencer::new();
+        s.enqueue(4); // brass, 1 beat
+        s.enqueue(0); // piano, 1 beat
+        s.play_beat(&c, 3);
+        let h = s.history();
+        assert_eq!(h.len(), 2);
+        assert_eq!(
+            (h[0].beat, h[0].pattern, h[0].instrument.as_str()),
+            (3, 4, "brass")
+        );
+        assert_eq!(
+            (h[1].beat, h[1].pattern, h[1].instrument.as_str()),
+            (3, 0, "piano")
+        );
+    }
+
+    #[test]
+    fn enqueue_is_visible_before_and_after_play() {
+        let c = comp();
+        let mut s = Sequencer::new();
+        assert_eq!(s.pending(), 0);
+        s.enqueue(1); // piano, 2 beats
+        s.enqueue(2); // piano, 1 beat — must wait behind #1
+        assert_eq!(s.queued().collect::<Vec<_>>(), vec![1, 2]);
+        s.play_beat(&c, 0);
+        assert_eq!(s.queued().collect::<Vec<_>>(), vec![2], "FIFO survivor");
+    }
+
+    #[test]
+    fn unknown_patterns_are_discarded_not_replayed() {
+        // A pattern id outside the composition can only come from a
+        // corrupted selection; it must drop out of the queue instead of
+        // clogging the channel scan forever.
+        let c = comp();
+        let mut s = Sequencer::new();
+        s.enqueue(999);
+        s.enqueue(0);
+        assert_eq!(s.play_beat(&c, 0), vec![0]);
+        assert_eq!(s.pending(), 0, "the bogus id is gone");
+        assert_eq!(s.history().len(), 1, "and was never played");
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let c = comp();
+        let mut s = Sequencer::new();
+        s.enqueue(1); // piano, 2 beats
+        s.enqueue(5); // brass, 2 beats
+        s.enqueue(0); // piano, 1 beat
+        s.enqueue(4); // brass, 1 beat
+        assert_eq!(s.play_beat(&c, 0), vec![1, 5]);
+        assert!(s.play_beat(&c, 1).is_empty(), "both channels busy");
+        assert_eq!(s.play_beat(&c, 2), vec![0, 4], "both free again");
+        assert_eq!(s.history().len(), 4);
     }
 
     #[test]

@@ -168,3 +168,130 @@ fn wide_chaos_rate_cannot_wedge_a_machine() {
         assert!(ok > 0, "seed {seed}: some reactions must survive");
     }
 }
+
+// ------------------------------------------------------------ pool level
+
+/// Pool-level chaos: a subset of sessions across the shards gets seeded
+/// host-panic injection; a fault-free shadow pool runs the identical
+/// schedule. Invariants:
+///
+/// 1. **Blast-radius zero.** A chaotic session's rollback never
+///    perturbs its shard-mates: every never-faulted session's digest
+///    equals its shadow twin's, tick after tick.
+/// 2. **Placement-independence.** Rerunning the same chaotic pool on a
+///    different shard count reproduces the same per-session digests and
+///    the same fault set (chaos is seeded per session, not per shard).
+/// 3. **Accounting.** Every injected fault shows up exactly once in the
+///    pool metrics' rollback counter.
+#[test]
+fn pool_chaos_is_contained_to_the_faulting_session() {
+    use hiphop::eventloop::sessions::{SessionId, SessionPool};
+    use std::collections::BTreeSet;
+
+    const SESSIONS: u64 = 12;
+    const TICKS: u64 = 30;
+    const MASTER: u64 = 0x5EED_C4A05;
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Every fourth session is chaotic (rate 0.1); the rest are clean.
+    fn chaotic(id: SessionId) -> bool {
+        splitmix64(MASTER ^ id.0).is_multiple_of(4)
+    }
+
+    fn build_pool(shards: usize, chaos: bool) -> SessionPool {
+        SessionPool::new(shards, 10, move |id| {
+            let module = synthetic_program(30, MASTER);
+            let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
+                .map_err(|e| e.to_string())?;
+            let mut m = Machine::new(c.circuit).map_err(|e| e.to_string())?;
+            if chaos && chaotic(id) {
+                m.set_chaos(splitmix64(MASTER ^ !id.0), 0.1);
+            }
+            Ok(m)
+        })
+    }
+
+    /// Runs the schedule and returns (per-session digests, fault set,
+    /// total faults).
+    fn run(pool: &mut SessionPool) -> (std::collections::BTreeMap<SessionId, String>, BTreeSet<SessionId>, u64) {
+        let mut faulted = BTreeSet::new();
+        let mut total = 0u64;
+        let booted = pool.open_many(SESSIONS).expect("boot");
+        for f in &booted.faults {
+            faulted.insert(f.session);
+            total += 1;
+        }
+        for t in 0..TICKS {
+            for s in 0..SESSIONS {
+                pool.inject(
+                    SessionId(s),
+                    &format!("i{}", t % 8),
+                    Value::from((t % 5) as i64),
+                );
+            }
+            let report = pool.tick().expect("tick");
+            for f in &report.faults {
+                assert!(
+                    f.error.contains("chaos"),
+                    "only injected faults expected: {}",
+                    f.error
+                );
+                assert!(!f.quarantined, "a host panic rolls back, not poisons");
+                faulted.insert(f.session);
+                total += 1;
+            }
+        }
+        (pool.digests().expect("digests"), faulted, total)
+    }
+
+    let mut shadow = build_pool(3, false);
+    let (clean_digests, clean_faults, n) = run(&mut shadow);
+    assert!(clean_faults.is_empty() && n == 0, "the shadow never faults");
+
+    let mut pool = build_pool(3, true);
+    let (digests, faulted, total) = run(&mut pool);
+    assert!(
+        !faulted.is_empty(),
+        "a 10% rate on {} chaotic sessions over {TICKS} ticks must fault",
+        (0..SESSIONS).filter(|&s| chaotic(SessionId(s))).count()
+    );
+    assert!(
+        faulted.iter().all(|&s| chaotic(s)),
+        "faults only in chaos-armed sessions: {faulted:?}"
+    );
+
+    // 1. Blast-radius zero: every never-faulted session marched in
+    //    lockstep with its shadow twin.
+    for s in (0..SESSIONS).map(SessionId) {
+        // (No assertion on the faulted sessions themselves: skipping a
+        // rolled-back instant need not leave a lasting state difference
+        // in these input-driven programs.)
+        if !faulted.contains(&s) {
+            assert_eq!(
+                digests[&s], clean_digests[&s],
+                "session {s:?} was perturbed by a shard-mate's rollback"
+            );
+        }
+    }
+
+    // 3. Accounting: the metrics rollup saw exactly the observed faults.
+    let metrics = pool.metrics().expect("metrics");
+    assert_eq!(metrics.rollbacks, total, "every fault is one rollback");
+
+    // 2. Placement-independence: the same chaos on 1 shard (everyone is
+    //    a shard-mate) and on 4 shards reproduces digests and faults.
+    for shards in [1usize, 4] {
+        let mut again = build_pool(shards, true);
+        let (d2, f2, t2) = run(&mut again);
+        assert_eq!(d2, digests, "{shards} shard(s): digests shifted");
+        assert_eq!(f2, faulted, "{shards} shard(s): fault set shifted");
+        assert_eq!(t2, total, "{shards} shard(s): fault count shifted");
+    }
+}

@@ -1,0 +1,313 @@
+//! Esterel-kernel conformance battery.
+//!
+//! Each case is a compact `.hh` program plus the expected set of present
+//! outputs at every instant (instant 0 is the boot reaction). Every case
+//! runs under all four compiled engines (levelized, constructive, naive,
+//! hybrid) AND the reference AST interpreter; the expectation table is
+//! the semantic oracle, so a divergence pinpoints both the construct and
+//! the engine that got it wrong.
+//!
+//! The battery covers the kernel constructs whose semantics are easy to
+//! get subtly wrong: strong vs weak abort at the delay instant, suspend,
+//! every, nested traps with `break`, sustain, counted await, immediate
+//! delays, `do … every`, and local-signal reincarnation.
+
+use hiphop::lang::{parse_program, HostRegistry};
+use hiphop::prelude::*;
+use hiphop::runtime::EngineMode;
+
+/// Drives one implementation through boot + the stimulus and asserts the
+/// present-output set at every instant.
+fn drive(
+    name: &str,
+    engine: &str,
+    stimulus: &[&[&str]],
+    expected: &[&str],
+    mut react: impl FnMut(&[(&str, Value)]) -> Result<Vec<String>, String>,
+) {
+    let boot: &[&[&str]] = &[&[]];
+    for (i, inputs) in boot.iter().chain(stimulus.iter()).enumerate() {
+        let refs: Vec<(&str, Value)> = inputs.iter().map(|n| (*n, Value::from(true))).collect();
+        let mut got = react(&refs)
+            .unwrap_or_else(|e| panic!("{name} [{engine}]: instant {i}: reaction failed: {e}"));
+        got.sort();
+        assert_eq!(
+            got.join(" "),
+            expected[i],
+            "{name} [{engine}]: instant {i} (inputs {inputs:?})"
+        );
+    }
+}
+
+/// Runs `src`'s `Main` module against `expected` under every compiled
+/// engine and the reference interpreter.
+fn check(name: &str, src: &str, stimulus: &[&[&str]], expected: &[&str]) {
+    assert_eq!(
+        stimulus.len() + 1,
+        expected.len(),
+        "{name}: the table must list boot plus one expectation per stimulus instant"
+    );
+    let (module, registry) = parse_program(src, "Main", &HostRegistry::new())
+        .unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+
+    for mode in [
+        EngineMode::Levelized,
+        EngineMode::Constructive,
+        EngineMode::Naive,
+        EngineMode::Hybrid,
+    ] {
+        let mut m = machine_for(&module, &registry)
+            .unwrap_or_else(|e| panic!("{name}: compile: {e}"));
+        assert_eq!(
+            m.set_engine(mode),
+            mode,
+            "{name}: kernel programs are acyclic, every engine must be available"
+        );
+        drive(name, mode.name(), stimulus, expected, |refs| {
+            m.react_with(refs)
+                .map(|r| {
+                    r.outputs
+                        .iter()
+                        .filter(|o| o.present)
+                        .map(|o| o.name.clone())
+                        .collect()
+                })
+                .map_err(|e| e.to_string())
+        });
+    }
+
+    let mut interp = hiphop_interp::Interp::new(&module, &registry)
+        .unwrap_or_else(|e| panic!("{name}: interp: {e}"));
+    drive(name, "interpreter", stimulus, expected, |refs| {
+        interp
+            .react_with(refs)
+            .map(|r| {
+                r.outputs
+                    .iter()
+                    .filter(|(_, p, _)| *p)
+                    .map(|(n, _, _)| n.clone())
+                    .collect()
+            })
+            .map_err(|e| e.to_string())
+    });
+}
+
+// --------------------------------------------------------------- abort
+
+#[test]
+fn strong_abort_preempts_the_body_on_the_delay_instant() {
+    // The instant `I` arrives the body must NOT run: `O` is absent and
+    // control falls through to the continuation in the same instant.
+    check(
+        "strong-abort",
+        r#"module Main(in I, out O, out done) {
+            abort (I.now) {
+               loop { emit O(); yield; }
+            }
+            emit done();
+        }"#,
+        &[&[], &["I"], &[]],
+        &["O", "O", "done", ""],
+    );
+}
+
+#[test]
+fn weak_abort_lets_the_body_run_its_final_instant() {
+    // Identical program with `weakabort`: on the delay instant the body
+    // still runs, so `O` and `done` are simultaneous.
+    check(
+        "weak-abort",
+        r#"module Main(in I, out O, out done) {
+            weakabort (I.now) {
+               loop { emit O(); yield; }
+            }
+            emit done();
+        }"#,
+        &[&[], &["I"], &[]],
+        &["O", "O", "O done", ""],
+    );
+}
+
+#[test]
+fn sustain_emits_every_instant_until_strongly_aborted() {
+    check(
+        "sustain",
+        r#"module Main(in I, out O) {
+            abort (I.now) { sustain O(); }
+        }"#,
+        &[&[], &[], &["I"], &[]],
+        &["O", "O", "O", "", ""],
+    );
+}
+
+// ------------------------------------------------------------- suspend
+
+#[test]
+fn suspend_freezes_the_body_while_the_guard_is_present() {
+    // The guard is not tested in the body's first instant; afterwards a
+    // present `S` freezes the body in place and absence resumes it.
+    check(
+        "suspend",
+        r#"module Main(in S, out O) {
+            suspend (S.now) {
+               loop { emit O(); yield; }
+            }
+        }"#,
+        &[&[], &["S"], &["S"], &[]],
+        &["O", "O", "", "", "O"],
+    );
+}
+
+// --------------------------------------------------------------- every
+
+#[test]
+fn every_runs_its_body_at_each_occurrence_never_at_boot() {
+    check(
+        "every",
+        r#"module Main(in I, out O) {
+            every (I.now) { emit O(); }
+        }"#,
+        &[&["I"], &[], &["I"], &["I"]],
+        &["", "O", "", "O", "O"],
+    );
+}
+
+#[test]
+fn do_every_runs_immediately_then_restarts_on_each_tick() {
+    // `do … every` differs from `every` exactly at boot: the body runs
+    // once before the first delay elapse.
+    check(
+        "do-every",
+        r#"module Main(in I, out O) {
+            do { emit O(); } every (I.now)
+        }"#,
+        &[&["I"], &[], &["I"]],
+        &["O", "O", "", "O"],
+    );
+}
+
+// --------------------------------------------------------- traps/break
+
+#[test]
+fn nested_traps_unwind_exactly_to_their_label() {
+    // `break U` exits the inner trap only: the outer continuation `B`
+    // and the module continuation `C` both run in the same instant.
+    check(
+        "nested-trap-inner",
+        r#"module Main(in toT, in toU, out A, out B, out C) {
+            T: {
+               U: {
+                  loop {
+                     emit A();
+                     if (toT.now) { break T; }
+                     if (toU.now) { break U; }
+                     yield;
+                  }
+               }
+               emit B();
+            }
+            emit C();
+        }"#,
+        &[&[], &["toU"], &[]],
+        &["A", "A", "A B C", ""],
+    );
+}
+
+#[test]
+fn breaking_the_outer_trap_skips_the_inner_continuation() {
+    check(
+        "nested-trap-outer",
+        r#"module Main(in toT, in toU, out A, out B, out C) {
+            T: {
+               U: {
+                  loop {
+                     emit A();
+                     if (toT.now) { break T; }
+                     if (toU.now) { break U; }
+                     yield;
+                  }
+               }
+               emit B();
+            }
+            emit C();
+        }"#,
+        &[&[], &["toT"], &[]],
+        &["A", "A", "A C", ""],
+    );
+}
+
+// -------------------------------------------------------- counted await
+
+#[test]
+fn counted_await_counts_occurrences_not_instants() {
+    // Three occurrences of `I` are needed; the blank instant in the
+    // middle must not advance the count.
+    check(
+        "counted-await",
+        r#"module Main(in I, out O) {
+            await count(3, I.now);
+            emit O();
+        }"#,
+        &[&["I"], &[], &["I"], &["I"], &[]],
+        &["", "", "", "", "O", ""],
+    );
+}
+
+// ---------------------------------------------------- immediate delays
+
+#[test]
+fn await_immediate_elapses_in_the_starting_instant() {
+    // After the first await elapses, `await immediate` sees the same
+    // occurrence of `I` and falls through within the instant.
+    check(
+        "await-immediate",
+        r#"module Main(in I, out A, out B) {
+            await (I.now);
+            emit A();
+            await immediate (I.now);
+            emit B();
+        }"#,
+        &[&[], &["I"], &[]],
+        &["", "", "A B", ""],
+    );
+}
+
+#[test]
+fn await_non_immediate_waits_a_full_instant() {
+    // The same program without `immediate` needs a second occurrence.
+    check(
+        "await-non-immediate",
+        r#"module Main(in I, out A, out B) {
+            await (I.now);
+            emit A();
+            await (I.now);
+            emit B();
+        }"#,
+        &[&[], &["I"], &["I"], &[]],
+        &["", "", "A", "B", ""],
+    );
+}
+
+// -------------------------------------------------------- reincarnation
+
+#[test]
+fn reincarnated_locals_are_fresh_in_each_loop_iteration() {
+    // Left branch: `s` is emitted and tested inside one iteration, so
+    // `O` fires every instant. Right branch: `t` is emitted at the END
+    // of an iteration and tested at the START of the next — but the
+    // loop re-entry reincarnates `t`, so the test always sees a fresh
+    // absent signal and `P` must never fire. An implementation that
+    // shares one status between incarnations emits `P` from instant 1.
+    check(
+        "reincarnation",
+        r#"module Main(out O, out P) {
+            fork {
+               loop { signal s; emit s(); if (s.now) { emit O(); } yield; }
+            } par {
+               loop { signal t; if (t.now) { emit P(); } yield; emit t(); }
+            }
+        }"#,
+        &[&[], &[], &[]],
+        &["O", "O", "O", "O"],
+    );
+}

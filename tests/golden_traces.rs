@@ -351,3 +351,153 @@ fn golden_traces_exercise_the_interesting_behaviour() {
         "reincarnated S must never be seen by the next iteration: {reinc}"
     );
 }
+
+// ------------------------------------------------------- application layer
+
+/// Shared tail of the app-layer golden tests: cross-engine agreement on
+/// the normalized coarse trace, then byte-comparison against (or
+/// regeneration of) `tests/golden/<name>.jsonl`.
+fn assert_app_golden(name: &str, trace_of: impl Fn(EngineMode) -> String) {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let levelized = trace_of(EngineMode::Levelized);
+    for mode in [
+        EngineMode::Constructive,
+        EngineMode::Naive,
+        EngineMode::Hybrid,
+    ] {
+        assert_eq!(
+            trace_of(mode),
+            levelized,
+            "{name}: {mode} trace diverges from levelized"
+        );
+    }
+    let path = golden_path(name);
+    if update {
+        std::fs::write(&path, &levelized).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{name}: no golden file ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        levelized, golden,
+        "{name}: trace drifted from tests/golden/{name}.jsonl (UPDATE_GOLDEN=1 regenerates)"
+    );
+}
+
+/// Replays the §3 login-panel V2 quarantine scenario (three failed
+/// logins freeze the panel; the quarantine timer releases it; a correct
+/// login then opens and closes a session) under `mode` on the virtual
+/// clock, and returns the normalized coarse trace.
+fn login_v2_trace(mode: EngineMode) -> String {
+    use hiphop::apps::login::AuthConfig;
+    use hiphop::apps::login_v2::build_v2;
+    use hiphop::eventloop::{Driver, EventLoop};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let el = Rc::new(RefCell::new(EventLoop::new()));
+    let auth = AuthConfig::single_user(100, "joe", "secret");
+    let (main, reg) = build_v2(el.clone(), &auth, false);
+    let mut machine = hiphop::machine_for(&main, &reg).expect("login V2 compiles");
+    assert_eq!(
+        machine.set_engine(mode),
+        mode,
+        "the weakabort variant is acyclic, every engine is available"
+    );
+    let (sink, buf) = JsonlSink::buffered();
+    machine.attach_sink(shared(sink.coarse()));
+    let d = Driver {
+        machine: Rc::new(RefCell::new(machine)),
+        el,
+    };
+
+    d.react(&[]).expect("boot");
+    d.react(&[("name", Value::from("joe"))]).expect("name");
+    d.react(&[("passwd", Value::from("wrong!"))]).expect("passwd");
+    for _ in 0..3 {
+        d.react(&[("login", Value::Bool(true))]).expect("login");
+        d.advance_by(150).expect("auth reply");
+    }
+    // Quarantine: `tmo` ticks once per virtual second, restart at tmo > 5.
+    d.advance_by(7000).expect("quarantine runs out");
+    d.react(&[("passwd", Value::from("secret"))]).expect("fixed passwd");
+    d.react(&[("login", Value::Bool(true))]).expect("login again");
+    d.advance_by(150).expect("auth accepts");
+    d.advance_by(2500).expect("session clock ticks");
+    d.react(&[("logout", Value::Bool(true))]).expect("logout");
+
+    d.machine.borrow_mut().finish_sinks();
+    let mut out = String::new();
+    for line in buf.text().lines() {
+        out.push_str(&normalize(line));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn login_v2_replays_the_golden_trace_byte_for_byte() {
+    let levelized = login_v2_trace(EngineMode::Levelized);
+    assert!(
+        levelized.contains("\"quarantine\""),
+        "three failures must freeze the panel: {levelized}"
+    );
+    assert!(
+        levelized.contains("\"connected\""),
+        "the corrected login must open a session: {levelized}"
+    );
+    assert_app_golden("login_v2", login_v2_trace);
+}
+
+/// Replays a compressed Lisinopril day (§4.1) under `mode`: reach the
+/// 8PM window, deliver a dose, confirm late enough for the Confirm
+/// alert, then press Try again inside the 8 h wall to trip
+/// `TryTooCloseError`. One reaction per minute; the normalized coarse
+/// trace includes the program's own `hop { log(...) }` lines.
+fn pillbox_trace(mode: EngineMode) -> String {
+    use hiphop::apps::pillbox::{modules, Pillbox};
+
+    let (main, reg) = modules();
+    let compiled = hiphop::compiler::compile_module(&main, &reg).expect("pillbox compiles");
+    let mut machine = Machine::new(compiled.circuit).expect("finalized circuit");
+    assert_eq!(
+        machine.set_engine(mode),
+        mode,
+        "the pillbox is acyclic, every engine is available"
+    );
+    let (sink, buf) = JsonlSink::buffered();
+    machine.attach_sink(shared(sink.coarse()));
+
+    let mut pb = Pillbox::from_machine(machine, 19 * 60 + 55).expect("boot");
+    pb.advance(6).expect("reach the dose window"); // 20:01
+    assert!(pb.in_dose_window(), "8PM window open");
+    pb.press_try().expect("deliver");
+    pb.advance(11).expect("let the confirmation go late");
+    assert!(pb.conf_alert(), "confirm alert after 10 minutes");
+    pb.press_conf().expect("confirm");
+    pb.advance(3).expect("enter the 8 h wall");
+    pb.press_try().expect("try too close");
+    pb.advance(2).expect("tail");
+
+    pb.machine_mut().finish_sinks();
+    let mut out = String::new();
+    for line in buf.text().lines() {
+        out.push_str(&normalize(line));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn pillbox_replays_the_golden_trace_byte_for_byte() {
+    let levelized = pillbox_trace(EngineMode::Levelized);
+    assert!(
+        levelized.contains("dose delivered at minute"),
+        "the dose log line is in the trace: {levelized}"
+    );
+    assert!(
+        levelized.contains("try too close"),
+        "the wall violation is in the trace: {levelized}"
+    );
+    assert_app_golden("pillbox", pillbox_trace);
+}

@@ -1,0 +1,160 @@
+//! Property tests for the Skini performance pipeline: across seeded
+//! audiences driving a generated `concert()` score, the sequencer must
+//! be *conservative* — every selected pattern is eventually played or
+//! still queued, never dropped, never duplicated, and per-instrument
+//! FIFO order is preserved with no channel overlap.
+
+use hiphop::prelude::*;
+use hiphop::skini::{generate, Audience, Composition, ScoreShape, Sequencer};
+
+/// One seeded concert run, mirroring `skini::perform` but keeping the
+/// full list of enqueued pattern ids for the conservation oracle.
+struct Run {
+    enqueued: Vec<u32>,
+    sequencer: Sequencer,
+    comp: Composition,
+}
+
+fn concert_run(seed: u64, enthusiasm: f64, beats: u64) -> Run {
+    let (module, comp) = generate(ScoreShape::concert());
+    let mut machine = machine_for(&module, &ModuleRegistry::new()).expect("score compiles");
+    let mut audience = Audience::new(seed, enthusiasm);
+    let mut sequencer = Sequencer::new();
+    let mut enqueued = Vec::new();
+
+    machine.react().expect("boot");
+    for beat in 0..beats {
+        let active: Vec<String> = comp
+            .groups()
+            .iter()
+            .filter(|g| machine.nowval(&Composition::state_signal(&g.name)).truthy())
+            .map(|g| g.name.clone())
+            .collect();
+        let picks = audience.pick(&comp, &active);
+        let mut inputs: Vec<(String, Value)> =
+            vec![("beat".to_owned(), Value::from(beat as i64))];
+        for s in &picks {
+            enqueued.push(s.pattern);
+            sequencer.enqueue(s.pattern);
+            inputs.push((
+                Composition::in_signal(&s.group),
+                Value::from(s.pattern as i64),
+            ));
+        }
+        let refs: Vec<(&str, Value)> = inputs
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
+        machine.react_with(&refs).expect("beat reaction");
+        sequencer.play_beat(&comp, beat);
+    }
+    Run {
+        enqueued,
+        sequencer,
+        comp,
+    }
+}
+
+/// The per-instrument subsequence of a pattern-id sequence.
+fn per_instrument(comp: &Composition, ids: &[u32], instrument: &str) -> Vec<u32> {
+    ids.iter()
+        .copied()
+        .filter(|&pid| {
+            comp.pattern(pid)
+                .map(|p| p.instrument == instrument)
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+#[test]
+fn a_concert_never_drops_or_duplicates_a_selection() {
+    for (case, seed) in [3u64, 7, 42, 99, 2020].into_iter().enumerate() {
+        let enthusiasm = 0.4 + 0.15 * case as f64;
+        let run = concert_run(seed, enthusiasm, 96);
+        assert!(
+            !run.enqueued.is_empty(),
+            "seed {seed}: the audience actually selected something"
+        );
+
+        // Conservation: enqueued = played ++ still-queued, as multisets.
+        let mut expected = run.enqueued.clone();
+        let mut got: Vec<u32> = run
+            .sequencer
+            .history()
+            .iter()
+            .map(|p| p.pattern)
+            .chain(run.sequencer.queued())
+            .collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(
+            got, expected,
+            "seed {seed}: selections were dropped or duplicated"
+        );
+
+        // Per-instrument FIFO: the played-then-waiting order on each
+        // channel is exactly the selection order for that instrument.
+        let instruments: std::collections::BTreeSet<String> = run
+            .comp
+            .groups()
+            .iter()
+            .flat_map(|g| g.patterns.iter())
+            .filter_map(|&pid| run.comp.pattern(pid).map(|p| p.instrument.clone()))
+            .collect();
+        for ins in &instruments {
+            let selected = per_instrument(&run.comp, &run.enqueued, ins);
+            let played: Vec<u32> = run
+                .sequencer
+                .history()
+                .iter()
+                .filter(|p| &p.instrument == ins)
+                .map(|p| p.pattern)
+                .collect();
+            let waiting =
+                per_instrument(&run.comp, &run.sequencer.queued().collect::<Vec<_>>(), ins);
+            let replay: Vec<u32> = played.iter().chain(waiting.iter()).copied().collect();
+            assert_eq!(
+                replay, selected,
+                "seed {seed}: channel {ins} broke FIFO order"
+            );
+        }
+
+        // No channel overlap: a pattern starts only after its
+        // predecessor's duration has elapsed.
+        for ins in &instruments {
+            let mut free_at = 0u64;
+            for p in run.sequencer.history().iter().filter(|p| &p.instrument == ins) {
+                assert!(
+                    p.beat >= free_at,
+                    "seed {seed}: channel {ins} started {} at beat {} while busy until {free_at}",
+                    p.pattern,
+                    p.beat
+                );
+                let d = run.comp.pattern(p.pattern).expect("played ids exist").duration_beats;
+                free_at = p.beat + d as u64;
+            }
+        }
+    }
+}
+
+#[test]
+fn concert_runs_replay_identically_under_a_seed() {
+    let fingerprint = |run: &Run| {
+        run.sequencer
+            .history()
+            .iter()
+            .map(|p| (p.beat, p.pattern))
+            .collect::<Vec<_>>()
+    };
+    let a = concert_run(2026, 0.7, 64);
+    let b = concert_run(2026, 0.7, 64);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(a.enqueued, b.enqueued);
+    let c = concert_run(2027, 0.7, 64);
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&c),
+        "a different seed yields a different concert"
+    );
+}
