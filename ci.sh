@@ -16,7 +16,7 @@ TOTAL=$(printf '%s\n' "$TEST_OUT" \
 echo "    workspace test count: $TOTAL"
 # Regression guard: the suite only ever grows. Raise the floor when
 # you add tests; never lower it.
-MIN_TESTS=410
+MIN_TESTS=474
 if [ "$TOTAL" -lt "$MIN_TESTS" ]; then
     echo "ci: workspace test count regressed below $MIN_TESTS (got $TOTAL)" >&2
     exit 1
@@ -89,5 +89,30 @@ case "$SERVE_JSON" in
     *) echo "ci: serve smoke JSON has no digest: $SERVE_JSON" >&2; exit 1 ;;
 esac
 echo "    serve: $REACTIONS reactions across 4 shards"
+
+# Flight-recorder round trip: record a chaos-seeded 64-session serve,
+# then replay the journal on a pool with a DIFFERENT shard count and
+# demand every digest checkpoint match exactly (shard assignment is
+# pure plumbing; chaos fault schedules derive from per-session seeds).
+echo "==> flight record → replay round trip (4 shards → 3 shards, chaos 5%)"
+FLIGHT_DIR=$(mktemp -d)
+trap 'rm -rf "$FLIGHT_DIR"' EXIT
+./target/release/hiphopc serve --sessions 64 --shards 4 --ticks 16 --seed 7 \
+    --chaos-rate 0.05 --record "$FLIGHT_DIR/flight.jsonl" \
+    --trace-spans "$FLIGHT_DIR/trace.json" --prom "$FLIGHT_DIR/metrics.prom" \
+    > /dev/null
+for f in flight.jsonl trace.json metrics.prom; do
+    if [ ! -s "$FLIGHT_DIR/$f" ]; then
+        echo "ci: serve --record did not write $f" >&2
+        exit 1
+    fi
+done
+REPLAY_JSON=$(./target/release/hiphopc replay "$FLIGHT_DIR/flight.jsonl" \
+    --shards 3 --verify-digests)
+case "$REPLAY_JSON" in
+    *'"ok":true'*) : ;;
+    *) echo "ci: replay reported digest mismatches: $REPLAY_JSON" >&2; exit 1 ;;
+esac
+echo "    replay: $REPLAY_JSON"
 
 echo "ci: all green"

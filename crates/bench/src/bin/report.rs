@@ -294,5 +294,30 @@ fn main() {
         if ratio <= 1.15 { "(no regression)" } else { "(REGRESSION over 15%)" }
     );
 
+    // ------------------------------------------------------------------ E11
+    println!("\nE11 — flight-recorder overhead (the 64-session 4-shard E10 row run twice:");
+    println!("recorder off vs armed with digest checkpoints every 8 ticks)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>16} {:>14}",
+        "recorder", "p50 (µs)", "p95 (µs)", "throughput (r/s)", "journal (KiB)"
+    );
+    let rec_rows = hiphop_bench::experiments::recording_overhead(640, 64, 4, 8, 2020);
+    for r in &rec_rows {
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>16.0} {:>14.1}",
+            if r.recorded { "armed" } else { "off" },
+            r.metrics.duration_us.p50,
+            r.metrics.duration_us.p95,
+            r.metrics.throughput_rps(),
+            r.journal_bytes as f64 / 1024.0,
+        );
+    }
+    let overhead = rec_rows[1].metrics.duration_us.p50 / rec_rows[0].metrics.duration_us.p50;
+    println!(
+        "recording p50 overhead: {:.2}× {}",
+        overhead,
+        if overhead <= 1.10 { "(≤ 10% target)" } else { "(OVER 10% target)" }
+    );
+
     println!("\ndone.");
 }

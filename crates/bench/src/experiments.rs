@@ -541,6 +541,69 @@ pub fn pool_scaling(
     rows
 }
 
+/// One row of the E11 recording-overhead comparison.
+#[derive(Debug, Clone)]
+pub struct RecordingRow {
+    /// Whether the flight recorder was armed.
+    pub recorded: bool,
+    /// Pool-wide roll-up for the run.
+    pub metrics: hiphop_runtime::PoolMetrics,
+    /// Serialized journal size, bytes (0 when not recording).
+    pub journal_bytes: usize,
+}
+
+/// E11: flight-recorder overhead — the E10 pool workload run twice,
+/// without and with the recorder armed (digest checkpoints every 8
+/// ticks). Recording journals every injected input on the pool thread,
+/// so the honest cost shows up on reaction latency and critical path.
+pub fn recording_overhead(
+    n: usize,
+    sessions: u64,
+    shards: usize,
+    ticks: u64,
+    seed: u64,
+) -> Vec<RecordingRow> {
+    [false, true]
+        .into_iter()
+        .map(|recorded| {
+            let mut pool =
+                hiphop_eventloop::sessions::SessionPool::new(shards, 10, move |_id| {
+                    pool_machine(n, seed)
+                });
+            pool.set_serial_sweep(true);
+            if recorded {
+                pool.record(
+                    hiphop_runtime::RecorderConfig::default(),
+                    std::collections::BTreeMap::new(),
+                )
+                .expect("recorder arms");
+            }
+            pool.open_many(sessions).expect("pool opens");
+            for t in 0..ticks {
+                let sig = format!("i{}", t % 8);
+                for id in 0..sessions {
+                    pool.inject(
+                        hiphop_eventloop::sessions::SessionId(id),
+                        &sig,
+                        Value::Bool(true),
+                    );
+                }
+                pool.tick().expect("tick");
+            }
+            let metrics = pool.metrics().expect("metrics");
+            let journal_bytes = pool
+                .take_recording()
+                .map(|r| r.to_jsonl().len())
+                .unwrap_or(0);
+            RecordingRow {
+                recorded,
+                metrics,
+                journal_bytes,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -675,5 +738,16 @@ mod tests {
         }
         assert_eq!(rows[0].shards, 1);
         assert_eq!(rows[1].shards, 2);
+    }
+
+    #[test]
+    fn recording_overhead_rows_do_the_same_work() {
+        let rows = recording_overhead(40, 6, 2, 4, 7);
+        assert_eq!(rows.len(), 2);
+        assert!(!rows[0].recorded && rows[1].recorded);
+        // Identical workload either way — recording is pure observation.
+        assert_eq!(rows[0].metrics.reactions, rows[1].metrics.reactions);
+        assert_eq!(rows[0].journal_bytes, 0, "no journal without the recorder");
+        assert!(rows[1].journal_bytes > 0, "the armed run serialized a journal");
     }
 }

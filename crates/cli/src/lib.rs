@@ -65,6 +65,8 @@ pub struct Options {
     pub deny: Vec<String>,
     /// Session-pool knobs for `serve`.
     pub serve: ServeOptions,
+    /// Window/verification knobs for `replay`.
+    pub replay: ReplayFlags,
 }
 
 /// Knobs for the `serve` subcommand: a sharded multi-session concert
@@ -81,6 +83,15 @@ pub struct ServeOptions {
     pub seed: u64,
     /// Generated score family (`--shape small|concert|classical`).
     pub shape: String,
+    /// Write a flight-recorder journal (JSONL) to this file (`--record`).
+    pub record: Option<String>,
+    /// Write a Chrome trace-event JSON file to this path (`--trace-spans`).
+    pub trace_spans: Option<String>,
+    /// Write a Prometheus text exposition to this path (`--prom`).
+    pub prom: Option<String>,
+    /// Print a pool-metrics line to stderr every N beats (`--watch N`,
+    /// 0 = off).
+    pub watch: u64,
 }
 
 impl Default for ServeOptions {
@@ -91,6 +102,34 @@ impl Default for ServeOptions {
             ticks: 32,
             seed: 0,
             shape: "small".to_owned(),
+            record: None,
+            trace_spans: None,
+            prom: None,
+            watch: 0,
+        }
+    }
+}
+
+/// Knobs for the `replay` subcommand (`--from` / `--to` /
+/// `--verify-digests`). Digest verification defaults to *on* — a replay
+/// that checks nothing answers nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayFlags {
+    /// Compare digest checkpoints (`--verify-digests` forces on,
+    /// `--no-verify-digests` disables).
+    pub verify_digests: bool,
+    /// First tick whose checkpoints are checked (`--from`).
+    pub from: u64,
+    /// Last tick to re-execute (`--to`).
+    pub to: u64,
+}
+
+impl Default for ReplayFlags {
+    fn default() -> ReplayFlags {
+        ReplayFlags {
+            verify_digests: true,
+            from: 0,
+            to: u64::MAX,
         }
     }
 }
@@ -175,6 +214,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut format = "pretty".to_owned();
     let mut deny = Vec::new();
     let mut serve = ServeOptions::default();
+    let mut replay = ReplayFlags::default();
     let uint = |flag: &str, v: Option<&String>| -> Result<u64, CliError> {
         v.ok_or_else(|| fail(format!("{flag} needs an integer")))?
             .parse()
@@ -248,6 +288,32 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             }
             "--ticks" => serve.ticks = uint("--ticks", it.next())?,
             "--seed" => serve.seed = uint("--seed", it.next())?,
+            "--record" => {
+                serve.record = Some(
+                    it.next()
+                        .ok_or_else(|| fail("--record needs a file path"))?
+                        .clone(),
+                )
+            }
+            "--trace-spans" => {
+                serve.trace_spans = Some(
+                    it.next()
+                        .ok_or_else(|| fail("--trace-spans needs a file path"))?
+                        .clone(),
+                )
+            }
+            "--prom" => {
+                serve.prom = Some(
+                    it.next()
+                        .ok_or_else(|| fail("--prom needs a file path"))?
+                        .clone(),
+                )
+            }
+            "--watch" => serve.watch = uint("--watch", it.next())?,
+            "--verify-digests" => replay.verify_digests = true,
+            "--no-verify-digests" => replay.verify_digests = false,
+            "--from" => replay.from = uint("--from", it.next())?,
+            "--to" => replay.to = uint("--to", it.next())?,
             "--shape" => {
                 let s = it
                     .next()
@@ -286,6 +352,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let file = if command == "serve" {
         // `serve` runs a generated score: no source file.
         file.unwrap_or_default()
+    } else if command == "replay" {
+        file.ok_or_else(|| fail(format!("replay needs a recording file\n{USAGE}")))?
     } else {
         file.ok_or_else(|| fail(format!("missing source file\n{USAGE}")))?
     };
@@ -301,6 +369,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         format,
         deny,
         serve,
+        replay,
     })
 }
 
@@ -318,13 +387,18 @@ pub struct ServeReport {
 /// of a [`hiphop_eventloop::sessions::SessionPool`] and drives `--ticks`
 /// beats of the generated Skini concert deterministically on the virtual
 /// clock. Prints a one-line JSON summary; `--metrics` adds the per-shard
-/// roll-up table.
+/// roll-up table. The observability plane rides along on request:
+/// `--record FILE` writes the flight journal (replayable with the
+/// `replay` subcommand), `--trace-spans FILE` writes a Chrome
+/// trace-event JSON loadable in Perfetto, `--prom FILE` writes a
+/// Prometheus text exposition, and `--watch N` prints a metrics line to
+/// stderr every N beats.
 ///
 /// # Errors
 ///
-/// Fails on an unknown `--shape`, a score compile error, or a dead
-/// shard. Injected chaos faults (from `--chaos-rate`) roll back and are
-/// counted, not fatal.
+/// Fails on an unknown `--shape`, a score compile error, a dead
+/// shard, or an unwritable output file. Injected chaos faults (from
+/// `--chaos-rate`) roll back and are counted, not fatal.
 pub fn cmd_serve(
     serve: &ServeOptions,
     chaos: &ChaosOptions,
@@ -344,7 +418,44 @@ pub fn cmd_serve(
         shape,
         chaos_rate: chaos.rate,
     };
-    let report = hiphop_skini::concert::run(&cfg).map_err(fail)?;
+    let opts = hiphop_skini::ConcertRunOptions {
+        record: serve
+            .record
+            .as_ref()
+            .map(|_| hiphop_runtime::RecorderConfig::default()),
+        trace_spans: serve.trace_spans.is_some(),
+        // Per-level counters feed the Prometheus exposition.
+        level_activity: serve.prom.is_some(),
+        watch_every: serve.watch,
+        watch: (serve.watch > 0).then(|| {
+            Box::new(|beat: u64, m: &hiphop_runtime::PoolMetrics| {
+                eprintln!(
+                    "[watch] beat {beat}: {} reaction(s), {} rollback(s) across {} session(s)",
+                    m.reactions,
+                    m.rollbacks,
+                    m.sessions(),
+                );
+            }) as Box<dyn FnMut(u64, &hiphop_runtime::PoolMetrics)>
+        }),
+    };
+    let run = hiphop_skini::concert::run_with(&cfg, opts).map_err(fail)?;
+    if let Some(path) = &serve.record {
+        let rec = run
+            .recording
+            .as_ref()
+            .ok_or_else(|| fail("recording was requested but not captured"))?;
+        std::fs::write(path, rec.to_jsonl())
+            .map_err(|e| fail(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(path) = &serve.trace_spans {
+        std::fs::write(path, hiphop_runtime::chrome_trace(&run.spans))
+            .map_err(|e| fail(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(path) = &serve.prom {
+        std::fs::write(path, run.report.metrics.render_prometheus())
+            .map_err(|e| fail(format!("cannot write {path}: {e}")))?;
+    }
+    let report = run.report;
     let json = format!(
         "{{\"sessions\":{},\"shards\":{},\"ticks\":{},\"shape\":\"{}\",\"seed\":{},\"enqueued\":{},\"played\":{},\"faults\":{},\"digest\":\"{:016x}\",\"pool\":{}}}",
         report.sessions,
@@ -364,9 +475,53 @@ pub fn cmd_serve(
     })
 }
 
+/// Output of [`cmd_replay`]: the verification report (one JSON object)
+/// and whether every checked digest matched — the binary exits non-zero
+/// on a mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayRunReport {
+    /// One JSON object summarising the replay (stdout).
+    pub json: String,
+    /// True when no digest mismatches were found.
+    pub ok: bool,
+}
+
+/// `replay`: re-executes a flight recording (written by `serve
+/// --record`) on a fresh pool with `--shards` shards — any shard count,
+/// since shard assignment never affects session semantics — and checks
+/// digest checkpoints in the `--from`/`--to` window unless
+/// `--no-verify-digests`.
+///
+/// # Errors
+///
+/// Fails on an unreadable or malformed recording, a foreign scenario, a
+/// ring-evicted journal, or a dead shard. Digest *mismatches* are
+/// reported in [`ReplayRunReport::ok`], not raised as errors.
+pub fn cmd_replay(
+    file: &str,
+    shards: usize,
+    flags: &ReplayFlags,
+) -> Result<ReplayRunReport, CliError> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| fail(format!("cannot read {file}: {e}")))?;
+    let rec = hiphop_runtime::Recording::from_jsonl(&text).map_err(fail)?;
+    let opts = hiphop_runtime::ReplayOptions {
+        from: flags.from,
+        to: flags.to,
+        verify_digests: flags.verify_digests,
+    };
+    let report = hiphop_skini::concert::replay(&rec, shards, &opts).map_err(fail)?;
+    Ok(ReplayRunReport {
+        json: report.to_json(),
+        ok: report.ok(),
+    })
+}
+
 /// Usage text.
 pub const USAGE: &str = "usage: hiphopc <check|analyze|stats|pretty|dot|run|trace|oracle> FILE [--main MODULE] [--no-optimize] [--stimulus S] [--engine E]
        hiphopc serve [--sessions N] [--shards N] [--ticks N] [--seed N] [--shape S] [--metrics]
+                     [--record FILE] [--trace-spans FILE] [--prom FILE] [--watch N]
+       hiphopc replay FILE [--shards N] [--from N] [--to N] [--no-verify-digests]
   check   parse, link and statically check the program
   analyze compile and lint the circuit: constructiveness verdicts per
           cyclic SCC, emission hygiene, dead nets
@@ -384,6 +539,25 @@ pub const USAGE: &str = "usage: hiphopc <check|analyze|stats|pretty|dot|run|trac
           prints a one-line JSON summary, --metrics adds the per-shard
           table, --chaos-rate injects per-session faults (the fault
           streams derive from --seed)
+  replay  re-execute a flight recording (from serve --record) on a
+          fresh pool and verify digest checkpoints instant by instant
+serve observability flags:
+  --record FILE       write the flight-recorder journal (JSONL): every
+                      injected input, tick boundary and digest
+                      checkpoint, replayable with `hiphopc replay`
+  --trace-spans FILE  write tick/sweep/reaction spans as Chrome
+                      trace-event JSON (open in Perfetto; one process
+                      track per shard)
+  --prom FILE         write the pool metrics as a Prometheus text
+                      exposition (counters, histograms, per-shard and
+                      per-level series)
+  --watch N           print a pool-metrics line to stderr every N beats
+replay flags:
+  --shards N            shard count for the replay pool (digests must
+                        match on ANY shard count; default 4)
+  --from N / --to N     only check checkpoints in this tick window
+  --verify-digests      compare digest checkpoints (the default)
+  --no-verify-digests   just re-execute, skip digest comparison
 analyze flags:
   --format pretty|json   human-readable lines (default) or one JSON
                          object per lint
@@ -1373,7 +1547,7 @@ mod tests {
             shards: 3,
             ticks: 8,
             seed: 4,
-            shape: "small".to_owned(),
+            ..ServeOptions::default()
         };
         let report = cmd_serve(&opts, &ChaosOptions::default(), true).unwrap();
         assert!(report.json.starts_with("{\"sessions\":12,"), "{}", report.json);
@@ -1408,11 +1582,110 @@ mod tests {
             shards: 2,
             ticks: 16,
             seed: 3,
-            shape: "small".to_owned(),
+            ..ServeOptions::default()
         };
         let report =
             cmd_serve(&opts, &ChaosOptions { seed: 0, rate: 0.1 }, false).unwrap();
         assert!(!report.json.contains("\"faults\":0"), "{}", report.json);
+    }
+
+    #[test]
+    fn parse_args_observability_flags() {
+        let o = parse_args(&[
+            "serve".into(),
+            "--record".into(),
+            "f.jsonl".into(),
+            "--trace-spans".into(),
+            "t.json".into(),
+            "--prom".into(),
+            "m.prom".into(),
+            "--watch".into(),
+            "8".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.serve.record.as_deref(), Some("f.jsonl"));
+        assert_eq!(o.serve.trace_spans.as_deref(), Some("t.json"));
+        assert_eq!(o.serve.prom.as_deref(), Some("m.prom"));
+        assert_eq!(o.serve.watch, 8);
+        assert!(parse_args(&["serve".into(), "--record".into()]).is_err());
+
+        let o = parse_args(&[
+            "replay".into(),
+            "f.jsonl".into(),
+            "--shards".into(),
+            "3".into(),
+            "--from".into(),
+            "2".into(),
+            "--to".into(),
+            "9".into(),
+            "--no-verify-digests".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.command, "replay");
+        assert_eq!(o.file, "f.jsonl");
+        assert_eq!(o.serve.shards, 3);
+        assert_eq!(o.replay, ReplayFlags { verify_digests: false, from: 2, to: 9 });
+        // Defaults: verification is on over the whole recording.
+        let o = parse_args(&["replay".into(), "f.jsonl".into()]).unwrap();
+        assert_eq!(o.replay, ReplayFlags::default());
+        assert!(parse_args(&["replay".into()]).is_err(), "recording file required");
+    }
+
+    #[test]
+    fn serve_record_then_replay_round_trips() {
+        let dir = std::env::temp_dir();
+        let rec_path = dir.join("hiphopc_test_flight.jsonl");
+        let trace_path = dir.join("hiphopc_test_spans.json");
+        let prom_path = dir.join("hiphopc_test_metrics.prom");
+        let opts = ServeOptions {
+            sessions: 10,
+            shards: 4,
+            ticks: 12,
+            seed: 21,
+            record: Some(rec_path.to_string_lossy().into_owned()),
+            trace_spans: Some(trace_path.to_string_lossy().into_owned()),
+            prom: Some(prom_path.to_string_lossy().into_owned()),
+            ..ServeOptions::default()
+        };
+        // Chaos on: the replay must reproduce the fault schedule too.
+        let report = cmd_serve(&opts, &ChaosOptions { seed: 0, rate: 0.05 }, false).unwrap();
+        assert!(report.json.contains("\"digest\":"), "{}", report.json);
+
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("hiphop_pool_reactions_total"), "{prom}");
+
+        // Replay on a different shard count: digest-identical.
+        let rec_file = rec_path.to_string_lossy().into_owned();
+        let replayed = cmd_replay(&rec_file, 2, &ReplayFlags::default()).unwrap();
+        assert!(replayed.ok, "{}", replayed.json);
+        assert!(replayed.json.contains("\"mismatches\":0"), "{}", replayed.json);
+
+        // A window replay checks fewer checkpoints but still runs.
+        let windowed = cmd_replay(
+            &rec_file,
+            1,
+            &ReplayFlags { from: 8, to: 12, ..ReplayFlags::default() },
+        )
+        .unwrap();
+        assert!(windowed.ok, "{}", windowed.json);
+
+        let _ = std::fs::remove_file(rec_path);
+        let _ = std::fs::remove_file(trace_path);
+        let _ = std::fs::remove_file(prom_path);
+    }
+
+    #[test]
+    fn replay_rejects_garbage_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("hiphopc_test_not_a_recording.jsonl");
+        std::fs::write(&path, "{\"type\":\"nonsense\"}\n").unwrap();
+        let err = cmd_replay(&path.to_string_lossy(), 2, &ReplayFlags::default()).unwrap_err();
+        assert!(err.to_string().contains("unknown record type"), "{err}");
+        let _ = std::fs::remove_file(&path);
+        let err = cmd_replay("/nonexistent/x.jsonl", 2, &ReplayFlags::default()).unwrap_err();
+        assert!(err.to_string().contains("cannot read"), "{err}");
     }
 
     #[test]

@@ -30,6 +30,22 @@ fn main() {
             }
         }
     }
+    if opts.command == "replay" {
+        // The file is a flight recording, not a source program.
+        match hiphop_cli::cmd_replay(&opts.file, opts.serve.shards, &opts.replay) {
+            Ok(report) => {
+                println!("{}", report.json);
+                if !report.ok {
+                    std::process::exit(1);
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("hiphopc: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {

@@ -33,14 +33,21 @@
 
 use crate::{Driver, EventLoop};
 use hiphop_core::value::Value;
-use hiphop_runtime::telemetry::shared;
-use hiphop_runtime::{Machine, MetricsSink, OutputEvent, PoolMetrics, ShardRollup};
+use hiphop_runtime::flight::{
+    DigestMismatch, Recorder, RecorderConfig, RecordedInput, Recording, ReplayOptions,
+    ReplayReport,
+};
+use hiphop_runtime::telemetry::{shared, SpanKind, SpanRecord};
+use hiphop_runtime::{
+    LevelActivity, Machine, MetricsSink, OutputEvent, PoolMetrics, ShardRollup,
+};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Stable identifier of one session in a pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -129,10 +136,20 @@ enum Cmd {
         inputs: Vec<(SessionId, String, Value)>,
         reply: Sender<ShardTick>,
     },
-    /// State digests of every live session (for isolation tests).
+    /// State digests of every live session (for isolation tests and
+    /// flight-recorder checkpoints).
     Digests(Sender<Vec<(SessionId, String)>>),
     /// Metrics roll-up snapshot.
     Metrics(Sender<ShardRollup>),
+    /// Observability knobs: span tracing (timestamps against the shared
+    /// `epoch`) and per-level sweep activity counters (applied to
+    /// sessions opened afterwards).
+    Config {
+        tracing: bool,
+        level_activity: bool,
+        epoch: Instant,
+        reply: Sender<()>,
+    },
     Shutdown,
 }
 
@@ -141,6 +158,10 @@ struct ShardTick {
     faults: Vec<SessionFault>,
     reactions: usize,
     busy_us: f64,
+    /// Sweep + reaction spans from this shard's tick (empty unless
+    /// tracing is on). Sweep spans arrive with `parent == 0`; the pool
+    /// re-parents them under its tick span.
+    spans: Vec<SpanRecord>,
 }
 
 struct ShardHandle {
@@ -158,6 +179,13 @@ struct ShardState {
     rollbacks: u64,
     quarantined: usize,
     factory: Arc<SessionFactory>,
+    // Observability (Cmd::Config): span tracing against the pool's
+    // epoch, a shard-unique span id sequence, and level-activity arming
+    // for newly opened sessions.
+    tracing: bool,
+    level_activity: bool,
+    epoch: Instant,
+    span_seq: u64,
 }
 
 struct Slot {
@@ -166,18 +194,29 @@ struct Slot {
 }
 
 impl ShardState {
+    /// Shard-unique span ids: shard `k` allocates in `(k+1) << 40 | seq`,
+    /// so ids never collide across shards or with the pool's tick spans.
+    fn next_span_id(&mut self) -> u64 {
+        self.span_seq += 1;
+        ((self.index as u64 + 1) << 40) | self.span_seq
+    }
+
     fn open(&mut self, ids: Vec<SessionId>) -> Result<ShardTick, String> {
         let mut out = ShardTick {
             outputs: Vec::new(),
             faults: Vec::new(),
             reactions: 0,
             busy_us: 0.0,
+            spans: Vec::new(),
         };
         let t0 = std::time::Instant::now();
         for id in ids {
             let mut machine =
                 (self.factory)(id).map_err(|e| format!("shard {}: {id}: {e}", self.index))?;
             machine.attach_sink(self.sink.clone());
+            if self.level_activity {
+                machine.enable_level_activity();
+            }
             let driver = Driver {
                 machine: Rc::new(RefCell::new(machine)),
                 el: self.el.clone(),
@@ -224,8 +263,22 @@ impl ShardState {
             faults: Vec::new(),
             reactions: 0,
             busy_us: 0.0,
+            spans: Vec::new(),
         };
+        // When tracing, the sweep span is allocated up front so the
+        // per-session reaction spans can parent to it; its timing is
+        // patched in at the end.
+        let sweep_span = self.tracing.then(|| {
+            (
+                self.next_span_id(),
+                self.epoch.elapsed().as_micros() as u64,
+            )
+        });
         let t0 = std::time::Instant::now();
+        // Local copies: the loop holds `self.sessions` mutably, so span
+        // ids come from a local sequence written back afterwards.
+        let shard_tag = (self.index as u64 + 1) << 40;
+        let mut span_seq = self.span_seq;
         for (&id, slot) in &mut self.sessions {
             if slot.quarantined {
                 continue;
@@ -234,7 +287,24 @@ impl ShardState {
             let inputs = per_session.get(&id).unwrap_or(&empty);
             let refs: Vec<(&str, Value)> =
                 inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-            match slot.driver.react(&refs) {
+            let span_start = sweep_span.map(|_| self.epoch.elapsed().as_micros() as u64);
+            let reacted = slot.driver.react(&refs);
+            if let (Some((sweep_id, _)), Some(ts_us)) = (sweep_span, span_start) {
+                let end = self.epoch.elapsed().as_micros() as u64;
+                span_seq += 1;
+                let span_id = shard_tag | span_seq;
+                out.spans.push(SpanRecord {
+                    id: span_id,
+                    parent: sweep_id,
+                    name: id.to_string(),
+                    kind: SpanKind::Reaction,
+                    shard: self.index as u32,
+                    ts_us,
+                    dur_us: (end - ts_us).max(1),
+                });
+            }
+            self.span_seq = span_seq;
+            match reacted {
                 Ok(reactions) => {
                     out.reactions += reactions.len();
                     out.outputs.push(SessionOutputs {
@@ -296,6 +366,18 @@ impl ShardState {
             }
         }
         out.busy_us = t0.elapsed().as_nanos() as f64 / 1e3;
+        if let Some((sweep_id, sweep_ts)) = sweep_span {
+            let end = self.epoch.elapsed().as_micros() as u64;
+            out.spans.push(SpanRecord {
+                id: sweep_id,
+                parent: 0, // re-parented to the pool's tick span
+                name: format!("shard {}", self.index),
+                kind: SpanKind::Sweep,
+                shard: self.index as u32,
+                ts_us: sweep_ts,
+                dur_us: (end - sweep_ts).max(1),
+            });
+        }
         out
     }
 
@@ -309,6 +391,12 @@ impl ShardState {
 
     fn rollup(&self) -> ShardRollup {
         let sink = self.sink.borrow();
+        let mut level_activity = LevelActivity::default();
+        for slot in self.sessions.values() {
+            if let Some(la) = slot.driver.machine.borrow().level_activity() {
+                level_activity.merge(la);
+            }
+        }
         ShardRollup {
             shard: self.index,
             sessions: self.sessions.values().filter(|s| !s.quarantined).count(),
@@ -316,6 +404,7 @@ impl ShardState {
             rollbacks: self.rollbacks,
             metrics: sink.snapshot(),
             samples_us: sink.duration_samples_us(),
+            level_activity,
         }
     }
 }
@@ -334,6 +423,24 @@ fn shard_main(mut state: ShardState, rx: Receiver<Cmd>) {
             }
             Cmd::Metrics(reply) => {
                 let _ = reply.send(state.rollup());
+            }
+            Cmd::Config {
+                tracing,
+                level_activity,
+                epoch,
+                reply,
+            } => {
+                state.tracing = tracing;
+                state.level_activity = level_activity;
+                state.epoch = epoch;
+                // Arm already-open sessions too (tracing is often turned
+                // on after a warm-up phase).
+                if level_activity {
+                    for slot in state.sessions.values() {
+                        slot.driver.machine.borrow_mut().enable_level_activity();
+                    }
+                }
+                let _ = reply.send(());
             }
             Cmd::Shutdown => break,
         }
@@ -364,6 +471,14 @@ pub struct SessionPool {
     pending: Vec<(SessionId, String, Value)>,
     sessions: usize,
     serial_sweep: bool,
+    // Observability plane (issue 6): the armed flight recorder, span
+    // tracing state, and the collected cross-shard spans.
+    recorder: Option<Recorder>,
+    tracing: bool,
+    level_activity: bool,
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    tick_span_seq: u64,
 }
 
 impl SessionPool {
@@ -398,6 +513,10 @@ impl SessionPool {
                             rollbacks: 0,
                             quarantined: 0,
                             factory,
+                            tracing: false,
+                            level_activity: false,
+                            epoch: Instant::now(),
+                            span_seq: 0,
                         };
                         shard_main(state, rx);
                     })
@@ -413,6 +532,12 @@ impl SessionPool {
             pending: Vec::new(),
             sessions: 0,
             serial_sweep: false,
+            recorder: None,
+            tracing: false,
+            level_activity: false,
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            tick_span_seq: 0,
         }
     }
 
@@ -487,6 +612,17 @@ impl SessionPool {
         // pool's reaction critical path.
         report.critical_path_us = slowest;
         self.sessions += sessions.len();
+        if self.recorder.is_some() {
+            let all = self.digests()?;
+            let ids: Vec<u64> = sessions.iter().map(|id| id.0).collect();
+            let boot: Vec<(u64, String)> = sessions
+                .iter()
+                .filter_map(|id| all.get(id).map(|d| (id.0, d.clone())))
+                .collect();
+            if let Some(r) = self.recorder.as_mut() {
+                r.record_open(self.tick_ms, &ids, boot);
+            }
+        }
         Ok(report)
     }
 
@@ -510,6 +646,176 @@ impl SessionPool {
         self.serial_sweep = serial;
     }
 
+    /// Pushes the current observability knobs to every shard.
+    fn push_config(&self) -> Result<(), PoolError> {
+        for (shard, h) in self.shards.iter().enumerate() {
+            let (tx, rx) = channel();
+            h.tx.send(Cmd::Config {
+                tracing: self.tracing,
+                level_activity: self.level_activity,
+                epoch: self.epoch,
+                reply: tx,
+            })
+            .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+            rx.recv()
+                .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+        }
+        Ok(())
+    }
+
+    /// Turns cross-shard span tracing on or off. While on, every
+    /// [`SessionPool::tick`] emits a tick span with per-shard sweep
+    /// children and per-session reaction grandchildren, all stamped
+    /// against one shared epoch; collect them with
+    /// [`SessionPool::take_spans`] and render with
+    /// [`hiphop_runtime::chrome_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if a shard thread died.
+    pub fn set_tracing(&mut self, on: bool) -> Result<(), PoolError> {
+        self.tracing = on;
+        self.push_config()
+    }
+
+    /// Arms per-level sweep activity counters on every session (current
+    /// and future); the counts surface in
+    /// [`ShardRollup::level_activity`] / [`PoolMetrics::level_activity`]
+    /// and the Prometheus exposition.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a shard thread died.
+    pub fn set_level_activity(&mut self, on: bool) -> Result<(), PoolError> {
+        self.level_activity = on;
+        self.push_config()
+    }
+
+    /// Drains the collected spans, ordered by start timestamp.
+    pub fn take_spans(&mut self) -> Vec<SpanRecord> {
+        let mut spans = std::mem::take(&mut self.spans);
+        spans.sort_by_key(|s| (s.ts_us, s.id));
+        spans
+    }
+
+    /// Arms the flight recorder: from now on every opened session and
+    /// every tick's injected inputs are journaled, with digest
+    /// checkpoints per `cfg`. Sessions already open are journaled
+    /// immediately with their *current* digests as boot digests, so a
+    /// recorder armed mid-run still yields a replayable journal of the
+    /// rest of the run. `scenario` is free-form metadata the scenario
+    /// owner needs to rebuild an equivalent factory (seed, shape…).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a shard thread died while digesting the open sessions.
+    pub fn record(
+        &mut self,
+        cfg: RecorderConfig,
+        scenario: BTreeMap<String, String>,
+    ) -> Result<(), PoolError> {
+        let mut recorder = Recorder::new(cfg, scenario);
+        if self.sessions > 0 {
+            let digests = self.digests()?;
+            let ids: Vec<u64> = digests.keys().map(|id| id.0).collect();
+            let boot: Vec<(u64, String)> =
+                digests.into_iter().map(|(id, d)| (id.0, d)).collect();
+            recorder.record_open(self.tick_ms, &ids, boot);
+        }
+        self.recorder = Some(recorder);
+        Ok(())
+    }
+
+    /// The journal so far, cloned (recording continues).
+    pub fn recording(&self) -> Option<Recording> {
+        self.recorder.as_ref().map(Recorder::snapshot)
+    }
+
+    /// Disarms the recorder and returns its journal.
+    pub fn take_recording(&mut self) -> Option<Recording> {
+        self.recorder.take().map(Recorder::into_recording)
+    }
+
+    /// Re-executes a [`Recording`] on this pool — which must be fresh
+    /// (nothing opened, no ticks) but may have *any* shard count: shard
+    /// assignment never leaks into session semantics, so digests must
+    /// match regardless. Opens the recorded sessions, injects each
+    /// tick's journaled inputs, and (per `opts`) compares every digest
+    /// checkpoint hash in the `[from, to]` window. The factory must
+    /// rebuild the recorded scenario (same programs, same chaos seeds) —
+    /// that is the caller's contract, keyed by [`Recording::scenario`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a non-replayable (ring-evicted) recording, a non-fresh
+    /// pool, or a dead shard. Digest mismatches are *reported*, not
+    /// errors — see [`ReplayReport::ok`].
+    pub fn replay(
+        &mut self,
+        rec: &Recording,
+        opts: &ReplayOptions,
+    ) -> Result<ReplayReport, PoolError> {
+        if !rec.replayable() {
+            return Err(PoolError(format!(
+                "recording is not replayable: {} tick(s) were evicted by the ring buffer",
+                rec.dropped
+            )));
+        }
+        if self.sessions != 0 || self.ticks != 0 {
+            return Err(PoolError(
+                "replay requires a fresh pool (sessions were opened or ticks ran)".to_owned(),
+            ));
+        }
+        let mut report = ReplayReport::default();
+        let ids: Vec<SessionId> = rec.sessions.iter().copied().map(SessionId).collect();
+        self.open(&ids)?;
+        if opts.verify_digests && opts.from == 0 {
+            self.check_digests(u64::MAX, &rec.boot_digests, &mut report)?;
+        }
+        for t in &rec.ticks {
+            if t.tick > opts.to {
+                break;
+            }
+            for i in &t.inputs {
+                self.inject(SessionId(i.session), &i.signal, i.value.clone());
+            }
+            self.tick()?;
+            report.ticks += 1;
+            if opts.verify_digests && t.tick >= opts.from {
+                if let Some(expected) = &t.digests {
+                    self.check_digests(t.tick, expected, &mut report)?;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Compares live digest hashes against recorded ones.
+    fn check_digests(
+        &self,
+        tick: u64,
+        expected: &[(u64, String)],
+        report: &mut ReplayReport,
+    ) -> Result<(), PoolError> {
+        let actual = self.digests()?;
+        for (id, want) in expected {
+            report.checked += 1;
+            let got = actual
+                .get(&SessionId(*id))
+                .map(|d| hiphop_runtime::flight::digest_hash(d))
+                .unwrap_or_default();
+            if got != *want {
+                report.mismatches.push(DigestMismatch {
+                    tick,
+                    session: *id,
+                    expected: want.clone(),
+                    actual: got,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Buffers one input event for `session`, delivered at the next
     /// [`SessionPool::tick`]. Multiple injections for the same session
     /// land in the same reaction (one batched instant per tick).
@@ -527,6 +833,20 @@ impl SessionPool {
     /// Fails only if a shard thread died; per-session reaction errors
     /// are reported (and rolled back) in [`TickReport::faults`].
     pub fn tick(&mut self) -> Result<TickReport, PoolError> {
+        // Journal the injected inputs before they are drained.
+        let journal: Option<Vec<RecordedInput>> = self.recorder.as_ref().map(|_| {
+            self.pending
+                .iter()
+                .map(|(id, signal, value)| RecordedInput {
+                    session: id.0,
+                    signal: signal.clone(),
+                    value: value.clone(),
+                })
+                .collect()
+        });
+        let tick_ts = self
+            .tracing
+            .then(|| self.epoch.elapsed().as_micros() as u64);
         let mut per_shard: Vec<Vec<(SessionId, String, Value)>> =
             vec![Vec::new(); self.shards.len()];
         for (id, signal, value) in self.pending.drain(..) {
@@ -570,17 +890,61 @@ impl SessionPool {
         }
         let mut report = TickReport { tick: self.ticks, ..TickReport::default() };
         let mut slowest = 0.0f64;
+        let mut tick_spans: Vec<SpanRecord> = Vec::new();
         for st in shard_ticks {
             report.outputs.extend(st.outputs);
             report.faults.extend(st.faults);
             report.reactions += st.reactions;
             slowest = slowest.max(st.busy_us);
+            tick_spans.extend(st.spans);
         }
         report.outputs.sort_by_key(|o| o.session);
         report.faults.sort_by_key(|f| f.session);
         report.critical_path_us = slowest;
         self.critical_path_us += slowest;
+        let tick_no = self.ticks;
         self.ticks += 1;
+        if let Some(ts_us) = tick_ts {
+            // Pool tick span ids live below `1 << 40`, so they never
+            // collide with shard-allocated ids.
+            self.tick_span_seq += 1;
+            let tick_id = self.tick_span_seq;
+            for s in &mut tick_spans {
+                if s.parent == 0 {
+                    s.parent = tick_id;
+                }
+            }
+            let end = self.epoch.elapsed().as_micros() as u64;
+            tick_spans.push(SpanRecord {
+                id: tick_id,
+                parent: 0,
+                name: format!("tick {tick_no}"),
+                kind: SpanKind::Tick,
+                shard: 0,
+                ts_us,
+                dur_us: (end - ts_us).max(1),
+            });
+            self.spans.append(&mut tick_spans);
+        }
+        if let Some(inputs) = journal {
+            let digests = if self
+                .recorder
+                .as_ref()
+                .is_some_and(|r| r.wants_checkpoint(tick_no))
+            {
+                Some(
+                    self.digests()?
+                        .into_iter()
+                        .map(|(id, d)| (id.0, d))
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            if let Some(r) = self.recorder.as_mut() {
+                r.record_tick(tick_no, inputs, digests);
+            }
+        }
         Ok(report)
     }
 

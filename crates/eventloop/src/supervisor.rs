@@ -43,7 +43,7 @@ use hiphop_core::mailbox::AsyncHandle;
 use hiphop_core::rng::Rng;
 use hiphop_core::value::Value;
 use hiphop_runtime::isolate::guarded;
-use hiphop_runtime::telemetry::{SinkSet, TraceEvent};
+use hiphop_runtime::telemetry::{SinkSet, SpanKind, SpanRecord, TraceEvent};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::{Rc, Weak};
@@ -234,6 +234,9 @@ struct ActivityRun {
     work: WorkFn,
     /// Attempts started so far (1-based once running).
     attempt: u32,
+    /// Virtual-clock start of the current attempt (ms), for the
+    /// activity's span in the cross-shard trace.
+    started_ms: u64,
     /// Bumped on every state transition; callbacks capture the epoch at
     /// scheduling time and anything stale is dropped — the supervisor's
     /// analogue of the machine's instance/generation check.
@@ -253,6 +256,10 @@ pub struct Supervisor {
     sinks: RefCell<SinkSet>,
     chaos: RefCell<Option<ChaosEngine>>,
     stats: RefCell<SupervisionStats>,
+    /// Span id sequence for activity spans — allocated in `1 << 50 | n`
+    /// so ids never collide with pool tick or shard span ids when the
+    /// traces are merged.
+    span_seq: std::cell::Cell<u64>,
 }
 
 impl std::fmt::Debug for Supervisor {
@@ -357,6 +364,7 @@ impl Supervisor {
             sinks: RefCell::new(SinkSet::new()),
             chaos: RefCell::new(None),
             stats: RefCell::new(SupervisionStats::default()),
+            span_seq: std::cell::Cell::new(0),
         })
     }
 
@@ -394,6 +402,27 @@ impl Supervisor {
         }
     }
 
+    /// Emits the just-ended attempt's span (virtual-clock timestamps, so
+    /// an attempt that "ran" 300 virtual ms spans 300_000 µs on the
+    /// activity track regardless of wall time).
+    fn emit_activity_span(&self, now_ms: u64, name: &str, attempt: u32, started_ms: u64) {
+        let sinks = self.sinks.borrow();
+        if sinks.is_empty() {
+            return;
+        }
+        self.span_seq.set(self.span_seq.get() + 1);
+        let record = SpanRecord {
+            id: (1 << 50) | self.span_seq.get(),
+            parent: 0,
+            name: format!("{name}#{attempt}"),
+            kind: SpanKind::Activity,
+            shard: 0,
+            ts_us: started_ms * 1000,
+            dur_us: (now_ms.saturating_sub(started_ms) * 1000).max(1),
+        };
+        sinks.emit(&TraceEvent::Span { record: &record });
+    }
+
     /// Registers a fresh activity run (spawn hook).
     fn register(&self, handle: AsyncHandle, spec: &SupervisedSpec, work: WorkFn) -> ActivityKey {
         let key = (handle.async_id(), handle.instance());
@@ -407,6 +436,7 @@ impl Supervisor {
                 fail_signal: spec.fail_signal.clone(),
                 work,
                 attempt: 0,
+                started_ms: 0,
                 epoch: 0,
                 rng: Rng::seed_from_u64(seed),
                 timeout_timer: None,
@@ -422,12 +452,14 @@ impl Supervisor {
     /// in-flight callback of the previous attempt), arms the deadline
     /// timer, and runs the work function under panic isolation.
     fn start_attempt(self: &Rc<Self>, el: &mut EventLoop, key: ActivityKey) {
+        let now_ms = el.now();
         let Some((work, attempt, epoch, name, timeout_ms)) = ({
             let mut acts = self.activities.borrow_mut();
             acts.get_mut(&key).map(|run| {
                 run.attempt += 1;
                 run.epoch += 1;
                 run.retry_timer = None;
+                run.started_ms = now_ms;
                 (
                     run.work.clone(),
                     run.attempt,
@@ -580,6 +612,7 @@ impl Supervisor {
                 };
                 Supervisor::teardown_attempt(&mut run, el);
                 self.stats.borrow_mut().completed += 1;
+                self.emit_activity_span(el.now(), &run.name, run.attempt, run.started_ms);
                 run.handle.notify(value);
             }
             Err(reason) => self.attempt_failed(el, key, epoch, reason),
@@ -590,7 +623,7 @@ impl Supervisor {
     /// under the policy or give up and surface the failure.
     fn attempt_failed(self: &Rc<Self>, el: &mut EventLoop, key: ActivityKey, epoch: u64, reason: String) {
         enum Decision {
-            Retry { name: String, attempt: u32, delay: u64 },
+            Retry { name: String, attempt: u32, delay: u64, started_ms: u64 },
             GiveUp(Box<ActivityRun>),
         }
         let decision = {
@@ -609,13 +642,14 @@ impl Supervisor {
                     name: run.name.clone(),
                     attempt: run.attempt,
                     delay,
+                    started_ms: run.started_ms,
                 }
             } else {
                 Decision::GiveUp(Box::new(acts.remove(&key).expect("present above")))
             }
         };
         match decision {
-            Decision::Retry { name, attempt, delay } => {
+            Decision::Retry { name, attempt, delay, started_ms } => {
                 if let Some(run) = self.activities.borrow_mut().get_mut(&key) {
                     if let Some(t) = run.timeout_timer.take() {
                         el.clear(t);
@@ -623,6 +657,7 @@ impl Supervisor {
                 }
                 self.run_cancel_hooks(key, el);
                 self.stats.borrow_mut().retries += 1;
+                self.emit_activity_span(el.now(), &name, attempt, started_ms);
                 self.emit(TraceEvent::ActivityRetry {
                     name: &name,
                     attempt,
@@ -641,6 +676,7 @@ impl Supervisor {
             Decision::GiveUp(mut run) => {
                 Supervisor::teardown_attempt(&mut run, el);
                 self.stats.borrow_mut().gave_up += 1;
+                self.emit_activity_span(el.now(), &run.name, run.attempt, run.started_ms);
                 let err = error_value(&reason, run.attempt);
                 match &run.fail_signal {
                     Some(sig) => run.handle.react(vec![(sig.clone(), err)]),
@@ -659,6 +695,9 @@ impl Supervisor {
         };
         Supervisor::teardown_attempt(&mut run, el);
         self.stats.borrow_mut().killed += 1;
+        if run.attempt > 0 {
+            self.emit_activity_span(el.now(), &run.name, run.attempt, run.started_ms);
+        }
     }
 
     /// Clears the run's timers and drains its cleanup hooks.

@@ -110,6 +110,9 @@ pub(crate) struct LevelSchedule {
     pub(crate) order: Vec<u32>,
     /// Number of topological levels.
     pub(crate) levels: usize,
+    /// Start offset of each level in `order` (length `levels + 1`) —
+    /// the level-activity counters bucket net evaluations with it.
+    pub(crate) level_starts: Vec<u32>,
     /// Width of the widest level.
     pub(crate) max_width: usize,
     /// Per-net opcode (`CODE_*`), indexed by net id.
@@ -132,6 +135,7 @@ impl LevelSchedule {
             class,
             lv.order.iter().map(|id| id.0).collect(),
             lv.levels(),
+            lv.level_starts.clone(),
             lv.max_width(),
         ))
     }
@@ -145,6 +149,7 @@ impl LevelSchedule {
         class: &[Class],
         order: Vec<u32>,
         levels: usize,
+        level_starts: Vec<u32>,
         max_width: usize,
     ) -> LevelSchedule {
         let n = circuit.nets().len();
@@ -180,6 +185,7 @@ impl LevelSchedule {
         LevelSchedule {
             order,
             levels,
+            level_starts,
             max_width,
             code,
             aux,
@@ -264,8 +270,17 @@ impl HybridSchedule {
             });
         }
         let levels = blocks.len();
+        // Blocks partition the order contiguously, so their boundaries
+        // double as the schedule's "levels" for activity accounting.
+        let mut level_starts: Vec<u32> = blocks
+            .iter()
+            .map(|b| match b {
+                Block::Dense { start, .. } | Block::Cyclic { start, .. } => *start,
+            })
+            .collect();
+        level_starts.push(pos);
         let sched = Rc::new(LevelSchedule::with_order(
-            circuit, class, order, levels, max_dense,
+            circuit, class, order, levels, level_starts, max_dense,
         ));
         HybridSchedule { sched, blocks }
     }

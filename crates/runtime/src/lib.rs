@@ -39,6 +39,7 @@
 pub mod causality;
 mod env;
 pub mod error;
+pub mod flight;
 pub mod isolate;
 pub mod levelized;
 pub mod machine;
@@ -47,11 +48,16 @@ pub mod waveform;
 
 pub use causality::CausalityReport;
 pub use error::{CycleNet, RuntimeError};
+pub use flight::{
+    DigestMismatch, Json, Recorder, RecorderConfig, RecordedInput, RecordedTick, Recording,
+    ReplayOptions, ReplayReport,
+};
 pub use levelized::EngineMode;
 pub use machine::{Machine, OutputEvent, Reaction};
 pub use telemetry::{
-    JsonlSink, Metrics, MetricsSink, PoolMetrics, ReactionStats, ShardRollup, SharedSink, SinkSet,
-    Summary, TraceEvent, TraceSink, VcdSink,
+    chrome_trace, ChromeTraceSink, JsonlSink, LevelActivity, Metrics, MetricsSink, PoolMetrics,
+    ReactionStats, ShardRollup, SharedSink, SinkSet, SpanCollector, SpanKind, SpanRecord, Summary,
+    TraceEvent, TraceSink, VcdSink,
 };
 pub use waveform::{SharedWaveform, Waveform};
 

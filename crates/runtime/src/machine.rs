@@ -21,7 +21,7 @@ use crate::levelized::{
 };
 use crate::isolate::guarded;
 use crate::telemetry::{
-    AsyncPhase, Metrics, MetricsSink, ReactionStats, SharedSink, SinkSet, TraceEvent,
+    AsyncPhase, LevelActivity, Metrics, MetricsSink, ReactionStats, SharedSink, SinkSet, TraceEvent,
 };
 use hiphop_circuit::{Action, AsyncId, Circuit, NetId, NetKind, SignalId, TestKind};
 use hiphop_core::ast::{AsyncCtx, AtomBody};
@@ -188,6 +188,12 @@ pub struct Machine {
     hybrid: Rc<HybridSchedule>,
     requested: Option<EngineMode>,
     lv_state: PackedStates,
+
+    // Per-level activity accounting (`enable_level_activity`): net
+    // evaluations and value flips bucketed by topological level, with
+    // the previous instant's net values as the flip baseline.
+    level_activity: Option<LevelActivity>,
+    prev_value: Vec<i8>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -318,6 +324,8 @@ impl Machine {
             chaos: None,
             requested: None,
             lv_state: PackedStates::default(),
+            level_activity: None,
+            prev_value: Vec::new(),
             circuit: Rc::new(circuit),
         })
     }
@@ -605,6 +613,59 @@ impl Machine {
         });
     }
 
+    /// Arms per-level activity accounting: after every reaction run on
+    /// the levelized or hybrid engine, the sweep's per-level net counts
+    /// and value flips (vs. the previous instant) accumulate into a
+    /// [`LevelActivity`]. Quantifies the "wide-but-quiet" sweep waste
+    /// the sparse-incremental roadmap item targets; costs one extra
+    /// byte-vector compare per reaction, so it is off by default.
+    pub fn enable_level_activity(&mut self) {
+        if self.level_activity.is_none() {
+            self.level_activity = Some(LevelActivity::default());
+        }
+    }
+
+    /// The accumulated per-level activity, when armed (empty until a
+    /// reaction runs on a level-structured engine).
+    pub fn level_activity(&self) -> Option<&LevelActivity> {
+        self.level_activity.as_ref()
+    }
+
+    /// Buckets this reaction's sweep by topological level (hybrid:
+    /// condensation block). `evals` counts nets swept; `changed` counts
+    /// nets whose committed value differs from the previous instant —
+    /// the gap between them is the quiet width a sparse engine could
+    /// skip. Constructive/naive reactions have no level structure and
+    /// are not tallied.
+    fn tally_level_activity(&mut self, engine: EngineMode) {
+        let sched = match engine {
+            EngineMode::Levelized => self.schedule.clone(),
+            EngineMode::Hybrid => Some(self.hybrid.sched.clone()),
+            _ => None,
+        };
+        let Some(sched) = sched else { return };
+        let Some(la) = &mut self.level_activity else { return };
+        let n = self.circuit.nets().len();
+        if self.prev_value.len() != n {
+            self.prev_value = vec![-1; n];
+        }
+        let starts = &sched.level_starts;
+        let levels = starts.len().saturating_sub(1);
+        if la.evals.len() < levels {
+            la.evals.resize(levels, 0);
+            la.changed.resize(levels, 0);
+        }
+        for l in 0..levels {
+            let span = &sched.order[starts[l] as usize..starts[l + 1] as usize];
+            la.evals[l] += span.len() as u64;
+            la.changed[l] += span
+                .iter()
+                .filter(|&&id| self.value[id as usize] != self.prev_value[id as usize])
+                .count() as u64;
+        }
+        self.prev_value[..n].copy_from_slice(&self.value[..n]);
+    }
+
     /// A deterministic digest of the machine's persistent state
     /// (registers, signal values and pre-values, variables, counters,
     /// async instances, termination flag). Two machines that executed
@@ -820,6 +881,10 @@ impl Machine {
             }
         }
 
+        if self.level_activity.is_some() {
+            self.tally_level_activity(engine);
+        }
+
         // Commit registers.
         for (r, reg) in circuit.registers().iter().enumerate() {
             self.regs[r] = self.value[reg.input.index()] == 1;
@@ -1025,6 +1090,9 @@ impl Machine {
         fresh.requested = self.requested;
         fresh.rollback = self.rollback;
         fresh.chaos = self.chaos.take();
+        // Keep activity accounting armed; accumulated per-level counts
+        // carry over (levels re-bucket against the new schedule).
+        fresh.level_activity = self.level_activity.take();
         *self = fresh;
         Ok(self)
     }

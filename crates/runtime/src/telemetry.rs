@@ -77,6 +77,57 @@ pub struct ReactionStats {
     pub engine: EngineMode,
 }
 
+/// The level of a [`SpanRecord`] in the pool's span hierarchy:
+/// tick → per-shard sweep → per-session reaction → async-activity
+/// child spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One pool tick across every shard (the root).
+    Tick,
+    /// One shard's sweep within a tick.
+    Sweep,
+    /// One session's reaction within a sweep.
+    Reaction,
+    /// One supervised-activity attempt (child of the reaction that
+    /// spawned it; timestamps are *virtual-clock* microseconds — see
+    /// `TRACING.md`).
+    Activity,
+}
+
+impl SpanKind {
+    /// Lower-case name used in trace encodings (the Chrome `cat` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Tick => "tick",
+            SpanKind::Sweep => "sweep",
+            SpanKind::Reaction => "reaction",
+            SpanKind::Activity => "activity",
+        }
+    }
+}
+
+/// One completed span: a named, timed interval linked to its parent by
+/// id. Owned and `Send` — spans cross shard boundaries in tick replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique span id (pool- and shard-generated ids never collide; 0 is
+    /// never a valid id).
+    pub id: u64,
+    /// Parent span id, or 0 for a root span.
+    pub parent: u64,
+    /// Display name (`tick 3`, `shard 1`, `s42`, an activity name…).
+    pub name: String,
+    /// Hierarchy level.
+    pub kind: SpanKind,
+    /// Shard that produced the span (0 for pool-level tick spans).
+    pub shard: u32,
+    /// Start timestamp, microseconds since the trace epoch
+    /// (virtual-clock µs for [`SpanKind::Activity`]).
+    pub ts_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
 /// One telemetry event published by the machine during a reaction.
 ///
 /// Borrowed payloads keep the hot path allocation-free; sinks that need
@@ -162,6 +213,13 @@ pub enum TraceEvent<'a> {
         name: &'a str,
         /// The panic payload rendered as text.
         payload: &'a str,
+    },
+    /// A span completed (published by span-producing layers — the
+    /// session pool's tick/sweep spans, the supervisor's activity
+    /// spans). Sinks that keep spans clone the record.
+    Span {
+        /// The completed span.
+        record: &'a SpanRecord,
     },
 }
 
@@ -273,7 +331,15 @@ impl Summary {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
-        let pick = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        // Linear interpolation between closest ranks: p50 of an
+        // even-count sample set is the midpoint of the two central
+        // elements, not whichever one nearest-rank rounding lands on.
+        let pick = |q: f64| {
+            let pos = (sorted.len() - 1) as f64 * q;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+        };
         Summary {
             count: sorted.len(),
             min: sorted[0],
@@ -281,6 +347,77 @@ impl Summary {
             p95: pick(0.95),
             max: sorted[sorted.len() - 1],
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        }
+    }
+}
+
+/// Explicit histogram bucket bounds for reaction durations, in
+/// microseconds (Prometheus `le` values; a final `+Inf` bucket is
+/// implied).
+pub const DURATION_BUCKETS_US: [f64; 10] =
+    [10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0];
+
+/// Cumulative bucket counts (`le` semantics) over `samples_us`, one slot
+/// per [`DURATION_BUCKETS_US`] bound plus a trailing `+Inf` slot.
+/// Cumulative counts sum element-wise across shards.
+fn duration_hist(samples_us: &[f64]) -> Vec<u64> {
+    let mut hist = vec![0u64; DURATION_BUCKETS_US.len() + 1];
+    for &s in samples_us {
+        for (i, le) in DURATION_BUCKETS_US.iter().enumerate() {
+            if s <= *le {
+                hist[i] += 1;
+            }
+        }
+        hist[DURATION_BUCKETS_US.len()] += 1;
+    }
+    hist
+}
+
+// ---------------------------------------------------------------------------
+// Per-level sweep activity.
+
+/// Per-level net-evaluation counters from the levelized/hybrid sweep:
+/// how many nets each level evaluated, and how many actually changed
+/// value since the previous instant. The gap between the two quantifies
+/// the "wide but quiet" waste a sparse incremental engine would skip
+/// (the ROADMAP item this instruments). Index = topological level for
+/// the levelized engine, schedule block for the hybrid engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelActivity {
+    /// Nets evaluated per level, summed over reactions.
+    pub evals: Vec<u64>,
+    /// Nets whose value differed from the previous instant, per level.
+    pub changed: Vec<u64>,
+}
+
+impl LevelActivity {
+    /// Whether any activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.evals.is_empty()
+    }
+
+    /// Total nets evaluated across every level.
+    pub fn total_evals(&self) -> u64 {
+        self.evals.iter().sum()
+    }
+
+    /// Total nets that changed value across every level.
+    pub fn total_changed(&self) -> u64 {
+        self.changed.iter().sum()
+    }
+
+    /// Element-wise accumulation (levels align only for machines running
+    /// the same circuit, which is how pools use this).
+    pub fn merge(&mut self, other: &LevelActivity) {
+        if self.evals.len() < other.evals.len() {
+            self.evals.resize(other.evals.len(), 0);
+            self.changed.resize(other.changed.len(), 0);
+        }
+        for (i, v) in other.evals.iter().enumerate() {
+            self.evals[i] += v;
+        }
+        for (i, v) in other.changed.iter().enumerate() {
+            self.changed[i] += v;
         }
     }
 }
@@ -329,6 +466,10 @@ pub struct Metrics {
     pub activity_timeouts: usize,
     /// Host panics caught (mid-reaction or in activity work functions).
     pub host_panics: usize,
+    /// Cumulative reaction-duration histogram counts, one per
+    /// [`DURATION_BUCKETS_US`] bound plus `+Inf` (empty when no
+    /// reactions were observed).
+    pub duration_hist: Vec<u64>,
 }
 
 impl MetricsSink {
@@ -361,6 +502,7 @@ impl MetricsSink {
         let us: Vec<f64> = self.duration_ns.iter().map(|ns| ns / 1e3).collect();
         Metrics {
             reactions: self.events.len(),
+            duration_hist: duration_hist(&us),
             duration_us: Summary::of(&us),
             events: Summary::of(&self.events),
             actions: Summary::of(&self.actions),
@@ -450,6 +592,9 @@ pub struct ShardRollup {
     /// Raw per-reaction durations (µs) from the shard's sink, for exact
     /// pooled percentiles.
     pub samples_us: Vec<f64>,
+    /// Per-level sweep activity summed over the shard's machines (empty
+    /// unless the pool armed level-activity counters).
+    pub level_activity: LevelActivity,
 }
 
 /// Aggregated metrics for a whole session pool: per-shard roll-ups plus
@@ -471,6 +616,12 @@ pub struct PoolMetrics {
     /// per-reaction durations from the telemetry sinks — pure engine
     /// compute, excluding sweep overhead).
     pub busy_us: f64,
+    /// Pooled cumulative duration-histogram counts (element-wise sum of
+    /// the shard histograms; empty when no reactions ran).
+    pub duration_hist: Vec<u64>,
+    /// Per-level sweep activity merged across shards (empty unless
+    /// armed).
+    pub level_activity: LevelActivity,
     /// Critical-path time, microseconds: the sum over ticks of the
     /// *slowest shard's* wall-clock sweep time in that tick (reactions
     /// plus clock/mailbox/batching overhead). Shards sweep their
@@ -493,14 +644,18 @@ impl PoolMetrics {
         let mut all = Vec::new();
         let mut reactions = 0;
         let mut rollbacks = 0;
+        let mut level_activity = LevelActivity::default();
         for s in &per_shard {
             all.extend_from_slice(&s.samples_us);
             reactions += s.metrics.reactions;
             rollbacks += s.rollbacks;
+            level_activity.merge(&s.level_activity);
         }
         PoolMetrics {
             shards: per_shard.len(),
             duration_us: Summary::of(&all),
+            duration_hist: duration_hist(&all),
+            level_activity,
             busy_us: all.iter().sum(),
             per_shard,
             reactions,
@@ -599,6 +754,149 @@ impl Metrics {
             pool.critical_path_us / 1e3,
             pool.throughput_rps()
         ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+/// Escapes a Prometheus label *value* (backslash, double quote,
+/// newline — per the text-exposition spec).
+pub fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a label set: `""` or `"{a=\"1\",b=\"2\"}"`.
+fn prom_labels(pairs: &[(&str, String)]) -> String {
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Appends one full histogram block (`_bucket`/`_sum`/`_count`) with
+/// cumulative `hist` counts over [`DURATION_BUCKETS_US`].
+fn prom_histogram(out: &mut String, name: &str, base: &[(&str, String)], hist: &[u64], sum: f64, help: &str) {
+    let _ = help;
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let total = hist.last().copied().unwrap_or(0);
+    for (i, le) in DURATION_BUCKETS_US.iter().enumerate() {
+        let mut labels: Vec<(&str, String)> = base.to_vec();
+        labels.push(("le", format!("{le}")));
+        let count = hist.get(i).copied().unwrap_or(0);
+        out.push_str(&format!("{name}_bucket{} {count}\n", prom_labels(&labels)));
+    }
+    let mut labels: Vec<(&str, String)> = base.to_vec();
+    labels.push(("le", "+Inf".to_owned()));
+    out.push_str(&format!("{name}_bucket{} {total}\n", prom_labels(&labels)));
+    out.push_str(&format!("{name}_sum{} {sum}\n", prom_labels(base)));
+    out.push_str(&format!("{name}_count{} {total}\n", prom_labels(base)));
+}
+
+fn prom_metric(out: &mut String, name: &str, kind: &str, help: &str, rows: &[(Vec<(&str, String)>, String)]) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    for (labels, value) in rows {
+        out.push_str(&format!("{name}{} {value}\n", prom_labels(labels)));
+    }
+}
+
+impl Metrics {
+    /// Renders this snapshot as Prometheus text exposition. `labels` are
+    /// prepended to every series (empty slice for a bare machine).
+    pub fn render_prometheus(&self, labels: &[(&str, String)]) -> String {
+        let mut out = String::new();
+        let one = |v: String| vec![(labels.to_vec(), v)];
+        prom_metric(&mut out, "hiphop_reactions_total", "counter", "Committed reactions observed.", &one(self.reactions.to_string()));
+        prom_metric(&mut out, "hiphop_causality_failures_total", "counter", "Reactions failed with a causality error.", &one(self.causality_failures.to_string()));
+        prom_metric(&mut out, "hiphop_logs_total", "counter", "Logged messages.", &one(self.logs.to_string()));
+        prom_metric(&mut out, "hiphop_async_transitions_total", "counter", "Async lifecycle transitions.", &one(self.async_events.to_string()));
+        prom_metric(&mut out, "hiphop_activity_retries_total", "counter", "Supervised-activity retries scheduled.", &one(self.activity_retries.to_string()));
+        prom_metric(&mut out, "hiphop_activity_timeouts_total", "counter", "Supervised-activity attempts that hit their deadline.", &one(self.activity_timeouts.to_string()));
+        prom_metric(&mut out, "hiphop_host_panics_total", "counter", "Host panics caught.", &one(self.host_panics.to_string()));
+        prom_metric(&mut out, "hiphop_reaction_p50_us", "gauge", "Median reaction duration, microseconds.", &one(format!("{}", self.duration_us.p50)));
+        prom_metric(&mut out, "hiphop_reaction_p95_us", "gauge", "95th-percentile reaction duration, microseconds.", &one(format!("{}", self.duration_us.p95)));
+        prom_histogram(
+            &mut out,
+            "hiphop_reaction_duration_us",
+            labels,
+            &self.duration_hist,
+            self.duration_us.mean * self.duration_us.count as f64,
+            "Reaction wall-clock duration, microseconds.",
+        );
+        out
+    }
+}
+
+impl PoolMetrics {
+    /// Renders the pool roll-up as Prometheus text exposition:
+    /// pool-level totals (`hiphop_pool_*`), per-shard series
+    /// (`hiphop_shard_*{shard="N"}`), per-level sweep-activity counters
+    /// (`hiphop_level_*{level="K"}`), and the pooled reaction-duration
+    /// histogram with explicit buckets.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let none: [(&str, String); 0] = [];
+        let one = |v: String| vec![(none.to_vec(), v)];
+        let sum = |f: fn(&Metrics) -> usize| -> usize { self.per_shard.iter().map(|s| f(&s.metrics)).sum() };
+        prom_metric(&mut out, "hiphop_pool_sessions", "gauge", "Live sessions across the pool.", &one(self.sessions().to_string()));
+        prom_metric(&mut out, "hiphop_pool_shards", "gauge", "Shards in the pool.", &one(self.shards.to_string()));
+        prom_metric(&mut out, "hiphop_pool_ticks_total", "counter", "Pool ticks executed.", &one(self.ticks.to_string()));
+        prom_metric(&mut out, "hiphop_pool_reactions_total", "counter", "Committed reactions across the pool.", &one(self.reactions.to_string()));
+        prom_metric(&mut out, "hiphop_pool_rollbacks_total", "counter", "Rolled-back reactions across the pool.", &one(self.rollbacks.to_string()));
+        prom_metric(&mut out, "hiphop_pool_causality_failures_total", "counter", "Causality failures across the pool.", &one(sum(|m| m.causality_failures).to_string()));
+        prom_metric(&mut out, "hiphop_pool_async_transitions_total", "counter", "Async lifecycle transitions across the pool.", &one(sum(|m| m.async_events).to_string()));
+        prom_metric(&mut out, "hiphop_pool_activity_retries_total", "counter", "Supervised-activity retries across the pool.", &one(sum(|m| m.activity_retries).to_string()));
+        prom_metric(&mut out, "hiphop_pool_activity_timeouts_total", "counter", "Supervised-activity timeouts across the pool.", &one(sum(|m| m.activity_timeouts).to_string()));
+        prom_metric(&mut out, "hiphop_pool_host_panics_total", "counter", "Host panics caught across the pool.", &one(sum(|m| m.host_panics).to_string()));
+        prom_metric(&mut out, "hiphop_pool_busy_us_total", "counter", "Total reaction CPU time, microseconds.", &one(format!("{}", self.busy_us)));
+        prom_metric(&mut out, "hiphop_pool_critical_path_us_total", "counter", "Critical-path serving time, microseconds.", &one(format!("{}", self.critical_path_us)));
+        prom_metric(&mut out, "hiphop_pool_throughput_rps", "gauge", "Reactions per second over the critical path.", &one(format!("{}", self.throughput_rps())));
+        prom_metric(&mut out, "hiphop_pool_reaction_p50_us", "gauge", "Pooled median reaction duration, microseconds.", &one(format!("{}", self.duration_us.p50)));
+        prom_metric(&mut out, "hiphop_pool_reaction_p95_us", "gauge", "Pooled 95th-percentile reaction duration, microseconds.", &one(format!("{}", self.duration_us.p95)));
+        prom_histogram(
+            &mut out,
+            "hiphop_pool_reaction_duration_us",
+            &none,
+            &self.duration_hist,
+            self.duration_us.mean * self.duration_us.count as f64,
+            "Pooled reaction wall-clock duration, microseconds.",
+        );
+        let shard_rows = |f: &dyn Fn(&ShardRollup) -> String| -> Vec<(Vec<(&str, String)>, String)> {
+            self.per_shard
+                .iter()
+                .map(|s| (vec![("shard", s.shard.to_string())], f(s)))
+                .collect()
+        };
+        prom_metric(&mut out, "hiphop_shard_sessions", "gauge", "Live sessions per shard.", &shard_rows(&|s| s.sessions.to_string()));
+        prom_metric(&mut out, "hiphop_shard_quarantined", "gauge", "Quarantined sessions per shard.", &shard_rows(&|s| s.quarantined.to_string()));
+        prom_metric(&mut out, "hiphop_shard_reactions_total", "counter", "Committed reactions per shard.", &shard_rows(&|s| s.metrics.reactions.to_string()));
+        prom_metric(&mut out, "hiphop_shard_rollbacks_total", "counter", "Rolled-back reactions per shard.", &shard_rows(&|s| s.rollbacks.to_string()));
+        prom_metric(&mut out, "hiphop_shard_reaction_p50_us", "gauge", "Median reaction duration per shard, microseconds.", &shard_rows(&|s| format!("{}", s.metrics.duration_us.p50)));
+        prom_metric(&mut out, "hiphop_shard_reaction_p95_us", "gauge", "95th-percentile reaction duration per shard, microseconds.", &shard_rows(&|s| format!("{}", s.metrics.duration_us.p95)));
+        if !self.level_activity.is_empty() {
+            let rows = |v: &[u64]| -> Vec<(Vec<(&str, String)>, String)> {
+                v.iter()
+                    .enumerate()
+                    .map(|(l, n)| (vec![("level", l.to_string())], n.to_string()))
+                    .collect()
+            };
+            prom_metric(&mut out, "hiphop_level_net_evals_total", "counter", "Nets evaluated per topological level.", &rows(&self.level_activity.evals));
+            prom_metric(&mut out, "hiphop_level_net_changed_total", "counter", "Nets that changed value per topological level.", &rows(&self.level_activity.changed));
+        }
         out
     }
 }
@@ -810,6 +1108,16 @@ impl TraceSink for JsonlSink {
                 json_escape(name),
                 json_escape(payload)
             ),
+            TraceEvent::Span { record } => format!(
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"kind\":\"{}\",\"shard\":{},\"name\":\"{}\",\"ts_us\":{},\"dur_us\":{}}}",
+                record.id,
+                record.parent,
+                record.kind.name(),
+                record.shard,
+                json_escape(&record.name),
+                record.ts_us,
+                record.dur_us
+            ),
         };
         self.line(&json);
     }
@@ -820,6 +1128,186 @@ impl TraceSink for JsonlSink {
 
     fn finish(&mut self) {
         let _ = self.out.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span sinks: collection and Chrome trace-event rendering.
+
+/// Accumulates [`SpanRecord`]s published as [`TraceEvent::Span`].
+///
+/// Cloneable handle over shared storage: the session pool attaches one
+/// per machine sink set and drains it after each sweep, re-parenting the
+/// collected activity spans under the session's reaction span.
+#[derive(Debug, Clone, Default)]
+pub struct SpanCollector(pub Rc<RefCell<Vec<SpanRecord>>>);
+
+impl SpanCollector {
+    /// A fresh empty collector.
+    pub fn new() -> SpanCollector {
+        SpanCollector::default()
+    }
+
+    /// Takes every span collected so far.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.0.borrow_mut())
+    }
+}
+
+impl TraceSink for SpanCollector {
+    fn on_event(&mut self, event: &TraceEvent<'_>) {
+        if let TraceEvent::Span { record } = event {
+            self.0.borrow_mut().push((*record).clone());
+        }
+    }
+}
+
+/// Renders spans as Chrome trace-event JSON (the Perfetto / `chrome://
+/// tracing` format): every span becomes one `"ph":"X"` complete event.
+///
+/// Track mapping: pool-level [`SpanKind::Tick`] spans render on pid 0
+/// (`pool`); everything else renders on pid `shard + 1` (`shard N`), so
+/// an 8-shard tick reads as one per-process timeline. Within a shard
+/// process, sweeps and reactions share tid 0 (sessions sweep serially,
+/// so they nest by time) and activity spans sit on tid 1 — their
+/// timestamps are virtual-clock µs, a different timebase (`TRACING.md`).
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let pid_of = |s: &SpanRecord| match s.kind {
+        SpanKind::Tick => 0u32,
+        _ => s.shard + 1,
+    };
+    let tid_of = |s: &SpanRecord| match s.kind {
+        SpanKind::Activity => 1u32,
+        _ => 0,
+    };
+    let mut events: Vec<String> = Vec::with_capacity(spans.len() + 8);
+    // Metadata: name the process tracks (and the virtual-time thread).
+    let mut pids: Vec<u32> = spans.iter().map(&pid_of).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in &pids {
+        let name = if *pid == 0 {
+            "pool".to_owned()
+        } else {
+            format!("shard {}", pid - 1)
+        };
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+    let mut vtime_tracks: Vec<u32> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Activity)
+        .map(&pid_of)
+        .collect();
+    vtime_tracks.sort_unstable();
+    vtime_tracks.dedup();
+    for pid in vtime_tracks {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":1,\"name\":\"thread_name\",\"args\":{{\"name\":\"activities (virtual time)\"}}}}"
+        ));
+    }
+    for s in spans {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+            json_escape(&s.name),
+            s.kind.name(),
+            s.ts_us,
+            s.dur_us.max(1),
+            pid_of(s),
+            tid_of(s),
+            s.id,
+            s.parent
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+        events.join(",")
+    )
+}
+
+/// Span sink rendering Chrome trace-event JSON on [`TraceSink::finish`].
+///
+/// Collects [`TraceEvent::Span`] records as published; when attached to
+/// a bare machine (no pool around it to produce spans), it synthesizes
+/// one [`SpanKind::Reaction`] span per committed reaction from the
+/// reaction-end statistics, laid end to end on a running cursor.
+pub struct ChromeTraceSink {
+    spans: Vec<SpanRecord>,
+    out: Option<Box<dyn Write>>,
+    cursor_us: u64,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for ChromeTraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChromeTraceSink")
+            .field("spans", &self.spans.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChromeTraceSink {
+    /// A sink writing the rendered trace to `out` when finished.
+    pub fn new(out: Box<dyn Write>) -> ChromeTraceSink {
+        ChromeTraceSink {
+            spans: Vec::new(),
+            out: Some(out),
+            cursor_us: 0,
+            // Synthesized ids sit in their own high range so they never
+            // collide with pool- or shard-generated ids.
+            next_id: 1 << 62,
+        }
+    }
+
+    /// A sink writing (buffered) to the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn to_file(path: &str) -> std::io::Result<ChromeTraceSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(ChromeTraceSink::new(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    /// The spans buffered so far (collected plus synthesized).
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Renders the Chrome trace from the buffered spans.
+    pub fn render(&self) -> String {
+        chrome_trace(&self.spans)
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn on_event(&mut self, event: &TraceEvent<'_>) {
+        match event {
+            TraceEvent::Span { record } => self.spans.push((*record).clone()),
+            TraceEvent::ReactionEnd { reaction, stats } => {
+                let dur = (stats.duration_ns / 1_000).max(1);
+                self.next_id += 1;
+                self.spans.push(SpanRecord {
+                    id: self.next_id,
+                    parent: 0,
+                    name: format!("reaction {}", reaction.seq),
+                    kind: SpanKind::Reaction,
+                    shard: 0,
+                    ts_us: self.cursor_us,
+                    dur_us: dur,
+                });
+                self.cursor_us += dur;
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self) {
+        if let Some(mut out) = self.out.take() {
+            let _ = out.write_all(chrome_trace(&self.spans).as_bytes());
+            let _ = out.flush();
+        }
     }
 }
 
@@ -912,9 +1400,22 @@ mod tests {
         assert_eq!(s.count, 5);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.p50, 3.0);
+        assert!((s.p95 - 4.8).abs() < 1e-12, "p95 interpolates: {}", s.p95);
         assert_eq!(s.max, 5.0);
         assert!((s.mean - 3.0).abs() < 1e-12);
         assert_eq!(Summary::of(&[]).count, 0);
+    }
+
+    #[test]
+    fn summary_even_count_median_is_unbiased() {
+        // Nearest-rank rounding would pick one of the central elements;
+        // interpolation lands exactly between them.
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.p50, 2.5);
+        assert_eq!(Summary::of(&[10.0, 20.0]).p50, 15.0);
+        // A single sample is every percentile.
+        let one = Summary::of(&[7.0]);
+        assert_eq!((one.p50, one.p95), (7.0, 7.0));
     }
 
     #[test]

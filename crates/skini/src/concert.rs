@@ -17,7 +17,9 @@ use crate::genscore::{generate, ScoreShape};
 use crate::sequencer::Sequencer;
 use hiphop_core::value::Value;
 use hiphop_eventloop::sessions::{SessionId, SessionOutputs, SessionPool};
-use hiphop_runtime::{Machine, PoolMetrics};
+use hiphop_runtime::{
+    Machine, PoolMetrics, RecorderConfig, Recording, ReplayOptions, ReplayReport, SpanRecord,
+};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
@@ -71,6 +73,93 @@ pub struct ConcertReport {
     pub digest: u64,
     /// Pool metrics roll-up.
     pub metrics: PoolMetrics,
+}
+
+/// Observability knobs for a concert run — everything the pool-wide
+/// observability plane can capture while the concert plays.
+#[derive(Default)]
+pub struct ConcertRunOptions {
+    /// Arm the flight recorder with this config before opening sessions.
+    pub record: Option<RecorderConfig>,
+    /// Emit tick/sweep/reaction spans (collected in [`ConcertRun::spans`]).
+    pub trace_spans: bool,
+    /// Tally per-level net-evaluation counters in every session.
+    pub level_activity: bool,
+    /// Invoke [`ConcertRunOptions::watch`] every N beats (0 = never).
+    pub watch_every: u64,
+    /// Periodic metrics observer (beat number, pool roll-up).
+    #[allow(clippy::type_complexity)]
+    pub watch: Option<Box<dyn FnMut(u64, &PoolMetrics)>>,
+}
+
+/// What an observed concert run produced: the plain report plus
+/// whatever the observability plane captured.
+pub struct ConcertRun {
+    /// The ordinary concert report.
+    pub report: ConcertReport,
+    /// The flight journal, when recording was requested.
+    pub recording: Option<Recording>,
+    /// Collected spans, when tracing was requested.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Encodes the scenario metadata a [`replay`] needs to rebuild an
+/// equivalent session factory: scenario name, shape knobs, seed and
+/// chaos rate. Stored in the recording header.
+pub fn scenario_metadata(cfg: &ConcertConfig) -> BTreeMap<String, String> {
+    let mut m = BTreeMap::new();
+    m.insert("scenario".to_owned(), "concert".to_owned());
+    m.insert(
+        "shape".to_owned(),
+        format!(
+            "{},{},{},{}",
+            cfg.shape.movements,
+            cfg.shape.groups_per_movement,
+            cfg.shape.patterns_per_group,
+            cfg.shape.selections_per_group
+        ),
+    );
+    m.insert("seed".to_owned(), cfg.seed.to_string());
+    m.insert("chaos_rate".to_owned(), format!("{}", cfg.chaos_rate));
+    m.insert("sessions".to_owned(), cfg.sessions.to_string());
+    m.insert("ticks".to_owned(), cfg.ticks.to_string());
+    m
+}
+
+/// Parses the metadata written by [`scenario_metadata`] back into the
+/// factory parameters. Fails on foreign or mangled recordings.
+fn parse_scenario(meta: &BTreeMap<String, String>) -> Result<(ScoreShape, u64, f64), String> {
+    if meta.get("scenario").map(String::as_str) != Some("concert") {
+        return Err(format!(
+            "not a concert recording (scenario = {:?})",
+            meta.get("scenario")
+        ));
+    }
+    let shape_s = meta.get("shape").ok_or("recording lacks a shape")?;
+    let knobs: Vec<u32> = shape_s
+        .split(',')
+        .map(|p| p.trim().parse::<u32>().map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    if knobs.len() != 4 {
+        return Err(format!("malformed shape {shape_s:?}: want 4 knobs"));
+    }
+    let shape = ScoreShape {
+        movements: knobs[0],
+        groups_per_movement: knobs[1],
+        patterns_per_group: knobs[2],
+        selections_per_group: knobs[3],
+    };
+    let seed = meta
+        .get("seed")
+        .ok_or("recording lacks a seed")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad seed: {e}"))?;
+    let chaos_rate = meta
+        .get("chaos_rate")
+        .map(|s| s.parse::<f64>().map_err(|e| format!("bad chaos_rate: {e}")))
+        .transpose()?
+        .unwrap_or(0.0);
+    Ok((shape, seed, chaos_rate))
 }
 
 /// Cache key: the four `ScoreShape` knobs.
@@ -181,12 +270,45 @@ fn fold_digest(digest: &mut u64, tick: u64, outputs: &SessionOutputs) {
 /// generated score) or a shard dies. Per-reaction faults (only possible
 /// with `chaos_rate > 0`) are rolled back and *counted*, not fatal.
 pub fn run(cfg: &ConcertConfig) -> Result<ConcertReport, String> {
+    run_with(cfg, ConcertRunOptions::default()).map(|r| r.report)
+}
+
+/// Builds the shard-side session factory for a concert: every session
+/// plays the same generated score, with its chaos seed derived from the
+/// master seed and the session id — the exact derivation [`replay`]
+/// must reproduce for fault schedules to line up.
+fn concert_factory(
+    shape: ScoreShape,
+    master_seed: u64,
+    chaos_rate: f64,
+) -> impl Fn(SessionId) -> Result<Machine, String> + Clone + Send + 'static {
+    move |id: SessionId| build_machine(shape, splitmix64(master_seed ^ !id.0), chaos_rate)
+}
+
+/// [`run`] with the observability plane armed: optionally records the
+/// flight journal, collects spans and tallies per-level activity, and
+/// invokes a periodic metrics watcher.
+///
+/// # Errors
+///
+/// Same failure modes as [`run`], plus shard deaths surfaced while
+/// arming the recorder or fetching watched metrics.
+pub fn run_with(cfg: &ConcertConfig, mut opts: ConcertRunOptions) -> Result<ConcertRun, String> {
     let (_, comp) = generate(cfg.shape);
-    let shape = cfg.shape;
-    let (master_seed, chaos_rate) = (cfg.seed, cfg.chaos_rate);
-    let mut pool = SessionPool::new(cfg.shards, 10, move |id: SessionId| {
-        build_machine(shape, splitmix64(master_seed ^ !id.0), chaos_rate)
-    });
+    let mut pool = SessionPool::new(
+        cfg.shards,
+        10,
+        concert_factory(cfg.shape, cfg.seed, cfg.chaos_rate),
+    );
+    if opts.trace_spans {
+        pool.set_tracing(true).map_err(|e| e.to_string())?;
+    }
+    if opts.level_activity {
+        pool.set_level_activity(true).map_err(|e| e.to_string())?;
+    }
+    if let Some(rc) = opts.record.take() {
+        pool.record(rc, scenario_metadata(cfg)).map_err(|e| e.to_string())?;
+    }
 
     let mut participants: BTreeMap<SessionId, Participant> = (0..cfg.sessions)
         .map(|i| {
@@ -235,18 +357,51 @@ pub fn run(cfg: &ConcertConfig) -> Result<ConcertReport, String> {
             fold_digest(&mut digest, beat + 1, outputs);
             p.sequencer.play_beat(&comp, beat);
         }
+        if opts.watch_every > 0 && (beat + 1).is_multiple_of(opts.watch_every) {
+            if let Some(watch) = opts.watch.as_mut() {
+                let snapshot = pool.metrics().map_err(|e| e.to_string())?;
+                watch(beat + 1, &snapshot);
+            }
+        }
     }
 
     let metrics = pool.metrics().map_err(|e| e.to_string())?;
-    Ok(ConcertReport {
-        sessions: cfg.sessions,
-        ticks: cfg.ticks,
-        enqueued: participants.values().map(|p| p.enqueued).sum(),
-        played: participants.values().map(|p| p.sequencer.history().len()).sum(),
-        faults,
-        digest,
-        metrics,
+    let recording = pool.take_recording();
+    let spans = pool.take_spans();
+    Ok(ConcertRun {
+        report: ConcertReport {
+            sessions: cfg.sessions,
+            ticks: cfg.ticks,
+            enqueued: participants.values().map(|p| p.enqueued).sum(),
+            played: participants.values().map(|p| p.sequencer.history().len()).sum(),
+            faults,
+            digest,
+            metrics,
+        },
+        recording,
+        spans,
     })
+}
+
+/// Replays a concert flight recording on a fresh pool with `shards`
+/// shards — deliberately *any* shard count, since shard assignment must
+/// never leak into session semantics. The session factory is rebuilt
+/// from the recording's scenario metadata, so chaos fault schedules are
+/// reproduced exactly (same per-session seeds, same PCG streams).
+///
+/// # Errors
+///
+/// Fails on a foreign/mangled recording, a ring-evicted (non-replayable)
+/// journal, or a dead shard. Digest mismatches are reported in the
+/// returned [`ReplayReport`], not raised as errors.
+pub fn replay(rec: &Recording, shards: usize, opts: &ReplayOptions) -> Result<ReplayReport, String> {
+    let (shape, seed, chaos_rate) = parse_scenario(&rec.scenario)?;
+    let mut pool = SessionPool::new(
+        shards,
+        rec.tick_ms.max(1),
+        concert_factory(shape, seed, chaos_rate),
+    );
+    pool.replay(rec, opts).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -288,6 +443,82 @@ mod tests {
         assert!(report.enqueued > 6, "multiple picks across the audience");
         let per_session_spread = report.metrics.reactions;
         assert_eq!(per_session_spread as u64, 6 * 25);
+    }
+
+    #[test]
+    fn recorded_concert_replays_digest_identically_across_shard_counts() {
+        let mut cfg = ConcertConfig::new(10, 4, 16, 99);
+        cfg.chaos_rate = 0.05;
+        let opts = ConcertRunOptions {
+            record: Some(RecorderConfig {
+                checkpoint_every: 4,
+                ..RecorderConfig::default()
+            }),
+            ..ConcertRunOptions::default()
+        };
+        let run = run_with(&cfg, opts).expect("records");
+        let rec = run.recording.expect("journal captured");
+        assert!(rec.replayable());
+        assert_eq!(rec.sessions.len(), 10);
+        assert_eq!(rec.ticks.len(), 16);
+        assert!(rec.input_count() > 0, "audience inputs were journaled");
+
+        // Replay on a *different* shard count: same digests, instant by
+        // instant — including the chaos fault schedule.
+        let report = replay(&rec, 3, &ReplayOptions::default()).expect("replays");
+        assert!(report.ok(), "digest mismatches: {:?}", report.mismatches);
+        assert_eq!(report.ticks, 16);
+        assert!(report.checked > 0, "checkpoints were actually verified");
+    }
+
+    #[test]
+    fn replay_rejects_foreign_recordings() {
+        let rec = Recording::default();
+        let err = replay(&rec, 2, &ReplayOptions::default()).unwrap_err();
+        assert!(err.contains("not a concert recording"), "{err}");
+    }
+
+    #[test]
+    fn traced_concert_collects_spans_and_level_activity() {
+        let cfg = ConcertConfig::new(4, 2, 6, 5);
+        let opts = ConcertRunOptions {
+            trace_spans: true,
+            level_activity: true,
+            ..ConcertRunOptions::default()
+        };
+        let run = run_with(&cfg, opts).expect("runs");
+        let ticks = run
+            .spans
+            .iter()
+            .filter(|s| s.kind == hiphop_runtime::SpanKind::Tick)
+            .count();
+        let reactions = run
+            .spans
+            .iter()
+            .filter(|s| s.kind == hiphop_runtime::SpanKind::Reaction)
+            .count();
+        assert_eq!(ticks as u64, cfg.ticks, "one tick span per beat");
+        assert_eq!(reactions as u64, 4 * cfg.ticks, "per-beat reaction spans");
+        let la = &run.report.metrics.level_activity;
+        assert!(la.total_evals() > 0, "levelized sweeps were tallied");
+    }
+
+    #[test]
+    fn watch_hook_fires_on_schedule() {
+        let cfg = ConcertConfig::new(3, 1, 8, 1);
+        let beats = std::rc::Rc::new(RefCell::new(Vec::new()));
+        let sink = beats.clone();
+        let opts = ConcertRunOptions {
+            watch_every: 3,
+            watch: Some(Box::new(move |beat, m| {
+                sink.borrow_mut().push((beat, m.reactions));
+            })),
+            ..ConcertRunOptions::default()
+        };
+        run_with(&cfg, opts).expect("runs");
+        let seen = beats.borrow();
+        assert_eq!(seen.iter().map(|(b, _)| *b).collect::<Vec<_>>(), vec![3, 6]);
+        assert!(seen.iter().all(|(_, r)| *r > 0));
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod text_score;
 
 pub use audience::{Audience, Selection};
 pub use composition::{Composition, Group, Pattern, PatternId};
-pub use concert::{ConcertConfig, ConcertReport};
+pub use concert::{ConcertConfig, ConcertReport, ConcertRun, ConcertRunOptions};
 pub use genscore::{generate, ScoreShape};
 pub use performance::{perform, LatencyStats, PerformanceReport};
 pub use score::{paper_excerpt, ScoreBuilder};
