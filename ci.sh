@@ -16,7 +16,7 @@ TOTAL=$(printf '%s\n' "$TEST_OUT" \
 echo "    workspace test count: $TOTAL"
 # Regression guard: the suite only ever grows. Raise the floor when
 # you add tests; never lower it.
-MIN_TESTS=474
+MIN_TESTS=488
 if [ "$TOTAL" -lt "$MIN_TESTS" ]; then
     echo "ci: workspace test count regressed below $MIN_TESTS (got $TOTAL)" >&2
     exit 1
@@ -67,6 +67,16 @@ echo "==> chaos fault-injection sweep (${HIPHOP_CHAOS_SEEDS} seeds)"
 HIPHOP_CHAOS_SEEDS="$HIPHOP_CHAOS_SEEDS" \
     cargo test -q --offline --test chaos
 
+# Cohort differential battery: generated programs run bit-packed
+# (u64 and wide lanes) against a scalar shadow pool; every instant's
+# outputs and every session's state digest must be bit-identical, with
+# forced peels (action faults) mid-cohort (tests/cohort.rs). Override the
+# seed count with HIPHOP_COHORT_SEEDS=N ./ci.sh.
+HIPHOP_COHORT_SEEDS="${HIPHOP_COHORT_SEEDS:-40}"
+echo "==> cohort differential battery (${HIPHOP_COHORT_SEEDS} seeds)"
+HIPHOP_COHORT_SEEDS="$HIPHOP_COHORT_SEEDS" \
+    cargo test -q --offline --test cohort
+
 # Esterel-kernel conformance battery: hand-written per-instant emission
 # oracles for abort/weakabort/suspend/every/traps/sustain/counted
 # await/reincarnation, each checked under all four engines AND the
@@ -89,6 +99,22 @@ case "$SERVE_JSON" in
     *) echo "ci: serve smoke JSON has no digest: $SERVE_JSON" >&2; exit 1 ;;
 esac
 echo "    serve: $REACTIONS reactions across 4 shards"
+
+# The same deterministic serve run bit-packed: the cohort engine must
+# report the identical pool digest (lockstep execution is an engine
+# detail, never an observable one).
+echo "==> cohort serve smoke (same run, --cohort u64 / wide)"
+SCALAR_DIGEST=$(printf '%s' "$SERVE_JSON" | grep -o '"digest":"[0-9a-f]*"' | head -1)
+for wdt in u64 wide; do
+    COHORT_JSON=$(./target/release/hiphopc serve --sessions 64 --shards 4 --ticks 8 \
+        --cohort "$wdt" 2>/dev/null)
+    COHORT_DIGEST=$(printf '%s' "$COHORT_JSON" | grep -o '"digest":"[0-9a-f]*"' | head -1)
+    if [ -z "$COHORT_DIGEST" ] || [ "$COHORT_DIGEST" != "$SCALAR_DIGEST" ]; then
+        echo "ci: cohort($wdt) serve digest diverged: $COHORT_DIGEST vs $SCALAR_DIGEST" >&2
+        exit 1
+    fi
+    echo "    cohort $wdt: digest matches scalar"
+done
 
 # Flight-recorder round trip: record a chaos-seeded 64-session serve,
 # then replay the journal on a pool with a DIFFERENT shard count and

@@ -319,5 +319,54 @@ fn main() {
         if overhead <= 1.10 { "(≤ 10% target)" } else { "(OVER 10% target)" }
     );
 
+    // ------------------------------------------------------------------ E12
+    println!("\nE12 — bit-parallel cohort execution (the 1-shard E10 workload run scalar,");
+    println!("u64-packed and wide-packed; 32 sessions share each lane word, so the cohort");
+    println!("rows pay one level sweep per 32 sessions; digests prove bit-identity)");
+    println!(
+        "{:<10} {:>8} {:>12} {:>16} {:>18}",
+        "sessions", "mode", "reactions", "throughput (r/s)", "digest"
+    );
+    let cohort_rows = hiphop_bench::experiments::cohort_scaling(640, &[100, 1000], 16, 2020);
+    for r in &cohort_rows {
+        println!(
+            "{:<10} {:>8} {:>12} {:>16.0} {:>18}",
+            r.sessions,
+            r.mode,
+            r.metrics.reactions,
+            r.metrics.throughput_rps(),
+            format!("{:016x}", r.digest),
+        );
+    }
+    let cohort_tp = |sessions: u64, mode: &str| {
+        cohort_rows
+            .iter()
+            .find(|r| r.sessions == sessions && r.mode == mode)
+            .map(|r| r.metrics.throughput_rps())
+            .unwrap_or(f64::NAN)
+    };
+    for sessions in [100u64, 1000] {
+        let same = cohort_rows
+            .iter()
+            .filter(|r| r.sessions == sessions)
+            .map(|r| r.digest)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+            == 1;
+        let best = cohort_tp(sessions, "u64").max(cohort_tp(sessions, "wide"));
+        let speedup = best / cohort_tp(sessions, "scalar");
+        println!(
+            "cohort / scalar critical-path throughput on {sessions} sessions: {speedup:.2}× {} {}",
+            if sessions < 1000 {
+                ""
+            } else if speedup >= 5.0 {
+                "(≥ 5× target)"
+            } else {
+                "(UNDER 5× target)"
+            },
+            if same { "[digests identical]" } else { "[DIGEST MISMATCH]" },
+        );
+    }
+
     println!("\ndone.");
 }

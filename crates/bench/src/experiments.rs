@@ -541,6 +541,67 @@ pub fn pool_scaling(
     rows
 }
 
+/// One cell of the E12 cohort-throughput table.
+#[derive(Debug, Clone)]
+pub struct CohortRow {
+    /// Concurrent sessions.
+    pub sessions: u64,
+    /// Execution mode: `scalar`, `u64` or `wide`.
+    pub mode: &'static str,
+    /// Pool-wide roll-up for the run.
+    pub metrics: hiphop_runtime::PoolMetrics,
+    /// FNV-1a fold of every session's final state digest — the report
+    /// asserts all three modes agree before comparing their clocks.
+    pub digest: u64,
+}
+
+/// E12: bit-parallel cohort throughput — the E10 workload on one shard
+/// (serial sweep, so the clock is honest on an oversubscribed host) run
+/// scalar, u64-packed and wide-packed. Every session shares one circuit
+/// and one engine, so each tick forms a single full-width cohort; the
+/// cohort rows pay one level sweep per 32 sessions instead of one per
+/// session, and the digest column proves the modes are bit-identical.
+pub fn cohort_scaling(n: usize, sessions: &[u64], ticks: u64, seed: u64) -> Vec<CohortRow> {
+    use hiphop_eventloop::sessions::{SessionId, SessionPool};
+    use hiphop_runtime::CohortWidth;
+    let modes: [(&'static str, Option<CohortWidth>); 3] = [
+        ("scalar", None),
+        ("u64", Some(CohortWidth::U64)),
+        ("wide", Some(CohortWidth::Wide)),
+    ];
+    let mut rows = Vec::new();
+    for &k in sessions {
+        for (mode, width) in modes {
+            let mut pool = SessionPool::new(1, 10, move |_id| pool_machine(n, seed));
+            pool.set_serial_sweep(true);
+            pool.set_cohort(width).expect("cohort configures");
+            pool.open_many(k).expect("pool opens");
+            for t in 0..ticks {
+                let sig = format!("i{}", t % 8);
+                for id in 0..k {
+                    pool.inject(SessionId(id), &sig, Value::Bool(true));
+                }
+                let report = pool.tick().expect("tick");
+                assert!(report.faults.is_empty(), "synthetic workload never faults");
+            }
+            let digest = pool.digests().expect("digests").values().fold(
+                0xcbf2_9ce4_8422_2325_u64,
+                |h, d| {
+                    d.bytes()
+                        .fold(h, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+                },
+            );
+            rows.push(CohortRow {
+                sessions: k,
+                mode,
+                metrics: pool.metrics().expect("metrics"),
+                digest,
+            });
+        }
+    }
+    rows
+}
+
 /// One row of the E11 recording-overhead comparison.
 #[derive(Debug, Clone)]
 pub struct RecordingRow {
@@ -738,6 +799,21 @@ mod tests {
         }
         assert_eq!(rows[0].shards, 1);
         assert_eq!(rows[1].shards, 2);
+    }
+
+    #[test]
+    fn cohort_scaling_modes_are_digest_identical() {
+        let rows = cohort_scaling(40, &[33], 4, 7);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            // Boot + one reaction per session per tick.
+            assert_eq!(row.metrics.reactions as u64, 33 * (4 + 1), "{}", row.mode);
+            assert!(row.metrics.throughput_rps() > 0.0, "{}", row.mode);
+        }
+        // The digest column is the whole point: all three execution
+        // modes leave every session in bit-identical state.
+        assert_eq!(rows[0].digest, rows[1].digest, "scalar vs u64");
+        assert_eq!(rows[0].digest, rows[2].digest, "scalar vs wide");
     }
 
     #[test]

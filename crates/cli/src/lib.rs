@@ -92,6 +92,9 @@ pub struct ServeOptions {
     /// Print a pool-metrics line to stderr every N beats (`--watch N`,
     /// 0 = off).
     pub watch: u64,
+    /// Bit-parallel cohort execution (`--cohort u64|wide`, default
+    /// scalar). A pure execution strategy: digests are identical.
+    pub cohort: Option<hiphop_runtime::CohortWidth>,
 }
 
 impl Default for ServeOptions {
@@ -106,6 +109,7 @@ impl Default for ServeOptions {
             trace_spans: None,
             prom: None,
             watch: 0,
+            cohort: None,
         }
     }
 }
@@ -122,6 +126,10 @@ pub struct ReplayFlags {
     pub from: u64,
     /// Last tick to re-execute (`--to`).
     pub to: u64,
+    /// Replay on a bit-parallel cohort pool (`--cohort u64|wide`) —
+    /// recordings are mode-agnostic, so a scalar recording verifies on
+    /// a cohort pool and vice versa.
+    pub cohort: Option<hiphop_runtime::CohortWidth>,
 }
 
 impl Default for ReplayFlags {
@@ -130,6 +138,7 @@ impl Default for ReplayFlags {
             verify_digests: true,
             from: 0,
             to: u64::MAX,
+            cohort: None,
         }
     }
 }
@@ -310,6 +319,17 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 )
             }
             "--watch" => serve.watch = uint("--watch", it.next())?,
+            "--cohort" => {
+                // Shared by `serve` (execution mode) and `replay`
+                // (pool the recording is re-executed on).
+                let width = it
+                    .next()
+                    .ok_or_else(|| fail("--cohort needs a width (u64 or wide)"))?
+                    .parse::<hiphop_runtime::CohortWidth>()
+                    .map_err(fail)?;
+                serve.cohort = Some(width);
+                replay.cohort = Some(width);
+            }
             "--verify-digests" => replay.verify_digests = true,
             "--no-verify-digests" => replay.verify_digests = false,
             "--from" => replay.from = uint("--from", it.next())?,
@@ -426,6 +446,7 @@ pub fn cmd_serve(
         trace_spans: serve.trace_spans.is_some(),
         // Per-level counters feed the Prometheus exposition.
         level_activity: serve.prom.is_some(),
+        cohort: serve.cohort,
         watch_every: serve.watch,
         watch: (serve.watch > 0).then(|| {
             Box::new(|beat: u64, m: &hiphop_runtime::PoolMetrics| {
@@ -510,7 +531,8 @@ pub fn cmd_replay(
         to: flags.to,
         verify_digests: flags.verify_digests,
     };
-    let report = hiphop_skini::concert::replay(&rec, shards, &opts).map_err(fail)?;
+    let report =
+        hiphop_skini::concert::replay_with(&rec, shards, &opts, flags.cohort).map_err(fail)?;
     Ok(ReplayRunReport {
         json: report.to_json(),
         ok: report.ok(),
@@ -520,8 +542,8 @@ pub fn cmd_replay(
 /// Usage text.
 pub const USAGE: &str = "usage: hiphopc <check|analyze|stats|pretty|dot|run|trace|oracle> FILE [--main MODULE] [--no-optimize] [--stimulus S] [--engine E]
        hiphopc serve [--sessions N] [--shards N] [--ticks N] [--seed N] [--shape S] [--metrics]
-                     [--record FILE] [--trace-spans FILE] [--prom FILE] [--watch N]
-       hiphopc replay FILE [--shards N] [--from N] [--to N] [--no-verify-digests]
+                     [--record FILE] [--trace-spans FILE] [--prom FILE] [--watch N] [--cohort u64|wide]
+       hiphopc replay FILE [--shards N] [--from N] [--to N] [--no-verify-digests] [--cohort u64|wide]
   check   parse, link and statically check the program
   analyze compile and lint the circuit: constructiveness verdicts per
           cyclic SCC, emission hygiene, dead nets
@@ -1018,7 +1040,7 @@ pub fn run_line(machine: &mut Machine, line: &str) -> Result<String, CliError> {
         .filter(|o| o.present)
         .map(|o| {
             if o.value == Value::Null {
-                o.name.clone() // pure signal
+                o.name.to_string() // pure signal
             } else {
                 format!("{}={}", o.name, o.value)
             }
@@ -1624,11 +1646,60 @@ mod tests {
         assert_eq!(o.command, "replay");
         assert_eq!(o.file, "f.jsonl");
         assert_eq!(o.serve.shards, 3);
-        assert_eq!(o.replay, ReplayFlags { verify_digests: false, from: 2, to: 9 });
+        assert_eq!(
+            o.replay,
+            ReplayFlags { verify_digests: false, from: 2, to: 9, cohort: None }
+        );
         // Defaults: verification is on over the whole recording.
         let o = parse_args(&["replay".into(), "f.jsonl".into()]).unwrap();
         assert_eq!(o.replay, ReplayFlags::default());
         assert!(parse_args(&["replay".into()]).is_err(), "recording file required");
+    }
+
+    #[test]
+    fn cohort_serve_matches_scalar_and_replays_across_modes() {
+        let o = parse_args(&["serve".into(), "--cohort".into(), "wide".into()]).unwrap();
+        assert_eq!(o.serve.cohort, Some(hiphop_runtime::CohortWidth::Wide));
+        assert_eq!(o.replay.cohort, Some(hiphop_runtime::CohortWidth::Wide));
+        assert!(parse_args(&["serve".into(), "--cohort".into(), "simd".into()]).is_err());
+        assert!(parse_args(&["serve".into(), "--cohort".into()]).is_err());
+
+        // A cohort serve is digest-identical to the scalar run…
+        let rec_path = std::env::temp_dir().join("hiphopc_test_cohort_flight.jsonl");
+        let opts = ServeOptions {
+            sessions: 12,
+            shards: 3,
+            ticks: 8,
+            seed: 4,
+            ..ServeOptions::default()
+        };
+        let scalar = cmd_serve(&opts, &ChaosOptions::default(), false).unwrap();
+        let cohort = cmd_serve(
+            &ServeOptions {
+                cohort: Some(hiphop_runtime::CohortWidth::U64),
+                record: Some(rec_path.to_string_lossy().into_owned()),
+                ..opts
+            },
+            &ChaosOptions::default(),
+            false,
+        )
+        .unwrap();
+        let digest_of = |json: &str| {
+            json.split("\"digest\":\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .map(str::to_owned)
+        };
+        assert_eq!(digest_of(&cohort.json), digest_of(&scalar.json));
+        // …and its recording verifies on a scalar pool and back on a
+        // wide cohort pool: the journal is execution-mode-agnostic.
+        let file = rec_path.to_string_lossy();
+        for cohort in [None, Some(hiphop_runtime::CohortWidth::Wide)] {
+            let flags = ReplayFlags { cohort, ..ReplayFlags::default() };
+            let replayed = cmd_replay(&file, 2, &flags).unwrap();
+            assert!(replayed.ok, "[{cohort:?}] {}", replayed.json);
+        }
+        let _ = std::fs::remove_file(&rec_path);
     }
 
     #[test]

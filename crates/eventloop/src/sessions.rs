@@ -39,7 +39,8 @@ use hiphop_runtime::flight::{
 };
 use hiphop_runtime::telemetry::{shared, SpanKind, SpanRecord};
 use hiphop_runtime::{
-    LevelActivity, Machine, MetricsSink, OutputEvent, PoolMetrics, ShardRollup,
+    cohort_key, react_cohort, CohortWidth, LevelActivity, Machine, MetricsSink, OutputEvent,
+    PoolMetrics, Reaction, RuntimeError, ShardRollup,
 };
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -143,13 +144,16 @@ enum Cmd {
     Metrics(Sender<ShardRollup>),
     /// Observability knobs: span tracing (timestamps against the shared
     /// `epoch`) and per-level sweep activity counters (applied to
-    /// sessions opened afterwards).
+    /// sessions opened afterwards), plus the cohort execution mode.
     Config {
         tracing: bool,
         level_activity: bool,
         epoch: Instant,
+        cohort: Option<CohortWidth>,
         reply: Sender<()>,
     },
+    /// Close (drop) the given sessions. Replies with how many existed.
+    Close(Vec<SessionId>, Sender<usize>),
     Shutdown,
 }
 
@@ -186,6 +190,10 @@ struct ShardState {
     level_activity: bool,
     epoch: Instant,
     span_seq: u64,
+    /// Cohort execution mode: when set, each tick groups the shard's
+    /// cohort-eligible sessions by [`cohort_key`] and advances every
+    /// group through one bit-parallel sweep instead of N scalar ones.
+    cohort: Option<CohortWidth>,
 }
 
 struct Slot {
@@ -275,60 +283,68 @@ impl ShardState {
             )
         });
         let t0 = std::time::Instant::now();
-        // Local copies: the loop holds `self.sessions` mutably, so span
-        // ids come from a local sequence written back afterwards.
-        let shard_tag = (self.index as u64 + 1) << 40;
-        let mut span_seq = self.span_seq;
-        for (&id, slot) in &mut self.sessions {
-            if slot.quarantined {
-                continue;
-            }
-            let empty = Vec::new();
-            let inputs = per_session.get(&id).unwrap_or(&empty);
-            let refs: Vec<(&str, Value)> =
-                inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-            let span_start = sweep_span.map(|_| self.epoch.elapsed().as_micros() as u64);
-            let reacted = slot.driver.react(&refs);
-            if let (Some((sweep_id, _)), Some(ts_us)) = (sweep_span, span_start) {
-                let end = self.epoch.elapsed().as_micros() as u64;
-                span_seq += 1;
-                let span_id = shard_tag | span_seq;
-                out.spans.push(SpanRecord {
-                    id: span_id,
-                    parent: sweep_id,
-                    name: id.to_string(),
-                    kind: SpanKind::Reaction,
-                    shard: self.index as u32,
-                    ts_us,
-                    dur_us: (end - ts_us).max(1),
-                });
-            }
-            self.span_seq = span_seq;
-            match reacted {
-                Ok(reactions) => {
-                    out.reactions += reactions.len();
-                    out.outputs.push(SessionOutputs {
-                        session: id,
-                        outputs: reactions.iter().flat_map(|r| r.outputs.clone()).collect(),
-                        terminated: reactions.iter().any(|r| r.terminated),
+        if let Some(width) = self.cohort {
+            // Bit-parallel sweep: eligible sessions advance in lockstep
+            // cohorts; per-reaction spans are not emitted (the sweep
+            // span still is — cohorts have no per-session wall time).
+            self.sweep_cohort(&per_session, width, &mut out);
+        } else {
+            // Local copies: the loop holds `self.sessions` mutably, so
+            // span ids come from a local sequence written back
+            // afterwards.
+            let shard_tag = (self.index as u64 + 1) << 40;
+            let mut span_seq = self.span_seq;
+            for (&id, slot) in &mut self.sessions {
+                if slot.quarantined {
+                    continue;
+                }
+                let empty = Vec::new();
+                let inputs = per_session.get(&id).unwrap_or(&empty);
+                let refs: Vec<(&str, Value)> =
+                    inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+                let span_start = sweep_span.map(|_| self.epoch.elapsed().as_micros() as u64);
+                let reacted = slot.driver.react(&refs);
+                if let (Some((sweep_id, _)), Some(ts_us)) = (sweep_span, span_start) {
+                    let end = self.epoch.elapsed().as_micros() as u64;
+                    span_seq += 1;
+                    let span_id = shard_tag | span_seq;
+                    out.spans.push(SpanRecord {
+                        id: span_id,
+                        parent: sweep_id,
+                        name: id.to_string(),
+                        kind: SpanKind::Reaction,
+                        shard: self.index as u32,
+                        ts_us,
+                        dur_us: (end - ts_us).max(1),
                     });
                 }
-                Err(e) => {
-                    // The failed reaction rolled back: the session's
-                    // digest is its pre-reaction digest and shard-mates
-                    // never observe the fault. Quarantine only the
-                    // (rollback-disabled) poisoned case.
-                    self.rollbacks += 1;
-                    let quarantined = slot.driver.machine.borrow().is_poisoned();
-                    if quarantined {
-                        slot.quarantined = true;
-                        self.quarantined += 1;
+                self.span_seq = span_seq;
+                match reacted {
+                    Ok(reactions) => {
+                        out.reactions += reactions.len();
+                        out.outputs.push(SessionOutputs {
+                            session: id,
+                            outputs: reactions.iter().flat_map(|r| r.outputs.clone()).collect(),
+                            terminated: reactions.iter().any(|r| r.terminated),
+                        });
                     }
-                    out.faults.push(SessionFault {
-                        session: id,
-                        error: e.to_string(),
-                        quarantined,
-                    });
+                    Err(e) => {
+                        // The failed reaction rolled back: the session's
+                        // digest is its pre-reaction digest and
+                        // shard-mates never observe the fault. Quarantine
+                        // only the (rollback-disabled) poisoned case.
+                        self.rollbacks += 1;
+                        let quarantined = slot.driver.machine.borrow().is_poisoned();
+                        if quarantined {
+                            slot.quarantined = true;
+                            self.quarantined += 1;
+                        }
+                        out.faults.push(SessionFault {
+                            session: id,
+                            error: e.to_string(),
+                            quarantined,
+                        });
+                    }
                 }
             }
         }
@@ -381,6 +397,142 @@ impl ShardState {
         out
     }
 
+    /// One cohort-mode sweep: stages the batched inputs, groups the
+    /// shard's eligible sessions by circuit identity ([`cohort_key`])
+    /// and advances each group through a single bit-parallel sweep
+    /// ([`react_cohort`]); ineligible sessions (non-levelized engines,
+    /// fine-grained observability armed) take the scalar path for the
+    /// tick. Outcome handling — outputs, synchronously drained mailbox
+    /// follow-ups, faults, rollback/quarantine bookkeeping — matches the
+    /// scalar sweep exactly, so cohort mode is a pure execution
+    /// strategy; the only observable difference is telemetry
+    /// granularity (no per-reaction spans inside a cohort).
+    fn sweep_cohort(
+        &mut self,
+        per_session: &BTreeMap<SessionId, Vec<(String, Value)>>,
+        width: CohortWidth,
+        out: &mut ShardTick,
+    ) {
+        // Stage inputs up front (the scalar path stages through
+        // `Driver::react`). A staging error faults the session and it
+        // skips this tick's reaction, exactly as in the scalar path.
+        let mut groups: BTreeMap<u64, Vec<SessionId>> = BTreeMap::new();
+        let mut scalars: Vec<SessionId> = Vec::new();
+        let mut staging_faults: Vec<(SessionId, String)> = Vec::new();
+        for (&id, slot) in &self.sessions {
+            if slot.quarantined {
+                continue;
+            }
+            let mut machine = slot.driver.machine.borrow_mut();
+            let mut staged = Ok(());
+            for (signal, value) in per_session.get(&id).map_or(&[][..], |v| v) {
+                staged = machine.set_input(signal, Some(value.clone()));
+                if staged.is_err() {
+                    break;
+                }
+            }
+            match staged {
+                Err(e) => staging_faults.push((id, e.to_string())),
+                Ok(()) => match cohort_key(&machine) {
+                    Some(key) => groups.entry(key).or_default().push(id),
+                    None => scalars.push(id),
+                },
+            }
+        }
+        for (id, error) in staging_faults {
+            self.rollbacks += 1;
+            out.faults.push(SessionFault {
+                session: id,
+                error,
+                quarantined: false,
+            });
+        }
+        for ids in groups.into_values() {
+            let mut outcomes: Vec<(SessionId, Result<Vec<Reaction>, RuntimeError>)> =
+                Vec::with_capacity(ids.len());
+            {
+                let mut borrows: Vec<std::cell::RefMut<'_, Machine>> = ids
+                    .iter()
+                    .map(|id| self.sessions[id].driver.machine.borrow_mut())
+                    .collect();
+                let mut lanes: Vec<&mut Machine> =
+                    borrows.iter_mut().map(|b| &mut **b).collect();
+                let results = react_cohort(&mut lanes, width);
+                drop(lanes);
+                for ((id, result), machine) in
+                    ids.iter().zip(results).zip(borrows.iter_mut())
+                {
+                    // Mirror `Driver::react`: the committed reaction plus
+                    // any synchronously drained mailbox follow-ups form
+                    // one batch, and a drain error faults the whole
+                    // batch.
+                    let reacted = result.and_then(|r| {
+                        machine.drain().map(|mut more| {
+                            let mut batch = vec![r];
+                            batch.append(&mut more);
+                            batch
+                        })
+                    });
+                    outcomes.push((*id, reacted));
+                }
+            }
+            for (id, reacted) in outcomes {
+                self.report_outcome(id, reacted, out);
+            }
+        }
+        for id in scalars {
+            let reacted = self.sessions[&id].driver.react(&[]);
+            self.report_outcome(id, reacted, out);
+        }
+    }
+
+    /// Folds one session's reaction outcome into the tick report, with
+    /// the scalar sweep's rollback/quarantine bookkeeping.
+    fn report_outcome(
+        &mut self,
+        id: SessionId,
+        reacted: Result<Vec<Reaction>, RuntimeError>,
+        out: &mut ShardTick,
+    ) {
+        match reacted {
+            Ok(reactions) => {
+                out.reactions += reactions.len();
+                out.outputs.push(SessionOutputs {
+                    session: id,
+                    outputs: reactions.iter().flat_map(|r| r.outputs.clone()).collect(),
+                    terminated: reactions.iter().any(|r| r.terminated),
+                });
+            }
+            Err(e) => {
+                self.rollbacks += 1;
+                let slot = self.sessions.get_mut(&id).expect("live session");
+                let quarantined = slot.driver.machine.borrow().is_poisoned();
+                if quarantined {
+                    slot.quarantined = true;
+                    self.quarantined += 1;
+                }
+                out.faults.push(SessionFault {
+                    session: id,
+                    error: e.to_string(),
+                    quarantined,
+                });
+            }
+        }
+    }
+
+    fn close(&mut self, ids: Vec<SessionId>) -> usize {
+        let mut closed = 0;
+        for id in ids {
+            if let Some(slot) = self.sessions.remove(&id) {
+                if slot.quarantined {
+                    self.quarantined -= 1;
+                }
+                closed += 1;
+            }
+        }
+        closed
+    }
+
     fn digests(&self) -> Vec<(SessionId, String)> {
         self.sessions
             .iter()
@@ -428,11 +580,13 @@ fn shard_main(mut state: ShardState, rx: Receiver<Cmd>) {
                 tracing,
                 level_activity,
                 epoch,
+                cohort,
                 reply,
             } => {
                 state.tracing = tracing;
                 state.level_activity = level_activity;
                 state.epoch = epoch;
+                state.cohort = cohort;
                 // Arm already-open sessions too (tracing is often turned
                 // on after a warm-up phase).
                 if level_activity {
@@ -441,6 +595,9 @@ fn shard_main(mut state: ShardState, rx: Receiver<Cmd>) {
                     }
                 }
                 let _ = reply.send(());
+            }
+            Cmd::Close(ids, reply) => {
+                let _ = reply.send(state.close(ids));
             }
             Cmd::Shutdown => break,
         }
@@ -479,6 +636,7 @@ pub struct SessionPool {
     epoch: Instant,
     spans: Vec<SpanRecord>,
     tick_span_seq: u64,
+    cohort: Option<CohortWidth>,
 }
 
 impl SessionPool {
@@ -517,6 +675,7 @@ impl SessionPool {
                             level_activity: false,
                             epoch: Instant::now(),
                             span_seq: 0,
+                            cohort: None,
                         };
                         shard_main(state, rx);
                     })
@@ -538,6 +697,7 @@ impl SessionPool {
             epoch: Instant::now(),
             spans: Vec::new(),
             tick_span_seq: 0,
+            cohort: None,
         }
     }
 
@@ -654,6 +814,7 @@ impl SessionPool {
                 tracing: self.tracing,
                 level_activity: self.level_activity,
                 epoch: self.epoch,
+                cohort: self.cohort,
                 reply: tx,
             })
             .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
@@ -689,6 +850,70 @@ impl SessionPool {
     pub fn set_level_activity(&mut self, on: bool) -> Result<(), PoolError> {
         self.level_activity = on;
         self.push_config()
+    }
+
+    /// Switches the pool between scalar sweeps (the default, `None`) and
+    /// bit-parallel cohort execution: each shard groups its sessions by
+    /// compiled-circuit identity and advances every group through one
+    /// lockstep level sweep per tick, 32 sessions per `u64` lane word
+    /// ([`CohortWidth::U64`]) or 4-word vectorizable blocks
+    /// ([`CohortWidth::Wide`]).
+    ///
+    /// Cohort mode is a pure execution strategy, not a semantic mode:
+    /// outputs, faults, rollback isolation and state digests are
+    /// bit-identical to scalar sweeps (the cohort differential battery
+    /// proves it), so recordings made in either mode replay in the
+    /// other. Sessions that cannot join a cohort — non-levelized engine
+    /// selection, fine-grained observability armed — transparently run
+    /// scalar; a session whose host action faults mid-sweep is peeled
+    /// from its cohort for the instant and rolled back alone. The one
+    /// observable difference is telemetry granularity: cohort ticks emit
+    /// sweep spans but no per-reaction spans.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a shard thread died.
+    pub fn set_cohort(&mut self, width: Option<CohortWidth>) -> Result<(), PoolError> {
+        self.cohort = width;
+        self.push_config()
+    }
+
+    /// Closes (drops) the given sessions, returning how many actually
+    /// existed. Cohort lanes compact automatically — grouping is
+    /// re-derived each tick, so survivors keep their digests and their
+    /// lane-mates never notice. The flight recorder does not journal
+    /// closes: a recording that straddles one will re-open every
+    /// recorded session on replay, so close sessions before arming the
+    /// recorder or after taking the journal.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a shard thread died.
+    pub fn close(&mut self, sessions: &[SessionId]) -> Result<usize, PoolError> {
+        let mut per_shard: Vec<Vec<SessionId>> = vec![Vec::new(); self.shards.len()];
+        for &id in sessions {
+            per_shard[self.shard_of(id)].push(id);
+        }
+        let mut replies = Vec::new();
+        for (shard, ids) in per_shard.into_iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            let (tx, rx) = channel();
+            self.shards[shard]
+                .tx
+                .send(Cmd::Close(ids, tx))
+                .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+            replies.push((shard, rx));
+        }
+        let mut closed = 0;
+        for (shard, rx) in replies {
+            closed += rx
+                .recv()
+                .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+        }
+        self.sessions -= closed;
+        Ok(closed)
     }
 
     /// Drains the collected spans, ordered by start timestamp.
@@ -1071,7 +1296,7 @@ mod tests {
             .outputs
             .iter()
             .rev()
-            .find(|o| o.name == "count")
+            .find(|o| &*o.name == "count")
             .map(|o| match &o.value {
                 Value::Num(n) => *n,
                 other => panic!("count is numeric, got {other:?}"),
@@ -1283,6 +1508,94 @@ mod tests {
             trace
         };
         assert_eq!(run(true), run(false), "sweep order is unobservable");
+    }
+
+    #[test]
+    fn cohort_mode_is_digest_identical_to_scalar_sweeps() {
+        // The pool's counter factory staggers engines (even sessions
+        // levelized, odd constructive), so cohort mode exercises the
+        // mixed path: eligible sessions form cohorts, the rest fall back
+        // to scalar sweeps — and every output and digest must match a
+        // scalar-mode pool exactly.
+        let run = |cohort: Option<CohortWidth>| {
+            let mut pool = SessionPool::new(2, 10, counter_factory);
+            pool.set_cohort(cohort).expect("config");
+            pool.open_many(40).expect("open");
+            let mut trace = Vec::new();
+            for step in 0..6u64 {
+                for id in 0..40 {
+                    if (id + step) % 3 == 0 {
+                        pool.inject(SessionId(id), "inc", Value::from(step as i64 + 1));
+                    }
+                }
+                let r = pool.tick().expect("tick");
+                assert!(r.faults.is_empty());
+                trace.push((
+                    r.outputs
+                        .iter()
+                        .map(|o| (o.session, count_of(o)))
+                        .collect::<Vec<_>>(),
+                    pool.digests().expect("digests"),
+                ));
+            }
+            trace
+        };
+        let scalar = run(None);
+        assert_eq!(scalar, run(Some(CohortWidth::U64)), "u64 lanes diverged");
+        assert_eq!(scalar, run(Some(CohortWidth::Wide)), "wide lanes diverged");
+    }
+
+    #[test]
+    fn close_compacts_cohort_lanes_without_disturbing_survivors() {
+        let run = |cohort: Option<CohortWidth>| {
+            let mut pool = SessionPool::new(2, 10, counter_factory);
+            pool.set_cohort(cohort).expect("config");
+            pool.open_many(33).expect("open");
+            let mut digests = Vec::new();
+            for step in 0..8u64 {
+                if step == 3 {
+                    // Mid-run close: survivors shift into fresh lanes.
+                    let victims = [SessionId(2), SessionId(17), SessionId(32)];
+                    let before = pool.digests().expect("digests");
+                    assert_eq!(pool.close(&victims).expect("close"), 3);
+                    let after = pool.digests().expect("digests");
+                    for (id, d) in &after {
+                        assert_eq!(&before[id], d, "{id}: close must not touch survivors");
+                    }
+                    for v in victims {
+                        assert!(!after.contains_key(&v), "{v} still live after close");
+                    }
+                    // Closing an already-closed session is a no-op.
+                    assert_eq!(pool.close(&[SessionId(17)]).expect("close"), 0);
+                }
+                for id in 0..33 {
+                    if (id + step) % 2 == 0 {
+                        pool.inject(SessionId(id), "inc", Value::from(1i64));
+                    }
+                }
+                pool.tick().expect("tick");
+                digests.push(pool.digests().expect("digests"));
+            }
+            assert_eq!(pool.sessions(), 30);
+            digests
+        };
+        let scalar = run(None);
+        assert_eq!(scalar, run(Some(CohortWidth::U64)), "u64 lanes diverged");
+        assert_eq!(scalar, run(Some(CohortWidth::Wide)), "wide lanes diverged");
+    }
+
+    #[test]
+    fn a_pool_closed_down_to_zero_sessions_still_ticks() {
+        let mut pool = SessionPool::new(2, 10, counter_factory);
+        pool.set_cohort(Some(CohortWidth::U64)).expect("config");
+        pool.open_many(5).expect("open");
+        pool.tick().expect("tick");
+        let all: Vec<SessionId> = (0..5).map(SessionId).collect();
+        assert_eq!(pool.close(&all).expect("close"), 5);
+        assert_eq!(pool.sessions(), 0);
+        let r = pool.tick().expect("an empty pool ticks without sessions");
+        assert!(r.outputs.is_empty());
+        assert!(r.faults.is_empty());
     }
 
     #[test]

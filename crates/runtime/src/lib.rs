@@ -37,6 +37,7 @@
 #![allow(clippy::type_complexity)] // Rc<dyn Fn> hook signatures are the API
 
 pub mod causality;
+pub mod cohort;
 mod env;
 pub mod error;
 pub mod flight;
@@ -47,6 +48,7 @@ pub mod telemetry;
 pub mod waveform;
 
 pub use causality::CausalityReport;
+pub use cohort::{cohort_key, react_cohort, CohortWidth};
 pub use error::{CycleNet, RuntimeError};
 pub use flight::{
     DigestMismatch, Json, Recorder, RecorderConfig, RecordedInput, RecordedTick, Recording,

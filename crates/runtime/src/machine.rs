@@ -56,8 +56,10 @@ pub(crate) enum Class {
 /// One output signal's snapshot after a reaction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OutputEvent {
-    /// Signal name.
-    pub name: String,
+    /// Signal name. Interned per machine (`Arc<str>`): a reaction is
+    /// built — and cloned on its way through the session pool — once per
+    /// session per instant, so the names must not re-allocate each time.
+    pub name: std::sync::Arc<str>,
     /// Present this instant.
     pub present: bool,
     /// Current value (persists across instants).
@@ -81,7 +83,7 @@ pub struct Reaction {
 impl Reaction {
     /// Snapshot of a specific output, if present in the interface.
     pub fn output(&self, name: &str) -> Option<&OutputEvent> {
-        self.outputs.iter().find(|o| o.name == name)
+        self.outputs.iter().find(|o| &*o.name == name)
     }
     /// Whether `name` was emitted this instant.
     pub fn present(&self, name: &str) -> bool {
@@ -94,11 +96,11 @@ impl Reaction {
 }
 
 #[derive(Debug)]
-struct AsyncRt {
-    active: bool,
-    instance: u64,
-    state: Rc<RefCell<Value>>,
-    notified: Option<Value>,
+pub(crate) struct AsyncRt {
+    pub(crate) active: bool,
+    pub(crate) instance: u64,
+    pub(crate) state: Rc<RefCell<Value>>,
+    pub(crate) notified: Option<Value>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -132,68 +134,84 @@ struct Chaos {
 }
 
 /// A running reactive machine.
+///
+/// Fields the cohort engine (`crate::cohort`) touches are `pub(crate)`:
+/// the cohort sweep executes each lane's begin/commit phases out-of-line
+/// while the shared bit-parallel sweep owns the pure gates.
 pub struct Machine {
-    circuit: Rc<Circuit>,
+    pub(crate) circuit: Rc<Circuit>,
     class: Vec<Class>,
     is_or: Vec<bool>,
 
     // Persistent state.
-    regs: Vec<bool>,
-    sig_val: Vec<Value>,
-    sig_preval: Vec<Value>,
+    pub(crate) regs: Vec<bool>,
+    pub(crate) sig_val: Vec<Value>,
+    pub(crate) sig_preval: Vec<Value>,
     vars: HashMap<String, Value>,
     counters: Vec<f64>,
-    asyncs: Vec<AsyncRt>,
+    pub(crate) asyncs: Vec<AsyncRt>,
     log: Vec<String>,
     mailbox: Mailbox,
     next_instance: u64,
-    terminated: bool,
-    seq: u64,
-    last_present: Vec<bool>,
+    pub(crate) terminated: bool,
+    pub(crate) seq: u64,
+    pub(crate) last_present: Vec<bool>,
 
     // Staging for the next reaction.
-    staged_inputs: Vec<(SignalId, Option<Value>)>,
-    staged_notifies: Vec<(AsyncId, Value)>,
+    pub(crate) staged_inputs: Vec<(SignalId, Option<Value>)>,
+    pub(crate) staged_notifies: Vec<(AsyncId, Value)>,
 
     // Scratch (allocated once).
-    value: Vec<i8>,
+    pub(crate) value: Vec<i8>,
     undet: Vec<u32>,
     deps_left: Vec<u32>,
     armed: Vec<bool>,
     resolved: Vec<bool>,
     queue: VecDeque<Ev>,
-    events: usize,
-    actions_run: usize,
-    queue_hwm: usize,
+    pub(crate) events: usize,
+    pub(crate) actions_run: usize,
+    pub(crate) queue_hwm: usize,
 
-    listeners: Vec<Rc<dyn Fn(&Reaction)>>,
-    trace: Option<Vec<Reaction>>,
-    sinks: SinkSet,
-    fine_events: bool,
+    pub(crate) listeners: Vec<Rc<dyn Fn(&Reaction)>>,
+    pub(crate) trace: Option<Vec<Reaction>>,
+    pub(crate) sinks: SinkSet,
+    pub(crate) fine_events: bool,
     metrics: Option<Rc<RefCell<MetricsSink>>>,
 
     // Fault tolerance: pre-reaction snapshot for rollback-on-error,
     // poison flag (only ever observable with rollback disabled), and the
     // optional fault injector.
     snapshot: Snapshot,
-    rollback: bool,
-    poisoned: bool,
+    pub(crate) rollback: bool,
+    pub(crate) poisoned: bool,
     chaos: Option<Chaos>,
 
     // Engine selection: `schedule` exists iff the circuit is acyclic;
     // `hybrid` always exists (non-constructive circuits are rejected at
     // construction); `requested` is the user's explicit choice (`None` =
     // automatic).
-    schedule: Option<Rc<LevelSchedule>>,
+    pub(crate) schedule: Option<Rc<LevelSchedule>>,
     hybrid: Rc<HybridSchedule>,
-    requested: Option<EngineMode>,
+    pub(crate) requested: Option<EngineMode>,
     lv_state: PackedStates,
 
     // Per-level activity accounting (`enable_level_activity`): net
     // evaluations and value flips bucketed by topological level, with
     // the previous instant's net values as the flip baseline.
-    level_activity: Option<LevelActivity>,
+    pub(crate) level_activity: Option<LevelActivity>,
     prev_value: Vec<i8>,
+
+    // Lazily built, per-circuit cohort execution plan (scatter lists for
+    // effectful nets); see `crate::cohort`.
+    pub(crate) cohort_plan: Option<Rc<crate::cohort::CohortPlan>>,
+    // Memoized structural hash for `crate::cohort::cohort_key`: the
+    // schedule tables it digests are immutable after construction, so
+    // the hash is computed once (eligibility stays dynamic).
+    pub(crate) cohort_struct_key: std::cell::Cell<Option<u64>>,
+    // Output-direction interface signals as (signal index, interned
+    // name): every reaction snapshots them, so the names are interned
+    // once here instead of being re-allocated per instant.
+    pub(crate) out_signals: Rc<[(u32, std::sync::Arc<str>)]>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -260,6 +278,13 @@ impl Machine {
             })
             .collect();
         let nsig = circuit.signals().len();
+        let out_signals: Rc<[(u32, std::sync::Arc<str>)]> = circuit
+            .signals()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.direction.is_output())
+            .map(|(i, s)| (i as u32, std::sync::Arc::from(s.name.as_str())))
+            .collect();
         // Acyclicity analysis: precompute the dense level schedule when
         // the combinational graph levelizes (the common case). Cyclic
         // circuits run the static constructiveness analysis: provably
@@ -326,6 +351,9 @@ impl Machine {
             lv_state: PackedStates::default(),
             level_activity: None,
             prev_value: Vec::new(),
+            cohort_plan: None,
+            cohort_struct_key: std::cell::Cell::new(None),
+            out_signals,
             circuit: Rc::new(circuit),
         })
     }
@@ -455,7 +483,7 @@ impl Machine {
         self.sinks.finish();
     }
 
-    fn emit_trace(&self, event: TraceEvent<'_>) {
+    pub(crate) fn emit_trace(&self, event: TraceEvent<'_>) {
         self.sinks.emit(&event);
     }
 
@@ -700,7 +728,7 @@ impl Machine {
 
     /// Copies everything a failed reaction could have mutated; reuses the
     /// snapshot buffers so the steady state allocates nothing.
-    fn take_snapshot(&mut self) {
+    pub(crate) fn take_snapshot(&mut self) {
         let snap = &mut self.snapshot;
         snap.sig_val.clone_from(&self.sig_val);
         snap.sig_preval.clone_from(&self.sig_preval);
@@ -719,9 +747,52 @@ impl Machine {
     /// is deliberately *not* restored: instance numbers stay monotonic so
     /// a host callback holding a handle from a rolled-back spawn can
     /// never collide with a later incarnation.
-    fn restore_snapshot(&mut self) {
+    pub(crate) fn restore_snapshot(&mut self) {
         let snap = &mut self.snapshot;
         std::mem::swap(&mut self.sig_val, &mut snap.sig_val);
+        std::mem::swap(&mut self.sig_preval, &mut snap.sig_preval);
+        std::mem::swap(&mut self.vars, &mut snap.vars);
+        std::mem::swap(&mut self.counters, &mut snap.counters);
+        for (rt, saved) in self.asyncs.iter_mut().zip(snap.asyncs.drain(..)) {
+            let (active, instance, state, notified) = saved;
+            rt.active = active;
+            rt.instance = instance;
+            rt.state = state;
+            rt.notified = notified;
+        }
+        self.log.truncate(snap.log_len);
+    }
+
+    /// Cohort-mode snapshot: same rollback point as
+    /// [`Machine::take_snapshot`] without its two `Vec<Value>` clones,
+    /// which dominate the cohort's per-lane fixed cost. The begin
+    /// phase's `sig_preval ← sig_val` copy doubles as the value backup
+    /// (nothing writes `sig_preval` during a sweep), and the old
+    /// pre-values are parked in the snapshot by swap instead of clone.
+    /// Must be called *before* that begin-phase copy.
+    pub(crate) fn take_snapshot_cohort(&mut self) {
+        let snap = &mut self.snapshot;
+        std::mem::swap(&mut snap.sig_preval, &mut self.sig_preval);
+        snap.vars.clone_from(&self.vars);
+        snap.counters.clone_from(&self.counters);
+        snap.asyncs.clear();
+        snap.asyncs.extend(
+            self.asyncs
+                .iter()
+                .map(|rt| (rt.active, rt.instance, rt.state.clone(), rt.notified.clone())),
+        );
+        snap.log_len = self.log.len();
+    }
+
+    /// Rolls a failed cohort lane back to the
+    /// [`Machine::take_snapshot_cohort`] point — the machine ends up in
+    /// the exact state [`Machine::restore_snapshot`] would produce.
+    pub(crate) fn restore_snapshot_cohort(&mut self) {
+        // `sig_preval` still holds the begin phase's copy of the
+        // pre-reaction `sig_val`; the pre-reaction `sig_preval` was
+        // parked in the snapshot by swap.
+        self.sig_val.clone_from(&self.sig_preval);
+        let snap = &mut self.snapshot;
         std::mem::swap(&mut self.sig_preval, &mut snap.sig_preval);
         std::mem::swap(&mut self.vars, &mut snap.vars);
         std::mem::swap(&mut self.counters, &mut snap.counters);
@@ -898,15 +969,13 @@ impl Machine {
             }
         }
 
-        let outputs = circuit
-            .signals()
+        let outs = self.out_signals.clone();
+        let outputs = outs
             .iter()
-            .enumerate()
-            .filter(|(_, s)| s.direction.is_output())
-            .map(|(i, s)| OutputEvent {
-                name: s.name.clone(),
-                present: self.last_present[i],
-                value: self.sig_val[i].clone(),
+            .map(|(i, name)| OutputEvent {
+                name: name.clone(),
+                present: self.last_present[*i as usize],
+                value: self.sig_val[*i as usize].clone(),
             })
             .collect();
         let reaction = Reaction {
@@ -1564,7 +1633,7 @@ impl Machine {
         }
     }
 
-    fn eval_test(&mut self, circuit: &Circuit, j: u32) -> bool {
+    pub(crate) fn eval_test(&mut self, circuit: &Circuit, j: u32) -> bool {
         let NetKind::Test(kind) = &circuit.nets()[j as usize].kind else {
             unreachable!("fire(Test) on non-test net");
         };
@@ -1589,7 +1658,7 @@ impl Machine {
     /// triggers reaction rollback instead of unwinding through the
     /// engine. The armed chaos injector panics here too, taking exactly
     /// the path a real host bug would.
-    fn run_action(
+    pub(crate) fn run_action(
         &mut self,
         circuit: &Circuit,
         j: u32,

@@ -18,7 +18,8 @@ use crate::sequencer::Sequencer;
 use hiphop_core::value::Value;
 use hiphop_eventloop::sessions::{SessionId, SessionOutputs, SessionPool};
 use hiphop_runtime::{
-    Machine, PoolMetrics, RecorderConfig, Recording, ReplayOptions, ReplayReport, SpanRecord,
+    CohortWidth, Machine, PoolMetrics, RecorderConfig, Recording, ReplayOptions, ReplayReport,
+    SpanRecord,
 };
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -83,6 +84,10 @@ pub struct ConcertRunOptions {
     pub record: Option<RecorderConfig>,
     /// Emit tick/sweep/reaction spans (collected in [`ConcertRun::spans`]).
     pub trace_spans: bool,
+    /// Advance sessions through bit-parallel lockstep cohorts instead of
+    /// per-session scalar sweeps (`None` = scalar). Pure execution
+    /// strategy: the concert digest is identical either way.
+    pub cohort: Option<CohortWidth>,
     /// Tally per-level net-evaluation counters in every session.
     pub level_activity: bool,
     /// Invoke [`ConcertRunOptions::watch`] every N beats (0 = never).
@@ -303,6 +308,9 @@ pub fn run_with(cfg: &ConcertConfig, mut opts: ConcertRunOptions) -> Result<Conc
     if opts.trace_spans {
         pool.set_tracing(true).map_err(|e| e.to_string())?;
     }
+    if opts.cohort.is_some() {
+        pool.set_cohort(opts.cohort).map_err(|e| e.to_string())?;
+    }
     if opts.level_activity {
         pool.set_level_activity(true).map_err(|e| e.to_string())?;
     }
@@ -395,12 +403,33 @@ pub fn run_with(cfg: &ConcertConfig, mut opts: ConcertRunOptions) -> Result<Conc
 /// journal, or a dead shard. Digest mismatches are reported in the
 /// returned [`ReplayReport`], not raised as errors.
 pub fn replay(rec: &Recording, shards: usize, opts: &ReplayOptions) -> Result<ReplayReport, String> {
+    replay_with(rec, shards, opts, None)
+}
+
+/// [`replay`] with an execution-strategy override: `cohort` re-executes
+/// the journal through bit-parallel lockstep sweeps. A recording made in
+/// either mode replays in the other with identical digests — cohort
+/// execution is a strategy, not a semantic mode, and the digest
+/// checkpoints prove it instant by instant.
+///
+/// # Errors
+///
+/// Same failure modes as [`replay`].
+pub fn replay_with(
+    rec: &Recording,
+    shards: usize,
+    opts: &ReplayOptions,
+    cohort: Option<CohortWidth>,
+) -> Result<ReplayReport, String> {
     let (shape, seed, chaos_rate) = parse_scenario(&rec.scenario)?;
     let mut pool = SessionPool::new(
         shards,
         rec.tick_ms.max(1),
         concert_factory(shape, seed, chaos_rate),
     );
+    if cohort.is_some() {
+        pool.set_cohort(cohort).map_err(|e| e.to_string())?;
+    }
     pool.replay(rec, opts).map_err(|e| e.to_string())
 }
 
@@ -469,6 +498,83 @@ mod tests {
         assert!(report.ok(), "digest mismatches: {:?}", report.mismatches);
         assert_eq!(report.ticks, 16);
         assert!(report.checked > 0, "checkpoints were actually verified");
+    }
+
+    #[test]
+    fn cohort_and_scalar_concerts_are_digest_identical() {
+        let base = run(&ConcertConfig::new(20, 2, 12, 31)).expect("scalar");
+        for width in [CohortWidth::U64, CohortWidth::Wide] {
+            let opts = ConcertRunOptions {
+                cohort: Some(width),
+                ..ConcertRunOptions::default()
+            };
+            let cohort = run_with(&ConcertConfig::new(20, 2, 12, 31), opts).expect("cohort");
+            assert_eq!(
+                base.digest, cohort.report.digest,
+                "[{width:?}] cohort execution changed concert behaviour"
+            );
+            assert_eq!(base.played, cohort.report.played);
+        }
+    }
+
+    #[test]
+    fn cohort_recording_replays_on_scalar_pools_and_vice_versa() {
+        // Record a 4-shard cohort-mode chaotic concert with a digest
+        // checkpoint at every instant…
+        let mut cfg = ConcertConfig::new(12, 4, 12, 77);
+        cfg.chaos_rate = 0.05;
+        let every_instant = RecorderConfig {
+            checkpoint_every: 1,
+            ..RecorderConfig::default()
+        };
+        let cohort_run = run_with(
+            &cfg,
+            ConcertRunOptions {
+                record: Some(every_instant),
+                cohort: Some(CohortWidth::U64),
+                ..ConcertRunOptions::default()
+            },
+        )
+        .expect("cohort concert records");
+        let cohort_rec = cohort_run.recording.expect("journal captured");
+
+        // …and replay it on a *scalar* pool: every checkpoint must match.
+        let report =
+            replay_with(&cohort_rec, 3, &ReplayOptions::default(), None).expect("replays");
+        assert!(
+            report.ok(),
+            "cohort→scalar digest mismatches: {:?}",
+            report.mismatches
+        );
+        assert!(report.checked > 0, "checkpoints were actually verified");
+
+        // The reverse direction: scalar recording, cohort (wide) replay.
+        let scalar_run = run_with(
+            &cfg,
+            ConcertRunOptions {
+                record: Some(every_instant),
+                ..ConcertRunOptions::default()
+            },
+        )
+        .expect("scalar concert records");
+        assert_eq!(
+            cohort_run.report.digest, scalar_run.report.digest,
+            "the two recordings describe the same concert"
+        );
+        let scalar_rec = scalar_run.recording.expect("journal captured");
+        let report = replay_with(
+            &scalar_rec,
+            4,
+            &ReplayOptions::default(),
+            Some(CohortWidth::Wide),
+        )
+        .expect("replays");
+        assert!(
+            report.ok(),
+            "scalar→cohort digest mismatches: {:?}",
+            report.mismatches
+        );
+        assert!(report.checked > 0);
     }
 
     #[test]

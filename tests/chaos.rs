@@ -295,3 +295,130 @@ fn pool_chaos_is_contained_to_the_faulting_session() {
         assert_eq!(t2, total, "{shards} shard(s): fault count shifted");
     }
 }
+
+/// Chaos landing *inside* a bit-parallel cohort: with cohort mode on,
+/// every eligible session advances through one lockstep sweep, so an
+/// injected host panic fires mid-sweep with up to 32 lane-mates in
+/// flight. The faulting session must peel and roll back alone:
+///
+/// 1. the chaotic cohort pool reproduces the chaotic *scalar* pool
+///    exactly — same digests, same fault set, same rollback count —
+///    across 1/3/4 shards and both lane widths;
+/// 2. never-faulted lane-mates match the fault-free scalar shadow
+///    digest for digest (blast radius zero, even inside a lane word).
+#[test]
+fn pool_chaos_lands_inside_cohorts_and_peels_the_faulting_lane_alone() {
+    use hiphop::eventloop::sessions::{SessionId, SessionPool};
+    use hiphop::runtime::CohortWidth;
+    use std::collections::BTreeSet;
+
+    const SESSIONS: u64 = 33; // one full lane word plus a straggler
+    const TICKS: u64 = 20;
+    const MASTER: u64 = 0xC4A0_5C04;
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Every fourth session is chaotic (rate 0.1); the rest are clean.
+    fn chaotic(id: SessionId) -> bool {
+        splitmix64(MASTER ^ id.0).is_multiple_of(4)
+    }
+
+    fn build_pool(shards: usize, chaos: bool, cohort: Option<CohortWidth>) -> SessionPool {
+        let mut pool = SessionPool::new(shards, 10, move |id| {
+            let module = synthetic_program(30, MASTER);
+            let c = compile_module_with(&module, &ModuleRegistry::new(), CompileOptions::default())
+                .map_err(|e| e.to_string())?;
+            let mut m = Machine::new(c.circuit).map_err(|e| e.to_string())?;
+            if chaos && chaotic(id) {
+                m.set_chaos(splitmix64(MASTER ^ !id.0), 0.1);
+            }
+            Ok(m)
+        });
+        pool.set_cohort(cohort).expect("config");
+        pool
+    }
+
+    fn run(
+        pool: &mut SessionPool,
+    ) -> (std::collections::BTreeMap<SessionId, String>, BTreeSet<SessionId>, u64) {
+        let mut faulted = BTreeSet::new();
+        let mut total = 0u64;
+        let booted = pool.open_many(SESSIONS).expect("boot");
+        for f in &booted.faults {
+            faulted.insert(f.session);
+            total += 1;
+        }
+        for t in 0..TICKS {
+            for s in 0..SESSIONS {
+                pool.inject(
+                    SessionId(s),
+                    &format!("i{}", t % 8),
+                    Value::from((t % 5) as i64),
+                );
+            }
+            let report = pool.tick().expect("tick");
+            for f in &report.faults {
+                assert!(
+                    f.error.contains("chaos"),
+                    "only injected faults expected: {}",
+                    f.error
+                );
+                assert!(!f.quarantined, "a peeled lane rolls back, not poisons");
+                faulted.insert(f.session);
+                total += 1;
+            }
+        }
+        (pool.digests().expect("digests"), faulted, total)
+    }
+
+    let mut shadow = build_pool(3, false, None);
+    let (clean_digests, clean_faults, n) = run(&mut shadow);
+    assert!(clean_faults.is_empty() && n == 0, "the shadow never faults");
+
+    let mut scalar = build_pool(3, true, None);
+    let (scalar_digests, scalar_faults, scalar_total) = run(&mut scalar);
+    assert!(
+        !scalar_faults.is_empty(),
+        "a 10% rate on {} chaotic sessions over {TICKS} ticks must fault",
+        (0..SESSIONS).filter(|&s| chaotic(SessionId(s))).count()
+    );
+
+    for (shards, width) in [
+        (1usize, CohortWidth::U64),
+        (3, CohortWidth::U64),
+        (4, CohortWidth::U64),
+        (3, CohortWidth::Wide),
+    ] {
+        let mut pool = build_pool(shards, true, Some(width));
+        let (digests, faulted, total) = run(&mut pool);
+        // 1. Cohort mode reproduces the chaotic scalar run exactly: the
+        //    per-lane chaos streams, peels and rollbacks are the same
+        //    events the scalar sweep would produce.
+        assert_eq!(
+            digests, scalar_digests,
+            "{shards} shard(s) [{width:?}]: digests diverged from scalar chaos"
+        );
+        assert_eq!(
+            faulted, scalar_faults,
+            "{shards} shard(s) [{width:?}]: fault set diverged from scalar chaos"
+        );
+        assert_eq!(total, scalar_total, "{shards} shard(s) [{width:?}]: fault count");
+        // 2. Peel isolation: lane-mates never notice a peeled neighbor.
+        for s in (0..SESSIONS).map(SessionId) {
+            if !faulted.contains(&s) {
+                assert_eq!(
+                    digests[&s], clean_digests[&s],
+                    "session {s:?} [{width:?}] was perturbed by a lane-mate's peel"
+                );
+            }
+        }
+        let metrics = pool.metrics().expect("metrics");
+        assert_eq!(metrics.rollbacks, total, "every peel is one rollback");
+    }
+}

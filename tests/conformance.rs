@@ -10,8 +10,13 @@
 //! The battery covers the kernel constructs whose semantics are easy to
 //! get subtly wrong: strong vs weak abort at the delay instant, suspend,
 //! every, nested traps with `break`, sustain, counted await, immediate
-//! delays, `do … every`, and local-signal reincarnation.
+//! delays, `do … every`, and local-signal reincarnation. The case table
+//! itself lives in `tests/common/mod.rs` so the cohort differential
+//! battery (`tests/cohort.rs`) replays the exact same programs.
 
+mod common;
+
+use common::{kernel_case, KernelCase};
 use hiphop::lang::{parse_program, HostRegistry};
 use hiphop::prelude::*;
 use hiphop::runtime::EngineMode;
@@ -39,15 +44,16 @@ fn drive(
     }
 }
 
-/// Runs `src`'s `Main` module against `expected` under every compiled
-/// engine and the reference interpreter.
-fn check(name: &str, src: &str, stimulus: &[&[&str]], expected: &[&str]) {
+/// Runs a case's `Main` module against its expectations under every
+/// compiled engine and the reference interpreter.
+fn check(case: &KernelCase) {
+    let (name, stimulus, expected) = (case.name, case.stimulus, case.expected);
     assert_eq!(
         stimulus.len() + 1,
         expected.len(),
         "{name}: the table must list boot plus one expectation per stimulus instant"
     );
-    let (module, registry) = parse_program(src, "Main", &HostRegistry::new())
+    let (module, registry) = parse_program(case.src, "Main", &HostRegistry::new())
         .unwrap_or_else(|e| panic!("{name}: parse: {e}"));
 
     for mode in [
@@ -69,7 +75,7 @@ fn check(name: &str, src: &str, stimulus: &[&[&str]], expected: &[&str]) {
                     r.outputs
                         .iter()
                         .filter(|o| o.present)
-                        .map(|o| o.name.clone())
+                        .map(|o| o.name.to_string())
                         .collect()
                 })
                 .map_err(|e| e.to_string())
@@ -98,46 +104,19 @@ fn check(name: &str, src: &str, stimulus: &[&[&str]], expected: &[&str]) {
 fn strong_abort_preempts_the_body_on_the_delay_instant() {
     // The instant `I` arrives the body must NOT run: `O` is absent and
     // control falls through to the continuation in the same instant.
-    check(
-        "strong-abort",
-        r#"module Main(in I, out O, out done) {
-            abort (I.now) {
-               loop { emit O(); yield; }
-            }
-            emit done();
-        }"#,
-        &[&[], &["I"], &[]],
-        &["O", "O", "done", ""],
-    );
+    check(kernel_case("strong-abort"));
 }
 
 #[test]
 fn weak_abort_lets_the_body_run_its_final_instant() {
     // Identical program with `weakabort`: on the delay instant the body
     // still runs, so `O` and `done` are simultaneous.
-    check(
-        "weak-abort",
-        r#"module Main(in I, out O, out done) {
-            weakabort (I.now) {
-               loop { emit O(); yield; }
-            }
-            emit done();
-        }"#,
-        &[&[], &["I"], &[]],
-        &["O", "O", "O done", ""],
-    );
+    check(kernel_case("weak-abort"));
 }
 
 #[test]
 fn sustain_emits_every_instant_until_strongly_aborted() {
-    check(
-        "sustain",
-        r#"module Main(in I, out O) {
-            abort (I.now) { sustain O(); }
-        }"#,
-        &[&[], &[], &["I"], &[]],
-        &["O", "O", "O", "", ""],
-    );
+    check(kernel_case("sustain"));
 }
 
 // ------------------------------------------------------------- suspend
@@ -146,44 +125,21 @@ fn sustain_emits_every_instant_until_strongly_aborted() {
 fn suspend_freezes_the_body_while_the_guard_is_present() {
     // The guard is not tested in the body's first instant; afterwards a
     // present `S` freezes the body in place and absence resumes it.
-    check(
-        "suspend",
-        r#"module Main(in S, out O) {
-            suspend (S.now) {
-               loop { emit O(); yield; }
-            }
-        }"#,
-        &[&[], &["S"], &["S"], &[]],
-        &["O", "O", "", "", "O"],
-    );
+    check(kernel_case("suspend"));
 }
 
 // --------------------------------------------------------------- every
 
 #[test]
 fn every_runs_its_body_at_each_occurrence_never_at_boot() {
-    check(
-        "every",
-        r#"module Main(in I, out O) {
-            every (I.now) { emit O(); }
-        }"#,
-        &[&["I"], &[], &["I"], &["I"]],
-        &["", "O", "", "O", "O"],
-    );
+    check(kernel_case("every"));
 }
 
 #[test]
 fn do_every_runs_immediately_then_restarts_on_each_tick() {
     // `do … every` differs from `every` exactly at boot: the body runs
     // once before the first delay elapse.
-    check(
-        "do-every",
-        r#"module Main(in I, out O) {
-            do { emit O(); } every (I.now)
-        }"#,
-        &[&["I"], &[], &["I"]],
-        &["O", "O", "", "O"],
-    );
+    check(kernel_case("do-every"));
 }
 
 // --------------------------------------------------------- traps/break
@@ -192,48 +148,12 @@ fn do_every_runs_immediately_then_restarts_on_each_tick() {
 fn nested_traps_unwind_exactly_to_their_label() {
     // `break U` exits the inner trap only: the outer continuation `B`
     // and the module continuation `C` both run in the same instant.
-    check(
-        "nested-trap-inner",
-        r#"module Main(in toT, in toU, out A, out B, out C) {
-            T: {
-               U: {
-                  loop {
-                     emit A();
-                     if (toT.now) { break T; }
-                     if (toU.now) { break U; }
-                     yield;
-                  }
-               }
-               emit B();
-            }
-            emit C();
-        }"#,
-        &[&[], &["toU"], &[]],
-        &["A", "A", "A B C", ""],
-    );
+    check(kernel_case("nested-trap-inner"));
 }
 
 #[test]
 fn breaking_the_outer_trap_skips_the_inner_continuation() {
-    check(
-        "nested-trap-outer",
-        r#"module Main(in toT, in toU, out A, out B, out C) {
-            T: {
-               U: {
-                  loop {
-                     emit A();
-                     if (toT.now) { break T; }
-                     if (toU.now) { break U; }
-                     yield;
-                  }
-               }
-               emit B();
-            }
-            emit C();
-        }"#,
-        &[&[], &["toT"], &[]],
-        &["A", "A", "A C", ""],
-    );
+    check(kernel_case("nested-trap-outer"));
 }
 
 // -------------------------------------------------------- counted await
@@ -242,15 +162,7 @@ fn breaking_the_outer_trap_skips_the_inner_continuation() {
 fn counted_await_counts_occurrences_not_instants() {
     // Three occurrences of `I` are needed; the blank instant in the
     // middle must not advance the count.
-    check(
-        "counted-await",
-        r#"module Main(in I, out O) {
-            await count(3, I.now);
-            emit O();
-        }"#,
-        &[&["I"], &[], &["I"], &["I"], &[]],
-        &["", "", "", "", "O", ""],
-    );
+    check(kernel_case("counted-await"));
 }
 
 // ---------------------------------------------------- immediate delays
@@ -259,33 +171,13 @@ fn counted_await_counts_occurrences_not_instants() {
 fn await_immediate_elapses_in_the_starting_instant() {
     // After the first await elapses, `await immediate` sees the same
     // occurrence of `I` and falls through within the instant.
-    check(
-        "await-immediate",
-        r#"module Main(in I, out A, out B) {
-            await (I.now);
-            emit A();
-            await immediate (I.now);
-            emit B();
-        }"#,
-        &[&[], &["I"], &[]],
-        &["", "", "A B", ""],
-    );
+    check(kernel_case("await-immediate"));
 }
 
 #[test]
 fn await_non_immediate_waits_a_full_instant() {
     // The same program without `immediate` needs a second occurrence.
-    check(
-        "await-non-immediate",
-        r#"module Main(in I, out A, out B) {
-            await (I.now);
-            emit A();
-            await (I.now);
-            emit B();
-        }"#,
-        &[&[], &["I"], &["I"], &[]],
-        &["", "", "A", "B", ""],
-    );
+    check(kernel_case("await-non-immediate"));
 }
 
 // -------------------------------------------------------- reincarnation
@@ -298,16 +190,5 @@ fn reincarnated_locals_are_fresh_in_each_loop_iteration() {
     // loop re-entry reincarnates `t`, so the test always sees a fresh
     // absent signal and `P` must never fire. An implementation that
     // shares one status between incarnations emits `P` from instant 1.
-    check(
-        "reincarnation",
-        r#"module Main(out O, out P) {
-            fork {
-               loop { signal s; emit s(); if (s.now) { emit O(); } yield; }
-            } par {
-               loop { signal t; if (t.now) { emit P(); } yield; emit t(); }
-            }
-        }"#,
-        &[&[], &[], &[]],
-        &["O", "O", "O", "O"],
-    );
+    check(kernel_case("reincarnation"));
 }

@@ -258,7 +258,7 @@ fn jsonl_sink_escapes_hostile_strings() {
         let reaction = Reaction {
             seq: i as u64,
             outputs: vec![OutputEvent {
-                name: (*name).to_owned(),
+                name: (*name).into(),
                 present: true,
                 value: Value::Str((*name).to_owned()),
             }],
