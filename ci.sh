@@ -16,7 +16,7 @@ TOTAL=$(printf '%s\n' "$TEST_OUT" \
 echo "    workspace test count: $TOTAL"
 # Regression guard: the suite only ever grows. Raise the floor when
 # you add tests; never lower it.
-MIN_TESTS=488
+MIN_TESTS=510
 if [ "$TOTAL" -lt "$MIN_TESTS" ]; then
     echo "ci: workspace test count regressed below $MIN_TESTS (got $TOTAL)" >&2
     exit 1
@@ -123,10 +123,9 @@ done
 echo "==> flight record → replay round trip (4 shards → 3 shards, chaos 5%)"
 FLIGHT_DIR=$(mktemp -d)
 trap 'rm -rf "$FLIGHT_DIR"' EXIT
-./target/release/hiphopc serve --sessions 64 --shards 4 --ticks 16 --seed 7 \
+FLIGHT_JSON=$(./target/release/hiphopc serve --sessions 64 --shards 4 --ticks 16 --seed 7 \
     --chaos-rate 0.05 --record "$FLIGHT_DIR/flight.jsonl" \
-    --trace-spans "$FLIGHT_DIR/trace.json" --prom "$FLIGHT_DIR/metrics.prom" \
-    > /dev/null
+    --trace-spans "$FLIGHT_DIR/trace.json" --prom "$FLIGHT_DIR/metrics.prom")
 for f in flight.jsonl trace.json metrics.prom; do
     if [ ! -s "$FLIGHT_DIR/$f" ]; then
         echo "ci: serve --record did not write $f" >&2
@@ -140,5 +139,51 @@ case "$REPLAY_JSON" in
     *) echo "ci: replay reported digest mismatches: $REPLAY_JSON" >&2; exit 1 ;;
 esac
 echo "    replay: $REPLAY_JSON"
+
+# Durability gate: the same chaos scenario served with checkpointing and
+# the rebalancer armed, then "crashed" and recovered from the last
+# checkpoint plus the journal suffix on a DIFFERENT shard count — under
+# both cohort modes, since snapshots are execution-mode-agnostic. The
+# rebalanced run must also report the exact digest of the plain run
+# above (live migration is pure placement, never semantics).
+echo "==> durability gate: checkpoint → crash → anchored recovery (both cohort modes)"
+DUR_JSON=$(./target/release/hiphopc serve --sessions 64 --shards 4 --ticks 16 --seed 7 \
+    --chaos-rate 0.05 --record "$FLIGHT_DIR/durable_flight.jsonl" --rebalance)
+# The mid-run checkpoint a crash would have left on disk: the virtual
+# clock makes an 8-tick prefix serve of the same scenario bit-identical
+# to the first 8 ticks of the recorded run.
+./target/release/hiphopc serve --sessions 64 --shards 4 --ticks 8 --seed 7 \
+    --chaos-rate 0.05 --snapshot "$FLIGHT_DIR/pool_snapshot.jsonl" > /dev/null
+if ! head -1 "$FLIGHT_DIR/pool_snapshot.jsonl" | grep -q '"kind":"pool-snapshot"'; then
+    echo "ci: serve --snapshot did not write a pool snapshot" >&2
+    exit 1
+fi
+PLAIN_DIGEST=$(printf '%s' "$FLIGHT_JSON" | grep -o '"digest":"[0-9a-f]*"' | head -1)
+REBAL_DIGEST=$(printf '%s' "$DUR_JSON" | grep -o '"digest":"[0-9a-f]*"' | head -1)
+if [ -z "$REBAL_DIGEST" ] || [ "$REBAL_DIGEST" != "$PLAIN_DIGEST" ]; then
+    echo "ci: rebalanced serve digest diverged: $REBAL_DIGEST vs $PLAIN_DIGEST" >&2
+    exit 1
+fi
+echo "    rebalanced serve: digest matches the unrebalanced run"
+# An anchorless mid-journal replay must refuse, not silently re-execute.
+if ./target/release/hiphopc replay "$FLIGHT_DIR/durable_flight.jsonl" \
+    --shards 2 --from 8 > /dev/null 2>&1; then
+    echo "ci: replay --from 8 without a snapshot anchor must fail" >&2
+    exit 1
+fi
+echo "    anchorless --from 8: refused as expected"
+for wdt in u64 wide; do
+    RECOVERY_JSON=$(./target/release/hiphopc replay "$FLIGHT_DIR/durable_flight.jsonl" \
+        --shards 2 --from 8 --snapshot "$FLIGHT_DIR/pool_snapshot.jsonl" --cohort "$wdt")
+    case "$RECOVERY_JSON" in
+        *'"ok":true'*) : ;;
+        *) echo "ci: cohort($wdt) recovery digest mismatch: $RECOVERY_JSON" >&2; exit 1 ;;
+    esac
+    case "$RECOVERY_JSON" in
+        *'"ticks":8'*) : ;;
+        *) echo "ci: cohort($wdt) recovery re-drove more than the suffix: $RECOVERY_JSON" >&2; exit 1 ;;
+    esac
+    echo "    cohort $wdt: recovered tick-8 checkpoint + 8-tick suffix, digests match"
+done
 
 echo "ci: all green"

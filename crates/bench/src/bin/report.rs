@@ -368,5 +368,31 @@ fn main() {
         );
     }
 
+    // ------------------------------------------------------------------ E13
+    println!("\nE13 — durability cost (the 64-session 4-shard E10 row with the recorder");
+    println!("armed, checkpointed at each cadence, then crashed and recovered from the");
+    println!("last checkpoint plus the journal suffix)");
+    println!(
+        "{:<18} {:>14} {:>15} {:>14} {:>14}",
+        "checkpoint every", "snapshot (µs)", "snapshot (KiB)", "suffix ticks", "recovery (µs)"
+    );
+    let dur_rows = hiphop_bench::experiments::durability_cost(640, 64, 4, 16, &[2, 4, 8, 16], 2020);
+    for r in &dur_rows {
+        println!(
+            "{:<18} {:>14.1} {:>15.1} {:>14} {:>14.1} {}",
+            r.checkpoint_every,
+            r.snapshot_us,
+            r.snapshot_bytes as f64 / 1024.0,
+            r.replayed_ticks,
+            r.recovery_us,
+            if r.recovered { "" } else { "[DIGEST MISMATCH]" },
+        );
+    }
+    let all_ok = dur_rows.iter().all(|r| r.recovered);
+    println!(
+        "recovery digest checks: {}",
+        if all_ok { "all matched" } else { "MISMATCHES FOUND" }
+    );
+
     println!("\ndone.");
 }

@@ -665,6 +665,104 @@ pub fn recording_overhead(
         .collect()
 }
 
+/// One row of the E13 durability-cost table: one checkpoint cadence.
+#[derive(Debug, Clone)]
+pub struct DurabilityRow {
+    /// Beats between checkpoints.
+    pub checkpoint_every: u64,
+    /// Mean time to capture one whole-pool snapshot, microseconds.
+    pub snapshot_us: f64,
+    /// Serialized (JSONL) size of the final snapshot, bytes.
+    pub snapshot_bytes: usize,
+    /// Journal ticks re-driven during recovery (the suffix past the
+    /// last checkpoint).
+    pub replayed_ticks: u64,
+    /// Wall time of a full crash recovery — restore the last
+    /// checkpoint onto a fresh pool plus re-drive the journal suffix —
+    /// microseconds.
+    pub recovery_us: f64,
+    /// True when every suffix digest checkpoint matched.
+    pub recovered: bool,
+}
+
+/// E13: durability cost — snapshot capture, wire size, and crash
+/// recovery time as a function of checkpoint cadence. Each row runs
+/// the E10 workload (`sessions` machines of an `n`-statement program
+/// over `shards` shards) for `ticks` beats with the flight recorder
+/// armed, snapshotting every `checkpoint_every` beats; then "crashes"
+/// and times the recovery path: restore the last checkpoint onto a
+/// fresh pool and re-drive only the journal suffix. The tradeoff the
+/// table surfaces: frequent checkpoints cost snapshot time during the
+/// run but bound the suffix a recovery must re-execute.
+pub fn durability_cost(
+    n: usize,
+    sessions: u64,
+    shards: usize,
+    ticks: u64,
+    cadences: &[u64],
+    seed: u64,
+) -> Vec<DurabilityRow> {
+    use hiphop_eventloop::sessions::{SessionId, SessionPool};
+    cadences
+        .iter()
+        .map(|&every| {
+            let mut pool = SessionPool::new(shards, 10, move |_id| pool_machine(n, seed));
+            pool.set_serial_sweep(true);
+            pool.record(
+                hiphop_runtime::RecorderConfig {
+                    checkpoint_every: 1,
+                    ..hiphop_runtime::RecorderConfig::default()
+                },
+                std::collections::BTreeMap::new(),
+            )
+            .expect("recorder arms");
+            pool.open_many(sessions).expect("pool opens");
+            let mut checkpoint = None;
+            let mut snapshot_us = Vec::new();
+            for t in 0..ticks {
+                let sig = format!("i{}", t % 8);
+                for id in 0..sessions {
+                    pool.inject(SessionId(id), &sig, Value::Bool(true));
+                }
+                pool.tick().expect("tick");
+                if (t + 1).is_multiple_of(every) {
+                    let start = Instant::now();
+                    checkpoint = Some(pool.snapshot().expect("snapshot"));
+                    snapshot_us.push(start.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+            let rec = pool.recording().expect("journal");
+            let checkpoint = checkpoint.expect("at least one checkpoint");
+            let snapshot_bytes = checkpoint.to_jsonl().len();
+            let replayed_ticks = ticks - checkpoint.ticks;
+            drop(pool); // the crash
+
+            let start = Instant::now();
+            let mut recovered = SessionPool::new(shards, 10, move |_id| pool_machine(n, seed));
+            recovered.set_serial_sweep(true);
+            let report = recovered
+                .replay(
+                    &rec,
+                    &hiphop_runtime::ReplayOptions {
+                        from_snapshot: Some(checkpoint),
+                        ..hiphop_runtime::ReplayOptions::default()
+                    },
+                )
+                .expect("recovery replays");
+            let recovery_us = start.elapsed().as_secs_f64() * 1e6;
+            assert_eq!(report.ticks, replayed_ticks, "suffix length");
+            DurabilityRow {
+                checkpoint_every: every,
+                snapshot_us: snapshot_us.iter().sum::<f64>() / snapshot_us.len() as f64,
+                snapshot_bytes,
+                replayed_ticks,
+                recovery_us,
+                recovered: report.ok(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -814,6 +912,21 @@ mod tests {
         // modes leave every session in bit-identical state.
         assert_eq!(rows[0].digest, rows[1].digest, "scalar vs u64");
         assert_eq!(rows[0].digest, rows[2].digest, "scalar vs wide");
+    }
+
+    #[test]
+    fn durability_cost_rows_recover_cleanly() {
+        let rows = durability_cost(40, 6, 2, 8, &[2, 8], 7);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.recovered, "every suffix digest matched");
+            assert!(row.snapshot_bytes > 0);
+            assert!(row.snapshot_us > 0.0);
+        }
+        // Checkpointing every 2 beats leaves at most a 2-tick suffix;
+        // every 8 beats leaves none here (the last beat checkpoints).
+        assert!(rows[0].replayed_ticks <= 2, "{rows:?}");
+        assert_eq!(rows[1].replayed_ticks, 0, "{rows:?}");
     }
 
     #[test]

@@ -95,6 +95,15 @@ pub struct ServeOptions {
     /// Bit-parallel cohort execution (`--cohort u64|wide`, default
     /// scalar). A pure execution strategy: digests are identical.
     pub cohort: Option<hiphop_runtime::CohortWidth>,
+    /// Write the last pool checkpoint (JSONL) to this file
+    /// (`--snapshot FILE`).
+    pub snapshot: Option<String>,
+    /// Checkpoint the pool every N beats (`--snapshot-every N`, 0 =
+    /// only a final checkpoint when `--snapshot` is given).
+    pub snapshot_every: u64,
+    /// Run the metrics-driven rebalancer after each checkpoint
+    /// (`--rebalance`).
+    pub rebalance: bool,
 }
 
 impl Default for ServeOptions {
@@ -110,6 +119,9 @@ impl Default for ServeOptions {
             prom: None,
             watch: 0,
             cohort: None,
+            snapshot: None,
+            snapshot_every: 0,
+            rebalance: false,
         }
     }
 }
@@ -130,6 +142,10 @@ pub struct ReplayFlags {
     /// recordings are mode-agnostic, so a scalar recording verifies on
     /// a cohort pool and vice versa.
     pub cohort: Option<hiphop_runtime::CohortWidth>,
+    /// Restore this pool checkpoint (from `serve --snapshot`) first and
+    /// re-drive only the journal suffix (`--snapshot FILE`). Required
+    /// for `--from N` with N > 0.
+    pub snapshot: Option<String>,
 }
 
 impl Default for ReplayFlags {
@@ -139,6 +155,7 @@ impl Default for ReplayFlags {
             from: 0,
             to: u64::MAX,
             cohort: None,
+            snapshot: None,
         }
     }
 }
@@ -330,6 +347,20 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 serve.cohort = Some(width);
                 replay.cohort = Some(width);
             }
+            "--snapshot" => {
+                // Shared by `serve` (checkpoint output file) and
+                // `replay` (checkpoint to restore before re-driving).
+                let path = it
+                    .next()
+                    .ok_or_else(|| fail("--snapshot needs a file path"))?
+                    .clone();
+                serve.snapshot = Some(path.clone());
+                replay.snapshot = Some(path);
+            }
+            "--snapshot-every" => {
+                serve.snapshot_every = uint("--snapshot-every", it.next())?;
+            }
+            "--rebalance" => serve.rebalance = true,
             "--verify-digests" => replay.verify_digests = true,
             "--no-verify-digests" => replay.verify_digests = false,
             "--from" => replay.from = uint("--from", it.next())?,
@@ -447,6 +478,15 @@ pub fn cmd_serve(
         // Per-level counters feed the Prometheus exposition.
         level_activity: serve.prom.is_some(),
         cohort: serve.cohort,
+        // A final checkpoint is always taken when `--snapshot` names a
+        // file, even without an explicit `--snapshot-every` cadence.
+        snapshot_every: match (serve.snapshot_every, &serve.snapshot) {
+            (0, Some(_)) => serve.ticks.max(1),
+            (every, _) => every,
+        },
+        rebalance: serve
+            .rebalance
+            .then(hiphop_eventloop::sessions::RebalancerConfig::default),
         watch_every: serve.watch,
         watch: (serve.watch > 0).then(|| {
             Box::new(|beat: u64, m: &hiphop_runtime::PoolMetrics| {
@@ -460,6 +500,14 @@ pub fn cmd_serve(
         }),
     };
     let run = hiphop_skini::concert::run_with(&cfg, opts).map_err(fail)?;
+    if let Some(path) = &serve.snapshot {
+        let (_, snap) = run
+            .snapshots
+            .last()
+            .ok_or_else(|| fail("a snapshot was requested but none was taken"))?;
+        std::fs::write(path, snap.to_jsonl())
+            .map_err(|e| fail(format!("cannot write {path}: {e}")))?;
+    }
     if let Some(path) = &serve.record {
         let rec = run
             .recording
@@ -478,7 +526,7 @@ pub fn cmd_serve(
     }
     let report = run.report;
     let json = format!(
-        "{{\"sessions\":{},\"shards\":{},\"ticks\":{},\"shape\":\"{}\",\"seed\":{},\"enqueued\":{},\"played\":{},\"faults\":{},\"digest\":\"{:016x}\",\"pool\":{}}}",
+        "{{\"sessions\":{},\"shards\":{},\"ticks\":{},\"shape\":\"{}\",\"seed\":{},\"enqueued\":{},\"played\":{},\"faults\":{},\"migrations\":{},\"digest\":\"{:016x}\",\"pool\":{}}}",
         report.sessions,
         serve.shards,
         report.ticks,
@@ -487,6 +535,7 @@ pub fn cmd_serve(
         report.enqueued,
         report.played,
         report.faults,
+        report.migrations,
         report.digest,
         report.metrics.to_json(),
     );
@@ -526,10 +575,22 @@ pub fn cmd_replay(
     let text = std::fs::read_to_string(file)
         .map_err(|e| fail(format!("cannot read {file}: {e}")))?;
     let rec = hiphop_runtime::Recording::from_jsonl(&text).map_err(fail)?;
+    let from_snapshot = match &flags.snapshot {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+            Some(
+                hiphop_runtime::PoolSnapshot::from_jsonl(&text)
+                    .map_err(|e| fail(format!("{path}: {e}")))?,
+            )
+        }
+        None => None,
+    };
     let opts = hiphop_runtime::ReplayOptions {
         from: flags.from,
         to: flags.to,
         verify_digests: flags.verify_digests,
+        from_snapshot,
     };
     let report =
         hiphop_skini::concert::replay_with(&rec, shards, &opts, flags.cohort).map_err(fail)?;
@@ -543,7 +604,9 @@ pub fn cmd_replay(
 pub const USAGE: &str = "usage: hiphopc <check|analyze|stats|pretty|dot|run|trace|oracle> FILE [--main MODULE] [--no-optimize] [--stimulus S] [--engine E]
        hiphopc serve [--sessions N] [--shards N] [--ticks N] [--seed N] [--shape S] [--metrics]
                      [--record FILE] [--trace-spans FILE] [--prom FILE] [--watch N] [--cohort u64|wide]
+                     [--snapshot FILE] [--snapshot-every N] [--rebalance]
        hiphopc replay FILE [--shards N] [--from N] [--to N] [--no-verify-digests] [--cohort u64|wide]
+                     [--snapshot FILE]
   check   parse, link and statically check the program
   analyze compile and lint the circuit: constructiveness verdicts per
           cyclic SCC, emission hygiene, dead nets
@@ -574,10 +637,23 @@ serve observability flags:
                       exposition (counters, histograms, per-shard and
                       per-level series)
   --watch N           print a pool-metrics line to stderr every N beats
+serve durability flags:
+  --snapshot FILE     write the final pool checkpoint (JSONL) to FILE:
+                      versioned machine snapshots for every session,
+                      restorable onto any shard count
+  --snapshot-every N  checkpoint the pool every N beats (the last
+                      checkpoint taken is the one written to FILE)
+  --rebalance         run the metrics-driven rebalancer after each
+                      checkpoint, migrating sessions off hot shards
+                      (digest-neutral: placement never affects
+                      semantics)
 replay flags:
   --shards N            shard count for the replay pool (digests must
                         match on ANY shard count; default 4)
   --from N / --to N     only check checkpoints in this tick window
+  --snapshot FILE       restore this checkpoint (from serve --snapshot)
+                        first and re-drive only the journal suffix;
+                        required for --from N with N > 0
   --verify-digests      compare digest checkpoints (the default)
   --no-verify-digests   just re-execute, skip digest comparison
 analyze flags:
@@ -1577,7 +1653,10 @@ mod tests {
         assert!(report.json.contains("\"reactions\":108"), "{}", report.json);
         assert!(report.json.contains("\"faults\":0"), "{}", report.json);
         let table = report.metrics.expect("--metrics requested");
-        assert!(table.contains("12 session(s) over 3 shard(s)"), "{table}");
+        assert!(
+            table.contains("12 live session(s), 0 quarantined, over 3 shard(s)"),
+            "{table}"
+        );
         // Same seed replays the same run (timing fields aside); the
         // digest is shard-agnostic.
         let digest_of = |json: &str| {
@@ -1648,7 +1727,12 @@ mod tests {
         assert_eq!(o.serve.shards, 3);
         assert_eq!(
             o.replay,
-            ReplayFlags { verify_digests: false, from: 2, to: 9, cohort: None }
+            ReplayFlags {
+                verify_digests: false,
+                from: 2,
+                to: 9,
+                ..ReplayFlags::default()
+            }
         );
         // Defaults: verification is on over the whole recording.
         let o = parse_args(&["replay".into(), "f.jsonl".into()]).unwrap();
@@ -1733,18 +1817,95 @@ mod tests {
         assert!(replayed.ok, "{}", replayed.json);
         assert!(replayed.json.contains("\"mismatches\":0"), "{}", replayed.json);
 
-        // A window replay checks fewer checkpoints but still runs.
-        let windowed = cmd_replay(
+        // A mid-journal window needs a snapshot anchor: without one the
+        // pool cannot reconstruct tick-8 state and must say so rather
+        // than silently re-executing from tick 0.
+        let err = cmd_replay(
             &rec_file,
             1,
             &ReplayFlags { from: 8, to: 12, ..ReplayFlags::default() },
         )
-        .unwrap();
-        assert!(windowed.ok, "{}", windowed.json);
+        .unwrap_err();
+        assert!(err.to_string().contains("snapshot anchor"), "{err}");
 
         let _ = std::fs::remove_file(rec_path);
         let _ = std::fs::remove_file(trace_path);
         let _ = std::fs::remove_file(prom_path);
+    }
+
+    #[test]
+    fn parse_args_durability_flags() {
+        let o = parse_args(&[
+            "serve".into(),
+            "--snapshot".into(),
+            "pool.jsonl".into(),
+            "--snapshot-every".into(),
+            "4".into(),
+            "--rebalance".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.serve.snapshot.as_deref(), Some("pool.jsonl"));
+        assert_eq!(o.serve.snapshot_every, 4);
+        assert!(o.serve.rebalance);
+        // `--snapshot` doubles as the replay-side restore anchor.
+        assert_eq!(o.replay.snapshot.as_deref(), Some("pool.jsonl"));
+        // Defaults: no checkpointing, no rebalancing.
+        let o = parse_args(&["serve".into()]).unwrap();
+        assert_eq!(o.serve.snapshot, None);
+        assert_eq!(o.serve.snapshot_every, 0);
+        assert!(!o.serve.rebalance);
+        assert!(parse_args(&["serve".into(), "--snapshot".into()]).is_err());
+        assert!(parse_args(&["serve".into(), "--snapshot-every".into()]).is_err());
+        assert!(
+            parse_args(&["serve".into(), "--snapshot-every".into(), "x".into()]).is_err()
+        );
+    }
+
+    #[test]
+    fn serve_snapshot_then_anchored_replay_round_trips() {
+        let dir = std::env::temp_dir();
+        let rec_path = dir.join("hiphopc_test_durability_flight.jsonl");
+        let snap_path = dir.join("hiphopc_test_durability_pool.jsonl");
+        let opts = ServeOptions {
+            sessions: 10,
+            shards: 4,
+            ticks: 12,
+            seed: 7,
+            record: Some(rec_path.to_string_lossy().into_owned()),
+            snapshot: Some(snap_path.to_string_lossy().into_owned()),
+            snapshot_every: 8,
+            rebalance: true,
+            ..ServeOptions::default()
+        };
+        // Chaos on: the restored chaos RNG must resume the same fault
+        // schedule for the suffix digests to match.
+        let report = cmd_serve(&opts, &ChaosOptions { seed: 0, rate: 0.05 }, false).unwrap();
+        assert!(report.json.contains("\"migrations\":"), "{}", report.json);
+
+        let snap_text = std::fs::read_to_string(&snap_path).unwrap();
+        assert!(snap_text.contains("\"kind\":\"pool-snapshot\""), "{snap_text}");
+        let snap = hiphop_runtime::PoolSnapshot::from_jsonl(&snap_text).unwrap();
+        assert_eq!(snap.ticks, 8, "last checkpoint is at beat 8 of 12");
+
+        // Restore the beat-8 checkpoint on a different shard count and
+        // re-drive only the journal suffix (ticks 8..12).
+        let rec_file = rec_path.to_string_lossy().into_owned();
+        let flags = ReplayFlags {
+            from: 8,
+            snapshot: Some(snap_path.to_string_lossy().into_owned()),
+            ..ReplayFlags::default()
+        };
+        let replayed = cmd_replay(&rec_file, 2, &flags).unwrap();
+        assert!(replayed.ok, "{}", replayed.json);
+        assert!(replayed.json.contains("\"ticks\":4"), "{}", replayed.json);
+
+        // A malformed snapshot file is a clear error, not a crash.
+        std::fs::write(&snap_path, "not a snapshot\n").unwrap();
+        let err = cmd_replay(&rec_file, 2, &flags).unwrap_err();
+        assert!(err.to_string().contains("pool.jsonl"), "{err}");
+
+        let _ = std::fs::remove_file(rec_path);
+        let _ = std::fs::remove_file(snap_path);
     }
 
     #[test]

@@ -41,6 +41,20 @@ impl Rng {
         rng
     }
 
+    /// Exposes the raw `(state, inc)` pair so a generator mid-stream can
+    /// be serialized (session snapshots) and later revived with
+    /// [`Rng::from_parts`] at exactly the same point in its sequence.
+    pub fn state_parts(&self) -> (u64, u64) {
+        (self.state, self.inc)
+    }
+
+    /// Rebuilds a generator from [`Rng::state_parts`] output without any
+    /// seeding or warm-up advance — the next draw continues the original
+    /// stream byte-for-byte.
+    pub fn from_parts(state: u64, inc: u64) -> Rng {
+        Rng { state, inc }
+    }
+
     /// Next raw 32-bit output.
     pub fn next_u32(&mut self) -> u32 {
         let old = self.state;
@@ -120,6 +134,19 @@ mod tests {
         }
         let mut c = Rng::seed_from_u64(43);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_parts_round_trip_mid_stream() {
+        let mut a = Rng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let (state, inc) = a.state_parts();
+        let mut b = Rng::from_parts(state, inc);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

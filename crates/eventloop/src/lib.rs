@@ -146,6 +146,21 @@ impl EventLoop {
         self.timers.len()
     }
 
+    /// Deadline (virtual ms) of a specific live timer — `None` if the
+    /// timer fired or was cleared. Session snapshots use this to record
+    /// supervision delays as *remaining* milliseconds, which are portable
+    /// across shard clocks advancing in lockstep.
+    pub fn deadline_of(&self, id: TimerId) -> Option<u64> {
+        if !self.timers.contains_key(&id) {
+            return None;
+        }
+        self.heap
+            .iter()
+            .filter(|Reverse((_, _, tid))| *tid == id)
+            .map(|Reverse((d, _, _))| *d)
+            .min()
+    }
+
     /// Deadline of the next live timer, if any.
     pub fn next_deadline(&self) -> Option<u64> {
         self.heap

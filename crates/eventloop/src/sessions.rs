@@ -30,20 +30,35 @@
 //! [`TickReport`] and counts it in the shard's roll-up; with rollback
 //! disabled a poisoned session is quarantined (skipped from then on)
 //! without taking down its shard.
+//!
+//! # Durability
+//!
+//! [`SessionPool::snapshot`] serializes every session — machine state
+//! planes, chaos RNG position, live supervision runs — into one
+//! versioned [`hiphop_runtime::PoolSnapshot`]; [`SessionPool::restore`]
+//! rebuilds it onto a fresh pool of **any** shard count, verifying every
+//! session's digest against the recorded hash. Crash recovery composes
+//! a restore with [`SessionPool::replay`] anchored at the snapshot
+//! (`ReplayOptions::from_snapshot`), re-driving only the journal suffix.
+//! [`SessionPool::migrate`] moves one live session between shards —
+//! bytes move, never machines — and [`Rebalancer`] plans such moves off
+//! skewed shards from [`PoolMetrics`].
 
+use crate::supervisor::Supervisor;
 use crate::{Driver, EventLoop};
 use hiphop_core::value::Value;
 use hiphop_runtime::flight::{
-    DigestMismatch, Recorder, RecorderConfig, RecordedInput, Recording, ReplayOptions,
-    ReplayReport,
+    digest_hash, DigestMismatch, Recorder, RecorderConfig, RecordedInput, Recording,
+    ReplayOptions, ReplayReport,
 };
+use hiphop_runtime::snapshot::{PoolSnapshot, SessionSnapshot, SNAPSHOT_FORMAT_VERSION};
 use hiphop_runtime::telemetry::{shared, SpanKind, SpanRecord};
 use hiphop_runtime::{
     cohort_key, react_cohort, CohortWidth, LevelActivity, Machine, MetricsSink, OutputEvent,
     PoolMetrics, Reaction, RuntimeError, ShardRollup,
 };
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -63,6 +78,33 @@ impl std::fmt::Display for SessionId {
 /// Builds a session's machine on its shard thread. Fallible so callers
 /// can surface compile errors per session instead of panicking a shard.
 pub type SessionFactory = dyn Fn(SessionId) -> Result<Machine, String> + Send + Sync;
+
+/// What a shard hands the rich factory ([`SessionPool::new_with`]) when
+/// building a session.
+pub struct SessionCtx<'a> {
+    /// The shard's event loop — shared by every session on the shard,
+    /// and the clock any [`Supervisor`] for this session must run on.
+    pub el: &'a Rc<RefCell<EventLoop>>,
+}
+
+/// A built session: the machine plus (optionally) the supervisor
+/// orchestrating its async activities. The pool needs the supervisor to
+/// snapshot, export and adopt supervision state during checkpoints and
+/// live migration; plain-factory pools ([`SessionPool::new`]) carry
+/// `None` and snapshot machines only.
+pub struct SessionBuild {
+    /// The session's reactive machine.
+    pub machine: Machine,
+    /// The supervisor driving the machine's supervised activities, if
+    /// any. Must be built over [`SessionCtx::el`].
+    pub supervisor: Option<Rc<Supervisor>>,
+}
+
+/// The rich session factory: builds a machine *and* its supervision
+/// plumbing on the shard thread. Restores call it too (then overwrite
+/// the fresh machine's state), so it must be deterministic in `id`.
+pub type RichSessionFactory =
+    dyn Fn(SessionId, &SessionCtx<'_>) -> Result<SessionBuild, String> + Send + Sync;
 
 /// SplitMix64 — the pool's deterministic router. `std`'s `HashMap`
 /// hasher is randomly keyed per process, which would make shard
@@ -110,6 +152,12 @@ pub struct TickReport {
     pub faults: Vec<SessionFault>,
     /// Committed reactions this tick.
     pub reactions: usize,
+    /// Sessions currently quarantined (poisoned, skipped by the sweep)
+    /// across the reporting shards. Together with `outputs` this
+    /// accounts for every opened session, so tick totals stay
+    /// consistent with [`PoolMetrics`] roll-ups, which count live
+    /// sessions only.
+    pub quarantined: usize,
     /// Slowest shard's reaction time this tick, microseconds (the
     /// tick's critical path — shards sweep concurrently).
     pub critical_path_us: f64,
@@ -154,6 +202,23 @@ enum Cmd {
     },
     /// Close (drop) the given sessions. Replies with how many existed.
     Close(Vec<SessionId>, Sender<usize>),
+    /// Serialize every session (machine + supervision state) for a pool
+    /// checkpoint. Non-destructive: sessions keep running.
+    Snapshot(Sender<Vec<SessionSnapshot>>),
+    /// Fast-forward the shard clock to `now_ms`, then rebuild the given
+    /// sessions from their snapshots: factory build (no boot reaction),
+    /// state restore, supervision adoption, per-session digest check.
+    Restore {
+        now_ms: u64,
+        sessions: Vec<SessionSnapshot>,
+        reply: Sender<Result<usize, String>>,
+    },
+    /// Migration source: serialize one session, tear down its local
+    /// supervision runs (timers cleared, cancel hooks run), drop it.
+    Extract(SessionId, Sender<Result<Box<SessionSnapshot>, String>>),
+    /// Migration target: rebuild one session from its snapshot. Shard
+    /// clocks advance in lockstep, so no fast-forward is needed.
+    Adopt(Box<SessionSnapshot>, Sender<Result<(), String>>),
     Shutdown,
 }
 
@@ -161,6 +226,8 @@ struct ShardTick {
     outputs: Vec<SessionOutputs>,
     faults: Vec<SessionFault>,
     reactions: usize,
+    /// Sessions quarantined on this shard as of this sweep.
+    quarantined: usize,
     busy_us: f64,
     /// Sweep + reaction spans from this shard's tick (empty unless
     /// tracing is on). Sweep spans arrive with `parent == 0`; the pool
@@ -182,7 +249,7 @@ struct ShardState {
     sink: Rc<RefCell<MetricsSink>>,
     rollbacks: u64,
     quarantined: usize,
-    factory: Arc<SessionFactory>,
+    factory: Arc<RichSessionFactory>,
     // Observability (Cmd::Config): span tracing against the pool's
     // epoch, a shard-unique span id sequence, and level-activity arming
     // for newly opened sessions.
@@ -199,6 +266,9 @@ struct ShardState {
 struct Slot {
     driver: Driver,
     quarantined: bool,
+    /// The supervisor built by a rich factory, for supervision-state
+    /// snapshot/export/adopt; `None` under the plain machine factory.
+    supervisor: Option<Rc<Supervisor>>,
 }
 
 impl ShardState {
@@ -214,13 +284,15 @@ impl ShardState {
             outputs: Vec::new(),
             faults: Vec::new(),
             reactions: 0,
+            quarantined: 0,
             busy_us: 0.0,
             spans: Vec::new(),
         };
         let t0 = std::time::Instant::now();
         for id in ids {
-            let mut machine =
-                (self.factory)(id).map_err(|e| format!("shard {}: {id}: {e}", self.index))?;
+            let build = (self.factory)(id, &SessionCtx { el: &self.el })
+                .map_err(|e| format!("shard {}: {id}: {e}", self.index))?;
+            let mut machine = build.machine;
             machine.attach_sink(self.sink.clone());
             if self.level_activity {
                 machine.enable_level_activity();
@@ -255,8 +327,16 @@ impl ShardState {
                     });
                 }
             }
-            self.sessions.insert(id, Slot { driver, quarantined });
+            self.sessions.insert(
+                id,
+                Slot {
+                    driver,
+                    quarantined,
+                    supervisor: build.supervisor,
+                },
+            );
         }
+        out.quarantined = self.quarantined;
         out.busy_us = t0.elapsed().as_nanos() as f64 / 1e3;
         Ok(out)
     }
@@ -270,6 +350,7 @@ impl ShardState {
             outputs: Vec::new(),
             faults: Vec::new(),
             reactions: 0,
+            quarantined: 0,
             busy_us: 0.0,
             spans: Vec::new(),
         };
@@ -381,6 +462,7 @@ impl ShardState {
                 }
             }
         }
+        out.quarantined = self.quarantined;
         out.busy_us = t0.elapsed().as_nanos() as f64 / 1e3;
         if let Some((sweep_id, sweep_ts)) = sweep_span {
             let end = self.epoch.elapsed().as_micros() as u64;
@@ -533,6 +615,131 @@ impl ShardState {
         closed
     }
 
+    /// Serializes every session on this shard. Non-destructive.
+    fn snapshot_sessions(&self) -> Vec<SessionSnapshot> {
+        self.sessions
+            .iter()
+            .map(|(&id, slot)| self.snapshot_one(id, slot))
+            .collect()
+    }
+
+    fn snapshot_one(&self, id: SessionId, slot: &Slot) -> SessionSnapshot {
+        let m = slot.driver.machine.borrow();
+        SessionSnapshot {
+            session: id.0,
+            quarantined: slot.quarantined,
+            digest: digest_hash(&m.state_digest()),
+            machine: m.snapshot(),
+            activities: slot
+                .supervisor
+                .as_ref()
+                .map(|s| s.snapshot_activities(&self.el.borrow()))
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Rebuilds one session from its snapshot: factory build (no boot
+    /// reaction), machine restore, supervision adoption, then a digest
+    /// check against the hash the snapshot recorded at capture time.
+    fn restore_one(&mut self, snap: &SessionSnapshot) -> Result<(), String> {
+        let id = SessionId(snap.session);
+        let build = (self.factory)(id, &SessionCtx { el: &self.el })
+            .map_err(|e| format!("shard {}: {id}: {e}", self.index))?;
+        let mut machine = build.machine;
+        machine.attach_sink(self.sink.clone());
+        if self.level_activity {
+            machine.enable_level_activity();
+        }
+        machine
+            .restore(&snap.machine)
+            .map_err(|e| format!("{id}: {e}"))?;
+        let driver = Driver {
+            machine: Rc::new(RefCell::new(machine)),
+            el: self.el.clone(),
+        };
+        match (&build.supervisor, snap.activities.is_empty()) {
+            (Some(sup), _) => {
+                let m = driver.machine.borrow();
+                let mut el = self.el.borrow_mut();
+                sup.adopt(&mut el, &m, &snap.activities)
+                    .map_err(|e| format!("{id}: {e}"))?;
+            }
+            (None, false) => {
+                return Err(format!(
+                    "{id}: snapshot carries {} supervised activity(ies) but the factory \
+                     built no supervisor",
+                    snap.activities.len()
+                ));
+            }
+            (None, true) => {}
+        }
+        let got = digest_hash(&driver.machine.borrow().state_digest());
+        if got != snap.digest {
+            return Err(format!(
+                "{id}: digest mismatch after restore: snapshot recorded {}, machine \
+                 digests to {got}",
+                snap.digest
+            ));
+        }
+        if snap.quarantined {
+            self.quarantined += 1;
+        }
+        self.sessions.insert(
+            id,
+            Slot {
+                driver,
+                quarantined: snap.quarantined,
+                supervisor: build.supervisor,
+            },
+        );
+        Ok(())
+    }
+
+    fn restore_shard(
+        &mut self,
+        now_ms: u64,
+        snaps: Vec<SessionSnapshot>,
+    ) -> Result<usize, String> {
+        let now = self.el.borrow().now();
+        if now_ms < now {
+            return Err(format!(
+                "shard {}: clock is at {now} ms, cannot rewind to {now_ms} ms",
+                self.index
+            ));
+        }
+        // Fast-forward the (timer-less) fresh clock first, so adopted
+        // retry/timeout delays schedule relative to the snapshot's
+        // virtual time.
+        self.el.borrow_mut().advance_by(now_ms - now);
+        let n = snaps.len();
+        for snap in &snaps {
+            self.restore_one(snap)?;
+        }
+        Ok(n)
+    }
+
+    /// Migration source side: serialize, tear down, drop.
+    fn extract(&mut self, id: SessionId) -> Result<SessionSnapshot, String> {
+        let (mut snap, sup) = {
+            let slot = self
+                .sessions
+                .get(&id)
+                .ok_or_else(|| format!("shard {}: {id}: no such session", self.index))?;
+            (self.snapshot_one(id, slot), slot.supervisor.clone())
+        };
+        // Export (not merely snapshot) the supervision runs: the source
+        // shard's timers are cleared and cancel hooks run, so abandoned
+        // attempts release local resources before the session leaves.
+        if let Some(sup) = sup {
+            snap.activities = sup.export(&mut self.el.borrow_mut());
+        }
+        let slot = self.sessions.remove(&id).expect("present: checked above");
+        if slot.quarantined {
+            self.quarantined -= 1;
+        }
+        Ok(snap)
+    }
+
     fn digests(&self) -> Vec<(SessionId, String)> {
         self.sessions
             .iter()
@@ -599,6 +806,22 @@ fn shard_main(mut state: ShardState, rx: Receiver<Cmd>) {
             Cmd::Close(ids, reply) => {
                 let _ = reply.send(state.close(ids));
             }
+            Cmd::Snapshot(reply) => {
+                let _ = reply.send(state.snapshot_sessions());
+            }
+            Cmd::Restore {
+                now_ms,
+                sessions,
+                reply,
+            } => {
+                let _ = reply.send(state.restore_shard(now_ms, sessions));
+            }
+            Cmd::Extract(id, reply) => {
+                let _ = reply.send(state.extract(id).map(Box::new));
+            }
+            Cmd::Adopt(snap, reply) => {
+                let _ = reply.send(state.restore_one(&snap));
+            }
             Cmd::Shutdown => break,
         }
     }
@@ -627,6 +850,12 @@ pub struct SessionPool {
     /// Buffered inputs, flushed by the next [`SessionPool::tick`].
     pending: Vec<(SessionId, String, Value)>,
     sessions: usize,
+    /// Every opened (not-yet-closed) session, for snapshots and
+    /// migration planning.
+    roster: BTreeSet<SessionId>,
+    /// Routing overrides from live migration; sessions not listed live
+    /// on their hash-routed home shard.
+    routes: HashMap<SessionId, usize>,
     serial_sweep: bool,
     // Observability plane (issue 6): the armed flight recorder, span
     // tracing state, and the collected cross-shard spans.
@@ -653,8 +882,33 @@ impl SessionPool {
         tick_ms: u64,
         factory: impl Fn(SessionId) -> Result<Machine, String> + Send + Sync + 'static,
     ) -> SessionPool {
+        SessionPool::new_with(shards, tick_ms, move |id, _ctx| {
+            factory(id).map(|machine| SessionBuild {
+                machine,
+                supervisor: None,
+            })
+        })
+    }
+
+    /// Like [`SessionPool::new`] but with the rich factory: the closure
+    /// receives a [`SessionCtx`] (the shard's event loop) and returns a
+    /// [`SessionBuild`], so sessions can come with a [`Supervisor`]
+    /// whose activity state then survives pool snapshots and live
+    /// migration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    pub fn new_with(
+        shards: usize,
+        tick_ms: u64,
+        factory: impl Fn(SessionId, &SessionCtx<'_>) -> Result<SessionBuild, String>
+            + Send
+            + Sync
+            + 'static,
+    ) -> SessionPool {
         assert!(shards > 0, "a pool needs at least one shard");
-        let factory: Arc<SessionFactory> = Arc::new(factory);
+        let factory: Arc<RichSessionFactory> = Arc::new(factory);
         let shards = (0..shards)
             .map(|index| {
                 let (tx, rx) = channel();
@@ -690,6 +944,8 @@ impl SessionPool {
             critical_path_us: 0.0,
             pending: Vec::new(),
             sessions: 0,
+            roster: BTreeSet::new(),
+            routes: HashMap::new(),
             serial_sweep: false,
             recorder: None,
             tracing: false,
@@ -721,9 +977,21 @@ impl SessionPool {
         self.ticks * self.tick_ms
     }
 
-    /// Deterministic shard routing for `session`.
+    /// Deterministic shard routing for `session`: the live-migration
+    /// override if one exists, else the splitmix64 hash route.
     pub fn shard_of(&self, session: SessionId) -> usize {
-        (splitmix64(session.0) % self.shards.len() as u64) as usize
+        self.routes.get(&session).copied().unwrap_or_else(|| {
+            (splitmix64(session.0) % self.shards.len() as u64) as usize
+        })
+    }
+
+    /// Session ids currently routed to `shard`, in id order.
+    pub fn sessions_on(&self, shard: usize) -> Vec<SessionId> {
+        self.roster
+            .iter()
+            .copied()
+            .filter(|&id| self.shard_of(id) == shard)
+            .collect()
     }
 
     /// Opens `sessions`, each built by the factory on its home shard,
@@ -763,6 +1031,7 @@ impl SessionPool {
             report.outputs.extend(st.outputs);
             report.faults.extend(st.faults);
             report.reactions += st.reactions;
+            report.quarantined += st.quarantined;
             slowest = slowest.max(st.busy_us);
         }
         report.outputs.sort_by_key(|o| o.session);
@@ -772,6 +1041,7 @@ impl SessionPool {
         // pool's reaction critical path.
         report.critical_path_us = slowest;
         self.sessions += sessions.len();
+        self.roster.extend(sessions.iter().copied());
         if self.recorder.is_some() {
             let all = self.digests()?;
             let ids: Vec<u64> = sessions.iter().map(|id| id.0).collect();
@@ -912,6 +1182,10 @@ impl SessionPool {
                 .recv()
                 .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
         }
+        for &id in sessions {
+            self.roster.remove(&id);
+            self.routes.remove(&id);
+        }
         self.sessions -= closed;
         Ok(closed)
     }
@@ -970,34 +1244,72 @@ impl SessionPool {
     /// rebuild the recorded scenario (same programs, same chaos seeds) —
     /// that is the caller's contract, keyed by [`Recording::scenario`].
     ///
+    /// With [`ReplayOptions::from_snapshot`] set, the pool is first
+    /// [`SessionPool::restore`]d from the checkpoint and only the
+    /// journal *suffix* (ticks at or past the snapshot) is re-driven —
+    /// crash recovery in O(instants since the checkpoint), and the only
+    /// way to honor a nonzero `from`: without an anchor, skipping the
+    /// prefix would silently re-execute it anyway, so that combination
+    /// is an error.
+    ///
     /// # Errors
     ///
-    /// Fails on a non-replayable (ring-evicted) recording, a non-fresh
-    /// pool, or a dead shard. Digest mismatches are *reported*, not
-    /// errors — see [`ReplayReport::ok`].
+    /// Fails on a non-replayable (ring-evicted) recording whose evicted
+    /// prefix no snapshot covers, a nonzero `from` with no snapshot
+    /// anchor, a non-fresh pool, a failed restore, or a dead shard.
+    /// Digest mismatches are *reported*, not errors — see
+    /// [`ReplayReport::ok`].
     pub fn replay(
         &mut self,
         rec: &Recording,
         opts: &ReplayOptions,
     ) -> Result<ReplayReport, PoolError> {
-        if !rec.replayable() {
-            return Err(PoolError(format!(
-                "recording is not replayable: {} tick(s) were evicted by the ring buffer",
-                rec.dropped
-            )));
-        }
-        if self.sessions != 0 || self.ticks != 0 {
-            return Err(PoolError(
-                "replay requires a fresh pool (sessions were opened or ticks ran)".to_owned(),
-            ));
+        let anchor = opts.from_snapshot.as_ref().map_or(0, |s| s.ticks);
+        if let Some(snap) = &opts.from_snapshot {
+            // The checkpoint must cover everything the ring buffer
+            // evicted: evictions below the anchor are skipped anyway,
+            // evictions above it are unrecoverable.
+            let first_kept = rec.ticks.front().map_or(u64::MAX, |t| t.tick);
+            if rec.dropped > 0 && anchor < first_kept {
+                return Err(PoolError(format!(
+                    "recording ticks below {first_kept} were evicted by the ring buffer \
+                     and the snapshot only covers up to tick {anchor}"
+                )));
+            }
+            self.restore(snap)?; // includes the fresh-pool check
+        } else {
+            if opts.from > 0 {
+                return Err(PoolError(format!(
+                    "replay from tick {} without a snapshot anchor would re-execute \
+                     instants 0..{} from scratch anyway; anchor it with \
+                     ReplayOptions::from_snapshot (CLI: --snapshot FILE) or use from = 0",
+                    opts.from, opts.from
+                )));
+            }
+            if !rec.replayable() {
+                return Err(PoolError(format!(
+                    "recording is not replayable: {} tick(s) were evicted by the ring buffer",
+                    rec.dropped
+                )));
+            }
+            if self.sessions != 0 || self.ticks != 0 {
+                return Err(PoolError(
+                    "replay requires a fresh pool (sessions were opened or ticks ran)"
+                        .to_owned(),
+                ));
+            }
+            let ids: Vec<SessionId> = rec.sessions.iter().copied().map(SessionId).collect();
+            self.open(&ids)?;
         }
         let mut report = ReplayReport::default();
-        let ids: Vec<SessionId> = rec.sessions.iter().copied().map(SessionId).collect();
-        self.open(&ids)?;
-        if opts.verify_digests && opts.from == 0 {
+        let from = opts.from.max(anchor);
+        if opts.verify_digests && opts.from == 0 && opts.from_snapshot.is_none() {
             self.check_digests(u64::MAX, &rec.boot_digests, &mut report)?;
         }
         for t in &rec.ticks {
+            if t.tick < anchor {
+                continue;
+            }
             if t.tick > opts.to {
                 break;
             }
@@ -1006,7 +1318,7 @@ impl SessionPool {
             }
             self.tick()?;
             report.ticks += 1;
-            if opts.verify_digests && t.tick >= opts.from {
+            if opts.verify_digests && t.tick >= from {
                 if let Some(expected) = &t.digests {
                     self.check_digests(t.tick, expected, &mut report)?;
                 }
@@ -1074,8 +1386,11 @@ impl SessionPool {
             .then(|| self.epoch.elapsed().as_micros() as u64);
         let mut per_shard: Vec<Vec<(SessionId, String, Value)>> =
             vec![Vec::new(); self.shards.len()];
-        for (id, signal, value) in self.pending.drain(..) {
-            let shard = (splitmix64(id.0) % per_shard.len() as u64) as usize;
+        // Route through `shard_of`, not the raw hash: migrated sessions
+        // receive their inputs on their adoptive shard.
+        let pending = std::mem::take(&mut self.pending);
+        for (id, signal, value) in pending {
+            let shard = self.shard_of(id);
             per_shard[shard].push((id, signal, value));
         }
         let mut shard_ticks = Vec::new();
@@ -1120,6 +1435,7 @@ impl SessionPool {
             report.outputs.extend(st.outputs);
             report.faults.extend(st.faults);
             report.reactions += st.reactions;
+            report.quarantined += st.quarantined;
             slowest = slowest.max(st.busy_us);
             tick_spans.extend(st.spans);
         }
@@ -1226,6 +1542,275 @@ impl SessionPool {
             self.critical_path_us,
             self.ticks,
         ))
+    }
+
+    // -----------------------------------------------------------------
+    // Durability: whole-pool checkpoints, restore, live migration.
+
+    /// Checkpoints the whole pool into one versioned
+    /// [`PoolSnapshot`]: every session's machine state planes (registers,
+    /// valued-signal environment, async instances, chaos RNG position)
+    /// plus its live supervision runs, each stamped with its digest
+    /// hash. Non-destructive — sessions keep running. Serialize with
+    /// [`PoolSnapshot::to_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if a shard thread died.
+    pub fn snapshot(&self) -> Result<PoolSnapshot, PoolError> {
+        let mut replies = Vec::new();
+        for (shard, h) in self.shards.iter().enumerate() {
+            let (tx, rx) = channel();
+            h.tx.send(Cmd::Snapshot(tx))
+                .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+            replies.push((shard, rx));
+        }
+        let mut sessions = Vec::new();
+        for (shard, rx) in replies {
+            sessions.extend(
+                rx.recv()
+                    .map_err(|_| PoolError(format!("shard {shard} is gone")))?,
+            );
+        }
+        sessions.sort_by_key(|s| s.session);
+        Ok(PoolSnapshot {
+            version: SNAPSHOT_FORMAT_VERSION,
+            ticks: self.ticks,
+            tick_ms: self.tick_ms,
+            sessions,
+        })
+    }
+
+    /// Rebuilds a checkpointed pool onto *this* pool — which must be
+    /// fresh (nothing opened, no ticks ran) but may have **any** shard
+    /// count: shard assignment never leaks into session semantics, so
+    /// sessions simply hash-route onto the new topology. Each session is
+    /// factory-built (no boot reaction), its state overwritten from the
+    /// snapshot, its supervised activities re-adopted with their exact
+    /// attempt/epoch/backoff-RNG state, and its digest verified against
+    /// the hash recorded at capture time. Shard clocks fast-forward to
+    /// the snapshot's virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a format-version skew, a non-fresh pool, a `tick_ms`
+    /// mismatch, any structural-hash or digest mismatch, or a dead
+    /// shard.
+    pub fn restore(&mut self, snap: &PoolSnapshot) -> Result<(), PoolError> {
+        if snap.version != SNAPSHOT_FORMAT_VERSION {
+            return Err(PoolError(format!(
+                "snapshot format v{} is not v{SNAPSHOT_FORMAT_VERSION}",
+                snap.version
+            )));
+        }
+        if self.sessions != 0 || self.ticks != 0 {
+            return Err(PoolError(
+                "restore requires a fresh pool (sessions were opened or ticks ran)".to_owned(),
+            ));
+        }
+        if self.tick_ms != snap.tick_ms {
+            return Err(PoolError(format!(
+                "tick_ms mismatch: this pool ticks every {} ms but the snapshot was \
+                 taken at {} ms per tick",
+                self.tick_ms, snap.tick_ms
+            )));
+        }
+        let mut per_shard: Vec<Vec<SessionSnapshot>> = vec![Vec::new(); self.shards.len()];
+        for s in &snap.sessions {
+            per_shard[self.shard_of(SessionId(s.session))].push(s.clone());
+        }
+        let now_ms = snap.ticks * self.tick_ms;
+        let mut replies = Vec::new();
+        // Every shard gets a Restore — an empty one still fast-forwards
+        // its clock, keeping the lockstep virtual time migrations rely
+        // on.
+        for (shard, sessions) in per_shard.into_iter().enumerate() {
+            let (tx, rx) = channel();
+            self.shards[shard]
+                .tx
+                .send(Cmd::Restore {
+                    now_ms,
+                    sessions,
+                    reply: tx,
+                })
+                .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+            replies.push((shard, rx));
+        }
+        let mut restored = 0;
+        for (shard, rx) in replies {
+            restored += rx
+                .recv()
+                .map_err(|_| PoolError(format!("shard {shard} is gone")))?
+                .map_err(PoolError)?;
+        }
+        self.sessions = restored;
+        self.ticks = snap.ticks;
+        self.roster = snap
+            .sessions
+            .iter()
+            .map(|s| SessionId(s.session))
+            .collect();
+        Ok(())
+    }
+
+    /// Live-migrates `session` to `shard`: the source shard serializes
+    /// the session and tears down its local supervision runs (timers
+    /// cleared, cancel hooks run), the target rebuilds it — state
+    /// planes, chaos RNG, mid-retry backoff state and all — verifies
+    /// its digest, and future inputs route to the new home. Bytes move;
+    /// machines never do. Migrating a session to its current shard is a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown session or shard, a dead shard, or a digest
+    /// mismatch on the target.
+    pub fn migrate(&mut self, session: SessionId, shard: usize) -> Result<(), PoolError> {
+        if shard >= self.shards.len() {
+            return Err(PoolError(format!(
+                "no shard {shard} (pool has {})",
+                self.shards.len()
+            )));
+        }
+        if !self.roster.contains(&session) {
+            return Err(PoolError(format!("{session}: no such session")));
+        }
+        let from = self.shard_of(session);
+        if from == shard {
+            return Ok(());
+        }
+        let (tx, rx) = channel();
+        self.shards[from]
+            .tx
+            .send(Cmd::Extract(session, tx))
+            .map_err(|_| PoolError(format!("shard {from} is gone")))?;
+        let snap = rx
+            .recv()
+            .map_err(|_| PoolError(format!("shard {from} is gone")))?
+            .map_err(PoolError)?;
+        let (tx, rx) = channel();
+        self.shards[shard]
+            .tx
+            .send(Cmd::Adopt(snap, tx))
+            .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
+        rx.recv()
+            .map_err(|_| PoolError(format!("shard {shard} is gone")))?
+            .map_err(|e| PoolError(format!("migrating {session} to shard {shard}: {e}")))?;
+        self.routes.insert(session, shard);
+        Ok(())
+    }
+
+    /// Applies one rebalancing round between ticks: plans migrations
+    /// with `rb` over the pool's current [`PoolMetrics`] and applies
+    /// them. Returns the applied moves (empty when the pool is already
+    /// balanced).
+    ///
+    /// # Errors
+    ///
+    /// Fails if metrics collection or a migration fails.
+    pub fn rebalance(
+        &mut self,
+        rb: &Rebalancer,
+    ) -> Result<Vec<(SessionId, usize)>, PoolError> {
+        let metrics = self.metrics()?;
+        let plan = rb.plan(self, &metrics);
+        for &(id, shard) in &plan {
+            self.migrate(id, shard)?;
+        }
+        Ok(plan)
+    }
+}
+
+/// Tuning knobs for the [`Rebalancer`].
+#[derive(Debug, Clone)]
+pub struct RebalancerConfig {
+    /// Most migrations one [`SessionPool::rebalance`] round applies.
+    pub max_moves: usize,
+    /// Skew trigger: move sessions only while the busiest shard's
+    /// estimated load exceeds `threshold ×` the idlest shard's.
+    pub threshold: f64,
+}
+
+impl Default for RebalancerConfig {
+    fn default() -> RebalancerConfig {
+        RebalancerConfig {
+            max_moves: 4,
+            threshold: 1.5,
+        }
+    }
+}
+
+/// Plans live migrations off skewed shards. Load is estimated per shard
+/// as *live sessions × mean observed reaction time* (µs, from the
+/// shard's telemetry samples; 1 µs per session before any samples
+/// land), so a shard whose sessions run hot sheds work even when raw
+/// session counts look even.
+#[derive(Debug, Clone, Default)]
+pub struct Rebalancer {
+    cfg: RebalancerConfig,
+}
+
+impl Rebalancer {
+    /// A rebalancer with the given knobs.
+    pub fn new(cfg: RebalancerConfig) -> Rebalancer {
+        Rebalancer { cfg }
+    }
+
+    /// Plans (but does not apply) migrations: repeatedly moves the
+    /// highest-id session off the busiest shard onto the idlest one
+    /// while the skew trigger holds, up to the per-round move cap.
+    /// Deterministic in the metrics and roster.
+    pub fn plan(&self, pool: &SessionPool, metrics: &PoolMetrics) -> Vec<(SessionId, usize)> {
+        if metrics.per_shard.len() < 2 {
+            return Vec::new();
+        }
+        let mut donors: Vec<Vec<SessionId>> = (0..metrics.per_shard.len())
+            .map(|s| pool.sessions_on(s))
+            .collect();
+        let mut loads: Vec<f64> = metrics
+            .per_shard
+            .iter()
+            .map(|s| {
+                let mean = if s.samples_us.is_empty() {
+                    1.0
+                } else {
+                    s.samples_us.iter().sum::<f64>() / s.samples_us.len() as f64
+                };
+                s.sessions as f64 * mean.max(1e-3)
+            })
+            .collect();
+        // Per-session cost estimate per donor shard, for updating the
+        // load model as planned moves accumulate.
+        let per_session: Vec<f64> = loads
+            .iter()
+            .zip(&donors)
+            .map(|(l, d)| if d.is_empty() { 0.0 } else { l / d.len() as f64 })
+            .collect();
+        let mut moves = Vec::new();
+        for _ in 0..self.cfg.max_moves {
+            let mut hi = 0usize;
+            let mut lo = 0usize;
+            for i in 1..loads.len() {
+                if loads[i] > loads[hi] {
+                    hi = i;
+                }
+                if loads[i] < loads[lo] {
+                    lo = i;
+                }
+            }
+            if hi == lo
+                || donors[hi].len() <= 1
+                || loads[hi] <= self.cfg.threshold * loads[lo].max(1e-9)
+            {
+                break;
+            }
+            let Some(id) = donors[hi].pop() else { break };
+            moves.push((id, lo));
+            loads[hi] -= per_session[hi];
+            loads[lo] += per_session[hi];
+            donors[lo].push(id);
+        }
+        moves
     }
 }
 
@@ -1467,7 +2052,10 @@ mod tests {
             m.per_shard.iter().map(|s| s.metrics.reactions).sum::<usize>()
         );
         let table = hiphop_runtime::Metrics::render_pool(&m);
-        assert!(table.contains("9 session(s) over 3 shard(s)"), "{table}");
+        assert!(
+            table.contains("9 live session(s), 0 quarantined, over 3 shard(s)"),
+            "{table}"
+        );
         let json = m.to_json();
         assert!(json.contains("\"reactions\":54"), "{json}");
         assert!(json.contains("\"per_shard\":["), "{json}");
@@ -1493,7 +2081,7 @@ mod tests {
             let mut trace = Vec::new();
             for step in 0..5u64 {
                 for id in 0..6 {
-                    if (id + step) % 2 == 0 {
+                    if (id + step).is_multiple_of(2) {
                         pool.inject(SessionId(id), "inc", Value::from(step as i64 + 1));
                     }
                 }
@@ -1569,7 +2157,7 @@ mod tests {
                     assert_eq!(pool.close(&[SessionId(17)]).expect("close"), 0);
                 }
                 for id in 0..33 {
-                    if (id + step) % 2 == 0 {
+                    if (id + step).is_multiple_of(2) {
                         pool.inject(SessionId(id), "inc", Value::from(1i64));
                     }
                 }
@@ -1599,6 +2187,188 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restores_digest_identically_onto_fewer_shards() {
+        let mut pool = SessionPool::new(4, 10, counter_factory);
+        pool.open_many(24).expect("open");
+        for step in 0..5u64 {
+            for id in 0..24 {
+                if (id + step) % 3 == 0 {
+                    pool.inject(SessionId(id), "inc", Value::from(step as i64 + 1));
+                }
+            }
+            pool.tick().expect("tick");
+        }
+        let snap = pool.snapshot().expect("snapshot");
+        let want = pool.digests().expect("digests");
+        // Through the wire format, onto a *different* shard count.
+        let wire = snap.to_jsonl();
+        let snap = PoolSnapshot::from_jsonl(&wire).expect("parse");
+        let mut restored = SessionPool::new(3, 10, counter_factory);
+        restored.restore(&snap).expect("restore");
+        assert_eq!(restored.sessions(), 24);
+        assert_eq!(restored.ticks(), 5);
+        assert_eq!(restored.digests().expect("digests"), want);
+        // And the restored pool keeps running in lockstep with the
+        // undisturbed source.
+        for step in 0..4i64 {
+            for id in 0..24 {
+                pool.inject(SessionId(id), "inc", Value::from(step));
+                restored.inject(SessionId(id), "inc", Value::from(step));
+            }
+            pool.tick().expect("tick");
+            restored.tick().expect("tick");
+        }
+        assert_eq!(
+            pool.digests().expect("digests"),
+            restored.digests().expect("digests"),
+            "restored pool diverged from the survivor"
+        );
+    }
+
+    #[test]
+    fn migration_moves_state_not_machines() {
+        let mut pool = SessionPool::new(3, 10, counter_factory);
+        pool.open_many(9).expect("open");
+        for _ in 0..3 {
+            for id in 0..9 {
+                pool.inject(SessionId(id), "inc", Value::from(1i64));
+            }
+            pool.tick().expect("tick");
+        }
+        let before = pool.digests().expect("digests");
+        let victim = SessionId(5);
+        let home = pool.shard_of(victim);
+        let target = (home + 1) % 3;
+        pool.migrate(victim, target).expect("migrate");
+        assert_eq!(pool.shard_of(victim), target);
+        assert!(pool.sessions_on(target).contains(&victim));
+        assert_eq!(
+            pool.digests().expect("digests"),
+            before,
+            "migration must not disturb any session's state"
+        );
+        // Inputs keep reaching the migrated session on its new shard.
+        pool.inject(victim, "inc", Value::from(10i64));
+        let r = pool.tick().expect("tick");
+        assert_eq!(count_of(r.session(victim).expect("reacted")), 10.0);
+    }
+
+    #[test]
+    fn rebalancer_drains_a_skewed_shard() {
+        // Route-override every session onto shard 0, then let the
+        // rebalancer spread them out.
+        let mut pool = SessionPool::new(3, 10, counter_factory);
+        pool.open_many(12).expect("open");
+        for id in 0..12 {
+            pool.migrate(SessionId(id), 0).expect("migrate");
+        }
+        for _ in 0..3 {
+            for id in 0..12 {
+                pool.inject(SessionId(id), "inc", Value::from(1i64));
+            }
+            pool.tick().expect("tick");
+        }
+        let before = pool.digests().expect("digests");
+        assert_eq!(pool.sessions_on(0).len(), 12);
+        let rb = Rebalancer::new(RebalancerConfig {
+            max_moves: 4,
+            threshold: 1.2,
+        });
+        let mut moved = 0;
+        for _ in 0..6 {
+            moved += pool.rebalance(&rb).expect("rebalance").len();
+            pool.tick().expect("tick");
+        }
+        assert!(moved >= 4, "rebalancer moved only {moved} sessions");
+        assert!(
+            pool.sessions_on(0).len() <= 8,
+            "shard 0 still holds {} of 12 sessions",
+            pool.sessions_on(0).len()
+        );
+        // Zero digest divergence: a shadow pool that ran the same
+        // inputs without any rebalancing must agree tick for tick.
+        let mut shadow = SessionPool::new(3, 10, counter_factory);
+        shadow.open_many(12).expect("open");
+        for _ in 0..3 {
+            for id in 0..12 {
+                shadow.inject(SessionId(id), "inc", Value::from(1i64));
+            }
+            shadow.tick().expect("tick");
+        }
+        assert_eq!(shadow.digests().expect("digests"), before);
+        for _ in 0..6 {
+            shadow.tick().expect("tick");
+        }
+        assert_eq!(
+            shadow.digests().expect("digests"),
+            pool.digests().expect("digests"),
+            "rebalancing changed observable state"
+        );
+    }
+
+    #[test]
+    fn replay_from_nonzero_without_snapshot_is_a_clear_error() {
+        let mut pool = SessionPool::new(2, 10, counter_factory);
+        pool.record(RecorderConfig::default(), BTreeMap::new())
+            .expect("record");
+        pool.open_many(2).expect("open");
+        for _ in 0..4 {
+            pool.tick().expect("tick");
+        }
+        let rec = pool.take_recording().expect("recording");
+        let mut fresh = SessionPool::new(2, 10, counter_factory);
+        let opts = ReplayOptions {
+            from: 2,
+            ..ReplayOptions::default()
+        };
+        let err = fresh.replay(&rec, &opts).expect_err("must refuse");
+        assert!(err.to_string().contains("snapshot anchor"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_anchored_replay_drives_only_the_journal_suffix() {
+        let drive = |pool: &mut SessionPool, step: u64| {
+            for id in 0..6 {
+                if (id + step).is_multiple_of(2) {
+                    pool.inject(SessionId(id), "inc", Value::from(step as i64 + 1));
+                }
+            }
+            pool.tick().expect("tick");
+        };
+        let mut pool = SessionPool::new(2, 10, counter_factory);
+        pool.record(
+            RecorderConfig {
+                checkpoint_every: 1,
+                ..RecorderConfig::default()
+            },
+            BTreeMap::new(),
+        )
+        .expect("record");
+        pool.open_many(6).expect("open");
+        let mut checkpoint = None;
+        for step in 0..8u64 {
+            if step == 5 {
+                checkpoint = Some(pool.snapshot().expect("snapshot"));
+            }
+            drive(&mut pool, step);
+        }
+        let rec = pool.take_recording().expect("recording");
+        let final_digests = pool.digests().expect("digests");
+        // Anchored replay re-drives only ticks 5..8 — on a different
+        // shard count — and must land on the same digests.
+        let mut recovered = SessionPool::new(3, 10, counter_factory);
+        let opts = ReplayOptions {
+            from_snapshot: checkpoint,
+            ..ReplayOptions::default()
+        };
+        let report = recovered.replay(&rec, &opts).expect("replay");
+        assert_eq!(report.ticks, 3, "only the journal suffix runs");
+        assert!(report.ok(), "{:?}", report.mismatches);
+        assert!(report.checked > 0, "checkpoints were verified");
+        assert_eq!(recovered.digests().expect("digests"), final_digests);
+    }
+
+    #[test]
     fn factory_errors_surface_per_session() {
         let factory = |id: SessionId| -> Result<Machine, String> {
             if id.0 == 7 {
@@ -1610,5 +2380,87 @@ mod tests {
         let mut pool = SessionPool::new(2, 10, factory);
         let err = pool.open_many(8).expect_err("session 7 fails to build");
         assert!(err.to_string().contains("no such score"), "{err}");
+    }
+
+    #[test]
+    fn restore_refuses_mismatched_clocks_versions_and_used_pools() {
+        let mut pool = SessionPool::new(2, 10, counter_factory);
+        pool.open_many(3).expect("open");
+        pool.tick().expect("tick");
+        let mut snap = pool.snapshot().expect("snapshot");
+
+        // tick_ms is part of the contract: remaining-ms timer encoding
+        // in activity snapshots assumes the restored clock ticks at the
+        // recorded rate.
+        let mut wrong_clock = SessionPool::new(2, 25, counter_factory);
+        let err = wrong_clock.restore(&snap).expect_err("clock mismatch");
+        assert!(err.to_string().contains("tick_ms mismatch"), "{err}");
+
+        // A used pool refuses: restore is recovery, not merging.
+        let err = pool.restore(&snap).expect_err("pool is not fresh");
+        assert!(err.to_string().contains("fresh pool"), "{err}");
+
+        // A future wire format refuses before touching any shard.
+        snap.version += 1;
+        let mut fresh = SessionPool::new(2, 10, counter_factory);
+        let err = fresh.restore(&snap).expect_err("future format");
+        assert!(err.to_string().contains("format"), "{err}");
+    }
+
+    #[test]
+    fn restore_refuses_a_foreign_factory() {
+        // The structural-hash guard: a snapshot of the counter program
+        // must not load into machines a different factory builds.
+        let mut pool = SessionPool::new(2, 10, counter_factory);
+        pool.open_many(2).expect("open");
+        pool.tick().expect("tick");
+        let snap = pool.snapshot().expect("snapshot");
+
+        let other_factory = |_id: SessionId| -> Result<Machine, String> {
+            let module = Module::new("Other")
+                .input(SignalDecl::new("go", Direction::In))
+                .body(Stmt::loop_(Stmt::Pause));
+            let c = compile_module(&module, &ModuleRegistry::new())
+                .map_err(|e| e.to_string())?;
+            Machine::new(c.circuit).map_err(|e| e.to_string())
+        };
+        let mut foreign = SessionPool::new(2, 10, other_factory);
+        let err = foreign.restore(&snap).expect_err("struct hash must gate");
+        assert!(err.to_string().contains("cannot load into"), "{err}");
+    }
+
+    #[test]
+    fn migrate_rejects_unknown_sessions_and_shards() {
+        let mut pool = SessionPool::new(3, 10, counter_factory);
+        pool.open_many(4).expect("open");
+        let err = pool.migrate(SessionId(0), 9).expect_err("no shard 9");
+        assert!(err.to_string().contains("no shard 9"), "{err}");
+        let err = pool.migrate(SessionId(77), 1).expect_err("unknown session");
+        assert!(err.to_string().contains("no such session"), "{err}");
+        // Migrating home is a no-op, not an error.
+        let home = pool.shard_of(SessionId(0));
+        pool.migrate(SessionId(0), home).expect("no-op migration");
+        assert_eq!(pool.shard_of(SessionId(0)), home);
+    }
+
+    #[test]
+    fn rebalancer_leaves_a_balanced_pool_alone() {
+        let mut pool = SessionPool::new(3, 10, counter_factory);
+        pool.open_many(9).expect("open");
+        for _ in 0..4 {
+            pool.tick().expect("tick");
+        }
+        let rb = Rebalancer::new(RebalancerConfig::default());
+        let moves = pool.rebalance(&rb).expect("rebalance");
+        assert!(
+            moves.len() <= RebalancerConfig::default().max_moves,
+            "{moves:?}"
+        );
+        // A second round from the (now balanced) state plans nothing
+        // beyond the threshold band.
+        let again = pool.rebalance(&rb).expect("rebalance");
+        let metrics = pool.metrics().expect("metrics");
+        let spread: Vec<usize> = metrics.per_shard.iter().map(|s| s.sessions).collect();
+        assert_eq!(spread.iter().sum::<usize>(), 9, "no session lost: {again:?}");
     }
 }

@@ -43,6 +43,7 @@ use hiphop_core::mailbox::AsyncHandle;
 use hiphop_core::rng::Rng;
 use hiphop_core::value::Value;
 use hiphop_runtime::isolate::guarded;
+use hiphop_runtime::snapshot::ActivitySnapshot;
 use hiphop_runtime::telemetry::{SinkSet, SpanKind, SpanRecord, TraceEvent};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -253,6 +254,12 @@ struct ActivityRun {
 pub struct Supervisor {
     el: Rc<RefCell<EventLoop>>,
     activities: RefCell<HashMap<ActivityKey, ActivityRun>>,
+    /// Static activity descriptions by name, registered by
+    /// [`supervised_hooks`]. Adoption ([`Supervisor::adopt`]) rebuilds
+    /// migrated/recovered activity runs from this registry — the work
+    /// closures themselves cannot cross threads, so only their names
+    /// travel in a snapshot.
+    specs: RefCell<HashMap<String, (SupervisedSpec, WorkFn)>>,
     sinks: RefCell<SinkSet>,
     chaos: RefCell<Option<ChaosEngine>>,
     stats: RefCell<SupervisionStats>,
@@ -361,6 +368,7 @@ impl Supervisor {
         Rc::new(Supervisor {
             el,
             activities: RefCell::new(HashMap::new()),
+            specs: RefCell::new(HashMap::new()),
             sinks: RefCell::new(SinkSet::new()),
             chaos: RefCell::new(None),
             stats: RefCell::new(SupervisionStats::default()),
@@ -713,6 +721,149 @@ impl Supervisor {
         }
     }
 
+    /// Captures every registered activity's supervision state for a
+    /// durable snapshot: attempt count, epoch, the exact backoff-RNG
+    /// position, and pending delays as *remaining* virtual milliseconds
+    /// (pool shard clocks advance in lockstep, so the remainder is
+    /// portable across shards). Does not disturb the runs.
+    pub fn snapshot_activities(&self, el: &EventLoop) -> Vec<ActivitySnapshot> {
+        let now = el.now();
+        let remaining = |t: &Option<TimerId>| {
+            t.and_then(|id| el.deadline_of(id))
+                .map(|d| d.saturating_sub(now))
+        };
+        let mut out: Vec<ActivitySnapshot> = self
+            .activities
+            .borrow()
+            .iter()
+            .map(|(key, run)| {
+                let (rng_state, rng_inc) = run.rng.state_parts();
+                ActivitySnapshot {
+                    async_id: key.0,
+                    instance: key.1,
+                    name: run.name.clone(),
+                    attempt: run.attempt,
+                    epoch: run.epoch,
+                    rng_state,
+                    rng_inc,
+                    retry_in_ms: remaining(&run.retry_timer),
+                    timeout_in_ms: remaining(&run.timeout_timer),
+                }
+            })
+            .collect();
+        out.sort_by_key(|a| (a.async_id, a.instance));
+        out
+    }
+
+    /// Migration source side: snapshots every activity, then removes the
+    /// runs — clearing their timers and running their cleanup hooks, so
+    /// the abandoned attempts release any local resources. The returned
+    /// snapshots are what [`Supervisor::adopt`] consumes on the target
+    /// shard. Not counted as kills in the stats.
+    pub fn export(&self, el: &mut EventLoop) -> Vec<ActivitySnapshot> {
+        let snaps = self.snapshot_activities(el);
+        let runs: Vec<ActivityRun> = {
+            let mut acts = self.activities.borrow_mut();
+            let keys: Vec<ActivityKey> = acts.keys().copied().collect();
+            keys.into_iter().filter_map(|k| acts.remove(&k)).collect()
+        };
+        for mut run in runs {
+            Supervisor::teardown_attempt(&mut run, el);
+        }
+        snaps
+    }
+
+    /// Migration/recovery target side: rebuilds activity runs from
+    /// snapshots against a restored `machine`. Each snapshot's name must
+    /// match a spec registered (by [`supervised_hooks`]) on *this*
+    /// supervisor; the handle is re-derived from the machine's async
+    /// instance (`hiphop_runtime::Machine::async_handle`), so the
+    /// adopted activity notifies the adopting machine.
+    ///
+    /// Handoff semantics: an activity that was **backing off** resumes
+    /// its retry after exactly the remaining delay, same attempt number,
+    /// same backoff-RNG position. An activity whose attempt was
+    /// **in flight** is restarted immediately as the *same* attempt
+    /// number with a fresh timeout budget — at-least-once semantics for
+    /// the work function, which is the contract supervised activities
+    /// already live under (retries re-run it).
+    ///
+    /// # Errors
+    ///
+    /// A snapshot naming an unregistered spec or an async instance the
+    /// machine does not have fails with a descriptive message; runs
+    /// adopted before the failure stay adopted.
+    pub fn adopt(
+        self: &Rc<Self>,
+        el: &mut EventLoop,
+        machine: &hiphop_runtime::Machine,
+        snaps: &[ActivitySnapshot],
+    ) -> Result<(), String> {
+        for snap in snaps {
+            let (spec, work) = {
+                let specs = self.specs.borrow();
+                let (spec, work) = specs.get(&snap.name).ok_or_else(|| {
+                    format!("adopt: no spec registered for activity `{}`", snap.name)
+                })?;
+                (spec.clone(), work.clone())
+            };
+            let handle = machine
+                .async_handle(snap.async_id as usize)
+                .filter(|h| h.instance() == snap.instance)
+                .ok_or_else(|| {
+                    format!(
+                        "adopt: machine has no async instance ({}, {}) for `{}`",
+                        snap.async_id, snap.instance, snap.name
+                    )
+                })?;
+            let key = (snap.async_id, snap.instance);
+            self.activities.borrow_mut().insert(
+                key,
+                ActivityRun {
+                    name: snap.name.clone(),
+                    policy: spec.policy.clone(),
+                    handle,
+                    fail_signal: spec.fail_signal.clone(),
+                    work,
+                    attempt: snap.attempt,
+                    started_ms: el.now(),
+                    epoch: snap.epoch,
+                    rng: Rng::from_parts(snap.rng_state, snap.rng_inc),
+                    timeout_timer: None,
+                    retry_timer: None,
+                    cancel_hooks: Vec::new(),
+                },
+            );
+            if let Some(delay) = snap.retry_in_ms {
+                let weak = Rc::downgrade(self);
+                let id = el.set_timeout(delay, move |el| {
+                    if let Some(sup) = weak.upgrade() {
+                        sup.start_attempt(el, key);
+                    }
+                });
+                if let Some(run) = self.activities.borrow_mut().get_mut(&key) {
+                    run.retry_timer = Some(id);
+                }
+            } else {
+                // In-flight attempt: restart it as the same attempt
+                // number (start_attempt pre-increments).
+                if let Some(run) = self.activities.borrow_mut().get_mut(&key) {
+                    run.attempt = run.attempt.saturating_sub(1);
+                }
+                self.start_attempt(el, key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a spec + work pair in the adoption registry (keyed by
+    /// spec name, last registration wins).
+    fn register_spec(&self, spec: &SupervisedSpec, work: WorkFn) {
+        self.specs
+            .borrow_mut()
+            .insert(spec.name.clone(), (spec.clone(), work));
+    }
+
     /// Runs the cancel hooks of a still-registered run (retry path).
     fn run_cancel_hooks(&self, key: ActivityKey, el: &mut EventLoop) {
         let hooks = match self.activities.borrow_mut().get_mut(&key) {
@@ -751,6 +902,7 @@ pub fn supervised_hooks(
     work: impl Fn(&mut Attempt<'_>) + 'static,
 ) -> (AsyncHook, AsyncHook) {
     let work: WorkFn = Rc::new(work);
+    sup.register_spec(&spec, work.clone());
     let sup_spawn = sup.clone();
     let spec_spawn = spec.clone();
     let hook_name = format!("supervised.{}.spawn", spec.name);

@@ -685,15 +685,24 @@ impl Recorder {
 // Replay options and report.
 
 /// Options for `SessionPool::replay`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ReplayOptions {
-    /// First tick whose digests are *verified* (execution always starts
-    /// at instant 0 — replay is re-execution, not state restoration).
+    /// First tick to execute/verify. Without a snapshot anchor this must
+    /// be 0: replay is re-execution, and silently re-running the prefix
+    /// while only *verifying* the suffix would compare digests against a
+    /// mismatched base. `SessionPool::replay` rejects `from > 0` unless
+    /// [`ReplayOptions::from_snapshot`] covers the prefix.
     pub from: u64,
     /// Last tick (inclusive) to execute/verify.
     pub to: u64,
     /// Whether to compare checkpoint digests at all.
     pub verify_digests: bool,
+    /// Snapshot anchor for crash recovery: restore the pool from this
+    /// checkpoint first, then re-drive only the journal suffix (ticks ≥
+    /// the snapshot's tick count). Makes recovery O(instants since the
+    /// checkpoint) instead of O(all instants). When set, `from` is
+    /// raised to the snapshot's tick count automatically.
+    pub from_snapshot: Option<crate::snapshot::PoolSnapshot>,
 }
 
 impl Default for ReplayOptions {
@@ -702,6 +711,7 @@ impl Default for ReplayOptions {
             from: 0,
             to: u64::MAX,
             verify_digests: true,
+            from_snapshot: None,
         }
     }
 }

@@ -44,6 +44,7 @@ pub mod flight;
 pub mod isolate;
 pub mod levelized;
 pub mod machine;
+pub mod snapshot;
 pub mod telemetry;
 pub mod waveform;
 
@@ -56,6 +57,10 @@ pub use flight::{
 };
 pub use levelized::EngineMode;
 pub use machine::{Machine, OutputEvent, Reaction};
+pub use snapshot::{
+    circuit_struct_hash, ActivitySnapshot, AsyncSnapshot, ChaosSnapshot, MachineSnapshot,
+    PoolSnapshot, SessionSnapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION,
+};
 pub use telemetry::{
     chrome_trace, ChromeTraceSink, JsonlSink, LevelActivity, Metrics, MetricsSink, PoolMetrics,
     ReactionStats, ShardRollup, SharedSink, SinkSet, SpanCollector, SpanKind, SpanRecord, Summary,

@@ -25,6 +25,10 @@ use crate::telemetry::{
 };
 use hiphop_circuit::{Action, AsyncId, Circuit, NetId, NetKind, SignalId, TestKind};
 use hiphop_core::ast::{AsyncCtx, AtomBody};
+use crate::snapshot::{
+    circuit_struct_hash, engine_from_tag, engine_tag, AsyncSnapshot, ChaosSnapshot,
+    MachineSnapshot, SnapshotError,
+};
 use hiphop_core::mailbox::{AsyncHandle, MachineOp, Mailbox};
 use hiphop_core::rng::Rng;
 use hiphop_core::value::Value;
@@ -804,6 +808,136 @@ impl Machine {
             rt.notified = notified;
         }
         self.log.truncate(snap.log_len);
+    }
+
+    /// Captures the machine's complete persistent state as a durable,
+    /// serializable [`MachineSnapshot`] — the state set of the rollback
+    /// snapshot plus everything that outlives a reaction: registers,
+    /// presence, termination, the reaction counter, the monotonic async
+    /// instance counter, the log, the poison flag, the engine request
+    /// and the exact chaos-RNG position. Loading it into a machine
+    /// compiled from the same circuit ([`Machine::restore`]) reproduces
+    /// [`Machine::state_digest`] byte-for-byte.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let mut vars: Vec<(String, Value)> = self
+            .vars
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        vars.sort_by(|a, b| a.0.cmp(&b.0));
+        MachineSnapshot {
+            program: self.circuit.name.clone(),
+            struct_hash: circuit_struct_hash(&self.circuit),
+            engine: self.requested.map(|m| engine_tag(m).to_owned()),
+            regs: self.regs.clone(),
+            sig_val: self.sig_val.clone(),
+            sig_preval: self.sig_preval.clone(),
+            vars,
+            counters: self.counters.clone(),
+            last_present: self.last_present.clone(),
+            terminated: self.terminated,
+            seq: self.seq,
+            next_instance: self.next_instance,
+            log: self.log.clone(),
+            poisoned: self.poisoned,
+            asyncs: self
+                .asyncs
+                .iter()
+                .map(|rt| AsyncSnapshot {
+                    active: rt.active,
+                    instance: rt.instance,
+                    state: rt.state.borrow().clone(),
+                    notified: rt.notified.clone(),
+                })
+                .collect(),
+            chaos: self.chaos.as_ref().map(|c| {
+                let (state, inc) = c.rng.state_parts();
+                ChaosSnapshot {
+                    state,
+                    inc,
+                    rate: c.rate,
+                }
+            }),
+        }
+    }
+
+    /// Overwrites this machine's persistent state with a durable
+    /// snapshot. The machine must be compiled from a structurally
+    /// identical circuit — guarded by [`circuit_struct_hash`], so a
+    /// snapshot refuses to load into a different program. Staged inputs,
+    /// staged notifications and queued mailbox operations are discarded:
+    /// a restore lands exactly on a committed instant boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::CircuitMismatch`] on a structural-hash skew;
+    /// [`SnapshotError::Malformed`] if the snapshot's state planes do
+    /// not match the circuit's dimensions.
+    pub fn restore(&mut self, snap: &MachineSnapshot) -> Result<(), SnapshotError> {
+        let expected = circuit_struct_hash(&self.circuit);
+        if snap.struct_hash != expected {
+            return Err(SnapshotError::CircuitMismatch {
+                found: (snap.program.clone(), snap.struct_hash),
+                expected: (self.circuit.name.clone(), expected),
+            });
+        }
+        if snap.regs.len() != self.regs.len()
+            || snap.sig_val.len() != self.sig_val.len()
+            || snap.sig_preval.len() != self.sig_val.len()
+            || snap.last_present.len() != self.last_present.len()
+            || snap.counters.len() != self.counters.len()
+            || snap.asyncs.len() != self.asyncs.len()
+        {
+            return Err(SnapshotError::Malformed(
+                "state plane lengths do not match the circuit".into(),
+            ));
+        }
+        self.requested = match &snap.engine {
+            None => None,
+            Some(tag) => Some(engine_from_tag(tag).ok_or_else(|| {
+                SnapshotError::Malformed(format!("unknown engine tag `{tag}`"))
+            })?),
+        };
+        self.regs.clone_from(&snap.regs);
+        self.sig_val.clone_from(&snap.sig_val);
+        self.sig_preval.clone_from(&snap.sig_preval);
+        self.vars = snap.vars.iter().cloned().collect();
+        self.counters.clone_from(&snap.counters);
+        self.last_present.clone_from(&snap.last_present);
+        self.terminated = snap.terminated;
+        self.seq = snap.seq;
+        self.next_instance = snap.next_instance;
+        self.log.clone_from(&snap.log);
+        self.poisoned = snap.poisoned;
+        for (rt, s) in self.asyncs.iter_mut().zip(&snap.asyncs) {
+            rt.active = s.active;
+            rt.instance = s.instance;
+            *rt.state.borrow_mut() = s.state.clone();
+            rt.notified = s.notified.clone();
+        }
+        self.chaos = snap.chaos.as_ref().map(|c| Chaos {
+            rng: Rng::from_parts(c.state, c.inc),
+            rate: c.rate,
+        });
+        self.staged_inputs.clear();
+        self.staged_notifies.clear();
+        while self.mailbox.pop().is_some() {}
+        Ok(())
+    }
+
+    /// A host-side [`AsyncHandle`] for async statement instance
+    /// `async_index`, bound to its *current* instance number and shared
+    /// state cell — what a spawn hook would have received. The
+    /// supervisor uses this to re-wire adopted activities after a
+    /// migration or recovery restore.
+    pub fn async_handle(&self, async_index: usize) -> Option<AsyncHandle> {
+        let rt = self.asyncs.get(async_index)?;
+        Some(AsyncHandle::new(
+            self.mailbox.clone(),
+            async_index as u32,
+            rt.instance,
+            rt.state.clone(),
+        ))
     }
 
     fn react_core(&mut self) -> Result<Reaction, RuntimeError> {

@@ -670,6 +670,14 @@ impl PoolMetrics {
         self.per_shard.iter().map(|s| s.sessions).sum()
     }
 
+    /// Total poison-quarantined sessions across the pool. Quarantined
+    /// sessions are excluded from [`PoolMetrics::sessions`] and from the
+    /// reaction roll-ups; this counter keeps them visible so the pool's
+    /// session accounting stays consistent with tick reports.
+    pub fn quarantined(&self) -> usize {
+        self.per_shard.iter().map(|s| s.quarantined).sum()
+    }
+
     /// Aggregate reactions per second over the critical path (see
     /// [`PoolMetrics::critical_path_us`]).
     pub fn throughput_rps(&self) -> f64 {
@@ -694,15 +702,16 @@ impl PoolMetrics {
                 shards.push(',');
             }
             shards.push_str(&format!(
-                "{{\"shard\":{},\"sessions\":{},\"reactions\":{},\"rollbacks\":{},\"p50_us\":{:.1},\"p95_us\":{:.1}}}",
-                s.shard, s.sessions, s.metrics.reactions, s.rollbacks,
+                "{{\"shard\":{},\"sessions\":{},\"quarantined\":{},\"reactions\":{},\"rollbacks\":{},\"p50_us\":{:.1},\"p95_us\":{:.1}}}",
+                s.shard, s.sessions, s.quarantined, s.metrics.reactions, s.rollbacks,
                 s.metrics.duration_us.p50, s.metrics.duration_us.p95,
             ));
         }
         format!(
-            "{{\"shards\":{},\"sessions\":{},\"ticks\":{},\"reactions\":{},\"rollbacks\":{},\"p50_us\":{:.1},\"p95_us\":{:.1},\"busy_us\":{:.1},\"critical_path_us\":{:.1},\"throughput_rps\":{:.1},\"per_shard\":[{}]}}",
+            "{{\"shards\":{},\"sessions\":{},\"quarantined\":{},\"ticks\":{},\"reactions\":{},\"rollbacks\":{},\"p50_us\":{:.1},\"p95_us\":{:.1},\"busy_us\":{:.1},\"critical_path_us\":{:.1},\"throughput_rps\":{:.1},\"per_shard\":[{}]}}",
             self.shards,
             self.sessions(),
+            self.quarantined(),
             self.ticks,
             self.reactions,
             self.rollbacks,
@@ -723,8 +732,9 @@ impl Metrics {
     pub fn render_pool(pool: &PoolMetrics) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "session pool: {} session(s) over {} shard(s), {} tick(s)\n",
+            "session pool: {} live session(s), {} quarantined, over {} shard(s), {} tick(s)\n",
             pool.sessions(),
+            pool.quarantined(),
             pool.shards,
             pool.ticks
         ));
@@ -853,6 +863,7 @@ impl PoolMetrics {
         let one = |v: String| vec![(none.to_vec(), v)];
         let sum = |f: fn(&Metrics) -> usize| -> usize { self.per_shard.iter().map(|s| f(&s.metrics)).sum() };
         prom_metric(&mut out, "hiphop_pool_sessions", "gauge", "Live sessions across the pool.", &one(self.sessions().to_string()));
+        prom_metric(&mut out, "hiphop_pool_quarantined_sessions", "gauge", "Poison-quarantined sessions across the pool.", &one(self.quarantined().to_string()));
         prom_metric(&mut out, "hiphop_pool_shards", "gauge", "Shards in the pool.", &one(self.shards.to_string()));
         prom_metric(&mut out, "hiphop_pool_ticks_total", "counter", "Pool ticks executed.", &one(self.ticks.to_string()));
         prom_metric(&mut out, "hiphop_pool_reactions_total", "counter", "Committed reactions across the pool.", &one(self.reactions.to_string()));

@@ -16,10 +16,12 @@ use crate::composition::Composition;
 use crate::genscore::{generate, ScoreShape};
 use crate::sequencer::Sequencer;
 use hiphop_core::value::Value;
-use hiphop_eventloop::sessions::{SessionId, SessionOutputs, SessionPool};
+use hiphop_eventloop::sessions::{
+    Rebalancer, RebalancerConfig, SessionId, SessionOutputs, SessionPool,
+};
 use hiphop_runtime::{
-    CohortWidth, Machine, PoolMetrics, RecorderConfig, Recording, ReplayOptions, ReplayReport,
-    SpanRecord,
+    CohortWidth, Machine, PoolMetrics, PoolSnapshot, RecorderConfig, Recording, ReplayOptions,
+    ReplayReport, SpanRecord,
 };
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -69,6 +71,9 @@ pub struct ConcertReport {
     pub played: usize,
     /// Failed (rolled-back) reactions observed.
     pub faults: usize,
+    /// Live migrations applied by the rebalancer (0 unless
+    /// [`ConcertRunOptions::rebalance`] was set).
+    pub migrations: usize,
     /// Order-independent digest of every session's output trace —
     /// equal across shard counts for the same seed.
     pub digest: u64,
@@ -95,6 +100,14 @@ pub struct ConcertRunOptions {
     /// Periodic metrics observer (beat number, pool roll-up).
     #[allow(clippy::type_complexity)]
     pub watch: Option<Box<dyn FnMut(u64, &PoolMetrics)>>,
+    /// Checkpoint the whole pool every N beats (0 = never); checkpoints
+    /// are collected in [`ConcertRun::snapshots`] and anchor
+    /// crash-recovery replays ([`ReplayOptions::from_snapshot`]).
+    pub snapshot_every: u64,
+    /// Run a metrics-driven [`Rebalancer`] between beats, live-migrating
+    /// sessions off skewed shards. Pure plumbing: the concert digest is
+    /// identical with or without it.
+    pub rebalance: Option<RebalancerConfig>,
 }
 
 /// What an observed concert run produced: the plain report plus
@@ -106,6 +119,9 @@ pub struct ConcertRun {
     pub recording: Option<Recording>,
     /// Collected spans, when tracing was requested.
     pub spans: Vec<SpanRecord>,
+    /// `(beat, checkpoint)` pairs taken every
+    /// [`ConcertRunOptions::snapshot_every`] beats.
+    pub snapshots: Vec<(u64, PoolSnapshot)>,
 }
 
 /// Encodes the scenario metadata a [`replay`] needs to rebuild an
@@ -338,6 +354,9 @@ pub fn run_with(cfg: &ConcertConfig, mut opts: ConcertRunOptions) -> Result<Conc
 
     let mut digest = 0xcbf29ce484222325u64;
     let mut faults = 0usize;
+    let mut migrations = 0usize;
+    let mut snapshots: Vec<(u64, PoolSnapshot)> = Vec::new();
+    let rebalancer = opts.rebalance.clone().map(Rebalancer::new);
 
     let booted = pool.open_many(cfg.sessions).map_err(|e| e.to_string())?;
     faults += booted.faults.len();
@@ -371,6 +390,12 @@ pub fn run_with(cfg: &ConcertConfig, mut opts: ConcertRunOptions) -> Result<Conc
                 watch(beat + 1, &snapshot);
             }
         }
+        if opts.snapshot_every > 0 && (beat + 1).is_multiple_of(opts.snapshot_every) {
+            snapshots.push((beat + 1, pool.snapshot().map_err(|e| e.to_string())?));
+        }
+        if let Some(rb) = &rebalancer {
+            migrations += pool.rebalance(rb).map_err(|e| e.to_string())?.len();
+        }
     }
 
     let metrics = pool.metrics().map_err(|e| e.to_string())?;
@@ -383,11 +408,13 @@ pub fn run_with(cfg: &ConcertConfig, mut opts: ConcertRunOptions) -> Result<Conc
             enqueued: participants.values().map(|p| p.enqueued).sum(),
             played: participants.values().map(|p| p.sequencer.history().len()).sum(),
             faults,
+            migrations,
             digest,
             metrics,
         },
         recording,
         spans,
+        snapshots,
     })
 }
 
@@ -575,6 +602,58 @@ mod tests {
             report.mismatches
         );
         assert!(report.checked > 0);
+    }
+
+    #[test]
+    fn concert_recovers_from_checkpoint_plus_journal_suffix() {
+        let mut cfg = ConcertConfig::new(8, 4, 12, 55);
+        cfg.chaos_rate = 0.05;
+        let opts = ConcertRunOptions {
+            record: Some(RecorderConfig {
+                checkpoint_every: 1,
+                ..RecorderConfig::default()
+            }),
+            snapshot_every: 4,
+            ..ConcertRunOptions::default()
+        };
+        let run = run_with(&cfg, opts).expect("runs");
+        let rec = run.recording.expect("journal captured");
+        assert_eq!(
+            run.snapshots.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+            vec![4, 8, 12]
+        );
+        // Recover from the beat-8 checkpoint on a *different* shard
+        // count: only the journal suffix re-runs, and every remaining
+        // digest checkpoint must match — chaos fault schedule included.
+        let (beat, snap) = run.snapshots[1].clone();
+        assert_eq!(beat, 8);
+        let replay_opts = ReplayOptions {
+            from_snapshot: Some(snap),
+            ..ReplayOptions::default()
+        };
+        let report = replay_with(&rec, 2, &replay_opts, None).expect("replays");
+        assert_eq!(report.ticks, 4, "only the suffix re-ran");
+        assert!(report.ok(), "mismatches: {:?}", report.mismatches);
+        assert!(report.checked > 0, "checkpoints were actually verified");
+    }
+
+    #[test]
+    fn rebalanced_concert_keeps_its_digest() {
+        let cfg = ConcertConfig::new(12, 3, 16, 21);
+        let base = run(&cfg).expect("plain");
+        let opts = ConcertRunOptions {
+            rebalance: Some(RebalancerConfig {
+                max_moves: 2,
+                threshold: 1.1,
+            }),
+            ..ConcertRunOptions::default()
+        };
+        let rb = run_with(&cfg, opts).expect("rebalanced");
+        assert_eq!(
+            base.digest, rb.report.digest,
+            "rebalancing changed concert behaviour"
+        );
+        assert_eq!(base.played, rb.report.played);
     }
 
     #[test]

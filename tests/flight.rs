@@ -60,10 +60,27 @@ fn thousand_session_chaos_recording_replays_on_a_different_shard_count() {
 }
 
 #[test]
-fn replay_window_limits_verification_but_not_execution() {
+fn replay_window_needs_a_snapshot_anchor_for_a_nonzero_from() {
     let run = observed_concert(40, 2, 12, 9);
     let rec = run.recording.expect("journal");
+    // `to` truncates execution: ticks past the window never run.
     let report = concert::replay(
+        &rec,
+        5,
+        &ReplayOptions {
+            to: 7,
+            ..ReplayOptions::default()
+        },
+    )
+    .expect("replays");
+    assert!(report.ok(), "{:?}", report.mismatches);
+    assert_eq!(report.ticks, 8, "execution stops after tick 7");
+    // Boot digests (40) plus the checkpoints at ticks 3 and 7.
+    assert_eq!(report.checked, 120);
+    // A nonzero `from` with no snapshot anchor would re-execute the
+    // skipped prefix from scratch anyway — that must be a clear error,
+    // not a silent full replay dressed up as a suffix one.
+    let err = concert::replay(
         &rec,
         5,
         &ReplayOptions {
@@ -72,11 +89,8 @@ fn replay_window_limits_verification_but_not_execution() {
             ..ReplayOptions::default()
         },
     )
-    .expect("replays");
-    assert!(report.ok(), "{:?}", report.mismatches);
-    assert_eq!(report.ticks, 12, "execution always starts from instant 0");
-    // Only the checkpoint at tick 11 falls inside [8, 11].
-    assert_eq!(report.checked, 40);
+    .expect_err("anchorless from > 0 must refuse");
+    assert!(err.to_string().contains("snapshot anchor"), "{err}");
 }
 
 #[test]
