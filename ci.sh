@@ -16,7 +16,7 @@ TOTAL=$(printf '%s\n' "$TEST_OUT" \
 echo "    workspace test count: $TOTAL"
 # Regression guard: the suite only ever grows. Raise the floor when
 # you add tests; never lower it.
-MIN_TESTS=510
+MIN_TESTS=535
 if [ "$TOTAL" -lt "$MIN_TESTS" ]; then
     echo "ci: workspace test count regressed below $MIN_TESTS (got $TOTAL)" >&2
     exit 1
@@ -25,10 +25,16 @@ fi
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-# Static constructiveness gate: every example must lint clean of the
-# HH001 non-constructive lint — except causality_cycle.hh, the paper's
-# X = not X paradox, which must FAIL the gate (that is what it is for).
-echo "==> hiphop analyze --deny non-constructive over examples/hh"
+# Static analysis gate: every example must lint clean of the deny set —
+# non-constructive cycles plus the dataflow lints (unobservable signals,
+# never-emittable outputs, dependency-only cycles, undecided cycles).
+# Known findings live in ci/analyze-baseline.json (regenerate by rerunning
+# analyze --format json and keeping the lines you accept); anything NEW
+# still fails the gate. causality_cycle.hh, the paper's X = not X
+# paradox, must FAIL the gate (that is what it is for).
+DENY="--deny non-constructive --deny undecided-cycle --deny unobservable-signal \
+      --deny never-emittable --deny dependency-cycle"
+echo "==> hiphop analyze deny sweep over examples/hh (baseline: ci/analyze-baseline.json)"
 for hh in examples/hh/*.hh; do
     if [ "$hh" = "examples/hh/supervised_abort.hh" ]; then
         # Needs host hooks (fetch.spawn/fetch.kill) that only the
@@ -37,13 +43,15 @@ for hh in examples/hh/*.hh; do
         continue
     fi
     if [ "$hh" = "examples/hh/causality_cycle.hh" ]; then
-        if ./target/release/hiphopc analyze "$hh" --deny non-constructive > /dev/null; then
+        if ./target/release/hiphopc analyze "$hh" $DENY \
+            --baseline ci/analyze-baseline.json > /dev/null; then
             echo "ci: $hh should be non-constructive but passed the gate" >&2
             exit 1
         fi
         echo "    $hh: rejected as expected"
     else
-        ./target/release/hiphopc analyze "$hh" --deny non-constructive > /dev/null
+        ./target/release/hiphopc analyze "$hh" $DENY \
+            --baseline ci/analyze-baseline.json > /dev/null
         echo "    $hh: ok"
     fi
 done
@@ -56,6 +64,15 @@ HIPHOP_PROPTEST_SEEDS="${HIPHOP_PROPTEST_SEEDS:-64}"
 echo "==> differential proptest sweep (${HIPHOP_PROPTEST_SEEDS} seeds)"
 HIPHOP_PROPTEST_SEEDS="$HIPHOP_PROPTEST_SEEDS" \
     cargo test -q --offline --test proptests -- all_engines_agree_with_the_interpreter
+
+# Fact-driven schedule-shrinking differential gate: with and without the
+# inter-instant dataflow shrink, generated programs must produce
+# identical observable traces under all four engines (tests/proptests.rs)
+# and under both bit-parallel cohort widths (tests/cohort.rs). Any
+# unsound abstract-interpretation fact folds a live net and fails here.
+echo "==> fact-shrinking differential gate (4 engines + both cohort widths)"
+cargo test -q --offline --test proptests -- fact_driven_shrinking_preserves_behavior_under_every_engine
+cargo test -q --offline --test cohort -- fact_shrunk_circuits_match_unshrunk_outputs_under_both_widths
 
 # Widened chaos differential sweep: each seeded fault schedule runs a
 # chaotic machine against a fault-free shadow under every engine;

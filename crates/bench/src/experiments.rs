@@ -335,11 +335,11 @@ impl AblationRow {
 pub fn optimizer_ablation() -> Vec<AblationRow> {
     let mut rows = Vec::new();
     let mut push = |name: &str, module: &Module, reg: &ModuleRegistry| {
-        let raw = compile_module_with(module, reg, CompileOptions { optimize: false })
+        let raw = compile_module_with(module, reg, CompileOptions { optimize: false, ..CompileOptions::default() })
             .expect("compiles")
             .circuit
             .stats();
-        let opt = compile_module_with(module, reg, CompileOptions { optimize: true })
+        let opt = compile_module_with(module, reg, CompileOptions { optimize: true, ..CompileOptions::default() })
             .expect("compiles")
             .circuit
             .stats();
@@ -761,6 +761,148 @@ pub fn durability_cost(
             }
         })
         .collect()
+}
+
+/// One row of the E14 schedule-shrinking table: one workload compiled
+/// with the fact-driven shrink off and on (both with the syntactic
+/// optimizer enabled, so the delta is what the dataflow facts buy).
+#[derive(Debug, Clone)]
+pub struct ShrinkRow {
+    /// Workload label.
+    pub workload: String,
+    /// Nets without / with the fact-driven shrink.
+    pub nets_off: usize,
+    /// Nets with the shrink.
+    pub nets_on: usize,
+    /// Registers without / with the shrink.
+    pub registers_off: usize,
+    /// Registers with the shrink.
+    pub registers_on: usize,
+    /// Topological levels without the shrink (`None` = cyclic).
+    pub levels_off: Option<usize>,
+    /// Topological levels with the shrink.
+    pub levels_on: Option<usize>,
+    /// Median sweep time without the shrink, microseconds.
+    pub p50_off_us: f64,
+    /// Median sweep time with the shrink, microseconds.
+    pub p50_on_us: f64,
+}
+
+impl ShrinkRow {
+    /// Fraction of nets the facts removed on top of the syntactic passes.
+    pub fn net_reduction(&self) -> f64 {
+        1.0 - self.nets_on as f64 / self.nets_off as f64
+    }
+}
+
+/// Median per-reaction latency over `reactions` random-input instants.
+fn median_reaction_us(machine: &mut Machine, reactions: usize) -> f64 {
+    machine.react().expect("boot");
+    let mut samples = Vec::with_capacity(reactions);
+    for i in 0..reactions {
+        let sig = format!("i{}", i % 8);
+        let t = Instant::now();
+        machine
+            .react_with(&[(&sig, Value::Bool(true))])
+            .expect("reaction");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// E14: fact-driven schedule shrinking — circuit size (nets, registers,
+/// topological levels) and median sweep latency with the inter-instant
+/// dataflow shrink off vs on, over three workloads:
+///
+/// 1. a dense acyclic 640-statement program (levelized schedule);
+/// 2. its cyclic variant (hybrid schedule; the SCC guard disables fact
+///    folding inside undecided cores, so the delta isolates what is
+///    still safe to remove);
+/// 3. a 1000-session bit-parallel cohort (u64 lanes) of a 64-statement
+///    program, where one shrunk schedule is swept once per lane word —
+///    shrinking multiplies across the whole pool.
+pub fn schedule_shrinking(seed: u64) -> Vec<ShrinkRow> {
+    use hiphop_runtime::{react_cohort, CohortWidth};
+    let compile = |module: &Module, dataflow: bool| {
+        compile_module_with(
+            module,
+            &ModuleRegistry::new(),
+            CompileOptions { optimize: true, dataflow },
+        )
+        .expect("compiles")
+    };
+    let mut rows = Vec::new();
+
+    let dense = synthetic_program(640, seed);
+    let cyclic = cyclic_program(640, seed);
+    for (name, module) in [
+        ("dense-640 (levelized)", &dense),
+        ("cyclic-640 (hybrid)", &cyclic),
+    ] {
+        let mut stats = Vec::new();
+        for dataflow in [false, true] {
+            let c = compile(module, dataflow);
+            let s = c.circuit.stats();
+            let levels = c.levels;
+            let mut m = Machine::new(c.circuit).expect("finalized circuit");
+            let p50 = median_reaction_us(&mut m, 200);
+            stats.push((s.nets, s.registers, levels, p50));
+        }
+        rows.push(ShrinkRow {
+            workload: name.to_owned(),
+            nets_off: stats[0].0,
+            nets_on: stats[1].0,
+            registers_off: stats[0].1,
+            registers_on: stats[1].1,
+            levels_off: stats[0].2,
+            levels_on: stats[1].2,
+            p50_off_us: stats[0].3,
+            p50_on_us: stats[1].3,
+        });
+    }
+
+    // 1000-session cohort: the whole pool sweeps one circuit in lockstep,
+    // so the p50 is per-tick (all 1000 sessions), not per-reaction.
+    let small = synthetic_program(64, seed ^ 1);
+    const SESSIONS: usize = 1000;
+    const TICKS: usize = 24;
+    let mut stats = Vec::new();
+    for dataflow in [false, true] {
+        let c = compile(&small, dataflow);
+        let s = c.circuit.stats();
+        let levels = c.levels;
+        let mut machines: Vec<Machine> = (0..SESSIONS)
+            .map(|_| Machine::new(c.circuit.clone()).expect("finalized circuit"))
+            .collect();
+        let mut samples = Vec::with_capacity(TICKS);
+        for t in 0..TICKS {
+            let sig = format!("i{}", t % 8);
+            for m in machines.iter_mut() {
+                m.set_input(&sig, Some(Value::Bool(true))).expect("input");
+            }
+            let start = Instant::now();
+            let mut lanes: Vec<&mut Machine> = machines.iter_mut().collect();
+            for r in react_cohort(&mut lanes, CohortWidth::U64) {
+                r.expect("reaction");
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        samples.sort_by(f64::total_cmp);
+        stats.push((s.nets, s.registers, levels, samples[samples.len() / 2]));
+    }
+    rows.push(ShrinkRow {
+        workload: "cohort-1000×64 (u64 lanes, per-tick)".to_owned(),
+        nets_off: stats[0].0,
+        nets_on: stats[1].0,
+        registers_off: stats[0].1,
+        registers_on: stats[1].1,
+        levels_off: stats[0].2,
+        levels_on: stats[1].2,
+        p50_off_us: stats[0].3,
+        p50_on_us: stats[1].3,
+    });
+    rows
 }
 
 #[cfg(test)]

@@ -627,6 +627,18 @@ impl Circuit {
     /// in a static cycle are filled with a per-SCC color so the cycles
     /// stand out.
     pub fn to_dot(&self) -> String {
+        self.render_dot(None)
+    }
+
+    /// Like [`Circuit::to_dot`], but additionally colors nets by their
+    /// inter-instant dataflow facts: provably-0 nets fill gray, provably-1
+    /// nets fill gold, and unobservable nets get a dashed gray outline.
+    /// SCC cycle fills take precedence (a cyclic net keeps its SCC color).
+    pub fn to_dot_with_facts(&self, facts: &crate::dataflow::CircuitFacts) -> String {
+        self.render_dot(Some(facts))
+    }
+
+    fn render_dot(&self, facts: Option<&crate::dataflow::CircuitFacts>) -> String {
         use std::fmt::Write as _;
         const SCC_PALETTE: [&str; 6] = [
             "lightsalmon",
@@ -665,6 +677,17 @@ impl Circuit {
                     ", style=filled, fillcolor={}",
                     SCC_PALETTE[scc % SCC_PALETTE.len()]
                 )
+            } else if let Some(facts) = facts {
+                let mut attrs = String::new();
+                match facts.values[i].singleton() {
+                    Some(false) => attrs.push_str(", style=filled, fillcolor=gray85"),
+                    Some(true) => attrs.push_str(", style=filled, fillcolor=gold"),
+                    None => {}
+                }
+                if !facts.observable[i] {
+                    attrs.push_str(", color=gray50");
+                }
+                attrs
             } else {
                 String::new()
             };
@@ -882,6 +905,22 @@ mod tests {
         let a = ac.input("a");
         let _ = ac.or(vec![Fanin::pos(a)], "gate");
         assert!(!ac.to_dot().contains("style=filled"));
+    }
+
+    #[test]
+    fn dot_with_facts_colors_constants_and_unobservable_nets() {
+        let mut c = Circuit::new("facts");
+        let c0 = c.constant(false, "c0");
+        let i = c.input("i");
+        // dead = i & 0 is provably 0; nothing here is observable (no
+        // signals, actions or boot/terminated wiring).
+        let _dead = c.and(vec![Fanin::pos(i), Fanin::pos(c0)], "dead");
+        let facts = crate::dataflow::analyze(&c);
+        let dot = c.to_dot_with_facts(&facts);
+        assert!(dot.contains("fillcolor=gray85"), "{dot}");
+        assert!(dot.contains("color=gray50"), "{dot}");
+        // The plain rendering is unchanged by the facts feature.
+        assert!(!c.to_dot().contains("gray85"));
     }
 
     #[test]

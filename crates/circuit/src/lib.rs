@@ -24,9 +24,11 @@
 
 pub mod analysis;
 pub mod circuit;
+pub mod dataflow;
 pub mod net;
 
 pub use analysis::{Condensation, ConstructivenessAnalysis, SccVerdict, Verdict};
+pub use dataflow::{CircuitFacts, ConstFacts, EmitCapability, Transfer, ValueSet};
 pub use circuit::{Circuit, CircuitStats, Levelization};
 pub use net::{
     Action, ActionId, AsyncId, AsyncInfo, CounterId, CounterInfo, Fanin, Net, NetId, NetKind,

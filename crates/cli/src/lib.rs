@@ -63,6 +63,12 @@ pub struct Options {
     pub format: String,
     /// Lints (by code or name) that make `analyze` exit non-zero.
     pub deny: Vec<String>,
+    /// `analyze`: append a one-line JSON dataflow-fact summary
+    /// (`--facts`).
+    pub facts: bool,
+    /// `analyze`: suppress lints recorded in this baseline file
+    /// (`--baseline FILE`; JSON lines as produced by `--format json`).
+    pub baseline: Option<String>,
     /// Session-pool knobs for `serve`.
     pub serve: ServeOptions,
     /// Window/verification knobs for `replay`.
@@ -239,6 +245,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut chaos = ChaosOptions::default();
     let mut format = "pretty".to_owned();
     let mut deny = Vec::new();
+    let mut facts = false;
+    let mut baseline = None;
     let mut serve = ServeOptions::default();
     let mut replay = ReplayFlags::default();
     let uint = |flag: &str, v: Option<&String>| -> Result<u64, CliError> {
@@ -289,6 +297,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                         .ok_or_else(|| fail("--deny needs a lint code or name"))?
                         .clone(),
                 );
+            }
+            "--facts" => facts = true,
+            "--baseline" => {
+                baseline = Some(
+                    it.next()
+                        .ok_or_else(|| fail("--baseline needs a file path"))?
+                        .clone(),
+                )
             }
             "--metrics" => telemetry.metrics = true,
             "--jsonl" => {
@@ -419,6 +435,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         chaos,
         format,
         deny,
+        facts,
+        baseline,
         serve,
         replay,
     })
@@ -612,7 +630,8 @@ pub const USAGE: &str = "usage: hiphopc <check|analyze|stats|pretty|dot|run|trac
           cyclic SCC, emission hygiene, dead nets
   stats   print circuit statistics after compilation
   pretty  pretty-print the linked program
-  dot     print a Graphviz rendering of the circuit
+  dot     print a Graphviz rendering of the circuit, colored by the
+          dataflow facts (constant nets filled, unobservable outlined)
   run     interactive: one line per instant, `sig` or `sig=value` tokens;
           a lone `?` prints the control state without reacting
   trace   render the output waveform for --stimulus \"A;B;;A B\"
@@ -661,6 +680,12 @@ analyze flags:
                          object per lint
   --deny LINT            exit non-zero if LINT fires (by code `HH001`
                          or name `non-constructive`; repeatable)
+  --facts                append a one-line JSON summary of the
+                         inter-instant dataflow facts (constant nets,
+                         observability, per-signal emit capability)
+  --baseline FILE        suppress lints recorded in FILE (JSON lines
+                         from a previous `--format json` run); new
+                         findings still report and still --deny
 engine selection (run, trace and oracle):
   --engine auto          levelized when the circuit is acyclic, else
                          hybrid (the default)
@@ -734,6 +759,8 @@ pub struct AnalyzeReport {
     pub stdout: String,
     /// True when a lint matching a `--deny` filter fired.
     pub denied: bool,
+    /// Lints dropped by the `--baseline` file.
+    pub suppressed: usize,
 }
 
 /// `analyze`: compile and run the circuit lint framework. Unlike
@@ -751,10 +778,64 @@ pub fn cmd_analyze(
     format: &str,
     deny: &[String],
 ) -> Result<AnalyzeReport, CliError> {
+    cmd_analyze_with(source, main, optimize, format, deny, false, None)
+}
+
+/// Reads one string-valued field out of a single-line JSON object,
+/// undoing the `\\` / `\"` escapes that [`hiphop_compiler::Lint::to_json`]
+/// applies. Good enough for baseline files we wrote ourselves; not a
+/// general JSON parser.
+fn json_string_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// [`cmd_analyze`] with the dataflow extras: `--facts` appends a
+/// one-line JSON summary of the inter-instant facts (constants,
+/// observability, per-interface-signal emit capability), and
+/// `--baseline FILE` suppresses lints already recorded in a previous
+/// `--format json` run — matched by `(code, message)` so known findings
+/// stay out of the report while anything new still fires `--deny`.
+///
+/// # Errors
+///
+/// Additionally fails on an unreadable baseline file.
+pub fn cmd_analyze_with(
+    source: &str,
+    main: Option<&str>,
+    optimize: bool,
+    format: &str,
+    deny: &[String],
+    facts: bool,
+    baseline: Option<&str>,
+) -> Result<AnalyzeReport, CliError> {
     let (module, registry) = load(source, main)?;
-    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
+    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize, ..CompileOptions::default() })
         .map_err(|e| fail(e.to_string()))?;
-    let lints = lint_compiled(&compiled);
+    let known: std::collections::HashSet<(String, String)> = match baseline {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| fail(format!("cannot read baseline {path}: {e}")))?
+            .lines()
+            .filter_map(|l| {
+                Some((json_string_field(l, "code")?, json_string_field(l, "message")?))
+            })
+            .collect(),
+        None => Default::default(),
+    };
+    let all = lint_compiled(&compiled);
+    let (suppressed, lints): (Vec<_>, Vec<_>) = all
+        .into_iter()
+        .partition(|l| known.contains(&(l.code.to_owned(), l.message.clone())));
     let denied: Vec<&hiphop_compiler::Lint> = lints
         .iter()
         .filter(|l| deny.iter().any(|d| l.matches(d)))
@@ -772,18 +853,56 @@ pub fn cmd_analyze(
             }
             let _ = writeln!(
                 out,
-                "{}: {} lint(s) ({} denied)",
+                "{}: {} lint(s) ({} denied, {} baseline-suppressed)",
                 module.name,
                 lints.len(),
-                denied.len()
+                denied.len(),
+                suppressed.len()
             );
         }
         other => return Err(fail(format!("unknown --format `{other}`"))),
     }
+    if facts {
+        let _ = writeln!(out, "{}", facts_json(&compiled.circuit));
+    }
     Ok(AnalyzeReport {
         stdout: out,
         denied: !denied.is_empty(),
+        suppressed: suppressed.len(),
     })
+}
+
+/// One-line JSON summary of the inter-instant dataflow facts.
+fn facts_json(circuit: &hiphop_circuit::Circuit) -> String {
+    let facts = hiphop_circuit::dataflow::analyze(circuit);
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let signals: Vec<String> = circuit
+        .signals()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.direction != hiphop_core::signal::Direction::Local)
+        .map(|(i, s)| {
+            let cap = facts.emit_capability(circuit, hiphop_circuit::SignalId(i as u32));
+            format!(
+                "{{\"name\":\"{}\",\"direction\":\"{}\",\"may_emit\":{},\"must_emit\":{}}}",
+                esc(&s.name),
+                s.direction,
+                cap.may,
+                cap.must
+            )
+        })
+        .collect();
+    format!(
+        "{{\"facts\":{{\"nets\":{},\"constant_nets\":{},\"unobservable_nets\":{},\"pinned_registers\":{},\"dep_only_sccs\":{},\"schizophrenic_locals\":{},\"widened\":{},\"signals\":[{}]}}}}",
+        circuit.nets().len(),
+        facts.constant_nets(circuit),
+        facts.unobservable_nets(),
+        facts.pinned_registers(),
+        facts.dep_only_sccs.len(),
+        facts.schizophrenic.len(),
+        facts.widened,
+        signals.join(",")
+    )
 }
 
 /// `stats`: compile and report circuit statistics.
@@ -793,7 +912,7 @@ pub fn cmd_analyze(
 /// Fails on any front-end or compilation error.
 pub fn cmd_stats(source: &str, main: Option<&str>, optimize: bool) -> Result<String, CliError> {
     let (module, registry) = load(source, main)?;
-    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
+    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize, ..CompileOptions::default() })
         .map_err(|e| fail(e.to_string()))?;
     let stats = compiled.circuit.stats();
     let mut out = String::new();
@@ -804,6 +923,29 @@ pub fn cmd_stats(source: &str, main: Option<&str>, optimize: bool) -> Result<Str
     let _ = writeln!(out, "signals  : {}", stats.signals);
     let _ = writeln!(out, "edges    : {} (+{} data deps)", stats.fanin_edges, stats.dep_edges);
     let _ = writeln!(out, "memory   : {} bytes ({:.1} B/net)", stats.bytes, stats.bytes_per_net());
+    if let Some(rep) = &compiled.optimizer {
+        let _ = writeln!(
+            out,
+            "optimizer: {} -> {} nets, {} -> {} registers (fact-folded {}, pinned {}, pruned {} pre)",
+            rep.nets_before,
+            rep.nets_after,
+            rep.registers_before,
+            rep.registers_after,
+            rep.fact_constant_nets,
+            rep.pinned_registers,
+            rep.pruned_pre_registers
+        );
+    }
+    let facts = hiphop_circuit::dataflow::analyze(&compiled.circuit);
+    let _ = writeln!(
+        out,
+        "facts    : {} constant net(s), {} unobservable, {} dep-only scc(s), {} schizophrenic local(s){}",
+        facts.constant_nets(&compiled.circuit),
+        facts.unobservable_nets(),
+        facts.dep_only_sccs.len(),
+        facts.schizophrenic.len(),
+        if facts.widened { " [widened]" } else { "" }
+    );
     match compiled.levels {
         Some(levels) => {
             let _ = writeln!(out, "engine   : levelized ({levels} topological levels)");
@@ -862,16 +1004,19 @@ pub fn cmd_pretty(source: &str, main: Option<&str>) -> Result<String, CliError> 
     ))
 }
 
-/// `dot`: Graphviz rendering.
+/// `dot`: Graphviz rendering, colored by the dataflow facts —
+/// provably-constant nets are gold (true) or gray (false), nets that can
+/// never influence anything observable get a gray outline.
 ///
 /// # Errors
 ///
 /// Fails on front-end or compilation errors.
 pub fn cmd_dot(source: &str, main: Option<&str>, optimize: bool) -> Result<String, CliError> {
     let (module, registry) = load(source, main)?;
-    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
+    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize, ..CompileOptions::default() })
         .map_err(|e| fail(e.to_string()))?;
-    Ok(compiled.circuit.to_dot())
+    let facts = hiphop_circuit::dataflow::analyze(&compiled.circuit);
+    Ok(compiled.circuit.to_dot_with_facts(&facts))
 }
 
 /// `trace`: drives the machine with a stimulus (instants separated by
@@ -1004,7 +1149,7 @@ pub fn cmd_oracle_with(
     telemetry: &TelemetryOptions,
 ) -> Result<TraceReport, CliError> {
     let (module, registry) = load(source, main)?;
-    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
+    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize, ..CompileOptions::default() })
         .map_err(|e| fail(e.to_string()))?;
     let mut machine = Machine::new(compiled.circuit).map_err(|e| fail(e.to_string()))?;
     if let Some(mode) = engine {
@@ -1186,7 +1331,7 @@ pub fn build_machine_with(
     engine: Option<EngineMode>,
 ) -> Result<Machine, CliError> {
     let (module, registry) = load(source, main)?;
-    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize })
+    let compiled = compile_module_with(&module, &registry, CompileOptions { optimize, ..CompileOptions::default() })
         .map_err(|e| fail(e.to_string()))?;
     let mut machine = Machine::new(compiled.circuit).map_err(|e| fail(e.to_string()))?;
     if let Some(mode) = engine {
@@ -1427,7 +1572,7 @@ mod tests {
             let report =
                 cmd_analyze(cyclic, None, true, "pretty", &[filter.to_owned()]).unwrap();
             assert!(report.denied, "--deny {filter} must fire");
-            assert!(report.stdout.contains("(1 denied)"), "{}", report.stdout);
+            assert!(report.stdout.contains("(1 denied"), "{}", report.stdout);
         }
         // A clean program denies nothing.
         let clean = cmd_analyze(ABRO, None, true, "pretty", &["HH001".to_owned()]).unwrap();
@@ -1479,6 +1624,75 @@ mod tests {
         let o = parse_args(&["analyze".into(), "x.hh".into()]).unwrap();
         assert_eq!(o.format, "pretty");
         assert!(o.deny.is_empty());
+        assert!(!o.facts);
+        assert_eq!(o.baseline, None);
+        // Dataflow flags.
+        let o = parse_args(&[
+            "analyze".into(),
+            "x.hh".into(),
+            "--facts".into(),
+            "--baseline".into(),
+            "base.json".into(),
+        ])
+        .unwrap();
+        assert!(o.facts);
+        assert_eq!(o.baseline.as_deref(), Some("base.json"));
+        assert!(parse_args(&["analyze".into(), "x.hh".into(), "--baseline".into()]).is_err());
+    }
+
+    #[test]
+    fn analyze_facts_line_is_json() {
+        let report = cmd_analyze_with(ABRO, None, true, "json", &[], true, None).unwrap();
+        let last = report.stdout.lines().last().expect("facts line");
+        assert!(last.starts_with("{\"facts\":{\"nets\":"), "{last}");
+        // Interface signals carry emit-capability verdicts; O may be
+        // emitted but is not emitted in every instant.
+        assert!(
+            last.contains("{\"name\":\"O\",\"direction\":\"out\",\"may_emit\":true,\"must_emit\":false}"),
+            "{last}"
+        );
+        assert!(!last.contains("\"direction\":\"local\""), "{last}");
+    }
+
+    #[test]
+    fn analyze_baseline_suppresses_known_lints() {
+        let cyclic = r#"
+            module Cyc(out X) {
+               if (!X.now) { emit X(); }
+            }
+        "#;
+        // First run records the findings; the rerun with that baseline
+        // reports nothing and no longer trips --deny.
+        let first = cmd_analyze(cyclic, None, true, "json", &[]).unwrap();
+        assert!(!first.denied && !first.stdout.is_empty());
+        let path = std::env::temp_dir().join("hiphopc_test_baseline.json");
+        std::fs::write(&path, &first.stdout).unwrap();
+        let deny = vec!["HH001".to_owned()];
+        let base = path.to_string_lossy().into_owned();
+        let rerun =
+            cmd_analyze_with(cyclic, None, true, "json", &deny, false, Some(&base)).unwrap();
+        assert!(!rerun.denied, "baselined HH001 must not deny");
+        assert_eq!(rerun.stdout, "", "all findings baselined: {}", rerun.stdout);
+        assert!(rerun.suppressed >= 1);
+        // A different program is not masked by the foreign baseline.
+        let other = cmd_analyze_with(ABRO, None, true, "pretty", &[], false, Some(&base)).unwrap();
+        assert!(other.stdout.contains("0 baseline-suppressed"), "{}", other.stdout);
+        let _ = std::fs::remove_file(path);
+        // A missing baseline file is an error, not silence.
+        assert!(cmd_analyze_with(ABRO, None, true, "pretty", &[], false, Some("/nonexistent/b.json")).is_err());
+    }
+
+    #[test]
+    fn stats_reports_optimizer_and_facts() {
+        let stats = cmd_stats(ABRO, Some("ABRO"), true).unwrap();
+        assert!(stats.contains("optimizer: "), "{stats}");
+        assert!(stats.contains(" -> "), "{stats}");
+        assert!(stats.contains("facts    : "), "{stats}");
+        // The optimizer line is absent when the optimizer is off, the
+        // facts line is not (facts are computed either way).
+        let raw = cmd_stats(ABRO, Some("ABRO"), false).unwrap();
+        assert!(!raw.contains("optimizer: "), "{raw}");
+        assert!(raw.contains("facts    : "), "{raw}");
     }
 
     #[test]

@@ -58,7 +58,16 @@ fn main() {
     let result = match opts.command.as_str() {
         "check" => cmd_check(&source, main).map(Some),
         "analyze" => {
-            hiphop_cli::cmd_analyze(&source, main, optimize, &opts.format, &opts.deny).map(|r| {
+            hiphop_cli::cmd_analyze_with(
+                &source,
+                main,
+                optimize,
+                &opts.format,
+                &opts.deny,
+                opts.facts,
+                opts.baseline.as_deref(),
+            )
+            .map(|r| {
                 print!("{}", r.stdout);
                 if r.denied {
                     std::process::exit(1);

@@ -149,11 +149,19 @@ pub struct CompileOptions {
     /// dead-net sweep). On by default; turn off to observe raw
     /// translation sizes.
     pub optimize: bool,
+    /// Run the fact-driven shrink inside the optimizer (inter-instant
+    /// constant pinning, unread-`pre` register pruning). On by default;
+    /// only meaningful when `optimize` is also set. Turn off to measure
+    /// what the dataflow facts buy over the syntactic passes.
+    pub dataflow: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { optimize: true }
+        CompileOptions {
+            optimize: true,
+            dataflow: true,
+        }
     }
 }
 
@@ -177,6 +185,8 @@ pub struct CompiledProgram {
     /// verdict per nontrivial component. `Machine::new` rejects the
     /// program if any verdict is provably non-constructive.
     pub analysis: ConstructivenessAnalysis,
+    /// What the optimizer did (`None` when `optimize` was off).
+    pub optimizer: Option<optimize::OptimizeReport>,
 }
 
 /// Compiles an already-linked program with the given options.
@@ -190,6 +200,19 @@ pub fn compile_linked(
     program: &LinkedProgram,
     options: CompileOptions,
 ) -> Result<Circuit, CompileError> {
+    compile_linked_full(program, options).map(|(c, _)| c)
+}
+
+/// [`compile_linked`] additionally returning the optimizer's report
+/// (`None` when `options.optimize` is off).
+///
+/// # Errors
+///
+/// Same as [`compile_linked`].
+pub fn compile_linked_full(
+    program: &LinkedProgram,
+    options: CompileOptions,
+) -> Result<(Circuit, Option<optimize::OptimizeReport>), CompileError> {
     let body = hiphop_core::desugar::desugar(&program.body);
     let mut tr = Translator::new(&program.name);
 
@@ -216,12 +239,14 @@ pub fn compile_linked(
     let mut circuit = tr.c;
     circuit.boot_net = Some(boot);
     circuit.terminated_net = compiled.k.first().copied();
-    if options.optimize {
-        optimize::optimize(&mut circuit);
-    }
+    let report = if options.optimize {
+        Some(optimize::optimize_with(&mut circuit, options.dataflow))
+    } else {
+        None
+    };
     circuit.finalize();
     circuit.validate();
-    Ok(circuit)
+    Ok((circuit, report))
 }
 
 /// The full pipeline: link → check → desugar → translate → optimize.
@@ -248,7 +273,7 @@ pub fn compile_module_with(
 ) -> Result<CompiledProgram, CompileError> {
     let linked = link(main, registry)?;
     let warnings = hiphop_core::check::check(&linked)?;
-    let circuit = compile_linked(&linked, options)?;
+    let (circuit, optimizer) = compile_linked_full(&linked, options)?;
     let analysis = circuit.constructiveness();
     let cycle_warnings = analysis.condensation.nontrivial().len();
     let levels = circuit.levelize().map(|lv| lv.levels());
@@ -263,5 +288,6 @@ pub fn compile_module_with(
         cycle_warnings,
         levels,
         analysis,
+        optimizer,
     })
 }

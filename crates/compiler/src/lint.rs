@@ -260,7 +260,8 @@ pub fn lint_compiled(compiled: &CompiledProgram) -> Vec<Lint> {
                     "local signal `{}` is emitted but its presence is never tested",
                     info.name
                 ),
-                loc: first_loc(circuit, &info.emitters),
+                loc: first_loc(circuit, &info.emitters)
+                    .or_else(|| first_loc(circuit, &[info.status_net])),
             });
         }
     }
@@ -288,7 +289,9 @@ pub fn lint_compiled(compiled: &CompiledProgram) -> Vec<Lint> {
         });
     }
 
-    // HH006 / HH007: checker warnings promoted into the framework.
+    // HH006 / HH007: checker warnings promoted into the framework, with
+    // source locations recovered from the circuit (the checker itself
+    // reports name-only).
     for w in &compiled.warnings {
         match w {
             Warning::SharedVariable { var } => lints.push(Lint {
@@ -299,20 +302,168 @@ pub fn lint_compiled(compiled: &CompiledProgram) -> Vec<Lint> {
                     "variable `{var}` is written in one parallel branch and \
                      accessed in a sibling; scheduling order is not part of the semantics"
                 ),
-                loc: None,
+                loc: variable_loc(circuit, var),
             }),
             Warning::NeverEmitted { signal } => lints.push(Lint {
                 code: "HH007",
                 name: "never-emitted",
                 severity: Severity::Warn,
                 message: format!("output signal `{signal}` is never emitted"),
-                loc: None,
+                loc: signal_loc(circuit, signal),
             }),
         }
     }
 
+    // HH008–HH013: inter-instant dataflow facts (abstract interpretation
+    // over all reachable instants; see `hiphop_circuit::dataflow`).
+    let facts = hiphop_circuit::dataflow::analyze(circuit);
+    for info in circuit.signals() {
+        let status = facts.values[info.status_net.index()];
+        match info.direction {
+            hiphop_core::signal::Direction::Local => {
+                if info.emitters.is_empty() {
+                    continue;
+                }
+                // HH008: the local's presence never varies — every await
+                // or test of it is decided at compile time.
+                if let Some(present) = status.singleton() {
+                    lints.push(Lint {
+                        code: "HH008",
+                        name: "constant-signal",
+                        severity: Severity::Info,
+                        message: format!(
+                            "local signal `{}` is provably {} in every reachable instant",
+                            info.name,
+                            if present { "present" } else { "absent" }
+                        ),
+                        loc: first_loc(circuit, &info.emitters)
+                            .or_else(|| first_loc(circuit, &[info.status_net])),
+                    });
+                }
+                // HH009: the local IS read somewhere (so HH004 stays
+                // silent) but nothing downstream can ever reach an
+                // externally observable effect.
+                let read = !circuit.fanouts(info.status_net).is_empty()
+                    || !circuit.dep_fanouts(info.status_net).is_empty()
+                    || !circuit.fanouts(info.pre_net).is_empty()
+                    || !circuit.dep_fanouts(info.pre_net).is_empty();
+                if read
+                    && !facts.observable[info.status_net.index()]
+                    && !facts.observable[info.pre_net.index()]
+                {
+                    lints.push(Lint {
+                        code: "HH009",
+                        name: "unobservable-signal",
+                        severity: Severity::Warn,
+                        message: format!(
+                            "local signal `{}` is emitted and read, but nothing it \
+                             influences is observable in any instant",
+                            info.name
+                        ),
+                        loc: first_loc(circuit, &info.emitters)
+                            .or_else(|| first_loc(circuit, &[info.status_net])),
+                    });
+                }
+            }
+            hiphop_core::signal::Direction::Out => {
+                // HH010: emitted, yet no reachable instant can make it
+                // present — every emit is provably dead control flow.
+                if !info.emitters.is_empty() && !status.can(true) {
+                    lints.push(Lint {
+                        code: "HH010",
+                        name: "never-emittable",
+                        severity: Severity::Warn,
+                        message: format!(
+                            "output signal `{}` has {} emitter(s) but can never be \
+                             present; every emit is provably unreachable",
+                            info.name,
+                            info.emitters.len()
+                        ),
+                        loc: first_loc(circuit, &info.emitters),
+                    });
+                } else if status == hiphop_circuit::ValueSet::ONE {
+                    // HH011: must-emit — present in every instant.
+                    lints.push(Lint {
+                        code: "HH011",
+                        name: "always-emitted",
+                        severity: Severity::Info,
+                        message: format!(
+                            "output signal `{}` is present in every reachable instant",
+                            info.name
+                        ),
+                        loc: first_loc(circuit, &info.emitters),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    for members in &facts.dep_only_sccs {
+        let signals = involved_signals(circuit, members);
+        let siglist = if signals.is_empty() {
+            String::from("no named signals")
+        } else {
+            format!("signals {}", signals.join(", "))
+        };
+        lints.push(Lint {
+            code: "HH012",
+            name: "dependency-cycle",
+            severity: Severity::Warn,
+            message: format!(
+                "cycle of {} net(s) held together by data dependencies alone \
+                 ({siglist}); value resolution deadlocks if all activate in one instant",
+                members.len()
+            ),
+            loc: first_loc(circuit, members),
+        });
+    }
+    for (base, instances) in &facts.schizophrenic {
+        let status_nets: Vec<NetId> = circuit
+            .signals()
+            .iter()
+            .filter(|s| s.name.split('@').next().unwrap_or(&s.name) == base)
+            .map(|s| s.status_net)
+            .collect();
+        lints.push(Lint {
+            code: "HH013",
+            name: "schizophrenic-local",
+            severity: Severity::Info,
+            message: format!(
+                "local signal `{base}` is instantiated {instances} times by loop \
+                 reincarnation; each iteration sees a fresh copy"
+            ),
+            loc: first_loc(circuit, &status_nets),
+        });
+    }
+
     lints.sort_by_key(|l| l.severity);
     lints
+}
+
+/// The source location of the first atom assigning `var`, for HH006.
+fn variable_loc(circuit: &Circuit, var: &str) -> Option<Loc> {
+    for net in circuit.nets() {
+        if let Some(a) = net.action {
+            if let hiphop_circuit::Action::Atom(hiphop_core::ast::AtomBody::Assign(v, _)) =
+                &circuit.actions()[a.index()]
+            {
+                if v == var && net.loc != Loc::default() {
+                    return Some(net.loc.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The source location of a signal's declaration wiring, for HH007: the
+/// first concrete loc among its status/pre/input nets.
+fn signal_loc(circuit: &Circuit, name: &str) -> Option<Loc> {
+    let id = circuit.signal_by_name(name)?;
+    let info = circuit.signal(id);
+    let mut nets = vec![info.status_net, info.pre_net];
+    nets.extend(info.input_net);
+    first_loc(circuit, &nets)
 }
 
 #[cfg(test)]
@@ -413,7 +564,7 @@ mod tests {
             .output(SignalDecl::new("O", Direction::Out))
             .body(Stmt::seq([Stmt::emit("O"), Stmt::Pause, Stmt::emit("O")]));
         let compiled =
-            compile_module_with(&m, &ModuleRegistry::new(), CompileOptions { optimize: false })
+            compile_module_with(&m, &ModuleRegistry::new(), CompileOptions { optimize: false, ..CompileOptions::default() })
                 .expect("compiles");
         let lints = lint_compiled(&compiled);
         // The lint only fires if the raw translation actually leaves
@@ -432,6 +583,250 @@ mod tests {
         let hh007 = lints.iter().find(|l| l.code == "HH007").expect("HH007");
         assert_eq!(hh007.severity, Severity::Warn);
         assert!(hh007.message.contains("`O`"));
+    }
+
+    /// Wraps a hand-built circuit in a [`CompiledProgram`] so circuits
+    /// that no statement surface produces (dep-only cycles, pinned
+    /// self-registers) can still be linted.
+    fn hand_compiled(mut circuit: hiphop_circuit::Circuit) -> crate::CompiledProgram {
+        circuit.finalize();
+        let analysis = circuit.constructiveness();
+        let cycle_warnings = analysis.condensation.nontrivial().len();
+        let levels = circuit.levelize().map(|lv| lv.levels());
+        crate::CompiledProgram {
+            circuit,
+            warnings: vec![],
+            cycle_warnings,
+            levels,
+            analysis,
+            optimizer: None,
+        }
+    }
+
+    fn local_signal(
+        c: &mut hiphop_circuit::Circuit,
+        name: &str,
+        dir: Direction,
+        status: hiphop_circuit::NetId,
+        emitters: Vec<hiphop_circuit::NetId>,
+    ) {
+        let (pre_reg, pre) = c.register(false, "sig.pre");
+        c.set_register_input(pre_reg, status);
+        c.add_signal(hiphop_circuit::SignalInfo {
+            name: name.into(),
+            direction: dir,
+            init: None,
+            combine: None,
+            status_net: status,
+            pre_net: pre,
+            input_net: None,
+            emitters,
+        });
+    }
+
+    #[test]
+    fn hh008_constant_local_signal() {
+        // The only emit of S sits behind a halt: S is provably absent in
+        // every instant, yet it IS read (so HH004 stays silent).
+        let m = Module::new("dead_emit")
+            .output(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::local(
+                vec![SignalDecl::new("S", Direction::Local)],
+                Stmt::seq([
+                    Stmt::if_(Expr::now("S"), Stmt::emit("O")),
+                    Stmt::Halt,
+                    Stmt::emit("S"),
+                ]),
+            ));
+        let lints = lint_of(&m);
+        let hh008 = lints.iter().find(|l| l.code == "HH008").expect("HH008");
+        assert_eq!(hh008.severity, Severity::Info);
+        assert!(hh008.message.contains("absent"), "{}", hh008.message);
+        // Known-clean twin: the emit is reachable.
+        let clean = Module::new("live_emit")
+            .output(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::local(
+                vec![SignalDecl::new("S", Direction::Local)],
+                Stmt::seq([
+                    Stmt::emit("S"),
+                    Stmt::if_(Expr::now("S"), Stmt::emit("O")),
+                    Stmt::Halt,
+                ]),
+            ));
+        assert!(!lint_of(&clean).iter().any(|l| l.code == "HH008"));
+    }
+
+    #[test]
+    fn hh009_unobservable_local_signal() {
+        use hiphop_circuit::{Action, Circuit, Fanin};
+        // S is emitted (input-driven) and read — but its only reader
+        // feeds another local nobody observes.
+        let mut c = Circuit::new("dark");
+        let i = c.input("i");
+        let emit_s = c.or(vec![Fanin::pos(i)], "emit_s");
+        let s_status = c.or(vec![Fanin::pos(emit_s)], "s.status");
+        local_signal(&mut c, "S@1", Direction::Local, s_status, vec![emit_s]);
+        c.attach_action(emit_s, Action::Emit { signal: hiphop_circuit::SignalId(0), value: None });
+        let reader = c.and(vec![Fanin::pos(s_status)], "reader");
+        let t_status = c.or(vec![Fanin::pos(reader)], "t.status");
+        local_signal(&mut c, "T@2", Direction::Local, t_status, vec![reader]);
+        c.attach_action(reader, Action::Emit { signal: hiphop_circuit::SignalId(1), value: None });
+        let lints = lint_compiled(&hand_compiled(c));
+        let hh009 = lints.iter().find(|l| l.code == "HH009").expect("HH009");
+        assert!(hh009.message.contains("`S@1`"), "{}", hh009.message);
+
+        // Clean twin: the second signal is an output, so the whole chain
+        // becomes observable.
+        let mut c = Circuit::new("lit");
+        let i = c.input("i");
+        let emit_s = c.or(vec![Fanin::pos(i)], "emit_s");
+        let s_status = c.or(vec![Fanin::pos(emit_s)], "s.status");
+        local_signal(&mut c, "S@1", Direction::Local, s_status, vec![emit_s]);
+        c.attach_action(emit_s, Action::Emit { signal: hiphop_circuit::SignalId(0), value: None });
+        let reader = c.and(vec![Fanin::pos(s_status)], "reader");
+        let t_status = c.or(vec![Fanin::pos(reader)], "t.status");
+        local_signal(&mut c, "T", Direction::Out, t_status, vec![reader]);
+        c.attach_action(reader, Action::Emit { signal: hiphop_circuit::SignalId(1), value: None });
+        assert!(!lint_compiled(&hand_compiled(c)).iter().any(|l| l.code == "HH009"));
+    }
+
+    #[test]
+    fn hh010_never_emittable_output() {
+        let m = Module::new("never")
+            .output(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::seq([Stmt::Halt, Stmt::emit("O")]));
+        let lints = lint_of(&m);
+        let hh010 = lints.iter().find(|l| l.code == "HH010").expect("HH010");
+        assert_eq!(hh010.severity, Severity::Warn);
+        assert!(hh010.message.contains("`O`"), "{}", hh010.message);
+        // HH007 must NOT fire: the emit exists syntactically.
+        assert!(!lints.iter().any(|l| l.code == "HH007"), "{lints:?}");
+        // Clean twin: the emit runs before the halt.
+        let clean = Module::new("once")
+            .output(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::seq([Stmt::emit("O"), Stmt::Halt]));
+        assert!(!lint_of(&clean).iter().any(|l| l.code == "HH010"));
+    }
+
+    #[test]
+    fn hh011_always_emitted_output() {
+        use hiphop_circuit::{Action, Circuit, Fanin};
+        // A self-latched register stuck at 1 drives the emitter: the
+        // output is present in every instant.
+        let mut c = Circuit::new("sustained");
+        let (r, out) = c.register(true, "latch");
+        c.set_register_input(r, out);
+        let emit_o = c.or(vec![Fanin::pos(out)], "emit_o");
+        let status = c.or(vec![Fanin::pos(emit_o)], "o.status");
+        local_signal(&mut c, "O", Direction::Out, status, vec![emit_o]);
+        c.attach_action(emit_o, Action::Emit { signal: hiphop_circuit::SignalId(0), value: None });
+        let lints = lint_compiled(&hand_compiled(c));
+        let hh011 = lints.iter().find(|l| l.code == "HH011").expect("HH011");
+        assert!(hh011.message.contains("every reachable instant"), "{}", hh011.message);
+
+        // Clean twin: input-driven emission is neither must nor never.
+        let mut c = Circuit::new("sometimes");
+        let i = c.input("i");
+        let emit_o = c.or(vec![Fanin::pos(i)], "emit_o");
+        let status = c.or(vec![Fanin::pos(emit_o)], "o.status");
+        local_signal(&mut c, "O", Direction::Out, status, vec![emit_o]);
+        c.attach_action(emit_o, Action::Emit { signal: hiphop_circuit::SignalId(0), value: None });
+        let lints = lint_compiled(&hand_compiled(c));
+        assert!(!lints.iter().any(|l| l.code == "HH011" || l.code == "HH010"));
+    }
+
+    #[test]
+    fn hh012_dependency_only_cycle() {
+        use hiphop_circuit::{Circuit, Fanin};
+        let mut c = Circuit::new("depcycle");
+        let i = c.input("i");
+        let a = c.or(vec![Fanin::pos(i)], "a");
+        let b = c.or(vec![Fanin::pos(i)], "b");
+        c.add_dep(a, b);
+        c.add_dep(b, a);
+        let lints = lint_compiled(&hand_compiled(c));
+        let hh012 = lints.iter().find(|l| l.code == "HH012").expect("HH012");
+        assert!(hh012.message.contains("data dependencies alone"), "{}", hh012.message);
+
+        // Clean twin: an acyclic dependency chain.
+        let mut c = Circuit::new("depchain");
+        let i = c.input("i");
+        let a = c.or(vec![Fanin::pos(i)], "a");
+        let b = c.or(vec![Fanin::pos(i)], "b");
+        c.add_dep(b, a);
+        assert!(!lint_compiled(&hand_compiled(c)).iter().any(|l| l.code == "HH012"));
+    }
+
+    #[test]
+    fn hh013_schizophrenic_local() {
+        // A loop whose parallel body forces reincarnation duplication:
+        // the local is instantiated once per copy.
+        let m = Module::new("reinc")
+            .output(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::loop_(Stmt::par([
+                Stmt::local(
+                    vec![SignalDecl::new("s", Direction::Local)],
+                    Stmt::seq([
+                        Stmt::emit("s"),
+                        Stmt::if_(Expr::now("s"), Stmt::emit("O")),
+                        Stmt::Pause,
+                    ]),
+                ),
+                Stmt::Pause,
+            ])));
+        let lints = lint_of(&m);
+        let hh013 = lints.iter().find(|l| l.code == "HH013").expect("HH013");
+        assert!(hh013.message.contains("`s%"), "{}", hh013.message);
+        assert!(hh013.message.contains("2 times"), "{}", hh013.message);
+
+        // Clean twin: the local lives outside the loop, so reincarnation
+        // never duplicates it.
+        let clean = Module::new("single")
+            .output(SignalDecl::new("O", Direction::Out))
+            .body(Stmt::local(
+                vec![SignalDecl::new("s", Direction::Local)],
+                Stmt::loop_(Stmt::seq([
+                    Stmt::emit("s"),
+                    Stmt::if_(Expr::now("s"), Stmt::emit("O")),
+                    Stmt::Pause,
+                ])),
+            ));
+        assert!(!lint_of(&clean).iter().any(|l| l.code == "HH013"));
+    }
+
+    #[test]
+    fn hh006_and_signal_lints_carry_locations() {
+        // An assignment with a concrete source location shared across
+        // parallel branches: HH006 must point at the atom's loc.
+        let mut assign = Stmt::assign("x", Expr::num(1.0));
+        if let Stmt::Atom { loc, .. } = &mut assign {
+            *loc = hiphop_core::ast::Loc::new(7, 3);
+        }
+        let m = Module::new("shared")
+            .output(SignalDecl::new("s", Direction::Out))
+            .body(Stmt::par([
+                assign,
+                Stmt::seq([
+                    Stmt::Pause,
+                    Stmt::if_(Expr::var("x").gt(Expr::num(0.0)), Stmt::emit("s")),
+                ]),
+            ]));
+        let lints = lint_of(&m);
+        let hh006 = lints.iter().find(|l| l.code == "HH006").expect("HH006");
+        assert_eq!(hh006.loc, Some(hiphop_core::ast::Loc::new(7, 3)), "{hh006:?}");
+
+        // Signal lints take their loc from the emit site (here HH004).
+        let mut emit = Stmt::emit("S");
+        if let Stmt::Emit { loc, .. } = &mut emit {
+            *loc = hiphop_core::ast::Loc::new(9, 5);
+        }
+        let m = Module::new("waste").body(Stmt::local(
+            vec![SignalDecl::new("S", Direction::Local)],
+            emit,
+        ));
+        let lints = lint_of(&m);
+        let hh004 = lints.iter().find(|l| l.code == "HH004").expect("HH004");
+        assert_eq!(hh004.loc, Some(hiphop_core::ast::Loc::new(9, 5)), "{hh004:?}");
     }
 
     #[test]

@@ -16,19 +16,81 @@
 //!   can be redirected without tracking polarity;
 //! - a net is dead only if no action, no signal, no register, no async
 //!   wire and no live net depends on it.
+//!
+//! On top of the syntactic passes, a *fact-driven* pass consumes the
+//! inter-instant abstract interpretation ([`hiphop_circuit::dataflow`])
+//! to pin nets that are provably constant in **every reachable instant**
+//! (not just the current one — e.g. a register cycle that can never
+//! leave its reset value) and to prune `pre` registers whose output no
+//! expression ever reads. Two extra guards keep it conservative:
+//!
+//! - fact folding is skipped entirely when the circuit has any
+//!   combinational SCC: folding a fact-constant *reader* of a cyclic
+//!   core could leave the core unreferenced, dissolve it, and turn a
+//!   non-constructive program into an accepted one;
+//! - `pre` register pruning is skipped when async instances exist
+//!   (their host hooks are opaque) and consults dynamic by-name
+//!   expression reads, since the runtime resolves `S.pre` through
+//!   `SignalInfo::pre_net` without a structural fanin edge.
 
-use hiphop_circuit::{Circuit, Fanin, NetId, NetKind};
-use std::collections::VecDeque;
+use hiphop_circuit::{dataflow, Circuit, Fanin, NetId, NetKind};
+use std::collections::{HashSet, VecDeque};
 
-/// Optimizes the circuit in place. Must run before
-/// [`Circuit::finalize`].
-pub fn optimize(c: &mut Circuit) {
+/// What the optimizer did, for `stats`, benches and logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeReport {
+    /// Net count before any pass ran.
+    pub nets_before: usize,
+    /// Net count after the final dead sweep.
+    pub nets_after: usize,
+    /// Register count before any pass ran.
+    pub registers_before: usize,
+    /// Register count after the final dead sweep.
+    pub registers_after: usize,
+    /// Nets the inter-instant dataflow proved constant (and folded) that
+    /// the syntactic passes had kept.
+    pub fact_constant_nets: usize,
+    /// Registers pinned to their provably-unique value and eliminated.
+    pub pinned_registers: usize,
+    /// `pre` registers pruned because nothing ever reads the previous
+    /// instant's status.
+    pub pruned_pre_registers: usize,
+}
+
+/// Optimizes the circuit in place (syntactic passes plus the fact-driven
+/// shrink). Must run before [`Circuit::finalize`].
+pub fn optimize(c: &mut Circuit) -> OptimizeReport {
+    optimize_with(c, true)
+}
+
+/// [`optimize`] with the fact-driven shrink under a switch, so benches
+/// and tests can isolate what the dataflow facts buy.
+pub fn optimize_with(c: &mut Circuit, dataflow_shrink: bool) -> OptimizeReport {
+    let mut report = OptimizeReport {
+        nets_before: c.nets().len(),
+        registers_before: c.registers().len(),
+        ..OptimizeReport::default()
+    };
     for _ in 0..3 {
         let aliases = compute_aliases(c);
         let consts = fold_constants(c, &aliases);
         apply_rewrites(c, &aliases, &consts);
     }
+    if dataflow_shrink {
+        let (facts, pinned) = shrink_with_facts(c);
+        report.fact_constant_nets = facts;
+        report.pinned_registers = pinned;
+        report.pruned_pre_registers = prune_unread_pre_registers(c);
+        // One cleanup round: fact folding leaves buffer-of-constant
+        // shapes the syntactic passes collapse.
+        let aliases = compute_aliases(c);
+        let consts = fold_constants(c, &aliases);
+        apply_rewrites(c, &aliases, &consts);
+    }
     sweep_dead(c);
+    report.nets_after = c.nets().len();
+    report.registers_after = c.registers().len();
+    report
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -234,6 +296,156 @@ fn replace_net_edges(c: &mut Circuit, id: NetId, fanins: Vec<Fanin>, deps: Vec<N
     c.replace_edges(id, fanins, deps);
 }
 
+/// Fact-driven constant pinning: runs the inter-instant constant
+/// propagation and folds every net whose value set is a singleton —
+/// catching cross-instant constants the per-instant syntactic fold
+/// cannot see (registers that never leave their reset value, gates fed
+/// only by such registers). Returns `(folded net count, pinned register
+/// count)`.
+///
+/// Skipped entirely on circuits with combinational SCCs: a
+/// fact-constant reader of a non-constructive core could fold away the
+/// only reference to the core, silently turning a rejected program into
+/// an accepted one. Cyclic circuits keep their full structure.
+fn shrink_with_facts(c: &mut Circuit) -> (usize, usize) {
+    let cond = c.condensation();
+    if !cond.nontrivial().is_empty() {
+        return (0, 0);
+    }
+    let consts = dataflow::constants_with(c, &cond);
+    let nets = c.nets();
+    let mut folded = vec![Folded::Keep; nets.len()];
+    let mut folded_count = 0usize;
+    for (i, net) in nets.iter().enumerate() {
+        // Action nets keep their resolution point; Const nets are
+        // already canonical; Input facts are ⊤ by construction.
+        if net.action.is_some() || matches!(net.kind, NetKind::Const(_) | NetKind::Input) {
+            continue;
+        }
+        if let Some(v) = consts.values[i].singleton() {
+            folded[i] = Folded::Const(v);
+            folded_count += 1;
+        }
+    }
+    if folded_count == 0 {
+        return (0, 0);
+    }
+    let pinned = c
+        .registers()
+        .iter()
+        .filter(|r| matches!(folded[r.output.index()], Folded::Const(_)))
+        .count();
+    let no_alias = vec![None; folded.len()];
+    apply_rewrites(c, &no_alias, &folded);
+    (folded_count, pinned)
+}
+
+/// Prunes the `pre` register of every signal whose previous-instant
+/// status nothing can read: no structural reference besides the
+/// signal's own `pre_net` field, and no test/action expression reading
+/// the signal with `pre`/`preval` (the runtime resolves those through
+/// `pre_net` *by name*, with no fanin edge — so the structural scan
+/// alone would be unsound). The field is redirected to a constant-0 net
+/// and the register is reclaimed by the dead sweep. Skipped when async
+/// instances exist, since their host hooks are opaque.
+fn prune_unread_pre_registers(c: &mut Circuit) -> usize {
+    if !c.asyncs().is_empty() {
+        return 0;
+    }
+    let Some(const0) = c
+        .nets()
+        .iter()
+        .position(|n| matches!(n.kind, NetKind::Const(false)))
+        .map(|i| NetId(i as u32))
+    else {
+        return 0;
+    };
+    let nets = c.nets();
+    // Every net referenced structurally — except signal pre_net fields,
+    // which are what we are deciding about.
+    let mut referenced = vec![false; nets.len()];
+    for net in nets {
+        for f in &net.fanins {
+            referenced[f.net.index()] = true;
+        }
+        for d in &net.deps {
+            referenced[d.index()] = true;
+        }
+    }
+    for r in c.registers() {
+        referenced[r.input.index()] = true;
+    }
+    for s in c.signals() {
+        referenced[s.status_net.index()] = true;
+        if let Some(i) = s.input_net {
+            referenced[i.index()] = true;
+        }
+        for e in &s.emitters {
+            referenced[e.index()] = true;
+        }
+    }
+    if let Some(b) = c.boot_net {
+        referenced[b.index()] = true;
+    }
+    if let Some(t) = c.terminated_net {
+        referenced[t.index()] = true;
+    }
+    // Every signal name some expression reads at the previous instant.
+    // `preval` rides along conservatively: value-pre state is machine
+    // side, but the cohort scatter planner keys both accesses off
+    // pre_net.
+    let mut pre_read: HashSet<String> = HashSet::new();
+    for net in c.nets() {
+        let reads = match &net.kind {
+            NetKind::Test(hiphop_circuit::TestKind::Expr(e)) => e.signal_reads(),
+            NetKind::Test(hiphop_circuit::TestKind::CounterElapsed { cond, .. }) => {
+                cond.signal_reads()
+            }
+            _ => Vec::new(),
+        };
+        let action_reads = match net.action.map(|a| &c.actions()[a.index()]) {
+            Some(hiphop_circuit::Action::Emit { value: Some(e), .. }) => e.signal_reads(),
+            Some(hiphop_circuit::Action::Atom(body)) => body.signal_reads(),
+            Some(hiphop_circuit::Action::CounterReset { value, .. }) => value.signal_reads(),
+            _ => Vec::new(),
+        };
+        for (name, access) in reads.into_iter().chain(action_reads) {
+            use hiphop_core::expr::SigAccess;
+            if matches!(access, SigAccess::Pre | SigAccess::PreVal) {
+                pre_read.insert(name);
+            }
+        }
+    }
+    // The remap below redirects *every* reference to a pruned net, so a
+    // pre net shared by several signals (possible after aliasing) is
+    // prunable only if no sharer's name is pre-read.
+    let mut all_users_unread: std::collections::HashMap<NetId, bool> =
+        std::collections::HashMap::new();
+    for s in c.signals() {
+        let ok = !pre_read.contains(&s.name);
+        all_users_unread
+            .entry(s.pre_net)
+            .and_modify(|v| *v &= ok)
+            .or_insert(ok);
+    }
+    let mut remap: Vec<Option<NetId>> = vec![None; c.nets().len()];
+    let mut pruned = 0usize;
+    for (&pre, &ok) in &all_users_unread {
+        if !ok || pre == const0 || referenced[pre.index()] {
+            continue;
+        }
+        if !matches!(c.net(pre).kind, NetKind::RegOut(_)) {
+            continue;
+        }
+        remap[pre.index()] = Some(const0);
+        pruned += 1;
+    }
+    if pruned > 0 {
+        c.rewrite_references(&mut |id| remap[id.index()].unwrap_or(id));
+    }
+    pruned
+}
+
 /// Removes nets nothing observes, compacting ids.
 fn sweep_dead(c: &mut Circuit) {
     let n = c.nets().len();
@@ -432,5 +644,123 @@ mod tests {
         let sig = c.signal(SignalId(0));
         assert!(sig.status_net.index() < c.nets().len());
         assert!(sig.pre_net.index() < c.nets().len());
+    }
+
+    fn out_signal(c: &mut Circuit, name: &str, status: NetId) -> SignalId {
+        let (pre_reg, pre) = c.register(false, "sig.pre");
+        c.set_register_input(pre_reg, status);
+        c.add_signal(hiphop_circuit::SignalInfo {
+            name: name.into(),
+            direction: hiphop_core::signal::Direction::Out,
+            init: None,
+            combine: None,
+            status_net: status,
+            pre_net: pre,
+            input_net: None,
+            emitters: vec![],
+        })
+    }
+
+    #[test]
+    fn fact_shrink_pins_register_cycles_and_prunes_unread_pre() {
+        let mut c = Circuit::new("t");
+        let _c0 = c.constant(false, "c0");
+        let _c1 = c.constant(true, "c1");
+        let a = c.input("a");
+        // Two registers feeding each other, both reset 0: stuck at 0
+        // forever, but never syntactically constant.
+        let (r1, out1) = c.register(false, "r1");
+        let (r2, out2) = c.register(false, "r2");
+        let b1 = c.or(vec![Fanin::pos(out2)], "b1");
+        let b2 = c.or(vec![Fanin::pos(out1)], "b2");
+        c.set_register_input(r1, b1);
+        c.set_register_input(r2, b2);
+        // status = a | out1 ≡ a across all instants.
+        let status = c.or(vec![Fanin::pos(a), Fanin::pos(out1)], "sig.status");
+        let _sig = out_signal(&mut c, "s", status);
+        let report = optimize(&mut c);
+        c.finalize();
+        c.validate();
+        assert!(report.fact_constant_nets >= 1, "{report:?}");
+        assert_eq!(report.pinned_registers, 2, "{report:?}");
+        // Nothing reads s.pre, so its register goes too.
+        assert_eq!(report.pruned_pre_registers, 1, "{report:?}");
+        assert_eq!(c.registers().len(), 0, "{:?}", c.registers());
+        // The cleanup round aliases the now-single-fanin status straight
+        // onto the input net.
+        let status_net = c.net(c.signal(SignalId(0)).status_net);
+        assert!(
+            matches!(status_net.kind, NetKind::Input),
+            "status should collapse onto `a`: {status_net:?}"
+        );
+        assert!(report.nets_after < report.nets_before, "{report:?}");
+    }
+
+    #[test]
+    fn pre_registers_survive_dynamic_reads() {
+        let mut c = Circuit::new("t");
+        let _c0 = c.constant(false, "c0");
+        let a = c.input("a");
+        let status = c.or(vec![Fanin::pos(a)], "sig.status");
+        let _sig = out_signal(&mut c, "s", status);
+        // A test expression reads s.pre *by name*: no structural fanin
+        // edge exists, so only the dynamic-read scan protects it.
+        let t = c.test(
+            a,
+            hiphop_circuit::TestKind::Expr(hiphop_core::expr::Expr::pre("s")),
+            "reads_pre",
+        );
+        let act = c.or(vec![Fanin::pos(t)], "act");
+        c.attach_action(act, Action::AsyncSpawn(hiphop_circuit::AsyncId(0)));
+        let report = optimize(&mut c);
+        c.finalize();
+        c.validate();
+        assert_eq!(report.pruned_pre_registers, 0, "{report:?}");
+        assert_eq!(c.registers().len(), 1);
+        assert!(matches!(
+            c.net(c.signal(SignalId(0)).pre_net).kind,
+            NetKind::RegOut(_)
+        ));
+    }
+
+    #[test]
+    fn fact_shrink_skips_cyclic_circuits() {
+        // x = or(x, a): a constructive-only-when-a-is-1 cycle. The fact
+        // for readers of x is {1}, but folding them could dissolve the
+        // cycle and change the program's constructiveness verdict — so
+        // the shrink must refuse to touch circuits with SCCs.
+        let mut c = Circuit::new("t");
+        let _c0 = c.constant(false, "c0");
+        let _c1 = c.constant(true, "c1");
+        let a = c.input("a");
+        let x = c.or(vec![Fanin::pos(a)], "x");
+        c.add_fanin(x, Fanin::pos(x));
+        let reader = c.and(vec![Fanin::pos(x)], "reader");
+        let status = c.or(vec![Fanin::pos(reader)], "sig.status");
+        let _sig = out_signal(&mut c, "s", status);
+        let report = optimize(&mut c);
+        c.finalize();
+        assert_eq!(report.fact_constant_nets, 0, "{report:?}");
+        assert_eq!(report.pinned_registers, 0);
+        let labels: Vec<&str> = c.nets().iter().map(|n| n.label).collect();
+        assert!(labels.contains(&"x"), "{labels:?}");
+    }
+
+    #[test]
+    fn optimize_report_counts_are_consistent() {
+        let mut c = Circuit::new("t");
+        let _c0 = c.constant(false, "c0");
+        let a = c.input("a");
+        let b1 = c.or(vec![Fanin::pos(a)], "buf1");
+        let status = c.or(vec![Fanin::pos(b1)], "sig.status");
+        let _sig = out_signal(&mut c, "s", status);
+        let before_nets = c.nets().len();
+        let before_regs = c.registers().len();
+        let report = optimize(&mut c);
+        assert_eq!(report.nets_before, before_nets);
+        assert_eq!(report.registers_before, before_regs);
+        assert_eq!(report.nets_after, c.nets().len());
+        assert_eq!(report.registers_after, c.registers().len());
+        assert!(report.nets_after <= report.nets_before);
     }
 }

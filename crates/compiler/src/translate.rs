@@ -84,6 +84,13 @@ impl Translator {
     /// Creates a signal instance: status OR-net, `pre` register, and the
     /// environment injection net for inputs.
     pub fn make_signal(&mut self, decl: &SignalDecl, unique_name: String) -> SignalId {
+        self.make_signal_at(decl, unique_name, Loc::synthetic())
+    }
+
+    /// [`Translator::make_signal`] stamping the declaring statement's
+    /// source location on the status net, so signal lints can point at
+    /// the declaration.
+    pub fn make_signal_at(&mut self, decl: &SignalDecl, unique_name: String, loc: Loc) -> SignalId {
         let status = self.c.or(vec![], "sig.status");
         let input_net = if decl.direction.is_input() {
             let i = self.c.input("sig.in");
@@ -104,7 +111,7 @@ impl Translator {
             input_net,
             emitters: Vec::new(),
         });
-        self.c.describe(status, Loc::synthetic(), Some(id));
+        self.c.describe(status, loc, Some(id));
         self.scopes
             .last_mut()
             .expect("scope stack never empty")
@@ -352,13 +359,13 @@ impl Translator {
             Stmt::Suspend { delay, body, loc } => self.suspend(delay, body, loc, w),
             Stmt::Trap { label, body, .. } => self.trap(label, body, w),
             Stmt::Exit { label, loc } => self.exit(label, loc, w),
-            Stmt::Local { decls, body, .. } => {
+            Stmt::Local { decls, body, loc } => {
                 self.scopes.push(HashMap::new());
                 for d in decls {
                     // Loop duplication may instantiate the same source
                     // declaration twice; make the circuit-level name unique.
                     let unique = format!("{}@{}", d.name, self.c.signals().len());
-                    self.make_signal(d, unique);
+                    self.make_signal_at(d, unique, loc.clone());
                 }
                 let r = self.stmt(body, w);
                 self.scopes.pop();

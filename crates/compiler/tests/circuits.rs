@@ -121,11 +121,11 @@ fn optimizer_shrinks_every_app_circuit() {
         },
     ];
     for (name, module, reg) in apps {
-        let raw = compile_module_with(&module, &reg, CompileOptions { optimize: false })
+        let raw = compile_module_with(&module, &reg, CompileOptions { optimize: false, ..CompileOptions::default() })
             .expect("raw compiles")
             .circuit
             .stats();
-        let opt = compile_module_with(&module, &reg, CompileOptions { optimize: true })
+        let opt = compile_module_with(&module, &reg, CompileOptions { optimize: true, ..CompileOptions::default() })
             .expect("opt compiles")
             .circuit
             .stats();
@@ -135,7 +135,14 @@ fn optimizer_shrinks_every_app_circuit() {
             raw.nets,
             opt.nets
         );
-        assert_eq!(opt.registers, raw.registers, "{name}: registers preserved");
+        // The fact-driven shrink may pin constant registers and prune
+        // unread `pre` registers, so register counts can only go down.
+        assert!(
+            opt.registers <= raw.registers,
+            "{name}: registers must not grow ({} -> {})",
+            raw.registers,
+            opt.registers
+        );
         assert_eq!(opt.signals, raw.signals);
     }
 }

@@ -1,0 +1,88 @@
+//! Golden `analyze --format json` snapshots: the full lint report plus
+//! the `--facts` dataflow summary of every `.hh` example is pinned in
+//! `tests/golden/analyze/` and must stay byte-stable — lint messages,
+//! source locations, fact tallies and emit-capability verdicts are all
+//! part of the contract tooling parses.
+//!
+//! `supervised_abort.hh` is skipped like in ci.sh: its host hooks are
+//! not registered in a bare analysis context.
+//!
+//! Regenerate with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test analyze_golden
+//! ```
+
+use std::path::PathBuf;
+
+const EXAMPLES: &[(&str, &str)] = &[
+    ("abro", include_str!("../examples/hh/abro.hh")),
+    ("causality_cycle", include_str!("../examples/hh/causality_cycle.hh")),
+    ("cyclic_arbiter", include_str!("../examples/hh/cyclic_arbiter.hh")),
+    ("reincarnation", include_str!("../examples/hh/reincarnation.hh")),
+    ("suspend_clock", include_str!("../examples/hh/suspend_clock.hh")),
+];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/analyze")
+        .join(format!("{name}.json"))
+}
+
+#[test]
+fn analyze_json_reports_match_the_goldens_byte_for_byte() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for (name, source) in EXAMPLES {
+        let report =
+            hiphop_cli::cmd_analyze_with(source, None, true, "json", &[], true, None)
+                .unwrap_or_else(|e| panic!("{name}: analyze fails: {e}"));
+        // Reports are line-oriented JSON: every line parses as one object.
+        for line in report.stdout.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "{name}: non-JSON line {line}"
+            );
+        }
+        assert!(
+            report.stdout.lines().last().unwrap_or_default().starts_with("{\"facts\":"),
+            "{name}: the --facts summary is the last line"
+        );
+        let path = golden_path(name);
+        if update {
+            std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+            std::fs::write(&path, &report.stdout).expect("write golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{name}: no golden file ({e}); run with UPDATE_GOLDEN=1")
+        });
+        assert_eq!(
+            report.stdout, golden,
+            "{name}: analyze report drifted from tests/golden/analyze/{name}.json (UPDATE_GOLDEN=1 regenerates)"
+        );
+    }
+}
+
+#[test]
+fn analyze_goldens_pin_the_interesting_verdicts() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        // Regeneration runs in parallel with this test; check the
+        // snapshots on the next plain run.
+        return;
+    }
+    // The snapshots are only a regression net if they show what the
+    // examples exist for.
+    let read = |name: &str| std::fs::read_to_string(golden_path(name)).expect("golden present");
+    let paradox = read("causality_cycle");
+    assert!(paradox.contains("\"code\":\"HH001\""), "{paradox}");
+    let arbiter = read("cyclic_arbiter");
+    assert!(
+        arbiter.contains("\"code\":\"HH002\""),
+        "input-dependent cycles stay undecided: {arbiter}"
+    );
+    let abro = read("abro");
+    assert!(
+        abro.contains("\"name\":\"O\",\"direction\":\"out\",\"may_emit\":true,\"must_emit\":false"),
+        "{abro}"
+    );
+}

@@ -464,3 +464,62 @@ fn lane_compaction_after_close_preserves_survivor_digests() {
         );
     }
 }
+
+// ------------------------------------- fact-driven shrinking differential
+
+/// The inter-instant dataflow shrink must be invisible to the cohort
+/// engine too: the same seeded lane schedules produce identical output
+/// traces on the shrunk and unshrunk compiles of the same program,
+/// under both lane widths. (State digests are circuit-shaped and so only
+/// comparable within one compile; observable outputs compare across.)
+#[test]
+fn fact_shrunk_circuits_match_unshrunk_outputs_under_both_widths() {
+    use hiphop::compiler::{compile_module_with, CompileOptions};
+    const K: usize = 9;
+    for case in 0..6u64 {
+        let seed = 0xFAC75 ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+        let module = synthetic_program(60, seed);
+        let run = |dataflow: bool, width: CohortWidth| -> Vec<String> {
+            let c = compile_module_with(
+                &module,
+                &ModuleRegistry::new(),
+                CompileOptions { optimize: true, dataflow },
+            )
+            .expect("compiles");
+            let mut machines: Vec<Machine> = (0..K)
+                .map(|_| Machine::new(c.circuit.clone()).expect("machine"))
+                .collect();
+            let mut trace = Vec::new();
+            for t in 0..16usize {
+                for (s, m) in machines.iter_mut().enumerate() {
+                    let mut rng = Rng::seed_from_u64(seed ^ ((s as u64) << 32) ^ t as u64);
+                    for j in 0..6 {
+                        if t > 0 && rng.gen_bool(0.3) {
+                            let v = Value::from(rng.gen_range(0i64..5));
+                            let _ = m.set_input(&format!("i{j}"), Some(v));
+                        }
+                    }
+                }
+                let mut lanes: Vec<&mut Machine> = machines.iter_mut().collect();
+                for r in react_cohort(&mut lanes, width) {
+                    let r = r.expect("reaction");
+                    let mut outs: Vec<String> = r
+                        .outputs
+                        .iter()
+                        .map(|o| format!("{}={}:{}", o.name, o.present as u8, o.value))
+                        .collect();
+                    outs.sort();
+                    trace.push(outs.join(" "));
+                }
+            }
+            trace
+        };
+        for width in WIDTHS {
+            assert_eq!(
+                run(true, width),
+                run(false, width),
+                "seed {seed:#x}: the fact shrink changes cohort outputs under {width:?}"
+            );
+        }
+    }
+}

@@ -96,7 +96,7 @@ fn optimizer_preserves_behavior() {
             let c = compile_module_with(
                 &module,
                 &ModuleRegistry::new(),
-                CompileOptions { optimize },
+                CompileOptions { optimize, ..CompileOptions::default() },
             )
             .expect("compiles");
             drive(&mut Machine::new(c.circuit).expect("finalized circuit"), seed ^ 2, 30)
@@ -335,6 +335,53 @@ fn all_engines_agree_with_the_interpreter() {
                 engine_trace(mode),
                 reference,
                 "seed {seed}: {mode} disagrees with the interpreter"
+            );
+        }
+    });
+}
+
+#[test]
+fn fact_driven_shrinking_preserves_behavior_under_every_engine() {
+    // The inter-instant dataflow shrink (constant pinning, unread-`pre`
+    // register pruning) must be unobservable: with and without it, every
+    // engine produces the identical output trace on the identical input
+    // schedule. This is the differential gate for the abstract
+    // interpretation — any unsound fact would fold a live net and show
+    // up here as a diverging trace.
+    cases(24, |rng, seed| {
+        let size = rng.gen_range(10usize..120);
+        let module = synthetic_program(size, seed);
+        let schedule = input_schedule(seed ^ 6, 25);
+        let run = |dataflow: bool, mode: EngineMode| {
+            let c = compile_module_with(
+                &module,
+                &ModuleRegistry::new(),
+                CompileOptions { optimize: true, dataflow },
+            )
+            .expect("compiles");
+            let mut m = Machine::new(c.circuit).expect("finalized circuit");
+            assert_eq!(m.set_engine(mode), mode, "seed {seed}");
+            observable_trace(&schedule, |refs| {
+                m.react_with(refs)
+                    .map(|r| {
+                        r.outputs
+                            .iter()
+                            .map(|o| format!("{}={}:{}", o.name, o.present as u8, o.value))
+                            .collect()
+                    })
+                    .map_err(|e| e.to_string())
+            })
+        };
+        for mode in [
+            EngineMode::Levelized,
+            EngineMode::Constructive,
+            EngineMode::Naive,
+            EngineMode::Hybrid,
+        ] {
+            assert_eq!(
+                run(true, mode),
+                run(false, mode),
+                "seed {seed}: the fact shrink changes behavior under {mode}"
             );
         }
     });
