@@ -16,7 +16,7 @@ TOTAL=$(printf '%s\n' "$TEST_OUT" \
 echo "    workspace test count: $TOTAL"
 # Regression guard: the suite only ever grows. Raise the floor when
 # you add tests; never lower it.
-MIN_TESTS=535
+MIN_TESTS=560
 if [ "$TOTAL" -lt "$MIN_TESTS" ]; then
     echo "ci: workspace test count regressed below $MIN_TESTS (got $TOTAL)" >&2
     exit 1
@@ -57,9 +57,9 @@ for hh in examples/hh/*.hh; do
 done
 
 # Widened cross-engine differential sweep: every generated program runs
-# under the levelized, constructive, naive and hybrid engines plus the
-# reference interpreter (tests/proptests.rs). Override the seed count with
-# HIPHOP_PROPTEST_SEEDS=N ./ci.sh.
+# under the levelized, constructive, naive, hybrid and sparse engines
+# plus the reference interpreter (tests/proptests.rs). Override the seed
+# count with HIPHOP_PROPTEST_SEEDS=N ./ci.sh.
 HIPHOP_PROPTEST_SEEDS="${HIPHOP_PROPTEST_SEEDS:-64}"
 echo "==> differential proptest sweep (${HIPHOP_PROPTEST_SEEDS} seeds)"
 HIPHOP_PROPTEST_SEEDS="$HIPHOP_PROPTEST_SEEDS" \
@@ -67,10 +67,10 @@ HIPHOP_PROPTEST_SEEDS="$HIPHOP_PROPTEST_SEEDS" \
 
 # Fact-driven schedule-shrinking differential gate: with and without the
 # inter-instant dataflow shrink, generated programs must produce
-# identical observable traces under all four engines (tests/proptests.rs)
+# identical observable traces under all five engines (tests/proptests.rs)
 # and under both bit-parallel cohort widths (tests/cohort.rs). Any
 # unsound abstract-interpretation fact folds a live net and fails here.
-echo "==> fact-shrinking differential gate (4 engines + both cohort widths)"
+echo "==> fact-shrinking differential gate (5 engines + both cohort widths)"
 cargo test -q --offline --test proptests -- fact_driven_shrinking_preserves_behavior_under_every_engine
 cargo test -q --offline --test cohort -- fact_shrunk_circuits_match_unshrunk_outputs_under_both_widths
 
@@ -96,9 +96,9 @@ HIPHOP_COHORT_SEEDS="$HIPHOP_COHORT_SEEDS" \
 
 # Esterel-kernel conformance battery: hand-written per-instant emission
 # oracles for abort/weakabort/suspend/every/traps/sustain/counted
-# await/reincarnation, each checked under all four engines AND the
+# await/reincarnation, each checked under all five engines AND the
 # reference interpreter (tests/conformance.rs).
-echo "==> Esterel-kernel conformance battery (4 engines + interpreter)"
+echo "==> Esterel-kernel conformance battery (5 engines + interpreter)"
 cargo test -q --offline --test conformance
 
 # Session-pool smoke: a deterministic 64-session / 4-shard serve run on
@@ -132,6 +132,29 @@ for wdt in u64 wide; do
     fi
     echo "    cohort $wdt: digest matches scalar"
 done
+
+# Sparse differential serve gate: the same deterministic serve run with
+# every session forced onto the sparse incremental engine must report
+# the identical pool digest at TWO shard counts (engine choice and
+# shard placement are both execution details, never observable ones).
+echo "==> sparse serve gate (same run, --engine sparse at 4 and 2 shards)"
+for shd in 4 2; do
+    SPARSE_JSON=$(./target/release/hiphopc serve --sessions 64 --shards "$shd" --ticks 8 \
+        --engine sparse 2>/dev/null)
+    SPARSE_DIGEST=$(printf '%s' "$SPARSE_JSON" | grep -o '"digest":"[0-9a-f]*"' | head -1)
+    if [ -z "$SPARSE_DIGEST" ] || [ "$SPARSE_DIGEST" != "$SCALAR_DIGEST" ]; then
+        echo "ci: sparse serve digest diverged at $shd shards: $SPARSE_DIGEST vs $SCALAR_DIGEST" >&2
+        exit 1
+    fi
+    echo "    sparse @ $shd shards: digest matches the default engines"
+done
+
+# §E15 bench smoke: the wide-but-quiet workload's deterministic gates —
+# sparse digest-identical to levelized AND evaluating an order of
+# magnitude fewer nets on the quiet pool, no extra evals on the busy
+# dense drive. (Timing claims live in the report binary, not CI.)
+echo "==> sparse bench smoke (§E15 deterministic eval-count gates)"
+cargo test -q --offline -p hiphop-bench -- sparse
 
 # Flight-recorder round trip: record a chaos-seeded 64-session serve,
 # then replay the journal on a pool with a DIFFERENT shard count and

@@ -418,5 +418,42 @@ fn main() {
         );
     }
 
+    // ------------------------------------------------------------------ E15
+    println!("\nE15 — sparse incremental reactions (10k-instance ABRO pool, one instance");
+    println!("active; then the busy dense-640 drive as the no-regression guard)");
+    println!(
+        "{:<34} {:<14} {:>9} {:>13} {:>13} {:>8}",
+        "workload", "engine", "nets", "p50 (µs)", "evals", "digest"
+    );
+    for (name, rows) in [
+        (
+            "wide-quiet 10k×ABRO",
+            hiphop_bench::experiments::wide_quiet(10_000, 30),
+        ),
+        (
+            "dense-640 busy drive",
+            hiphop_bench::experiments::sparse_dense_regression(640, 200, 2020),
+        ),
+    ] {
+        let agree = rows[0].digest == rows[1].digest;
+        for r in &rows {
+            println!(
+                "{:<34} {:<14} {:>9} {:>13.1} {:>13} {:>8}",
+                name,
+                r.engine.to_string(),
+                r.nets,
+                r.p50_us,
+                r.evals,
+                if agree { "=" } else { "DIVERGED" }
+            );
+        }
+        println!(
+            "  {}: {:.1}× p50, {:.1}× net evals (sparse over levelized)",
+            name,
+            rows[0].p50_us / rows[1].p50_us.max(1e-9),
+            rows[0].evals as f64 / (rows[1].evals as f64).max(1e-9),
+        );
+    }
+
     println!("\ndone.");
 }

@@ -1,6 +1,6 @@
 //! Experiment runners producing the rows of EXPERIMENTS.md (paper §5.3).
 
-use crate::gen::{cyclic_program, schizophrenic_program, synthetic_program};
+use crate::gen::{cyclic_program, schizophrenic_program, synthetic_program, wide_quiet_program};
 use hiphop_compiler::{compile_module, compile_module_with, CompileOptions, CompiledProgram};
 use hiphop_core::module::{Module, ModuleRegistry};
 use hiphop_core::value::Value;
@@ -905,6 +905,105 @@ pub fn schedule_shrinking(seed: u64) -> Vec<ShrinkRow> {
     rows
 }
 
+/// One row of the §E15 sparse-engine comparison: the same workload and
+/// drive, once per engine.
+#[derive(Debug, Clone)]
+pub struct SparseRow {
+    /// The engine this row was measured under.
+    pub engine: EngineMode,
+    /// Nets in the compiled circuit.
+    pub nets: usize,
+    /// Median per-reaction latency over the drive, microseconds.
+    pub p50_us: f64,
+    /// Net evaluations tallied by the per-level activity counters over
+    /// the whole drive (boot sweep included).
+    pub evals: u64,
+    /// State digest after the drive — must be identical across rows.
+    pub digest: String,
+}
+
+/// Drives `machine` through `reactions` instants of `drive(i)` inputs,
+/// returning `(p50_us, evals, digest)`.
+fn sparse_row_drive(
+    machine: &mut Machine,
+    reactions: usize,
+    drive: impl Fn(usize) -> String,
+) -> (f64, u64, String) {
+    machine.enable_level_activity();
+    machine.react().expect("boot");
+    let mut samples = Vec::with_capacity(reactions);
+    for i in 0..reactions {
+        let sig = drive(i);
+        let t = Instant::now();
+        machine
+            .react_with(&[(&sig, Value::Bool(true))])
+            .expect("reaction");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(f64::total_cmp);
+    (
+        samples[samples.len() / 2],
+        machine
+            .level_activity()
+            .expect("level activity enabled")
+            .total_evals(),
+        machine.state_digest(),
+    )
+}
+
+/// §E15 (quiet half): sparse vs levelized on the wide-but-quiet pool
+/// ([`wide_quiet_program`]: `instances` parallel ABRO machines, exactly
+/// one of which ever sees an input). The dense sweep re-evaluates every
+/// net of every halted instance each instant; the sparse engine touches
+/// only the fanout cone of the one active instance, so its per-reaction
+/// latency is independent of the pool width. Digests prove the rows did
+/// the same work.
+pub fn wide_quiet(instances: usize, reactions: usize) -> Vec<SparseRow> {
+    let module = wide_quiet_program(instances);
+    let compiled =
+        compile_module(&module, &ModuleRegistry::new()).expect("wide-quiet pool compiles");
+    assert!(compiled.levels.is_some(), "acyclic by construction");
+    let nets = compiled.circuit.stats().nets;
+    [EngineMode::Levelized, EngineMode::Sparse]
+        .into_iter()
+        .map(|mode| {
+            let mut machine =
+                Machine::new(compiled.circuit.clone()).expect("finalized circuit");
+            assert_eq!(machine.set_engine(mode), mode, "acyclic: both available");
+            // Instance 0 cycles through its ABRO protocol; instances
+            // 1..N never see an input.
+            let (p50_us, evals, digest) =
+                sparse_row_drive(&mut machine, reactions, |i| {
+                    ["a0", "b0", "r0"][i % 3].to_owned()
+                });
+            SparseRow { engine: mode, nets, p50_us, evals, digest }
+        })
+        .collect()
+}
+
+/// §E15 (busy half): the no-regression guard. The dense-640 synthetic
+/// workload under an every-instant input drive — the levelized engine's
+/// home turf — measured under levelized and sparse. Sparse pays dirty
+/// bookkeeping on a workload with nothing to skip; the row shows the
+/// overhead stays marginal.
+pub fn sparse_dense_regression(n: usize, reactions: usize, seed: u64) -> Vec<SparseRow> {
+    let module = synthetic_program(n, seed);
+    let compiled =
+        compile_module(&module, &ModuleRegistry::new()).expect("synthetic program compiles");
+    let nets = compiled.circuit.stats().nets;
+    [EngineMode::Levelized, EngineMode::Sparse]
+        .into_iter()
+        .map(|mode| {
+            let mut machine =
+                Machine::new(compiled.circuit.clone()).expect("finalized circuit");
+            assert_eq!(machine.set_engine(mode), mode, "acyclic: both available");
+            let (p50_us, evals, digest) =
+                sparse_row_drive(&mut machine, reactions, |i| format!("i{}", i % 8));
+            SparseRow { engine: mode, nets, p50_us, evals, digest }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -995,6 +1094,36 @@ mod tests {
             "hybrid p50 {} µs vs constructive {} µs",
             p50(EngineMode::Hybrid),
             p50(EngineMode::Constructive)
+        );
+    }
+
+    #[test]
+    fn wide_quiet_sparse_is_digest_identical_and_skips_the_pool() {
+        let rows = wide_quiet(200, 24);
+        let (lev, sparse) = (&rows[0], &rows[1]);
+        assert_eq!(lev.engine, EngineMode::Levelized);
+        assert_eq!(sparse.engine, EngineMode::Sparse);
+        assert_eq!(lev.digest, sparse.digest, "engines must agree exactly");
+        // The dense sweep re-evaluates the whole pool every instant;
+        // sparse pays one full rebuild at boot and then only instance
+        // 0's cone. The counters are deterministic, so the margin is a
+        // hard assertion — timing is left to the report binary.
+        assert!(
+            sparse.evals * 10 <= lev.evals,
+            "sparse should skip the quiet pool: {} vs {} evals",
+            sparse.evals,
+            lev.evals
+        );
+    }
+
+    #[test]
+    fn sparse_dense_regression_rows_do_the_same_work() {
+        let rows = sparse_dense_regression(160, 48, 11);
+        assert_eq!(rows[0].digest, rows[1].digest, "engines must agree exactly");
+        assert!(rows[0].evals > 0 && rows[1].evals > 0);
+        assert!(
+            rows[1].evals <= rows[0].evals,
+            "sparse never evaluates more nets than the dense sweep"
         );
     }
 

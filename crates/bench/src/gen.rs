@@ -220,6 +220,41 @@ pub fn cyclic_program(target_stmts: usize, seed: u64) -> Module {
     module.body(Stmt::par([base.body, ring]))
 }
 
+/// The §E15 wide-but-quiet workload: `instances` independent ABRO
+/// machines in parallel, each on its own `a{k}`/`b{k}`/`r{k}` input
+/// triple, all funnelling their O into one shared presence-only `done`
+/// output. A pool-shaped circuit where at any instant almost every
+/// instance is halted waiting on inputs that never arrive — the best
+/// case for the sparse dirty-set engine (untouched instances cost
+/// nothing) and the worst case for a dense sweep (every net is
+/// re-evaluated every instant regardless).
+///
+/// Everything is presence-only and acyclic, so the levelized and sparse
+/// engines are both available and no net is pinned hot by value reads.
+pub fn wide_quiet_program(instances: usize) -> Module {
+    let mut module = Module::new(format!("WideQuiet{instances}"));
+    for k in 0..instances {
+        module = module
+            .input(SignalDecl::new(format!("a{k}"), Direction::In))
+            .input(SignalDecl::new(format!("b{k}"), Direction::In))
+            .input(SignalDecl::new(format!("r{k}"), Direction::In));
+    }
+    module = module.output(SignalDecl::new("done", Direction::Out));
+    let abro = |k: usize| {
+        Stmt::loop_each(
+            Delay::cond(Expr::now(format!("r{k}"))),
+            Stmt::seq([
+                Stmt::par([
+                    Stmt::await_(Delay::cond(Expr::now(format!("a{k}")))),
+                    Stmt::await_(Delay::cond(Expr::now(format!("b{k}")))),
+                ]),
+                Stmt::emit("done"),
+            ]),
+        )
+    };
+    module.body(Stmt::par((0..instances).map(abro).collect::<Vec<_>>()))
+}
+
 /// Nested schizophrenic loops of the given depth: every level is a loop
 /// whose body declares a local signal and forks — forcing body
 /// duplication at each level.
@@ -294,6 +329,29 @@ mod tests {
                 )])
                 .expect("reacts");
         }
+    }
+
+    #[test]
+    fn wide_quiet_programs_are_acyclic_and_rendezvous_correctly() {
+        let m = wide_quiet_program(40);
+        let compiled = compile_module(&m, &ModuleRegistry::new()).expect("compiles");
+        assert!(
+            compiled.levels.is_some(),
+            "the pool must stay acyclic so levelized and sparse both apply"
+        );
+        let mut machine = hiphop_runtime::Machine::new(compiled.circuit).expect("finalized circuit");
+        machine.react().expect("boot");
+        let t = hiphop_core::value::Value::Bool(true);
+        // Only instance 7 rendezvous; `done` fires exactly when its B lands.
+        let r = machine.react_with(&[("a7", t.clone())]).expect("A");
+        assert!(!r.present("done"));
+        let r = machine.react_with(&[("b7", t.clone())]).expect("B");
+        assert!(r.present("done"));
+        // Reset re-arms it, ABRO-style.
+        let r = machine.react_with(&[("r7", t.clone())]).expect("R");
+        assert!(!r.present("done"));
+        let r = machine.react_with(&[("a7", t.clone()), ("b7", t)]).expect("AB");
+        assert!(r.present("done"));
     }
 
     #[test]

@@ -747,6 +747,15 @@ impl Levelization {
     pub fn level(&self, i: usize) -> &[NetId] {
         &self.order[self.level_starts[i] as usize..self.level_starts[i + 1] as usize]
     }
+    /// Per-level population, in level order — the width histogram
+    /// behind [`Levelization::max_width`]. The sum equals
+    /// `order.len()`.
+    pub fn widths(&self) -> Vec<usize> {
+        self.level_starts
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .collect()
+    }
 }
 
 /// Aggregate circuit statistics (experiments E2/E3).
@@ -939,6 +948,21 @@ mod tests {
         assert_eq!(lv.level_of, vec![0, 1, 1, 2]);
         assert_eq!(lv.max_width(), 2);
         assert_eq!(lv.order.len(), c.nets().len());
+    }
+
+    #[test]
+    fn levelize_widths_partition_the_order() {
+        let mut c = Circuit::new("widths");
+        let a = c.input("a");
+        let b = c.input("b");
+        let l = c.or(vec![Fanin::pos(a)], "l");
+        let r = c.and(vec![Fanin::pos(a), Fanin::neg(b)], "r");
+        let _o = c.or(vec![Fanin::pos(l), Fanin::pos(r)], "o");
+        c.finalize();
+        let lv = c.levelize().expect("acyclic");
+        assert_eq!(lv.widths(), vec![2, 2, 1]);
+        assert_eq!(lv.widths().iter().sum::<usize>(), lv.order.len());
+        assert_eq!(lv.widths().iter().copied().max().unwrap(), lv.max_width());
     }
 
     #[test]

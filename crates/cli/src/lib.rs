@@ -51,8 +51,10 @@ pub struct Options {
     pub no_optimize: bool,
     /// Stimulus for `trace` (instants separated by `;`).
     pub stimulus: Option<String>,
-    /// Evaluation engine override for `run`/`trace`/`oracle` (`None` =
-    /// automatic: levelized when the circuit is acyclic).
+    /// Evaluation engine override for `run`/`trace`/`oracle` — and,
+    /// mirrored into [`ServeOptions::engine`] / [`ReplayFlags::engine`],
+    /// for `serve`/`replay` too (`None` = automatic: levelized when the
+    /// circuit is acyclic).
     pub engine: Option<EngineMode>,
     /// Telemetry outputs for `trace` / `oracle`.
     pub telemetry: TelemetryOptions,
@@ -110,6 +112,9 @@ pub struct ServeOptions {
     /// Run the metrics-driven rebalancer after each checkpoint
     /// (`--rebalance`).
     pub rebalance: bool,
+    /// Force every session onto this evaluation engine (`--engine E`,
+    /// default per-machine automatic). Digest-neutral by construction.
+    pub engine: Option<EngineMode>,
 }
 
 impl Default for ServeOptions {
@@ -128,6 +133,7 @@ impl Default for ServeOptions {
             snapshot: None,
             snapshot_every: 0,
             rebalance: false,
+            engine: None,
         }
     }
 }
@@ -152,6 +158,9 @@ pub struct ReplayFlags {
     /// re-drive only the journal suffix (`--snapshot FILE`). Required
     /// for `--from N` with N > 0.
     pub snapshot: Option<String>,
+    /// Re-drive the journal on an all-`engine` pool (`--engine E`) —
+    /// recordings are engine-agnostic, so the digests must still match.
+    pub engine: Option<EngineMode>,
 }
 
 impl Default for ReplayFlags {
@@ -162,6 +171,7 @@ impl Default for ReplayFlags {
             to: u64::MAX,
             cohort: None,
             snapshot: None,
+            engine: None,
         }
     }
 }
@@ -257,8 +267,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--engine" => {
+                // Shared by `run`/`trace`/`oracle` (one machine),
+                // `serve` (every pooled session) and `replay` (the
+                // re-driven pool).
                 let name = it.next().ok_or_else(|| {
-                    fail("--engine needs a mode (auto, levelized, constructive, naive, hybrid)")
+                    fail(
+                        "--engine needs a mode (auto, levelized, constructive, naive, hybrid, sparse)",
+                    )
                 })?;
                 engine = match name.as_str() {
                     "auto" => None,
@@ -424,6 +439,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     } else {
         file.ok_or_else(|| fail(format!("missing source file\n{USAGE}")))?
     };
+    serve.engine = engine;
+    replay.engine = engine;
     Ok(Options {
         command,
         file,
@@ -496,6 +513,7 @@ pub fn cmd_serve(
         // Per-level counters feed the Prometheus exposition.
         level_activity: serve.prom.is_some(),
         cohort: serve.cohort,
+        engine: serve.engine,
         // A final checkpoint is always taken when `--snapshot` names a
         // file, even without an explicit `--snapshot-every` cadence.
         snapshot_every: match (serve.snapshot_every, &serve.snapshot) {
@@ -611,7 +629,8 @@ pub fn cmd_replay(
         from_snapshot,
     };
     let report =
-        hiphop_skini::concert::replay_with(&rec, shards, &opts, flags.cohort).map_err(fail)?;
+        hiphop_skini::concert::replay_with(&rec, shards, &opts, flags.cohort, flags.engine)
+            .map_err(fail)?;
     Ok(ReplayRunReport {
         json: report.to_json(),
         ok: report.ok(),
@@ -622,9 +641,9 @@ pub fn cmd_replay(
 pub const USAGE: &str = "usage: hiphopc <check|analyze|stats|pretty|dot|run|trace|oracle> FILE [--main MODULE] [--no-optimize] [--stimulus S] [--engine E]
        hiphopc serve [--sessions N] [--shards N] [--ticks N] [--seed N] [--shape S] [--metrics]
                      [--record FILE] [--trace-spans FILE] [--prom FILE] [--watch N] [--cohort u64|wide]
-                     [--snapshot FILE] [--snapshot-every N] [--rebalance]
+                     [--snapshot FILE] [--snapshot-every N] [--rebalance] [--engine E]
        hiphopc replay FILE [--shards N] [--from N] [--to N] [--no-verify-digests] [--cohort u64|wide]
-                     [--snapshot FILE]
+                     [--snapshot FILE] [--engine E]
   check   parse, link and statically check the program
   analyze compile and lint the circuit: constructiveness verdicts per
           cyclic SCC, emission hygiene, dead nets
@@ -686,15 +705,20 @@ analyze flags:
   --baseline FILE        suppress lints recorded in FILE (JSON lines
                          from a previous `--format json` run); new
                          findings still report and still --deny
-engine selection (run, trace and oracle):
+engine selection (run, trace, oracle, serve and replay):
   --engine auto          levelized when the circuit is acyclic, else
                          hybrid (the default)
   --engine levelized     dense topological sweep (falls back to hybrid
                          on cyclic circuits)
+  --engine sparse        incremental dirty-set sweep: only nets reachable
+                         from changed inputs and flipped registers are
+                         re-evaluated (falls back to hybrid on cyclic
+                         circuits); byte-identical to the dense engines
   --engine hybrid        levelized sweeps over acyclic regions, bounded
                          constructive iteration inside undecided SCCs
   --engine constructive  FIFO event propagation with causality reports
   --engine naive         O(nets²) reference fixpoint
+  under serve/replay the override applies to every pooled session
 telemetry flags (trace and oracle only):
   --metrics      print a per-reaction percentile table (duration, net
                  events, actions, queue high-water mark) to stderr
@@ -1487,8 +1511,26 @@ mod tests {
         assert_eq!(parse("constructive").unwrap().engine, Some(EngineMode::Constructive));
         assert_eq!(parse("naive").unwrap().engine, Some(EngineMode::Naive));
         assert_eq!(parse("hybrid").unwrap().engine, Some(EngineMode::Hybrid));
+        assert_eq!(parse("sparse").unwrap().engine, Some(EngineMode::Sparse));
         assert!(parse("turbo").is_err());
         assert!(parse_args(&["trace".into(), "x.hh".into(), "--engine".into()]).is_err());
+        // The one global flag also lands on the pooled subcommands.
+        let o = parse_args(&["serve".into(), "--engine".into(), "sparse".into()]).unwrap();
+        assert_eq!(o.serve.engine, Some(EngineMode::Sparse));
+        assert_eq!(o.replay.engine, Some(EngineMode::Sparse));
+        let o = parse_args(&[
+            "replay".into(),
+            "r.jsonl".into(),
+            "--engine".into(),
+            "levelized".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.replay.engine, Some(EngineMode::Levelized));
+        assert_eq!(
+            parse_args(&["serve".into()]).unwrap().serve.engine,
+            None,
+            "no flag, no override"
+        );
     }
 
     #[test]
@@ -1500,6 +1542,8 @@ mod tests {
         assert_eq!(forced.engine(), EngineMode::Constructive);
         let naive = build_machine_with(ABRO, None, true, Some(EngineMode::Naive)).unwrap();
         assert_eq!(naive.engine(), EngineMode::Naive);
+        let sparse = build_machine_with(ABRO, None, true, Some(EngineMode::Sparse)).unwrap();
+        assert_eq!(sparse.engine(), EngineMode::Sparse, "ABRO is acyclic");
     }
 
     #[test]
@@ -1510,6 +1554,7 @@ mod tests {
             EngineMode::Constructive,
             EngineMode::Naive,
             EngineMode::Hybrid,
+            EngineMode::Sparse,
         ] {
             let out = cmd_trace_with(
                 ABRO,
@@ -1888,6 +1933,55 @@ mod tests {
         )
         .unwrap();
         assert_eq!(digest_of(&one_shard.json), digest_of(&report.json));
+    }
+
+    #[test]
+    fn sparse_serve_is_digest_identical_and_replayable() {
+        let digest_of = |json: &str| {
+            json.split("\"digest\":\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .map(str::to_owned)
+        };
+        let opts = ServeOptions {
+            sessions: 10,
+            shards: 3,
+            ticks: 8,
+            seed: 6,
+            ..ServeOptions::default()
+        };
+        let reference = cmd_serve(&opts, &ChaosOptions::default(), false).unwrap();
+        // An all-sparse pool reproduces the default digest on any shard
+        // count…
+        let rec_path = std::env::temp_dir().join("hiphopc_test_sparse_flight.jsonl");
+        for shards in [3usize, 1] {
+            let sparse = cmd_serve(
+                &ServeOptions {
+                    shards,
+                    engine: Some(EngineMode::Sparse),
+                    record: (shards == 3)
+                        .then(|| rec_path.to_string_lossy().into_owned()),
+                    ..opts.clone()
+                },
+                &ChaosOptions::default(),
+                false,
+            )
+            .unwrap();
+            assert_eq!(
+                digest_of(&sparse.json),
+                digest_of(&reference.json),
+                "sparse serve diverged at {shards} shard(s)"
+            );
+        }
+        // …and its recording verifies both back on a sparse pool and on
+        // a default-engine pool: the journal is engine-agnostic.
+        let file = rec_path.to_string_lossy().into_owned();
+        for engine in [Some(EngineMode::Sparse), None] {
+            let flags = ReplayFlags { engine, ..ReplayFlags::default() };
+            let replayed = cmd_replay(&file, 2, &flags).unwrap();
+            assert!(replayed.ok, "[{engine:?}] {}", replayed.json);
+        }
+        let _ = std::fs::remove_file(&rec_path);
     }
 
     #[test]

@@ -544,7 +544,12 @@ impl Expr {
         }
     }
 
-    fn reads_vars(&self) -> bool {
+    /// Whether the expression reads host variables — or contains a host
+    /// closure, which is conservatively assumed to read arbitrary state.
+    /// Used by [`Expr::const_value`] and by the sparse engine's hot-set
+    /// classification (a var-reading test can change value without any
+    /// net changing, so it must be re-evaluated every armed instant).
+    pub fn reads_vars(&self) -> bool {
         match self {
             Expr::Var(_) => true,
             Expr::Lit(_) | Expr::Sig(..) => false,

@@ -54,8 +54,8 @@ use hiphop_runtime::flight::{
 use hiphop_runtime::snapshot::{PoolSnapshot, SessionSnapshot, SNAPSHOT_FORMAT_VERSION};
 use hiphop_runtime::telemetry::{shared, SpanKind, SpanRecord};
 use hiphop_runtime::{
-    cohort_key, react_cohort, CohortWidth, LevelActivity, Machine, MetricsSink, OutputEvent,
-    PoolMetrics, Reaction, RuntimeError, ShardRollup,
+    cohort_key, react_cohort, CohortWidth, EngineMode, LevelActivity, Machine, MetricsSink,
+    OutputEvent, PoolMetrics, Reaction, RuntimeError, ShardRollup,
 };
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -198,6 +198,7 @@ enum Cmd {
         level_activity: bool,
         epoch: Instant,
         cohort: Option<CohortWidth>,
+        engine: Option<EngineMode>,
         reply: Sender<()>,
     },
     /// Close (drop) the given sessions. Replies with how many existed.
@@ -261,6 +262,9 @@ struct ShardState {
     /// cohort-eligible sessions by [`cohort_key`] and advances every
     /// group through one bit-parallel sweep instead of N scalar ones.
     cohort: Option<CohortWidth>,
+    /// Engine override applied to every session (current and future);
+    /// `None` keeps whatever the factory selected.
+    engine: Option<EngineMode>,
 }
 
 struct Slot {
@@ -293,6 +297,12 @@ impl ShardState {
             let build = (self.factory)(id, &SessionCtx { el: &self.el })
                 .map_err(|e| format!("shard {}: {id}: {e}", self.index))?;
             let mut machine = build.machine;
+            if let Some(mode) = self.engine {
+                // Applied before the boot reaction so even instant 0
+                // runs under the requested engine (a cyclic circuit
+                // resolves it to the nearest capable one).
+                let _ = machine.set_engine(mode);
+            }
             machine.attach_sink(self.sink.clone());
             if self.level_activity {
                 machine.enable_level_activity();
@@ -788,17 +798,28 @@ fn shard_main(mut state: ShardState, rx: Receiver<Cmd>) {
                 level_activity,
                 epoch,
                 cohort,
+                engine,
                 reply,
             } => {
                 state.tracing = tracing;
                 state.level_activity = level_activity;
                 state.epoch = epoch;
                 state.cohort = cohort;
+                state.engine = engine;
                 // Arm already-open sessions too (tracing is often turned
                 // on after a warm-up phase).
                 if level_activity {
                     for slot in state.sessions.values() {
                         slot.driver.machine.borrow_mut().enable_level_activity();
+                    }
+                }
+                // Engine hops apply mid-run as well: the next reaction
+                // of every open session uses the new engine (the sparse
+                // engine rebuilds its baseline on the first instant
+                // after a hop).
+                if let Some(mode) = engine {
+                    for slot in state.sessions.values() {
+                        let _ = slot.driver.machine.borrow_mut().set_engine(mode);
                     }
                 }
                 let _ = reply.send(());
@@ -866,6 +887,7 @@ pub struct SessionPool {
     spans: Vec<SpanRecord>,
     tick_span_seq: u64,
     cohort: Option<CohortWidth>,
+    engine: Option<EngineMode>,
 }
 
 impl SessionPool {
@@ -930,6 +952,7 @@ impl SessionPool {
                             epoch: Instant::now(),
                             span_seq: 0,
                             cohort: None,
+                            engine: None,
                         };
                         shard_main(state, rx);
                     })
@@ -954,6 +977,7 @@ impl SessionPool {
             spans: Vec::new(),
             tick_span_seq: 0,
             cohort: None,
+            engine: None,
         }
     }
 
@@ -1085,6 +1109,7 @@ impl SessionPool {
                 level_activity: self.level_activity,
                 epoch: self.epoch,
                 cohort: self.cohort,
+                engine: self.engine,
                 reply: tx,
             })
             .map_err(|_| PoolError(format!("shard {shard} is gone")))?;
@@ -1145,6 +1170,26 @@ impl SessionPool {
     /// Fails if a shard thread died.
     pub fn set_cohort(&mut self, width: Option<CohortWidth>) -> Result<(), PoolError> {
         self.cohort = width;
+        self.push_config()
+    }
+
+    /// Selects the evaluation engine for every session, current and
+    /// future (`None` keeps whatever each factory chose). Engines are a
+    /// pure execution strategy — outputs and state digests are
+    /// identical across all of them, which the differential batteries
+    /// prove — so this is a performance knob: e.g.
+    /// [`EngineMode::Sparse`] for wide pools of mostly-quiet sessions.
+    /// Sessions whose circuit cannot run the requested engine (a cyclic
+    /// circuit under `Sparse` or `Levelized`) resolve to the nearest
+    /// capable one, exactly as [`Machine::set_engine`] does. A sparse
+    /// session's incremental baseline is rebuilt on its first instant
+    /// after the hop.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a shard thread died.
+    pub fn set_engine(&mut self, engine: Option<EngineMode>) -> Result<(), PoolError> {
+        self.engine = engine;
         self.push_config()
     }
 
@@ -2131,6 +2176,74 @@ mod tests {
         let scalar = run(None);
         assert_eq!(scalar, run(Some(CohortWidth::U64)), "u64 lanes diverged");
         assert_eq!(scalar, run(Some(CohortWidth::Wide)), "wide lanes diverged");
+    }
+
+    #[test]
+    fn engine_override_is_digest_identical_and_applies_mid_run() {
+        // The engine knob is a pure execution strategy: whatever the
+        // factory picked (staggered levelized/constructive here), an
+        // override to any engine reproduces the same outputs and
+        // digests tick for tick.
+        let run = |engine: Option<EngineMode>| {
+            let mut pool = SessionPool::new(2, 10, counter_factory);
+            pool.set_engine(engine).expect("config");
+            pool.open_many(12).expect("open");
+            let mut trace = Vec::new();
+            for step in 0..6u64 {
+                for id in 0..12 {
+                    if (id + step) % 3 == 0 {
+                        pool.inject(SessionId(id), "inc", Value::from(step as i64 + 1));
+                    }
+                }
+                let r = pool.tick().expect("tick");
+                assert!(r.faults.is_empty());
+                trace.push((
+                    r.outputs
+                        .iter()
+                        .map(|o| (o.session, count_of(o)))
+                        .collect::<Vec<_>>(),
+                    pool.digests().expect("digests"),
+                ));
+            }
+            trace
+        };
+        let baseline = run(None);
+        for mode in [
+            EngineMode::Levelized,
+            EngineMode::Constructive,
+            EngineMode::Naive,
+            EngineMode::Hybrid,
+            EngineMode::Sparse,
+        ] {
+            assert_eq!(baseline, run(Some(mode)), "{mode} override diverged");
+        }
+
+        // A mid-run hop reaches already-open sessions: three staggered
+        // ticks, then everyone switches to sparse (whose baselines are
+        // rebuilt on the next instant), and the trace keeps matching.
+        let mut pool = SessionPool::new(2, 10, counter_factory);
+        pool.open_many(12).expect("open");
+        let mut trace = Vec::new();
+        for step in 0..6u64 {
+            if step == 3 {
+                pool.set_engine(Some(EngineMode::Sparse)).expect("config");
+            }
+            for id in 0..12 {
+                if (id + step) % 3 == 0 {
+                    pool.inject(SessionId(id), "inc", Value::from(step as i64 + 1));
+                }
+            }
+            let r = pool.tick().expect("tick");
+            assert!(r.faults.is_empty());
+            trace.push((
+                r.outputs
+                    .iter()
+                    .map(|o| (o.session, count_of(o)))
+                    .collect::<Vec<_>>(),
+                pool.digests().expect("digests"),
+            ));
+        }
+        assert_eq!(baseline, trace, "the mid-run engine hop diverged");
     }
 
     #[test]

@@ -397,6 +397,9 @@ pub fn react_cohort(
         }
         m.actions_run = 0;
         m.queue_hwm = 0;
+        // A cohort instant bypasses the sparse engine's bookkeeping, so
+        // its incremental baseline is stale after this tick.
+        m.sparse.valid = false;
         m.sig_preval.clone_from(&m.sig_val);
         m.value[..n].fill(-1);
         m.events = 0;

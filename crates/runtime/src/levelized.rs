@@ -50,6 +50,15 @@ pub enum EngineMode {
     /// automatically for cyclic circuits that pass the static
     /// constructiveness analysis.
     Hybrid,
+    /// Dirty-set incremental sweep over the levelized schedule: each
+    /// instant seeds a worklist from changed inputs, registers that
+    /// flipped at the previous commit, and the standing "hot" set of
+    /// side-effectful nets, then propagates through the CSR fanout
+    /// tables in level order — untouched levels are skipped entirely.
+    /// Byte-identical to [`EngineMode::Levelized`] (the differential
+    /// battery proves it); available only for acyclic circuits and
+    /// falls back to the hybrid engine otherwise.
+    Sparse,
 }
 
 impl EngineMode {
@@ -60,6 +69,7 @@ impl EngineMode {
             EngineMode::Constructive => "constructive",
             EngineMode::Naive => "naive",
             EngineMode::Hybrid => "hybrid",
+            EngineMode::Sparse => "sparse",
         }
     }
 }
@@ -78,8 +88,9 @@ impl FromStr for EngineMode {
             "constructive" => Ok(EngineMode::Constructive),
             "naive" => Ok(EngineMode::Naive),
             "hybrid" => Ok(EngineMode::Hybrid),
+            "sparse" => Ok(EngineMode::Sparse),
             other => Err(format!(
-                "unknown engine `{other}` (expected levelized, constructive, naive or hybrid)"
+                "unknown engine `{other}` (expected levelized, constructive, naive, hybrid or sparse)"
             )),
         }
     }
@@ -329,6 +340,7 @@ mod tests {
             EngineMode::Constructive,
             EngineMode::Naive,
             EngineMode::Hybrid,
+            EngineMode::Sparse,
         ] {
             assert_eq!(m.name().parse::<EngineMode>(), Ok(m));
             assert_eq!(m.to_string(), m.name());

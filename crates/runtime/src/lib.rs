@@ -45,6 +45,7 @@ pub mod isolate;
 pub mod levelized;
 pub mod machine;
 pub mod snapshot;
+mod sparse;
 pub mod telemetry;
 pub mod waveform;
 

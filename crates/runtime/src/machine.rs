@@ -29,6 +29,7 @@ use crate::snapshot::{
     circuit_struct_hash, engine_from_tag, engine_tag, AsyncSnapshot, ChaosSnapshot,
     MachineSnapshot, SnapshotError,
 };
+use crate::sparse::SparseState;
 use hiphop_core::mailbox::{AsyncHandle, MachineOp, Mailbox};
 use hiphop_core::rng::Rng;
 use hiphop_core::value::Value;
@@ -198,12 +199,18 @@ pub struct Machine {
     hybrid: Rc<HybridSchedule>,
     pub(crate) requested: Option<EngineMode>,
     lv_state: PackedStates,
+    // Dirty-set state of the sparse incremental engine; its baseline
+    // validity flag is cleared by every non-sparse execution path.
+    pub(crate) sparse: SparseState,
 
     // Per-level activity accounting (`enable_level_activity`): net
     // evaluations and value flips bucketed by topological level, with
     // the previous instant's net values as the flip baseline.
     pub(crate) level_activity: Option<LevelActivity>,
     prev_value: Vec<i8>,
+    // Per-block evaluation counts of the last hybrid reaction (scratch;
+    // maintained only while level-activity accounting is armed).
+    la_block_evals: Vec<u64>,
 
     // Lazily built, per-circuit cohort execution plan (scatter lists for
     // effectful nets); see `crate::cohort`.
@@ -353,8 +360,10 @@ impl Machine {
             chaos: None,
             requested: None,
             lv_state: PackedStates::default(),
+            sparse: SparseState::default(),
             level_activity: None,
             prev_value: Vec::new(),
+            la_block_evals: Vec::new(),
             cohort_plan: None,
             cohort_struct_key: std::cell::Cell::new(None),
             out_signals,
@@ -380,6 +389,16 @@ impl Machine {
             Some(EngineMode::Levelized) | None => {
                 if self.schedule.is_some() {
                     EngineMode::Levelized
+                } else {
+                    EngineMode::Hybrid
+                }
+            }
+            // The sparse sweep needs the acyclic level schedule; cyclic
+            // circuits fall back to the hybrid engine (same rule as a
+            // levelized request).
+            Some(EngineMode::Sparse) => {
+                if self.schedule.is_some() {
+                    EngineMode::Sparse
                 } else {
                     EngineMode::Hybrid
                 }
@@ -664,11 +683,16 @@ impl Machine {
     }
 
     /// Buckets this reaction's sweep by topological level (hybrid:
-    /// condensation block). `evals` counts nets swept; `changed` counts
-    /// nets whose committed value differs from the previous instant —
-    /// the gap between them is the quiet width a sparse engine could
-    /// skip. Constructive/naive reactions have no level structure and
-    /// are not tallied.
+    /// condensation block). `evals` counts nets *actually evaluated* —
+    /// the levelized sweep visits every net of every level, while the
+    /// hybrid engine's cyclic blocks iterate their members several times
+    /// (tallied from the engine's own event counter, so a block's bucket
+    /// reports exactly the work done in it, not its span width).
+    /// `changed` counts nets whose committed value differs from the
+    /// previous instant — the gap between the two is the quiet width the
+    /// sparse engine skips. Constructive/naive reactions have no level
+    /// structure and are not tallied; sparse reactions tally inline
+    /// (skipped levels report 0, see `react_core_sparse`).
     fn tally_level_activity(&mut self, engine: EngineMode) {
         let sched = match engine {
             EngineMode::Levelized => self.schedule.clone(),
@@ -689,7 +713,13 @@ impl Machine {
         }
         for l in 0..levels {
             let span = &sched.order[starts[l] as usize..starts[l + 1] as usize];
-            la.evals[l] += span.len() as u64;
+            // Hybrid blocks report their measured evaluation count
+            // (recorded by `hybrid_fixpoint`); dense levelized sweeps
+            // evaluate exactly their span.
+            la.evals[l] += match engine {
+                EngineMode::Hybrid => self.la_block_evals.get(l).copied().unwrap_or(0),
+                _ => span.len() as u64,
+            };
             la.changed[l] += span
                 .iter()
                 .filter(|&&id| self.value[id as usize] != self.prev_value[id as usize])
@@ -922,6 +952,7 @@ impl Machine {
         self.staged_inputs.clear();
         self.staged_notifies.clear();
         while self.mailbox.pop().is_some() {}
+        self.sparse.valid = false;
         Ok(())
     }
 
@@ -953,15 +984,23 @@ impl Machine {
         };
         self.actions_run = 0;
         self.queue_hwm = 0;
+        self.events = 0;
+        let n = circuit.nets().len();
+
+        let mut sparse_rebuild = false;
+        if engine == EngineMode::Sparse {
+            sparse_rebuild = self.sparse_react(&circuit)?;
+        } else {
+        // Any non-sparse instant invalidates the sparse baseline — the
+        // shared `value` plane is about to be overwritten wholesale.
+        self.sparse.valid = false;
 
         // Previous-instant values snapshot.
         self.sig_preval.clone_from(&self.sig_val);
 
         // Scratch reset. The levelized sweep needs no ⊥-bookkeeping: no
         // queue, no undetermined-fanin or pending-dependency counters.
-        let n = circuit.nets().len();
         self.value[..n].fill(-1);
-        self.events = 0;
         if engine != EngineMode::Levelized {
             self.resolved[..n].fill(false);
             self.armed[..n].fill(false);
@@ -1089,17 +1128,25 @@ impl Machine {
         if self.level_activity.is_some() {
             self.tally_level_activity(engine);
         }
+        } // end non-sparse branch
 
-        // Commit registers.
-        for (r, reg) in circuit.registers().iter().enumerate() {
-            self.regs[r] = self.value[reg.input.index()] == 1;
-        }
-        for (s, info) in circuit.signals().iter().enumerate() {
-            self.last_present[s] = self.value[info.status_net.index()] == 1;
-        }
-        if let Some(t) = circuit.terminated_net {
-            if self.value[t.index()] == 1 {
-                self.terminated = true;
+        // Commit registers, presence and termination. The sparse engine
+        // goes through its deferred change records — a mid-sweep error
+        // must never have published register state (registers are
+        // excluded from the rollback snapshot).
+        if engine == EngineMode::Sparse {
+            self.sparse_commit(&circuit, sparse_rebuild);
+        } else {
+            for (r, reg) in circuit.registers().iter().enumerate() {
+                self.regs[r] = self.value[reg.input.index()] == 1;
+            }
+            for (s, info) in circuit.signals().iter().enumerate() {
+                self.last_present[s] = self.value[info.status_net.index()] == 1;
+            }
+            if let Some(t) = circuit.terminated_net {
+                if self.value[t.index()] == 1 {
+                    self.terminated = true;
+                }
             }
         }
 
@@ -1203,6 +1250,7 @@ impl Machine {
         self.last_present.fill(false);
         self.staged_inputs.clear();
         self.staged_notifies.clear();
+        self.sparse.valid = false;
         self
     }
 
@@ -1342,8 +1390,14 @@ impl Machine {
         let hybrid = self.hybrid.clone();
         let mut state = std::mem::take(&mut self.lv_state);
         state.reset(circuit.nets().len());
+        let armed = self.level_activity.is_some();
+        if armed {
+            self.la_block_evals.clear();
+            self.la_block_evals.resize(hybrid.blocks.len(), 0);
+        }
         let mut result = Ok(());
-        for block in &hybrid.blocks {
+        for (bi, block) in hybrid.blocks.iter().enumerate() {
+            let events_before = self.events;
             result = match *block {
                 Block::Dense { start, end } => self.sweep_range(
                     circuit,
@@ -1362,6 +1416,11 @@ impl Machine {
                     start as usize..end as usize,
                 ),
             };
+            if armed {
+                // Honest per-block accounting: a dense block costs its
+                // span, a cyclic block its measured iteration work.
+                self.la_block_evals[bi] = (self.events - events_before) as u64;
+            }
             if result.is_err() {
                 break;
             }
@@ -1510,6 +1569,414 @@ impl Machine {
         }
         self.events += nets.len();
         Ok(())
+    }
+
+    /// Sparse-engine reaction body: syncs the incremental pre-value and
+    /// emission-counter planes, stages presence into the persistent
+    /// input set, seeds and runs the dirty sweep (or one full rebuild
+    /// sweep when the baseline is invalid), and leaves deferred commit
+    /// records for [`Machine::sparse_commit`]. Returns whether this
+    /// instant rebuilt the baseline.
+    fn sparse_react(&mut self, circuit: &Rc<Circuit>) -> Result<bool, RuntimeError> {
+        let sched = self
+            .schedule
+            .clone()
+            .expect("sparse engine without a schedule");
+        self.sparse.ensure_built(circuit, &sched);
+        let rebuild = !self.sparse.valid;
+        // Pessimistic: stays false until this instant commits, so any
+        // error path (rollback restores the signal planes, but `value`
+        // is left mid-sweep) forces a full rebuild.
+        self.sparse.valid = false;
+        self.sparse.commit_regs.clear();
+        self.sparse.commit_sigs.clear();
+        self.sparse.term_dirty = false;
+
+        let armed = self.level_activity.is_some();
+        if armed {
+            self.sparse.level_evals.resize(sched.levels, 0);
+            self.sparse.level_evals.fill(0);
+            self.sparse.level_changed.resize(sched.levels, 0);
+            self.sparse.level_changed.fill(0);
+            let n = circuit.nets().len();
+            if self.prev_value.len() != n {
+                self.prev_value = vec![-1; n];
+            }
+        }
+
+        if rebuild {
+            // Dense-equivalent prologue: full pre-value sync, zeroed
+            // emission counters, cleared presence/hot/dirty bookkeeping.
+            self.sig_preval.clone_from(&self.sig_val);
+            self.sparse.emit_count.fill(0);
+            self.sparse.touched.clear();
+            self.sparse.in_present.fill(false);
+            self.sparse.present_nets.clear();
+            self.sparse.prev_present.clear();
+            self.sparse.pending_reg_nets.clear();
+            self.sparse.hot.clear();
+            self.sparse.in_hot.fill(false);
+            self.sparse.dirty.fill(false);
+            for list in &mut self.sparse.level_lists {
+                list.clear();
+            }
+        } else {
+            // Incremental pre-value sync: only signals written last
+            // instant can differ, and a value plane that did change
+            // additionally wakes its `nowval`/`preval` subscribers.
+            let mut touched = std::mem::take(&mut self.sparse.touched);
+            for &s in &touched {
+                let si = s as usize;
+                if self.sig_val[si] != self.sig_preval[si] {
+                    for k in self.sparse.sig_subs_start[si] as usize
+                        ..self.sparse.sig_subs_start[si + 1] as usize
+                    {
+                        let sub = self.sparse.sig_subs[k];
+                        self.sparse.mark_dirty(sub);
+                    }
+                    self.sig_preval[si] = self.sig_val[si].clone();
+                }
+                self.sparse.emit_count[si] = 0;
+            }
+            touched.clear();
+            self.sparse.touched = touched;
+        }
+
+        // Stage presence into the persistent input set; the previous
+        // instant's set is parked in `prev_present` for delta seeding.
+        debug_assert!(self.sparse.prev_present.is_empty());
+        std::mem::swap(&mut self.sparse.present_nets, &mut self.sparse.prev_present);
+        for k in 0..self.sparse.prev_present.len() {
+            let i = self.sparse.prev_present[k] as usize;
+            self.sparse.in_present[i] = false;
+        }
+        let staged = std::mem::take(&mut self.staged_inputs);
+        let mut emit_count = std::mem::take(&mut self.sparse.emit_count);
+        for (sig, val) in &staged {
+            let info = circuit.signal(*sig);
+            if let Some(inet) = info.input_net {
+                if !self.sparse.in_present[inet.index()] {
+                    self.sparse.in_present[inet.index()] = true;
+                    self.sparse.present_nets.push(inet.0);
+                }
+            }
+            if let Some(v) = val {
+                let si = sig.index();
+                self.sig_val[si] = v.clone();
+                emit_count[si] = 1;
+                self.sparse.touched.push(si as u32);
+                if !rebuild {
+                    // The value plane changed outside any net: wake the
+                    // subscribed readers.
+                    for k in self.sparse.sig_subs_start[si] as usize
+                        ..self.sparse.sig_subs_start[si + 1] as usize
+                    {
+                        let sub = self.sparse.sig_subs[k];
+                        self.sparse.mark_dirty(sub);
+                    }
+                }
+            }
+        }
+        let notifies = std::mem::take(&mut self.staged_notifies);
+        for (aid, v) in notifies {
+            let rt = &mut self.asyncs[aid.index()];
+            rt.notified = Some(v);
+            let nn = circuit.asyncs()[aid.index()].notify_net;
+            if !self.sparse.in_present[nn.index()] {
+                self.sparse.in_present[nn.index()] = true;
+                self.sparse.present_nets.push(nn.0);
+            }
+        }
+
+        self.sparse.tracking = true;
+        let result = if rebuild {
+            self.sparse_rebuild_sweep(circuit, &sched, &mut emit_count, armed)
+        } else {
+            self.sparse_incremental_sweep(circuit, &sched, &mut emit_count, armed)
+        };
+        self.sparse.tracking = false;
+        self.sparse.emit_count = emit_count;
+        self.sparse.prev_present.clear();
+        result?;
+        Ok(rebuild)
+    }
+
+    /// Full level-order sweep through the sparse evaluator: identical
+    /// semantics to the dense levelized sweep, additionally rebuilding
+    /// the presence/hot bookkeeping the incremental instants rely on.
+    fn sparse_rebuild_sweep(
+        &mut self,
+        circuit: &Circuit,
+        sched: &LevelSchedule,
+        emit_count: &mut [u32],
+        armed: bool,
+    ) -> Result<(), RuntimeError> {
+        for pos in 0..sched.order.len() {
+            let id = sched.order[pos];
+            let i = id as usize;
+            let v = self.sparse_eval_net(circuit, sched, id, emit_count)?;
+            let nv = v as i8;
+            self.value[i] = nv;
+            if armed {
+                let l = self.sparse.level_of[i] as usize;
+                self.sparse.level_evals[l] += 1;
+                if self.prev_value[i] != nv {
+                    self.sparse.level_changed[l] += 1;
+                }
+                self.prev_value[i] = nv;
+            }
+        }
+        self.events += sched.order.len();
+        Ok(())
+    }
+
+    /// The incremental sweep: seeds the per-level worklists from changed
+    /// inputs, flipped registers and the standing hot set, then
+    /// propagates value changes through the circuit's CSR fanout tables
+    /// in level order. Untouched levels are skipped entirely; a skipped
+    /// net's baseline value is exactly what the dense sweep would
+    /// recompute (fanins sit at strictly lower levels).
+    fn sparse_incremental_sweep(
+        &mut self,
+        circuit: &Circuit,
+        sched: &LevelSchedule,
+        emit_count: &mut [u32],
+        armed: bool,
+    ) -> Result<(), RuntimeError> {
+        // Seed: presence edges — both instants' staged sets, kept where
+        // the new presence differs from the baseline value.
+        for k in 0..self.sparse.prev_present.len() {
+            let id = self.sparse.prev_present[k];
+            if (self.sparse.in_present[id as usize] as i8) != self.value[id as usize] {
+                self.sparse.mark_dirty(id);
+            }
+        }
+        for k in 0..self.sparse.present_nets.len() {
+            let id = self.sparse.present_nets[k];
+            if (self.sparse.in_present[id as usize] as i8) != self.value[id as usize] {
+                self.sparse.mark_dirty(id);
+            }
+        }
+        // Seed: registers rewritten by the previous commit.
+        for k in 0..self.sparse.pending_reg_nets.len() {
+            let id = self.sparse.pending_reg_nets[k];
+            self.sparse.mark_dirty(id);
+        }
+        self.sparse.pending_reg_nets.clear();
+        // Seed: the standing hot set (compacting lazily removed nets).
+        let mut hot = std::mem::take(&mut self.sparse.hot);
+        hot.retain(|&id| {
+            if self.sparse.in_hot[id as usize] {
+                self.sparse.mark_dirty(id);
+                true
+            } else {
+                false
+            }
+        });
+        self.sparse.hot = hot;
+
+        // Propagate level by level; untouched levels are skipped whole.
+        for l in 0..self.sparse.level_lists.len() {
+            if self.sparse.level_lists[l].is_empty() {
+                continue;
+            }
+            let mut list = std::mem::take(&mut self.sparse.level_lists[l]);
+            // Within a level the dense sweep runs ascending net id;
+            // actions must fire in exactly that order.
+            list.sort_unstable();
+            for &id in &list {
+                let i = id as usize;
+                self.sparse.dirty[i] = false;
+                let v = self.sparse_eval_net(circuit, sched, id, emit_count)?;
+                self.events += 1;
+                let nv = v as i8;
+                if armed {
+                    self.sparse.level_evals[l] += 1;
+                    if self.prev_value[i] != nv {
+                        self.sparse.level_changed[l] += 1;
+                    }
+                    self.prev_value[i] = nv;
+                }
+                if self.value[i] != nv {
+                    self.value[i] = nv;
+                    // Changed: wake value fanouts, dependency fanouts
+                    // (expression readers) and pre-net subscribers —
+                    // all at strictly higher levels.
+                    for k in 0..circuit.fanouts(NetId(id)).len() {
+                        let t = circuit.fanouts(NetId(id))[k].0;
+                        self.sparse.mark_dirty(t.0);
+                    }
+                    for k in 0..circuit.dep_fanouts(NetId(id)).len() {
+                        let d = circuit.dep_fanouts(NetId(id))[k];
+                        self.sparse.mark_dirty(d.0);
+                    }
+                    for k in self.sparse.net_subs_start[i] as usize
+                        ..self.sparse.net_subs_start[i + 1] as usize
+                    {
+                        let sub = self.sparse.net_subs[k];
+                        self.sparse.mark_dirty(sub);
+                    }
+                    // Deferred commit records.
+                    for k in self.sparse.regs_by_input_start[i] as usize
+                        ..self.sparse.regs_by_input_start[i + 1] as usize
+                    {
+                        let r = self.sparse.regs_by_input[k];
+                        self.sparse.commit_regs.push(r);
+                    }
+                    for k in self.sparse.sigs_by_status_start[i] as usize
+                        ..self.sparse.sigs_by_status_start[i + 1] as usize
+                    {
+                        let s = self.sparse.sigs_by_status[k];
+                        self.sparse.commit_sigs.push(s);
+                    }
+                    if self.sparse.terminated_net == Some(id) {
+                        self.sparse.term_dirty = true;
+                    }
+                }
+            }
+            list.clear();
+            self.sparse.level_lists[l] = list;
+        }
+        Ok(())
+    }
+
+    /// Evaluates one net under the sparse engine — the same opcode rules
+    /// as the dense sweep, reading fanins from the live `value` plane
+    /// (evaluated this instant or valid baseline), and maintaining the
+    /// hot-set membership of side-effectful nets.
+    fn sparse_eval_net(
+        &mut self,
+        circuit: &Circuit,
+        sched: &LevelSchedule,
+        id: u32,
+        emit_count: &mut [u32],
+    ) -> Result<bool, RuntimeError> {
+        let i = id as usize;
+        let v = match sched.code[i] {
+            CODE_CONST0 => false,
+            CODE_CONST1 => true,
+            CODE_INPUT => self.sparse.in_present[i],
+            CODE_REG => self.regs[sched.aux[i] as usize],
+            CODE_OR => self.sparse_fold(sched, i, true),
+            CODE_AND => self.sparse_fold(sched, i, false),
+            CODE_TEST => {
+                // Exactly one control fanin; a 0 control skips the test
+                // evaluation (and its counter side effects), matching
+                // the dense sweep.
+                let edge = sched.fanins(i)[0];
+                let control = (self.value[(edge >> 1) as usize] == 1) ^ (edge & 1 == 1);
+                if self.sparse.needs_hot[i] {
+                    self.sparse.set_hot(id, control);
+                }
+                control && self.eval_test(circuit, id)
+            }
+            code @ (CODE_OR_EARLY | CODE_AND_EARLY) => {
+                let v = self.sparse_fold(sched, i, code == CODE_OR_EARLY);
+                if self.sparse.needs_hot[i] {
+                    self.sparse.set_hot(id, v);
+                }
+                if v {
+                    self.run_action(circuit, id, emit_count)?;
+                }
+                v
+            }
+            code @ (CODE_OR_LATE | CODE_AND_LATE) => {
+                let gate = self.sparse_fold(sched, i, code == CODE_OR_LATE);
+                if self.sparse.needs_hot[i] {
+                    self.sparse.set_hot(id, gate);
+                }
+                if gate {
+                    self.run_action(circuit, id, emit_count)?;
+                }
+                gate
+            }
+            code => unreachable!("bad opcode {code}"),
+        };
+        if self.fine_events {
+            self.emit_trace(TraceEvent::NetStabilized {
+                net: id,
+                label: circuit.nets()[i].label,
+                value: v,
+            });
+        }
+        Ok(v)
+    }
+
+    /// Folds a gate's fanins over the live `value` plane with an early
+    /// exit on the controlling value (OR: any 1 → 1; AND: any 0 → 0).
+    #[inline]
+    fn sparse_fold(&self, sched: &LevelSchedule, i: usize, controlling: bool) -> bool {
+        for &edge in sched.fanins(i) {
+            let v = (self.value[(edge >> 1) as usize] == 1) ^ (edge & 1 == 1);
+            if v == controlling {
+                return controlling;
+            }
+        }
+        !controlling
+    }
+
+    /// Publishes the deferred commit records of a successful sparse
+    /// instant: registers (queueing flipped ones for next-instant
+    /// seeding), presence, termination, per-level activity, and finally
+    /// the baseline validity flag.
+    fn sparse_commit(&mut self, circuit: &Circuit, rebuild: bool) {
+        if rebuild {
+            for (r, reg) in circuit.registers().iter().enumerate() {
+                let new = self.value[reg.input.index()] == 1;
+                if self.regs[r] != new {
+                    self.regs[r] = new;
+                    self.sparse.pending_reg_nets.push(reg.output.0);
+                }
+            }
+            for (s, info) in circuit.signals().iter().enumerate() {
+                self.last_present[s] = self.value[info.status_net.index()] == 1;
+            }
+            if let Some(t) = circuit.terminated_net {
+                if self.value[t.index()] == 1 {
+                    self.terminated = true;
+                }
+            }
+        } else {
+            let mut commit_regs = std::mem::take(&mut self.sparse.commit_regs);
+            for &r in &commit_regs {
+                let ri = r as usize;
+                let reg = &circuit.registers()[ri];
+                let new = self.value[reg.input.index()] == 1;
+                if self.regs[ri] != new {
+                    self.regs[ri] = new;
+                    self.sparse.pending_reg_nets.push(reg.output.0);
+                }
+            }
+            commit_regs.clear();
+            self.sparse.commit_regs = commit_regs;
+            let mut commit_sigs = std::mem::take(&mut self.sparse.commit_sigs);
+            for &s in &commit_sigs {
+                let si = s as usize;
+                self.last_present[si] =
+                    self.value[circuit.signals()[si].status_net.index()] == 1;
+            }
+            commit_sigs.clear();
+            self.sparse.commit_sigs = commit_sigs;
+            if self.sparse.term_dirty {
+                if let Some(t) = circuit.terminated_net {
+                    if self.value[t.index()] == 1 {
+                        self.terminated = true;
+                    }
+                }
+            }
+        }
+        self.sparse.valid = true;
+        if let Some(la) = &mut self.level_activity {
+            let levels = self.sparse.level_evals.len();
+            if la.evals.len() < levels {
+                la.evals.resize(levels, 0);
+                la.changed.resize(levels, 0);
+            }
+            for l in 0..levels {
+                la.evals[l] += self.sparse.level_evals[l];
+                la.changed[l] += self.sparse.level_changed[l];
+            }
+        }
     }
 
     /// Reference engine: full sweeps until stable (see
@@ -1980,6 +2447,17 @@ impl Machine {
             }
         }
         emit_count[si] += 1;
+        if self.sparse.tracking {
+            // Sparse sweep in flight: remember the write for the lazy
+            // pre-value sync and wake `nowval`/`preval` readers.
+            self.sparse.touched.push(si as u32);
+            for k in self.sparse.sig_subs_start[si] as usize
+                ..self.sparse.sig_subs_start[si + 1] as usize
+            {
+                let sub = self.sparse.sig_subs[k];
+                self.sparse.mark_dirty(sub);
+            }
+        }
         Ok(())
     }
 

@@ -699,6 +699,7 @@ pub fn engine_tag(mode: EngineMode) -> &'static str {
         EngineMode::Constructive => "constructive",
         EngineMode::Naive => "naive",
         EngineMode::Hybrid => "hybrid",
+        EngineMode::Sparse => "sparse",
     }
 }
 
@@ -709,6 +710,7 @@ pub fn engine_from_tag(tag: &str) -> Option<EngineMode> {
         "constructive" => Some(EngineMode::Constructive),
         "naive" => Some(EngineMode::Naive),
         "hybrid" => Some(EngineMode::Hybrid),
+        "sparse" => Some(EngineMode::Sparse),
         _ => None,
     }
 }

@@ -20,8 +20,8 @@ use hiphop_eventloop::sessions::{
     Rebalancer, RebalancerConfig, SessionId, SessionOutputs, SessionPool,
 };
 use hiphop_runtime::{
-    CohortWidth, Machine, PoolMetrics, PoolSnapshot, RecorderConfig, Recording, ReplayOptions,
-    ReplayReport, SpanRecord,
+    CohortWidth, EngineMode, Machine, PoolMetrics, PoolSnapshot, RecorderConfig, Recording,
+    ReplayOptions, ReplayReport, SpanRecord,
 };
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -93,6 +93,10 @@ pub struct ConcertRunOptions {
     /// per-session scalar sweeps (`None` = scalar). Pure execution
     /// strategy: the concert digest is identical either way.
     pub cohort: Option<CohortWidth>,
+    /// Force every session onto this evaluation engine (`None` keeps the
+    /// per-machine default). Like `cohort`, a pure execution strategy:
+    /// digests are identical under any engine.
+    pub engine: Option<EngineMode>,
     /// Tally per-level net-evaluation counters in every session.
     pub level_activity: bool,
     /// Invoke [`ConcertRunOptions::watch`] every N beats (0 = never).
@@ -327,6 +331,9 @@ pub fn run_with(cfg: &ConcertConfig, mut opts: ConcertRunOptions) -> Result<Conc
     if opts.cohort.is_some() {
         pool.set_cohort(opts.cohort).map_err(|e| e.to_string())?;
     }
+    if opts.engine.is_some() {
+        pool.set_engine(opts.engine).map_err(|e| e.to_string())?;
+    }
     if opts.level_activity {
         pool.set_level_activity(true).map_err(|e| e.to_string())?;
     }
@@ -430,14 +437,15 @@ pub fn run_with(cfg: &ConcertConfig, mut opts: ConcertRunOptions) -> Result<Conc
 /// journal, or a dead shard. Digest mismatches are reported in the
 /// returned [`ReplayReport`], not raised as errors.
 pub fn replay(rec: &Recording, shards: usize, opts: &ReplayOptions) -> Result<ReplayReport, String> {
-    replay_with(rec, shards, opts, None)
+    replay_with(rec, shards, opts, None, None)
 }
 
-/// [`replay`] with an execution-strategy override: `cohort` re-executes
-/// the journal through bit-parallel lockstep sweeps. A recording made in
-/// either mode replays in the other with identical digests — cohort
-/// execution is a strategy, not a semantic mode, and the digest
-/// checkpoints prove it instant by instant.
+/// [`replay`] with execution-strategy overrides: `cohort` re-executes
+/// the journal through bit-parallel lockstep sweeps, `engine` forces
+/// every replayed session onto one evaluation engine. A recording made
+/// under any strategy replays under any other with identical digests —
+/// these are strategies, not semantic modes, and the digest checkpoints
+/// prove it instant by instant.
 ///
 /// # Errors
 ///
@@ -447,6 +455,7 @@ pub fn replay_with(
     shards: usize,
     opts: &ReplayOptions,
     cohort: Option<CohortWidth>,
+    engine: Option<EngineMode>,
 ) -> Result<ReplayReport, String> {
     let (shape, seed, chaos_rate) = parse_scenario(&rec.scenario)?;
     let mut pool = SessionPool::new(
@@ -456,6 +465,9 @@ pub fn replay_with(
     );
     if cohort.is_some() {
         pool.set_cohort(cohort).map_err(|e| e.to_string())?;
+    }
+    if engine.is_some() {
+        pool.set_engine(engine).map_err(|e| e.to_string())?;
     }
     pool.replay(rec, opts).map_err(|e| e.to_string())
 }
@@ -545,6 +557,68 @@ mod tests {
     }
 
     #[test]
+    fn engine_overrides_are_digest_identical_and_replayable() {
+        // A concert forced onto any single engine — the sparse
+        // incremental sweep included — must reproduce the default run's
+        // digest exactly: engine choice is an execution strategy, never
+        // a semantic mode.
+        let cfg = ConcertConfig::new(16, 2, 12, 47);
+        let base = run(&cfg).expect("default engines");
+        for mode in [
+            EngineMode::Levelized,
+            EngineMode::Constructive,
+            EngineMode::Hybrid,
+            EngineMode::Sparse,
+        ] {
+            let forced = run_with(
+                &cfg,
+                ConcertRunOptions {
+                    engine: Some(mode),
+                    ..ConcertRunOptions::default()
+                },
+            )
+            .expect("forced engine runs");
+            assert_eq!(
+                base.digest, forced.report.digest,
+                "[{mode:?}] engine override changed concert behaviour"
+            );
+            assert_eq!(base.played, forced.report.played);
+        }
+
+        // And a default-engine chaotic recording verifies checkpoint by
+        // checkpoint when re-driven on an all-sparse pool: recordings
+        // are engine-agnostic.
+        let mut chaotic = cfg;
+        chaotic.chaos_rate = 0.05;
+        let recorded = run_with(
+            &chaotic,
+            ConcertRunOptions {
+                record: Some(RecorderConfig {
+                    checkpoint_every: 1,
+                    ..RecorderConfig::default()
+                }),
+                ..ConcertRunOptions::default()
+            },
+        )
+        .expect("records");
+        let rec = recorded.recording.expect("journal captured");
+        let report = replay_with(
+            &rec,
+            3,
+            &ReplayOptions::default(),
+            None,
+            Some(EngineMode::Sparse),
+        )
+        .expect("replays");
+        assert!(
+            report.ok(),
+            "default→sparse digest mismatches: {:?}",
+            report.mismatches
+        );
+        assert!(report.checked > 0, "checkpoints were actually verified");
+    }
+
+    #[test]
     fn cohort_recording_replays_on_scalar_pools_and_vice_versa() {
         // Record a 4-shard cohort-mode chaotic concert with a digest
         // checkpoint at every instant…
@@ -567,7 +641,7 @@ mod tests {
 
         // …and replay it on a *scalar* pool: every checkpoint must match.
         let report =
-            replay_with(&cohort_rec, 3, &ReplayOptions::default(), None).expect("replays");
+            replay_with(&cohort_rec, 3, &ReplayOptions::default(), None, None).expect("replays");
         assert!(
             report.ok(),
             "cohort→scalar digest mismatches: {:?}",
@@ -594,6 +668,7 @@ mod tests {
             4,
             &ReplayOptions::default(),
             Some(CohortWidth::Wide),
+            None,
         )
         .expect("replays");
         assert!(
@@ -631,7 +706,7 @@ mod tests {
             from_snapshot: Some(snap),
             ..ReplayOptions::default()
         };
-        let report = replay_with(&rec, 2, &replay_opts, None).expect("replays");
+        let report = replay_with(&rec, 2, &replay_opts, None, None).expect("replays");
         assert_eq!(report.ticks, 4, "only the suffix re-ran");
         assert!(report.ok(), "mismatches: {:?}", report.mismatches);
         assert!(report.checked > 0, "checkpoints were actually verified");

@@ -18,8 +18,15 @@
 //!    plus rollback is observationally a no-op.
 //!
 //! The sweep width defaults to 100 fault sequences (each run under all
-//! three engines) and widens via `HIPHOP_CHAOS_SEEDS`, mirroring
+//! five engines — levelized, constructive, naive, hybrid and sparse)
+//! and widens via `HIPHOP_CHAOS_SEEDS`, mirroring
 //! `HIPHOP_PROPTEST_SEEDS`.
+//!
+//! The sparse column is the interesting one for rollback: its
+//! incremental baseline survives in `Machine::value` across instants,
+//! so an exact rollback must also *invalidate* that baseline — the
+//! digest comparison below would catch a stale-baseline replay on the
+//! very next successful instant.
 
 use hiphop::compiler::{compile_module_with, CompileOptions};
 use hiphop::prelude::*;
@@ -75,6 +82,7 @@ fn chaos_faults_roll_back_and_never_diverge() {
             EngineMode::Constructive,
             EngineMode::Naive,
             EngineMode::Hybrid,
+            EngineMode::Sparse,
         ] {
             let build = || {
                 let c = compile_module_with(
@@ -294,6 +302,37 @@ fn pool_chaos_is_contained_to_the_faulting_session() {
         assert_eq!(f2, faulted, "{shards} shard(s): fault set shifted");
         assert_eq!(t2, total, "{shards} shard(s): fault count shifted");
     }
+
+    // 4. The sparse engine under pool chaos: a rollback must also
+    //    invalidate the session's incremental baseline, or the next
+    //    successful instant replays stale state — which the lockstep
+    //    digests against a sparse fault-free shadow would expose. And
+    //    since engines are observationally pure, the sparse shadow's
+    //    digests equal the default-engine shadow's.
+    let mut sparse_shadow = build_pool(3, false);
+    sparse_shadow.set_engine(Some(EngineMode::Sparse)).expect("config");
+    let (sparse_clean, no_faults, zero) = run(&mut sparse_shadow);
+    assert!(no_faults.is_empty() && zero == 0, "the sparse shadow never faults");
+    assert_eq!(sparse_clean, clean_digests, "engines are digest-pure");
+
+    let mut sparse_pool = build_pool(3, true);
+    sparse_pool.set_engine(Some(EngineMode::Sparse)).expect("config");
+    let (sparse_digests, sparse_faulted, sparse_total) = run(&mut sparse_pool);
+    assert!(!sparse_faulted.is_empty(), "chaos still fires under sparse");
+    assert!(
+        sparse_faulted.iter().all(|&s| chaotic(s)),
+        "sparse faults only in chaos-armed sessions: {sparse_faulted:?}"
+    );
+    for s in (0..SESSIONS).map(SessionId) {
+        if !sparse_faulted.contains(&s) {
+            assert_eq!(
+                sparse_digests[&s], sparse_clean[&s],
+                "session {s:?} (sparse) was perturbed by a shard-mate's rollback"
+            );
+        }
+    }
+    let metrics = sparse_pool.metrics().expect("metrics");
+    assert_eq!(metrics.rollbacks, sparse_total, "every sparse fault is one rollback");
 }
 
 /// Chaos landing *inside* a bit-parallel cohort: with cohort mode on,

@@ -2,10 +2,10 @@
 //!
 //! Each case is a compact `.hh` program plus the expected set of present
 //! outputs at every instant (instant 0 is the boot reaction). Every case
-//! runs under all four compiled engines (levelized, constructive, naive,
-//! hybrid) AND the reference AST interpreter; the expectation table is
-//! the semantic oracle, so a divergence pinpoints both the construct and
-//! the engine that got it wrong.
+//! runs under all five compiled engines (levelized, constructive, naive,
+//! hybrid, sparse) AND the reference AST interpreter; the expectation
+//! table is the semantic oracle, so a divergence pinpoints both the
+//! construct and the engine that got it wrong.
 //!
 //! The battery covers the kernel constructs whose semantics are easy to
 //! get subtly wrong: strong vs weak abort at the delay instant, suspend,
@@ -61,6 +61,7 @@ fn check(case: &KernelCase) {
         EngineMode::Constructive,
         EngineMode::Naive,
         EngineMode::Hybrid,
+        EngineMode::Sparse,
     ] {
         let mut m = machine_for(&module, &registry)
             .unwrap_or_else(|e| panic!("{name}: compile: {e}"));

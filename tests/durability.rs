@@ -8,7 +8,7 @@
 //! that never stopped. Four angles:
 //!
 //! 1. **Seeded snapshot/restore sweep.** Random synthetic programs
-//!    driven under every engine (levelized/hybrid/constructive) ×
+//!    driven under every engine (levelized/hybrid/constructive/sparse) ×
 //!    cohort mode (off/u64/wide) × shard count (1/3/8), checkpointed
 //!    mid-run, restored onto a *different* shard count, and driven in
 //!    lockstep with the undisturbed pool: every post-restore tick must
@@ -98,6 +98,10 @@ fn snapshot_restore_is_digest_transparent_across_engines_cohorts_and_shards() {
         EngineMode::Levelized,
         EngineMode::Hybrid,
         EngineMode::Constructive,
+        // Sparse carries an incremental baseline across ticks that is
+        // deliberately absent from the wire format: the restored twin
+        // must rebuild it and still march digest-for-digest.
+        EngineMode::Sparse,
     ];
     for case in 0..sweep_seeds() {
         let seed = 0x0D07_AB1E ^ case.wrapping_mul(0x9E3779B97F4A7C15);

@@ -1,5 +1,5 @@
 //! Golden-trace regression tests: the coarse JSONL trace of each `.hh`
-//! example is pinned in `tests/golden/` and replayed under all three
+//! example is pinned in `tests/golden/` and replayed under all five
 //! evaluation engines. The traces must agree **byte for byte** after
 //! normalization, which strips exactly the engine-dependent fields of
 //! `reaction_end` (the engine tag, wall-clock duration, event count and
@@ -109,6 +109,7 @@ fn engines_replay_the_golden_traces_byte_for_byte() {
             EngineMode::Constructive,
             EngineMode::Naive,
             EngineMode::Hybrid,
+            EngineMode::Sparse,
         ] {
             assert_eq!(
                 trace(example, mode),
@@ -219,6 +220,7 @@ fn supervised_abort_replays_identically_across_engines() {
         EngineMode::Constructive,
         EngineMode::Naive,
         EngineMode::Hybrid,
+        EngineMode::Sparse,
     ] {
         assert_eq!(
             supervised_abort_trace(mode),
@@ -251,11 +253,14 @@ fn cyclic_arbiter_trace(mode: EngineMode) -> String {
     let compiled = hiphop::compiler::compile_module(&module, &registry).expect("compiles");
     assert!(compiled.levels.is_none(), "the pass chain is a static cycle");
     let mut machine = Machine::new(compiled.circuit).expect("input-dependent, not rejected");
-    assert_eq!(
-        machine.set_engine(mode),
-        mode,
-        "every cycle-capable engine is available"
-    );
+    let resolved = machine.set_engine(mode);
+    if mode == EngineMode::Sparse {
+        // No levelized schedule exists for a cyclic circuit: the sparse
+        // request degrades to the hybrid resolution.
+        assert_eq!(resolved, EngineMode::Hybrid, "sparse falls back on cycles");
+    } else {
+        assert_eq!(resolved, mode, "every cycle-capable engine is available");
+    }
     let (sink, buf) = JsonlSink::buffered();
     machine.attach_sink(shared(sink.coarse()));
     for instant in ";R1;R2;R1 R2;R3;;R1 R2 R3;R2;R1 R3".split(';') {
@@ -286,7 +291,13 @@ fn cyclic_arbiter_replays_identically_across_engines() {
             "{g} is granted somewhere: {hybrid}"
         );
     }
-    for mode in [EngineMode::Constructive, EngineMode::Naive] {
+    // Sparse has no levelized schedule on a cyclic circuit and must
+    // fall back to the hybrid resolution — still byte-identical.
+    for mode in [
+        EngineMode::Constructive,
+        EngineMode::Naive,
+        EngineMode::Sparse,
+    ] {
         assert_eq!(
             cyclic_arbiter_trace(mode),
             hybrid,
@@ -364,6 +375,7 @@ fn assert_app_golden(name: &str, trace_of: impl Fn(EngineMode) -> String) {
         EngineMode::Constructive,
         EngineMode::Naive,
         EngineMode::Hybrid,
+        EngineMode::Sparse,
     ] {
         assert_eq!(
             trace_of(mode),

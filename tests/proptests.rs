@@ -330,6 +330,7 @@ fn all_engines_agree_with_the_interpreter() {
             EngineMode::Constructive,
             EngineMode::Naive,
             EngineMode::Hybrid,
+            EngineMode::Sparse,
         ] {
             assert_eq!(
                 engine_trace(mode),
@@ -377,6 +378,7 @@ fn fact_driven_shrinking_preserves_behavior_under_every_engine() {
             EngineMode::Constructive,
             EngineMode::Naive,
             EngineMode::Hybrid,
+            EngineMode::Sparse,
         ] {
             assert_eq!(
                 run(true, mode),
